@@ -1,0 +1,227 @@
+//! The BEEP profiling loop (Figure 7).
+
+use crate::craft::craft_with_fallback;
+use crate::decode::decode_read;
+use crate::target::WordTarget;
+use beer_ecc::LinearCode;
+use beer_gf2::BitVec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Configuration of a BEEP run.
+#[derive(Clone, Copy, Debug)]
+pub struct BeepConfig {
+    /// Full traversals of the codeword (Figure 8 compares 1 vs 2).
+    pub passes: usize,
+    /// Retention trials per crafted pattern (more trials catch
+    /// low-probability errors, Figure 9).
+    pub trials_per_pattern: usize,
+    /// Random seed patterns run before the first pass to bootstrap the
+    /// known-error set (see the crate docs).
+    pub seed_patterns: usize,
+    /// RNG seed for the bootstrap patterns.
+    pub seed: u64,
+}
+
+impl Default for BeepConfig {
+    fn default() -> Self {
+        BeepConfig {
+            passes: 1,
+            trials_per_pattern: 4,
+            seed_patterns: 16,
+            seed: 0xBEE9,
+        }
+    }
+}
+
+/// The outcome of profiling one ECC word.
+#[derive(Clone, Debug)]
+pub struct BeepResult {
+    /// Codeword positions identified as error-prone (bit-exact, including
+    /// parity positions).
+    pub discovered: BTreeSet<usize>,
+    /// Patterns that could not be crafted (no miscorrection reachable).
+    pub skipped_bits: usize,
+    /// Total crafted patterns tested.
+    pub patterns_tested: usize,
+    /// Total retention trials executed.
+    pub trials_run: usize,
+}
+
+impl BeepResult {
+    /// The discovered positions as a sorted vector.
+    pub fn discovered_sorted(&self) -> Vec<usize> {
+        self.discovered.iter().copied().collect()
+    }
+}
+
+/// Runs BEEP against one word: bootstrap with random seed patterns, then
+/// `config.passes` traversals crafting one pattern per codeword bit.
+///
+/// Every decoded miscorrection contributes its exact pre-correction error
+/// set to the discovered list; visible 1→0 decays (partial corrections)
+/// contribute their data positions directly.
+///
+/// # Panics
+///
+/// Panics if `target.k() != code.k()`.
+pub fn profile_word(
+    code: &LinearCode,
+    target: &mut dyn WordTarget,
+    config: &BeepConfig,
+) -> BeepResult {
+    assert_eq!(target.k(), code.k(), "code/target dataword mismatch");
+    let k = code.k();
+    let n = code.n();
+    // Two tiers of knowledge:
+    //  * `confirmed` — positions proven by an exact miscorrection decode
+    //    (Equation 4); these are reported.
+    //  * `candidates` — `confirmed` plus ambiguous 1→0 decays at CHARGED
+    //    bits (the paper's '?' class); a decay there is *either* a real
+    //    error or a miscorrection onto a charged bit, so candidates only
+    //    guide pattern crafting and are never reported.
+    let mut confirmed: BTreeSet<usize> = BTreeSet::new();
+    let mut candidates: BTreeSet<usize> = BTreeSet::new();
+    let mut result_counters = (0usize, 0usize, 0usize); // skipped, patterns, trials
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    let run_pattern = |data: &BitVec,
+                           target: &mut dyn WordTarget,
+                           confirmed: &mut BTreeSet<usize>,
+                           candidates: &mut BTreeSet<usize>,
+                           trials: usize| {
+        let mut ran = 0;
+        for _ in 0..trials {
+            let read = target.run_trial(data);
+            ran += 1;
+            if read == *data {
+                continue;
+            }
+            let trial = decode_read(code, data, &read);
+            if let Some(errors) = trial.errors {
+                confirmed.extend(errors.iter().copied());
+                candidates.extend(errors);
+            } else {
+                candidates.extend(trial.visible_decays);
+            }
+        }
+        ran
+    };
+
+    // Bootstrap: random half-density patterns expose initial errors via
+    // lucky miscorrections.
+    for _ in 0..config.seed_patterns {
+        let data: BitVec = (0..k).map(|_| rng.random::<bool>()).collect();
+        result_counters.2 += run_pattern(
+            &data,
+            target,
+            &mut confirmed,
+            &mut candidates,
+            config.trials_per_pattern,
+        );
+    }
+
+    // Targeted passes over every codeword bit.
+    for _pass in 0..config.passes {
+        for bit in 0..n {
+            let known: Vec<usize> = candidates.iter().copied().collect();
+            match craft_with_fallback(code, bit, &known) {
+                Some((data, _strict)) => {
+                    result_counters.1 += 1;
+                    result_counters.2 += run_pattern(
+                        &data,
+                        target,
+                        &mut confirmed,
+                        &mut candidates,
+                        config.trials_per_pattern,
+                    );
+                }
+                None => {
+                    result_counters.0 += 1;
+                }
+            }
+        }
+    }
+
+    BeepResult {
+        discovered: confirmed,
+        skipped_bits: result_counters.0,
+        patterns_tested: result_counters.1,
+        trials_run: result_counters.2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::SimWordTarget;
+    use beer_ecc::hamming;
+
+    #[test]
+    fn finds_deterministic_weak_cells_exactly() {
+        let code = hamming::full_length(5); // (31, 26)
+        let weak = vec![2usize, 11, 30];
+        let mut target = SimWordTarget::new(code.clone(), weak.clone(), 1.0, 7);
+        let result = profile_word(&code, &mut target, &BeepConfig::default());
+        assert_eq!(result.discovered_sorted(), weak);
+        assert!(result.patterns_tested > 0);
+        assert!(result.trials_run > 0);
+    }
+
+    #[test]
+    fn finds_parity_weak_cells() {
+        let code = hamming::full_length(4); // (15, 11)
+        let weak = vec![11usize, 13]; // both in the parity section
+        let mut target = SimWordTarget::new(code.clone(), weak.clone(), 1.0, 8);
+        let result = profile_word(&code, &mut target, &BeepConfig::default());
+        assert_eq!(result.discovered_sorted(), weak);
+    }
+
+    #[test]
+    fn clean_word_discovers_nothing() {
+        let code = hamming::full_length(4);
+        let mut target = SimWordTarget::new(code.clone(), vec![], 1.0, 9);
+        let result = profile_word(&code, &mut target, &BeepConfig::default());
+        assert!(result.discovered.is_empty());
+        // With no errors ever discovered, every targeted bit is skipped
+        // (no miscorrection is reachable from an empty known set).
+        assert_eq!(result.skipped_bits, code.n() * 1);
+    }
+
+    #[test]
+    fn no_false_positives_on_probabilistic_cells() {
+        let code = hamming::full_length(5);
+        let weak = vec![4usize, 18, 25, 29];
+        let mut target = SimWordTarget::new(code.clone(), weak.clone(), 0.75, 10);
+        let config = BeepConfig {
+            passes: 2,
+            ..BeepConfig::default()
+        };
+        let result = profile_word(&code, &mut target, &config);
+        for &d in &result.discovered {
+            assert!(weak.contains(&d), "false positive at {d}");
+        }
+        // With P=0.75 and two passes, expect to find most of them.
+        assert!(
+            result.discovered.len() >= 3,
+            "found only {:?}",
+            result.discovered
+        );
+    }
+
+    #[test]
+    fn second_pass_improves_or_matches_first() {
+        let code = hamming::full_length(4);
+        let weak = vec![1usize, 6, 12];
+        let one_pass = {
+            let mut t = SimWordTarget::new(code.clone(), weak.clone(), 0.5, 11);
+            profile_word(&code, &mut t, &BeepConfig { passes: 1, ..BeepConfig::default() })
+        };
+        let two_pass = {
+            let mut t = SimWordTarget::new(code.clone(), weak.clone(), 0.5, 11);
+            profile_word(&code, &mut t, &BeepConfig { passes: 2, ..BeepConfig::default() })
+        };
+        assert!(two_pass.discovered.len() >= one_pass.discovered.len());
+    }
+}

@@ -1,0 +1,149 @@
+//! The device-under-test abstraction: one ECC word that BEEP probes.
+
+use beer_ecc::LinearCode;
+use beer_gf2::BitVec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One ECC word that can be written, stressed, and read back through its
+/// (known) on-die ECC. The true-cell convention applies: a stored 1 is
+/// CHARGED, and retention errors flip 1 → 0.
+pub trait WordTarget {
+    /// Dataword length.
+    fn k(&self) -> usize;
+
+    /// Writes `data`, runs one retention trial (refresh pause), and reads
+    /// the post-correction dataword back.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `data.len() != k()`.
+    fn run_trial(&mut self, data: &BitVec) -> BitVec;
+}
+
+/// A simulated [`WordTarget`]: a codeword with a planted set of weak cells,
+/// each failing independently with a configurable probability per trial —
+/// the evaluation model of Figures 8 and 9.
+///
+/// # Examples
+///
+/// ```
+/// use beer_beep::{SimWordTarget, WordTarget};
+/// use beer_ecc::hamming;
+/// use beer_gf2::BitVec;
+///
+/// let code = hamming::eq1_code();
+/// // Weak cell at codeword position 0, always failing.
+/// let mut t = SimWordTarget::new(code, vec![0], 1.0, 1);
+/// let data = BitVec::from_bits(&[true, false, false, false]);
+/// // Bit 0 fails but the SEC code corrects the single error.
+/// assert_eq!(t.run_trial(&data), data);
+/// ```
+pub struct SimWordTarget {
+    code: LinearCode,
+    weak_cells: Vec<usize>,
+    fail_probability: f64,
+    rng: SmallRng,
+    trials: u64,
+}
+
+impl SimWordTarget {
+    /// Creates a target with the given weak codeword positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a weak cell is out of range or the probability is outside
+    /// `[0, 1]`.
+    pub fn new(code: LinearCode, weak_cells: Vec<usize>, fail_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fail_probability),
+            "probability out of range"
+        );
+        for &c in &weak_cells {
+            assert!(c < code.n(), "weak cell {c} out of codeword range");
+        }
+        SimWordTarget {
+            code,
+            weak_cells,
+            fail_probability,
+            rng: SmallRng::seed_from_u64(seed),
+            trials: 0,
+        }
+    }
+
+    /// The planted weak cells (ground truth for evaluation).
+    pub fn weak_cells(&self) -> &[usize] {
+        &self.weak_cells
+    }
+
+    /// Trials executed so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+}
+
+impl WordTarget for SimWordTarget {
+    fn k(&self) -> usize {
+        self.code.k()
+    }
+
+    fn run_trial(&mut self, data: &BitVec) -> BitVec {
+        assert_eq!(data.len(), self.code.k(), "dataword length mismatch");
+        self.trials += 1;
+        let mut cw = self.code.encode(data);
+        for &w in &self.weak_cells {
+            // Unidirectional: only CHARGED cells can decay.
+            if cw.get(w) && self.rng.random::<f64>() < self.fail_probability {
+                cw.set(w, false);
+            }
+        }
+        self.code.decode(&cw).data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beer_ecc::hamming;
+
+    #[test]
+    fn deterministic_weak_cells_always_fire_when_charged() {
+        let code = hamming::full_length(4);
+        let mut t = SimWordTarget::new(code.clone(), vec![0, 1], 1.0, 3);
+        let data = BitVec::ones(code.k());
+        // Two guaranteed failures: the decoder cannot fully fix the word.
+        let read = t.run_trial(&data);
+        assert_ne!(read, data);
+        assert_eq!(t.trials(), 1);
+    }
+
+    #[test]
+    fn discharged_weak_cells_never_fire() {
+        let code = hamming::full_length(4);
+        let k = code.k();
+        let mut t = SimWordTarget::new(code, vec![0, 1], 1.0, 4);
+        let mut data = BitVec::ones(k);
+        data.set(0, false);
+        data.set(1, false);
+        // Weak data cells 0 and 1 are DISCHARGED: whether the word decodes
+        // cleanly depends only on the parity cells, which are not weak.
+        assert_eq!(t.run_trial(&data), data);
+    }
+
+    #[test]
+    fn zero_probability_is_error_free() {
+        let code = hamming::full_length(4);
+        let k = code.k();
+        let mut t = SimWordTarget::new(code, vec![2, 3, 4], 0.0, 5);
+        let data = BitVec::ones(k);
+        for _ in 0..10 {
+            assert_eq!(t.run_trial(&data), data);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of codeword range")]
+    fn rejects_out_of_range_weak_cell() {
+        SimWordTarget::new(hamming::eq1_code(), vec![7], 1.0, 6);
+    }
+}

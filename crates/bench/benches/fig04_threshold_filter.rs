@@ -1,0 +1,114 @@
+//! Figure 4: distribution of per-bit miscorrection probability mass
+//! (aggregated over all 1-CHARGED patterns) across the refresh-window
+//! sweep, for a representative manufacturer-B chip — demonstrating that a
+//! simple threshold separates real miscorrections from noise.
+//!
+//! Expected shape (paper): per-bit masses are bimodal — identically zero
+//! or clearly nonzero with tight distributions across windows — so a 1e-3
+//! threshold separates them with margin.
+
+use beer_bench::{banner, CsvArtifact, Scale};
+use beer_core::collect::{collect_profile, ChipKnowledge, CollectionPlan};
+use beer_core::pattern::PatternSet;
+use beer_dram::{CellType, ChipConfig, DramInterface, Geometry, RetentionModel, SimChip, TransientNoise};
+use beer_einsim::stats::Summary;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "fig4",
+        "per-bit miscorrection probability mass across the tREFW sweep",
+        "bimodal: zero vs clearly-nonzero, separable by a 1e-3 threshold",
+    );
+    let k_bytes = scale.pick(4, 16);
+    let geometry = scale.pick(Geometry::new(1, 128, 256), Geometry::new(1, 512, 1024));
+    let mut chip = SimChip::new(
+        ChipConfig::lpddr4_like(beer_ecc::design::Manufacturer::B, 0, 0xF4)
+            .with_geometry(geometry)
+            .with_word_bytes(k_bytes)
+            .with_noise(TransientNoise {
+                flip_probability: 1e-7,
+            }),
+    );
+    let k = chip.k();
+    let knowledge = ChipKnowledge::uniform(
+        chip.config().word_layout,
+        CellType::True,
+        chip.geometry().total_rows(),
+    );
+    let patterns = PatternSet::One.patterns(k);
+
+    // One collection per refresh window: each contributes one sample of
+    // the per-bit probability-mass vector (the distributions of Fig. 4).
+    let model = RetentionModel::paper_calibrated(0);
+    let ber_targets = [1e-3, 3e-3, 1e-2, 0.03, 0.1, 0.2, 0.3, 0.4, 0.499];
+    let mut per_bit_samples: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for &ber in &ber_targets {
+        let plan = CollectionPlan {
+            trefw_schedule: vec![model.window_for_ber(ber, 80.0)],
+            celsius: 80.0,
+            trials_per_step: scale.pick(4, 8),
+        };
+        let profile = collect_profile(&mut chip, &knowledge, &patterns, &plan);
+        let mass = profile.per_bit_probability_mass();
+        for (bit, &m) in mass.iter().enumerate() {
+            per_bit_samples[bit].push(m);
+        }
+    }
+
+    let threshold = 1e-3;
+    let mut csv = CsvArtifact::new(
+        "fig04_threshold_filter",
+        &["bit", "min", "q1", "median", "q3", "max", "above_threshold"],
+    );
+    println!("\n{:>4} {:>9} {:>9} {:>9} {:>9} {:>9}  class", "bit", "min", "q1", "median", "q3", "max");
+    let mut nonzero_min_median = f64::INFINITY;
+    let mut zero_max: f64 = 0.0;
+    for (bit, samples) in per_bit_samples.iter().enumerate() {
+        let s = Summary::of(samples);
+        let above = s.median >= threshold;
+        println!(
+            "{bit:>4} {:>9.5} {:>9.5} {:>9.5} {:>9.5} {:>9.5}  {}",
+            s.min,
+            s.q1,
+            s.median,
+            s.q3,
+            s.max,
+            if above { "MISCORRECTION" } else { "-" }
+        );
+        csv.row_display(&[
+            bit.to_string(),
+            format!("{:.6}", s.min),
+            format!("{:.6}", s.q1),
+            format!("{:.6}", s.median),
+            format!("{:.6}", s.q3),
+            format!("{:.6}", s.max),
+            above.to_string(),
+        ]);
+        if above {
+            nonzero_min_median = nonzero_min_median.min(s.median);
+        } else {
+            zero_max = zero_max.max(s.max);
+        }
+    }
+    csv.write();
+
+    // Separation criterion: the *median* mass of every miscorrection-class
+    // bit must clear both the threshold and everything the zero class ever
+    // shows. (The per-window minimum of a real bit can be zero at the
+    // lowest-BER window, where quick-scale sample counts are sparse — the
+    // paper's million-word samples never get there; see EXPERIMENTS.md.)
+    println!("\nthreshold: {threshold:e}");
+    println!("smallest median among miscorrection-class bits: {nonzero_min_median:.5}");
+    println!("largest mass ever seen among zero-class bits:   {zero_max:.5}");
+    let separated = nonzero_min_median > zero_max && nonzero_min_median > threshold;
+    println!(
+        "\nshape {}: the two classes are {}",
+        if separated { "HOLDS" } else { "UNCLEAR" },
+        if separated {
+            "distinctly separated — the threshold filter is robust"
+        } else {
+            "overlapping"
+        }
+    );
+}

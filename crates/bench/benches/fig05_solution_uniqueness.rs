@@ -1,0 +1,143 @@
+//! Figure 5: number of ECC functions matching miscorrection profiles
+//! generated with different test-pattern sets, across dataword lengths.
+//!
+//! Expected shape (paper): {1,2}-CHARGED always identifies the function
+//! uniquely; 1-CHARGED is unique for full-length codes (k = 4, 11, 26, 57,
+//! 120, …) but can be ambiguous for shortened codes; 2- and 3-CHARGED
+//! alone can also be ambiguous.
+
+use beer_bench::{banner, CsvArtifact, Scale};
+use beer_core::analytic::analytic_profile;
+use beer_core::pattern::PatternSet;
+use beer_core::solve::{solve_profile, BeerSolverOptions};
+use beer_ecc::hamming;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "fig5",
+        "number of ECC functions matching the profile, by pattern set",
+        "{1,2}-CHARGED unique everywhere; 1-CHARGED unique for full-length codes",
+    );
+    let ks: Vec<usize> = scale.pick(
+        vec![4, 6, 8, 11, 14, 16, 20, 26],
+        vec![4, 6, 8, 11, 14, 16, 20, 26, 32, 40, 48, 57],
+    );
+    let codes_per_k = scale.pick(8, 25);
+    let cap = 40;
+    let sets = [
+        PatternSet::One,
+        PatternSet::Two,
+        PatternSet::Three,
+        PatternSet::OneTwo,
+    ];
+    println!(
+        "sweep: k in {ks:?}, {codes_per_k} random codes per k, solution cap {cap}\n"
+    );
+
+    let mut csv = CsvArtifact::new(
+        "fig05_solution_uniqueness",
+        &["k", "pattern_set", "min", "median", "max", "capped"],
+    );
+    println!(
+        "{:>4} {:>6} | {:>16} {:>16} {:>16} {:>16}",
+        "k", "full?", "1-CHARGED", "2-CHARGED", "3-CHARGED", "{1,2}-CHARGED"
+    );
+
+    let mut one_two_always_unique = true;
+    let mut one_charged_unique_on_full = true;
+    let mut one_charged_ambiguous_somewhere = false;
+    for &k in &ks {
+        let full = hamming::parity_bits_for(k) == hamming::parity_bits_for(k + 1) - 1
+            || k == hamming::full_length_k(hamming::parity_bits_for(k));
+        let is_full = k == hamming::full_length_k(hamming::parity_bits_for(k));
+        let _ = full;
+        let mut cells: Vec<String> = Vec::new();
+        for set in sets {
+            // 3-CHARGED encodings grow cubically; skip at larger k like the
+            // paper's simulations scale down longer codes.
+            if set == PatternSet::Three && k > scale.pick(14, 20) {
+                cells.push(format!("{:>16}", "(skipped)"));
+                csv.row_display(&[
+                    k.to_string(),
+                    set.to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    "skipped".to_string(),
+                ]);
+                continue;
+            }
+            let mut counts: Vec<usize> = Vec::new();
+            let mut capped = false;
+            for ci in 0..codes_per_k {
+                let mut rng = StdRng::seed_from_u64(0xF5_0000 + (k * 1000 + ci) as u64);
+                let code = hamming::random_sec(k, &mut rng);
+                let profile = analytic_profile(&code, &set.patterns(k));
+                let report = solve_profile(
+                    k,
+                    code.parity_bits(),
+                    &profile,
+                    &BeerSolverOptions {
+                        max_solutions: cap,
+                        ..BeerSolverOptions::default()
+                    },
+                );
+                capped |= report.truncated;
+                counts.push(report.solutions.len());
+            }
+            counts.sort_unstable();
+            let (min, med, max) = (
+                counts[0],
+                counts[counts.len() / 2],
+                counts[counts.len() - 1],
+            );
+            cells.push(format!(
+                "{:>16}",
+                format!("{min}/{med}/{max}{}", if capped { "+" } else { "" })
+            ));
+            csv.row_display(&[
+                k.to_string(),
+                set.to_string(),
+                min.to_string(),
+                med.to_string(),
+                max.to_string(),
+                capped.to_string(),
+            ]);
+            match set {
+                PatternSet::OneTwo if max > 1 => one_two_always_unique = false,
+                PatternSet::One => {
+                    if is_full && max > 1 {
+                        one_charged_unique_on_full = false;
+                    }
+                    if max > 1 {
+                        one_charged_ambiguous_somewhere = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        println!(
+            "{k:>4} {:>6} | {}",
+            if is_full { "yes" } else { "no" },
+            cells.join(" ")
+        );
+    }
+    csv.write();
+
+    println!("\n(cells: min/median/max solution count; '+' = hit the cap)");
+    println!(
+        "shape checks:\n  {{1,2}}-CHARGED always unique: {}\n  1-CHARGED unique on full-length codes: {}\n  1-CHARGED ambiguous for some shortened codes: {}",
+        one_two_always_unique, one_charged_unique_on_full, one_charged_ambiguous_somewhere
+    );
+    println!(
+        "\nshape {}",
+        if one_two_always_unique && one_charged_unique_on_full {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+}

@@ -1,0 +1,84 @@
+//! Figure 8: BEEP success rate for 1 vs. 2 passes across codeword lengths
+//! and injected-error counts (deterministic weak cells, P[error] = 1).
+//!
+//! Expected shape (paper): success rates are high everywhere; longer
+//! codewords do better (≈100 % for 127/255-bit codes even with one pass);
+//! a second pass helps the short codes.
+
+use beer_beep::{evaluate, EvalConfig};
+use beer_bench::{banner, CsvArtifact, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "fig8",
+        "BEEP success rate: 1 vs 2 passes",
+        "success high everywhere; longer codes ~100%; 2 passes >= 1 pass",
+    );
+    let lengths: Vec<usize> = scale.pick(vec![31, 63], vec![31, 63, 127, 255]);
+    let words = scale.pick(16, 100);
+    println!("codeword lengths {lengths:?}, {words} words per point\n");
+
+    let mut csv = CsvArtifact::new(
+        "fig08_beep_passes",
+        &["codeword_len", "errors", "passes", "success_rate", "mean_recall", "false_positive_words"],
+    );
+    println!(
+        "{:>6} {:>7} | {:>10} {:>10} | {:>8}",
+        "n", "errors", "1 pass", "2 passes", "recall(1p)"
+    );
+
+    let mut two_ge_one = true;
+    let mut long_codes_high = true;
+    for &n in &lengths {
+        // The paper plots 2–5 errors for short codes and 10–25 for long.
+        let error_counts: Vec<usize> = if n <= 63 {
+            vec![2, 3, 4, 5]
+        } else {
+            vec![10, 15, 20, 25]
+        };
+        for &errs in &error_counts {
+            let mut rates = Vec::new();
+            let mut recall_1p = 0.0;
+            for passes in [1usize, 2] {
+                let outcome = evaluate(&EvalConfig::figure8(n, errs, passes, words));
+                rates.push(outcome.success_rate());
+                if passes == 1 {
+                    recall_1p = outcome.mean_recall;
+                }
+                csv.row_display(&[
+                    n.to_string(),
+                    errs.to_string(),
+                    passes.to_string(),
+                    format!("{:.3}", outcome.success_rate()),
+                    format!("{:.3}", outcome.mean_recall),
+                    outcome.false_positive_words.to_string(),
+                ]);
+            }
+            println!(
+                "{n:>6} {errs:>7} | {:>9.1}% {:>9.1}% | {:>7.1}%",
+                rates[0] * 100.0,
+                rates[1] * 100.0,
+                recall_1p * 100.0
+            );
+            if rates[1] + 0.15 < rates[0] {
+                two_ge_one = false; // allow sampling noise
+            }
+            if n >= 127 && rates[0] < 0.9 {
+                long_codes_high = false;
+            }
+        }
+    }
+    csv.write();
+
+    println!(
+        "\nshape {}: two passes {} one pass{}",
+        if two_ge_one && long_codes_high { "HOLDS" } else { "UNCLEAR" },
+        if two_ge_one { ">=" } else { "<" },
+        if long_codes_high {
+            "; long codes near-perfect"
+        } else {
+            "; long codes below expectation"
+        }
+    );
+}

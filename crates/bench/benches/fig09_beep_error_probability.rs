@@ -1,0 +1,72 @@
+//! Figure 9: BEEP single-pass success rate versus per-bit error
+//! probability, across codeword lengths and injected-error counts.
+//!
+//! Expected shape (paper): success falls as P[error] drops (cells that
+//! rarely fire are hard to catch); longer codewords degrade more
+//! gracefully; higher error counts at low probability are hardest.
+
+use beer_beep::{evaluate, EvalConfig};
+use beer_bench::{banner, CsvArtifact, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "fig9",
+        "BEEP success rate vs per-bit error probability (1 pass)",
+        "success increases with P[error] and codeword length",
+    );
+    let lengths: Vec<usize> = scale.pick(vec![31, 63], vec![31, 63, 127]);
+    let words = scale.pick(16, 100);
+    let probabilities = [0.25, 0.5, 0.75, 1.0];
+    println!("codeword lengths {lengths:?}, {words} words per point\n");
+
+    let mut csv = CsvArtifact::new(
+        "fig09_beep_error_probability",
+        &["codeword_len", "errors", "p_error", "success_rate", "mean_recall"],
+    );
+    println!(
+        "{:>6} {:>7} | {:>9} {:>9} {:>9} {:>9}",
+        "n", "errors", "P=0.25", "P=0.50", "P=0.75", "P=1.00"
+    );
+
+    let mut monotone_ok = true;
+    let mut per_length_rate_at_1: Vec<f64> = Vec::new();
+    for &n in &lengths {
+        let error_counts: Vec<usize> = if n <= 63 { vec![2, 5] } else { vec![10, 25] };
+        for &errs in &error_counts {
+            let mut rates = Vec::new();
+            for &p in &probabilities {
+                let outcome = evaluate(&EvalConfig::figure9(n, errs, p, words));
+                rates.push(outcome.success_rate());
+                csv.row_display(&[
+                    n.to_string(),
+                    errs.to_string(),
+                    p.to_string(),
+                    format!("{:.3}", outcome.success_rate()),
+                    format!("{:.3}", outcome.mean_recall),
+                ]);
+            }
+            println!(
+                "{n:>6} {errs:>7} | {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+                rates[0] * 100.0,
+                rates[1] * 100.0,
+                rates[2] * 100.0,
+                rates[3] * 100.0
+            );
+            // Allow noise, but the ends of the curve must order correctly.
+            if rates[3] + 0.10 < rates[0] {
+                monotone_ok = false;
+            }
+            if errs == error_counts[0] {
+                per_length_rate_at_1.push(rates[3]);
+            }
+        }
+    }
+    csv.write();
+
+    println!(
+        "\nshape {}: success {} with P[error]",
+        if monotone_ok { "HOLDS" } else { "UNCLEAR" },
+        if monotone_ok { "increases" } else { "does not increase" }
+    );
+}

@@ -1,0 +1,93 @@
+//! §5.1.1 / §5.1.2: reverse engineering the cell layout and the dataword
+//! layout of chips from all three manufacturers.
+//!
+//! Expected results (paper): manufacturers A and B use exclusively
+//! true-cells; C uses 50/50 true/anti-cells in alternating row blocks; all
+//! three map two byte-interleaved 16-byte ECC words per 32-byte region.
+
+use beer_bench::{banner, CsvArtifact, Scale};
+use beer_core::layout_probe::{probe_cell_layout, probe_word_layout};
+use beer_dram::{CellLayout, CellType, ChipConfig, DramInterface, Geometry, SimChip, WordLayout};
+use beer_ecc::design::Manufacturer;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "sec5.1",
+        "cell-layout and dataword-layout reverse engineering",
+        "A/B all-true; C alternating blocks; byte-interleaved word pairs",
+    );
+    let k_bytes = scale.pick(4, 16);
+    let geometry = scale.pick(Geometry::new(1, 192, 256), Geometry::new(2, 1024, 1024));
+    let probe_trefw = 4.0 * 3600.0;
+    let block = scale.pick(32usize, 800);
+
+    let mut csv = CsvArtifact::new(
+        "sec51_layout_reverse_engineering",
+        &["manufacturer", "anti_rows_detected", "anti_rows_true", "word_layout", "violations", "observations"],
+    );
+
+    let mut all_good = true;
+    for m in Manufacturer::ALL {
+        let cell_layout = match m {
+            Manufacturer::A | Manufacturer::B => CellLayout::AllTrue,
+            Manufacturer::C => CellLayout::AlternatingBlocks {
+                block_rows: vec![block],
+            },
+        };
+        let config = ChipConfig {
+            cell_layout: cell_layout.clone(),
+            ..ChipConfig::lpddr4_like(m, 0, 0x51 + m as u64)
+                .with_geometry(geometry)
+                .with_word_bytes(k_bytes)
+        };
+        let mut chip = SimChip::new(config);
+        let rows = chip.geometry().total_rows();
+
+        // §5.1.1: cell types per row.
+        let detected = probe_cell_layout(&mut chip, probe_trefw);
+        let detected_anti = detected.iter().filter(|&&t| t == CellType::Anti).count();
+        let true_anti = (0..rows)
+            .filter(|&r| cell_layout.cell_type_of_row(r) == CellType::Anti)
+            .count();
+        let misclassified = (0..rows)
+            .filter(|&r| detected[r] != cell_layout.cell_type_of_row(r))
+            .count();
+
+        // §5.1.2: dataword layout.
+        let candidates = [
+            WordLayout::InterleavedPairs { word_bytes: k_bytes },
+            WordLayout::Contiguous { word_bytes: k_bytes },
+        ];
+        let probe = probe_word_layout(&mut chip, &detected, &candidates, probe_trefw);
+        let decided = probe.decided();
+
+        println!("manufacturer {m}:");
+        println!(
+            "  cell layout: {detected_anti}/{rows} anti rows detected (truth {true_anti}; {misclassified} rows misclassified)"
+        );
+        println!(
+            "  word layout: {:?} ({} observations, violations {:?})",
+            decided, probe.observations, probe.violations
+        );
+        let ok = misclassified == 0
+            && decided == Some(WordLayout::InterleavedPairs { word_bytes: k_bytes });
+        all_good &= ok;
+        println!("  => {}", if ok { "MATCH" } else { "MISMATCH" });
+        csv.row_display(&[
+            m.to_string(),
+            detected_anti.to_string(),
+            true_anti.to_string(),
+            format!("{decided:?}").replace(',', ";"),
+            format!("{:?}", probe.violations).replace(',', ";"),
+            probe.observations.to_string(),
+        ]);
+    }
+    csv.write();
+
+    println!(
+        "\nshape {}: layouts recovered {}",
+        if all_good { "HOLDS" } else { "VIOLATED" },
+        if all_good { "exactly" } else { "with errors" }
+    );
+}

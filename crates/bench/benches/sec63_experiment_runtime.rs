@@ -1,0 +1,68 @@
+//! §6.3: analytical experiment-runtime model.
+//!
+//! Expected numbers (paper): the 2–22-minute sweep costs a combined 4.2
+//! hours per chip, dominated entirely by waiting for retention errors;
+//! reading a 2 GiB LPDDR4-3200 chip takes ~168 ms; parallelizing across
+//! same-model chips divides the runtime.
+
+use beer_bench::{banner, fmt_duration, CsvArtifact};
+use beer_core::runtime::{estimate_runtime, paper_sweep_schedule, BusModel};
+
+fn main() {
+    banner(
+        "sec6.3",
+        "analytical experiment runtime",
+        "4.2 h retention wait for the 2-22 min sweep; ~168 ms per chip read",
+    );
+    let bus = BusModel::lpddr4_3200_2gib();
+    println!(
+        "chip I/O model: 2 GiB @ LPDDR4-3200, full sweep = {}\n",
+        fmt_duration(bus.full_sweep())
+    );
+
+    let mut csv = CsvArtifact::new(
+        "sec63_experiment_runtime",
+        &["schedule", "tests", "retention_wait_s", "chip_io_s", "total_s", "parallel_21_chips_s"],
+    );
+
+    let schedules: Vec<(&str, Vec<f64>)> = vec![
+        ("paper 2-22 min sweep", paper_sweep_schedule()),
+        ("single 30 min probe x2 (5.1.1)", vec![1800.0, 1800.0]),
+        (
+            "10 s - 10 min layout sweep (5.1.2)",
+            (0..8).map(|i| 10.0 * 1.8f64.powi(i)).collect(),
+        ),
+    ];
+    println!(
+        "{:<36} {:>6} {:>14} {:>10} {:>12} {:>14}",
+        "schedule", "tests", "retention", "chip I/O", "total", "over 21 chips"
+    );
+    for (name, schedule) in &schedules {
+        let rt = estimate_runtime(schedule, &bus);
+        println!(
+            "{name:<36} {:>6} {:>14} {:>10} {:>12} {:>14}",
+            rt.tests,
+            fmt_duration(rt.retention_wait),
+            fmt_duration(rt.chip_io),
+            fmt_duration(rt.total()),
+            fmt_duration(rt.parallelized_over(21)),
+        );
+        csv.row_display(&[
+            name.to_string(),
+            rt.tests.to_string(),
+            format!("{:.1}", rt.retention_wait.as_secs_f64()),
+            format!("{:.3}", rt.chip_io.as_secs_f64()),
+            format!("{:.1}", rt.total().as_secs_f64()),
+            format!("{:.1}", rt.parallelized_over(21).as_secs_f64()),
+        ]);
+    }
+    csv.write();
+
+    let paper = estimate_runtime(&paper_sweep_schedule(), &bus);
+    let hours = paper.retention_wait.as_secs_f64() / 3600.0;
+    println!("\npaper sweep retention wait: {hours:.2} h (paper reports 4.2 h)");
+    let io_ms = bus.full_sweep().as_secs_f64() * 1000.0;
+    println!("full chip read: {io_ms:.0} ms (paper reports 168 ms)");
+    let holds = (hours - 4.2).abs() < 0.01 && (io_ms - 168.0).abs() < 1.0;
+    println!("\nshape {}", if holds { "HOLDS" } else { "VIOLATED" });
+}

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the substrates: ECC encode/decode,
+//! GF(2) algebra, the CDCL solver on BEER instances, and the word-level
+//! Monte-Carlo simulator. These track the constants behind the
+//! figure-level harnesses.
+
+use beer_core::analytic::analytic_profile;
+use beer_core::pattern::PatternSet;
+use beer_core::solve::{solve_profile, BeerSolverOptions};
+use beer_ecc::hamming;
+use beer_einsim::{simulate, ErrorModel, SimConfig};
+use beer_gf2::{BitMatrix, BitVec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::{SmallRng, StdRng};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ecc(c: &mut Criterion) {
+    let code = hamming::shortened(128);
+    let data = BitVec::ones(128);
+    let codeword = code.encode(&data);
+    let mut corrupted = codeword.clone();
+    corrupted.flip(7);
+    corrupted.flip(99);
+
+    let mut g = c.benchmark_group("ecc");
+    g.bench_function("encode_k128", |b| {
+        b.iter(|| black_box(code.encode(black_box(&data))))
+    });
+    g.bench_function("decode_k128_double_error", |b| {
+        b.iter(|| black_box(code.decode(black_box(&corrupted))))
+    });
+    g.bench_function("syndrome_k128", |b| {
+        b.iter(|| black_box(code.syndrome(black_box(&corrupted))))
+    });
+    g.finish();
+}
+
+fn bench_gf2(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let m = BitMatrix::random(64, 64, &mut rng);
+    let x = BitVec::ones(64);
+
+    let mut g = c.benchmark_group("gf2");
+    g.bench_function("rref_64x64", |b| b.iter(|| black_box(m.rref())));
+    g.bench_function("mul_vec_64", |b| {
+        b.iter(|| black_box(m.mul_vec(black_box(&x))))
+    });
+    g.finish();
+}
+
+fn bench_beer_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("beer_solve");
+    g.sample_size(10);
+    for k in [8usize, 16, 32] {
+        let code = hamming::random_sec(k, &mut StdRng::seed_from_u64(k as u64));
+        let profile = analytic_profile(&code, &PatternSet::One.patterns(k));
+        g.bench_function(format!("solve_1charged_k{k}"), |b| {
+            b.iter_batched(
+                || profile.clone(),
+                |p| {
+                    black_box(solve_profile(
+                        k,
+                        code.parity_bits(),
+                        &p,
+                        &BeerSolverOptions::default(),
+                    ))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_einsim(c: &mut Criterion) {
+    let code = hamming::shortened(128);
+    let data = BitVec::ones(128);
+    let mut g = c.benchmark_group("einsim");
+    g.bench_function("simulate_100k_words_ber1e-4", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let cfg = SimConfig {
+            words: 100_000,
+            model: ErrorModel::UniformRandom { ber: 1e-4 },
+        };
+        b.iter(|| black_box(simulate(&code, &data, &cfg, &mut rng)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_ecc, bench_gf2, bench_beer_solve, bench_einsim
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Table 1: every possible data-retention error pattern, its syndrome, and
+//! its outcome for the codeword of Equation 3 (`[D D C D | D C C]`) under
+//! the Equation 1 (7,4) Hamming code.
+//!
+//! Expected rows (paper): 8 patterns — one no-error, three correctable
+//! single errors, four uncorrectable multi-error patterns.
+
+use beer_bench::{banner, CsvArtifact};
+use beer_ecc::miscorrection::{enumerate_outcomes, Outcome};
+use beer_ecc::{hamming, LinearCode};
+
+fn syndrome_name(_code: &LinearCode, positions: &[usize]) -> String {
+    if positions.is_empty() {
+        return "0".to_string();
+    }
+    positions
+        .iter()
+        .map(|&p| format!("H*,{p}"))
+        .collect::<Vec<_>>()
+        .join(" + ")
+}
+
+fn main() {
+    banner(
+        "tab1",
+        "error patterns, syndromes, and outcomes for the Eq. 3 codeword",
+        "8 rows: 1 no-error, 3 correctable, 4 uncorrectable",
+    );
+    let code = hamming::eq1_code();
+    // Equation 3: dataword with only bit 2 CHARGED.
+    let rows = enumerate_outcomes(&code, &[2]);
+    let mut csv = CsvArtifact::new(
+        "tab01_syndrome_outcomes",
+        &["error_pattern", "syndrome", "outcome", "miscorrected_bit"],
+    );
+
+    println!(
+        "{:<24} {:<20} {:<14} {}",
+        "pre-correction errors", "syndrome", "outcome", "miscorrection"
+    );
+    let mut counts = (0usize, 0usize, 0usize);
+    for row in &rows {
+        let pattern = if row.error_positions.is_empty() {
+            "(none)".to_string()
+        } else {
+            format!("{:?}", row.error_positions)
+        };
+        let outcome = match row.outcome {
+            Outcome::NoError => {
+                counts.0 += 1;
+                "No error"
+            }
+            Outcome::Correct => {
+                counts.1 += 1;
+                "Correctable"
+            }
+            Outcome::Uncorrectable => {
+                counts.2 += 1;
+                "Uncorrectable"
+            }
+        };
+        let mis = row
+            .miscorrected_bit
+            .map(|b| format!("bit {b}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<24} {:<20} {:<14} {}",
+            pattern,
+            syndrome_name(&code, &row.error_positions),
+            outcome,
+            mis
+        );
+        csv.row(&[
+            pattern,
+            syndrome_name(&code, &row.error_positions),
+            outcome.to_string(),
+            mis,
+        ]);
+    }
+    csv.write();
+
+    println!(
+        "\ntotals: {} no-error, {} correctable, {} uncorrectable",
+        counts.0, counts.1, counts.2
+    );
+    assert_eq!(rows.len(), 8, "Table 1 must have exactly 8 rows");
+    assert_eq!(
+        (counts.0, counts.1, counts.2),
+        (1, 3, 4),
+        "outcome distribution deviates from Table 1"
+    );
+    println!("shape HOLDS: matches Table 1 exactly");
+}

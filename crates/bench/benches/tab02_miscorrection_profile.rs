@@ -1,0 +1,65 @@
+//! Table 2: the miscorrection profile of the Equation 1 (7,4) Hamming code
+//! for all four 1-CHARGED test patterns.
+//!
+//! Expected rows (paper): only pattern 0 (CHARGED bit 0) can produce
+//! miscorrections, at bits 1, 2, and 3; patterns 1–3 produce none.
+
+use beer_bench::{banner, CsvArtifact};
+use beer_core::analytic::analytic_profile;
+use beer_core::pattern::PatternSet;
+use beer_core::Observation;
+use beer_ecc::hamming;
+
+fn main() {
+    banner(
+        "tab2",
+        "miscorrection profile of the Eq. 1 (7,4) code",
+        "pattern 0 -> miscorrections at bits 1,2,3; patterns 1-3 -> none",
+    );
+    let code = hamming::eq1_code();
+    let patterns = PatternSet::One.patterns(4);
+    let profile = analytic_profile(&code, &patterns);
+
+    let mut csv = CsvArtifact::new(
+        "tab02_miscorrection_profile",
+        &["pattern_charged_bit", "bit0", "bit1", "bit2", "bit3"],
+    );
+    println!("(rows in the paper's order: pattern ID = CHARGED bit index, descending)\n");
+    println!("{:<26} possible miscorrections", "1-CHARGED pattern");
+    for (pattern, obs) in profile.entries.iter().rev() {
+        let cells: Vec<String> = obs
+            .iter()
+            .map(|o| {
+                match o {
+                    Observation::Miscorrection => "1",
+                    Observation::NoMiscorrection => "-",
+                    Observation::Unknown => "?",
+                }
+                .to_string()
+            })
+            .collect();
+        println!("{:<26} [{}]", pattern.to_string(), cells.join(" "));
+        let mut row = vec![pattern.bits()[0].to_string()];
+        row.extend(cells);
+        csv.row(&row);
+    }
+    csv.write();
+
+    // Assert the exact Table 2 content.
+    assert_eq!(
+        profile.entries[0].1,
+        vec![
+            Observation::Unknown,
+            Observation::Miscorrection,
+            Observation::Miscorrection,
+            Observation::Miscorrection
+        ]
+    );
+    for pi in 1..4 {
+        assert!(profile.entries[pi]
+            .1
+            .iter()
+            .all(|&o| o != Observation::Miscorrection));
+    }
+    println!("\nshape HOLDS: matches Table 2 exactly");
+}

@@ -1,0 +1,219 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Every bench target regenerates one table or figure of the BEER paper
+//! (see DESIGN.md §5 for the index): it prints the paper's rows/series to
+//! stdout and writes a CSV artifact into `bench_results/`.
+//!
+//! Set `BEER_BENCH_SCALE=paper` for paper-scale sample sizes (slow) or
+//! leave the default `quick` scale for minute-scale runs that preserve the
+//! shape of every result.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Sample-size scale of a harness run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Minute-scale runs preserving every qualitative shape.
+    Quick,
+    /// Paper-scale sample sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `BEER_BENCH_SCALE` (default `quick`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value.
+    pub fn from_env() -> Self {
+        match std::env::var("BEER_BENCH_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            Ok("quick") | Err(_) => Scale::Quick,
+            Ok(other) => panic!("unknown BEER_BENCH_SCALE {other:?} (quick|paper)"),
+        }
+    }
+
+    /// Picks between the quick and paper variants of a parameter.
+    pub fn pick<T>(self, quick: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Prints the standard harness banner for an experiment.
+pub fn banner(id: &str, title: &str, paper_expectation: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_expectation}");
+    println!("scale: {:?}", Scale::from_env());
+    println!("================================================================");
+}
+
+/// A CSV artifact accumulating rows; written under `bench_results/`.
+pub struct CsvArtifact {
+    name: String,
+    content: String,
+}
+
+impl CsvArtifact {
+    /// Starts an artifact with a header row.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        let mut content = String::new();
+        let _ = writeln!(content, "{}", header.join(","));
+        CsvArtifact {
+            name: name.to_string(),
+            content,
+        }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, fields: &[String]) {
+        let _ = writeln!(self.content, "{}", fields.join(","));
+    }
+
+    /// Convenience: appends a row of displayable fields.
+    pub fn row_display<T: std::fmt::Display>(&mut self, fields: &[T]) {
+        let strings: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
+        self.row(&strings);
+    }
+
+    /// Writes the artifact to `bench_results/<name>.csv` (relative to the
+    /// workspace root if invoked via cargo, else the current directory).
+    pub fn write(&self) -> PathBuf {
+        let dir = workspace_dir().join("bench_results");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.csv", self.name));
+        if let Err(e) = std::fs::write(&path, &self.content) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[artifact] {}", path.display());
+        }
+        path
+    }
+}
+
+fn workspace_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR points at crates/bench; the workspace root is two
+    // levels up. Fall back to the current directory outside cargo.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir)
+            .parent()
+            .and_then(|p| p.parent())
+            .map(|p| p.to_path_buf())
+            .unwrap_or_else(|| PathBuf::from(".")),
+        Err(_) => PathBuf::from("."),
+    }
+}
+
+/// Renders a count matrix as a compact ASCII heat map with log intensity
+/// (used for the Figure 3 profile plots).
+pub fn ascii_heatmap(matrix: &[Vec<u64>], max_rows: usize, max_cols: usize) -> String {
+    const SHADES: [char; 6] = [' ', '.', ':', '*', '%', '#'];
+    if matrix.is_empty() {
+        return String::new();
+    }
+    let rows = matrix.len();
+    let cols = matrix[0].len();
+    let row_bin = rows.div_ceil(max_rows).max(1);
+    let col_bin = cols.div_ceil(max_cols).max(1);
+    let mut bins: Vec<Vec<u64>> = Vec::new();
+    for r0 in (0..rows).step_by(row_bin) {
+        let mut row = Vec::new();
+        for c0 in (0..cols).step_by(col_bin) {
+            let mut sum = 0u64;
+            for r in r0..(r0 + row_bin).min(rows) {
+                for c in c0..(c0 + col_bin).min(cols) {
+                    sum += matrix[r][c];
+                }
+            }
+            row.push(sum);
+        }
+        bins.push(row);
+    }
+    let max = bins.iter().flatten().copied().max().unwrap_or(0).max(1);
+    let log_max = (max as f64).ln_1p();
+    let mut out = String::new();
+    for row in &bins {
+        for &v in row {
+            let idx = if v == 0 {
+                0
+            } else {
+                let t = (v as f64).ln_1p() / log_max;
+                1 + ((t * (SHADES.len() - 2) as f64).round() as usize)
+                    .min(SHADES.len() - 2)
+            };
+            out.push(SHADES[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a `Duration` compactly for tables.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}min", s / 60.0)
+    }
+}
+
+/// Formats a byte count compactly.
+pub fn fmt_bytes(b: usize) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{:.1}MiB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Paper.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn heatmap_shapes() {
+        let m = vec![vec![0, 1, 10, 100]; 4];
+        let art = ascii_heatmap(&m, 2, 2);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].chars().count(), 2);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(std::time::Duration::from_micros(50)), "50.0us");
+        assert_eq!(fmt_duration(std::time::Duration::from_millis(20)), "20.00ms");
+        assert_eq!(fmt_duration(std::time::Duration::from_secs(5)), "5.00s");
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(100), "100B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+    }
+
+    #[test]
+    fn csv_accumulates() {
+        let mut c = CsvArtifact::new("test", &["a", "b"]);
+        c.row_display(&[1, 2]);
+        assert!(c.content.contains("a,b"));
+        assert!(c.content.contains("1,2"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Exact miscorrection profiles from known ECC functions.
+//!
+//! Used in two places, mirroring the paper:
+//!
+//! * the §6.1 correctness evaluation — generate the exact profile of a
+//!   known code and check that BEER recovers that code from it, and
+//! * the §5.1.3 EINSim cross-check — the analytic profile of a recovered
+//!   function must reproduce the experimentally measured profile.
+
+use crate::pattern::ChargedSet;
+use crate::profile::{Observation, ProfileConstraints};
+use beer_ecc::{miscorrection, LinearCode};
+
+/// Computes the exact (noise-free, fully tested) profile of `code` for the
+/// given test patterns, using the closed-form observable-miscorrection
+/// predicate.
+///
+/// # Panics
+///
+/// Panics if a pattern's dataword length differs from `code.k()`.
+pub fn analytic_profile(code: &LinearCode, patterns: &[ChargedSet]) -> ProfileConstraints {
+    let k = code.k();
+    let entries = patterns
+        .iter()
+        .map(|pattern| {
+            assert_eq!(pattern.k(), k, "pattern length mismatch");
+            let obs: Vec<Observation> = (0..k)
+                .map(|j| {
+                    if pattern.is_charged(j) {
+                        Observation::Unknown
+                    } else if miscorrection::miscorrection_possible_at(code, pattern.bits(), j) {
+                        Observation::Miscorrection
+                    } else {
+                        Observation::NoMiscorrection
+                    }
+                })
+                .collect();
+            (pattern.clone(), obs)
+        })
+        .collect();
+    ProfileConstraints { k, entries }
+}
+
+/// Checks whether `code` reproduces every definite fact in `constraints` —
+/// the verification BEER applies to each SAT solution (§5.3) and the
+/// EINSim-style sanity check of §5.1.3.
+pub fn code_matches_constraints(code: &LinearCode, constraints: &ProfileConstraints) -> bool {
+    if code.k() != constraints.k {
+        return false;
+    }
+    for (pattern, obs) in &constraints.entries {
+        for (j, &o) in obs.iter().enumerate() {
+            if o == Observation::Unknown {
+                continue;
+            }
+            let possible = miscorrection::miscorrection_possible_at(code, pattern.bits(), j);
+            match o {
+                Observation::Miscorrection if !possible => return false,
+                Observation::NoMiscorrection if possible => return false,
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternSet;
+    use beer_ecc::{design, equivalence, hamming};
+
+    #[test]
+    fn eq1_analytic_profile_is_table2() {
+        // Table 2: only 1-CHARGED pattern 0 yields miscorrections (bits
+        // 1, 2, 3); patterns 1–3 yield none.
+        let code = hamming::eq1_code();
+        let prof = analytic_profile(&code, &PatternSet::One.patterns(4));
+        let row0 = &prof.entries[0].1;
+        assert_eq!(row0[0], Observation::Unknown);
+        assert_eq!(row0[1], Observation::Miscorrection);
+        assert_eq!(row0[2], Observation::Miscorrection);
+        assert_eq!(row0[3], Observation::Miscorrection);
+        for pi in 1..4 {
+            let row = &prof.entries[pi].1;
+            for (j, &o) in row.iter().enumerate() {
+                if j == pi {
+                    assert_eq!(o, Observation::Unknown);
+                } else {
+                    assert_eq!(o, Observation::NoMiscorrection, "pattern {pi} bit {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn code_matches_its_own_profile() {
+        let code = hamming::shortened(11);
+        let prof = analytic_profile(&code, &PatternSet::OneTwo.patterns(11));
+        assert!(code_matches_constraints(&code, &prof));
+    }
+
+    #[test]
+    fn equivalent_codes_match_each_others_profiles() {
+        let code = hamming::shortened(8);
+        let permuted = equivalence::permute_parity_rows(&code, &[2, 0, 3, 1]);
+        let prof = analytic_profile(&code, &PatternSet::OneTwo.patterns(8));
+        assert!(code_matches_constraints(&permuted, &prof));
+    }
+
+    #[test]
+    fn different_codes_usually_fail_the_check() {
+        let b = design::vendor_code(design::Manufacturer::B, 11, 0);
+        let c = design::vendor_code(design::Manufacturer::C, 11, 0);
+        let prof = analytic_profile(&b, &PatternSet::OneTwo.patterns(11));
+        assert!(!code_matches_constraints(&c, &prof));
+    }
+
+    #[test]
+    fn unknown_entries_do_not_constrain() {
+        let b = design::vendor_code(design::Manufacturer::B, 8, 0);
+        let c = design::vendor_code(design::Manufacturer::C, 8, 0);
+        let prof = analytic_profile(&b, &PatternSet::One.patterns(8));
+        // Weakening everything to Unknown makes any code acceptable.
+        let all_unknown = ProfileConstraints {
+            k: prof.k,
+            entries: prof
+                .entries
+                .iter()
+                .map(|(p, obs)| (p.clone(), vec![Observation::Unknown; obs.len()]))
+                .collect(),
+        };
+        assert!(code_matches_constraints(&c, &all_unknown));
+    }
+
+    #[test]
+    fn mismatched_k_fails() {
+        let code = hamming::eq1_code();
+        let prof = analytic_profile(&hamming::shortened(8), &PatternSet::One.patterns(8));
+        assert!(!code_matches_constraints(&code, &prof));
+    }
+}

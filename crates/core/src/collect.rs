@@ -1,0 +1,350 @@
+//! Experimental miscorrection-profile collection (paper §5.1).
+//!
+//! Drives any [`DramInterface`]: programs every ECC word with a test
+//! pattern (an equal share of words per pattern, rotated across trials so
+//! each pattern samples many different words), pauses refresh across a
+//! sweep of windows, and records every unambiguous miscorrection — a
+//! post-correction error at a DISCHARGED data bit.
+
+use crate::layout_probe;
+use crate::pattern::ChargedSet;
+use crate::profile::MiscorrectionProfile;
+use beer_dram::{CellType, DramInterface, WordLayout};
+use beer_gf2::BitVec;
+
+/// What the experimenter knows about a chip before profiling: the dataword
+/// layout and the per-row cell types — either assumed from prior knowledge
+/// or reverse engineered with [`layout_probe`].
+#[derive(Clone, Debug)]
+pub struct ChipKnowledge {
+    /// Dataword-to-address mapping.
+    pub word_layout: WordLayout,
+    /// Cell type of each global row.
+    pub row_cell_types: Vec<CellType>,
+}
+
+impl ChipKnowledge {
+    /// Knowledge for a chip with a uniform cell type.
+    pub fn uniform(word_layout: WordLayout, cell_type: CellType, total_rows: usize) -> Self {
+        ChipKnowledge {
+            word_layout,
+            row_cell_types: vec![cell_type; total_rows],
+        }
+    }
+
+    /// Acquires the knowledge experimentally: runs the §5.1.1 cell-layout
+    /// probe and the §5.1.2 word-layout probe.
+    ///
+    /// Returns `None` if the word-layout probe cannot decide between the
+    /// candidate layouts (see [`layout_probe::probe_word_layout`]).
+    pub fn probe(
+        chip: &mut dyn DramInterface,
+        word_bytes: usize,
+        probe_trefw: f64,
+    ) -> Option<Self> {
+        let row_cell_types = layout_probe::probe_cell_layout(chip, probe_trefw);
+        let candidates = [
+            WordLayout::InterleavedPairs { word_bytes },
+            WordLayout::Contiguous { word_bytes },
+        ];
+        let report =
+            layout_probe::probe_word_layout(chip, &row_cell_types, &candidates, probe_trefw);
+        report.decided().map(|word_layout| ChipKnowledge {
+            word_layout,
+            row_cell_types,
+        })
+    }
+
+    /// Number of datawords on the chip.
+    pub fn num_words(&self, chip: &dyn DramInterface) -> usize {
+        chip.geometry().total_bytes() / self.word_layout.word_bytes()
+    }
+
+    /// Cell type of every cell in a word (words do not straddle rows).
+    pub fn cell_type_of_word(&self, chip: &dyn DramInterface, word: usize) -> CellType {
+        let addr = self.word_layout.addr_of(word, 0);
+        self.row_cell_types[chip.geometry().row_of_addr(addr)]
+    }
+}
+
+/// The refresh-window sweep of a collection run.
+#[derive(Clone, Debug)]
+pub struct CollectionPlan {
+    /// Refresh windows to test, in seconds.
+    pub trefw_schedule: Vec<f64>,
+    /// Ambient temperature for the whole run.
+    pub celsius: f64,
+    /// Pattern-assignment rotations per refresh window (each trial
+    /// re-programs the chip with patterns shifted to different words).
+    pub trials_per_step: usize,
+}
+
+impl CollectionPlan {
+    /// The paper's §5.1.3 sweep: 2 to 22 minutes in 1-minute steps at
+    /// 80 °C.
+    pub fn paper_sweep() -> Self {
+        CollectionPlan {
+            trefw_schedule: crate::runtime::paper_sweep_schedule(),
+            celsius: 80.0,
+            trials_per_step: 1,
+        }
+    }
+
+    /// A sweep for simulation-scale experiments, targeting raw BERs from
+    /// 10⁻³ up to 0.5 at 80 °C under the calibrated retention model.
+    ///
+    /// The paper completes each pattern's profile with *sample count*
+    /// (millions of ECC words per pattern, §5.1.3). A simulated chip has
+    /// thousands of words, so this plan compensates with *error rate*: at
+    /// a raw BER near 0.5 every subset of a pattern's ≤ `n−k+1` charged
+    /// cells occurs with probability ≥ 2^−(n−k+1) per word, so a few
+    /// thousand samples per pattern observe every possible miscorrection
+    /// many times. The observable-miscorrection predicate itself is
+    /// BER-independent, so the recovered profile is identical.
+    pub fn quick() -> Self {
+        let model = beer_dram::RetentionModel::paper_calibrated(0);
+        let targets = [1e-3, 1e-2, 0.1, 0.25, 0.4, 0.499];
+        CollectionPlan {
+            trefw_schedule: targets
+                .iter()
+                .map(|&b| model.window_for_ber(b, 80.0))
+                .collect(),
+            celsius: 80.0,
+            trials_per_step: 8,
+        }
+    }
+}
+
+/// Runs the full §5.1 experiment: returns the accumulated miscorrection
+/// profile for `patterns`.
+///
+/// Only **true-cell** words are profiled, exactly as the paper does
+/// ("the data is taken from the true-cell regions", §5.1.3): in anti-cell
+/// words the encoder charges the *complement* of the parity pattern, so
+/// the 1-CHARGED reasoning about reachable syndromes does not transfer.
+/// Anti-cell words are programmed with a fully data-DISCHARGED background
+/// and ignored.
+///
+/// # Panics
+///
+/// Panics if `patterns` is empty, their dataword lengths differ, the
+/// dataword length disagrees with the known word layout, or the chip has
+/// no true-cell words at all.
+pub fn collect_profile(
+    chip: &mut dyn DramInterface,
+    knowledge: &ChipKnowledge,
+    patterns: &[ChargedSet],
+    plan: &CollectionPlan,
+) -> MiscorrectionProfile {
+    assert!(!patterns.is_empty(), "no test patterns given");
+    let k = patterns[0].k();
+    for p in patterns {
+        assert_eq!(p.k(), k, "patterns of differing dataword lengths");
+    }
+    assert_eq!(
+        knowledge.word_layout.word_bytes() * 8,
+        k,
+        "pattern length does not match the chip's dataword size"
+    );
+
+    let num_words = knowledge.num_words(chip);
+    let total_bytes = chip.geometry().total_bytes();
+    let mut profile = MiscorrectionProfile::new(k, patterns.to_vec());
+    chip.set_temperature(plan.celsius);
+
+    // Profile only true-cell words (see the function docs).
+    let true_words: Vec<usize> = (0..num_words)
+        .filter(|&w| knowledge.cell_type_of_word(chip, w) == CellType::True)
+        .collect();
+    assert!(
+        !true_words.is_empty(),
+        "chip has no true-cell words; BEER's test patterns need true-cell regions"
+    );
+    let anti_background = BitVec::ones(k); // data cells DISCHARGED in anti words
+
+    let mut rotation = 0usize;
+    for &trefw in &plan.trefw_schedule {
+        for _ in 0..plan.trials_per_step {
+            // Program every true-cell word with its assigned pattern.
+            let mut image = vec![0u8; total_bytes];
+            for word in 0..num_words {
+                if knowledge.cell_type_of_word(chip, word) == CellType::Anti {
+                    write_word_into_image(
+                        &mut image,
+                        &knowledge.word_layout,
+                        word,
+                        &anti_background,
+                    );
+                }
+            }
+            let mut assigned: Vec<usize> = Vec::with_capacity(true_words.len());
+            for (idx, &word) in true_words.iter().enumerate() {
+                let pi = (idx + rotation) % patterns.len();
+                assigned.push(pi);
+                let data = patterns[pi].to_dataword(CellType::True);
+                write_word_into_image(&mut image, &knowledge.word_layout, word, &data);
+            }
+            chip.write_bytes(0, &image);
+
+            chip.retention_test(trefw);
+
+            let read = chip.read_bytes(0, total_bytes);
+            for (idx, &word) in true_words.iter().enumerate() {
+                let pi = assigned[idx];
+                let written = patterns[pi].to_dataword(CellType::True);
+                let observed = read_word_from_image(&read, &knowledge.word_layout, word, k);
+                if observed != written {
+                    for j in 0..k {
+                        if observed.get(j) != written.get(j) && !patterns[pi].is_charged(j) {
+                            // An error at a DISCHARGED bit: unambiguously a
+                            // miscorrection (§4.2.2).
+                            profile.record_miscorrection(pi, j);
+                        }
+                    }
+                }
+                profile.record_trials(pi, 1);
+            }
+            rotation += 1;
+        }
+    }
+    profile
+}
+
+/// Serializes a dataword into the chip image at its mapped addresses.
+pub(crate) fn write_word_into_image(
+    image: &mut [u8],
+    layout: &WordLayout,
+    word: usize,
+    data: &BitVec,
+) {
+    let wb = layout.word_bytes();
+    for byte in 0..wb {
+        let mut v = 0u8;
+        for bit in 0..8 {
+            if data.get(byte * 8 + bit) {
+                v |= 1 << bit;
+            }
+        }
+        image[layout.addr_of(word, byte)] = v;
+    }
+}
+
+/// Extracts a dataword from a chip image.
+pub(crate) fn read_word_from_image(
+    image: &[u8],
+    layout: &WordLayout,
+    word: usize,
+    k: usize,
+) -> BitVec {
+    let wb = layout.word_bytes();
+    let mut data = BitVec::zeros(k);
+    for byte in 0..wb {
+        let v = image[layout.addr_of(word, byte)];
+        for bit in 0..8 {
+            if v >> bit & 1 == 1 {
+                data.set(byte * 8 + bit, true);
+            }
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::analytic_profile;
+    use crate::pattern::PatternSet;
+    use crate::profile::ThresholdFilter;
+    use beer_dram::{ChipConfig, Geometry, SimChip};
+
+    fn quick_chip(seed: u64) -> SimChip {
+        SimChip::new(
+            ChipConfig::small_test_chip(seed)
+                .with_geometry(Geometry::new(1, 128, 128)),
+        )
+    }
+
+    fn knowledge_for(chip: &SimChip) -> ChipKnowledge {
+        ChipKnowledge::uniform(
+            chip.config().word_layout,
+            CellType::True,
+            chip.geometry().total_rows(),
+        )
+    }
+
+    #[test]
+    fn image_word_roundtrip() {
+        let layout = WordLayout::InterleavedPairs { word_bytes: 4 };
+        let mut image = vec![0u8; 64];
+        let data = BitVec::from_indices(32, &[0, 9, 31]);
+        write_word_into_image(&mut image, &layout, 3, &data);
+        assert_eq!(read_word_from_image(&image, &layout, 3, 32), data);
+        // Other words untouched.
+        assert!(read_word_from_image(&image, &layout, 2, 32).is_zero());
+    }
+
+    #[test]
+    fn collected_profile_is_subset_of_analytic() {
+        // Every experimentally observed miscorrection must be analytically
+        // possible for the chip's true code.
+        let mut chip = quick_chip(31);
+        let knowledge = knowledge_for(&chip);
+        let patterns = PatternSet::One.patterns(32);
+        let plan = CollectionPlan::quick();
+        let profile = collect_profile(&mut chip, &knowledge, &patterns, &plan);
+
+        let truth = analytic_profile(chip.reveal_code(), &patterns);
+        for (pi, (pattern, obs)) in truth.entries.iter().enumerate() {
+            for j in 0..32 {
+                if profile.count(pi, j) > 0 {
+                    assert_eq!(
+                        obs[j],
+                        crate::profile::Observation::Miscorrection,
+                        "observed impossible miscorrection: {pattern} bit {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collection_observes_many_real_miscorrections() {
+        let mut chip = quick_chip(32);
+        let knowledge = knowledge_for(&chip);
+        let patterns = PatternSet::One.patterns(32);
+        let profile = collect_profile(&mut chip, &knowledge, &patterns, &CollectionPlan::quick());
+        let total: u64 = profile.per_bit_totals().iter().sum();
+        assert!(
+            total > 50,
+            "only {total} miscorrections observed — sweep too weak"
+        );
+        // Trials are recorded for every pattern.
+        for pi in 0..patterns.len() {
+            assert!(profile.trials(pi) > 0);
+        }
+    }
+
+    #[test]
+    fn thresholded_collection_has_no_false_positives() {
+        let mut chip = quick_chip(33);
+        let knowledge = knowledge_for(&chip);
+        let patterns = PatternSet::One.patterns(32);
+        let profile = collect_profile(&mut chip, &knowledge, &patterns, &CollectionPlan::quick());
+        let constraints = profile.to_constraints(&ThresholdFilter::default());
+        let truth = analytic_profile(chip.reveal_code(), &patterns);
+        // No definite observation may contradict the ground truth in the
+        // Miscorrection direction (missing observations are fine).
+        for (pattern, bit) in constraints.disagreements(&truth) {
+            let idx = truth
+                .entries
+                .iter()
+                .position(|(p, _)| *p == pattern)
+                .unwrap();
+            assert_ne!(
+                constraints.entries[idx].1[bit],
+                crate::profile::Observation::Miscorrection,
+                "false positive at {pattern} bit {bit}"
+            );
+        }
+    }
+}

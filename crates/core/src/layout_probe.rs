@@ -1,0 +1,273 @@
+//! Reverse engineering chip layout (paper §5.1.1 and §5.1.2).
+//!
+//! Before BEER can craft CHARGED/DISCHARGED patterns it must learn, from
+//! the data interface alone:
+//!
+//! 1. *which cells are true-cells and which are anti-cells* — determined by
+//!    writing all-zeros and all-ones patterns and observing which rows
+//!    decay under a long refresh pause (§5.1.1), and
+//! 2. *how datawords map onto byte addresses* — determined by programming
+//!    a single CHARGED cell per row and checking which candidate layout
+//!    keeps all resulting miscorrections inside the CHARGED cell's own
+//!    word (§5.1.2).
+
+use beer_dram::{CellType, DramInterface, WordLayout};
+
+/// Determines the cell type of every row (§5.1.1): write data '0' and data
+/// '1' patterns, pause refresh for `trefw_seconds`, and attribute decay.
+/// Rows where the all-ones pattern decays are true-cell rows; rows where
+/// the all-zeros pattern decays are anti-cell rows. Rows showing no decay
+/// under either pattern default to true-cells (harmless: they also show no
+/// retention errors during profiling).
+pub fn probe_cell_layout(chip: &mut dyn DramInterface, trefw_seconds: f64) -> Vec<CellType> {
+    let geom = chip.geometry();
+    let total = geom.total_bytes();
+    let rows = geom.total_rows();
+    let bytes_per_row = geom.bytes_per_row();
+
+    let mut errors_under = |fill: u8| -> Vec<u64> {
+        chip.write_bytes(0, &vec![fill; total]);
+        chip.retention_test(trefw_seconds);
+        let read = chip.read_bytes(0, total);
+        let mut per_row = vec![0u64; rows];
+        for (addr, &b) in read.iter().enumerate() {
+            let diff = (b ^ fill).count_ones() as u64;
+            if diff > 0 {
+                per_row[addr / bytes_per_row] += diff;
+            }
+        }
+        per_row
+    };
+
+    let zeros_errors = errors_under(0x00);
+    let ones_errors = errors_under(0xFF);
+
+    (0..rows)
+        .map(|r| {
+            if zeros_errors[r] > ones_errors[r] {
+                CellType::Anti
+            } else {
+                CellType::True
+            }
+        })
+        .collect()
+}
+
+/// The outcome of the §5.1.2 word-layout probe.
+#[derive(Clone, Debug)]
+pub struct WordLayoutProbe {
+    /// The candidate layouts, in the order given.
+    pub candidates: Vec<WordLayout>,
+    /// Number of miscorrection observations that *violate* each candidate
+    /// (land outside the probe cell's word under that layout).
+    pub violations: Vec<u64>,
+    /// Total miscorrection observations used.
+    pub observations: u64,
+}
+
+impl WordLayoutProbe {
+    /// The unique candidate with zero violations, if exactly one exists and
+    /// at least one observation discriminates.
+    pub fn decided(&self) -> Option<WordLayout> {
+        if self.observations == 0 {
+            return None;
+        }
+        let clean: Vec<usize> = self
+            .violations
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == 0)
+            .map(|(i, _)| i)
+            .collect();
+        if clean.len() == 1 {
+            Some(self.candidates[clean[0]])
+        } else {
+            None
+        }
+    }
+}
+
+/// Determines the dataword layout (§5.1.2): one CHARGED cell per true-cell
+/// row against a fully DISCHARGED background (all-zeros data in true
+/// cells, whose codeword is entirely discharged and therefore immune), a
+/// refresh-window sweep around `trefw_seconds`, and a consistency check of
+/// observed miscorrection addresses against each candidate layout.
+///
+/// Only true-cell rows are probed: their all-zero background keeps every
+/// other cell of the row DISCHARGED, so *any* error observed away from the
+/// probe cell is a miscorrection in the probe cell's word.
+pub fn probe_word_layout(
+    chip: &mut dyn DramInterface,
+    row_cell_types: &[CellType],
+    candidates: &[WordLayout],
+    trefw_seconds: f64,
+) -> WordLayoutProbe {
+    let geom = chip.geometry();
+    let total = geom.total_bytes();
+    let rows = geom.total_rows();
+    let bytes_per_row = geom.bytes_per_row();
+    assert_eq!(row_cell_types.len(), rows, "cell-type list length mismatch");
+
+    let mut violations = vec![0u64; candidates.len()];
+    let mut observations = 0u64;
+
+    // Sweep a few windows around the requested one so the deterministic
+    // per-cell retention model exposes different error combinations.
+    let sweep = [0.5, 1.0, 2.0, 4.0].map(|m| m * trefw_seconds);
+    for (trial, &trefw) in sweep.iter().enumerate() {
+        // Background: all zeros (discharged codewords) on true rows; skip
+        // anti rows entirely (their background cannot be made immune).
+        let mut image = vec![0u8; total];
+        let mut probes: Vec<(usize, usize)> = Vec::new(); // (row, probe addr)
+        for row in 0..rows {
+            if row_cell_types[row] != CellType::True {
+                continue;
+            }
+            // Vary the probe byte across rows and trials to cover
+            // different in-word bit positions.
+            let offset = (row * 7 + trial * 13) % bytes_per_row;
+            let addr = geom.addr_of_row(row) + offset;
+            image[addr] = 1u8 << ((row + trial) % 8);
+            probes.push((row, addr));
+        }
+        if probes.is_empty() {
+            break;
+        }
+        chip.write_bytes(0, &image);
+        chip.retention_test(trefw);
+        let read = chip.read_bytes(0, total);
+
+        for &(row, probe_addr) in &probes {
+            let row_start = geom.addr_of_row(row);
+            for a in row_start..row_start + bytes_per_row {
+                let diff = read[a] ^ image[a];
+                if diff == 0 {
+                    continue;
+                }
+                if a == probe_addr {
+                    continue; // the probe cell itself: ambiguous decay
+                }
+                // A miscorrection at address `a`. Under the true layout it
+                // must share a word with the probe cell.
+                observations += 1;
+                for (ci, cand) in candidates.iter().enumerate() {
+                    let (probe_word, _) = cand.locate(probe_addr);
+                    let (obs_word, _) = cand.locate(a);
+                    if probe_word != obs_word {
+                        violations[ci] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    WordLayoutProbe {
+        candidates: candidates.to_vec(),
+        violations,
+        observations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beer_dram::{CellLayout, ChipConfig, Geometry, SimChip};
+    use beer_ecc::design::Manufacturer;
+
+    #[test]
+    fn cell_probe_identifies_all_true_chips() {
+        let mut chip = SimChip::new(
+            ChipConfig::small_test_chip(51).with_geometry(Geometry::new(1, 64, 128)),
+        );
+        let types = probe_cell_layout(&mut chip, 4.0 * 3600.0);
+        assert!(types.iter().all(|&t| t == CellType::True));
+    }
+
+    #[test]
+    fn cell_probe_identifies_anti_blocks() {
+        let config = ChipConfig {
+            cell_layout: CellLayout::AlternatingBlocks {
+                block_rows: vec![16],
+            },
+            ..ChipConfig::small_test_chip(52).with_geometry(Geometry::new(1, 64, 128))
+        };
+        let mut chip = SimChip::new(config);
+        let types = probe_cell_layout(&mut chip, 4.0 * 3600.0);
+        // Expect blocks of 16: true, anti, true, anti.
+        let true_count = types.iter().filter(|&&t| t == CellType::True).count();
+        assert!(
+            (24..=40).contains(&true_count),
+            "true rows {true_count}/64 — blocks not detected"
+        );
+        // Majority of each block classified correctly.
+        let block0: Vec<_> = types[0..16].to_vec();
+        let block1: Vec<_> = types[16..32].to_vec();
+        assert!(block0.iter().filter(|&&t| t == CellType::True).count() >= 12);
+        assert!(block1.iter().filter(|&&t| t == CellType::Anti).count() >= 12);
+    }
+
+    #[test]
+    fn word_probe_identifies_interleaved_layout() {
+        let mut chip = SimChip::new(
+            ChipConfig::small_test_chip(53).with_geometry(Geometry::new(1, 128, 128)),
+        );
+        let rows = chip.geometry().total_rows();
+        let types = vec![CellType::True; rows];
+        let candidates = [
+            WordLayout::InterleavedPairs { word_bytes: 4 },
+            WordLayout::Contiguous { word_bytes: 4 },
+        ];
+        let probe = probe_word_layout(&mut chip, &types, &candidates, 4800.0);
+        assert!(probe.observations > 0, "no miscorrections observed");
+        assert_eq!(
+            probe.decided(),
+            Some(WordLayout::InterleavedPairs { word_bytes: 4 }),
+            "violations: {:?} of {} observations",
+            probe.violations,
+            probe.observations
+        );
+    }
+
+    #[test]
+    fn word_probe_identifies_contiguous_layout() {
+        let config = ChipConfig::small_test_chip(54)
+            .with_geometry(Geometry::new(1, 128, 128))
+            .with_word_layout(WordLayout::Contiguous { word_bytes: 4 });
+        let mut chip = SimChip::new(config);
+        let rows = chip.geometry().total_rows();
+        let types = vec![CellType::True; rows];
+        let candidates = [
+            WordLayout::InterleavedPairs { word_bytes: 4 },
+            WordLayout::Contiguous { word_bytes: 4 },
+        ];
+        let probe = probe_word_layout(&mut chip, &types, &candidates, 4800.0);
+        assert_eq!(
+            probe.decided(),
+            Some(WordLayout::Contiguous { word_bytes: 4 }),
+            "violations: {:?} of {} observations",
+            probe.violations,
+            probe.observations
+        );
+    }
+
+    #[test]
+    fn full_knowledge_probe_works_on_manufacturer_c() {
+        // Manufacturer C has anti-cell blocks; the probe must still find
+        // the layout using its true-cell rows.
+        let config = ChipConfig {
+            cell_layout: CellLayout::AlternatingBlocks {
+                block_rows: vec![32],
+            },
+            ..ChipConfig::lpddr4_like(Manufacturer::C, 0, 55)
+                .with_geometry(Geometry::new(1, 128, 256))
+                .with_word_bytes(4)
+        };
+        let mut chip = SimChip::new(config);
+        let knowledge =
+            crate::collect::ChipKnowledge::probe(&mut chip, 4, 4.0 * 3600.0).expect("probe failed");
+        assert_eq!(
+            knowledge.word_layout,
+            WordLayout::InterleavedPairs { word_bytes: 4 }
+        );
+    }
+}

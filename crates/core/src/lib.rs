@@ -1,0 +1,50 @@
+//! BEER: Bit-Exact ECC Recovery (Patel et al., MICRO 2020).
+//!
+//! BEER determines the full on-die ECC function of a DRAM chip — its
+//! parity-check matrix — using only the chip's external data interface. It
+//! needs no hardware tools, no knowledge of the chip internals, and no ECC
+//! metadata. The three steps (paper §5):
+//!
+//! 1. **Induce miscorrections** ([`collect`], [`layout_probe`]): write
+//!    carefully crafted CHARGED/DISCHARGED test patterns ([`pattern`]),
+//!    pause DRAM refresh to induce uncorrectable data-retention errors,
+//!    and record which data bits suffer *miscorrections* for each pattern.
+//! 2. **Analyze post-correction errors** ([`profile`]): accumulate
+//!    observations into a [`MiscorrectionProfile`] and apply a threshold
+//!    filter to reject transient noise (§5.2).
+//! 3. **Solve for the ECC function** ([`solve`]): encode the profile as a
+//!    SAT instance over the unknown parity-check matrix and enumerate every
+//!    consistent function; a unique solution identifies the chip's code up
+//!    to parity-bit relabeling (§4.2.1).
+//!
+//! [`analytic`] computes exact profiles from known codes (the simulation
+//! methodology of §6.1), and [`runtime`] models experiment runtimes
+//! (§6.3).
+//!
+//! # Examples
+//!
+//! Recovering a known code from its analytic profile:
+//!
+//! ```
+//! use beer_core::{analytic, pattern::PatternSet, solve};
+//! use beer_ecc::{equivalence, hamming};
+//!
+//! let secret = hamming::eq1_code();
+//! let profile = analytic::analytic_profile(&secret, &PatternSet::OneTwo.patterns(4));
+//! let report = solve::solve_profile(4, 3, &profile, &solve::BeerSolverOptions::default());
+//! assert_eq!(report.solutions.len(), 1);
+//! assert!(equivalence::equivalent(&report.solutions[0], &secret));
+//! ```
+
+pub mod analytic;
+pub mod collect;
+pub mod direct;
+pub mod layout_probe;
+pub mod pattern;
+pub mod profile;
+pub mod runtime;
+pub mod solve;
+
+pub use pattern::{ChargedSet, PatternSet};
+pub use profile::{MiscorrectionProfile, Observation, ProfileConstraints, ThresholdFilter};
+pub use solve::{solve_profile, BeerSolverOptions, SolveReport};

@@ -1,0 +1,284 @@
+//! CHARGED/DISCHARGED test patterns (paper §4.2.3).
+//!
+//! A BEER test pattern is described by the set of *data* bits programmed to
+//! the CHARGED state; all other data bits are DISCHARGED. The parity bits'
+//! states are chosen by the (unknown) encoder and cannot be controlled.
+//! Because only CHARGED cells can suffer data-retention errors, any
+//! post-correction error at a DISCHARGED data bit is unambiguously a
+//! miscorrection.
+//!
+//! The paper proves the 1-CHARGED patterns suffice for full-length codes
+//! and the {1,2}-CHARGED union suffices for the shortened codes it
+//! evaluates (§4.2.4, Figure 5).
+
+use beer_dram::CellType;
+use beer_gf2::BitVec;
+
+/// A test pattern: the sorted set of CHARGED data-bit positions.
+///
+/// # Examples
+///
+/// ```
+/// use beer_core::ChargedSet;
+/// use beer_dram::CellType;
+///
+/// let p = ChargedSet::new(vec![2], 4);
+/// // In true cells, CHARGED = logical 1.
+/// assert_eq!(p.to_dataword(CellType::True).to_string(), "0010");
+/// // In anti cells, CHARGED = logical 0.
+/// assert_eq!(p.to_dataword(CellType::Anti).to_string(), "1101");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ChargedSet {
+    bits: Vec<usize>,
+    k: usize,
+}
+
+impl ChargedSet {
+    /// Creates a pattern over a `k`-bit dataword with the given CHARGED
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bit is out of range or duplicated.
+    pub fn new(mut bits: Vec<usize>, k: usize) -> Self {
+        bits.sort_unstable();
+        for w in bits.windows(2) {
+            assert!(w[0] != w[1], "duplicate charged bit {}", w[0]);
+        }
+        if let Some(&max) = bits.last() {
+            assert!(max < k, "charged bit {max} out of dataword range {k}");
+        }
+        ChargedSet { bits, k }
+    }
+
+    /// The CHARGED data-bit positions, sorted.
+    pub fn bits(&self) -> &[usize] {
+        &self.bits
+    }
+
+    /// Dataword length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of CHARGED bits (the pattern's "order": 1-CHARGED, …).
+    pub fn order(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Is data bit `bit` CHARGED under this pattern?
+    pub fn is_charged(&self, bit: usize) -> bool {
+        self.bits.binary_search(&bit).is_ok()
+    }
+
+    /// The logical dataword that programs this charge pattern into cells of
+    /// the given type (true cells: CHARGED = 1; anti cells: CHARGED = 0).
+    pub fn to_dataword(&self, cell_type: CellType) -> BitVec {
+        let mut v = BitVec::zeros(self.k);
+        match cell_type {
+            CellType::True => {
+                for &b in &self.bits {
+                    v.set(b, true);
+                }
+            }
+            CellType::Anti => {
+                v = BitVec::ones(self.k);
+                for &b in &self.bits {
+                    v.set(b, false);
+                }
+            }
+        }
+        v
+    }
+
+    /// Recovers the charge pattern a logical dataword programs into cells
+    /// of the given type (inverse of [`ChargedSet::to_dataword`]).
+    pub fn from_dataword(data: &BitVec, cell_type: CellType) -> Self {
+        let bits: Vec<usize> = (0..data.len())
+            .filter(|&i| cell_type.charge_of(data.get(i)))
+            .collect();
+        ChargedSet {
+            bits,
+            k: data.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for ChargedSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-CHARGED{:?}", self.order(), self.bits)
+    }
+}
+
+/// The standard pattern families of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PatternSet {
+    /// All `k` patterns with exactly one CHARGED bit.
+    One,
+    /// All `C(k,2)` patterns with exactly two CHARGED bits.
+    Two,
+    /// All `C(k,3)` patterns with exactly three CHARGED bits.
+    Three,
+    /// The union of the 1- and 2-CHARGED patterns — the configuration the
+    /// paper shows always uniquely identifies the ECC function (Fig. 5).
+    OneTwo,
+}
+
+impl PatternSet {
+    /// Materializes the pattern family for a `k`-bit dataword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is too small for the family (e.g. 2-CHARGED with
+    /// `k < 2`).
+    pub fn patterns(self, k: usize) -> Vec<ChargedSet> {
+        match self {
+            PatternSet::One => one_charged(k),
+            PatternSet::Two => two_charged(k),
+            PatternSet::Three => three_charged(k),
+            PatternSet::OneTwo => {
+                let mut v = one_charged(k);
+                v.extend(two_charged(k));
+                v
+            }
+        }
+    }
+
+    /// Number of patterns in the family for a `k`-bit dataword.
+    pub fn len(self, k: usize) -> usize {
+        match self {
+            PatternSet::One => k,
+            PatternSet::Two => k * (k - 1) / 2,
+            PatternSet::Three => k * (k - 1) * (k - 2) / 6,
+            PatternSet::OneTwo => k + k * (k - 1) / 2,
+        }
+    }
+}
+
+impl std::fmt::Display for PatternSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternSet::One => write!(f, "1-CHARGED"),
+            PatternSet::Two => write!(f, "2-CHARGED"),
+            PatternSet::Three => write!(f, "3-CHARGED"),
+            PatternSet::OneTwo => write!(f, "{{1,2}}-CHARGED"),
+        }
+    }
+}
+
+/// All 1-CHARGED patterns for a `k`-bit dataword.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn one_charged(k: usize) -> Vec<ChargedSet> {
+    assert!(k >= 1);
+    (0..k).map(|a| ChargedSet::new(vec![a], k)).collect()
+}
+
+/// All 2-CHARGED patterns for a `k`-bit dataword.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn two_charged(k: usize) -> Vec<ChargedSet> {
+    assert!(k >= 2);
+    let mut v = Vec::with_capacity(k * (k - 1) / 2);
+    for a in 0..k {
+        for b in (a + 1)..k {
+            v.push(ChargedSet::new(vec![a, b], k));
+        }
+    }
+    v
+}
+
+/// All 3-CHARGED patterns for a `k`-bit dataword.
+///
+/// # Panics
+///
+/// Panics if `k < 3`.
+pub fn three_charged(k: usize) -> Vec<ChargedSet> {
+    assert!(k >= 3);
+    let mut v = Vec::with_capacity(k * (k - 1) * (k - 2) / 6);
+    for a in 0..k {
+        for b in (a + 1)..k {
+            for c in (b + 1)..k {
+                v.push(ChargedSet::new(vec![a, b, c], k));
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_counts_match_binomials() {
+        // The paper's example: a 128-bit dataword yields 128 1-CHARGED and
+        // 8128 2-CHARGED patterns (§5.1.3).
+        assert_eq!(PatternSet::One.patterns(128).len(), 128);
+        assert_eq!(PatternSet::Two.patterns(128).len(), 8128);
+        assert_eq!(PatternSet::OneTwo.patterns(128).len(), 128 + 8128);
+        assert_eq!(PatternSet::Three.patterns(10).len(), 120);
+        for set in [
+            PatternSet::One,
+            PatternSet::Two,
+            PatternSet::Three,
+            PatternSet::OneTwo,
+        ] {
+            assert_eq!(set.patterns(10).len(), set.len(10));
+        }
+    }
+
+    #[test]
+    fn charged_bits_are_sorted_and_unique() {
+        let p = ChargedSet::new(vec![7, 2], 8);
+        assert_eq!(p.bits(), &[2, 7]);
+        assert!(p.is_charged(2) && p.is_charged(7));
+        assert!(!p.is_charged(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        ChargedSet::new(vec![1, 1], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dataword range")]
+    fn out_of_range_rejected() {
+        ChargedSet::new(vec![4], 4);
+    }
+
+    #[test]
+    fn dataword_roundtrip_both_cell_types() {
+        let p = ChargedSet::new(vec![0, 3], 6);
+        for ct in [CellType::True, CellType::Anti] {
+            let d = p.to_dataword(ct);
+            assert_eq!(ChargedSet::from_dataword(&d, ct), p, "{ct:?}");
+        }
+    }
+
+    #[test]
+    fn anti_cells_invert_the_pattern() {
+        let p = ChargedSet::new(vec![1], 4);
+        assert_eq!(p.to_dataword(CellType::True).to_string(), "0100");
+        assert_eq!(p.to_dataword(CellType::Anti).to_string(), "1011");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PatternSet::OneTwo.to_string(), "{1,2}-CHARGED");
+        assert_eq!(ChargedSet::new(vec![3], 8).to_string(), "1-CHARGED[3]");
+    }
+
+    #[test]
+    fn all_two_charged_patterns_are_distinct() {
+        let pats = two_charged(9);
+        let set: std::collections::HashSet<_> = pats.iter().cloned().collect();
+        assert_eq!(set.len(), pats.len());
+    }
+}

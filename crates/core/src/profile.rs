@@ -1,0 +1,442 @@
+//! Miscorrection profiles: observation bookkeeping and noise filtering.
+//!
+//! A *miscorrection profile* (paper §5.1.3, Table 2) records, for each test
+//! pattern, which data bits were observed to suffer miscorrections. Raw
+//! experimental profiles carry observation *counts*, which a threshold
+//! filter (§5.2, Figure 4) reduces to the binary can/cannot facts the SAT
+//! solver consumes. Bits that could not be tested (the CHARGED bits of
+//! each pattern, where retention errors and miscorrections are
+//! indistinguishable) stay [`Observation::Unknown`].
+
+use crate::pattern::ChargedSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Tri-state knowledge about one (pattern, bit) pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Observation {
+    /// A miscorrection was reliably observed at this bit.
+    Miscorrection,
+    /// No miscorrection was observed despite sufficient testing.
+    NoMiscorrection,
+    /// The pair was not (or cannot be) tested; adds no SAT constraint.
+    Unknown,
+}
+
+/// The threshold filter of §5.2: an observation counts as a real
+/// miscorrection only if seen at least `min_count` times *and* carrying at
+/// least `min_fraction` of the pattern's total observation mass.
+///
+/// The defaults mirror the paper's example filter (Figure 4 uses a 10⁻³
+/// probability-mass threshold).
+#[derive(Clone, Copy, Debug)]
+pub struct ThresholdFilter {
+    /// Minimum absolute observation count.
+    pub min_count: u64,
+    /// Minimum share of the pattern's total observations.
+    pub min_fraction: f64,
+}
+
+impl Default for ThresholdFilter {
+    fn default() -> Self {
+        ThresholdFilter {
+            min_count: 2,
+            min_fraction: 1e-3,
+        }
+    }
+}
+
+/// Accumulated miscorrection observations for a set of test patterns.
+///
+/// # Examples
+///
+/// ```
+/// use beer_core::{ChargedSet, MiscorrectionProfile, Observation, ThresholdFilter};
+///
+/// let patterns = vec![ChargedSet::new(vec![0], 4)];
+/// let mut prof = MiscorrectionProfile::new(4, patterns);
+/// for _ in 0..10 {
+///     prof.record_miscorrection(0, 2);
+/// }
+/// prof.record_trials(0, 100);
+/// let constraints = prof.to_constraints(&ThresholdFilter::default());
+/// assert_eq!(constraints.entries[0].1[2], Observation::Miscorrection);
+/// assert_eq!(constraints.entries[0].1[1], Observation::NoMiscorrection);
+/// assert_eq!(constraints.entries[0].1[0], Observation::Unknown); // charged
+/// ```
+#[derive(Clone, Debug)]
+pub struct MiscorrectionProfile {
+    k: usize,
+    patterns: Vec<ChargedSet>,
+    /// Observation counts per pattern per data bit.
+    counts: Vec<Vec<u64>>,
+    /// Number of experiment trials (words × retention tests) per pattern.
+    trials: Vec<u64>,
+}
+
+impl MiscorrectionProfile {
+    /// Creates an empty profile for the given patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's dataword length differs from `k`.
+    pub fn new(k: usize, patterns: Vec<ChargedSet>) -> Self {
+        for p in &patterns {
+            assert_eq!(p.k(), k, "pattern length mismatch");
+        }
+        let counts = patterns.iter().map(|_| vec![0u64; k]).collect();
+        let trials = vec![0u64; patterns.len()];
+        MiscorrectionProfile {
+            k,
+            patterns,
+            counts,
+            trials,
+        }
+    }
+
+    /// Dataword length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The test patterns, in index order.
+    pub fn patterns(&self) -> &[ChargedSet] {
+        &self.patterns
+    }
+
+    /// Records one observed miscorrection at `bit` under pattern
+    /// `pattern_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn record_miscorrection(&mut self, pattern_idx: usize, bit: usize) {
+        assert!(bit < self.k, "bit out of range");
+        self.counts[pattern_idx][bit] += 1;
+    }
+
+    /// Adds `n` experiment trials for pattern `pattern_idx` (used to
+    /// normalize counts into probabilities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern index is out of range.
+    pub fn record_trials(&mut self, pattern_idx: usize, n: u64) {
+        self.trials[pattern_idx] += n;
+    }
+
+    /// Observation count for a (pattern, bit) pair.
+    pub fn count(&self, pattern_idx: usize, bit: usize) -> u64 {
+        self.counts[pattern_idx][bit]
+    }
+
+    /// Trials recorded for a pattern.
+    pub fn trials(&self, pattern_idx: usize) -> u64 {
+        self.trials[pattern_idx]
+    }
+
+    /// Total miscorrection observations across all patterns for each bit
+    /// (the aggregation plotted in Figure 4).
+    pub fn per_bit_totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.k];
+        for row in &self.counts {
+            for (t, &c) in totals.iter_mut().zip(row) {
+                *t += c;
+            }
+        }
+        totals
+    }
+
+    /// Per-bit miscorrection probability mass aggregated over all patterns:
+    /// each bit's share of all observations (Figure 4's y-axis).
+    pub fn per_bit_probability_mass(&self) -> Vec<f64> {
+        let totals = self.per_bit_totals();
+        let sum: u64 = totals.iter().sum();
+        if sum == 0 {
+            return vec![0.0; self.k];
+        }
+        totals.iter().map(|&t| t as f64 / sum as f64).collect()
+    }
+
+    /// Merges observations from another profile over the same patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern lists differ.
+    pub fn merge(&mut self, other: &MiscorrectionProfile) {
+        assert_eq!(self.patterns, other.patterns, "pattern list mismatch");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+        for (a, b) in self.trials.iter_mut().zip(&other.trials) {
+            *a += b;
+        }
+    }
+
+    /// Applies the threshold filter, producing the binary constraints the
+    /// SAT solver consumes. CHARGED bits become [`Observation::Unknown`];
+    /// patterns with zero recorded trials become entirely `Unknown` (they
+    /// were never tested, so their silence is not evidence).
+    pub fn to_constraints(&self, filter: &ThresholdFilter) -> ProfileConstraints {
+        let entries = self
+            .patterns
+            .iter()
+            .enumerate()
+            .map(|(pi, pattern)| {
+                let total: u64 = self.counts[pi].iter().sum();
+                let obs: Vec<Observation> = (0..self.k)
+                    .map(|bit| {
+                        if pattern.is_charged(bit) {
+                            return Observation::Unknown;
+                        }
+                        if self.trials[pi] == 0 {
+                            return Observation::Unknown;
+                        }
+                        let c = self.counts[pi][bit];
+                        let frac_ok = total > 0 && c as f64 / total as f64 >= filter.min_fraction;
+                        if c >= filter.min_count && frac_ok {
+                            Observation::Miscorrection
+                        } else {
+                            Observation::NoMiscorrection
+                        }
+                    })
+                    .collect();
+                (pattern.clone(), obs)
+            })
+            .collect();
+        ProfileConstraints {
+            k: self.k,
+            entries,
+        }
+    }
+}
+
+/// Binary per-(pattern, bit) facts for the SAT solver (the output of the
+/// threshold filter, or of the exact analytic computation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileConstraints {
+    /// Dataword length.
+    pub k: usize,
+    /// One entry per pattern: the pattern and the per-bit observations.
+    pub entries: Vec<(ChargedSet, Vec<Observation>)>,
+}
+
+impl ProfileConstraints {
+    /// Number of (pattern, bit) pairs with a definite observation.
+    pub fn definite_facts(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(_, obs)| {
+                obs.iter()
+                    .filter(|&&o| o != Observation::Unknown)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Number of definite miscorrection facts.
+    pub fn miscorrection_facts(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(_, obs)| {
+                obs.iter()
+                    .filter(|&&o| o == Observation::Miscorrection)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Drops every `NoMiscorrection` fact to `Unknown` — modeling an
+    /// experiment that cannot rule miscorrections out (used in robustness
+    /// studies).
+    pub fn weaken_negatives(&self) -> ProfileConstraints {
+        ProfileConstraints {
+            k: self.k,
+            entries: self
+                .entries
+                .iter()
+                .map(|(p, obs)| {
+                    let weakened = obs
+                        .iter()
+                        .map(|&o| match o {
+                            Observation::NoMiscorrection => Observation::Unknown,
+                            other => other,
+                        })
+                        .collect();
+                    (p.clone(), weakened)
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the profile like the paper's Table 2 ('1' = miscorrection
+    /// possible, '–' = not possible, '?' = untestable/unknown).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        for (pattern, obs) in &self.entries {
+            out.push_str(&format!("{pattern:>16}  ["));
+            for &o in obs {
+                out.push(match o {
+                    Observation::Miscorrection => '1',
+                    Observation::NoMiscorrection => '-',
+                    Observation::Unknown => '?',
+                });
+                out.push(' ');
+            }
+            if self.k > 0 {
+                out.pop();
+            }
+            out.push_str("]\n");
+        }
+        out
+    }
+
+    /// Compares two constraint sets on their definite facts only,
+    /// returning the (pattern, bit) pairs where they disagree.
+    pub fn disagreements(&self, other: &ProfileConstraints) -> Vec<(ChargedSet, usize)> {
+        let map: HashMap<&ChargedSet, &Vec<Observation>> =
+            other.entries.iter().map(|(p, o)| (p, o)).collect();
+        let mut out = Vec::new();
+        for (p, obs) in &self.entries {
+            if let Some(their_obs) = map.get(p) {
+                for (bit, (&a, &b)) in obs.iter().zip(their_obs.iter()).enumerate() {
+                    if a != Observation::Unknown && b != Observation::Unknown && a != b {
+                        out.push((p.clone(), bit));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ProfileConstraints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_pattern_profile() -> MiscorrectionProfile {
+        MiscorrectionProfile::new(4, vec![ChargedSet::new(vec![0], 4)])
+    }
+
+    #[test]
+    fn counts_accumulate_and_merge() {
+        let mut a = one_pattern_profile();
+        a.record_miscorrection(0, 1);
+        a.record_miscorrection(0, 1);
+        a.record_trials(0, 10);
+        let mut b = one_pattern_profile();
+        b.record_miscorrection(0, 2);
+        b.record_trials(0, 5);
+        a.merge(&b);
+        assert_eq!(a.count(0, 1), 2);
+        assert_eq!(a.count(0, 2), 1);
+        assert_eq!(a.trials(0), 15);
+        assert_eq!(a.per_bit_totals(), vec![0, 2, 1, 0]);
+    }
+
+    #[test]
+    fn threshold_rejects_rare_observations() {
+        // 1000 observations at bit 1, a single transient blip at bit 2.
+        let mut p = one_pattern_profile();
+        for _ in 0..1000 {
+            p.record_miscorrection(0, 1);
+        }
+        p.record_miscorrection(0, 2);
+        p.record_trials(0, 10_000);
+        let c = p.to_constraints(&ThresholdFilter::default());
+        let obs = &c.entries[0].1;
+        assert_eq!(obs[1], Observation::Miscorrection);
+        assert_eq!(obs[2], Observation::NoMiscorrection, "blip must be filtered");
+        assert_eq!(obs[3], Observation::NoMiscorrection);
+        assert_eq!(obs[0], Observation::Unknown, "charged bit untestable");
+    }
+
+    #[test]
+    fn untested_patterns_are_unknown() {
+        let p = one_pattern_profile(); // zero trials
+        let c = p.to_constraints(&ThresholdFilter::default());
+        assert!(c.entries[0]
+            .1
+            .iter()
+            .all(|&o| o == Observation::Unknown));
+        assert_eq!(c.definite_facts(), 0);
+    }
+
+    #[test]
+    fn probability_mass_sums_to_one() {
+        let mut p = one_pattern_profile();
+        for _ in 0..3 {
+            p.record_miscorrection(0, 1);
+        }
+        p.record_miscorrection(0, 3);
+        let mass = p.per_bit_probability_mass();
+        assert!((mass.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(mass[1], 0.75);
+    }
+
+    #[test]
+    fn fact_counting_and_weakening() {
+        let mut p = one_pattern_profile();
+        for _ in 0..10 {
+            p.record_miscorrection(0, 1);
+        }
+        p.record_trials(0, 100);
+        let c = p.to_constraints(&ThresholdFilter::default());
+        assert_eq!(c.definite_facts(), 3); // bits 1,2,3 (bit 0 charged)
+        assert_eq!(c.miscorrection_facts(), 1);
+        let weak = c.weaken_negatives();
+        assert_eq!(weak.definite_facts(), 1);
+        assert_eq!(weak.miscorrection_facts(), 1);
+    }
+
+    #[test]
+    fn table_rendering_marks_states() {
+        let mut p = one_pattern_profile();
+        for _ in 0..10 {
+            p.record_miscorrection(0, 2);
+        }
+        p.record_trials(0, 100);
+        let c = p.to_constraints(&ThresholdFilter::default());
+        let table = c.to_table();
+        assert!(table.contains('?'), "charged bit must render as ?");
+        assert!(table.contains('1'), "miscorrection must render as 1");
+        assert!(table.contains('-'), "negative must render as -");
+    }
+
+    #[test]
+    fn disagreements_only_count_definite_conflicts() {
+        let mut a = one_pattern_profile();
+        for _ in 0..10 {
+            a.record_miscorrection(0, 1);
+        }
+        a.record_trials(0, 100);
+        let ca = a.to_constraints(&ThresholdFilter::default());
+
+        let mut b = one_pattern_profile();
+        b.record_trials(0, 100);
+        let cb = b.to_constraints(&ThresholdFilter::default());
+
+        let d = ca.disagreements(&cb);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1, 1);
+        // Unknown entries never disagree.
+        let unknown = cb.weaken_negatives();
+        assert!(ca.disagreements(&unknown).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern list mismatch")]
+    fn merge_requires_same_patterns() {
+        let mut a = one_pattern_profile();
+        let b = MiscorrectionProfile::new(4, vec![ChargedSet::new(vec![1], 4)]);
+        a.merge(&b);
+    }
+}

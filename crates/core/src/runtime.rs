@@ -1,0 +1,121 @@
+//! Analytical experiment-runtime model (paper §6.3).
+//!
+//! BEER's wall-clock time on a real chip is dominated by *waiting for
+//! retention errors*: every tested refresh window must elapse at least
+//! once, while interfacing with the chip (reading/writing the full array)
+//! takes milliseconds. The paper's example: sweeping tREFW from 2 to 22
+//! minutes in 1-minute steps costs a combined 4.2 hours per chip, and
+//! reading a 2 GiB LPDDR4-3200 chip takes about 168 ms.
+
+use std::time::Duration;
+
+/// Runtime breakdown of a planned BEER experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExperimentRuntime {
+    /// Total time spent with refresh paused (the sum of refresh windows).
+    pub retention_wait: Duration,
+    /// Total chip I/O time (pattern writes + result reads).
+    pub chip_io: Duration,
+    /// Number of retention tests in the plan.
+    pub tests: usize,
+}
+
+impl ExperimentRuntime {
+    /// Total experiment runtime.
+    pub fn total(&self) -> Duration {
+        self.retention_wait + self.chip_io
+    }
+
+    /// Runtime if the schedule is parallelized over `chips` identical
+    /// chips, each taking an equal share of the refresh windows (§6.3's
+    /// latency-reduction observation for same-model chips).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips == 0`.
+    pub fn parallelized_over(&self, chips: usize) -> Duration {
+        assert!(chips > 0, "need at least one chip");
+        Duration::from_secs_f64(self.total().as_secs_f64() / chips as f64)
+    }
+}
+
+/// Bus parameters for the chip I/O estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct BusModel {
+    /// Chip capacity in bytes.
+    pub chip_bytes: u64,
+    /// Sustainable bus throughput in bytes/second.
+    pub bytes_per_second: f64,
+}
+
+impl BusModel {
+    /// The paper's example device: a 2 GiB LPDDR4-3200 chip read in about
+    /// 168 ms.
+    pub fn lpddr4_3200_2gib() -> Self {
+        BusModel {
+            chip_bytes: 2 << 30,
+            // 2 GiB / 168 ms ≈ 12.8 GB/s (x16 @ 3200 MT/s).
+            bytes_per_second: (2u64 << 30) as f64 / 0.168,
+        }
+    }
+
+    /// Time for one full-chip read or write.
+    pub fn full_sweep(&self) -> Duration {
+        Duration::from_secs_f64(self.chip_bytes as f64 / self.bytes_per_second)
+    }
+}
+
+/// Estimates the runtime of a BEER experiment with one retention test per
+/// scheduled refresh window; each test writes the full chip once and reads
+/// it back once.
+pub fn estimate_runtime(trefw_schedule_seconds: &[f64], bus: &BusModel) -> ExperimentRuntime {
+    let retention: f64 = trefw_schedule_seconds.iter().sum();
+    let io = 2.0 * bus.full_sweep().as_secs_f64() * trefw_schedule_seconds.len() as f64;
+    ExperimentRuntime {
+        retention_wait: Duration::from_secs_f64(retention),
+        chip_io: Duration::from_secs_f64(io),
+        tests: trefw_schedule_seconds.len(),
+    }
+}
+
+/// The paper's §5.1.3 sweep: 2 to 22 minutes inclusive in 1-minute steps.
+pub fn paper_sweep_schedule() -> Vec<f64> {
+    (2..=22).map(|m| m as f64 * 60.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_totals_4_2_hours() {
+        // Sum of 2..=22 minutes = 252 minutes = 4.2 hours (§6.3).
+        let schedule = paper_sweep_schedule();
+        assert_eq!(schedule.len(), 21);
+        let rt = estimate_runtime(&schedule, &BusModel::lpddr4_3200_2gib());
+        let hours = rt.retention_wait.as_secs_f64() / 3600.0;
+        assert!((hours - 4.2).abs() < 1e-9, "got {hours} h");
+    }
+
+    #[test]
+    fn chip_read_time_matches_paper_example() {
+        let bus = BusModel::lpddr4_3200_2gib();
+        let ms = bus.full_sweep().as_secs_f64() * 1000.0;
+        assert!((ms - 168.0).abs() < 0.5, "got {ms} ms");
+    }
+
+    #[test]
+    fn io_is_negligible_compared_to_retention_wait() {
+        let rt = estimate_runtime(&paper_sweep_schedule(), &BusModel::lpddr4_3200_2gib());
+        assert!(rt.chip_io.as_secs_f64() < 0.01 * rt.retention_wait.as_secs_f64());
+        assert_eq!(rt.tests, 21);
+    }
+
+    #[test]
+    fn parallelization_divides_runtime() {
+        let rt = estimate_runtime(&paper_sweep_schedule(), &BusModel::lpddr4_3200_2gib());
+        let solo = rt.total();
+        let team = rt.parallelized_over(21);
+        assert!((team.as_secs_f64() * 21.0 - solo.as_secs_f64()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,541 @@
+//! Solving for the ECC function (paper §5.3).
+//!
+//! The unknown is the `(n−k) × k` parity sub-matrix `P` (§4.2.1 fixes
+//! standard form, so `H = [P | I]`). The SAT instance contains:
+//!
+//! 1. *Basic linear code properties*: every data column of `H` has weight
+//!    ≥ 2 (distinct from the zero syndrome and the identity columns) and
+//!    data columns are pairwise distinct — exactly what single-error
+//!    correction requires.
+//! 2. *Canonical form*: rows of `P` in non-decreasing lexicographic order.
+//!    This is a complete symmetry break for the parity-bit relabeling
+//!    freedom (see `beer_ecc::equivalence`), so each *equivalence class*
+//!    of codes corresponds to exactly one SAT model and BEER's uniqueness
+//!    check counts classes, as the paper intends.
+//! 3. *The miscorrection profile*: for every pattern `A` and bit `j` with
+//!    a definite observation, the closed-form predicate
+//!    `∃x ⊆ A: supp(P_j ⊕ ⊕_{a∈x} P_a) ⊆ supp(⊕_{a∈A} P_a)`
+//!    is asserted (observed) or refuted (not observed). Assignments `x`
+//!    and their complements induce identical conditions, so only
+//!    `2^{|A|−1}` representatives are encoded.
+//!
+//! Uniqueness checking enumerates models with blocking clauses until UNSAT
+//! or a caller-set cap — "Check Uniqueness" in Figure 6.
+
+use crate::profile::{Observation, ProfileConstraints};
+use beer_ecc::LinearCode;
+use beer_gf2::BitMatrix;
+use beer_sat::{CnfBuilder, Lit, SatResult, Solver, SolverStats, Var};
+use std::time::{Duration, Instant};
+
+/// Options for [`solve_profile`].
+#[derive(Clone, Copy, Debug)]
+pub struct BeerSolverOptions {
+    /// Stop after this many solutions (2 suffices to decide uniqueness;
+    /// Figure 5 uses a larger cap to count ambiguity).
+    pub max_solutions: usize,
+    /// Canonical row ordering (on by default; turning it off makes every
+    /// parity-bit relabeling appear as a separate solution).
+    pub symmetry_breaking: bool,
+    /// Re-verify each solution against the profile with the closed-form
+    /// predicate (cheap, and guards the encoding against itself).
+    pub verify_solutions: bool,
+}
+
+impl Default for BeerSolverOptions {
+    fn default() -> Self {
+        BeerSolverOptions {
+            max_solutions: 2,
+            symmetry_breaking: true,
+            verify_solutions: true,
+        }
+    }
+}
+
+/// The result of a BEER solve.
+#[derive(Debug)]
+pub struct SolveReport {
+    /// Every ECC function found (canonical representatives), up to the cap.
+    pub solutions: Vec<LinearCode>,
+    /// True if enumeration stopped at the cap (more solutions may exist).
+    pub truncated: bool,
+    /// Time to the first solution or UNSAT ("Determine Function").
+    pub determine_time: Duration,
+    /// Total time including uniqueness checking.
+    pub total_time: Duration,
+    /// CNF size: variables.
+    pub num_vars: usize,
+    /// CNF size: clauses.
+    pub num_clauses: usize,
+    /// Final solver statistics (includes the memory estimate).
+    pub solver_stats: SolverStats,
+}
+
+impl SolveReport {
+    /// True if exactly one ECC function (equivalence class) matches.
+    pub fn is_unique(&self) -> bool {
+        self.solutions.len() == 1 && !self.truncated
+    }
+}
+
+/// The encoded instance: builder plus the `P`-matrix variables
+/// (`vars[r * k + c]` is `P[r][c]`).
+pub struct EncodedProblem {
+    /// CNF under construction (callers may add constraints before solving).
+    pub cnf: CnfBuilder,
+    /// The matrix variables, row-major.
+    pub p_vars: Vec<Var>,
+    /// Parity bits (rows of `P`).
+    pub parity_bits: usize,
+    /// Data bits (columns of `P`).
+    pub k: usize,
+}
+
+impl EncodedProblem {
+    fn p_lit(&self, r: usize, c: usize) -> Lit {
+        self.p_vars[r * self.k + c].positive()
+    }
+}
+
+/// Builds the SAT instance for a profile (constraints 1–3 above).
+///
+/// # Panics
+///
+/// Panics if `parity_bits < 2`, `k == 0`, or the constraints' dataword
+/// length differs from `k`.
+pub fn encode_profile(
+    k: usize,
+    parity_bits: usize,
+    constraints: &ProfileConstraints,
+    options: &BeerSolverOptions,
+) -> EncodedProblem {
+    assert!(k > 0, "k must be positive");
+    assert!(parity_bits >= 2, "a SEC code needs at least 2 parity bits");
+    assert_eq!(constraints.k, k, "constraint dataword length mismatch");
+
+    let mut cnf = CnfBuilder::new();
+    let p_vars: Vec<Var> = (0..parity_bits * k).map(|_| cnf.new_var()).collect();
+    let mut problem = EncodedProblem {
+        cnf,
+        p_vars,
+        parity_bits,
+        k,
+    };
+
+    encode_code_validity(&mut problem);
+    if options.symmetry_breaking {
+        encode_row_order(&mut problem);
+    }
+    encode_observations(&mut problem, constraints);
+    problem
+}
+
+/// Constraint 1: data columns have weight ≥ 2 and are pairwise distinct.
+fn encode_code_validity(problem: &mut EncodedProblem) {
+    let (p, k) = (problem.parity_bits, problem.k);
+    for c in 0..k {
+        let col: Vec<Lit> = (0..p).map(|r| problem.p_lit(r, c)).collect();
+        // At least two set bits: at least one overall, and at least one in
+        // every leave-one-out subset.
+        problem.cnf.at_least_one(&col);
+        for skip in 0..p {
+            let rest: Vec<Lit> = (0..p)
+                .filter(|&r| r != skip)
+                .map(|r| problem.p_lit(r, c))
+                .collect();
+            problem.cnf.at_least_one(&rest);
+        }
+    }
+    for c1 in 0..k {
+        for c2 in (c1 + 1)..k {
+            let diffs: Vec<Lit> = (0..p)
+                .map(|r| {
+                    let a = problem.p_lit(r, c1);
+                    let b = problem.p_lit(r, c2);
+                    problem.cnf.xor(a, b)
+                })
+                .collect();
+            problem.cnf.at_least_one(&diffs);
+        }
+    }
+}
+
+/// Constraint 2: rows of `P` in non-decreasing lexicographic order
+/// (bit 0 most significant, matching `BitVec::lex_cmp`).
+fn encode_row_order(problem: &mut EncodedProblem) {
+    let (p, k) = (problem.parity_bits, problem.k);
+    for r in 0..p.saturating_sub(1) {
+        let row_a: Vec<Lit> = (0..k).map(|c| problem.p_lit(r, c)).collect();
+        let row_b: Vec<Lit> = (0..k).map(|c| problem.p_lit(r + 1, c)).collect();
+        problem.cnf.lex_le(&row_a, &row_b);
+    }
+}
+
+/// Constraint 3: the profile facts.
+fn encode_observations(problem: &mut EncodedProblem, constraints: &ProfileConstraints) {
+    let p = problem.parity_bits;
+    for (pattern, observations) in &constraints.entries {
+        let charged = pattern.bits();
+        let t = charged.len();
+        assert!(t >= 1 && t <= 16, "unsupported pattern order {t}");
+        // Representatives of x modulo complement: fix x₀ = 0.
+        let reps: Vec<u32> = if t == 1 {
+            vec![0]
+        } else {
+            (0u32..(1 << t)).filter(|x| x & 1 == 0).collect()
+        };
+
+        // w_r = ⊕_{a∈A} P[r][a]: the CHARGED parity-bit indicator.
+        let w: Vec<Lit> = (0..p)
+            .map(|r| {
+                let terms: Vec<Lit> = charged.iter().map(|&a| problem.p_lit(r, a)).collect();
+                problem.cnf.xor_many(&terms)
+            })
+            .collect();
+
+        for (j, &obs) in observations.iter().enumerate() {
+            if obs == Observation::Unknown {
+                continue;
+            }
+            // v^x_r = P[r][j] ⊕ ⊕_{x_i=1} P[r][a_i].
+            let v_rows: Vec<Vec<Lit>> = reps
+                .iter()
+                .map(|&x| {
+                    (0..p)
+                        .map(|r| {
+                            let mut terms = vec![problem.p_lit(r, j)];
+                            for (i, &a) in charged.iter().enumerate() {
+                                if x >> i & 1 == 1 {
+                                    terms.push(problem.p_lit(r, a));
+                                }
+                            }
+                            problem.cnf.xor_many(&terms)
+                        })
+                        .collect()
+                })
+                .collect();
+
+            match obs {
+                Observation::Miscorrection => {
+                    if reps.len() == 1 {
+                        // Directly: ∀r (v_r → w_r).
+                        for r in 0..p {
+                            problem.cnf.add_clause(&[!v_rows[0][r], w[r]]);
+                        }
+                    } else {
+                        let mut guards = Vec::with_capacity(reps.len());
+                        for v in &v_rows {
+                            let g = problem.cnf.new_lit();
+                            for r in 0..p {
+                                problem.cnf.add_clause(&[!g, !v[r], w[r]]);
+                            }
+                            guards.push(g);
+                        }
+                        problem.cnf.at_least_one(&guards);
+                    }
+                }
+                Observation::NoMiscorrection => {
+                    // Every representative must fail: ∃r (v_r ∧ ¬w_r).
+                    for v in &v_rows {
+                        let mut witnesses = Vec::with_capacity(p);
+                        for r in 0..p {
+                            let h = problem.cnf.new_lit();
+                            problem.cnf.add_clause(&[!h, v[r]]);
+                            problem.cnf.add_clause(&[!h, !w[r]]);
+                            witnesses.push(h);
+                        }
+                        problem.cnf.at_least_one(&witnesses);
+                    }
+                }
+                Observation::Unknown => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Extracts the `P` matrix from a satisfying assignment.
+fn extract_solution(solver: &Solver, problem: &EncodedProblem) -> LinearCode {
+    let (p, k) = (problem.parity_bits, problem.k);
+    let mut m = BitMatrix::zeros(p, k);
+    for r in 0..p {
+        for c in 0..k {
+            if solver.value(problem.p_vars[r * k + c]) == Some(true) {
+                m.set(r, c, true);
+            }
+        }
+    }
+    LinearCode::from_parity_submatrix(m)
+        .expect("SAT constraints guarantee a valid SEC code")
+}
+
+/// Runs BEER's step 3 end to end: encode the profile, find every ECC
+/// function consistent with it (up to `options.max_solutions`), and report
+/// runtimes and solver statistics.
+///
+/// A report with exactly one solution means the profile uniquely
+/// identifies the chip's ECC function up to parity-bit relabeling.
+///
+/// # Panics
+///
+/// Panics under the conditions of [`encode_profile`], or if a solution
+/// fails re-verification (which would indicate an encoding bug).
+pub fn solve_profile(
+    k: usize,
+    parity_bits: usize,
+    constraints: &ProfileConstraints,
+    options: &BeerSolverOptions,
+) -> SolveReport {
+    let start = Instant::now();
+    let EncodedProblem { cnf, p_vars, .. } = encode_profile(k, parity_bits, constraints, options);
+    let num_vars = cnf.num_vars();
+    let num_clauses = cnf.num_clauses();
+    let mut solver = cnf.into_solver();
+
+    let mut solutions = Vec::new();
+    let mut truncated = false;
+    let mut determine_time = Duration::ZERO;
+    loop {
+        let result = solver.solve();
+        if solutions.is_empty() {
+            determine_time = start.elapsed();
+        }
+        if result != SatResult::Sat {
+            break;
+        }
+        let problem_view = EncodedProblem {
+            cnf: CnfBuilder::new(),
+            p_vars: p_vars.clone(),
+            parity_bits,
+            k,
+        };
+        let code = extract_solution(&solver, &problem_view);
+        if options.verify_solutions {
+            assert!(
+                crate::analytic::code_matches_constraints(&code, constraints),
+                "SAT solution violates the profile — encoding bug"
+            );
+        }
+        solutions.push(code);
+        if solutions.len() >= options.max_solutions {
+            truncated = true;
+            break;
+        }
+        // Block this model (projected onto the P variables).
+        let block: Vec<Lit> = p_vars
+            .iter()
+            .map(|&v| v.lit(solver.value(v) != Some(true)))
+            .collect();
+        if !solver.add_clause(&block) {
+            break;
+        }
+    }
+
+    SolveReport {
+        solutions,
+        truncated,
+        determine_time,
+        total_time: start.elapsed(),
+        num_vars,
+        num_clauses,
+        solver_stats: solver.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::analytic_profile;
+    use crate::pattern::PatternSet;
+    use beer_ecc::{design, equivalence, hamming};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn recover(
+        code: &LinearCode,
+        set: PatternSet,
+        max_solutions: usize,
+    ) -> SolveReport {
+        let profile = analytic_profile(code, &set.patterns(code.k()));
+        solve_profile(
+            code.k(),
+            code.parity_bits(),
+            &profile,
+            &BeerSolverOptions {
+                max_solutions,
+                ..BeerSolverOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn recovers_eq1_code_uniquely_from_1charged() {
+        // Eq. 1 is full length, so 1-CHARGED alone must suffice (§4.2.4).
+        let code = hamming::eq1_code();
+        let report = recover(&code, PatternSet::One, 8);
+        assert_eq!(report.solutions.len(), 1, "expected a unique solution");
+        assert!(report.is_unique());
+        assert!(equivalence::equivalent(&report.solutions[0], &code));
+    }
+
+    #[test]
+    fn recovers_full_length_p4_code() {
+        let code = hamming::full_length(4); // (15, 11)
+        let report = recover(&code, PatternSet::One, 4);
+        assert_eq!(report.solutions.len(), 1);
+        assert!(equivalence::equivalent(&report.solutions[0], &code));
+    }
+
+    #[test]
+    fn recovers_random_shortened_codes_with_12charged() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for k in [5usize, 8, 12, 16] {
+            let code = hamming::random_sec(k, &mut rng);
+            let report = recover(&code, PatternSet::OneTwo, 4);
+            assert_eq!(
+                report.solutions.len(),
+                1,
+                "k={k}: {{1,2}}-CHARGED must be unique (Fig. 5)"
+            );
+            assert!(
+                equivalence::equivalent(&report.solutions[0], &code),
+                "k={k}: wrong code recovered"
+            );
+        }
+    }
+
+    #[test]
+    fn shortened_codes_may_be_ambiguous_under_1charged() {
+        // Fig. 5: 1-CHARGED alone sometimes leaves multiple candidates for
+        // shortened codes. Find a seed exhibiting ambiguity to demonstrate.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen_ambiguous = false;
+        for _ in 0..30 {
+            let code = hamming::random_sec(6, &mut rng);
+            let report = recover(&code, PatternSet::One, 50);
+            assert!(!report.solutions.is_empty());
+            // The true code must always be among the solutions.
+            assert!(
+                report
+                    .solutions
+                    .iter()
+                    .any(|s| equivalence::equivalent(s, &code)),
+                "true code missing from solution set"
+            );
+            if report.solutions.len() > 1 {
+                seen_ambiguous = true;
+            }
+        }
+        assert!(
+            seen_ambiguous,
+            "no ambiguity in 30 shortened k=6 codes — unexpected for 1-CHARGED"
+        );
+    }
+
+    #[test]
+    fn vendor_codes_recover_uniquely() {
+        for m in design::Manufacturer::ALL {
+            let code = design::vendor_code(m, 11, 3);
+            let report = recover(&code, PatternSet::OneTwo, 4);
+            assert_eq!(report.solutions.len(), 1, "manufacturer {m}");
+            assert!(equivalence::equivalent(&report.solutions[0], &code));
+        }
+    }
+
+    #[test]
+    fn without_symmetry_breaking_row_permutations_multiply() {
+        let code = hamming::eq1_code();
+        let profile = analytic_profile(&code, &PatternSet::One.patterns(4));
+        let report = solve_profile(
+            4,
+            3,
+            &profile,
+            &BeerSolverOptions {
+                max_solutions: 50,
+                symmetry_breaking: false,
+                verify_solutions: true,
+            },
+        );
+        // All solutions must be equivalent to the original, and there must
+        // be several of them (row permutations).
+        assert!(report.solutions.len() > 1);
+        for s in &report.solutions {
+            assert!(equivalence::equivalent(s, &code));
+        }
+    }
+
+    #[test]
+    fn unknown_only_profile_is_wildly_ambiguous() {
+        // With no facts, every valid SEC code matches. For k=4, p=3 all
+        // four candidate columns {011,101,110,111} must be used; the 4! = 24
+        // column assignments fall into 4 equivalence classes under the
+        // row-permutation group (order 6), and the solver must find all of
+        // them and no more.
+        let profile = ProfileConstraints {
+            k: 4,
+            entries: vec![],
+        };
+        let report = solve_profile(4, 3, &profile, &BeerSolverOptions {
+            max_solutions: 100,
+            ..BeerSolverOptions::default()
+        });
+        assert_eq!(report.solutions.len(), 4);
+        assert!(!report.truncated);
+        // All solutions are pairwise inequivalent.
+        for i in 0..report.solutions.len() {
+            for j in (i + 1)..report.solutions.len() {
+                assert!(!equivalence::equivalent(
+                    &report.solutions[i],
+                    &report.solutions[j]
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn contradictory_profile_is_unsat() {
+        // Claim: every 1-CHARGED pattern miscorrects every other bit. For
+        // k=4, p=3 that forces supp(P_j) ⊆ supp(P_a) for all pairs — i.e.
+        // all supports equal — contradicting column distinctness together
+        // with weight ≥ 2 in 3 rows... (columns within one support class
+        // of size 3 can hold at most C(3,2)+1 = 4 columns of weight ≥ 2 but
+        // all would need *equal* supports to contain each other both ways).
+        let code = hamming::eq1_code();
+        let base = analytic_profile(&code, &PatternSet::One.patterns(4));
+        let all_miscorrect = ProfileConstraints {
+            k: 4,
+            entries: base
+                .entries
+                .iter()
+                .map(|(p, obs)| {
+                    let forced = obs
+                        .iter()
+                        .map(|&o| match o {
+                            Observation::Unknown => Observation::Unknown,
+                            _ => Observation::Miscorrection,
+                        })
+                        .collect();
+                    (p.clone(), forced)
+                })
+                .collect(),
+        };
+        let report = solve_profile(4, 3, &all_miscorrect, &BeerSolverOptions::default());
+        // All supports equal ⇒ only 1 distinct weight-2+ support set can
+        // contain 4 distinct columns if |supp| = 3 (columns 111, 110, 101,
+        // 011 — all contained in 111). That actually *is* satisfiable!
+        // What matters here: the solver must terminate and any solution
+        // must satisfy the forced profile.
+        for s in &report.solutions {
+            assert!(crate::analytic::code_matches_constraints(s, &all_miscorrect));
+        }
+    }
+
+    #[test]
+    fn report_metadata_is_populated() {
+        let code = hamming::eq1_code();
+        let report = recover(&code, PatternSet::One, 2);
+        assert!(report.num_vars >= 12);
+        assert!(report.num_clauses > 0);
+        assert!(report.total_time >= report.determine_time);
+        assert!(report.solver_stats.memory_bytes > 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! True- and anti-cell encodings.
+
+/// How a cell encodes logical data in capacitor charge (§3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CellType {
+    /// Data '1' is stored as a CHARGED capacitor.
+    True,
+    /// Data '1' is stored as a DISCHARGED capacitor.
+    Anti,
+}
+
+impl CellType {
+    /// Charge level (true = CHARGED) for a logical bit in this cell.
+    #[inline]
+    pub fn charge_of(self, bit: bool) -> bool {
+        match self {
+            CellType::True => bit,
+            CellType::Anti => !bit,
+        }
+    }
+
+    /// Logical bit value for a charge level in this cell.
+    #[inline]
+    pub fn bit_of(self, charged: bool) -> bool {
+        // The mapping is an involution.
+        self.charge_of(charged)
+    }
+}
+
+/// The spatial arrangement of true- and anti-cells across rows.
+///
+/// The paper measures (§5.1.1): manufacturers A and B use exclusively
+/// true-cells; manufacturer C uses 50 %/50 % true-/anti-cells in
+/// alternating blocks of rows with block lengths 800, 824 and 1224.
+///
+/// # Examples
+///
+/// ```
+/// use beer_dram::{CellLayout, CellType};
+///
+/// let layout = CellLayout::manufacturer_c();
+/// assert_eq!(layout.cell_type_of_row(0), CellType::True);
+/// assert_eq!(layout.cell_type_of_row(800), CellType::Anti);
+/// assert_eq!(layout.cell_type_of_row(800 + 824), CellType::True);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CellLayout {
+    /// Every cell is a true-cell (manufacturers A and B).
+    AllTrue,
+    /// Every cell is an anti-cell.
+    AllAnti,
+    /// Alternating true/anti blocks; block lengths cycle through the list.
+    /// The first block is true-cells.
+    AlternatingBlocks {
+        /// Row counts of consecutive blocks, cycled.
+        block_rows: Vec<usize>,
+    },
+}
+
+impl CellLayout {
+    /// The alternating-block layout measured on manufacturer C's chips.
+    pub fn manufacturer_c() -> Self {
+        CellLayout::AlternatingBlocks {
+            block_rows: vec![800, 824, 1224],
+        }
+    }
+
+    /// Cell type of every cell in the given global row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `AlternatingBlocks` layout has an empty or zero-length
+    /// block list.
+    pub fn cell_type_of_row(&self, row: usize) -> CellType {
+        match self {
+            CellLayout::AllTrue => CellType::True,
+            CellLayout::AllAnti => CellType::Anti,
+            CellLayout::AlternatingBlocks { block_rows } => {
+                assert!(
+                    !block_rows.is_empty() && block_rows.iter().all(|&b| b > 0),
+                    "block list must be non-empty with positive lengths"
+                );
+                let mut remaining = row;
+                let mut block = 0usize;
+                loop {
+                    let len = block_rows[block % block_rows.len()];
+                    if remaining < len {
+                        return if block % 2 == 0 {
+                            CellType::True
+                        } else {
+                            CellType::Anti
+                        };
+                    }
+                    remaining -= len;
+                    block += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_mappings_are_involutions() {
+        for ct in [CellType::True, CellType::Anti] {
+            for bit in [false, true] {
+                assert_eq!(ct.bit_of(ct.charge_of(bit)), bit);
+            }
+        }
+    }
+
+    #[test]
+    fn true_cells_store_one_as_charged() {
+        assert!(CellType::True.charge_of(true));
+        assert!(!CellType::True.charge_of(false));
+    }
+
+    #[test]
+    fn anti_cells_invert() {
+        assert!(!CellType::Anti.charge_of(true));
+        assert!(CellType::Anti.charge_of(false));
+    }
+
+    #[test]
+    fn uniform_layouts() {
+        assert_eq!(CellLayout::AllTrue.cell_type_of_row(12345), CellType::True);
+        assert_eq!(CellLayout::AllAnti.cell_type_of_row(0), CellType::Anti);
+    }
+
+    #[test]
+    fn manufacturer_c_block_boundaries() {
+        let l = CellLayout::manufacturer_c();
+        // Block 0: rows 0..800 true.
+        assert_eq!(l.cell_type_of_row(799), CellType::True);
+        // Block 1: rows 800..1624 anti.
+        assert_eq!(l.cell_type_of_row(800), CellType::Anti);
+        assert_eq!(l.cell_type_of_row(1623), CellType::Anti);
+        // Block 2: rows 1624..2848 true.
+        assert_eq!(l.cell_type_of_row(1624), CellType::True);
+        assert_eq!(l.cell_type_of_row(2847), CellType::True);
+        // Block 3 cycles back to length 800, anti.
+        assert_eq!(l.cell_type_of_row(2848), CellType::Anti);
+    }
+
+    #[test]
+    fn custom_blocks_alternate() {
+        let l = CellLayout::AlternatingBlocks {
+            block_rows: vec![2],
+        };
+        let types: Vec<CellType> = (0..6).map(|r| l.cell_type_of_row(r)).collect();
+        assert_eq!(
+            types,
+            vec![
+                CellType::True,
+                CellType::True,
+                CellType::Anti,
+                CellType::Anti,
+                CellType::True,
+                CellType::True
+            ]
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Chip geometry: how byte addresses map onto banks and rows.
+
+/// Physical organization of a simulated chip.
+///
+/// The reproduction only needs the row structure (anti-cell layouts and the
+/// paper's "one cell per row" probe are row-based); banks are modeled for
+/// address-layout fidelity.
+///
+/// # Examples
+///
+/// ```
+/// use beer_dram::Geometry;
+///
+/// let g = Geometry::new(2, 128, 256);
+/// assert_eq!(g.total_bytes(), 2 * 128 * 256);
+/// assert_eq!(g.row_of_addr(256), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Geometry {
+    banks: usize,
+    rows_per_bank: usize,
+    bytes_per_row: usize,
+}
+
+impl Geometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `bytes_per_row` is not a multiple
+    /// of 32 (the paper's ECC-word pair granularity).
+    pub fn new(banks: usize, rows_per_bank: usize, bytes_per_row: usize) -> Self {
+        assert!(banks > 0 && rows_per_bank > 0 && bytes_per_row > 0);
+        assert!(
+            bytes_per_row % 32 == 0,
+            "rows must hold whole 32-byte ECC-word pairs"
+        );
+        Geometry {
+            banks,
+            rows_per_bank,
+            bytes_per_row,
+        }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Rows per bank.
+    pub fn rows_per_bank(&self) -> usize {
+        self.rows_per_bank
+    }
+
+    /// Bytes per row.
+    pub fn bytes_per_row(&self) -> usize {
+        self.bytes_per_row
+    }
+
+    /// Total rows across all banks.
+    pub fn total_rows(&self) -> usize {
+        self.banks * self.rows_per_bank
+    }
+
+    /// Total data bytes of the chip.
+    pub fn total_bytes(&self) -> usize {
+        self.total_rows() * self.bytes_per_row
+    }
+
+    /// Global row index of a byte address (rows are laid out consecutively
+    /// bank by bank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn row_of_addr(&self, addr: usize) -> usize {
+        assert!(addr < self.total_bytes(), "address {addr:#x} out of range");
+        addr / self.bytes_per_row
+    }
+
+    /// Bank of a global row index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is out of range.
+    pub fn bank_of_row(&self, row: usize) -> usize {
+        assert!(row < self.total_rows(), "row {row} out of range");
+        row / self.rows_per_bank
+    }
+
+    /// First byte address of a global row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is out of range.
+    pub fn addr_of_row(&self, row: usize) -> usize {
+        assert!(row < self.total_rows(), "row {row} out of range");
+        row * self.bytes_per_row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_multiply_out() {
+        let g = Geometry::new(4, 16, 64);
+        assert_eq!(g.total_rows(), 64);
+        assert_eq!(g.total_bytes(), 4096);
+    }
+
+    #[test]
+    fn row_addr_roundtrip() {
+        let g = Geometry::new(2, 8, 32);
+        for row in 0..g.total_rows() {
+            let addr = g.addr_of_row(row);
+            assert_eq!(g.row_of_addr(addr), row);
+            assert_eq!(g.row_of_addr(addr + 31), row);
+        }
+    }
+
+    #[test]
+    fn bank_boundaries() {
+        let g = Geometry::new(2, 8, 32);
+        assert_eq!(g.bank_of_row(7), 0);
+        assert_eq!(g.bank_of_row(8), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_addr() {
+        Geometry::new(1, 1, 32).row_of_addr(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "32-byte")]
+    fn rejects_unaligned_rows() {
+        Geometry::new(1, 1, 48);
+    }
+}

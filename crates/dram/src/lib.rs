@@ -1,0 +1,49 @@
+//! Simulated DRAM chips with on-die ECC and data-retention errors.
+//!
+//! The BEER paper applies its methodology to 80 real LPDDR4 chips using a
+//! temperature-controlled FPGA test platform. This crate is the
+//! reproduction's substitute (DESIGN.md §3): a chip model that implements
+//! exactly the externally visible behaviour BEER relies on:
+//!
+//! * byte-granular writes and reads that pass through a *hidden* on-die ECC
+//!   encoder/decoder ([`OnDieEcc`], §3.3),
+//! * data-retention errors that are controllable via refresh window and
+//!   temperature, spatially uniform-random, and strictly unidirectional
+//!   CHARGED → DISCHARGED (§3.2) — with deterministic per-cell retention
+//!   times so errors are repeatable, as measured by prior work,
+//! * true-/anti-cell layouts, including manufacturer C's alternating blocks
+//!   of 800/824/1224 rows (§5.1.1),
+//! * the byte-interleaved two-words-per-32-byte dataword layout that the
+//!   paper reverse engineers (§5.1.2),
+//! * rare bidirectional transient noise to exercise BEER's thresholding
+//!   filter (§5.2).
+//!
+//! The only interface third-party code should use is [`DramInterface`];
+//! everything inside [`SimChip`] (in particular the ECC function) is the
+//! secret that BEER recovers.
+//!
+//! # Examples
+//!
+//! ```
+//! use beer_dram::{ChipConfig, DramInterface, SimChip};
+//!
+//! let mut chip = SimChip::new(ChipConfig::small_test_chip(42));
+//! chip.write_bytes(0, &[0xAB, 0xCD]);
+//! assert_eq!(chip.read_bytes(0, 2), vec![0xAB, 0xCD]);
+//! ```
+
+mod cells;
+mod chip;
+mod geometry;
+mod on_die_ecc;
+mod rank_ecc;
+mod retention;
+mod word_layout;
+
+pub use cells::{CellLayout, CellType};
+pub use chip::{ChipConfig, DramInterface, SimChip};
+pub use geometry::Geometry;
+pub use on_die_ecc::OnDieEcc;
+pub use rank_ecc::{ControllerReport, RankLevelEcc};
+pub use retention::{RetentionModel, TransientNoise};
+pub use word_layout::WordLayout;

@@ -1,0 +1,94 @@
+//! The hidden on-die ECC engine of a simulated chip.
+
+use beer_ecc::LinearCode;
+use beer_gf2::BitVec;
+
+/// The on-die ECC mechanism: encodes every written dataword, silently
+/// corrects on every read (Figure 2 of the paper).
+///
+/// A real chip exposes *nothing* of this machinery — no syndromes, no
+/// correction signals, no parity access. The wrapper mirrors that: its
+/// public API maps datawords to codewords and back with all metadata
+/// discarded. The underlying [`LinearCode`] is reachable only through
+/// [`OnDieEcc::reveal_code`], which exists so simulations can check BEER's
+/// recovered function against ground truth (the validation the paper could
+/// not perform on real chips, §6.1).
+#[derive(Clone, Debug)]
+pub struct OnDieEcc {
+    code: LinearCode,
+}
+
+impl OnDieEcc {
+    /// Wraps a code as an on-die ECC engine.
+    pub fn new(code: LinearCode) -> Self {
+        OnDieEcc { code }
+    }
+
+    /// Dataword bits.
+    pub fn k(&self) -> usize {
+        self.code.k()
+    }
+
+    /// Codeword bits.
+    pub fn n(&self) -> usize {
+        self.code.n()
+    }
+
+    /// Encodes a dataword into the stored codeword (`Fencode`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k()`.
+    pub fn encode(&self, data: &BitVec) -> BitVec {
+        self.code.encode(data)
+    }
+
+    /// Decodes a (possibly erroneous) codeword into the post-correction
+    /// dataword (`Fdecode`), discarding all correction metadata exactly as
+    /// a real chip interface does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codeword.len() != n()`.
+    pub fn decode(&self, codeword: &BitVec) -> BitVec {
+        self.code.decode(codeword).data
+    }
+
+    /// Ground-truth access to the secret ECC function.
+    ///
+    /// Only for validating recovery results in simulation — a real chip has
+    /// no equivalent, which is the entire premise of BEER.
+    pub fn reveal_code(&self) -> &LinearCode {
+        &self.code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beer_ecc::hamming;
+
+    #[test]
+    fn roundtrip_without_errors() {
+        let ecc = OnDieEcc::new(hamming::eq1_code());
+        let d = BitVec::from_bits(&[true, false, true, false]);
+        assert_eq!(ecc.decode(&ecc.encode(&d)), d);
+    }
+
+    #[test]
+    fn corrects_single_error_silently() {
+        let ecc = OnDieEcc::new(hamming::eq1_code());
+        let d = BitVec::from_bits(&[false, true, true, false]);
+        let mut cw = ecc.encode(&d);
+        cw.flip(5);
+        // The interface yields corrected data with no hint anything happened.
+        assert_eq!(ecc.decode(&cw), d);
+    }
+
+    #[test]
+    fn dimensions_pass_through() {
+        let ecc = OnDieEcc::new(hamming::shortened(32));
+        assert_eq!(ecc.k(), 32);
+        assert_eq!(ecc.n(), 38);
+    }
+}

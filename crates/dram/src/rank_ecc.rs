@@ -1,0 +1,136 @@
+//! Rank-level ECC: the memory-controller-side code BEER is contrasted
+//! against (paper §4.1).
+//!
+//! Unlike on-die ECC, rank-level ECC lives in the memory controller:
+//! codewords travel over the DDR bus (so errors can be *injected* into
+//! them, e.g. with an interposer), and controllers typically report
+//! correction events and error syndromes to software. Cojocar et al. [26]
+//! exploit exactly this to extract parity-check matrices; §4.1 shows the
+//! method and §4.2 explains why it cannot work for on-die ECC. This module
+//! provides the substrate so the reproduction can implement both methods
+//! and compare them.
+
+use beer_ecc::{Correction, LinearCode};
+use beer_gf2::{BitVec, SynMask};
+
+/// A controller-side ECC whose codewords and syndromes are visible — the
+/// §4.1 setting.
+///
+/// # Examples
+///
+/// ```
+/// use beer_dram::RankLevelEcc;
+/// use beer_ecc::hamming;
+/// use beer_gf2::BitVec;
+///
+/// let ecc = RankLevelEcc::new(hamming::eq1_code());
+/// let data = BitVec::from_bits(&[true, false, false, true]);
+/// let stored = ecc.store(&data);
+/// let report = ecc.load_with_injected_errors(&stored, &[2]);
+/// assert_eq!(report.data, data); // corrected
+/// assert_eq!(report.syndrome, ecc.code().column(2)); // and visible!
+/// ```
+#[derive(Clone, Debug)]
+pub struct RankLevelEcc {
+    code: LinearCode,
+}
+
+/// What the memory controller reports for one read — data *plus* the ECC
+/// metadata that on-die ECC hides.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ControllerReport {
+    /// Post-correction dataword.
+    pub data: BitVec,
+    /// The error syndrome (visible in the §4.1 setting).
+    pub syndrome: SynMask,
+    /// Whether a correction event was signaled.
+    pub corrected: bool,
+}
+
+impl RankLevelEcc {
+    /// Wraps a code as a controller-side ECC.
+    pub fn new(code: LinearCode) -> Self {
+        RankLevelEcc { code }
+    }
+
+    /// The code in use (a controller's code is configurable/documented —
+    /// nothing secret here, in contrast to [`crate::OnDieEcc`]).
+    pub fn code(&self) -> &LinearCode {
+        &self.code
+    }
+
+    /// Encodes a dataword into the codeword placed on the bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k`.
+    pub fn store(&self, data: &BitVec) -> BitVec {
+        self.code.encode(data)
+    }
+
+    /// Reads back a stored codeword with errors injected at the given bus
+    /// positions (the interposer-style fault injection of Cojocar et al.),
+    /// reporting data *and* syndrome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codeword length mismatches or a position is out of
+    /// range.
+    pub fn load_with_injected_errors(
+        &self,
+        stored: &BitVec,
+        flip_positions: &[usize],
+    ) -> ControllerReport {
+        assert_eq!(stored.len(), self.code.n(), "codeword length mismatch");
+        let mut received = stored.clone();
+        for &p in flip_positions {
+            received.flip(p);
+        }
+        let result = self.code.decode(&received);
+        ControllerReport {
+            data: result.data,
+            syndrome: result.syndrome,
+            corrected: result.correction != Correction::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beer_ecc::hamming;
+
+    #[test]
+    fn clean_reads_report_zero_syndrome() {
+        let ecc = RankLevelEcc::new(hamming::shortened(16));
+        let data = BitVec::from_u64(16, 0xBEEF);
+        let stored = ecc.store(&data);
+        let report = ecc.load_with_injected_errors(&stored, &[]);
+        assert_eq!(report.data, data);
+        assert!(report.syndrome.is_zero());
+        assert!(!report.corrected);
+    }
+
+    #[test]
+    fn single_injections_reveal_columns() {
+        // Equation 2 of the paper, in the visible-syndrome setting.
+        let ecc = RankLevelEcc::new(hamming::shortened(16));
+        let stored = ecc.store(&BitVec::zeros(16));
+        for pos in 0..ecc.code().n() {
+            let report = ecc.load_with_injected_errors(&stored, &[pos]);
+            assert_eq!(report.syndrome, ecc.code().column(pos), "position {pos}");
+            assert!(report.corrected);
+        }
+    }
+
+    #[test]
+    fn double_injections_reveal_column_sums() {
+        let ecc = RankLevelEcc::new(hamming::eq1_code());
+        let stored = ecc.store(&BitVec::zeros(4));
+        let report = ecc.load_with_injected_errors(&stored, &[1, 5]);
+        assert_eq!(
+            report.syndrome,
+            ecc.code().column(1) ^ ecc.code().column(5)
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Simulated manufacturer on-die ECC designs.
+//!
+//! The paper finds that the three LPDDR4 manufacturers use *different* ECC
+//! functions: manufacturer A's miscorrection profile looks unstructured
+//! while B's and C's show repeating patterns, "likely … due to regularities
+//! in how syndromes are organized in the parity-check matrix" (§5.1.3,
+//! Figure 3). Since the real functions are trade secrets, this module
+//! provides stand-ins with exactly those qualitative structures.
+
+use crate::code::LinearCode;
+use crate::hamming;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The three anonymized manufacturers of the paper's test chips (§5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Manufacturer {
+    /// Unstructured parity-check layout (random column assignment).
+    A,
+    /// Regular layout: columns in increasing syndrome order.
+    B,
+    /// Regular layout: columns grouped by syndrome weight.
+    C,
+}
+
+impl Manufacturer {
+    /// All three manufacturers, in paper order.
+    pub const ALL: [Manufacturer; 3] = [Manufacturer::A, Manufacturer::B, Manufacturer::C];
+}
+
+impl std::fmt::Display for Manufacturer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Manufacturer::A => write!(f, "A"),
+            Manufacturer::B => write!(f, "B"),
+            Manufacturer::C => write!(f, "C"),
+        }
+    }
+}
+
+/// The secret on-die ECC function of a simulated chip model.
+///
+/// Chips of the same manufacturer and model number share the same function
+/// (the paper confirms this experimentally in §5.1.3); `model_seed` plays
+/// the role of the model number for manufacturer A's randomized design.
+///
+/// # Examples
+///
+/// ```
+/// use beer_ecc::design::{vendor_code, Manufacturer};
+///
+/// let b0 = vendor_code(Manufacturer::B, 32, 0);
+/// let b1 = vendor_code(Manufacturer::B, 32, 1);
+/// // Manufacturer B's design is deterministic: same function regardless
+/// // of model seed.
+/// assert_eq!(b0.parity_submatrix(), b1.parity_submatrix());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn vendor_code(manufacturer: Manufacturer, k: usize, model_seed: u64) -> LinearCode {
+    let p = hamming::parity_bits_for(k);
+    match manufacturer {
+        Manufacturer::A => {
+            // Unstructured: a seeded uniform draw from the design space.
+            let mut rng = StdRng::seed_from_u64(0xA000_0000 ^ model_seed);
+            hamming::random_sec(k, &mut rng)
+        }
+        Manufacturer::B => {
+            // Sequential syndrome assignment: the k numerically smallest
+            // weight-≥2 syndromes in increasing order.
+            hamming::shortened(k)
+        }
+        Manufacturer::C => {
+            // Weight-grouped assignment: all weight-2 syndromes first, then
+            // weight-3, …, each group in increasing numeric order.
+            let mut cols = hamming::candidate_columns(p);
+            cols.sort_by_key(|c| (c.weight(), c.bits()));
+            cols.truncate(k);
+            LinearCode::from_column_masks(p, &cols).expect("weight-grouped design is valid")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miscorrection::observable_miscorrections;
+
+    #[test]
+    fn all_vendor_codes_are_valid_sec() {
+        for m in Manufacturer::ALL {
+            let code = vendor_code(m, 32, 5);
+            assert_eq!(code.k(), 32);
+            assert_eq!(code.parity_bits(), 6);
+        }
+    }
+
+    #[test]
+    fn vendors_use_different_functions() {
+        let a = vendor_code(Manufacturer::A, 64, 0);
+        let b = vendor_code(Manufacturer::B, 64, 0);
+        let c = vendor_code(Manufacturer::C, 64, 0);
+        assert_ne!(a.parity_submatrix(), b.parity_submatrix());
+        assert_ne!(b.parity_submatrix(), c.parity_submatrix());
+        assert_ne!(a.parity_submatrix(), c.parity_submatrix());
+    }
+
+    #[test]
+    fn same_model_same_function_different_model_may_differ() {
+        // §5.1.3: chips of the same model number share the ECC function.
+        let a0 = vendor_code(Manufacturer::A, 32, 7);
+        let a0_again = vendor_code(Manufacturer::A, 32, 7);
+        assert_eq!(a0.parity_submatrix(), a0_again.parity_submatrix());
+        let a1 = vendor_code(Manufacturer::A, 32, 8);
+        assert_ne!(a0.parity_submatrix(), a1.parity_submatrix());
+    }
+
+    #[test]
+    fn profiles_differ_between_vendors() {
+        // The Fig. 3 observation: different manufacturers, visibly
+        // different miscorrection profiles.
+        let k = 16;
+        let profiles: Vec<Vec<Vec<usize>>> = Manufacturer::ALL
+            .iter()
+            .map(|&m| {
+                let code = vendor_code(m, k, 0);
+                (0..k)
+                    .map(|a| observable_miscorrections(&code, &[a]))
+                    .collect()
+            })
+            .collect();
+        assert_ne!(profiles[0], profiles[1]);
+        assert_ne!(profiles[1], profiles[2]);
+    }
+
+    #[test]
+    fn vendor_c_groups_columns_by_weight() {
+        let code = vendor_code(Manufacturer::C, 20, 0);
+        let weights: Vec<u32> = (0..20).map(|c| code.data_column(c).weight()).collect();
+        let mut sorted = weights.clone();
+        sorted.sort_unstable();
+        assert_eq!(weights, sorted, "weights must be non-decreasing");
+        assert_eq!(weights[0], 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Code equivalence up to parity-bit relabeling.
+//!
+//! On-die ECC never exposes its parity bits, so BEER can determine the ECC
+//! function only up to an *equivalent code* (paper §4.2.1, §5.4): within
+//! standard form `[P | I]`, the residual freedom is exactly a permutation
+//! of the rows of `P` (relabeling which parity bit is which). Sorting the
+//! rows lexicographically therefore yields a canonical representative, and
+//! "number of distinct solutions" in BEER's uniqueness check means number
+//! of distinct canonical forms.
+
+use crate::code::LinearCode;
+use beer_gf2::BitMatrix;
+
+/// The canonical parity sub-matrix: rows sorted lexicographically (bit 0
+/// of each row most significant).
+pub fn canonical_parity(code: &LinearCode) -> BitMatrix {
+    code.parity_submatrix().with_sorted_rows()
+}
+
+/// The canonical representative of the code's equivalence class.
+///
+/// Row-sorting preserves column distinctness and weights, so the result is
+/// always a valid code.
+pub fn canonicalize(code: &LinearCode) -> LinearCode {
+    LinearCode::from_parity_submatrix(canonical_parity(code))
+        .expect("row permutation preserves code validity")
+}
+
+/// Returns `true` if the two codes are equivalent: identical up to a
+/// permutation of parity-bit labels (identical externally visible
+/// behaviour).
+pub fn equivalent(a: &LinearCode, b: &LinearCode) -> bool {
+    a.k() == b.k() && a.parity_bits() == b.parity_bits() && canonical_parity(a) == canonical_parity(b)
+}
+
+/// Applies a row permutation to a code's parity sub-matrix: `perm[i]` is
+/// the source row for destination row `i`. Used by tests to generate
+/// equivalent-but-different representations.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..parity_bits()`.
+pub fn permute_parity_rows(code: &LinearCode, perm: &[usize]) -> LinearCode {
+    let p = code.parity_bits();
+    assert_eq!(perm.len(), p, "permutation length mismatch");
+    let mut seen = vec![false; p];
+    for &s in perm {
+        assert!(s < p && !seen[s], "not a permutation: {perm:?}");
+        seen[s] = true;
+    }
+    let rows: Vec<beer_gf2::BitVec> = perm
+        .iter()
+        .map(|&src| code.parity_submatrix().row(src).clone())
+        .collect();
+    LinearCode::from_parity_submatrix(BitMatrix::from_rows(&rows))
+        .expect("row permutation preserves code validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming;
+    use crate::miscorrection::observable_miscorrections;
+
+    #[test]
+    fn code_is_equivalent_to_itself() {
+        let code = hamming::eq1_code();
+        assert!(equivalent(&code, &code));
+    }
+
+    #[test]
+    fn row_permutations_are_equivalent() {
+        let code = hamming::eq1_code();
+        let permuted = permute_parity_rows(&code, &[2, 0, 1]);
+        assert_ne!(code.parity_submatrix(), permuted.parity_submatrix());
+        assert!(equivalent(&code, &permuted));
+    }
+
+    #[test]
+    fn equivalent_codes_have_identical_miscorrection_profiles() {
+        // The invisible relabeling must not change any externally
+        // observable behaviour — this is why BEER cannot (and need not)
+        // distinguish equivalent codes.
+        let code = hamming::shortened(8);
+        let permuted = permute_parity_rows(&code, &[3, 1, 0, 2]);
+        for a in 0..8 {
+            assert_eq!(
+                observable_miscorrections(&code, &[a]),
+                observable_miscorrections(&permuted, &[a]),
+                "pattern {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_codes_are_not_equivalent() {
+        let b = crate::design::vendor_code(crate::design::Manufacturer::B, 11, 0);
+        let c = crate::design::vendor_code(crate::design::Manufacturer::C, 11, 0);
+        assert!(!equivalent(&b, &c));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let code = hamming::shortened(10);
+        let canon = canonicalize(&code);
+        let canon2 = canonicalize(&canon);
+        assert_eq!(canon.parity_submatrix(), canon2.parity_submatrix());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_rejects_non_permutations() {
+        let code = hamming::eq1_code();
+        permute_parity_rows(&code, &[0, 0, 1]);
+    }
+}

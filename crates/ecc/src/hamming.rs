@@ -1,0 +1,254 @@
+//! Single-error-correcting Hamming code constructions.
+//!
+//! The design space of §3.3: an `(n, k)` SEC code in standard form is any
+//! choice of `k` pairwise-distinct weight-≥2 columns for `P` out of the
+//! `2^p − p − 1` candidates (`p = n − k` parity bits). These constructors
+//! cover the paper's (7,4) example, full-length codes, shortened codes, and
+//! uniform random draws from the design space (used to simulate unknown
+//! on-die ECC functions).
+
+use crate::code::{CodeError, LinearCode};
+use beer_gf2::SynMask;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The paper's running example: the (7, 4, 3) Hamming code of Equation 1.
+///
+/// # Examples
+///
+/// ```
+/// use beer_ecc::hamming;
+/// let code = hamming::eq1_code();
+/// assert_eq!((code.n(), code.k()), (7, 4));
+/// ```
+pub fn eq1_code() -> LinearCode {
+    // Columns of P, top row = parity check 0: see Equation 1 in the paper.
+    let cols = [
+        SynMask::new(0b111, 3),
+        SynMask::new(0b011, 3),
+        SynMask::new(0b101, 3),
+        SynMask::new(0b110, 3),
+    ];
+    LinearCode::from_column_masks(3, &cols).expect("Eq. 1 code is valid")
+}
+
+/// Smallest number of parity bits for a SEC Hamming code with `k` data
+/// bits: the least `p` with `2^p ≥ k + p + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use beer_ecc::hamming::parity_bits_for;
+/// assert_eq!(parity_bits_for(4), 3);
+/// assert_eq!(parity_bits_for(64), 7);
+/// assert_eq!(parity_bits_for(128), 8); // on-die ECC word size (§5.1.2)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn parity_bits_for(k: usize) -> usize {
+    assert!(k > 0, "a code needs at least one data bit");
+    let mut p = 2usize;
+    while (1usize << p) < k + p + 1 {
+        p += 1;
+    }
+    p
+}
+
+/// The dataword length of the full-length Hamming code with `p` parity
+/// bits: `k = 2^p − p − 1`.
+///
+/// # Panics
+///
+/// Panics if `p < 2` or `p > 16` (full-length codes beyond that are not
+/// materializable in memory anyway).
+pub fn full_length_k(p: usize) -> usize {
+    assert!((2..=16).contains(&p), "unsupported parity-bit count {p}");
+    (1usize << p) - p - 1
+}
+
+/// All candidate `P`-columns for `p` parity bits: the weight-≥2 masks,
+/// in increasing numeric order.
+pub fn candidate_columns(p: usize) -> Vec<SynMask> {
+    assert!(p <= 24, "candidate enumeration for p={p} would be huge");
+    (0u64..(1u64 << p))
+        .filter(|v| v.count_ones() >= 2)
+        .map(|v| SynMask::new(v, p))
+        .collect()
+}
+
+/// The full-length Hamming code with `p` parity bits, columns assigned in
+/// increasing numeric order (a fixed, deterministic representative).
+///
+/// # Panics
+///
+/// Panics if `p` is out of the supported range (see [`full_length_k`]).
+pub fn full_length(p: usize) -> LinearCode {
+    let cols = candidate_columns(p);
+    LinearCode::from_column_masks(p, &cols).expect("full-length construction is valid")
+}
+
+/// A deterministic shortened SEC Hamming code with `k` data bits: the
+/// minimum number of parity bits and the numerically smallest columns.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn shortened(k: usize) -> LinearCode {
+    let p = parity_bits_for(k);
+    let cols = candidate_columns(p);
+    LinearCode::from_column_masks(p, &cols[..k]).expect("shortened construction is valid")
+}
+
+/// A uniformly random SEC Hamming code with `k` data bits and the minimum
+/// number of parity bits: a random `k`-subset of the candidate columns in
+/// random order. This samples the §3.3 design space, the population from
+/// which the paper draws its 115 300 simulated codes (§6.1).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn random_sec<R: Rng + ?Sized>(k: usize, rng: &mut R) -> LinearCode {
+    let p = parity_bits_for(k);
+    random_sec_with_parity(k, p, rng)
+}
+
+/// A uniformly random SEC code with an explicit parity-bit count `p`
+/// (which may exceed the minimum, giving more aggressive shortening).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or fewer than `k` candidate columns exist for `p`.
+pub fn random_sec_with_parity<R: Rng + ?Sized>(k: usize, p: usize, rng: &mut R) -> LinearCode {
+    let mut cols = candidate_columns(p);
+    assert!(
+        cols.len() >= k,
+        "p={p} provides only {} candidate columns for k={k}",
+        cols.len()
+    );
+    cols.shuffle(rng);
+    cols.truncate(k);
+    LinearCode::from_column_masks(p, &cols).expect("random construction is valid")
+}
+
+/// Builds a code from explicit column values (`u64` masks over `p` rows).
+///
+/// # Errors
+///
+/// Returns a [`CodeError`] if the columns do not form a valid SEC code.
+pub fn from_column_values(p: usize, cols: &[u64]) -> Result<LinearCode, CodeError> {
+    let masks: Vec<SynMask> = cols.iter().map(|&v| SynMask::new(v, p)).collect();
+    LinearCode::from_column_masks(p, &masks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parity_bits_match_hamming_bound() {
+        // Known SEC Hamming parameters.
+        let cases = [
+            (1, 2),
+            (4, 3),
+            (11, 4),
+            (26, 5),
+            (57, 6),
+            (120, 7),
+            (247, 8),
+        ];
+        for (k, p) in cases {
+            assert_eq!(parity_bits_for(k), p, "k={k}");
+        }
+        // One past each full length needs one more parity bit.
+        assert_eq!(parity_bits_for(5), 4);
+        assert_eq!(parity_bits_for(121), 8);
+    }
+
+    #[test]
+    fn full_length_k_matches_formula() {
+        assert_eq!(full_length_k(3), 4);
+        assert_eq!(full_length_k(4), 11);
+        assert_eq!(full_length_k(8), 247);
+    }
+
+    #[test]
+    fn candidate_columns_count() {
+        // 2^p − p − 1 candidates of weight ≥ 2.
+        for p in 2..=8 {
+            assert_eq!(candidate_columns(p).len(), (1 << p) - p - 1, "p={p}");
+        }
+    }
+
+    #[test]
+    fn full_length_code_is_full_length() {
+        for p in 3..=6 {
+            let c = full_length(p);
+            assert_eq!(c.k(), full_length_k(p));
+            assert!(c.is_full_length());
+        }
+    }
+
+    #[test]
+    fn shortened_code_has_min_parity() {
+        let c = shortened(32);
+        assert_eq!(c.k(), 32);
+        assert_eq!(c.parity_bits(), 6);
+        assert!(!c.is_full_length());
+    }
+
+    #[test]
+    fn random_codes_are_valid_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = random_sec(16, &mut rng);
+        let b = random_sec(16, &mut rng);
+        assert_eq!(a.k(), 16);
+        assert_eq!(a.parity_bits(), 5);
+        // Overwhelmingly likely distinct.
+        assert_ne!(
+            a.parity_submatrix(),
+            b.parity_submatrix(),
+            "two seeded draws should differ"
+        );
+    }
+
+    #[test]
+    fn random_codes_correct_all_single_errors() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &k in &[4, 11, 26, 32] {
+            let code = random_sec(k, &mut rng);
+            let d = beer_gf2::BitVec::from_indices(k, &[0, k / 2]);
+            let c = code.encode(&d);
+            for pos in 0..code.n() {
+                let mut cw = c.clone();
+                cw.flip(pos);
+                assert_eq!(code.decode(&cw).data, d, "k={k} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn eq1_is_the_smallest_full_length_code() {
+        let code = eq1_code();
+        assert!(code.is_full_length());
+        assert_eq!(code.k(), full_length_k(3));
+    }
+
+    #[test]
+    fn from_column_values_validates() {
+        assert!(from_column_values(3, &[0b111, 0b011]).is_ok());
+        assert!(from_column_values(3, &[0b111, 0b111]).is_err());
+        assert!(from_column_values(3, &[0b001, 0b011]).is_err());
+    }
+
+    #[test]
+    fn random_sec_with_extra_parity_shortens_more() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = random_sec_with_parity(8, 6, &mut rng);
+        assert_eq!(c.parity_bits(), 6);
+        assert_eq!(c.k(), 8);
+    }
+}

@@ -1,0 +1,312 @@
+//! Miscorrection analysis: which post-correction errors can a test pattern
+//! produce?
+//!
+//! This module implements the paper's §4.2.2–§4.2.3 machinery twice:
+//!
+//! * [`observable_miscorrections`] — the closed-form predicate derived in
+//!   DESIGN.md §2: for a pattern with CHARGED data-bit set `A`, a
+//!   miscorrection is observable at DISCHARGED data bit `j` iff
+//!   `∃x ⊆ A: supp(P_j ⊕ ⊕_{a∈x} P_a) ⊆ supp(⊕_{a∈A} P_a)`.
+//! * [`enumerate_outcomes`] — brute force: every subset of CHARGED cells is
+//!   pushed through the real decoder (Table 1). The property tests assert
+//!   the two agree, so the SAT encoding built on the closed form is not
+//!   validated against itself.
+//!
+//! Charge convention: at this layer a codeword bit value of 1 is CHARGED
+//! and retention errors flip 1 → 0 (true-cells). Anti-cell regions are
+//! handled by the DRAM layer, which translates between logical data and
+//! charge before reaching the code.
+
+use crate::code::{Correction, LinearCode};
+use beer_gf2::{BitVec, SynMask};
+
+/// Maximum number of charged cells brute-force enumeration will accept
+/// (2^24 decoder invocations).
+const MAX_BRUTE_FORCE_CELLS: usize = 24;
+
+/// The externally visible outcome of one pre-correction error pattern
+/// (the right-hand column of Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// No errors occurred.
+    NoError,
+    /// The post-correction dataword equals the written dataword (single
+    /// errors, or multi-bit errors the decoder happened to neutralize).
+    Correct,
+    /// The post-correction dataword is wrong: silent corruption, partial
+    /// correction, or miscorrection.
+    Uncorrectable,
+}
+
+/// One row of a Table-1-style enumeration: a concrete pre-correction error
+/// pattern and what the decoder does with it.
+#[derive(Clone, Debug)]
+pub struct OutcomeRow {
+    /// Codeword positions (data and parity) that experienced errors.
+    pub error_positions: Vec<usize>,
+    /// The error syndrome the pattern produces.
+    pub syndrome: SynMask,
+    /// Classification of the result.
+    pub outcome: Outcome,
+    /// Data bit the decoder flipped although it had no error (a
+    /// miscorrection), if any; `None` covers correct corrections, parity
+    /// flips, and unmatched syndromes.
+    pub miscorrected_bit: Option<usize>,
+}
+
+/// The CHARGED parity-bit support for a pattern whose CHARGED data bits are
+/// `charged_data`: `supp(⊕_{a∈A} P_a)`.
+pub fn charged_parity_mask(code: &LinearCode, charged_data: &[usize]) -> SynMask {
+    code.parity_mask_of_ones(charged_data)
+}
+
+/// Closed-form test: can the pattern with CHARGED data bits `charged_data`
+/// produce an observable miscorrection at DISCHARGED data bit `j`?
+///
+/// # Panics
+///
+/// Panics if `j` is charged, out of range, or `charged_data` has more than
+/// 20 entries (the ∃x search is exponential in `|A|`; BEER uses `|A| ≤ 3`).
+pub fn miscorrection_possible_at(code: &LinearCode, charged_data: &[usize], j: usize) -> bool {
+    assert!(j < code.k(), "bit {j} out of dataword range");
+    assert!(
+        !charged_data.contains(&j),
+        "miscorrections are only observable at DISCHARGED bits"
+    );
+    assert!(charged_data.len() <= 20, "charged set too large");
+    let w = charged_parity_mask(code, charged_data);
+    let pj = code.data_column(j);
+    let t = charged_data.len();
+    // ∃ x ⊆ A with supp(P_j ⊕ ⊕_{a∈x} P_a) ⊆ supp(w).
+    for x in 0u32..(1u32 << t) {
+        let mut v = pj;
+        for (idx, &a) in charged_data.iter().enumerate() {
+            if x >> idx & 1 == 1 {
+                v ^= code.data_column(a);
+            }
+        }
+        if v.is_subset_of(w) {
+            return true;
+        }
+    }
+    false
+}
+
+/// All DISCHARGED data bits where the pattern with CHARGED data bits
+/// `charged_data` can produce an observable miscorrection (closed form).
+///
+/// # Panics
+///
+/// See [`miscorrection_possible_at`].
+pub fn observable_miscorrections(code: &LinearCode, charged_data: &[usize]) -> Vec<usize> {
+    (0..code.k())
+        .filter(|j| !charged_data.contains(j))
+        .filter(|&j| miscorrection_possible_at(code, charged_data, j))
+        .collect()
+}
+
+/// Brute-force enumeration of every retention-error pattern the codeword of
+/// `charged_data` can experience, through the real decoder (Table 1).
+///
+/// Returns one [`OutcomeRow`] per subset of charged cells, including the
+/// empty pattern.
+///
+/// # Panics
+///
+/// Panics if the pattern has more than 24 charged cells in total.
+pub fn enumerate_outcomes(code: &LinearCode, charged_data: &[usize]) -> Vec<OutcomeRow> {
+    let k = code.k();
+    let data = BitVec::from_indices(k, charged_data);
+    let codeword = code.encode(&data);
+    let charged_cells: Vec<usize> = codeword.iter_ones().collect();
+    assert!(
+        charged_cells.len() <= MAX_BRUTE_FORCE_CELLS,
+        "{} charged cells exceed the brute-force limit",
+        charged_cells.len()
+    );
+
+    let mut rows = Vec::with_capacity(1 << charged_cells.len());
+    for subset in 0u64..(1u64 << charged_cells.len()) {
+        let mut erroneous = codeword.clone();
+        let mut positions = Vec::new();
+        for (idx, &cell) in charged_cells.iter().enumerate() {
+            if subset >> idx & 1 == 1 {
+                erroneous.set(cell, false); // CHARGED → DISCHARGED decay
+                positions.push(cell);
+            }
+        }
+        let result = code.decode(&erroneous);
+        let outcome = if positions.is_empty() {
+            Outcome::NoError
+        } else if result.data == data {
+            Outcome::Correct
+        } else {
+            Outcome::Uncorrectable
+        };
+        let miscorrected_bit = match result.correction {
+            Correction::Data { bit } if !positions.contains(&bit) => Some(bit),
+            _ => None,
+        };
+        rows.push(OutcomeRow {
+            error_positions: positions,
+            syndrome: result.syndrome,
+            outcome,
+            miscorrected_bit,
+        });
+    }
+    rows
+}
+
+/// Brute-force version of [`observable_miscorrections`]: the set of
+/// DISCHARGED data bits flipped by the decoder across every enumerated
+/// error pattern. Used to validate the closed form.
+///
+/// # Panics
+///
+/// See [`enumerate_outcomes`].
+pub fn observable_miscorrections_brute(code: &LinearCode, charged_data: &[usize]) -> Vec<usize> {
+    let mut bits: Vec<usize> = enumerate_outcomes(code, charged_data)
+        .into_iter()
+        .filter_map(|row| row.miscorrected_bit)
+        .filter(|b| !charged_data.contains(b))
+        .collect();
+    bits.sort_unstable();
+    bits.dedup();
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming;
+
+    #[test]
+    fn table1_pattern_count_matches_paper() {
+        // Eq. 3 codeword: dataword with only bit 2 charged under the Eq. 1
+        // code → codeword [0 0 1 0 | 0 1 1] has 3 charged cells → 8 rows.
+        let code = hamming::eq1_code();
+        let rows = enumerate_outcomes(&code, &[2]);
+        assert_eq!(rows.len(), 8);
+        // First row: empty pattern.
+        assert_eq!(rows[0].outcome, Outcome::NoError);
+        assert!(rows[0].syndrome.is_zero());
+    }
+
+    #[test]
+    fn table1_single_errors_are_correctable() {
+        let code = hamming::eq1_code();
+        for row in enumerate_outcomes(&code, &[2]) {
+            if row.error_positions.len() == 1 {
+                assert_eq!(row.outcome, Outcome::Correct, "row {row:?}");
+            }
+            if row.error_positions.len() >= 2 {
+                assert_eq!(row.outcome, Outcome::Uncorrectable, "row {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn table2_profile_of_eq1_code() {
+        // Paper Table 2: for the Eq. 1 code, only 1-CHARGED pattern 0 can
+        // produce miscorrections, and it can produce them at bits 1, 2, 3.
+        let code = hamming::eq1_code();
+        assert_eq!(observable_miscorrections(&code, &[0]), vec![1, 2, 3]);
+        assert_eq!(observable_miscorrections(&code, &[1]), Vec::<usize>::new());
+        assert_eq!(observable_miscorrections(&code, &[2]), Vec::<usize>::new());
+        assert_eq!(observable_miscorrections(&code, &[3]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn closed_form_matches_brute_force_on_eq1() {
+        let code = hamming::eq1_code();
+        for a in 0..4 {
+            assert_eq!(
+                observable_miscorrections(&code, &[a]),
+                observable_miscorrections_brute(&code, &[a]),
+                "1-CHARGED pattern {a}"
+            );
+        }
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                assert_eq!(
+                    observable_miscorrections(&code, &[a, b]),
+                    observable_miscorrections_brute(&code, &[a, b]),
+                    "2-CHARGED pattern ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_brute_force_on_random_codes() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(99);
+        for k in [4usize, 6, 8, 11] {
+            let code = hamming::random_sec(k, &mut rng);
+            for a in 0..k {
+                assert_eq!(
+                    observable_miscorrections(&code, &[a]),
+                    observable_miscorrections_brute(&code, &[a]),
+                    "k={k} pattern {a}"
+                );
+            }
+            // Sample of 2-CHARGED patterns.
+            for a in 0..k.min(4) {
+                for b in (a + 1)..k.min(5) {
+                    assert_eq!(
+                        observable_miscorrections(&code, &[a, b]),
+                        observable_miscorrections_brute(&code, &[a, b]),
+                        "k={k} pattern ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_support_rule_for_one_charged() {
+        // For 1-CHARGED patterns the predicate must reduce to support
+        // containment of the columns.
+        let code = hamming::eq1_code();
+        for a in 0..4 {
+            for j in 0..4 {
+                if a == j {
+                    continue;
+                }
+                let expected = code.data_column(j).is_subset_of(code.data_column(a));
+                assert_eq!(
+                    miscorrection_possible_at(&code, &[a], j),
+                    expected,
+                    "a={a} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_charged_pattern_has_no_observable_bits() {
+        let code = hamming::eq1_code();
+        assert!(observable_miscorrections(&code, &[0, 1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn miscorrections_require_two_or_more_errors() {
+        let code = hamming::eq1_code();
+        for row in enumerate_outcomes(&code, &[0]) {
+            if row.miscorrected_bit.is_some() {
+                assert!(
+                    row.error_positions.len() >= 2,
+                    "miscorrection from fewer than 2 errors: {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DISCHARGED")]
+    fn predicate_rejects_charged_target() {
+        let code = hamming::eq1_code();
+        miscorrection_possible_at(&code, &[0], 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the ECC layer.
+//!
+//! The key cross-validation lives here: the closed-form miscorrection
+//! predicate (which the BEER SAT encoding is built on) must agree with
+//! brute-force enumeration through the real decoder on random codes and
+//! random patterns.
+
+use beer_ecc::{hamming, miscorrection, Correction, LinearCode};
+use beer_gf2::BitVec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_code(k: usize, seed: u64) -> LinearCode {
+    let mut rng = StdRng::seed_from_u64(seed);
+    hamming::random_sec(k, &mut rng)
+}
+
+proptest! {
+    #[test]
+    fn decode_inverts_single_errors(
+        k in 4usize..20,
+        seed in any::<u64>(),
+        data_bits in prop::collection::vec(any::<bool>(), 20),
+        err_frac in 0.0f64..1.0,
+    ) {
+        let code = random_code(k, seed);
+        let d = BitVec::from_bits(&data_bits[..k]);
+        let c = code.encode(&d);
+        let pos = ((code.n() as f64 - 1.0) * err_frac) as usize;
+        let mut cw = c.clone();
+        cw.flip(pos);
+        let r = code.decode(&cw);
+        prop_assert_eq!(r.data, d);
+    }
+
+    #[test]
+    fn error_free_decode_is_clean(
+        k in 4usize..24,
+        seed in any::<u64>(),
+        data_bits in prop::collection::vec(any::<bool>(), 24),
+    ) {
+        let code = random_code(k, seed);
+        let d = BitVec::from_bits(&data_bits[..k]);
+        let c = code.encode(&d);
+        let r = code.decode(&c);
+        prop_assert_eq!(r.data, d);
+        prop_assert_eq!(r.correction, Correction::None);
+        prop_assert!(r.syndrome.is_zero());
+    }
+
+    #[test]
+    fn closed_form_equals_brute_force_1charged(
+        k in 4usize..12,
+        seed in any::<u64>(),
+        a_frac in 0.0f64..1.0,
+    ) {
+        let code = random_code(k, seed);
+        let a = ((k - 1) as f64 * a_frac) as usize;
+        prop_assert_eq!(
+            miscorrection::observable_miscorrections(&code, &[a]),
+            miscorrection::observable_miscorrections_brute(&code, &[a])
+        );
+    }
+
+    #[test]
+    fn closed_form_equals_brute_force_2charged(
+        k in 4usize..10,
+        seed in any::<u64>(),
+        a_frac in 0.0f64..1.0,
+        b_frac in 0.0f64..1.0,
+    ) {
+        let code = random_code(k, seed);
+        let a = ((k - 1) as f64 * a_frac) as usize;
+        let mut b = ((k - 1) as f64 * b_frac) as usize;
+        if a == b { b = (b + 1) % k; }
+        prop_assert_eq!(
+            miscorrection::observable_miscorrections(&code, &[a, b]),
+            miscorrection::observable_miscorrections_brute(&code, &[a, b])
+        );
+    }
+
+    #[test]
+    fn closed_form_equals_brute_force_3charged(
+        k in 5usize..9,
+        seed in any::<u64>(),
+    ) {
+        let code = random_code(k, seed);
+        let charged = [0usize, 2, 4];
+        prop_assert_eq!(
+            miscorrection::observable_miscorrections(&code, &charged),
+            miscorrection::observable_miscorrections_brute(&code, &charged)
+        );
+    }
+
+    #[test]
+    fn outcome_enumeration_is_exhaustive(
+        k in 4usize..10,
+        seed in any::<u64>(),
+        a_frac in 0.0f64..1.0,
+    ) {
+        let code = random_code(k, seed);
+        let a = ((k - 1) as f64 * a_frac) as usize;
+        let rows = miscorrection::enumerate_outcomes(&code, &[a]);
+        // 1 + weight(parity of pattern) charged cells → 2^cells rows.
+        let charged_cells = 1 + miscorrection::charged_parity_mask(&code, &[a]).weight();
+        prop_assert_eq!(rows.len(), 1usize << charged_cells);
+    }
+
+    #[test]
+    fn reconstruction_inverts_every_miscorrection(
+        k in 4usize..10,
+        seed in any::<u64>(),
+        a_frac in 0.0f64..1.0,
+    ) {
+        // For every enumerated error pattern that yields a data
+        // miscorrection, BEEP-style reconstruction must recover the exact
+        // pre-correction codeword.
+        let code = random_code(k, seed);
+        let a = ((k - 1) as f64 * a_frac) as usize;
+        let data = BitVec::from_indices(k, &[a]);
+        let codeword = code.encode(&data);
+        for row in miscorrection::enumerate_outcomes(&code, &[a]) {
+            let Some(bit) = row.miscorrected_bit else { continue };
+            if data.get(bit) {
+                continue; // only DISCHARGED-bit observations are exact
+            }
+            let mut erroneous = codeword.clone();
+            for &p in &row.error_positions {
+                erroneous.flip(p);
+            }
+            let decoded = code.decode(&erroneous);
+            let recon = code.reconstruct_precorrection_codeword(&decoded.data, bit);
+            prop_assert_eq!(recon, erroneous);
+        }
+    }
+
+    #[test]
+    fn generator_and_parity_check_are_orthogonal(
+        k in 2usize..30,
+        seed in any::<u64>(),
+    ) {
+        let code = random_code(k, seed);
+        let h = code.parity_check_matrix();
+        let g = code.generator_matrix();
+        let zero = beer_gf2::BitMatrix::zeros(code.parity_bits(), k);
+        prop_assert_eq!(h.mul(&g), zero);
+    }
+
+    #[test]
+    fn equivalence_respected_by_canonicalization(
+        k in 4usize..12,
+        seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        use beer_ecc::equivalence;
+        use rand::seq::SliceRandom;
+        let code = random_code(k, seed);
+        let mut perm: Vec<usize> = (0..code.parity_bits()).collect();
+        perm.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+        let permuted = equivalence::permute_parity_rows(&code, &perm);
+        prop_assert!(equivalence::equivalent(&code, &permuted));
+        prop_assert_eq!(
+            equivalence::canonical_parity(&code),
+            equivalence::canonical_parity(&permuted)
+        );
+    }
+}

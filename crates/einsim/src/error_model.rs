@@ -1,0 +1,88 @@
+//! Pre-correction error models.
+
+/// How raw (pre-correction) errors are injected into stored codewords.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ErrorModel {
+    /// Every codeword bit flips independently with probability `ber`,
+    /// regardless of its value (the model behind Figure 1).
+    UniformRandom {
+        /// Raw bit error rate.
+        ber: f64,
+    },
+    /// Data-retention errors: only CHARGED cells (codeword bits storing 1
+    /// under the true-cell convention) decay, each with probability `ber`
+    /// per test (§3.2's unidirectional, uniform-random model).
+    Retention {
+        /// Per-charged-cell failure probability.
+        ber: f64,
+    },
+    /// A fixed set of weak codeword positions, each failing (CHARGED →
+    /// DISCHARGED) with probability `fail_probability` per word — the
+    /// per-bit error probability model of Figure 9.
+    WeakCells {
+        /// Codeword positions of the weak cells.
+        cells: Vec<usize>,
+        /// Per-trial failure probability of each weak cell.
+        fail_probability: f64,
+    },
+}
+
+impl ErrorModel {
+    /// Validates the model against a codeword length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]` or a weak-cell position
+    /// is out of range.
+    pub fn validate(&self, n: usize) {
+        match self {
+            ErrorModel::UniformRandom { ber } | ErrorModel::Retention { ber } => {
+                assert!((0.0..=1.0).contains(ber), "BER {ber} out of [0,1]");
+            }
+            ErrorModel::WeakCells {
+                cells,
+                fail_probability,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(fail_probability),
+                    "probability {fail_probability} out of [0,1]"
+                );
+                for &c in cells {
+                    assert!(c < n, "weak cell {c} out of codeword range {n}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_accepts_reasonable_models() {
+        ErrorModel::UniformRandom { ber: 1e-4 }.validate(38);
+        ErrorModel::Retention { ber: 0.5 }.validate(38);
+        ErrorModel::WeakCells {
+            cells: vec![0, 37],
+            fail_probability: 1.0,
+        }
+        .validate(38);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn validation_rejects_bad_ber() {
+        ErrorModel::UniformRandom { ber: 1.5 }.validate(38);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of codeword range")]
+    fn validation_rejects_bad_cell() {
+        ErrorModel::WeakCells {
+            cells: vec![38],
+            fail_probability: 0.5,
+        }
+        .validate(38);
+    }
+}

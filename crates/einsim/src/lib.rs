@@ -1,0 +1,40 @@
+//! EINSim-style Monte-Carlo DRAM error-correction simulation.
+//!
+//! The paper evaluates BEER and BEEP with the EINSim open-source simulator
+//! (Patel et al., DSN 2019): encode a dataword, inject errors from a
+//! parameterized model, decode, and compare the pre- and post-correction
+//! error characteristics over millions of ECC words. This crate is the
+//! reproduction's equivalent, used for:
+//!
+//! * Figure 1 — per-bit post-correction error probabilities under
+//!   different ECC functions with uniform-random errors,
+//! * the §5.1.3 cross-check — simulated miscorrection profiles must match
+//!   the profiles measured on (simulated) chips,
+//! * general workloads for the benchmark harness.
+//!
+//! The hot path avoids materializing codewords: error positions are drawn
+//! sparsely (geometric gap sampling), the syndrome is a single-word XOR of
+//! the affected parity-check columns, and only the error *set* is tracked.
+//!
+//! # Examples
+//!
+//! ```
+//! use beer_ecc::hamming;
+//! use beer_einsim::{simulate, ErrorModel, SimConfig};
+//! use beer_gf2::BitVec;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let code = hamming::shortened(32);
+//! let data = BitVec::ones(32); // the paper's 0xFF test pattern
+//! let cfg = SimConfig { words: 100_000, model: ErrorModel::UniformRandom { ber: 1e-4 } };
+//! let stats = simulate(&code, &data, &cfg, &mut SmallRng::seed_from_u64(1));
+//! assert_eq!(stats.words, 100_000);
+//! ```
+
+mod error_model;
+mod sim;
+pub mod stats;
+
+pub use error_model::ErrorModel;
+pub use sim::{simulate, simulate_batches, PerBitStats, SimConfig};

@@ -1,0 +1,38 @@
+//! Dense linear algebra over GF(2) for the BEER reproduction.
+//!
+//! Everything BEER manipulates — codewords, syndromes, generator and
+//! parity-check matrices — lives in the two-element field GF(2), where
+//! addition is XOR and multiplication is AND. This crate provides the two
+//! workhorse types used throughout the workspace:
+//!
+//! * [`BitVec`] — a fixed-length vector of bits packed into `u64` words,
+//! * [`BitMatrix`] — a dense matrix stored as a row vector of [`BitVec`]s,
+//!
+//! plus [`SynMask`], a zero-allocation `u64` mask used on hot paths where a
+//! column of a parity-check matrix (at most 64 parity bits) must be compared
+//! or combined millions of times.
+//!
+//! # Examples
+//!
+//! ```
+//! use beer_gf2::{BitMatrix, BitVec};
+//!
+//! // The parity sub-matrix P of the paper's (7,4) Hamming code (Eq. 1).
+//! let p = BitMatrix::from_rows(&[
+//!     BitVec::from_bits(&[true, true, true, false]),
+//!     BitVec::from_bits(&[true, true, false, true]),
+//!     BitVec::from_bits(&[true, false, true, true]),
+//! ]);
+//! assert_eq!(p.rank(), 3);
+//! let d = BitVec::from_bits(&[true, false, false, false]);
+//! let parity = p.mul_vec(&d);
+//! assert_eq!(parity, BitVec::from_bits(&[true, true, true]));
+//! ```
+
+mod bitvec;
+mod mask;
+mod matrix;
+
+pub use bitvec::BitVec;
+pub use mask::SynMask;
+pub use matrix::BitMatrix;

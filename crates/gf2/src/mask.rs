@@ -1,0 +1,240 @@
+//! Compact syndrome masks for hot paths.
+
+use crate::BitVec;
+use std::fmt;
+
+/// A syndrome (or parity-check matrix column) packed into a single `u64`.
+///
+/// BEER's inner loops — enumerating millions of retention-error patterns and
+/// checking which miscorrections they can cause — operate on columns of the
+/// parity sub-matrix `P`, which has at most `n - k ≤ 64` rows for every code
+/// the paper considers (8 parity bits for the 128-bit on-die ECC words, 8
+/// for 247-bit codes). `SynMask` keeps those columns in registers.
+///
+/// Bit `r` of the mask is row `r` of the column.
+///
+/// # Examples
+///
+/// ```
+/// use beer_gf2::SynMask;
+///
+/// let a = SynMask::new(0b0110, 4);
+/// let b = SynMask::new(0b0010, 4);
+/// assert!(b.is_subset_of(a));
+/// assert_eq!((a ^ b).bits(), 0b0100);
+/// assert_eq!(a.weight(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SynMask {
+    bits: u64,
+    len: u8,
+}
+
+impl SynMask {
+    /// Creates a mask of `len` rows from the low bits of `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64` or if `bits` has bits set at or above `len`.
+    pub fn new(bits: u64, len: usize) -> Self {
+        assert!(len <= 64, "SynMask supports at most 64 rows");
+        if len < 64 {
+            assert!(
+                bits < (1u64 << len),
+                "mask value 0b{bits:b} does not fit in {len} rows"
+            );
+        }
+        SynMask {
+            bits,
+            len: len as u8,
+        }
+    }
+
+    /// The all-zero mask of `len` rows.
+    pub fn zero(len: usize) -> Self {
+        SynMask::new(0, len)
+    }
+
+    /// Converts a [`BitVec`] of at most 64 bits into a mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() > 64`.
+    pub fn from_bitvec(v: &BitVec) -> Self {
+        SynMask::new(v.to_u64(), v.len())
+    }
+
+    /// Expands the mask back into a [`BitVec`].
+    pub fn to_bitvec(self) -> BitVec {
+        BitVec::from_u64(self.len as usize, self.bits)
+    }
+
+    /// Raw bit pattern (row `r` = bit `r`).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if the mask has zero rows.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= len()`.
+    #[inline]
+    pub fn get(self, r: usize) -> bool {
+        assert!(r < self.len as usize);
+        (self.bits >> r) & 1 == 1
+    }
+
+    /// Hamming weight.
+    #[inline]
+    pub fn weight(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Returns `true` if no row is set.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Support containment: every set row of `self` is set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[inline]
+    pub fn is_subset_of(self, other: SynMask) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.bits & !other.bits == 0
+    }
+}
+
+impl std::ops::BitXor for SynMask {
+    type Output = SynMask;
+    #[inline]
+    fn bitxor(self, rhs: SynMask) -> SynMask {
+        debug_assert_eq!(self.len, rhs.len, "xor of different mask lengths");
+        SynMask {
+            bits: self.bits ^ rhs.bits,
+            len: self.len,
+        }
+    }
+}
+
+impl std::ops::BitXorAssign for SynMask {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: SynMask) {
+        debug_assert_eq!(self.len, rhs.len);
+        self.bits ^= rhs.bits;
+    }
+}
+
+impl std::ops::BitAnd for SynMask {
+    type Output = SynMask;
+    #[inline]
+    fn bitand(self, rhs: SynMask) -> SynMask {
+        debug_assert_eq!(self.len, rhs.len);
+        SynMask {
+            bits: self.bits & rhs.bits,
+            len: self.len,
+        }
+    }
+}
+
+impl std::ops::BitOr for SynMask {
+    type Output = SynMask;
+    #[inline]
+    fn bitor(self, rhs: SynMask) -> SynMask {
+        debug_assert_eq!(self.len, rhs.len);
+        SynMask {
+            bits: self.bits | rhs.bits,
+            len: self.len,
+        }
+    }
+}
+
+impl fmt::Debug for SynMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SynMask({:0width$b})", self.bits, width = self.len as usize)
+    }
+}
+
+impl fmt::Display for SynMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.len as usize {
+            write!(f, "{}", if self.get(r) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for SynMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::LowerHex for SynMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_bitvec() {
+        let v = BitVec::from_indices(8, &[0, 3, 7]);
+        let m = SynMask::from_bitvec(&v);
+        assert_eq!(m.weight(), 3);
+        assert_eq!(m.to_bitvec(), v);
+    }
+
+    #[test]
+    fn subset_semantics_match_bitvec() {
+        let a = SynMask::new(0b1010, 4);
+        let b = SynMask::new(0b1000, 4);
+        assert!(b.is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(SynMask::zero(4).is_subset_of(b));
+    }
+
+    #[test]
+    fn xor_and_or() {
+        let a = SynMask::new(0b0110, 4);
+        let b = SynMask::new(0b0011, 4);
+        assert_eq!((a ^ b).bits(), 0b0101);
+        assert_eq!((a & b).bits(), 0b0010);
+        assert_eq!((a | b).bits(), 0b0111);
+        let mut c = a;
+        c ^= b;
+        assert_eq!(c.bits(), 0b0101);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn new_rejects_out_of_range_bits() {
+        SynMask::new(0b100, 2);
+    }
+
+    #[test]
+    fn display_row_order_matches_bitvec() {
+        let v = BitVec::from_bits(&[true, false, true, true]);
+        let m = SynMask::from_bitvec(&v);
+        assert_eq!(m.to_string(), v.to_string());
+    }
+}

@@ -1,0 +1,551 @@
+//! Dense GF(2) matrices.
+
+use crate::BitVec;
+use std::fmt;
+
+/// A dense matrix over GF(2), stored row-major as a vector of [`BitVec`]s.
+///
+/// The matrix dimensions are fixed at construction. Row and column counts of
+/// zero are permitted (degenerate matrices show up naturally when a code has
+/// no data bits during testing).
+///
+/// # Examples
+///
+/// ```
+/// use beer_gf2::{BitMatrix, BitVec};
+///
+/// let h = BitMatrix::identity(3);
+/// let x = BitVec::from_bits(&[true, false, true]);
+/// assert_eq!(h.mul_vec(&x), x);
+/// assert_eq!(h.rank(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<BitVec>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        BitMatrix {
+            rows,
+            cols,
+            data: (0..rows).map(|_| BitVec::zeros(cols)).collect(),
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i].set(i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[BitVec]) -> Self {
+        let cols = rows.first().map_or(0, BitVec::len);
+        for r in rows {
+            assert_eq!(r.len(), cols, "rows of differing lengths");
+        }
+        BitMatrix {
+            rows: rows.len(),
+            cols,
+            data: rows.to_vec(),
+        }
+    }
+
+    /// Builds a matrix from a nested boolean array, outer = rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_bools(rows: &[&[bool]]) -> Self {
+        let data: Vec<BitVec> = rows.iter().map(|r| BitVec::from_bits(r)).collect();
+        BitMatrix::from_rows(&data)
+    }
+
+    /// Builds a matrix from columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have differing lengths.
+    pub fn from_cols(cols: &[BitVec]) -> Self {
+        let rows = cols.first().map_or(0, BitVec::len);
+        for c in cols {
+            assert_eq!(c.len(), rows, "columns of differing lengths");
+        }
+        let mut m = BitMatrix::zeros(rows, cols.len());
+        for (j, c) in cols.iter().enumerate() {
+            for i in c.iter_ones() {
+                m.data[i].set(j, true);
+            }
+        }
+        m
+    }
+
+    /// Creates a uniformly random matrix using `rng`.
+    pub fn random<R: rand::Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let mut m = BitMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.random::<bool>() {
+                    m.data[r].set(c, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows, "row {r} out of range {}", self.rows);
+        self.data[r].get(c)
+    }
+
+    /// Sets element (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        assert!(r < self.rows, "row {r} out of range {}", self.rows);
+        self.data[r].set(c, value);
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row(&self, r: usize) -> &BitVec {
+        &self.data[r]
+    }
+
+    /// Copy of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols()`.
+    pub fn col(&self, c: usize) -> BitVec {
+        assert!(c < self.cols, "column {c} out of range {}", self.cols);
+        let mut v = BitVec::zeros(self.rows);
+        for r in 0..self.rows {
+            if self.data[r].get(c) {
+                v.set(r, true);
+            }
+        }
+        v
+    }
+
+    /// Iterator over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &BitVec> {
+        self.data.iter()
+    }
+
+    /// Matrix–vector product `M · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols()`.
+    pub fn mul_vec(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut out = BitVec::zeros(self.rows);
+        for (r, row) in self.data.iter().enumerate() {
+            if row.dot(x) {
+                out.set(r, true);
+            }
+        }
+        out
+    }
+
+    /// Vector–matrix product `xᵀ · M` (returns a column-length vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows()`.
+    pub fn mul_vec_left(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in mul_vec_left");
+        let mut out = BitVec::zeros(self.cols);
+        for r in x.iter_ones() {
+            out ^= &self.data[r];
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in mul");
+        let mut out = BitMatrix::zeros(self.rows, rhs.cols);
+        for (r, row) in self.data.iter().enumerate() {
+            for k in row.iter_ones() {
+                out.data[r] ^= &rhs.data[k];
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut out = BitMatrix::zeros(self.cols, self.rows);
+        for (r, row) in self.data.iter().enumerate() {
+            for c in row.iter_ones() {
+                out.data[c].set(r, true);
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.rows, rhs.rows, "hstack with differing row counts");
+        let data: Vec<BitVec> = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a.concat(b))
+            .collect();
+        BitMatrix {
+            rows: self.rows,
+            cols: self.cols + rhs.cols,
+            data,
+        }
+    }
+
+    /// Vertical concatenation (self on top of rhs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, rhs.cols, "vstack with differing column counts");
+        let mut data = self.data.clone();
+        data.extend(rhs.data.iter().cloned());
+        BitMatrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Sub-matrix of columns `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn col_slice(&self, range: std::ops::Range<usize>) -> BitMatrix {
+        let data: Vec<BitVec> = self.data.iter().map(|r| r.slice(range.clone())).collect();
+        BitMatrix {
+            rows: self.rows,
+            cols: range.end - range.start,
+            data,
+        }
+    }
+
+    /// Reduced row-echelon form; returns `(rref, rank, pivot_columns)`.
+    pub fn rref(&self) -> (BitMatrix, usize, Vec<usize>) {
+        let mut m = self.clone();
+        let mut pivots = Vec::new();
+        let mut r = 0;
+        for c in 0..m.cols {
+            if r == m.rows {
+                break;
+            }
+            // Find a pivot in column c at or below row r.
+            let pivot = (r..m.rows).find(|&i| m.data[i].get(c));
+            let Some(p) = pivot else { continue };
+            m.data.swap(r, p);
+            // Eliminate column c from every other row.
+            let pivot_row = m.data[r].clone();
+            for (i, row) in m.data.iter_mut().enumerate() {
+                if i != r && row.get(c) {
+                    *row ^= &pivot_row;
+                }
+            }
+            pivots.push(c);
+            r += 1;
+        }
+        (m, r, pivots)
+    }
+
+    /// Rank of the matrix.
+    pub fn rank(&self) -> usize {
+        self.rref().1
+    }
+
+    /// Inverse of a square matrix, or `None` if singular.
+    pub fn inverse(&self) -> Option<BitMatrix> {
+        assert_eq!(self.rows, self.cols, "inverse of a non-square matrix");
+        let aug = self.hstack(&BitMatrix::identity(self.rows));
+        let (rref, _, pivots) = aug.rref();
+        // `[M | I]` always has full row rank; M is invertible iff every pivot
+        // lands in the left (M) half, which then reduces to the identity.
+        if pivots.len() < self.rows || pivots.iter().any(|&c| c >= self.cols) {
+            return None;
+        }
+        Some(rref.col_slice(self.cols..2 * self.cols))
+    }
+
+    /// Solves `self · x = b` for one solution, or `None` if inconsistent.
+    ///
+    /// If the system is under-determined, free variables are set to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != rows()`.
+    pub fn solve(&self, b: &BitVec) -> Option<BitVec> {
+        assert_eq!(b.len(), self.rows, "dimension mismatch in solve");
+        let bm = BitMatrix::from_cols(std::slice::from_ref(b));
+        let aug = self.hstack(&bm);
+        let (rref, _, pivots) = aug.rref();
+        // Inconsistent if a pivot lands in the augmented column.
+        if pivots.iter().any(|&c| c == self.cols) {
+            return None;
+        }
+        let mut x = BitVec::zeros(self.cols);
+        for (ri, &c) in pivots.iter().enumerate() {
+            if rref.data[ri].get(self.cols) {
+                x.set(c, true);
+            }
+        }
+        Some(x)
+    }
+
+    /// A basis of the null space (kernel) of the matrix.
+    pub fn null_space(&self) -> Vec<BitVec> {
+        let (rref, _, pivots) = self.rref();
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        let mut basis = Vec::new();
+        for free in 0..self.cols {
+            if pivot_set.contains(&free) {
+                continue;
+            }
+            let mut v = BitVec::zeros(self.cols);
+            v.set(free, true);
+            for (ri, &pc) in pivots.iter().enumerate() {
+                if rref.data[ri].get(free) {
+                    v.set(pc, true);
+                }
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// Returns a copy with rows sorted lexicographically (bit 0 most
+    /// significant) — the canonical representative used to compare
+    /// parity-check matrices up to row permutation.
+    pub fn with_sorted_rows(&self) -> BitMatrix {
+        let mut data = self.data.clone();
+        data.sort_by(|a, b| a.lex_cmp(b));
+        BitMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Returns `true` if the trailing `rows()` columns form an identity
+    /// block, i.e. the matrix is in standard form `[P | I]`.
+    pub fn is_standard_form(&self) -> bool {
+        if self.cols < self.rows {
+            return false;
+        }
+        let offset = self.cols - self.rows;
+        for r in 0..self.rows {
+            for c in 0..self.rows {
+                if self.get(r, offset + c) != (r == c) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows, self.cols)?;
+        for row in &self.data {
+            writeln!(f, "  {row}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, row) in self.data.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eq1_parity_check() -> BitMatrix {
+        // H of the paper's (7,4) Hamming code (Equation 1).
+        BitMatrix::from_bools(&[
+            &[true, true, true, false, true, false, false],
+            &[true, true, false, true, false, true, false],
+            &[true, false, true, true, false, false, true],
+        ])
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = BitMatrix::identity(5);
+        let x = BitVec::from_indices(5, &[1, 4]);
+        assert_eq!(i.mul_vec(&x), x);
+        assert_eq!(i.rank(), 5);
+        assert!(i.is_standard_form());
+    }
+
+    #[test]
+    fn from_cols_matches_col_accessor() {
+        let c0 = BitVec::from_indices(3, &[0, 2]);
+        let c1 = BitVec::from_indices(3, &[1]);
+        let m = BitMatrix::from_cols(&[c0.clone(), c1.clone()]);
+        assert_eq!(m.col(0), c0);
+        assert_eq!(m.col(1), c1);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    fn mul_vec_computes_syndrome_of_eq1() {
+        let h = eq1_parity_check();
+        // Error at position 2 must produce column 2 of H (paper Eq. 2).
+        let e2 = BitVec::unit(7, 2);
+        assert_eq!(h.mul_vec(&e2), h.col(2));
+    }
+
+    #[test]
+    fn mul_and_transpose_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = BitMatrix::random(4, 6, &mut rng);
+        let b = BitMatrix::random(6, 3, &mut rng);
+        let ab = a.mul(&b);
+        let btat = b.transpose().mul(&a.transpose());
+        assert_eq!(ab.transpose(), btat);
+    }
+
+    #[test]
+    fn rref_of_eq1_has_full_rank() {
+        let h = eq1_parity_check();
+        let (_, rank, pivots) = h.rref();
+        assert_eq!(rank, 3);
+        assert_eq!(pivots.len(), 3);
+        assert!(h.is_standard_form());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Keep drawing random square matrices until one is invertible.
+        loop {
+            let m = BitMatrix::random(6, 6, &mut rng);
+            if let Some(inv) = m.inverse() {
+                assert_eq!(m.mul(&inv), BitMatrix::identity(6));
+                assert_eq!(inv.mul(&m), BitMatrix::identity(6));
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = BitMatrix::zeros(3, 3);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn solve_finds_consistent_solution() {
+        let h = eq1_parity_check();
+        let b = h.col(4); // syndrome of a single error at bit 4
+        let x = h.solve(&b).expect("consistent system");
+        assert_eq!(h.mul_vec(&x), b);
+    }
+
+    #[test]
+    fn solve_detects_inconsistency() {
+        // x + y = 1 and x + y = 0 simultaneously.
+        let m = BitMatrix::from_bools(&[&[true, true], &[true, true]]);
+        let b = BitVec::from_bits(&[true, false]);
+        assert!(m.solve(&b).is_none());
+    }
+
+    #[test]
+    fn null_space_vectors_are_in_kernel() {
+        let h = eq1_parity_check();
+        let basis = h.null_space();
+        assert_eq!(basis.len(), 4); // n - rank = 7 - 3
+        for v in &basis {
+            assert!(h.mul_vec(v).is_zero(), "basis vector not in kernel");
+        }
+    }
+
+    #[test]
+    fn hstack_vstack_dimensions() {
+        let a = BitMatrix::identity(2);
+        let b = BitMatrix::zeros(2, 3);
+        let h = a.hstack(&b);
+        assert_eq!((h.rows(), h.cols()), (2, 5));
+        let v = a.vstack(&BitMatrix::identity(2));
+        assert_eq!((v.rows(), v.cols()), (4, 2));
+    }
+
+    #[test]
+    fn sorted_rows_is_canonical_under_permutation() {
+        let m = BitMatrix::from_bools(&[&[true, false], &[false, true], &[true, true]]);
+        let p = BitMatrix::from_bools(&[&[true, true], &[true, false], &[false, true]]);
+        assert_eq!(m.with_sorted_rows(), p.with_sorted_rows());
+    }
+
+    #[test]
+    fn mul_vec_left_matches_transpose_mul() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = BitMatrix::random(5, 9, &mut rng);
+        let x = BitVec::from_indices(5, &[0, 2, 4]);
+        assert_eq!(m.mul_vec_left(&x), m.transpose().mul_vec(&x));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the GF(2) algebra layer.
+
+use beer_gf2::{BitMatrix, BitVec, SynMask};
+use proptest::prelude::*;
+
+fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), len).prop_map(|bits| BitVec::from_bits(&bits))
+}
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = BitMatrix> {
+    prop::collection::vec(bitvec_strategy(cols), rows).prop_map(|rows| BitMatrix::from_rows(&rows))
+}
+
+proptest! {
+    #[test]
+    fn xor_is_self_inverse(a in bitvec_strategy(97), b in bitvec_strategy(97)) {
+        let c = &a ^ &b;
+        prop_assert_eq!(&c ^ &b, a);
+    }
+
+    #[test]
+    fn xor_is_commutative_and_associative(
+        a in bitvec_strategy(40),
+        b in bitvec_strategy(40),
+        c in bitvec_strategy(40),
+    ) {
+        prop_assert_eq!(&a ^ &b, &b ^ &a);
+        prop_assert_eq!(&(&a ^ &b) ^ &c, &a ^ &(&b ^ &c));
+    }
+
+    #[test]
+    fn weight_matches_iter_ones(a in bitvec_strategy(130)) {
+        prop_assert_eq!(a.weight(), a.iter_ones().count());
+    }
+
+    #[test]
+    fn subset_iff_and_equals_self(a in bitvec_strategy(66), b in bitvec_strategy(66)) {
+        prop_assert_eq!(a.is_subset_of(&b), (&a & &b) == a);
+    }
+
+    #[test]
+    fn dot_is_bilinear(
+        a in bitvec_strategy(33),
+        b in bitvec_strategy(33),
+        c in bitvec_strategy(33),
+    ) {
+        // (a ⊕ b)·c == a·c ⊕ b·c over GF(2)
+        prop_assert_eq!((&a ^ &b).dot(&c), a.dot(&c) ^ b.dot(&c));
+    }
+
+    #[test]
+    fn synmask_ops_match_bitvec_ops(
+        a in bitvec_strategy(48),
+        b in bitvec_strategy(48),
+    ) {
+        let (ma, mb) = (SynMask::from_bitvec(&a), SynMask::from_bitvec(&b));
+        prop_assert_eq!((ma ^ mb).to_bitvec(), &a ^ &b);
+        prop_assert_eq!(ma.is_subset_of(mb), a.is_subset_of(&b));
+        prop_assert_eq!(ma.weight() as usize, a.weight());
+    }
+
+    #[test]
+    fn mul_vec_distributes_over_xor(
+        m in matrix_strategy(8, 20),
+        x in bitvec_strategy(20),
+        y in bitvec_strategy(20),
+    ) {
+        prop_assert_eq!(m.mul_vec(&(&x ^ &y)), &m.mul_vec(&x) ^ &m.mul_vec(&y));
+    }
+
+    #[test]
+    fn rref_is_idempotent(m in matrix_strategy(6, 10)) {
+        let (r1, rank1, _) = m.rref();
+        let (r2, rank2, _) = r1.rref();
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(rank1, rank2);
+    }
+
+    #[test]
+    fn rank_bounded_by_dims(m in matrix_strategy(7, 12)) {
+        prop_assert!(m.rank() <= 7);
+        prop_assert!(m.transpose().rank() == m.rank());
+    }
+
+    #[test]
+    fn solve_solutions_satisfy_system(m in matrix_strategy(6, 9), x in bitvec_strategy(9)) {
+        // Construct a guaranteed-consistent right-hand side.
+        let b = m.mul_vec(&x);
+        let sol = m.solve(&b).expect("consistent by construction");
+        prop_assert_eq!(m.mul_vec(&sol), b);
+    }
+
+    #[test]
+    fn null_space_dimension_theorem(m in matrix_strategy(5, 11)) {
+        let basis = m.null_space();
+        prop_assert_eq!(basis.len(), 11 - m.rank());
+        for v in &basis {
+            prop_assert!(m.mul_vec(v).is_zero());
+        }
+    }
+
+    #[test]
+    fn inverse_if_full_rank(m in matrix_strategy(6, 6)) {
+        match m.inverse() {
+            Some(inv) => {
+                prop_assert_eq!(m.rank(), 6);
+                prop_assert_eq!(m.mul(&inv), BitMatrix::identity(6));
+            }
+            None => prop_assert!(m.rank() < 6),
+        }
+    }
+
+    #[test]
+    fn sorted_rows_invariant_under_shuffle(
+        m in matrix_strategy(5, 8),
+        seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rows: Vec<BitVec> = m.iter_rows().cloned().collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        rows.shuffle(&mut rng);
+        let shuffled = BitMatrix::from_rows(&rows);
+        prop_assert_eq!(m.with_sorted_rows(), shuffled.with_sorted_rows());
+    }
+}

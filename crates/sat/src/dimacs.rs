@@ -1,0 +1,179 @@
+//! DIMACS CNF reading and writing.
+//!
+//! Used by the test suite to cross-check the solver on hand-written
+//! instances and to dump BEER's generated formulas for external debugging.
+
+use crate::types::Lit;
+use std::fmt::Write as _;
+
+/// A parsed DIMACS problem: variable count plus clause list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Problem {
+    /// Declared number of variables.
+    pub num_vars: usize,
+    /// Clauses as literal lists.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// An error produced while parsing DIMACS text.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DIMACS parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// Accepts comment lines (`c …`), one `p cnf <vars> <clauses>` header, and
+/// clauses terminated by `0`. Clauses may span lines. The declared counts
+/// are validated loosely: variables beyond the declared count grow the
+/// problem, mirroring common solver behaviour.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers or non-integer tokens.
+///
+/// # Examples
+///
+/// ```
+/// use beer_sat::dimacs;
+///
+/// let p = dimacs::parse("p cnf 2 2\n1 -2 0\n2 0\n").unwrap();
+/// assert_eq!(p.num_vars, 2);
+/// assert_eq!(p.clauses.len(), 2);
+/// ```
+pub fn parse(text: &str) -> Result<Problem, ParseDimacsError> {
+    let mut num_vars = 0usize;
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut saw_header = false;
+
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            if saw_header {
+                return Err(ParseDimacsError {
+                    line: line_no,
+                    message: "duplicate problem header".into(),
+                });
+            }
+            let parts: Vec<&str> = trimmed.split_whitespace().collect();
+            if parts.len() != 4 || parts[1] != "cnf" {
+                return Err(ParseDimacsError {
+                    line: line_no,
+                    message: format!("malformed header: {trimmed:?}"),
+                });
+            }
+            num_vars = parts[2].parse().map_err(|_| ParseDimacsError {
+                line: line_no,
+                message: format!("bad variable count: {:?}", parts[2]),
+            })?;
+            saw_header = true;
+            continue;
+        }
+        for tok in trimmed.split_whitespace() {
+            let value: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: line_no,
+                message: format!("bad literal token: {tok:?}"),
+            })?;
+            if value == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let lit = Lit::from_dimacs(value);
+                num_vars = num_vars.max(lit.var().index() + 1);
+                current.push(lit);
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok(Problem { num_vars, clauses })
+}
+
+/// Renders a clause list as DIMACS CNF text.
+///
+/// # Examples
+///
+/// ```
+/// use beer_sat::{dimacs, Lit};
+///
+/// let clauses = vec![vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]];
+/// let text = dimacs::write(2, &clauses);
+/// assert!(text.contains("p cnf 2 1"));
+/// assert!(text.contains("1 -2 0"));
+/// ```
+pub fn write(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", num_vars, clauses.len());
+    for c in clauses {
+        for l in c {
+            let _ = write!(out, "{} ", l.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SatResult, Solver};
+
+    #[test]
+    fn parse_write_roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 3 0\n-1 2 0\n";
+        let p = parse(text).unwrap();
+        assert_eq!(p.num_vars, 3);
+        assert_eq!(p.clauses.len(), 2);
+        let rendered = write(p.num_vars, &p.clauses);
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn clauses_spanning_lines() {
+        let p = parse("p cnf 2 1\n1\n-2\n0\n").unwrap();
+        assert_eq!(p.clauses.len(), 1);
+        assert_eq!(p.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn var_count_grows_beyond_header() {
+        let p = parse("p cnf 1 1\n5 0\n").unwrap();
+        assert_eq!(p.num_vars, 5);
+    }
+
+    #[test]
+    fn rejects_garbage_tokens() {
+        assert!(parse("p cnf 1 1\nfoo 0\n").is_err());
+        assert!(parse("p dnf 1 1\n").is_err());
+        assert!(parse("p cnf 1 1\np cnf 1 1\n").is_err());
+    }
+
+    #[test]
+    fn parsed_problem_solves() {
+        // (x1 ∨ x2) ∧ (¬x1) ∧ (¬x2) is UNSAT.
+        let p = parse("p cnf 2 3\n1 2 0\n-1 0\n-2 0\n").unwrap();
+        let mut s = Solver::new();
+        s.reserve_vars(p.num_vars);
+        for c in &p.clauses {
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+}

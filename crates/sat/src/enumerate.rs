@@ -1,0 +1,107 @@
+//! Model enumeration over a subset of variables.
+
+use crate::solver::{SatResult, Solver};
+use crate::types::{Lit, Var};
+
+/// Enumerates satisfying assignments projected onto `vars`, up to `max`
+/// models, invoking `on_model` for each projected model.
+///
+/// After each model the projection is blocked, so each *projected*
+/// assignment is reported exactly once even if many full models extend it.
+/// Returns the number of models found; a return value equal to `max` means
+/// the enumeration may have been truncated.
+///
+/// This is exactly BEER's uniqueness check (§5.3): solve for `P`, block it,
+/// and re-solve until UNSAT.
+///
+/// # Examples
+///
+/// ```
+/// use beer_sat::{enumerate_models, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[a.positive(), b.positive()]);
+/// let mut models = Vec::new();
+/// let n = enumerate_models(&mut s, &[a, b], 10, |m| models.push(m.to_vec()));
+/// assert_eq!(n, 3); // TT, TF, FT
+/// ```
+pub fn enumerate_models(
+    solver: &mut Solver,
+    vars: &[Var],
+    max: usize,
+    mut on_model: impl FnMut(&[bool]),
+) -> usize {
+    let mut found = 0;
+    while found < max && solver.solve() == SatResult::Sat {
+        let assignment: Vec<bool> = vars
+            .iter()
+            .map(|&v| solver.value(v).unwrap_or(false))
+            .collect();
+        on_model(&assignment);
+        found += 1;
+        let block: Vec<Lit> = vars
+            .iter()
+            .zip(&assignment)
+            .map(|(&v, &b)| v.lit(!b))
+            .collect();
+        if block.is_empty() || !solver.add_clause(&block) {
+            break; // blocking the empty projection: only one model class
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_exact_model_count() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        // x0 ∨ x1, no constraint on x2; projected onto (x0, x1): 3 models.
+        s.add_clause(&[vars[0].positive(), vars[1].positive()]);
+        let n = enumerate_models(&mut s, &vars[..2], 100, |_| {});
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn respects_max_cap() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        let n = enumerate_models(&mut s, &vars, 5, |_| {});
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn unsat_formula_yields_zero() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause(&[v.positive()]);
+        s.add_clause(&[v.negative()]);
+        let n = enumerate_models(&mut s, &[v], 10, |_| {});
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn projection_dedupes_full_models() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let _free = s.new_var(); // unconstrained, not projected
+        s.add_clause(&[a.positive()]);
+        let mut models = Vec::new();
+        let n = enumerate_models(&mut s, &[a], 10, |m| models.push(m.to_vec()));
+        assert_eq!(n, 1);
+        assert_eq!(models, vec![vec![true]]);
+    }
+
+    #[test]
+    fn empty_projection_reports_once() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        let n = enumerate_models(&mut s, &[], 10, |_| {});
+        assert_eq!(n, 1);
+    }
+}

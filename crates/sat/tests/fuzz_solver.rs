@@ -1,0 +1,113 @@
+//! Randomized cross-validation of the CDCL solver against brute force.
+//!
+//! Small random CNF instances are solved both by exhaustive truth-table
+//! evaluation and by the solver; answers must agree, and any model the
+//! solver returns must satisfy every clause.
+
+use beer_sat::{SatResult, Solver, Lit, Var};
+use proptest::prelude::*;
+
+/// A random clause set over `n_vars` variables.
+fn clauses_strategy(
+    n_vars: usize,
+    max_clauses: usize,
+) -> impl Strategy<Value = Vec<Vec<Lit>>> {
+    let clause = prop::collection::vec(
+        (0..n_vars, any::<bool>()).prop_map(|(v, pos)| Lit::new(Var::new(v), pos)),
+        1..=3,
+    );
+    prop::collection::vec(clause, 0..=max_clauses)
+}
+
+fn brute_force_sat(n_vars: usize, clauses: &[Vec<Lit>]) -> bool {
+    'outer: for mask in 0u64..(1 << n_vars) {
+        for c in clauses {
+            let sat = c.iter().any(|l| {
+                let val = mask >> l.var().index() & 1 == 1;
+                if l.is_positive() {
+                    val
+                } else {
+                    !val
+                }
+            });
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn count_models_brute(n_vars: usize, clauses: &[Vec<Lit>]) -> usize {
+    (0u64..(1 << n_vars))
+        .filter(|mask| {
+            clauses.iter().all(|c| {
+                c.iter().any(|l| {
+                    let val = mask >> l.var().index() & 1 == 1;
+                    if l.is_positive() {
+                        val
+                    } else {
+                        !val
+                    }
+                })
+            })
+        })
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(clauses in clauses_strategy(8, 30)) {
+        let expected = brute_force_sat(8, &clauses);
+        let mut s = Solver::new();
+        s.reserve_vars(8);
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let got = s.solve() == SatResult::Sat;
+        prop_assert_eq!(got, expected);
+        if got {
+            for c in &clauses {
+                prop_assert!(
+                    c.iter().any(|&l| s.lit_value(l) == Some(true)),
+                    "model violates clause {:?}", c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force_count(clauses in clauses_strategy(6, 18)) {
+        let expected = count_models_brute(6, &clauses);
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        let got = beer_sat::enumerate_models(&mut s, &vars, 1 << 6, |_| {});
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn answers_stable_across_incremental_resolves(clauses in clauses_strategy(7, 25)) {
+        // Solving twice (with learnt clauses persisting) must not change the
+        // answer; adding one clause of the formula late must also agree with
+        // solving everything upfront.
+        let mut s = Solver::new();
+        s.reserve_vars(7);
+        let (last, rest) = match clauses.split_last() {
+            Some(x) => x,
+            None => return Ok(()),
+        };
+        for c in rest {
+            s.add_clause(c);
+        }
+        let _ = s.solve();
+        s.add_clause(last);
+        let incremental = s.solve() == SatResult::Sat;
+        prop_assert_eq!(incremental, brute_force_sat(7, &clauses));
+    }
+}

@@ -1,0 +1,78 @@
+//! BEEP (§7.1): locate pre-correction error-prone cells bit-exactly —
+//! including cells inside the chip-invisible parity bits — using a known
+//! ECC function.
+//!
+//! Plants weak cells in simulated ECC words, runs the three BEEP phases
+//! (craft patterns → experiment → calculate), and reports precision and
+//! recall against the planted ground truth.
+//!
+//! Run with: `cargo run --release --example beep_profiling`
+
+use beer::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xBEE9_0001);
+
+    // The ECC function would come from BEER in practice; here we take a
+    // (63, 57) SEC Hamming code drawn from the design space.
+    let code = hamming::random_sec(57, &mut rng);
+    println!(
+        "ECC function: ({}, {}) SEC Hamming code (known via BEER)",
+        code.n(),
+        code.k()
+    );
+
+    let configs = [
+        ("3 errors, P[error]=1.00", 3usize, 1.0f64, 1usize),
+        ("5 errors, P[error]=1.00", 5, 1.0, 1),
+        ("5 errors, P[error]=0.50", 5, 0.5, 2),
+        ("8 errors, P[error]=0.75", 8, 0.75, 2),
+    ];
+
+    for (label, n_errors, p_error, passes) in configs {
+        // Plant weak cells anywhere in the codeword, parity included.
+        let weak: Vec<usize> = {
+            let mut v: Vec<usize> = sample(&mut rng, code.n(), n_errors).into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        let mut target = SimWordTarget::new(code.clone(), weak.clone(), p_error, 0xD0D0);
+        let config = BeepConfig {
+            passes,
+            trials_per_pattern: 4,
+            ..BeepConfig::default()
+        };
+        let result = profile_word(&code, &mut target, &config);
+        let found = result.discovered_sorted();
+
+        let tp = found.iter().filter(|f| weak.contains(f)).count();
+        let fp = found.len() - tp;
+        let parity_found = found.iter().filter(|&&f| f >= code.k()).count();
+        println!("\n== {label} ==");
+        println!("   planted:    {weak:?}");
+        println!("   discovered: {found:?}");
+        println!(
+            "   recall {}/{}  false-positives {}  (parity-bit errors found: {})",
+            tp,
+            weak.len(),
+            fp,
+            parity_found
+        );
+        println!(
+            "   {} crafted patterns, {} trials, {} bits skipped",
+            result.patterns_tested, result.trials_run, result.skipped_bits
+        );
+        if found == weak {
+            println!("   => exact recovery");
+        }
+    }
+
+    println!(
+        "\nNote: every discovered position is proven by an exact syndrome\n\
+         decode (Equation 4), so false positives only arise from noise —\n\
+         none exists in this simulation."
+    );
+}

@@ -1,0 +1,77 @@
+//! §7.2.1: informing secondary-ECC design with the recovered function.
+//!
+//! Different on-die ECC functions reshape the *post-correction* error
+//! distribution in function-specific ways even when the underlying raw
+//! errors are identical (Figure 1). A system architect adding rank-level
+//! ECC wants to know which data bits the on-die function makes
+//! error-prone, so protection can be weighted accordingly (§7.2.1).
+//!
+//! This example simulates the same uniform-random raw errors through three
+//! candidate ECC functions, prints the per-bit miscorrection distribution
+//! each induces, and derives the asymmetric-protection hint.
+//!
+//! Run with: `cargo run --release --example ecc_design_space`
+
+use beer::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let k = 32;
+    let words = 400_000u64;
+    let ber = 2e-2;
+    let data = BitVec::ones(k); // the paper's 0xFF pattern
+
+    println!(
+        "workload: {words} words, uniform-random raw errors at BER {ber:e}, 0xFF data\n"
+    );
+
+    let mut most_skewed: Option<(Manufacturer, f64)> = None;
+    for m in Manufacturer::ALL {
+        let code = vendor_code(m, k, 0);
+        let cfg = SimConfig {
+            words,
+            model: ErrorModel::UniformRandom { ber },
+        };
+        let mut rng = SmallRng::seed_from_u64(42);
+        let stats = simulate(&code, &data, &cfg, &mut rng);
+        let shares = stats.miscorrection_shares();
+
+        // A simple skew metric: max/mean share.
+        let mean = 1.0 / k as f64;
+        let max = shares.iter().cloned().fold(0.0, f64::max);
+        let skew = max / mean;
+        println!("ECC function {m} (({}, {}) code):", code.n(), code.k());
+        println!(
+            "   miscorrected words: {} / {} with raw errors",
+            stats.miscorrected_words, stats.words_with_pre_errors
+        );
+        print!("   per-bit miscorrection share: ");
+        for (bit, s) in shares.iter().enumerate() {
+            if bit % 8 == 0 {
+                print!("\n      bits {bit:>2}..{:>2}: ", bit + 7);
+            }
+            print!("{:>5.3} ", s);
+        }
+        println!();
+        let mut hot: Vec<(usize, f64)> = shares.iter().cloned().enumerate().collect();
+        hot.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let hot_bits: Vec<usize> = hot.iter().take(4).map(|&(b, _)| b).collect();
+        println!(
+            "   skew (max/mean): {skew:.2}; most miscorrection-prone bits: {hot_bits:?}\n"
+        );
+        if most_skewed.map_or(true, |(_, s)| skew > s) {
+            most_skewed = Some((m, skew));
+        }
+    }
+
+    if let Some((m, skew)) = most_skewed {
+        println!(
+            "design hint: function {m} concentrates miscorrections the most\n\
+             ({skew:.2}x the uniform share). A rank-level ECC layered on a chip\n\
+             with this on-die function should bias its protection toward the\n\
+             hot bits listed above (§7.2.1); with an unknown on-die function\n\
+             none of this structure would be visible."
+        );
+    }
+}

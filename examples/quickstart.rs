@@ -1,0 +1,85 @@
+//! Quickstart: recover a hidden on-die ECC function end to end.
+//!
+//! Builds a simulated DRAM chip whose on-die ECC function is "secret",
+//! runs the three BEER steps against its external interface only, and
+//! checks the recovered parity-check matrix against the ground truth
+//! (something the paper's authors could not do on real chips — §6.1
+//! explains why simulation is the only place this check is possible).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use beer::prelude::*;
+
+fn main() {
+    // A small chip with 32-bit datawords. In the paper's setting this
+    // would be a real LPDDR4 part with 128-bit words; the methodology is
+    // identical (and `reverse_engineer_chip.rs` runs the full pipeline on
+    // an LPDDR4-like configuration).
+    let mut chip = SimChip::new(ChipConfig::small_test_chip(0xC0FFEE));
+    println!(
+        "chip: {} datawords x {} bits (+{} hidden parity bits)",
+        chip.num_words(),
+        chip.k(),
+        chip.n() - chip.k()
+    );
+
+    // ------------------------------------------------------------------
+    // Step 1: induce miscorrections with 1-CHARGED test patterns across a
+    // refresh-window sweep (§5.1).
+    // ------------------------------------------------------------------
+    let knowledge = ChipKnowledge::uniform(
+        chip.config().word_layout,
+        CellType::True,
+        chip.geometry().total_rows(),
+    );
+    let patterns = PatternSet::One.patterns(chip.k());
+    println!("step 1: testing {} patterns...", patterns.len());
+    let profile = collect_profile(&mut chip, &knowledge, &patterns, &CollectionPlan::quick());
+    let observations: u64 = profile.per_bit_totals().iter().sum();
+    println!("        observed {observations} miscorrections");
+
+    // ------------------------------------------------------------------
+    // Step 2: threshold-filter the observations (§5.2).
+    // ------------------------------------------------------------------
+    let constraints = profile.to_constraints(&ThresholdFilter::default());
+    println!(
+        "step 2: {} definite facts ({} positive)",
+        constraints.definite_facts(),
+        constraints.miscorrection_facts()
+    );
+
+    // ------------------------------------------------------------------
+    // Step 3: solve for the ECC function and check uniqueness (§5.3).
+    // ------------------------------------------------------------------
+    let report = solve_profile(
+        chip.k(),
+        hamming::parity_bits_for(chip.k()),
+        &constraints,
+        &BeerSolverOptions::default(),
+    );
+    println!(
+        "step 3: {} solution(s) in {:?} (determine: {:?})",
+        report.solutions.len(),
+        report.total_time,
+        report.determine_time,
+    );
+
+    // Ground-truth validation (possible only in simulation).
+    let truth = chip.reveal_code();
+    match report.solutions.iter().find(|s| equivalent(s, truth)) {
+        Some(found) => {
+            println!("\nrecovered parity-check sub-matrix P (canonical form):");
+            println!("{}", canonicalize(found).parity_submatrix());
+            println!("\nSUCCESS: recovered function matches the chip's secret ECC");
+        }
+        None => println!("\nFAILURE: recovered function does not match ground truth"),
+    }
+    if report.is_unique() {
+        println!("uniqueness: the profile admits exactly this one function");
+    } else {
+        println!(
+            "uniqueness: {} candidate functions (try PatternSet::OneTwo)",
+            report.solutions.len()
+        );
+    }
+}

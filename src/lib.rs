@@ -1,0 +1,82 @@
+//! # BEER: Bit-Exact ECC Recovery
+//!
+//! A full Rust reproduction of *"Bit-Exact ECC Recovery (BEER): Determining
+//! DRAM On-Die ECC Functions by Exploiting DRAM Data Retention
+//! Characteristics"* (Patel, Kim, Shahroodi, Hassan, Mutlu — MICRO 2020),
+//! including every substrate the paper depends on: a CDCL SAT solver, GF(2)
+//! linear algebra, SEC Hamming codes, a simulated LPDDR4 chip population
+//! with on-die ECC, an EINSim-style Monte-Carlo simulator, and the BEEP
+//! error profiler built on top of BEER.
+//!
+//! This crate is a facade: it re-exports the workspace crates as modules
+//! and offers a [`prelude`] for the common types. See `DESIGN.md` for the
+//! architecture and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! Recover the hidden ECC function of a simulated chip:
+//!
+//! ```
+//! use beer::prelude::*;
+//!
+//! // A chip whose on-die ECC function we pretend not to know.
+//! let mut chip = SimChip::new(ChipConfig::small_test_chip(7));
+//!
+//! // Steps 1+2: collect a miscorrection profile with 1-CHARGED patterns.
+//! let knowledge = ChipKnowledge::uniform(
+//!     chip.config().word_layout,
+//!     CellType::True,
+//!     chip.geometry().total_rows(),
+//! );
+//! let patterns = PatternSet::One.patterns(chip.k());
+//! let profile = collect_profile(
+//!     &mut chip,
+//!     &knowledge,
+//!     &patterns,
+//!     &CollectionPlan::quick(),
+//! );
+//!
+//! // Step 3: solve for every consistent ECC function.
+//! let constraints = profile.to_constraints(&ThresholdFilter::default());
+//! let report = solve_profile(
+//!     chip.k(),
+//!     chip.reveal_code().parity_bits(),
+//!     &constraints,
+//!     &BeerSolverOptions::default(),
+//! );
+//! assert!(report
+//!     .solutions
+//!     .iter()
+//!     .any(|s| equivalent(s, chip.reveal_code())));
+//! ```
+
+pub use beer_beep as beep;
+pub use beer_core as core;
+pub use beer_dram as dram;
+pub use beer_ecc as ecc;
+pub use beer_einsim as einsim;
+pub use beer_gf2 as gf2;
+pub use beer_sat as sat;
+
+/// The commonly used types and functions, one `use` away.
+pub mod prelude {
+    pub use beer_beep::{
+        evaluate, profile_word, BeepConfig, BeepResult, EvalConfig, SimWordTarget, WordTarget,
+    };
+    pub use beer_core::analytic::{analytic_profile, code_matches_constraints};
+    pub use beer_core::collect::{collect_profile, ChipKnowledge, CollectionPlan};
+    pub use beer_core::direct::extract_by_injection;
+    pub use beer_core::{
+        solve_profile, BeerSolverOptions, ChargedSet, MiscorrectionProfile, Observation,
+        PatternSet, ProfileConstraints, SolveReport, ThresholdFilter,
+    };
+    pub use beer_dram::{
+        CellLayout, CellType, ChipConfig, ControllerReport, DramInterface, Geometry,
+        RankLevelEcc, RetentionModel, SimChip, TransientNoise, WordLayout,
+    };
+    pub use beer_ecc::design::{vendor_code, Manufacturer};
+    pub use beer_ecc::equivalence::{canonicalize, equivalent};
+    pub use beer_ecc::{hamming, miscorrection, Correction, DecodeResult, LinearCode};
+    pub use beer_einsim::{simulate, simulate_batches, ErrorModel, PerBitStats, SimConfig};
+    pub use beer_gf2::{BitMatrix, BitVec, SynMask};
+}

@@ -1,0 +1,166 @@
+//! End-to-end BEER: simulated chip in, ECC function out.
+//!
+//! Exercises the full §5 pipeline — pattern programming, retention-error
+//! induction, miscorrection profiling, threshold filtering, SAT solving,
+//! and uniqueness checking — against simulated chips from all three
+//! manufacturer design styles, and validates the recovered function
+//! against the simulator's ground truth (§6.1).
+
+use beer::prelude::*;
+
+fn run_pipeline(chip: &mut SimChip, set: PatternSet) -> SolveReport {
+    let knowledge = ChipKnowledge::uniform(
+        chip.config().word_layout,
+        CellType::True,
+        chip.geometry().total_rows(),
+    );
+    let patterns = set.patterns(chip.k());
+    let profile = collect_profile(chip, &knowledge, &patterns, &CollectionPlan::quick());
+    let constraints = profile.to_constraints(&ThresholdFilter::default());
+    solve_profile(
+        chip.k(),
+        hamming::parity_bits_for(chip.k()),
+        &constraints,
+        &BeerSolverOptions::default(),
+    )
+}
+
+#[test]
+fn recovers_manufacturer_a_function() {
+    let mut chip = SimChip::new(
+        ChipConfig::lpddr4_like(Manufacturer::A, 0, 11)
+            .with_geometry(Geometry::new(1, 64, 128))
+            .with_word_bytes(2),
+    );
+    let report = run_pipeline(&mut chip, PatternSet::One);
+    assert!(
+        report
+            .solutions
+            .iter()
+            .any(|s| equivalent(s, chip.reveal_code())),
+        "true function not among {} solutions",
+        report.solutions.len()
+    );
+}
+
+#[test]
+fn recovers_manufacturer_b_function_uniquely() {
+    let mut chip = SimChip::new(ChipConfig::small_test_chip(22));
+    let report = run_pipeline(&mut chip, PatternSet::One);
+    assert!(report.is_unique(), "{} solutions", report.solutions.len());
+    assert!(equivalent(&report.solutions[0], chip.reveal_code()));
+}
+
+#[test]
+fn recovers_manufacturer_c_function_with_anti_cells() {
+    let config = ChipConfig {
+        cell_layout: CellLayout::AlternatingBlocks {
+            block_rows: vec![16],
+        },
+        ..ChipConfig::lpddr4_like(Manufacturer::C, 0, 33)
+            .with_geometry(Geometry::new(1, 64, 128))
+            .with_word_bytes(2)
+    };
+    let mut chip = SimChip::new(config);
+    // Knowledge must reflect the mixed cell layout.
+    let knowledge = ChipKnowledge {
+        word_layout: chip.config().word_layout,
+        row_cell_types: (0..chip.geometry().total_rows())
+            .map(|r| chip.config().cell_layout.cell_type_of_row(r))
+            .collect(),
+    };
+    let patterns = PatternSet::One.patterns(chip.k());
+    let profile = collect_profile(&mut chip, &knowledge, &patterns, &CollectionPlan::quick());
+    let constraints = profile.to_constraints(&ThresholdFilter::default());
+    let report = solve_profile(
+        chip.k(),
+        hamming::parity_bits_for(chip.k()),
+        &constraints,
+        &BeerSolverOptions::default(),
+    );
+    assert!(
+        report
+            .solutions
+            .iter()
+            .any(|s| equivalent(s, chip.reveal_code())),
+        "true function not among solutions"
+    );
+}
+
+#[test]
+fn different_chips_same_model_yield_identical_profiles() {
+    // §5.1.3: chips of the same model number produce identical
+    // miscorrection profiles (the basis for attributing the profile to the
+    // design rather than the chip instance).
+    let profile_of = |chip_seed: u64| {
+        let mut chip = SimChip::new(ChipConfig::small_test_chip(chip_seed));
+        let knowledge = ChipKnowledge::uniform(
+            chip.config().word_layout,
+            CellType::True,
+            chip.geometry().total_rows(),
+        );
+        let patterns = PatternSet::One.patterns(chip.k());
+        collect_profile(&mut chip, &knowledge, &patterns, &CollectionPlan::quick())
+            .to_constraints(&ThresholdFilter::default())
+    };
+    let a = profile_of(100);
+    let b = profile_of(200);
+    assert!(
+        a.disagreements(&b).is_empty(),
+        "same-model chips disagree: {:?}",
+        a.disagreements(&b)
+    );
+}
+
+#[test]
+fn recovered_function_predicts_held_out_observations() {
+    // Train on the 1-CHARGED patterns, then check the recovered function
+    // predicts measurements of *held-out* 2-CHARGED patterns it never saw.
+    let mut chip = SimChip::new(ChipConfig::small_test_chip(44));
+    let knowledge = ChipKnowledge::uniform(
+        chip.config().word_layout,
+        CellType::True,
+        chip.geometry().total_rows(),
+    );
+    let train = PatternSet::One.patterns(chip.k());
+    let test: Vec<ChargedSet> = PatternSet::Two
+        .patterns(chip.k())
+        .into_iter()
+        .step_by(17)
+        .collect();
+
+    let profile = collect_profile(&mut chip, &knowledge, &train, &CollectionPlan::quick());
+    let constraints = profile.to_constraints(&ThresholdFilter::default());
+    let report = solve_profile(
+        chip.k(),
+        hamming::parity_bits_for(chip.k()),
+        &constraints,
+        &BeerSolverOptions {
+            max_solutions: 4,
+            ..BeerSolverOptions::default()
+        },
+    );
+    assert!(!report.solutions.is_empty());
+
+    // Held-out validation: measured test-pattern profile must match the
+    // recovered function's analytic prediction.
+    let held_out = collect_profile(&mut chip, &knowledge, &test, &CollectionPlan::quick())
+        .to_constraints(&ThresholdFilter::default());
+    let truth_like = report
+        .solutions
+        .iter()
+        .find(|s| equivalent(s, chip.reveal_code()))
+        .expect("true function recovered");
+    let predicted = analytic_profile(truth_like, &test);
+    for (pattern, bit) in held_out.disagreements(&predicted) {
+        // Only tolerable direction: a rare possible miscorrection that the
+        // held-out experiment did not happen to sample. The reverse
+        // (observing something predicted impossible) is a failure.
+        let idx = test.iter().position(|p| *p == pattern).unwrap();
+        assert_ne!(
+            held_out.entries[idx].1[bit],
+            Observation::Miscorrection,
+            "observed a miscorrection the recovered function forbids: {pattern} bit {bit}"
+        );
+    }
+}

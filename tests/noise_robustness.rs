@@ -1,0 +1,141 @@
+//! §5.2: BEER's threshold filter versus transient noise.
+//!
+//! Transient errors (particle strikes, VRT, voltage noise) can pollute the
+//! miscorrection profile with spurious observations. The paper's defense
+//! is a simple threshold filter: real miscorrections recur across the
+//! refresh-window sweep, transient flips do not.
+
+use beer::prelude::*;
+
+fn pipeline_with_noise(flip_probability: f64, chip_seed: u64) -> (SolveReport, SimChip) {
+    let config = ChipConfig::small_test_chip(chip_seed).with_noise(TransientNoise {
+        flip_probability,
+    });
+    let mut chip = SimChip::new(config);
+    let knowledge = ChipKnowledge::uniform(
+        chip.config().word_layout,
+        CellType::True,
+        chip.geometry().total_rows(),
+    );
+    let patterns = PatternSet::One.patterns(chip.k());
+    let profile = collect_profile(&mut chip, &knowledge, &patterns, &CollectionPlan::quick());
+    let constraints = profile.to_constraints(&ThresholdFilter::default());
+    let report = solve_profile(
+        chip.k(),
+        hamming::parity_bits_for(chip.k()),
+        &constraints,
+        &BeerSolverOptions::default(),
+    );
+    (report, chip)
+}
+
+#[test]
+fn recovery_survives_realistic_transient_noise() {
+    // ~1e-6 per cell per retention test is far above real transient rates;
+    // the filter must still isolate the true profile.
+    let (report, chip) = pipeline_with_noise(1e-6, 71);
+    assert!(
+        report
+            .solutions
+            .iter()
+            .any(|s| equivalent(s, chip.reveal_code())),
+        "noise broke recovery: {} solutions",
+        report.solutions.len()
+    );
+}
+
+#[test]
+fn recovery_survives_heavy_transient_noise() {
+    // 1e-5 per cell per test: a strongly pessimistic rate.
+    let (report, chip) = pipeline_with_noise(1e-5, 72);
+    assert!(
+        report
+            .solutions
+            .iter()
+            .any(|s| equivalent(s, chip.reveal_code())),
+        "heavy noise broke recovery: {} solutions",
+        report.solutions.len()
+    );
+}
+
+#[test]
+fn unfiltered_noisy_profile_contains_spurious_observations() {
+    // Demonstrates the filter is actually doing work: with noise enabled,
+    // raw counts contain observations the true function forbids, and the
+    // threshold filter removes them.
+    let config = ChipConfig::small_test_chip(73).with_noise(TransientNoise {
+        flip_probability: 1e-5,
+    });
+    let mut chip = SimChip::new(config);
+    let knowledge = ChipKnowledge::uniform(
+        chip.config().word_layout,
+        CellType::True,
+        chip.geometry().total_rows(),
+    );
+    let patterns = PatternSet::One.patterns(chip.k());
+    let profile = collect_profile(&mut chip, &knowledge, &patterns, &CollectionPlan::quick());
+
+    let truth = analytic_profile(chip.reveal_code(), &patterns);
+    let mut spurious_raw = 0u64;
+    for (pi, (_, obs)) in truth.entries.iter().enumerate() {
+        for (bit, &o) in obs.iter().enumerate() {
+            if o == Observation::NoMiscorrection && profile.count(pi, bit) > 0 {
+                spurious_raw += profile.count(pi, bit);
+            }
+        }
+    }
+    assert!(
+        spurious_raw > 0,
+        "noise produced no spurious raw observations — test is vacuous"
+    );
+
+    // After filtering, no spurious facts survive.
+    let filtered = profile.to_constraints(&ThresholdFilter::default());
+    for (pi, (_, obs)) in truth.entries.iter().enumerate() {
+        for (bit, &o) in obs.iter().enumerate() {
+            if o == Observation::NoMiscorrection {
+                assert_ne!(
+                    filtered.entries[pi].1[bit],
+                    Observation::Miscorrection,
+                    "spurious observation survived the filter (pattern {pi}, bit {bit})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn filter_separation_mirrors_figure_4() {
+    // Figure 4: per-bit miscorrection probability mass is bimodal — zero
+    // vs. clearly nonzero — so a simple threshold separates the classes.
+    let mut chip = SimChip::new(ChipConfig::small_test_chip(74).with_noise(TransientNoise {
+        flip_probability: 1e-6,
+    }));
+    let knowledge = ChipKnowledge::uniform(
+        chip.config().word_layout,
+        CellType::True,
+        chip.geometry().total_rows(),
+    );
+    let patterns = PatternSet::One.patterns(chip.k());
+    let profile = collect_profile(&mut chip, &knowledge, &patterns, &CollectionPlan::quick());
+    let truth = analytic_profile(chip.reveal_code(), &patterns);
+
+    // Pool the per-(pattern, bit) observation counts by ground truth class.
+    let mut possible_counts: Vec<u64> = Vec::new();
+    let mut impossible_counts: Vec<u64> = Vec::new();
+    for (pi, (_, obs)) in truth.entries.iter().enumerate() {
+        for (bit, &o) in obs.iter().enumerate() {
+            match o {
+                Observation::Miscorrection => possible_counts.push(profile.count(pi, bit)),
+                Observation::NoMiscorrection => impossible_counts.push(profile.count(pi, bit)),
+                Observation::Unknown => {}
+            }
+        }
+    }
+    let min_possible = possible_counts.iter().min().copied().unwrap_or(0);
+    let max_impossible = impossible_counts.iter().max().copied().unwrap_or(0);
+    assert!(
+        min_possible > max_impossible,
+        "classes overlap: min(real) = {min_possible}, max(spurious) = {max_impossible}"
+    );
+}
