@@ -29,6 +29,10 @@ pub struct CraftRequest<'a> {
     pub target: usize,
     /// Codeword positions of already-identified error-prone cells.
     pub known_errors: &'a [usize],
+    /// Codeword positions suspected (but not proven) to be error-prone:
+    /// the pattern keeps them DISCHARGED so an unmodeled decay cannot
+    /// corrupt the planned syndrome.
+    pub avoid_charged: &'a [usize],
     /// Whether to require DISCHARGED neighbours around the target.
     pub worst_case_neighbors: bool,
 }
@@ -40,6 +44,7 @@ pub struct CraftRequest<'a> {
 /// # Panics
 ///
 /// Panics if `target` or a known error is out of codeword range.
+#[allow(clippy::needless_range_loop)] // loops interleave CNF mutation with indexing
 pub fn craft_pattern(request: &CraftRequest<'_>) -> Option<BitVec> {
     let code = request.code;
     let n = code.n();
@@ -74,6 +79,14 @@ pub fn craft_pattern(request: &CraftRequest<'_>) -> Option<BitVec> {
         }
         if request.target + 1 < n {
             cnf.assert_lit(!charge[request.target + 1]);
+        }
+    }
+
+    // Unproven suspects stay DISCHARGED so they cannot decay and throw the
+    // planned syndrome off (they are not conditioned on in constraint 2).
+    for &c in request.avoid_charged {
+        if c != request.target && !request.known_errors.contains(&c) {
+            cnf.assert_lit(!charge[c]);
         }
     }
 
@@ -142,18 +155,21 @@ pub fn craft_pattern(request: &CraftRequest<'_>) -> Option<BitVec> {
     Some(data)
 }
 
-/// Crafts with the paper's fallback chain: worst-case neighbours first,
-/// then constraint 2 alone. Returns the pattern and whether the neighbour
+/// Crafts with the paper's fallback chain: worst-case neighbours and
+/// discharged suspects first, then without the neighbour constraint, then
+/// constraint 2 alone. Returns the pattern and whether the neighbour
 /// constraint was kept.
 pub fn craft_with_fallback(
     code: &LinearCode,
     target: usize,
     known_errors: &[usize],
+    avoid_charged: &[usize],
 ) -> Option<(BitVec, bool)> {
     let strict = CraftRequest {
         code,
         target,
         known_errors,
+        avoid_charged,
         worst_case_neighbors: true,
     };
     if let Some(p) = craft_pattern(&strict) {
@@ -163,7 +179,14 @@ pub fn craft_with_fallback(
         worst_case_neighbors: false,
         ..strict
     };
-    craft_pattern(&relaxed).map(|p| (p, false))
+    if let Some(p) = craft_pattern(&relaxed) {
+        return Some((p, false));
+    }
+    let bare = CraftRequest {
+        avoid_charged: &[],
+        ..relaxed
+    };
+    craft_pattern(&bare).map(|p| (p, false))
 }
 
 #[cfg(test)]
@@ -203,6 +226,7 @@ mod tests {
             code: &code,
             target: 0,
             known_errors: &[],
+            avoid_charged: &[],
             worst_case_neighbors: false,
         };
         assert_eq!(craft_pattern(&req), None);
@@ -214,7 +238,7 @@ mod tests {
         let known = [7usize, 19];
         for target in [0usize, 3, 12, 26, 30] {
             let (data, strict) =
-                craft_with_fallback(&code, target, &known).expect("craft failed");
+                craft_with_fallback(&code, target, &known, &[]).expect("craft failed");
             assert_miscorrection_guaranteed(&code, &data, target, &known);
             if strict {
                 // Verify the neighbour constraint held.
@@ -236,7 +260,7 @@ mod tests {
         let k = code.k();
         let mut crafted = 0;
         for target in k..code.n() {
-            if let Some((data, _)) = craft_with_fallback(&code, target, &known) {
+            if let Some((data, _)) = craft_with_fallback(&code, target, &known, &[]) {
                 assert_miscorrection_guaranteed(&code, &data, target, &known);
                 crafted += 1;
             }
@@ -250,7 +274,7 @@ mod tests {
         // target may be uncraftable; the API must degrade gracefully.
         let code = hamming::shortened(5);
         for target in 0..code.n() {
-            let _ = craft_with_fallback(&code, target, &[0]);
+            let _ = craft_with_fallback(&code, target, &[0], &[]);
         }
     }
 }

@@ -34,7 +34,12 @@ pub struct EvalConfig {
 
 impl EvalConfig {
     /// A Figure-8-style point: deterministic weak cells.
-    pub fn figure8(codeword_len: usize, errors_injected: usize, passes: usize, words: usize) -> Self {
+    pub fn figure8(
+        codeword_len: usize,
+        errors_injected: usize,
+        passes: usize,
+        words: usize,
+    ) -> Self {
         EvalConfig {
             codeword_len,
             errors_injected,
@@ -47,7 +52,12 @@ impl EvalConfig {
     }
 
     /// A Figure-9-style point: probabilistic weak cells, single pass.
-    pub fn figure9(codeword_len: usize, errors_injected: usize, p_error: f64, words: usize) -> Self {
+    pub fn figure9(
+        codeword_len: usize,
+        errors_injected: usize,
+        p_error: f64,
+        words: usize,
+    ) -> Self {
         EvalConfig {
             codeword_len,
             errors_injected,
@@ -127,8 +137,9 @@ pub fn evaluate(config: &EvalConfig) -> EvalOutcome {
         // space, as the paper's simulations do.
         let code = hamming::random_sec(k, &mut rng);
         let weak: Vec<usize> = {
-            let mut v: Vec<usize> =
-                sample(&mut rng, code.n(), config.errors_injected).into_iter().collect();
+            let mut v: Vec<usize> = sample(&mut rng, code.n(), config.errors_injected)
+                .into_iter()
+                .collect();
             v.sort_unstable();
             v
         };

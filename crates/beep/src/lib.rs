@@ -45,4 +45,4 @@ pub use craft::{craft_pattern, CraftRequest};
 pub use decode::{decode_read, DecodedTrial};
 pub use eval::{evaluate, EvalConfig, EvalOutcome};
 pub use profiler::{profile_word, BeepConfig, BeepResult};
-pub use target::{SimWordTarget, WordTarget};
+pub use target::{DramWordTarget, SimWordTarget, WordTarget};

@@ -1,5 +1,6 @@
 //! The device-under-test abstraction: one ECC word that BEEP probes.
 
+use beer_dram::{CellType, DramInterface, WordLayout};
 use beer_ecc::LinearCode;
 use beer_gf2::BitVec;
 use rand::rngs::SmallRng;
@@ -101,6 +102,121 @@ impl WordTarget for SimWordTarget {
     }
 }
 
+/// One word of a chip behind [`beer_dram::DramInterface`] as a BEEP
+/// target: each trial programs the word through the chip's byte interface,
+/// pauses refresh for the configured window, and reads the post-correction
+/// dataword back. This is how BEEP runs against the same backends as the
+/// BEER collection engine.
+///
+/// BEEP's dataword uses the true-cell convention (1 = CHARGED); the target
+/// translates per the word's cell type, so anti-cell words stress the same
+/// charge patterns instead of silently inverting them.
+///
+/// Word I/O goes through one contiguous byte span covering the word's
+/// addresses (one chip read + one chip write per trial). Interleaved
+/// neighbours inside that span are read and rewritten with their current
+/// post-correction contents — harmless to BEEP, which only interprets the
+/// targeted word.
+pub struct DramWordTarget<'a> {
+    chip: &'a mut dyn DramInterface,
+    layout: WordLayout,
+    word: usize,
+    cell_type: CellType,
+    trefw: f64,
+    /// Smallest contiguous address span containing every byte of the word
+    /// (fixed per target; precomputed off the per-trial hot path).
+    span_lo: usize,
+    span_len: usize,
+}
+
+impl<'a> DramWordTarget<'a> {
+    /// Targets a true-cell `word` (under `layout`) with refresh pauses of
+    /// `trefw` seconds per trial.
+    pub fn new(
+        chip: &'a mut dyn DramInterface,
+        layout: WordLayout,
+        word: usize,
+        trefw: f64,
+    ) -> Self {
+        Self::with_cell_type(chip, layout, word, CellType::True, trefw)
+    }
+
+    /// Targets a word whose cells are of the given type.
+    pub fn with_cell_type(
+        chip: &'a mut dyn DramInterface,
+        layout: WordLayout,
+        word: usize,
+        cell_type: CellType,
+        trefw: f64,
+    ) -> Self {
+        let addrs = (0..layout.word_bytes()).map(|b| layout.addr_of(word, b));
+        let lo = addrs.clone().min().expect("word has bytes");
+        let hi = addrs.max().expect("word has bytes");
+        DramWordTarget {
+            chip,
+            layout,
+            word,
+            cell_type,
+            trefw,
+            span_lo: lo,
+            span_len: hi - lo + 1,
+        }
+    }
+
+    /// Maps between the BEEP charge convention and this word's logical bits
+    /// (the involution is its own inverse: anti cells invert, true cells
+    /// pass through).
+    fn translate(&self, v: &BitVec) -> BitVec {
+        match self.cell_type {
+            CellType::True => v.clone(),
+            CellType::Anti => v ^ &BitVec::ones(v.len()),
+        }
+    }
+}
+
+impl WordTarget for DramWordTarget<'_> {
+    fn k(&self) -> usize {
+        self.layout.word_bytes() * 8
+    }
+
+    fn run_trial(&mut self, data: &BitVec) -> BitVec {
+        let k = self.k();
+        assert_eq!(data.len(), k, "dataword length mismatch");
+        let logical = self.translate(data);
+        let (lo, len) = (self.span_lo, self.span_len);
+
+        // Read the span once, patch this word's bytes, write it back whole
+        // (a full overwrite of every word in the span — no per-byte
+        // read-modify-write through the decoder).
+        let mut span = self.chip.read_bytes(lo, len);
+        for byte in 0..self.layout.word_bytes() {
+            let mut v = 0u8;
+            for bit in 0..8 {
+                if logical.get(byte * 8 + bit) {
+                    v |= 1 << bit;
+                }
+            }
+            span[self.layout.addr_of(self.word, byte) - lo] = v;
+        }
+        self.chip.write_bytes(lo, &span);
+
+        self.chip.retention_test(self.trefw);
+
+        let span = self.chip.read_bytes(lo, len);
+        let mut logical_read = BitVec::zeros(k);
+        for byte in 0..self.layout.word_bytes() {
+            let v = span[self.layout.addr_of(self.word, byte) - lo];
+            for bit in 0..8 {
+                if v >> bit & 1 == 1 {
+                    logical_read.set(byte * 8 + bit, true);
+                }
+            }
+        }
+        // Back to the BEEP charge convention.
+        self.translate(&logical_read)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +261,44 @@ mod tests {
     #[should_panic(expected = "out of codeword range")]
     fn rejects_out_of_range_weak_cell() {
         SimWordTarget::new(hamming::eq1_code(), vec![7], 1.0, 6);
+    }
+
+    #[test]
+    fn dram_word_target_roundtrips_both_cell_types() {
+        use beer_dram::{CellLayout, ChipConfig, SimChip};
+
+        for (cell_layout, cell_type) in [
+            (CellLayout::AllTrue, CellType::True),
+            (CellLayout::AllAnti, CellType::Anti),
+        ] {
+            let mut chip = SimChip::new(ChipConfig {
+                cell_layout,
+                ..ChipConfig::small_test_chip(77)
+            });
+            let layout = chip.config().word_layout;
+            let k = chip.k();
+            let mut target = DramWordTarget::with_cell_type(&mut chip, layout, 3, cell_type, 0.0);
+            // A zero-length refresh pause induces no errors, so the trial
+            // must read back exactly the charge pattern it wrote —
+            // whichever logical polarity the cells store it in.
+            let data = BitVec::from_indices(k, &[0, 5, 20, 31]);
+            assert_eq!(target.run_trial(&data), data, "{cell_type:?}");
+        }
+    }
+
+    #[test]
+    fn dram_word_target_leaves_neighbours_intact() {
+        use beer_dram::{ChipConfig, SimChip};
+
+        // Word 2 and word 3 interleave within one span; driving word 3
+        // must preserve word 2's data.
+        let mut chip = SimChip::new(ChipConfig::small_test_chip(78));
+        let layout = chip.config().word_layout;
+        let k = chip.k();
+        let neighbour = BitVec::from_indices(k, &[1, 9, 30]);
+        chip.write_dataword(2, &neighbour);
+        let mut target = DramWordTarget::new(&mut chip, layout, 3, 0.0);
+        let _ = target.run_trial(&BitVec::ones(k));
+        assert_eq!(chip.read_dataword(2), neighbour);
     }
 }

@@ -31,11 +31,18 @@ fn main() {
 
     let mut csv = CsvArtifact::new(
         "ablation_symmetry",
-        &["k", "sym_solutions_med", "nosym_solutions_med", "sym_time_us_med", "nosym_time_us_med", "all_equivalent"],
+        &[
+            "k",
+            "sym_solutions_med",
+            "nosym_solutions_med",
+            "sym_time_us_med",
+            "nosym_time_us_med",
+            "all_equivalent",
+        ],
     );
     println!(
-        "{:>4} | {:>12} {:>12} | {:>12} {:>12} | {}",
-        "k", "sols (sym)", "sols (raw)", "time (sym)", "time (raw)", "raw sols all equivalent to canonical?"
+        "{:>4} | {:>12} {:>12} | {:>12} {:>12} | raw sols all equivalent to canonical?",
+        "k", "sols (sym)", "sols (raw)", "time (sym)", "time (raw)"
     );
 
     let mut all_consistent = true;

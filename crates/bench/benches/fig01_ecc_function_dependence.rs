@@ -34,12 +34,29 @@ fn main() {
     let functions: Vec<(String, _)> = Manufacturer::ALL
         .iter()
         .enumerate()
-        .map(|(i, &m)| (format!("ECC Function {i} (style {m})"), vendor_code(m, k, 0)))
+        .map(|(i, &m)| {
+            (
+                format!("ECC Function {i} (style {m})"),
+                vendor_code(m, k, 0),
+            )
+        })
         .collect();
 
     let mut csv = CsvArtifact::new(
         "fig01_ecc_function_dependence",
-        &["bit", "pre_share", "f0_lo", "f0_med", "f0_hi", "f1_lo", "f1_med", "f1_hi", "f2_lo", "f2_med", "f2_hi"],
+        &[
+            "bit",
+            "pre_share",
+            "f0_lo",
+            "f0_med",
+            "f0_hi",
+            "f1_lo",
+            "f1_med",
+            "f1_hi",
+            "f2_lo",
+            "f2_med",
+            "f2_hi",
+        ],
     );
 
     // Per function: per-batch post-correction error shares per bit.
@@ -55,7 +72,7 @@ fn main() {
             batches,
             &mut rng,
         );
-        let mut per_bit: Vec<Vec<f64>> = vec![Vec::with_capacity(batches); k];
+        let mut per_bit: Vec<Vec<f64>> = (0..k).map(|_| Vec::with_capacity(batches)).collect();
         let mut post_total = 0u64;
         let mut miscorrected = 0u64;
         for b in &stats {
@@ -75,16 +92,17 @@ fn main() {
                 }
             }
         }
-        println!(
-            "{name}: {post_total} post-correction errors, {miscorrected} miscorrected words"
-        );
+        println!("{name}: {post_total} post-correction errors, {miscorrected} miscorrected words");
         per_function.push(per_bit);
     }
     for share in pre_shares.iter_mut() {
         *share /= (batches * functions.len()) as f64;
     }
 
-    println!("\n{:>4} {:>9}  {}", "bit", "pre", "post-correction share, median [95% CI], per function");
+    println!(
+        "\n{:>4} {:>9}  post-correction share, median [95% CI], per function",
+        "bit", "pre"
+    );
     let mut boot_rng = SmallRng::seed_from_u64(0xB007);
     for bit in 0..k {
         let mut row: Vec<String> = vec![bit.to_string(), format!("{:.5}", pre_shares[bit])];
@@ -122,6 +140,10 @@ fn main() {
     println!(
         "\nshape {}: function-specific structure {} the raw-error noise floor",
         if max_l1 > pre_l1 { "HOLDS" } else { "UNCLEAR" },
-        if max_l1 > pre_l1 { "exceeds" } else { "does not exceed" }
+        if max_l1 > pre_l1 {
+            "exceeds"
+        } else {
+            "does not exceed"
+        }
     );
 }

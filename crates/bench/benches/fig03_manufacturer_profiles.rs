@@ -7,14 +7,19 @@
 //! unstructured; chips of the same model produce identical profiles.
 
 use beer_bench::{ascii_heatmap, banner, CsvArtifact, Scale};
-use beer_core::collect::{collect_profile, ChipKnowledge, CollectionPlan};
+use beer_core::collect::{ChipKnowledge, CollectionPlan};
 use beer_core::pattern::PatternSet;
-use beer_core::{MiscorrectionProfile, ThresholdFilter};
+use beer_core::{collect_with, ChipBackend, EngineOptions, MiscorrectionProfile, ThresholdFilter};
 use beer_dram::{CellType, ChipConfig, DramInterface, Geometry, SimChip};
 use beer_ecc::design::Manufacturer;
 
-fn profile_chip(m: Manufacturer, chip_seed: u64, k_bytes: usize, geometry: Geometry) -> MiscorrectionProfile {
-    let mut chip = SimChip::new(
+fn profile_chip(
+    m: Manufacturer,
+    chip_seed: u64,
+    k_bytes: usize,
+    geometry: Geometry,
+) -> MiscorrectionProfile {
+    let chip = SimChip::new(
         ChipConfig::lpddr4_like(m, 0, chip_seed)
             .with_geometry(geometry)
             .with_word_bytes(k_bytes),
@@ -28,7 +33,13 @@ fn profile_chip(m: Manufacturer, chip_seed: u64, k_bytes: usize, geometry: Geome
         chip.geometry().total_rows(),
     );
     let patterns = PatternSet::One.patterns(chip.k());
-    collect_profile(&mut chip, &knowledge, &patterns, &CollectionPlan::quick())
+    let mut backend = ChipBackend::new(Box::new(chip), knowledge);
+    collect_with(
+        &mut backend,
+        &patterns,
+        &CollectionPlan::quick(),
+        &EngineOptions::default(),
+    )
 }
 
 fn main() {
@@ -41,10 +52,7 @@ fn main() {
     // Paper scale: the real 128-bit datawords. Quick scale: 32-bit words
     // (same methodology, 16x fewer patterns).
     let k_bytes = scale.pick(4, 16);
-    let geometry = scale.pick(
-        Geometry::new(1, 128, 256),
-        Geometry::new(1, 512, 1024),
-    );
+    let geometry = scale.pick(Geometry::new(1, 128, 256), Geometry::new(1, 512, 1024));
     let k = k_bytes * 8;
     println!("chips: {k}-bit datawords, geometry {geometry:?}\n");
 
@@ -61,7 +69,12 @@ fn main() {
         for (pi, row) in matrix.iter().enumerate() {
             for (bit, &c) in row.iter().enumerate() {
                 if c > 0 {
-                    csv.row_display(&[m.to_string(), pi.to_string(), bit.to_string(), c.to_string()]);
+                    csv.row_display(&[
+                        m.to_string(),
+                        pi.to_string(),
+                        bit.to_string(),
+                        c.to_string(),
+                    ]);
                 }
             }
         }
@@ -80,7 +93,12 @@ fn main() {
 
     // Same-model check: a second chip of manufacturer B.
     let again = profile_chip(Manufacturer::B, 0x1234_5678, k_bytes, geometry);
-    let b_first = profile_chip(Manufacturer::B, 0xF3 + Manufacturer::B as u64, k_bytes, geometry);
+    let b_first = profile_chip(
+        Manufacturer::B,
+        0xF3 + Manufacturer::B as u64,
+        k_bytes,
+        geometry,
+    );
     let filter = ThresholdFilter::default();
     let disagreements = b_first
         .to_constraints(&filter)
@@ -102,8 +120,16 @@ fn main() {
     let differs = ba != bb && bb != bc && ba != bc;
     println!(
         "\nshape {}: manufacturers {} distinguishable, same-model profiles {}",
-        if differs && disagreements.is_empty() { "HOLDS" } else { "UNCLEAR" },
+        if differs && disagreements.is_empty() {
+            "HOLDS"
+        } else {
+            "UNCLEAR"
+        },
         if differs { "are" } else { "are NOT" },
-        if disagreements.is_empty() { "match" } else { "MISMATCH" },
+        if disagreements.is_empty() {
+            "match"
+        } else {
+            "MISMATCH"
+        },
     );
 }

@@ -8,9 +8,12 @@
 //! threshold separates them with margin.
 
 use beer_bench::{banner, CsvArtifact, Scale};
-use beer_core::collect::{collect_profile, ChipKnowledge, CollectionPlan};
+use beer_core::collect::{ChipKnowledge, CollectionPlan};
 use beer_core::pattern::PatternSet;
-use beer_dram::{CellType, ChipConfig, DramInterface, Geometry, RetentionModel, SimChip, TransientNoise};
+use beer_core::{collect_with, ChipBackend, EngineOptions};
+use beer_dram::{
+    CellType, ChipConfig, DramInterface, Geometry, RetentionModel, SimChip, TransientNoise,
+};
 use beer_einsim::stats::Summary;
 
 fn main() {
@@ -22,7 +25,7 @@ fn main() {
     );
     let k_bytes = scale.pick(4, 16);
     let geometry = scale.pick(Geometry::new(1, 128, 256), Geometry::new(1, 512, 1024));
-    let mut chip = SimChip::new(
+    let chip = SimChip::new(
         ChipConfig::lpddr4_like(beer_ecc::design::Manufacturer::B, 0, 0xF4)
             .with_geometry(geometry)
             .with_word_bytes(k_bytes)
@@ -36,6 +39,7 @@ fn main() {
         CellType::True,
         chip.geometry().total_rows(),
     );
+    let mut backend = ChipBackend::new(Box::new(chip), knowledge);
     let patterns = PatternSet::One.patterns(k);
 
     // One collection per refresh window: each contributes one sample of
@@ -49,7 +53,7 @@ fn main() {
             celsius: 80.0,
             trials_per_step: scale.pick(4, 8),
         };
-        let profile = collect_profile(&mut chip, &knowledge, &patterns, &plan);
+        let profile = collect_with(&mut backend, &patterns, &plan, &EngineOptions::default());
         let mass = profile.per_bit_probability_mass();
         for (bit, &m) in mass.iter().enumerate() {
             per_bit_samples[bit].push(m);
@@ -61,7 +65,10 @@ fn main() {
         "fig04_threshold_filter",
         &["bit", "min", "q1", "median", "q3", "max", "above_threshold"],
     );
-    println!("\n{:>4} {:>9} {:>9} {:>9} {:>9} {:>9}  class", "bit", "min", "q1", "median", "q3", "max");
+    println!(
+        "\n{:>4} {:>9} {:>9} {:>9} {:>9} {:>9}  class",
+        "bit", "min", "q1", "median", "q3", "max"
+    );
     let mut nonzero_min_median = f64::INFINITY;
     let mut zero_max: f64 = 0.0;
     for (bit, samples) in per_bit_samples.iter().enumerate() {

@@ -33,9 +33,7 @@ fn main() {
         PatternSet::Three,
         PatternSet::OneTwo,
     ];
-    println!(
-        "sweep: k in {ks:?}, {codes_per_k} random codes per k, solution cap {cap}\n"
-    );
+    println!("sweep: k in {ks:?}, {codes_per_k} random codes per k, solution cap {cap}\n");
 
     let mut csv = CsvArtifact::new(
         "fig05_solution_uniqueness",

@@ -11,12 +11,13 @@
 
 use beer_bench::{banner, fmt_bytes, fmt_duration, CsvArtifact, Scale};
 use beer_core::analytic::analytic_profile;
-use beer_core::pattern::PatternSet;
-use beer_core::solve::{solve_profile, BeerSolverOptions};
+use beer_core::pattern::{ChargedSet, PatternSet};
+use beer_core::profile::ProfileConstraints;
+use beer_core::solve::{solve_profile, BeerSolverOptions, ProgressiveSolver};
 use beer_ecc::hamming;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn median<T: Copy + Ord>(xs: &mut [T]) -> T {
     xs.sort_unstable();
@@ -32,7 +33,9 @@ fn main() {
     );
     let ks: Vec<usize> = scale.pick(
         vec![4, 8, 11, 16, 26, 32, 45, 57],
-        vec![4, 8, 11, 16, 26, 32, 45, 57, 64, 80, 100, 120, 128, 180, 247],
+        vec![
+            4, 8, 11, 16, 26, 32, 45, 57, 64, 80, 100, 120, 128, 180, 247,
+        ],
     );
     let codes_per_k = scale.pick(5, 10);
     println!("sweep: k in {ks:?}, {codes_per_k} random codes per k\n");
@@ -55,7 +58,15 @@ fn main() {
     );
     println!(
         "{:>5} {:>3} | {:>12} {:>12} | {:>12} {:>12} | {:>10} {:>9} {:>9}",
-        "k", "p", "determine", "uniqueness", "total(med)", "total(max)", "memory", "vars", "clauses"
+        "k",
+        "p",
+        "determine",
+        "uniqueness",
+        "total(med)",
+        "total(max)",
+        "memory",
+        "vars",
+        "clauses"
     );
 
     let mut prev_total_med = Duration::ZERO;
@@ -137,5 +148,126 @@ fn main() {
     println!(
         "note: absolute numbers are orders of magnitude below the paper's Z3\n\
          measurements by design — the reduced encoding solves the same problem."
+    );
+
+    progressive_vs_reencoding(scale);
+}
+
+/// §6.3: the progressive pipeline (incremental SAT session, constraints
+/// streamed batch by batch, stop at uniqueness) versus the same schedule
+/// with one-shot re-encoding of every accumulated constraint each round.
+fn progressive_vs_reencoding(scale: Scale) {
+    println!("\n================================================================");
+    println!("fig6b: progressive (incremental session) vs one-shot re-encoding");
+    println!("================================================================");
+    let ks: Vec<usize> = scale.pick(vec![8, 11, 16, 24, 32], vec![8, 11, 16, 24, 32, 48, 64]);
+    let codes_per_k = scale.pick(5, 10);
+    let options = BeerSolverOptions {
+        max_solutions: 2,
+        verify_solutions: false,
+        ..BeerSolverOptions::default()
+    };
+
+    let mut csv = CsvArtifact::new(
+        "fig06_progressive_speedup",
+        &[
+            "k",
+            "rounds_med",
+            "patterns_used_med",
+            "patterns_available",
+            "incremental_us_med",
+            "reencode_us_med",
+            "speedup_med",
+        ],
+    );
+    println!(
+        "{:>5} | {:>6} {:>9} | {:>12} {:>12} | {:>8}",
+        "k", "rounds", "patterns", "incremental", "re-encode", "speedup"
+    );
+
+    let mut overall: Vec<f64> = Vec::new();
+    for &k in &ks {
+        let p = hamming::parity_bits_for(k);
+        let mut inc_times: Vec<Duration> = Vec::new();
+        let mut re_times: Vec<Duration> = Vec::new();
+        let mut rounds_used: Vec<usize> = Vec::new();
+        let mut patterns_used: Vec<usize> = Vec::new();
+        let mut patterns_available = 0usize;
+        for ci in 0..codes_per_k {
+            let mut rng = StdRng::seed_from_u64(0xF6B_0000 + (k * 100 + ci) as u64);
+            let code = hamming::random_sec(k, &mut rng);
+            // Small batches model interleaved collection: a handful of
+            // patterns arrive, a uniqueness check runs, repeat. This is
+            // where re-encoding hurts — every round pays for all prior
+            // constraints again.
+            let chunk = (k / 4).max(4);
+            let all: Vec<ChargedSet> = PatternSet::OneTwo.patterns(k);
+            let batches: Vec<Vec<ChargedSet>> = all.chunks(chunk).map(|c| c.to_vec()).collect();
+            let constraint_batches: Vec<ProfileConstraints> =
+                batches.iter().map(|b| analytic_profile(&code, b)).collect();
+            patterns_available = batches.iter().map(|b| b.len()).sum();
+
+            // Incremental session: push each batch, reuse learned clauses.
+            let start = Instant::now();
+            let mut solver = ProgressiveSolver::new(k, p, options);
+            let mut inc_rounds = 0;
+            let mut inc_patterns = 0;
+            for (batch, constraints) in batches.iter().zip(&constraint_batches) {
+                solver.push_constraints(constraints);
+                inc_rounds += 1;
+                inc_patterns += batch.len();
+                if solver.check().is_unique() {
+                    break;
+                }
+            }
+            inc_times.push(start.elapsed());
+            rounds_used.push(inc_rounds);
+            patterns_used.push(inc_patterns);
+
+            // Baseline: identical schedule, but every round re-encodes all
+            // accumulated constraints into a fresh solver.
+            let start = Instant::now();
+            let mut accumulated = ProfileConstraints {
+                k,
+                entries: Vec::new(),
+            };
+            for constraints in &constraint_batches {
+                accumulated
+                    .entries
+                    .extend(constraints.entries.iter().cloned());
+                if solve_profile(k, p, &accumulated, &options).is_unique() {
+                    break;
+                }
+            }
+            re_times.push(start.elapsed());
+        }
+        let inc_med = median(&mut inc_times.clone());
+        let re_med = median(&mut re_times.clone());
+        let rounds_med = median(&mut rounds_used.clone());
+        let patterns_med = median(&mut patterns_used.clone());
+        let speedup = re_med.as_secs_f64() / inc_med.as_secs_f64().max(1e-12);
+        overall.push(speedup);
+        println!(
+            "{k:>5} | {rounds_med:>6} {:>9} | {:>12} {:>12} | {speedup:>7.2}x",
+            format!("{patterns_med}/{patterns_available}"),
+            fmt_duration(inc_med),
+            fmt_duration(re_med),
+        );
+        csv.row_display(&[
+            k.to_string(),
+            rounds_med.to_string(),
+            patterns_med.to_string(),
+            patterns_available.to_string(),
+            inc_med.as_micros().to_string(),
+            re_med.as_micros().to_string(),
+            format!("{speedup:.3}"),
+        ]);
+    }
+    csv.write();
+    overall.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "\nmedian speedup across k: {:.2}x (incremental sessions reuse the\n\
+         encoding and learned clauses instead of re-encoding each round)",
+        overall[overall.len() / 2]
     );
 }

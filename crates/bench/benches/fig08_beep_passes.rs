@@ -21,7 +21,14 @@ fn main() {
 
     let mut csv = CsvArtifact::new(
         "fig08_beep_passes",
-        &["codeword_len", "errors", "passes", "success_rate", "mean_recall", "false_positive_words"],
+        &[
+            "codeword_len",
+            "errors",
+            "passes",
+            "success_rate",
+            "mean_recall",
+            "false_positive_words",
+        ],
     );
     println!(
         "{:>6} {:>7} | {:>10} {:>10} | {:>8}",
@@ -73,7 +80,11 @@ fn main() {
 
     println!(
         "\nshape {}: two passes {} one pass{}",
-        if two_ge_one && long_codes_high { "HOLDS" } else { "UNCLEAR" },
+        if two_ge_one && long_codes_high {
+            "HOLDS"
+        } else {
+            "UNCLEAR"
+        },
         if two_ge_one { ">=" } else { "<" },
         if long_codes_high {
             "; long codes near-perfect"

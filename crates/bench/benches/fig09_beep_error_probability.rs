@@ -22,7 +22,13 @@ fn main() {
 
     let mut csv = CsvArtifact::new(
         "fig09_beep_error_probability",
-        &["codeword_len", "errors", "p_error", "success_rate", "mean_recall"],
+        &[
+            "codeword_len",
+            "errors",
+            "p_error",
+            "success_rate",
+            "mean_recall",
+        ],
     );
     println!(
         "{:>6} {:>7} | {:>9} {:>9} {:>9} {:>9}",
@@ -67,6 +73,10 @@ fn main() {
     println!(
         "\nshape {}: success {} with P[error]",
         if monotone_ok { "HOLDS" } else { "UNCLEAR" },
-        if monotone_ok { "increases" } else { "does not increase" }
+        if monotone_ok {
+            "increases"
+        } else {
+            "does not increase"
+        }
     );
 }

@@ -24,7 +24,14 @@ fn main() {
 
     let mut csv = CsvArtifact::new(
         "sec51_layout_reverse_engineering",
-        &["manufacturer", "anti_rows_detected", "anti_rows_true", "word_layout", "violations", "observations"],
+        &[
+            "manufacturer",
+            "anti_rows_detected",
+            "anti_rows_true",
+            "word_layout",
+            "violations",
+            "observations",
+        ],
     );
 
     let mut all_good = true;
@@ -56,8 +63,12 @@ fn main() {
 
         // §5.1.2: dataword layout.
         let candidates = [
-            WordLayout::InterleavedPairs { word_bytes: k_bytes },
-            WordLayout::Contiguous { word_bytes: k_bytes },
+            WordLayout::InterleavedPairs {
+                word_bytes: k_bytes,
+            },
+            WordLayout::Contiguous {
+                word_bytes: k_bytes,
+            },
         ];
         let probe = probe_word_layout(&mut chip, &detected, &candidates, probe_trefw);
         let decided = probe.decided();
@@ -71,7 +82,10 @@ fn main() {
             decided, probe.observations, probe.violations
         );
         let ok = misclassified == 0
-            && decided == Some(WordLayout::InterleavedPairs { word_bytes: k_bytes });
+            && decided
+                == Some(WordLayout::InterleavedPairs {
+                    word_bytes: k_bytes,
+                });
         all_good &= ok;
         println!("  => {}", if ok { "MATCH" } else { "MISMATCH" });
         csv.row_display(&[

@@ -22,7 +22,14 @@ fn main() {
 
     let mut csv = CsvArtifact::new(
         "sec63_experiment_runtime",
-        &["schedule", "tests", "retention_wait_s", "chip_io_s", "total_s", "parallel_21_chips_s"],
+        &[
+            "schedule",
+            "tests",
+            "retention_wait_s",
+            "chip_io_s",
+            "total_s",
+            "parallel_21_chips_s",
+        ],
     );
 
     let schedules: Vec<(&str, Vec<f64>)> = vec![

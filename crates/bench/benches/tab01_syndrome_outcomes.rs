@@ -35,8 +35,8 @@ fn main() {
     );
 
     println!(
-        "{:<24} {:<20} {:<14} {}",
-        "pre-correction errors", "syndrome", "outcome", "miscorrection"
+        "{:<24} {:<20} {:<14} miscorrection",
+        "pre-correction errors", "syndrome", "outcome"
     );
     let mut counts = (0usize, 0usize, 0usize);
     for row in &rows {

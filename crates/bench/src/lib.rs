@@ -124,10 +124,8 @@ pub fn ascii_heatmap(matrix: &[Vec<u64>], max_rows: usize, max_cols: usize) -> S
         let mut row = Vec::new();
         for c0 in (0..cols).step_by(col_bin) {
             let mut sum = 0u64;
-            for r in r0..(r0 + row_bin).min(rows) {
-                for c in c0..(c0 + col_bin).min(cols) {
-                    sum += matrix[r][c];
-                }
+            for matrix_row in &matrix[r0..(r0 + row_bin).min(rows)] {
+                sum += matrix_row[c0..(c0 + col_bin).min(cols)].iter().sum::<u64>();
             }
             row.push(sum);
         }
@@ -142,8 +140,7 @@ pub fn ascii_heatmap(matrix: &[Vec<u64>], max_rows: usize, max_cols: usize) -> S
                 0
             } else {
                 let t = (v as f64).ln_1p() / log_max;
-                1 + ((t * (SHADES.len() - 2) as f64).round() as usize)
-                    .min(SHADES.len() - 2)
+                1 + ((t * (SHADES.len() - 2) as f64).round() as usize).min(SHADES.len() - 2)
             };
             out.push(SHADES[idx]);
         }
@@ -199,7 +196,10 @@ mod tests {
     #[test]
     fn duration_formatting() {
         assert_eq!(fmt_duration(std::time::Duration::from_micros(50)), "50.0us");
-        assert_eq!(fmt_duration(std::time::Duration::from_millis(20)), "20.00ms");
+        assert_eq!(
+            fmt_duration(std::time::Duration::from_millis(20)),
+            "20.00ms"
+        );
         assert_eq!(fmt_duration(std::time::Duration::from_secs(5)), "5.00s");
     }
 

@@ -80,6 +80,12 @@ pub struct CollectionPlan {
 }
 
 impl CollectionPlan {
+    /// Total retention trials in the plan (refresh windows × trials each)
+    /// — the number of independent work units the engine can shard.
+    pub fn num_trials(&self) -> usize {
+        self.trefw_schedule.len() * self.trials_per_step
+    }
+
     /// The paper's §5.1.3 sweep: 2 to 22 minutes in 1-minute steps at
     /// 80 °C.
     pub fn paper_sweep() -> Self {
@@ -136,23 +142,75 @@ pub fn collect_profile(
     patterns: &[ChargedSet],
     plan: &CollectionPlan,
 ) -> MiscorrectionProfile {
-    assert!(!patterns.is_empty(), "no test patterns given");
-    let k = patterns[0].k();
-    for p in patterns {
-        assert_eq!(p.k(), k, "patterns of differing dataword lengths");
-    }
+    let k = validate_patterns(patterns);
     assert_eq!(
         knowledge.word_layout.word_bytes() * 8,
         k,
         "pattern length does not match the chip's dataword size"
     );
 
-    let num_words = knowledge.num_words(chip);
-    let total_bytes = chip.geometry().total_bytes();
     let mut profile = MiscorrectionProfile::new(k, patterns.to_vec());
     chip.set_temperature(plan.celsius);
+    // Resume from the chip's current trial counter so back-to-back
+    // collections on one chip draw independent transient-noise samples.
+    let trial_base = chip.trial_counter();
+    for unit in 0..plan.num_trials() {
+        run_collection_trial(
+            chip,
+            knowledge,
+            patterns,
+            plan,
+            unit,
+            trial_base,
+            &mut profile,
+        );
+    }
+    profile
+}
 
-    // Profile only true-cell words (see the function docs).
+/// Validates a pattern list and returns its common dataword length.
+///
+/// # Panics
+///
+/// Panics if `patterns` is empty or the dataword lengths differ.
+pub(crate) fn validate_patterns(patterns: &[ChargedSet]) -> usize {
+    assert!(!patterns.is_empty(), "no test patterns given");
+    let k = patterns[0].k();
+    for p in patterns {
+        assert_eq!(p.k(), k, "patterns of differing dataword lengths");
+    }
+    k
+}
+
+/// Runs one retention trial — the engine's unit of work: program every word,
+/// pause refresh for the unit's scheduled window, read back, and record
+/// every unambiguous miscorrection into `profile`.
+///
+/// `unit` indexes the plan's flattened (refresh-window × trial) grid; it
+/// doubles as the pattern-assignment rotation and, offset by `trial_base`,
+/// the chip's trial-counter position — so any scheduling order (serial
+/// sweep or sharded workers) produces bit-identical observations, while
+/// distinct collections (different bases) draw independent noise.
+///
+/// # Panics
+///
+/// Panics if `unit` is out of range or the chip has no true-cell words.
+pub(crate) fn run_collection_trial(
+    chip: &mut dyn DramInterface,
+    knowledge: &ChipKnowledge,
+    patterns: &[ChargedSet],
+    plan: &CollectionPlan,
+    unit: usize,
+    trial_base: u64,
+    profile: &mut MiscorrectionProfile,
+) {
+    let k = patterns[0].k();
+    let trefw = plan.trefw_schedule[unit / plan.trials_per_step];
+    let rotation = unit;
+    let num_words = knowledge.num_words(chip);
+    let total_bytes = chip.geometry().total_bytes();
+
+    // Profile only true-cell words (see the `collect_profile` docs).
     let true_words: Vec<usize> = (0..num_words)
         .filter(|&w| knowledge.cell_type_of_word(chip, w) == CellType::True)
         .collect();
@@ -162,52 +220,42 @@ pub fn collect_profile(
     );
     let anti_background = BitVec::ones(k); // data cells DISCHARGED in anti words
 
-    let mut rotation = 0usize;
-    for &trefw in &plan.trefw_schedule {
-        for _ in 0..plan.trials_per_step {
-            // Program every true-cell word with its assigned pattern.
-            let mut image = vec![0u8; total_bytes];
-            for word in 0..num_words {
-                if knowledge.cell_type_of_word(chip, word) == CellType::Anti {
-                    write_word_into_image(
-                        &mut image,
-                        &knowledge.word_layout,
-                        word,
-                        &anti_background,
-                    );
-                }
-            }
-            let mut assigned: Vec<usize> = Vec::with_capacity(true_words.len());
-            for (idx, &word) in true_words.iter().enumerate() {
-                let pi = (idx + rotation) % patterns.len();
-                assigned.push(pi);
-                let data = patterns[pi].to_dataword(CellType::True);
-                write_word_into_image(&mut image, &knowledge.word_layout, word, &data);
-            }
-            chip.write_bytes(0, &image);
-
-            chip.retention_test(trefw);
-
-            let read = chip.read_bytes(0, total_bytes);
-            for (idx, &word) in true_words.iter().enumerate() {
-                let pi = assigned[idx];
-                let written = patterns[pi].to_dataword(CellType::True);
-                let observed = read_word_from_image(&read, &knowledge.word_layout, word, k);
-                if observed != written {
-                    for j in 0..k {
-                        if observed.get(j) != written.get(j) && !patterns[pi].is_charged(j) {
-                            // An error at a DISCHARGED bit: unambiguously a
-                            // miscorrection (§4.2.2).
-                            profile.record_miscorrection(pi, j);
-                        }
-                    }
-                }
-                profile.record_trials(pi, 1);
-            }
-            rotation += 1;
+    // Program every word: anti words get the discharged background, each
+    // true word its rotation-assigned pattern.
+    let mut image = vec![0u8; total_bytes];
+    for word in 0..num_words {
+        if knowledge.cell_type_of_word(chip, word) == CellType::Anti {
+            write_word_into_image(&mut image, &knowledge.word_layout, word, &anti_background);
         }
     }
-    profile
+    let mut assigned: Vec<usize> = Vec::with_capacity(true_words.len());
+    for (idx, &word) in true_words.iter().enumerate() {
+        let pi = (idx + rotation) % patterns.len();
+        assigned.push(pi);
+        let data = patterns[pi].to_dataword(CellType::True);
+        write_word_into_image(&mut image, &knowledge.word_layout, word, &data);
+    }
+    chip.write_bytes(0, &image);
+
+    chip.seek_trial(trial_base + unit as u64);
+    chip.retention_test(trefw);
+
+    let read = chip.read_bytes(0, total_bytes);
+    for (idx, &word) in true_words.iter().enumerate() {
+        let pi = assigned[idx];
+        let written = patterns[pi].to_dataword(CellType::True);
+        let observed = read_word_from_image(&read, &knowledge.word_layout, word, k);
+        if observed != written {
+            for j in 0..k {
+                if observed.get(j) != written.get(j) && !patterns[pi].is_charged(j) {
+                    // An error at a DISCHARGED bit: unambiguously a
+                    // miscorrection (§4.2.2).
+                    profile.record_miscorrection(pi, j);
+                }
+            }
+        }
+        profile.record_trials(pi, 1);
+    }
 }
 
 /// Serializes a dataword into the chip image at its mapped addresses.
@@ -258,10 +306,7 @@ mod tests {
     use beer_dram::{ChipConfig, Geometry, SimChip};
 
     fn quick_chip(seed: u64) -> SimChip {
-        SimChip::new(
-            ChipConfig::small_test_chip(seed)
-                .with_geometry(Geometry::new(1, 128, 128)),
-        )
+        SimChip::new(ChipConfig::small_test_chip(seed).with_geometry(Geometry::new(1, 128, 128)))
     }
 
     fn knowledge_for(chip: &SimChip) -> ChipKnowledge {
@@ -295,10 +340,10 @@ mod tests {
 
         let truth = analytic_profile(chip.reveal_code(), &patterns);
         for (pi, (pattern, obs)) in truth.entries.iter().enumerate() {
-            for j in 0..32 {
+            for (j, &o) in obs.iter().enumerate() {
                 if profile.count(pi, j) > 0 {
                     assert_eq!(
-                        obs[j],
+                        o,
                         crate::profile::Observation::Miscorrection,
                         "observed impossible miscorrection: {pattern} bit {j}"
                     );

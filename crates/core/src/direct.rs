@@ -85,7 +85,12 @@ mod tests {
         let injected = extract_by_injection(&dut).expect("valid code");
 
         let profile = analytic_profile(&code, &PatternSet::OneTwo.patterns(11));
-        let report = solve_profile(11, code.parity_bits(), &profile, &BeerSolverOptions::default());
+        let report = solve_profile(
+            11,
+            code.parity_bits(),
+            &profile,
+            &BeerSolverOptions::default(),
+        );
         assert_eq!(report.solutions.len(), 1);
         assert!(equivalence::equivalent(&report.solutions[0], &injected));
     }

@@ -1,0 +1,574 @@
+//! The unified profiling engine: pluggable DRAM backends and parallel
+//! batched collection.
+//!
+//! BEER's step 1+2 — induce miscorrections and accumulate them into a
+//! [`MiscorrectionProfile`] — originally ran against one hard-wired data
+//! source (a simulated chip driven serially). The engine generalizes both
+//! axes:
+//!
+//! * **Backends.** A [`ProfileSource`] is anything that can contribute
+//!   miscorrection observations: a (simulated or physical) DRAM chip behind
+//!   [`beer_dram::DramInterface`] ([`ChipBackend`]), the exact analytic
+//!   model of a known code ([`AnalyticBackend`]), an EINSim-style
+//!   Monte-Carlo simulation ([`EinsimBackend`]), or a recorded trace
+//!   replayed offline ([`crate::trace::ReplayBackend`]). The collection
+//!   driver, BEEP's ECC-function input, and the experiment harness all
+//!   consume this one trait.
+//! * **Parallel batch collection.** A source partitions its work into
+//!   *units* — independent, deterministically numbered batches (for a chip:
+//!   one retention trial of the refresh-window sweep). [`collect_with`]
+//!   shards units across worker threads, each accumulating into a local
+//!   profile, and merges the shards. Because units are deterministic and
+//!   profile merging is commutative counting, the merged profile is
+//!   **bit-identical** to a serial run regardless of thread count.
+
+use crate::collect::{run_collection_trial, validate_patterns, ChipKnowledge, CollectionPlan};
+use crate::pattern::ChargedSet;
+use crate::profile::MiscorrectionProfile;
+use beer_dram::{CellType, DramInterface};
+use beer_ecc::{miscorrection, LinearCode};
+use beer_einsim::{simulate, ErrorModel, SimConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A source of miscorrection observations (see the module docs).
+///
+/// Implementations split their work into `num_units` independent units and
+/// must guarantee that `run_unit(u)` records the same observations no
+/// matter which worker executes it or in which order — the contract that
+/// makes parallel collection deterministic.
+pub trait ProfileSource {
+    /// Dataword length of the source.
+    fn k(&self) -> usize;
+
+    /// Human-readable backend name for reports and logs.
+    fn label(&self) -> String;
+
+    /// Number of independent work units for this pattern set and plan.
+    fn num_units(&self, patterns: &[ChargedSet], plan: &CollectionPlan) -> usize;
+
+    /// Executes unit `unit`, accumulating observations into `profile`
+    /// (which is always created over exactly `patterns`).
+    fn run_unit(
+        &mut self,
+        unit: usize,
+        patterns: &[ChargedSet],
+        plan: &CollectionPlan,
+        profile: &mut MiscorrectionProfile,
+    );
+
+    /// An independent handle for a parallel worker, if the source supports
+    /// one. Returning `None` (the default) makes [`collect_with`] fall back
+    /// to serial collection.
+    fn fork(&self) -> Option<Box<dyn ProfileSource + Send>> {
+        None
+    }
+
+    /// Notifies the source that a collection is about to start — called
+    /// once per [`collect_with`] run, on the primary source, before any
+    /// forking. Sources with sampling state re-synchronize it here (e.g. a
+    /// chip driven directly between collections has consumed trial
+    /// indices the backend hasn't seen). Default: no-op.
+    fn begin_collection(&mut self) {}
+
+    /// Notifies the source that a collection of `units` units finished —
+    /// called once per [`collect_with`] run, on the primary source only.
+    /// Sources with sampling state advance it here so the *next*
+    /// collection draws independent samples instead of replaying this
+    /// one's stream. Default: no-op (stateless backends).
+    fn finish_collection(&mut self, _units: usize) {}
+}
+
+/// Execution options for [`collect_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineOptions {
+    /// Worker threads: `0` uses the machine's available parallelism.
+    pub threads: usize,
+}
+
+impl EngineOptions {
+    /// Single-threaded collection.
+    pub fn serial() -> Self {
+        EngineOptions { threads: 1 }
+    }
+
+    /// Collection with exactly `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineOptions { threads }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Collects a miscorrection profile from any backend, sharding work units
+/// across threads when the source supports forking.
+///
+/// The result is bit-identical to a serial run for every thread count.
+///
+/// # Panics
+///
+/// Panics if `patterns` is empty, their dataword lengths differ, or they
+/// disagree with `source.k()`.
+pub fn collect_with(
+    source: &mut dyn ProfileSource,
+    patterns: &[ChargedSet],
+    plan: &CollectionPlan,
+    options: &EngineOptions,
+) -> MiscorrectionProfile {
+    let k = validate_patterns(patterns);
+    assert_eq!(
+        k,
+        source.k(),
+        "pattern length does not match the source's dataword size"
+    );
+    source.begin_collection();
+    let units = source.num_units(patterns, plan);
+    let mut profile = MiscorrectionProfile::new(k, patterns.to_vec());
+    let threads = options.effective_threads().min(units.max(1));
+
+    if threads > 1 {
+        // Every worker (including the first) runs on a fork so the shards
+        // are fully independent; if the source cannot fork, fall through to
+        // the serial path below.
+        let workers: Option<Vec<Box<dyn ProfileSource + Send>>> =
+            (0..threads).map(|_| source.fork()).collect();
+        if let Some(workers) = workers {
+            let shards = std::thread::scope(|scope| {
+                let handles: Vec<_> = workers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(w, mut worker)| {
+                        let mut local = MiscorrectionProfile::new(k, patterns.to_vec());
+                        scope.spawn(move || {
+                            for unit in (w..units).step_by(threads) {
+                                worker.run_unit(unit, patterns, plan, &mut local);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("collection worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for shard in &shards {
+                profile.merge(shard);
+            }
+            source.finish_collection(units);
+            return profile;
+        }
+    }
+
+    for unit in 0..units {
+        source.run_unit(unit, patterns, plan, &mut profile);
+    }
+    source.finish_collection(units);
+    profile
+}
+
+// ---------------------------------------------------------------------------
+// Chip backend
+// ---------------------------------------------------------------------------
+
+/// A [`ProfileSource`] driving a DRAM chip through
+/// [`beer_dram::DramInterface`] — the §5.1 experimental methodology. One
+/// unit is one retention trial of the plan's refresh-window sweep.
+///
+/// Forking requires the chip to support [`DramInterface::fork`] (simulated
+/// chips do; physical chips run serially).
+pub struct ChipBackend {
+    chip: Box<dyn DramInterface + Send>,
+    knowledge: ChipKnowledge,
+    /// Trial-counter offset of the *next* collection: every unit seeks
+    /// `trial_base + unit`, and `finish_collection` advances the base so
+    /// successive collections draw independent transient-noise samples.
+    trial_base: u64,
+}
+
+impl ChipBackend {
+    /// Wraps a chip and the experimenter's knowledge about it, resuming
+    /// the noise stream from the chip's current trial counter.
+    pub fn new(chip: Box<dyn DramInterface + Send>, knowledge: ChipKnowledge) -> Self {
+        let trial_base = chip.trial_counter();
+        ChipBackend {
+            chip,
+            knowledge,
+            trial_base,
+        }
+    }
+
+    /// The wrapped chip (e.g. to continue driving it after collection).
+    pub fn chip_mut(&mut self) -> &mut dyn DramInterface {
+        self.chip.as_mut()
+    }
+
+    /// The experimenter's knowledge.
+    pub fn knowledge(&self) -> &ChipKnowledge {
+        &self.knowledge
+    }
+}
+
+impl ProfileSource for ChipBackend {
+    fn k(&self) -> usize {
+        self.knowledge.word_layout.word_bytes() * 8
+    }
+
+    fn label(&self) -> String {
+        "chip".to_string()
+    }
+
+    fn num_units(&self, _patterns: &[ChargedSet], plan: &CollectionPlan) -> usize {
+        plan.num_trials()
+    }
+
+    fn run_unit(
+        &mut self,
+        unit: usize,
+        patterns: &[ChargedSet],
+        plan: &CollectionPlan,
+        profile: &mut MiscorrectionProfile,
+    ) {
+        self.chip.set_temperature(plan.celsius);
+        run_collection_trial(
+            self.chip.as_mut(),
+            &self.knowledge,
+            patterns,
+            plan,
+            unit,
+            self.trial_base,
+            profile,
+        );
+    }
+
+    fn fork(&self) -> Option<Box<dyn ProfileSource + Send>> {
+        let chip = self.chip.fork()?;
+        Some(Box::new(ChipBackend {
+            chip,
+            knowledge: self.knowledge.clone(),
+            trial_base: self.trial_base,
+        }))
+    }
+
+    fn begin_collection(&mut self) {
+        // The chip may have been driven directly since the last collection
+        // (its counter advanced past our base); resume from wherever the
+        // noise stream actually is.
+        self.trial_base = self.trial_base.max(self.chip.trial_counter());
+    }
+
+    fn finish_collection(&mut self, units: usize) {
+        self.trial_base += units as u64;
+        // Keep the wrapped chip's own counter in step, so interleaving
+        // engine collections with direct chip driving stays independent.
+        self.chip.seek_trial(self.trial_base);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analytic backend
+// ---------------------------------------------------------------------------
+
+/// A [`ProfileSource`] computing the exact profile of a *known* code with
+/// the closed-form observable-miscorrection predicate — the simulation
+/// methodology of §6.1. One unit is one pattern.
+///
+/// Each possible miscorrection is recorded `emphasis` times so the
+/// resulting counts clear any reasonable [`crate::profile::ThresholdFilter`].
+#[derive(Clone)]
+pub struct AnalyticBackend {
+    code: LinearCode,
+    emphasis: u64,
+}
+
+impl AnalyticBackend {
+    /// A backend for the given code.
+    pub fn new(code: LinearCode) -> Self {
+        AnalyticBackend { code, emphasis: 8 }
+    }
+
+    /// Overrides how many observations each possible miscorrection records.
+    pub fn with_emphasis(mut self, emphasis: u64) -> Self {
+        assert!(emphasis > 0, "emphasis must be positive");
+        self.emphasis = emphasis;
+        self
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &LinearCode {
+        &self.code
+    }
+}
+
+impl ProfileSource for AnalyticBackend {
+    fn k(&self) -> usize {
+        self.code.k()
+    }
+
+    fn label(&self) -> String {
+        "analytic".to_string()
+    }
+
+    fn num_units(&self, patterns: &[ChargedSet], _plan: &CollectionPlan) -> usize {
+        patterns.len()
+    }
+
+    fn run_unit(
+        &mut self,
+        unit: usize,
+        patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+        profile: &mut MiscorrectionProfile,
+    ) {
+        let pattern = &patterns[unit];
+        for j in 0..self.code.k() {
+            if !pattern.is_charged(j)
+                && miscorrection::miscorrection_possible_at(&self.code, pattern.bits(), j)
+            {
+                profile.record_miscorrections(unit, j, self.emphasis);
+            }
+        }
+        profile.record_trials(unit, self.emphasis);
+    }
+
+    fn fork(&self) -> Option<Box<dyn ProfileSource + Send>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EINSim backend
+// ---------------------------------------------------------------------------
+
+/// A [`ProfileSource`] running EINSim-style Monte-Carlo simulation of a
+/// known code under the §3.2 retention error model — the §5.1.3
+/// cross-check methodology. One unit is one pattern, simulated across a
+/// sweep of raw bit error rates.
+///
+/// Each unit's RNG is seeded from `(seed, unit, ber index)` only, so the
+/// observations are deterministic under any work sharding.
+#[derive(Clone)]
+pub struct EinsimBackend {
+    code: LinearCode,
+    words_per_ber: u64,
+    bers: Vec<f64>,
+    seed: u64,
+}
+
+impl EinsimBackend {
+    /// A backend simulating `words_per_ber` words per pattern at each of
+    /// the default raw-BER sweep points (mirroring
+    /// [`CollectionPlan::quick`]'s targets).
+    pub fn new(code: LinearCode, words_per_ber: u64, seed: u64) -> Self {
+        EinsimBackend {
+            code,
+            words_per_ber,
+            bers: vec![0.1, 0.25, 0.4, 0.499],
+            seed,
+        }
+    }
+
+    /// Overrides the raw-BER sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bers` is empty.
+    pub fn with_bers(mut self, bers: Vec<f64>) -> Self {
+        assert!(!bers.is_empty(), "need at least one BER point");
+        self.bers = bers;
+        self
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &LinearCode {
+        &self.code
+    }
+}
+
+impl ProfileSource for EinsimBackend {
+    fn k(&self) -> usize {
+        self.code.k()
+    }
+
+    fn label(&self) -> String {
+        "einsim".to_string()
+    }
+
+    fn num_units(&self, patterns: &[ChargedSet], _plan: &CollectionPlan) -> usize {
+        patterns.len()
+    }
+
+    fn run_unit(
+        &mut self,
+        unit: usize,
+        patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+        profile: &mut MiscorrectionProfile,
+    ) {
+        let pattern = &patterns[unit];
+        let data = pattern.to_dataword(CellType::True);
+        for (bi, &ber) in self.bers.iter().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(
+                self.seed
+                    ^ (unit as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (bi as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+            );
+            let cfg = SimConfig {
+                words: self.words_per_ber,
+                model: ErrorModel::Retention { ber },
+            };
+            let stats = simulate(&self.code, &data, &cfg, &mut rng);
+            for j in 0..self.code.k() {
+                if pattern.is_charged(j) {
+                    continue;
+                }
+                // A decoder flip at an error-free DISCHARGED data bit is an
+                // observable miscorrection — identical semantics to the
+                // chip experiment's post-correction comparison.
+                profile.record_miscorrections(unit, j, stats.miscorrections[j]);
+            }
+            profile.record_trials(unit, self.words_per_ber);
+        }
+    }
+
+    fn fork(&self) -> Option<Box<dyn ProfileSource + Send>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::analytic_profile;
+    use crate::pattern::PatternSet;
+    use crate::profile::ThresholdFilter;
+    use beer_dram::{ChipConfig, Geometry, SimChip};
+
+    fn small_chip_backend(seed: u64) -> (ChipBackend, LinearCode) {
+        let chip = SimChip::new(
+            ChipConfig::small_test_chip(seed).with_geometry(Geometry::new(1, 128, 128)),
+        );
+        let secret = chip.reveal_code().clone();
+        let knowledge = ChipKnowledge::uniform(
+            chip.config().word_layout,
+            CellType::True,
+            chip.geometry().total_rows(),
+        );
+        (ChipBackend::new(Box::new(chip), knowledge), secret)
+    }
+
+    #[test]
+    fn chip_backend_matches_legacy_collect_profile() {
+        let patterns = PatternSet::One.patterns(32);
+        let plan = CollectionPlan::quick();
+
+        let legacy = {
+            let mut chip = SimChip::new(
+                ChipConfig::small_test_chip(91).with_geometry(Geometry::new(1, 128, 128)),
+            );
+            let knowledge = ChipKnowledge::uniform(
+                chip.config().word_layout,
+                CellType::True,
+                chip.geometry().total_rows(),
+            );
+            crate::collect::collect_profile(&mut chip, &knowledge, &patterns, &plan)
+        };
+        let (mut backend, _) = small_chip_backend(91);
+        let engine = collect_with(&mut backend, &patterns, &plan, &EngineOptions::serial());
+
+        for pi in 0..patterns.len() {
+            assert_eq!(legacy.trials(pi), engine.trials(pi));
+            for j in 0..32 {
+                assert_eq!(legacy.count(pi, j), engine.count(pi, j), "({pi}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_backend_reproduces_analytic_profile() {
+        let (_, code) = small_chip_backend(92);
+        let patterns = PatternSet::One.patterns(code.k());
+        let mut backend = AnalyticBackend::new(code.clone());
+        let profile = collect_with(
+            &mut backend,
+            &patterns,
+            &CollectionPlan::quick(),
+            &EngineOptions::serial(),
+        );
+        assert_eq!(
+            profile.to_constraints(&ThresholdFilter::default()),
+            analytic_profile(&code, &patterns)
+        );
+    }
+
+    #[test]
+    fn einsim_backend_observes_only_possible_miscorrections() {
+        let (_, code) = small_chip_backend(93);
+        let patterns = PatternSet::One.patterns(code.k());
+        let mut backend = EinsimBackend::new(code.clone(), 2000, 7);
+        let profile = collect_with(
+            &mut backend,
+            &patterns,
+            &CollectionPlan::quick(),
+            &EngineOptions::serial(),
+        );
+        let truth = analytic_profile(&code, &patterns);
+        for (pi, (pattern, obs)) in truth.entries.iter().enumerate() {
+            for (j, &o) in obs.iter().enumerate() {
+                if profile.count(pi, j) > 0 {
+                    assert_eq!(
+                        o,
+                        crate::profile::Observation::Miscorrection,
+                        "impossible observation at {pattern} bit {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_every_backend() {
+        let patterns = PatternSet::One.patterns(32);
+        let plan = CollectionPlan::quick();
+        let run = |backend: &mut dyn ProfileSource, threads: usize| {
+            collect_with(
+                backend,
+                &patterns,
+                &plan,
+                &EngineOptions::with_threads(threads),
+            )
+        };
+
+        let (mut chips, code) = small_chip_backend(94);
+        let serial = run(&mut chips, 1);
+        let (mut chipp, _) = small_chip_backend(94);
+        let parallel = run(&mut chipp, 4);
+        for pi in 0..patterns.len() {
+            assert_eq!(serial.trials(pi), parallel.trials(pi));
+            for j in 0..32 {
+                assert_eq!(serial.count(pi, j), parallel.count(pi, j));
+            }
+        }
+
+        for backend in [
+            &mut AnalyticBackend::new(code.clone()) as &mut dyn ProfileSource,
+            &mut EinsimBackend::new(code, 500, 11),
+        ] {
+            let serial = run(backend, 1);
+            let parallel = run(backend, 3);
+            for pi in 0..patterns.len() {
+                for j in 0..32 {
+                    assert_eq!(serial.count(pi, j), parallel.count(pi, j));
+                }
+            }
+        }
+    }
+}

@@ -119,8 +119,8 @@ pub fn probe_word_layout(
         // anti rows entirely (their background cannot be made immune).
         let mut image = vec![0u8; total];
         let mut probes: Vec<(usize, usize)> = Vec::new(); // (row, probe addr)
-        for row in 0..rows {
-            if row_cell_types[row] != CellType::True {
+        for (row, &cell_type) in row_cell_types.iter().enumerate().take(rows) {
+            if cell_type != CellType::True {
                 continue;
             }
             // Vary the probe byte across rows and trials to cover
@@ -176,9 +176,8 @@ mod tests {
 
     #[test]
     fn cell_probe_identifies_all_true_chips() {
-        let mut chip = SimChip::new(
-            ChipConfig::small_test_chip(51).with_geometry(Geometry::new(1, 64, 128)),
-        );
+        let mut chip =
+            SimChip::new(ChipConfig::small_test_chip(51).with_geometry(Geometry::new(1, 64, 128)));
         let types = probe_cell_layout(&mut chip, 4.0 * 3600.0);
         assert!(types.iter().all(|&t| t == CellType::True));
     }
@@ -208,9 +207,8 @@ mod tests {
 
     #[test]
     fn word_probe_identifies_interleaved_layout() {
-        let mut chip = SimChip::new(
-            ChipConfig::small_test_chip(53).with_geometry(Geometry::new(1, 128, 128)),
-        );
+        let mut chip =
+            SimChip::new(ChipConfig::small_test_chip(53).with_geometry(Geometry::new(1, 128, 128)));
         let rows = chip.geometry().total_rows();
         let types = vec![CellType::True; rows];
         let candidates = [

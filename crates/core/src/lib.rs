@@ -17,34 +17,60 @@
 //!    consistent function; a unique solution identifies the chip's code up
 //!    to parity-bit relabeling (§4.2.1).
 //!
+//! The three steps are tied together by the unified profiling [`engine`]:
+//! any [`engine::ProfileSource`] backend — live chip, exact analytic
+//! model, EINSim Monte-Carlo, or a recorded [`trace`] — feeds the same
+//! parallel batched collection driver ([`engine::collect_with`]), and
+//! [`solve::ProgressiveSolver`] streams the resulting constraints into an
+//! incremental SAT session so collection and solving interleave, stopping
+//! at the first unique solution (§6.3).
+//!
 //! [`analytic`] computes exact profiles from known codes (the simulation
 //! methodology of §6.1), and [`runtime`] models experiment runtimes
 //! (§6.3).
 //!
 //! # Examples
 //!
-//! Recovering a known code from its analytic profile:
+//! Recovering a known code progressively from its analytic backend:
 //!
 //! ```
-//! use beer_core::{analytic, pattern::PatternSet, solve};
+//! use beer_core::collect::CollectionPlan;
+//! use beer_core::engine::{AnalyticBackend, EngineOptions};
+//! use beer_core::pattern::PatternSet;
+//! use beer_core::profile::ThresholdFilter;
+//! use beer_core::solve::{progressive_batches, progressive_recover, BeerSolverOptions};
 //! use beer_ecc::{equivalence, hamming};
 //!
 //! let secret = hamming::eq1_code();
-//! let profile = analytic::analytic_profile(&secret, &PatternSet::OneTwo.patterns(4));
-//! let report = solve::solve_profile(4, 3, &profile, &solve::BeerSolverOptions::default());
-//! assert_eq!(report.solutions.len(), 1);
-//! assert!(equivalence::equivalent(&report.solutions[0], &secret));
+//! let mut backend = AnalyticBackend::new(secret.clone());
+//! let outcome = progressive_recover(
+//!     &mut backend,
+//!     secret.parity_bits(),
+//!     &progressive_batches(secret.k(), 4),
+//!     &CollectionPlan::quick(),
+//!     &ThresholdFilter::default(),
+//!     &BeerSolverOptions::default(),
+//!     &EngineOptions::default(),
+//! );
+//! assert!(outcome.report.is_unique());
+//! assert!(equivalence::equivalent(&outcome.report.solutions[0], &secret));
 //! ```
 
 pub mod analytic;
 pub mod collect;
 pub mod direct;
+pub mod engine;
 pub mod layout_probe;
 pub mod pattern;
 pub mod profile;
 pub mod runtime;
 pub mod solve;
+pub mod trace;
 
+pub use engine::{
+    collect_with, AnalyticBackend, ChipBackend, EinsimBackend, EngineOptions, ProfileSource,
+};
 pub use pattern::{ChargedSet, PatternSet};
 pub use profile::{MiscorrectionProfile, Observation, ProfileConstraints, ThresholdFilter};
 pub use solve::{solve_profile, BeerSolverOptions, SolveReport};
+pub use trace::{ProfileTrace, ReplayBackend};

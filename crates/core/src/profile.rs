@@ -111,8 +111,18 @@ impl MiscorrectionProfile {
     ///
     /// Panics if the indices are out of range.
     pub fn record_miscorrection(&mut self, pattern_idx: usize, bit: usize) {
+        self.record_miscorrections(pattern_idx, bit, 1);
+    }
+
+    /// Records `n` observed miscorrections at `bit` under pattern
+    /// `pattern_idx` (bulk form for replay and simulation backends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn record_miscorrections(&mut self, pattern_idx: usize, bit: usize, n: u64) {
         assert!(bit < self.k, "bit out of range");
-        self.counts[pattern_idx][bit] += 1;
+        self.counts[pattern_idx][bit] += n;
     }
 
     /// Adds `n` experiment trials for pattern `pattern_idx` (used to
@@ -206,10 +216,7 @@ impl MiscorrectionProfile {
                 (pattern.clone(), obs)
             })
             .collect();
-        ProfileConstraints {
-            k: self.k,
-            entries,
-        }
+        ProfileConstraints { k: self.k, entries }
     }
 }
 
@@ -228,11 +235,7 @@ impl ProfileConstraints {
     pub fn definite_facts(&self) -> usize {
         self.entries
             .iter()
-            .map(|(_, obs)| {
-                obs.iter()
-                    .filter(|&&o| o != Observation::Unknown)
-                    .count()
-            })
+            .map(|(_, obs)| obs.iter().filter(|&&o| o != Observation::Unknown).count())
             .sum()
     }
 
@@ -354,7 +357,11 @@ mod tests {
         let c = p.to_constraints(&ThresholdFilter::default());
         let obs = &c.entries[0].1;
         assert_eq!(obs[1], Observation::Miscorrection);
-        assert_eq!(obs[2], Observation::NoMiscorrection, "blip must be filtered");
+        assert_eq!(
+            obs[2],
+            Observation::NoMiscorrection,
+            "blip must be filtered"
+        );
         assert_eq!(obs[3], Observation::NoMiscorrection);
         assert_eq!(obs[0], Observation::Unknown, "charged bit untestable");
     }
@@ -363,10 +370,7 @@ mod tests {
     fn untested_patterns_are_unknown() {
         let p = one_pattern_profile(); // zero trials
         let c = p.to_constraints(&ThresholdFilter::default());
-        assert!(c.entries[0]
-            .1
-            .iter()
-            .all(|&o| o == Observation::Unknown));
+        assert!(c.entries[0].1.iter().all(|&o| o == Observation::Unknown));
         assert_eq!(c.definite_facts(), 0);
     }
 

@@ -1,0 +1,335 @@
+//! Recorded collection traces and the replay backend.
+//!
+//! A [`ProfileTrace`] captures everything a collection run observed —
+//! per-unit miscorrection counts and trial totals — in a plain-text format
+//! that can be saved, shipped, and replayed. [`ReplayBackend`] turns a
+//! trace back into a [`ProfileSource`], so the whole pipeline (threshold
+//! filtering, solving, BEEP) runs against archived experiments exactly as
+//! it runs against live chips: profile a fleet once, re-analyze forever.
+
+use crate::collect::CollectionPlan;
+use crate::engine::ProfileSource;
+use crate::pattern::ChargedSet;
+use crate::profile::MiscorrectionProfile;
+use std::sync::Arc;
+
+/// The observations of one work unit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UnitTrace {
+    /// `(pattern index, bit, count)` miscorrection records.
+    pub miscorrections: Vec<(usize, usize, u64)>,
+    /// `(pattern index, trials)` records.
+    pub trials: Vec<(usize, u64)>,
+}
+
+/// A complete recorded collection run (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileTrace {
+    /// Dataword length.
+    pub k: usize,
+    /// The pattern list the trace was recorded over, in index order.
+    pub patterns: Vec<ChargedSet>,
+    /// Per-unit observations, in unit order.
+    pub units: Vec<UnitTrace>,
+}
+
+impl ProfileTrace {
+    /// Records a trace by running every unit of `source` serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty or disagrees with `source.k()`.
+    pub fn record(
+        source: &mut dyn ProfileSource,
+        patterns: &[ChargedSet],
+        plan: &CollectionPlan,
+    ) -> ProfileTrace {
+        let k = crate::collect::validate_patterns(patterns);
+        assert_eq!(k, source.k(), "pattern/source dataword mismatch");
+        source.begin_collection();
+        let num_units = source.num_units(patterns, plan);
+        let mut units = Vec::with_capacity(num_units);
+        for unit in 0..num_units {
+            let mut scratch = MiscorrectionProfile::new(k, patterns.to_vec());
+            source.run_unit(unit, patterns, plan, &mut scratch);
+            let mut ut = UnitTrace::default();
+            for pi in 0..patterns.len() {
+                for bit in 0..k {
+                    let c = scratch.count(pi, bit);
+                    if c > 0 {
+                        ut.miscorrections.push((pi, bit, c));
+                    }
+                }
+                let t = scratch.trials(pi);
+                if t > 0 {
+                    ut.trials.push((pi, t));
+                }
+            }
+            units.push(ut);
+        }
+        // A recording consumes the source's sampling stream exactly like a
+        // collection does.
+        source.finish_collection(num_units);
+        ProfileTrace {
+            k,
+            patterns: patterns.to_vec(),
+            units,
+        }
+    }
+
+    /// Serializes the trace to its line-based text format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "beer-profile-trace v1");
+        let _ = writeln!(out, "k {}", self.k);
+        for p in &self.patterns {
+            let bits: Vec<String> = p.bits().iter().map(|b| b.to_string()).collect();
+            let _ = writeln!(out, "pattern {}", bits.join(" "));
+        }
+        for unit in &self.units {
+            let _ = writeln!(out, "unit");
+            for &(pi, bit, count) in &unit.miscorrections {
+                let _ = writeln!(out, "m {pi} {bit} {count}");
+            }
+            for &(pi, trials) in &unit.trials {
+                let _ = writeln!(out, "t {pi} {trials}");
+            }
+        }
+        out
+    }
+
+    /// Parses a trace from its text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<ProfileTrace, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty trace")?;
+        if header.trim() != "beer-profile-trace v1" {
+            return Err(format!("unknown trace header {header:?}"));
+        }
+        let mut k: Option<usize> = None;
+        let mut patterns: Vec<ChargedSet> = Vec::new();
+        let mut units: Vec<UnitTrace> = Vec::new();
+        for (ln, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let tag = fields.next().expect("non-empty line has a field");
+            let parse = |s: &str| -> Result<usize, String> {
+                s.parse()
+                    .map_err(|_| format!("line {}: bad number {s:?}", ln + 1))
+            };
+            match tag {
+                "k" => {
+                    let v = fields.next().ok_or(format!("line {}: missing k", ln + 1))?;
+                    k = Some(parse(v)?);
+                }
+                "pattern" => {
+                    let k = k.ok_or(format!("line {}: pattern before k", ln + 1))?;
+                    let mut bits: Vec<usize> = fields.map(parse).collect::<Result<_, _>>()?;
+                    // Validate here — `ChargedSet::new` asserts, and a
+                    // malformed file must yield Err, not a panic.
+                    bits.sort_unstable();
+                    if bits.windows(2).any(|w| w[0] == w[1]) {
+                        return Err(format!("line {}: duplicate charged bit", ln + 1));
+                    }
+                    if bits.last().is_some_and(|&b| b >= k) {
+                        return Err(format!("line {}: charged bit out of range", ln + 1));
+                    }
+                    patterns.push(ChargedSet::new(bits, k));
+                }
+                "unit" => units.push(UnitTrace::default()),
+                "m" | "t" => {
+                    let unit = units
+                        .last_mut()
+                        .ok_or(format!("line {}: record before any unit", ln + 1))?;
+                    let a = parse(fields.next().ok_or(format!("line {}: truncated", ln + 1))?)?;
+                    if tag == "m" {
+                        let bit =
+                            parse(fields.next().ok_or(format!("line {}: truncated", ln + 1))?)?;
+                        let count =
+                            parse(fields.next().ok_or(format!("line {}: truncated", ln + 1))?)?;
+                        unit.miscorrections.push((a, bit, count as u64));
+                    } else {
+                        let trials =
+                            parse(fields.next().ok_or(format!("line {}: truncated", ln + 1))?)?;
+                        unit.trials.push((a, trials as u64));
+                    }
+                }
+                other => return Err(format!("line {}: unknown tag {other:?}", ln + 1)),
+            }
+        }
+        let k = k.ok_or("trace has no k line")?;
+        for u in &units {
+            for &(pi, bit, _) in &u.miscorrections {
+                if pi >= patterns.len() || bit >= k {
+                    return Err(format!("record ({pi}, {bit}) out of range"));
+                }
+            }
+            for &(pi, _) in &u.trials {
+                if pi >= patterns.len() {
+                    return Err(format!("trial record for pattern {pi} out of range"));
+                }
+            }
+        }
+        Ok(ProfileTrace { k, patterns, units })
+    }
+
+    /// Writes the text format to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Reads a trace from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; malformed content maps to
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<ProfileTrace> {
+        let text = std::fs::read_to_string(path)?;
+        ProfileTrace::from_text(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// A [`ProfileSource`] replaying a recorded [`ProfileTrace`]. One unit of
+/// the replay is one unit of the original run; forking is free (the trace
+/// is shared), so replays parallelize like any other backend.
+///
+/// The replayed profile is bit-identical to the recorded run's profile —
+/// the property the cross-backend equivalence tests pin down.
+#[derive(Clone)]
+pub struct ReplayBackend {
+    trace: Arc<ProfileTrace>,
+}
+
+impl ReplayBackend {
+    /// Wraps a trace for replay.
+    pub fn new(trace: ProfileTrace) -> Self {
+        ReplayBackend {
+            trace: Arc::new(trace),
+        }
+    }
+
+    /// The wrapped trace.
+    pub fn trace(&self) -> &ProfileTrace {
+        &self.trace
+    }
+}
+
+impl ProfileSource for ReplayBackend {
+    fn k(&self) -> usize {
+        self.trace.k
+    }
+
+    fn label(&self) -> String {
+        "replay".to_string()
+    }
+
+    fn num_units(&self, patterns: &[ChargedSet], _plan: &CollectionPlan) -> usize {
+        assert_eq!(
+            patterns,
+            &self.trace.patterns[..],
+            "replay pattern list differs from the recorded trace"
+        );
+        self.trace.units.len()
+    }
+
+    fn run_unit(
+        &mut self,
+        unit: usize,
+        _patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+        profile: &mut MiscorrectionProfile,
+    ) {
+        let ut = &self.trace.units[unit];
+        for &(pi, bit, count) in &ut.miscorrections {
+            profile.record_miscorrections(pi, bit, count);
+        }
+        for &(pi, trials) in &ut.trials {
+            profile.record_trials(pi, trials);
+        }
+    }
+
+    fn fork(&self) -> Option<Box<dyn ProfileSource + Send>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{collect_with, AnalyticBackend, EngineOptions};
+    use crate::pattern::PatternSet;
+    use beer_ecc::hamming;
+
+    fn sample_trace() -> (ProfileTrace, MiscorrectionProfile) {
+        let code = hamming::shortened(8);
+        let patterns = PatternSet::OneTwo.patterns(8);
+        let plan = CollectionPlan::quick();
+        let mut backend = AnalyticBackend::new(code);
+        let profile = collect_with(&mut backend, &patterns, &plan, &EngineOptions::serial());
+        let trace = ProfileTrace::record(&mut backend, &patterns, &plan);
+        (trace, profile)
+    }
+
+    #[test]
+    fn replay_reproduces_the_recorded_profile() {
+        let (trace, original) = sample_trace();
+        let patterns = trace.patterns.clone();
+        let mut replay = ReplayBackend::new(trace);
+        let replayed = collect_with(
+            &mut replay,
+            &patterns,
+            &CollectionPlan::quick(),
+            &EngineOptions::serial(),
+        );
+        for pi in 0..patterns.len() {
+            assert_eq!(original.trials(pi), replayed.trials(pi));
+            for j in 0..8 {
+                assert_eq!(original.count(pi, j), replayed.count(pi, j));
+            }
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        let (trace, _) = sample_trace();
+        let text = trace.to_text();
+        let parsed = ProfileTrace::from_text(&text).expect("roundtrip parse");
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        assert!(ProfileTrace::from_text("").is_err());
+        assert!(ProfileTrace::from_text("not-a-trace").is_err());
+        assert!(ProfileTrace::from_text("beer-profile-trace v1\nbogus 1").is_err());
+        assert!(ProfileTrace::from_text("beer-profile-trace v1\nk 4\nm 0 0 1").is_err());
+        // Out-of-range record.
+        assert!(
+            ProfileTrace::from_text("beer-profile-trace v1\nk 4\npattern 0\nunit\nm 5 0 1")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (trace, _) = sample_trace();
+        let path = std::env::temp_dir().join("beer_trace_test.txt");
+        trace.save(&path).expect("save");
+        let loaded = ProfileTrace::load(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded, trace);
+    }
+}

@@ -85,7 +85,7 @@ impl CellLayout {
                 loop {
                     let len = block_rows[block % block_rows.len()];
                     if remaining < len {
-                        return if block % 2 == 0 {
+                        return if block.is_multiple_of(2) {
                             CellType::True
                         } else {
                             CellType::Anti

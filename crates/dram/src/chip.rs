@@ -37,6 +37,30 @@ pub trait DramInterface {
 
     /// Current ambient temperature in °C.
     fn temperature(&self) -> f64;
+
+    /// Positions the chip's trial counter (the index that seeds per-trial
+    /// transient noise) so a batch scheduler can run retention tests out of
+    /// order yet bit-identically to a serial sweep. Real hardware has no
+    /// such counter; the default is a no-op.
+    fn seek_trial(&mut self, _trial: u64) {}
+
+    /// Current position of the trial counter (see
+    /// [`DramInterface::seek_trial`]): schedulers resume from here so
+    /// successive collections draw *independent* noise rather than
+    /// replaying the same stream. Real hardware reports 0.
+    fn trial_counter(&self) -> u64 {
+        0
+    }
+
+    /// Clones this chip into an independent, identically configured
+    /// instance for a parallel worker, if the device supports it. All cells
+    /// start DISCHARGED, exactly like a fresh [`SimChip`]; collection
+    /// drivers rewrite the full array before every trial, so worker forks
+    /// observe the same errors as the original chip. A physical chip cannot
+    /// be forked, hence the `None` default.
+    fn fork(&self) -> Option<Box<dyn DramInterface + Send>> {
+        None
+    }
 }
 
 /// Configuration of a [`SimChip`].
@@ -178,7 +202,7 @@ impl SimChip {
         let ecc = OnDieEcc::new(code);
         let total = config.geometry.total_bytes();
         assert!(
-            total % config.word_bytes == 0,
+            total.is_multiple_of(config.word_bytes),
             "geometry does not hold whole datawords"
         );
         let num_words = total / config.word_bytes;
@@ -224,7 +248,9 @@ impl SimChip {
     /// Expected raw (pre-correction) bit error rate among CHARGED cells for
     /// a refresh window at the current temperature.
     pub fn expected_ber(&self, trefw_seconds: f64) -> f64 {
-        self.config.retention.expected_ber(trefw_seconds, self.celsius)
+        self.config
+            .retention
+            .expected_ber(trefw_seconds, self.celsius)
     }
 
     /// Cell type of all cells in the word (a word never straddles rows,
@@ -428,6 +454,21 @@ impl DramInterface for SimChip {
     fn temperature(&self) -> f64 {
         self.celsius
     }
+
+    fn seek_trial(&mut self, trial: u64) {
+        self.trial = trial;
+    }
+
+    fn trial_counter(&self) -> u64 {
+        self.trial
+    }
+
+    fn fork(&self) -> Option<Box<dyn DramInterface + Send>> {
+        let mut clone = SimChip::new(self.config.clone());
+        clone.celsius = self.celsius;
+        clone.trial = self.trial;
+        Some(Box::new(clone))
+    }
 }
 
 #[cfg(test)]
@@ -604,6 +645,47 @@ mod tests {
         // Rewrite restores every cell.
         chip.write_bytes(0, &vec![0xFFu8; 8192]);
         assert_eq!(chip.read_bytes(0, 8192), vec![0xFFu8; 8192]);
+    }
+
+    #[test]
+    fn forked_chip_fails_identically() {
+        let mut chip = test_chip(14);
+        let mut fork = chip.fork().expect("SimChip must be forkable");
+        let data = vec![0xFFu8; 8192];
+        chip.write_bytes(0, &data);
+        fork.write_bytes(0, &data);
+        chip.retention_test(3600.0);
+        fork.retention_test(3600.0);
+        assert_eq!(chip.read_bytes(0, 8192), fork.read_bytes(0, 8192));
+    }
+
+    #[test]
+    fn seek_trial_replays_the_noise_stream() {
+        let config = ChipConfig::small_test_chip(15).with_noise(TransientNoise {
+            flip_probability: 1e-3,
+        });
+        let data = vec![0x00u8; 8192];
+        // Serial run: trials 0 and 1 back to back; capture trial 1's view.
+        let serial = {
+            let mut chip = SimChip::new(config.clone());
+            chip.write_bytes(0, &data);
+            chip.retention_test(1.0);
+            chip.write_bytes(0, &data);
+            chip.retention_test(1.0);
+            chip.read_bytes(0, 8192)
+        };
+        // Out-of-order worker: jump straight to trial 1.
+        let seeked = {
+            let mut chip = SimChip::new(config);
+            chip.seek_trial(1);
+            chip.write_bytes(0, &data);
+            chip.retention_test(1.0);
+            chip.read_bytes(0, 8192)
+        };
+        assert_eq!(
+            serial, seeked,
+            "trial seek must reproduce the serial stream"
+        );
     }
 
     #[test]

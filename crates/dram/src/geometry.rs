@@ -32,7 +32,7 @@ impl Geometry {
     pub fn new(banks: usize, rows_per_bank: usize, bytes_per_row: usize) -> Self {
         assert!(banks > 0 && rows_per_bank > 0 && bytes_per_row > 0);
         assert!(
-            bytes_per_row % 32 == 0,
+            bytes_per_row.is_multiple_of(32),
             "rows must hold whole 32-byte ECC-word pairs"
         );
         Geometry {

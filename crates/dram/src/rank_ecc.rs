@@ -128,9 +128,6 @@ mod tests {
         let ecc = RankLevelEcc::new(hamming::eq1_code());
         let stored = ecc.store(&BitVec::zeros(4));
         let report = ecc.load_with_injected_errors(&stored, &[1, 5]);
-        assert_eq!(
-            report.syndrome,
-            ecc.code().column(1) ^ ecc.code().column(5)
-        );
+        assert_eq!(report.syndrome, ecc.code().column(1) ^ ecc.code().column(5));
     }
 }

@@ -138,7 +138,10 @@ impl LinearCode {
         for i in 0..k {
             for j in (i + 1)..k {
                 if data_columns[i] == data_columns[j] {
-                    return Err(CodeError::DuplicateColumns { first: i, second: j });
+                    return Err(CodeError::DuplicateColumns {
+                        first: i,
+                        second: j,
+                    });
                 }
             }
         }
@@ -225,10 +228,7 @@ impl LinearCode {
         if syndrome.weight() == 1 {
             return Some(self.k() + syndrome.bits().trailing_zeros() as usize);
         }
-        self.data_columns
-            .iter()
-            .position(|&c| c == syndrome)
-            .map(|c| c)
+        self.data_columns.iter().position(|&c| c == syndrome)
     }
 
     /// Encodes a dataword into a codeword (`Fencode` of Figure 2).
@@ -502,7 +502,10 @@ mod tests {
     fn rejects_duplicate_columns() {
         let p = BitMatrix::from_bools(&[&[true, true], &[true, true], &[false, false]]);
         match LinearCode::from_parity_submatrix(p) {
-            Err(CodeError::DuplicateColumns { first: 0, second: 1 }) => {}
+            Err(CodeError::DuplicateColumns {
+                first: 0,
+                second: 1,
+            }) => {}
             other => panic!("expected DuplicateColumns, got {other:?}"),
         }
     }
@@ -541,7 +544,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let err = CodeError::DuplicateColumns { first: 1, second: 3 };
+        let err = CodeError::DuplicateColumns {
+            first: 1,
+            second: 3,
+        };
         assert!(err.to_string().contains("1"));
         assert!(err.to_string().contains("3"));
     }

@@ -30,7 +30,9 @@ pub fn canonicalize(code: &LinearCode) -> LinearCode {
 /// permutation of parity-bit labels (identical externally visible
 /// behaviour).
 pub fn equivalent(a: &LinearCode, b: &LinearCode) -> bool {
-    a.k() == b.k() && a.parity_bits() == b.parity_bits() && canonical_parity(a) == canonical_parity(b)
+    a.k() == b.k()
+        && a.parity_bits() == b.parity_bits()
+        && canonical_parity(a) == canonical_parity(b)
 }
 
 /// Applies a row permutation to a code's parity sub-matrix: `perm[i]` is

@@ -313,7 +313,9 @@ mod tests {
         let code = hamming::eq1_code();
         let data = BitVec::ones(4);
         let cfg = SimConfig {
-            words: 50_000,
+            // Expect ~35 raw errors: a zero-error run is astronomically
+            // unlikely for any healthy RNG stream.
+            words: 500_000,
             model: ErrorModel::UniformRandom { ber: 1e-5 },
         };
         let s = simulate(&code, &data, &cfg, &mut rng(3));

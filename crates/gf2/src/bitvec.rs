@@ -118,7 +118,11 @@ impl BitVec {
     /// Panics if `index >= len()`.
     #[inline]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -129,7 +133,11 @@ impl BitVec {
     /// Panics if `index >= len()`.
     #[inline]
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let w = &mut self.words[index / WORD_BITS];
         let mask = 1u64 << (index % WORD_BITS);
         if value {
@@ -146,7 +154,11 @@ impl BitVec {
     /// Panics if `index >= len()`.
     #[inline]
     pub fn flip(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
     }
 
@@ -207,7 +219,10 @@ impl BitVec {
     /// Panics on length mismatch.
     pub fn is_subset_of(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "subset test of different lengths");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Leading (lowest-index) set bit, if any.
@@ -433,10 +448,7 @@ mod tests {
         let b = BitVec::from_indices(10, &[3, 4, 5]);
         assert_eq!((&a ^ &b).iter_ones().collect::<Vec<_>>(), vec![1, 4]);
         assert_eq!((&a & &b).iter_ones().collect::<Vec<_>>(), vec![3, 5]);
-        assert_eq!(
-            (&a | &b).iter_ones().collect::<Vec<_>>(),
-            vec![1, 3, 4, 5]
-        );
+        assert_eq!((&a | &b).iter_ones().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
     }
 
     #[test]

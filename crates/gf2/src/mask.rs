@@ -167,7 +167,12 @@ impl std::ops::BitOr for SynMask {
 
 impl fmt::Debug for SynMask {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SynMask({:0width$b})", self.bits, width = self.len as usize)
+        write!(
+            f,
+            "SynMask({:0width$b})",
+            self.bits,
+            width = self.len as usize
+        )
     }
 }
 

@@ -330,7 +330,7 @@ impl BitMatrix {
         let aug = self.hstack(&bm);
         let (rref, _, pivots) = aug.rref();
         // Inconsistent if a pivot lands in the augmented column.
-        if pivots.iter().any(|&c| c == self.cols) {
+        if pivots.contains(&self.cols) {
             return None;
         }
         let mut x = BitVec::zeros(self.cols);

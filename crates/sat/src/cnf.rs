@@ -44,6 +44,8 @@ pub struct CnfBuilder {
     clauses: Vec<Vec<Lit>>,
     gate_cache: HashMap<GateKey, Lit>,
     const_true: Option<Lit>,
+    /// Clauses already shipped to a live solver by [`CnfBuilder::flush_into`].
+    flushed: usize,
 }
 
 impl Default for CnfBuilder {
@@ -60,6 +62,7 @@ impl CnfBuilder {
             clauses: Vec::new(),
             gate_cache: HashMap::new(),
             const_true: None,
+            flushed: 0,
         }
     }
 
@@ -277,8 +280,8 @@ impl CnfBuilder {
             let _ = i;
         }
         self.add_clause(&[!lits[0], s[0][0]]);
-        for j in 1..k {
-            self.assert_lit(!s[0][j]);
+        for &cell in &s[0][1..k] {
+            self.assert_lit(!cell);
         }
         for i in 1..n {
             self.add_clause(&[!lits[i], s[i][0]]);
@@ -331,13 +334,35 @@ impl CnfBuilder {
     }
 
     /// Consumes the builder and returns a solver loaded with the formula.
-    pub fn into_solver(self) -> Solver {
+    pub fn into_solver(mut self) -> Solver {
         let mut solver = Solver::new();
-        solver.reserve_vars(self.num_vars);
-        for c in &self.clauses {
-            solver.add_clause(c);
-        }
+        self.flushed = 0;
+        self.flush_into(&mut solver);
         solver
+    }
+
+    /// Ships every clause added since the last flush into a live solver,
+    /// creating any new variables first. This keeps the builder usable as
+    /// an *incremental* encoder: Tseitin gates built before the flush stay
+    /// memoized, so constraints added later reuse them instead of
+    /// re-encoding — the mechanism behind BEER's progressive solving
+    /// (paper §6.3).
+    ///
+    /// Returns `false` if the solver derived a top-level conflict while
+    /// absorbing the new clauses (the formula is then permanently UNSAT).
+    pub fn flush_into(&mut self, solver: &mut Solver) -> bool {
+        solver.reserve_vars(self.num_vars);
+        let mut ok = true;
+        for c in &self.clauses[self.flushed..] {
+            ok &= solver.add_clause(c);
+        }
+        self.flushed = self.clauses.len();
+        ok
+    }
+
+    /// Number of clauses not yet shipped by [`CnfBuilder::flush_into`].
+    pub fn pending_clauses(&self) -> usize {
+        self.clauses.len() - self.flushed
     }
 
     /// Access to the raw clauses (used by the DIMACS writer and tests).
@@ -519,9 +544,8 @@ mod tests {
             count += 1;
             assert!(count <= 36);
             let val = |lits: &[Lit]| -> u32 {
-                lits.iter().fold(0, |acc, &l| {
-                    acc << 1 | u32::from(s.lit_value(l).unwrap())
-                })
+                lits.iter()
+                    .fold(0, |acc, &l| acc << 1 | u32::from(s.lit_value(l).unwrap()))
             };
             assert!(val(&a) <= val(&b), "lex order violated");
             let block: Vec<Lit> = all

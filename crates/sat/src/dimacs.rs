@@ -26,7 +26,11 @@ pub struct ParseDimacsError {
 
 impl std::fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DIMACS parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "DIMACS parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -13,7 +13,13 @@
 //!   re-run).
 //! * [`CnfBuilder`] — a circuit-to-CNF layer with memoized Tseitin gates
 //!   (AND/OR/XOR/IFF), cardinality constraints, and the lexicographic row
-//!   ordering used to canonicalize parity-check matrices.
+//!   ordering used to canonicalize parity-check matrices. Builders can
+//!   flush incrementally into a live solver ([`CnfBuilder::flush_into`]),
+//!   keeping their gate memoization across flushes.
+//! * [`SolverSession`] — incremental solving with assumption-scoped,
+//!   retractable constraint groups: the substrate of BEER's progressive
+//!   collect-and-solve pipeline (§6.3), where each uniqueness check's
+//!   blocking clauses are retracted while learned clauses persist.
 //! * [`dimacs`] — DIMACS CNF import/export for debugging and testing.
 //!
 //! # Examples
@@ -37,10 +43,12 @@
 mod cnf;
 pub mod dimacs;
 mod enumerate;
+mod session;
 mod solver;
 mod types;
 
 pub use cnf::CnfBuilder;
 pub use enumerate::enumerate_models;
+pub use session::{ScopeId, SolverSession};
 pub use solver::{SatResult, Solver, SolverStats};
 pub use types::{LBool, Lit, Var};

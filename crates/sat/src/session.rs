@@ -1,0 +1,339 @@
+//! Incremental solving sessions with assumption-scoped constraint groups.
+//!
+//! BEER's uniqueness check enumerates models by adding blocking clauses.
+//! In a *progressive* pipeline (collect a few patterns → solve → collect
+//! more → solve again, paper §6.3) the blocking clauses of one round must
+//! not survive into the next, while the profile constraints — and, more
+//! importantly, everything the solver *learned* from them — must.
+//!
+//! [`SolverSession`] provides exactly that: permanent clauses go straight
+//! into the underlying [`Solver`]; retractable clauses are added inside a
+//! *scope* and automatically guarded by a fresh assumption literal. Popping
+//! the scope permanently disables its clauses (the guard is asserted
+//! false), while learnt clauses from the whole history remain usable.
+
+use crate::solver::{SatResult, Solver, SolverStats};
+use crate::types::{Lit, Var};
+
+/// Identifier of an open scope: its guard-stack index plus the guard
+/// literal itself, so a stale id from a popped scope can never silently
+/// alias a later scope that reused the index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScopeId {
+    index: usize,
+    guard: Lit,
+}
+
+/// An incremental solving session (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use beer_sat::{SatResult, SolverSession};
+///
+/// let mut s = SolverSession::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// s.add_clause(&[a, b]);
+///
+/// // Enumerate models inside a scope, then retract the blocking clauses.
+/// let scope = s.push_scope();
+/// let mut models = 0;
+/// while s.solve() == SatResult::Sat {
+///     models += 1;
+///     let block = [
+///         a.var().lit(s.lit_value(a) != Some(true)),
+///         b.var().lit(s.lit_value(b) != Some(true)),
+///     ];
+///     s.add_scoped_clause(scope, &block);
+/// }
+/// assert_eq!(models, 3);
+/// s.pop_scope(scope);
+/// // With the blocking clauses retracted the formula is satisfiable again.
+/// assert_eq!(s.solve(), SatResult::Sat);
+/// ```
+pub struct SolverSession {
+    solver: Solver,
+    /// Guard literal of every open scope; all are assumed true when solving.
+    guards: Vec<Lit>,
+}
+
+impl Default for SolverSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SolverSession {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        SolverSession {
+            solver: Solver::new(),
+            guards: Vec::new(),
+        }
+    }
+
+    /// Wraps an existing solver (e.g. one loaded from a `CnfBuilder`).
+    pub fn from_solver(solver: Solver) -> Self {
+        SolverSession {
+            solver,
+            guards: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        self.solver.new_var()
+    }
+
+    /// Direct access to the underlying solver (for clause flushing via
+    /// `CnfBuilder::flush_into` and model extraction).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Shared access to the underlying solver (e.g. for reading the model
+    /// with helpers written against [`Solver`]).
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Adds a permanent clause. Returns `false` on a top-level conflict.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.solver.add_clause(lits)
+    }
+
+    /// Opens a scope for retractable clauses and returns its id.
+    pub fn push_scope(&mut self) -> ScopeId {
+        let g = self.solver.new_var().positive();
+        self.push_scope_with_guard(g)
+    }
+
+    /// Opens a scope guarded by a caller-supplied literal. The literal must
+    /// be fresh — created for this purpose and never otherwise constrained
+    /// — or retraction would disable unrelated clauses. Use this when an
+    /// external [`CnfBuilder`](crate::CnfBuilder) owns the variable space,
+    /// so guards and encoder variables cannot collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guard's variable does not exist in the solver.
+    pub fn push_scope_with_guard(&mut self, guard: Lit) -> ScopeId {
+        assert!(
+            guard.var().index() < self.solver.num_vars(),
+            "guard {guard:?} refers to an unknown variable"
+        );
+        self.guards.push(guard);
+        ScopeId {
+            index: self.guards.len() - 1,
+            guard,
+        }
+    }
+
+    /// Checks that `scope` is still the scope it was issued for (guard
+    /// variables are never reused, so a stale id from a popped scope cannot
+    /// match whatever later scope occupies its stack slot).
+    fn live_guard(&self, scope: ScopeId) -> Option<Lit> {
+        self.guards
+            .get(scope.index)
+            .copied()
+            .filter(|&g| g == scope.guard)
+    }
+
+    /// Adds a clause that lives only while `scope` is open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scope has been popped.
+    pub fn add_scoped_clause(&mut self, scope: ScopeId, lits: &[Lit]) -> bool {
+        let guard = self
+            .live_guard(scope)
+            .unwrap_or_else(|| panic!("scope {scope:?} is not open"));
+        let mut clause = Vec::with_capacity(lits.len() + 1);
+        clause.push(!guard);
+        clause.extend_from_slice(lits);
+        self.solver.add_clause(&clause)
+    }
+
+    /// Closes `scope` (and every scope opened after it), permanently
+    /// disabling their clauses. Learnt clauses are retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scope has already been popped.
+    pub fn pop_scope(&mut self, scope: ScopeId) {
+        assert!(
+            self.live_guard(scope).is_some(),
+            "scope {scope:?} is not open"
+        );
+        while self.guards.len() > scope.index {
+            let g = self.guards.pop().expect("guard stack non-empty");
+            // Asserting ¬g satisfies every clause of the scope forever,
+            // rendering them (and any learnt clause that depends on g)
+            // inert without touching the clause database.
+            self.solver.add_clause(&[!g]);
+        }
+    }
+
+    /// Number of currently open scopes.
+    pub fn open_scopes(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// Solves under the current scope guards (plus `extra` assumptions).
+    pub fn solve_with_assumptions(&mut self, extra: &[Lit]) -> SatResult {
+        let mut assumptions = self.guards.clone();
+        assumptions.extend_from_slice(extra);
+        self.solver.solve_with_assumptions(&assumptions)
+    }
+
+    /// Solves under the current scope guards.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Value of `v` in the last model (see [`Solver::value`]).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.solver.value(v)
+    }
+
+    /// Value of `l` in the last model (see [`Solver::lit_value`]).
+    pub fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.solver.lit_value(l)
+    }
+
+    /// Statistics of the underlying solver.
+    pub fn stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::CnfBuilder;
+
+    fn vars(s: &mut SolverSession, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| s.new_var().positive()).collect()
+    }
+
+    fn block_model(s: &mut SolverSession, scope: ScopeId, vars: &[Lit]) {
+        let block: Vec<Lit> = vars
+            .iter()
+            .map(|&l| l.var().lit(s.lit_value(l) != Some(true)))
+            .collect();
+        s.add_scoped_clause(scope, &block);
+    }
+
+    #[test]
+    fn scoped_blocking_is_retractable() {
+        let mut s = SolverSession::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+
+        for _round in 0..3 {
+            let scope = s.push_scope();
+            let mut models = 0;
+            while s.solve() == SatResult::Sat {
+                models += 1;
+                assert!(models <= 3, "more models than the formula has");
+                block_model(&mut s, scope, &v);
+            }
+            assert_eq!(models, 3, "every round must re-enumerate all models");
+            s.pop_scope(scope);
+        }
+    }
+
+    #[test]
+    fn permanent_clauses_narrow_future_rounds() {
+        let mut s = SolverSession::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[v[0], v[1], v[2]]);
+
+        let count_models = |s: &mut SolverSession, v: &[Lit]| {
+            let scope = s.push_scope();
+            let mut models = 0;
+            while s.solve() == SatResult::Sat {
+                models += 1;
+                block_model(s, scope, v);
+            }
+            s.pop_scope(scope);
+            models
+        };
+
+        assert_eq!(count_models(&mut s, &v), 7);
+        // A permanent constraint added between rounds takes effect...
+        s.add_clause(&[!v[0]]);
+        assert_eq!(count_models(&mut s, &v), 3);
+        // ...and more constraints keep narrowing.
+        s.add_clause(&[!v[1]]);
+        assert_eq!(count_models(&mut s, &v), 1);
+    }
+
+    #[test]
+    fn nested_scopes_pop_together() {
+        let mut s = SolverSession::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        let outer = s.push_scope();
+        s.add_scoped_clause(outer, &[!v[0]]);
+        let inner = s.push_scope();
+        s.add_scoped_clause(inner, &[!v[1]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert_eq!(s.open_scopes(), 2);
+        // Popping the outer scope closes the inner one too.
+        s.pop_scope(outer);
+        assert_eq!(s.open_scopes(), 0);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn flush_into_extends_a_session_incrementally() {
+        let mut cnf = CnfBuilder::new();
+        let a = cnf.new_lit();
+        let b = cnf.new_lit();
+        let x = cnf.xor(a, b);
+        cnf.assert_lit(x);
+
+        let mut s = SolverSession::new();
+        assert!(cnf.flush_into(s.solver_mut()));
+        assert_eq!(s.solve(), SatResult::Sat);
+
+        // Keep encoding with the same builder: the memoized XOR gate is
+        // reused, no clauses are re-shipped.
+        let before = cnf.num_clauses();
+        let x2 = cnf.xor(a, b);
+        assert_eq!(x, x2, "gate must be memoized across flushes");
+        assert_eq!(cnf.num_clauses(), before);
+        cnf.assert_lit(a);
+        assert_eq!(cnf.pending_clauses(), 1);
+        assert!(cnf.flush_into(s.solver_mut()));
+        assert_eq!(cnf.pending_clauses(), 0);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.lit_value(b), Some(false), "forced by x ∧ a");
+    }
+
+    #[test]
+    #[should_panic(expected = "is not open")]
+    fn stale_scope_ids_cannot_alias_reused_slots() {
+        let mut s = SolverSession::new();
+        let v = vars(&mut s, 1);
+        let dead = s.push_scope();
+        s.pop_scope(dead);
+        // A new scope reuses stack index 0; the stale id must not reach it.
+        let _live = s.push_scope();
+        s.add_scoped_clause(dead, &[v[0]]);
+    }
+
+    #[test]
+    fn scoped_unsat_does_not_poison_the_session() {
+        let mut s = SolverSession::new();
+        let v = vars(&mut s, 1);
+        let scope = s.push_scope();
+        s.add_scoped_clause(scope, &[v[0]]);
+        s.add_scoped_clause(scope, &[!v[0]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        s.pop_scope(scope);
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+}

@@ -667,8 +667,7 @@ impl Solver {
         let mut restarts: u64 = 0;
         let restart_base: u64 = 100;
         let mut conflicts_until_restart = restart_base * luby(restarts);
-        let mut max_learnts =
-            (self.max_learnts_base + 0.3 * self.stats.clauses as f64).max(1000.0);
+        let mut max_learnts = (self.max_learnts_base + 0.3 * self.stats.clauses as f64).max(1000.0);
 
         loop {
             if let Some(confl) = self.propagate() {
@@ -688,9 +687,7 @@ impl Solver {
                     self.unchecked_enqueue(asserting, cref);
                 }
                 self.decay_activities();
-                if conflicts_until_restart > 0 {
-                    conflicts_until_restart -= 1;
-                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
             } else {
                 if conflicts_until_restart == 0 {
                     restarts += 1;
@@ -939,6 +936,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_3_into_2_is_unsat() {
         // p[i][j]: pigeon i in hole j. Each pigeon somewhere; no two share.
         let mut s = Solver::new();
@@ -957,6 +955,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_5_into_4_is_unsat() {
         let n = 5;
         let mut s = Solver::new();

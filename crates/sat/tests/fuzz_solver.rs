@@ -4,14 +4,11 @@
 //! evaluation and by the solver; answers must agree, and any model the
 //! solver returns must satisfy every clause.
 
-use beer_sat::{SatResult, Solver, Lit, Var};
+use beer_sat::{Lit, SatResult, Solver, Var};
 use proptest::prelude::*;
 
 /// A random clause set over `n_vars` variables.
-fn clauses_strategy(
-    n_vars: usize,
-    max_clauses: usize,
-) -> impl Strategy<Value = Vec<Vec<Lit>>> {
+fn clauses_strategy(n_vars: usize, max_clauses: usize) -> impl Strategy<Value = Vec<Vec<Lit>>> {
     let clause = prop::collection::vec(
         (0..n_vars, any::<bool>()).prop_map(|(v, pos)| Lit::new(Var::new(v), pos)),
         1..=3,

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset used by this workspace's micro-benchmarks:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! simple calibrated loop reporting the median per-iteration time — no
+//! statistics engine, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted, unused).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let settings = (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_benchmark(&name.into(), settings, f);
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let settings = (
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.measurement_time,
+            self.criterion.warm_up_time,
+        );
+        run_benchmark(&format!("{}/{}", self.group, name.into()), settings, f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    mode: BenchMode,
+}
+
+enum BenchMode {
+    Calibrate,
+    Measure,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            BenchMode::Calibrate => {
+                // Find an iteration count taking ≥ ~1 ms per sample.
+                let mut iters: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                        self.iters_per_sample = iters;
+                        break;
+                    }
+                    iters *= 4;
+                }
+            }
+            BenchMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    std::hint::black_box(routine());
+                }
+                let per_iter = start.elapsed() / self.iters_per_sample as u32;
+                self.samples.push(per_iter);
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded from
+    /// the timing).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            BenchMode::Calibrate => {
+                self.iters_per_sample = 1;
+                let input = setup();
+                std::hint::black_box(routine(input));
+            }
+            BenchMode::Measure => {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    (sample_size, measurement_time, warm_up_time): (usize, Duration, Duration),
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration doubles as warm-up; keep invoking until the budget is
+    // spent so cold-start effects wash out.
+    let warm_start = Instant::now();
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        mode: BenchMode::Calibrate,
+    };
+    f(&mut bencher);
+    while warm_start.elapsed() < warm_up_time {
+        f(&mut bencher);
+    }
+
+    bencher.mode = BenchMode::Measure;
+    let measure_start = Instant::now();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+        if measure_start.elapsed() > measurement_time {
+            break;
+        }
+    }
+
+    if bencher.samples.is_empty() {
+        println!("  {name:<40} (no samples)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let min = bencher.samples[0];
+    let max = bencher.samples[bencher.samples.len() - 1];
+    println!(
+        "  {name:<40} median {:>12?}  (min {:?}, max {:?}, {} samples)",
+        median,
+        min,
+        max,
+        bencher.samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        // Smoke test: must terminate and not panic.
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -22,9 +22,7 @@ fn main() {
     let ber = 2e-2;
     let data = BitVec::ones(k); // the paper's 0xFF pattern
 
-    println!(
-        "workload: {words} words, uniform-random raw errors at BER {ber:e}, 0xFF data\n"
-    );
+    println!("workload: {words} words, uniform-random raw errors at BER {ber:e}, 0xFF data\n");
 
     let mut most_skewed: Option<(Manufacturer, f64)> = None;
     for m in Manufacturer::ALL {
@@ -57,10 +55,8 @@ fn main() {
         let mut hot: Vec<(usize, f64)> = shares.iter().cloned().enumerate().collect();
         hot.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let hot_bits: Vec<usize> = hot.iter().take(4).map(|&(b, _)| b).collect();
-        println!(
-            "   skew (max/mean): {skew:.2}; most miscorrection-prone bits: {hot_bits:?}\n"
-        );
-        if most_skewed.map_or(true, |(_, s)| skew > s) {
+        println!("   skew (max/mean): {skew:.2}; most miscorrection-prone bits: {hot_bits:?}\n");
+        if most_skewed.is_none_or(|(_, s)| skew > s) {
             most_skewed = Some((m, skew));
         }
     }

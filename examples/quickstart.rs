@@ -15,26 +15,35 @@ fn main() {
     // would be a real LPDDR4 part with 128-bit words; the methodology is
     // identical (and `reverse_engineer_chip.rs` runs the full pipeline on
     // an LPDDR4-like configuration).
-    let mut chip = SimChip::new(ChipConfig::small_test_chip(0xC0FFEE));
+    let chip = SimChip::new(ChipConfig::small_test_chip(0xC0FFEE));
     println!(
         "chip: {} datawords x {} bits (+{} hidden parity bits)",
         chip.num_words(),
         chip.k(),
         chip.n() - chip.k()
     );
+    let secret = chip.reveal_code().clone();
+    let k = chip.k();
 
     // ------------------------------------------------------------------
     // Step 1: induce miscorrections with 1-CHARGED test patterns across a
-    // refresh-window sweep (§5.1).
+    // refresh-window sweep (§5.1), sharded over worker threads by the
+    // profiling engine.
     // ------------------------------------------------------------------
     let knowledge = ChipKnowledge::uniform(
         chip.config().word_layout,
         CellType::True,
         chip.geometry().total_rows(),
     );
-    let patterns = PatternSet::One.patterns(chip.k());
+    let mut backend = ChipBackend::new(Box::new(chip), knowledge);
+    let patterns = PatternSet::One.patterns(k);
     println!("step 1: testing {} patterns...", patterns.len());
-    let profile = collect_profile(&mut chip, &knowledge, &patterns, &CollectionPlan::quick());
+    let profile = collect_with(
+        &mut backend,
+        &patterns,
+        &CollectionPlan::quick(),
+        &EngineOptions::default(),
+    );
     let observations: u64 = profile.per_bit_totals().iter().sum();
     println!("        observed {observations} miscorrections");
 
@@ -52,8 +61,8 @@ fn main() {
     // Step 3: solve for the ECC function and check uniqueness (§5.3).
     // ------------------------------------------------------------------
     let report = solve_profile(
-        chip.k(),
-        hamming::parity_bits_for(chip.k()),
+        k,
+        hamming::parity_bits_for(k),
         &constraints,
         &BeerSolverOptions::default(),
     );
@@ -65,7 +74,7 @@ fn main() {
     );
 
     // Ground-truth validation (possible only in simulation).
-    let truth = chip.reveal_code();
+    let truth = &secret;
     match report.solutions.iter().find(|s| equivalent(s, truth)) {
         Some(found) => {
             println!("\nrecovered parity-check sub-matrix P (canonical form):");

@@ -33,8 +33,8 @@ fn main() {
     // §5.1.1 + §5.1.2: reverse engineer the cell and dataword layouts.
     // ---------------------------------------------------------------
     println!("\n[1] probing cell + dataword layout (§5.1.1, §5.1.2)...");
-    let knowledge = ChipKnowledge::probe(&mut chip, 4, 4.0 * 3600.0)
-        .expect("layout probe failed to decide");
+    let knowledge =
+        ChipKnowledge::probe(&mut chip, 4, 4.0 * 3600.0).expect("layout probe failed to decide");
     let anti_rows = knowledge
         .row_cell_types
         .iter()
@@ -47,43 +47,33 @@ fn main() {
     println!("    word layout: {:?}", knowledge.word_layout);
 
     // ---------------------------------------------------------------
-    // §5.1.3: collect the miscorrection profile across a tREFW sweep.
+    // §5.1.3 + §5.3, interleaved: the progressive engine collects one
+    // pattern batch at a time (sharded over worker threads), streams the
+    // thresholded constraints into a live SAT session, and stops at the
+    // first batch that pins the ECC function down uniquely (§6.3).
     // ---------------------------------------------------------------
-    println!("\n[2] collecting miscorrection profile (§5.1.3)...");
-    let patterns = PatternSet::One.patterns(chip.k());
-    let profile = collect_profile(&mut chip, &knowledge, &patterns, &CollectionPlan::quick());
-    let totals = profile.per_bit_totals();
-    println!(
-        "    {} miscorrections over {} patterns",
-        totals.iter().sum::<u64>(),
-        patterns.len()
-    );
-
-    // ---------------------------------------------------------------
-    // §5.2: threshold filter.
-    // ---------------------------------------------------------------
-    let constraints = profile.to_constraints(&ThresholdFilter::default());
-    println!(
-        "\n[3] thresholded profile: {} facts, {} positive",
-        constraints.definite_facts(),
-        constraints.miscorrection_facts()
-    );
-
-    // ---------------------------------------------------------------
-    // §5.3: SAT solve + uniqueness check.
-    // ---------------------------------------------------------------
-    println!("\n[4] solving for the ECC function (§5.3)...");
-    let report = solve_profile(
-        chip.k(),
-        hamming::parity_bits_for(chip.k()),
-        &constraints,
+    println!("\n[2] progressive collect-and-solve (§5.1.3 + §5.3 + §6.3)...");
+    let secret = chip.reveal_code().clone();
+    let k = chip.k();
+    let mut backend = ChipBackend::new(Box::new(chip), knowledge);
+    let outcome = progressive_recover(
+        &mut backend,
+        hamming::parity_bits_for(k),
+        &progressive_batches(k, 64),
+        &CollectionPlan::quick(),
+        &ThresholdFilter::default(),
         &BeerSolverOptions::default(),
+        &EngineOptions::default(),
+    );
+    let report = &outcome.report;
+    println!(
+        "    {} round(s), {} of {} patterns collected, {} facts encoded",
+        outcome.rounds, outcome.patterns_used, outcome.patterns_available, outcome.facts_encoded
     );
     println!(
-        "    {} solution(s); determine {:?}, total {:?}, {} vars / {} clauses",
+        "    {} solution(s); total {:?}, {} vars / {} clauses",
         report.solutions.len(),
-        report.determine_time,
-        report.total_time,
+        outcome.total_time,
         report.num_vars,
         report.num_clauses
     );
@@ -91,20 +81,27 @@ fn main() {
     // ---------------------------------------------------------------
     // Validation against ground truth (simulation-only luxury), plus the
     // paper's §5.1.3 EINSim-style cross-check: the recovered function's
-    // *analytic* profile must reproduce what we measured.
+    // *analytic* profile must reproduce a freshly measured one.
     // ---------------------------------------------------------------
-    let truth = chip.reveal_code();
-    let hit = report.solutions.iter().find(|s| equivalent(s, truth));
+    let hit = report.solutions.iter().find(|s| equivalent(s, &secret));
     match hit {
         Some(found) => {
-            println!("\n[5] ground truth check: MATCH");
+            println!("\n[3] ground truth check: MATCH");
+            let patterns = PatternSet::One.patterns(k);
+            let measured = collect_with(
+                &mut backend,
+                &patterns,
+                &CollectionPlan::quick(),
+                &EngineOptions::default(),
+            )
+            .to_constraints(&ThresholdFilter::default());
             let cross = analytic_profile(found, &patterns);
-            let disagreements = constraints.disagreements(&cross);
+            let disagreements = measured.disagreements(&cross);
             println!(
                 "    EINSim cross-check: {} disagreements between measured and simulated profiles",
                 disagreements.len()
             );
         }
-        None => println!("\n[5] ground truth check: MISMATCH"),
+        None => println!("\n[3] ground truth check: MISMATCH"),
     }
 }

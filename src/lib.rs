@@ -14,40 +14,41 @@
 //!
 //! ## Quickstart
 //!
-//! Recover the hidden ECC function of a simulated chip:
+//! Recover the hidden ECC function of a simulated chip through the
+//! profiling engine (parallel collection + progressive solving):
 //!
 //! ```
 //! use beer::prelude::*;
 //!
 //! // A chip whose on-die ECC function we pretend not to know.
-//! let mut chip = SimChip::new(ChipConfig::small_test_chip(7));
-//!
-//! // Steps 1+2: collect a miscorrection profile with 1-CHARGED patterns.
+//! let chip = SimChip::new(ChipConfig::small_test_chip(7));
+//! let secret = chip.reveal_code().clone();
 //! let knowledge = ChipKnowledge::uniform(
 //!     chip.config().word_layout,
 //!     CellType::True,
 //!     chip.geometry().total_rows(),
 //! );
-//! let patterns = PatternSet::One.patterns(chip.k());
-//! let profile = collect_profile(
-//!     &mut chip,
-//!     &knowledge,
+//!
+//! // Steps 1+2: collect a miscorrection profile with 1-CHARGED patterns,
+//! // sharded across worker threads by the engine.
+//! let mut backend = ChipBackend::new(Box::new(chip), knowledge);
+//! let patterns = PatternSet::One.patterns(backend.k());
+//! let profile = collect_with(
+//!     &mut backend,
 //!     &patterns,
 //!     &CollectionPlan::quick(),
+//!     &EngineOptions::default(),
 //! );
 //!
 //! // Step 3: solve for every consistent ECC function.
 //! let constraints = profile.to_constraints(&ThresholdFilter::default());
 //! let report = solve_profile(
-//!     chip.k(),
-//!     chip.reveal_code().parity_bits(),
+//!     backend.k(),
+//!     secret.parity_bits(),
 //!     &constraints,
 //!     &BeerSolverOptions::default(),
 //! );
-//! assert!(report
-//!     .solutions
-//!     .iter()
-//!     .any(|s| equivalent(s, chip.reveal_code())));
+//! assert!(report.solutions.iter().any(|s| equivalent(s, &secret)));
 //! ```
 
 pub use beer_beep as beep;
@@ -61,18 +62,24 @@ pub use beer_sat as sat;
 /// The commonly used types and functions, one `use` away.
 pub mod prelude {
     pub use beer_beep::{
-        evaluate, profile_word, BeepConfig, BeepResult, EvalConfig, SimWordTarget, WordTarget,
+        evaluate, profile_word, BeepConfig, BeepResult, DramWordTarget, EvalConfig, SimWordTarget,
+        WordTarget,
     };
     pub use beer_core::analytic::{analytic_profile, code_matches_constraints};
     pub use beer_core::collect::{collect_profile, ChipKnowledge, CollectionPlan};
     pub use beer_core::direct::extract_by_injection;
+    pub use beer_core::solve::{
+        progressive_batches, progressive_recover, ProgressiveOutcome, ProgressiveSolver,
+    };
     pub use beer_core::{
-        solve_profile, BeerSolverOptions, ChargedSet, MiscorrectionProfile, Observation,
-        PatternSet, ProfileConstraints, SolveReport, ThresholdFilter,
+        collect_with, solve_profile, AnalyticBackend, BeerSolverOptions, ChargedSet, ChipBackend,
+        EinsimBackend, EngineOptions, MiscorrectionProfile, Observation, PatternSet,
+        ProfileConstraints, ProfileSource, ProfileTrace, ReplayBackend, SolveReport,
+        ThresholdFilter,
     };
     pub use beer_dram::{
-        CellLayout, CellType, ChipConfig, ControllerReport, DramInterface, Geometry,
-        RankLevelEcc, RetentionModel, SimChip, TransientNoise, WordLayout,
+        CellLayout, CellType, ChipConfig, ControllerReport, DramInterface, Geometry, RankLevelEcc,
+        RetentionModel, SimChip, TransientNoise, WordLayout,
     };
     pub use beer_ecc::design::{vendor_code, Manufacturer};
     pub use beer_ecc::equivalence::{canonicalize, equivalent};

@@ -4,25 +4,6 @@
 
 use beer::prelude::*;
 
-/// Adapter: one word of a [`SimChip`] as a BEEP target.
-struct ChipWordTarget<'a> {
-    chip: &'a mut SimChip,
-    word: usize,
-    trefw: f64,
-}
-
-impl WordTarget for ChipWordTarget<'_> {
-    fn k(&self) -> usize {
-        self.chip.k()
-    }
-
-    fn run_trial(&mut self, data: &BitVec) -> BitVec {
-        self.chip.write_dataword(self.word, data);
-        self.chip.retention_test(self.trefw);
-        self.chip.read_dataword(self.word)
-    }
-}
-
 /// Ground truth: the chip's weak cells for `word` at window `trefw`,
 /// straight from the (secret) retention model configuration.
 fn true_weak_cells(chip: &SimChip, word: usize, trefw: f64) -> Vec<usize> {
@@ -73,11 +54,8 @@ fn beep_finds_chip_weak_cells_using_beer_recovered_function() {
         if weak.len() < 2 || weak.len() > 4 || data_weak.len() != weak.len() {
             continue; // want all-data weak sets for exact comparison
         }
-        let mut target = ChipWordTarget {
-            chip: &mut chip,
-            word,
-            trefw,
-        };
+        let layout = chip.config().word_layout;
+        let mut target = DramWordTarget::new(&mut chip, layout, word, trefw);
         let result = profile_word(&recovered, &mut target, &BeepConfig::default());
         let found_data: Vec<usize> = result
             .discovered_sorted()

@@ -52,6 +52,43 @@ fn recovers_manufacturer_b_function_uniquely() {
 }
 
 #[test]
+fn progressive_engine_recovers_manufacturer_b_uniquely() {
+    // The same recovery as above, through the unified engine: parallel
+    // batched collection interleaved with incremental solving, stopping as
+    // soon as the profile pins the function down.
+    let chip = SimChip::new(ChipConfig::small_test_chip(22));
+    let secret = chip.reveal_code().clone();
+    let k = chip.k();
+    let knowledge = ChipKnowledge::uniform(
+        chip.config().word_layout,
+        CellType::True,
+        chip.geometry().total_rows(),
+    );
+    let mut backend = ChipBackend::new(Box::new(chip), knowledge);
+    let outcome = progressive_recover(
+        &mut backend,
+        hamming::parity_bits_for(k),
+        &progressive_batches(k, 32),
+        &CollectionPlan::quick(),
+        &ThresholdFilter::default(),
+        &BeerSolverOptions::default(),
+        &EngineOptions::default(),
+    );
+    assert!(
+        outcome.report.is_unique(),
+        "{} solutions",
+        outcome.report.solutions.len()
+    );
+    assert!(equivalent(&outcome.report.solutions[0], &secret));
+    assert!(
+        outcome.patterns_used <= outcome.patterns_available,
+        "bookkeeping: {} of {}",
+        outcome.patterns_used,
+        outcome.patterns_available
+    );
+}
+
+#[test]
 fn recovers_manufacturer_c_function_with_anti_cells() {
     let config = ChipConfig {
         cell_layout: CellLayout::AlternatingBlocks {

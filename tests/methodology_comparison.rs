@@ -20,7 +20,12 @@ fn injection_beats_beer_on_representation_but_not_on_behaviour() {
 
     // §4.2/§5: BEER from the analytic profile — equivalence-class recovery.
     let profile = analytic_profile(&code, &PatternSet::OneTwo.patterns(16));
-    let report = solve_profile(16, code.parity_bits(), &profile, &BeerSolverOptions::default());
+    let report = solve_profile(
+        16,
+        code.parity_bits(),
+        &profile,
+        &BeerSolverOptions::default(),
+    );
     assert!(report.is_unique());
     let beer_code = &report.solutions[0];
 

@@ -8,9 +8,8 @@
 use beer::prelude::*;
 
 fn pipeline_with_noise(flip_probability: f64, chip_seed: u64) -> (SolveReport, SimChip) {
-    let config = ChipConfig::small_test_chip(chip_seed).with_noise(TransientNoise {
-        flip_probability,
-    });
+    let config =
+        ChipConfig::small_test_chip(chip_seed).with_noise(TransientNoise { flip_probability });
     let mut chip = SimChip::new(config);
     let knowledge = ChipKnowledge::uniform(
         chip.config().word_layout,

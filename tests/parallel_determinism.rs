@@ -1,0 +1,136 @@
+//! Parallel collection determinism: for every backend, a seeded
+//! multi-threaded run must produce a **bit-identical** merged profile to
+//! the single-threaded run — the contract that makes the sharded engine a
+//! drop-in replacement for the serial loop.
+
+use beer::prelude::*;
+
+fn raw_counts(profile: &MiscorrectionProfile) -> (Vec<Vec<u64>>, Vec<u64>) {
+    let n = profile.patterns().len();
+    let k = profile.k();
+    let counts = (0..n)
+        .map(|pi| (0..k).map(|j| profile.count(pi, j)).collect())
+        .collect();
+    let trials = (0..n).map(|pi| profile.trials(pi)).collect();
+    (counts, trials)
+}
+
+fn assert_identical(a: &MiscorrectionProfile, b: &MiscorrectionProfile, what: &str) {
+    assert_eq!(raw_counts(a), raw_counts(b), "{what}: profiles differ");
+}
+
+fn chip_backend(seed: u64, noise: Option<f64>) -> ChipBackend {
+    let mut config = ChipConfig::small_test_chip(seed).with_geometry(Geometry::new(1, 128, 128));
+    if let Some(p) = noise {
+        config = config.with_noise(TransientNoise {
+            flip_probability: p,
+        });
+    }
+    let chip = SimChip::new(config);
+    let knowledge = ChipKnowledge::uniform(
+        chip.config().word_layout,
+        CellType::True,
+        chip.geometry().total_rows(),
+    );
+    ChipBackend::new(Box::new(chip), knowledge)
+}
+
+#[test]
+fn chip_collection_is_thread_count_invariant() {
+    let patterns = PatternSet::One.patterns(32);
+    let plan = CollectionPlan::quick();
+    let serial = collect_with(
+        &mut chip_backend(0xD0_01, None),
+        &patterns,
+        &plan,
+        &EngineOptions::serial(),
+    );
+    for threads in [2usize, 3, 8] {
+        let parallel = collect_with(
+            &mut chip_backend(0xD0_01, None),
+            &patterns,
+            &plan,
+            &EngineOptions::with_threads(threads),
+        );
+        assert_identical(&serial, &parallel, &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn noisy_chip_collection_is_still_deterministic() {
+    // Transient noise depends on the chip's trial counter; the sharded
+    // engine seeks the counter per unit, so even the noise stream must be
+    // reproduced exactly across thread counts.
+    let patterns = PatternSet::One.patterns(32);
+    let plan = CollectionPlan::quick();
+    let serial = collect_with(
+        &mut chip_backend(0xD0_02, Some(1e-5)),
+        &patterns,
+        &plan,
+        &EngineOptions::serial(),
+    );
+    let noise_total: u64 = serial.per_bit_totals().iter().sum();
+    assert!(noise_total > 0, "sweep observed nothing — vacuous test");
+    let parallel = collect_with(
+        &mut chip_backend(0xD0_02, Some(1e-5)),
+        &patterns,
+        &plan,
+        &EngineOptions::with_threads(4),
+    );
+    assert_identical(&serial, &parallel, "noisy chip, 4 threads");
+}
+
+#[test]
+fn parallel_collection_matches_the_legacy_serial_loop() {
+    // The engine's serial and parallel paths must both reproduce the
+    // original `collect_profile` word-rotation semantics exactly.
+    let patterns = PatternSet::One.patterns(32);
+    let plan = CollectionPlan::quick();
+
+    let mut chip = SimChip::new(
+        ChipConfig::small_test_chip(0xD0_03).with_geometry(Geometry::new(1, 128, 128)),
+    );
+    let knowledge = ChipKnowledge::uniform(
+        chip.config().word_layout,
+        CellType::True,
+        chip.geometry().total_rows(),
+    );
+    let legacy = collect_profile(&mut chip, &knowledge, &patterns, &plan);
+
+    let parallel = collect_with(
+        &mut chip_backend(0xD0_03, None),
+        &patterns,
+        &plan,
+        &EngineOptions::default(),
+    );
+    assert_identical(&legacy, &parallel, "legacy vs engine");
+}
+
+#[test]
+fn einsim_and_replay_backends_are_thread_count_invariant() {
+    let chip = SimChip::new(ChipConfig::small_test_chip(0xD0_04));
+    let secret = chip.reveal_code().clone();
+    let patterns = PatternSet::One.patterns(secret.k());
+    let plan = CollectionPlan::quick();
+
+    let mut einsim = EinsimBackend::new(secret.clone(), 1500, 0xD0_04);
+    let serial = collect_with(&mut einsim, &patterns, &plan, &EngineOptions::serial());
+    let parallel = collect_with(
+        &mut einsim,
+        &patterns,
+        &plan,
+        &EngineOptions::with_threads(6),
+    );
+    assert_identical(&serial, &parallel, "einsim");
+
+    let trace = ProfileTrace::record(&mut AnalyticBackend::new(secret), &patterns, &plan);
+    let mut replay = ReplayBackend::new(trace);
+    let serial = collect_with(&mut replay, &patterns, &plan, &EngineOptions::serial());
+    let parallel = collect_with(
+        &mut replay,
+        &patterns,
+        &plan,
+        &EngineOptions::with_threads(5),
+    );
+    assert_identical(&serial, &parallel, "replay");
+}
