@@ -65,7 +65,8 @@ fn main() {
                     max_solutions: cap,
                     ..BeerSolverOptions::default()
                 },
-            );
+            )
+            .expect("well-formed profile");
             let raw = solve_profile(
                 k,
                 code.parity_bits(),
@@ -75,7 +76,8 @@ fn main() {
                     symmetry_breaking: false,
                     ..BeerSolverOptions::default()
                 },
-            );
+            )
+            .expect("well-formed profile");
             sym_counts.push(sym.solutions.len());
             raw_counts.push(raw.solutions.len());
             sym_times.push(sym.total_time);

@@ -82,7 +82,8 @@ fn main() {
                         max_solutions: cap,
                         ..BeerSolverOptions::default()
                     },
-                );
+                )
+                .expect("well-formed profile");
                 capped |= report.truncated;
                 counts.push(report.solutions.len());
             }

@@ -1,0 +1,189 @@
+//! Observation-encoding comparison: subset representatives (`2^{t−1}`
+//! complement classes) versus the polynomial selector/dual-witness
+//! circuit, on the same profiles.
+//!
+//! Expected shape: for the paper's low orders (t ≤ 3) the subset encoding
+//! is smaller and at least as fast; past the crossover the subset CNF
+//! grows exponentially in t while the polynomial encoding stays `O(p·t)`
+//! per fact — and beyond [`MAX_SUBSET_ORDER`](beer_core::solve::MAX_SUBSET_ORDER)
+//! only the polynomial encoding exists at all (the §5.2 RANDOM and
+//! ALL-charged patterns at k = 128 are order ~64 and 128).
+
+use beer_bench::{banner, fmt_duration, CsvArtifact, Scale};
+use beer_core::analytic::analytic_profile;
+use beer_core::pattern::{random_t_charged, PatternSet};
+use beer_core::solve::{
+    solve_profile, BeerSolverOptions, ObservationEncoding, SolveError, MAX_SUBSET_ORDER,
+};
+use beer_ecc::hamming;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn options(encoding: ObservationEncoding) -> BeerSolverOptions {
+    BeerSolverOptions {
+        max_solutions: 16,
+        verify_solutions: false,
+        encoding,
+        // Isolate the observation encodings from the preprocessing pass.
+        preprocess: false,
+        ..BeerSolverOptions::default()
+    }
+}
+
+fn main() {
+    let start = Instant::now();
+    let scale = Scale::from_env();
+    banner(
+        "solver_encodings",
+        "subset-representative vs polynomial observation encodings",
+        "subset wins at t <= 3; polynomial flat in t, sole option past t = 16",
+    );
+
+    let k = scale.pick3(10, 14, 20);
+    let orders: Vec<usize> = scale.pick3(vec![2, 4, 6], vec![1, 2, 3, 4, 5, 6], {
+        let mut v: Vec<usize> = (1..=8).collect();
+        v.extend([10, 12]);
+        v
+    });
+    let codes_per_order = scale.pick3(1, 3, 8);
+    let patterns_per_order = scale.pick3(8, 16, 32);
+
+    let mut csv = CsvArtifact::new(
+        "solver_encodings",
+        &[
+            "t",
+            "k",
+            "subset_vars",
+            "subset_clauses",
+            "subset_us",
+            "linear_vars",
+            "linear_clauses",
+            "linear_us",
+            "agree",
+        ],
+    );
+    println!("k = {k}, {codes_per_order} codes and {patterns_per_order} patterns per order\n");
+    println!(
+        "{:>3} | {:>9} {:>9} {:>10} | {:>9} {:>9} {:>10} | {:>5}",
+        "t", "sub vars", "sub cls", "sub time", "lin vars", "lin cls", "lin time", "agree"
+    );
+
+    for &t in &orders {
+        let mut subset_stats = (0usize, 0usize, 0u128);
+        let mut linear_stats = (0usize, 0usize, 0u128);
+        let mut agree = true;
+        for ci in 0..codes_per_order {
+            let mut rng = StdRng::seed_from_u64(0x5E_0000 + (t * 100 + ci) as u64);
+            let code = hamming::random_sec(k, &mut rng);
+            // 1-CHARGED anchors the instance; the t-CHARGED patterns under
+            // test supply the facts whose encodings we compare.
+            let mut patterns = PatternSet::One.patterns(k);
+            patterns.extend(random_t_charged(
+                k,
+                t,
+                patterns_per_order,
+                0xBEE5 + t as u64,
+            ));
+            let profile = analytic_profile(&code, &patterns);
+
+            let sub = solve_profile(
+                k,
+                code.parity_bits(),
+                &profile,
+                &options(ObservationEncoding::SubsetReps),
+            )
+            .expect("t <= 16 encodes under subset representatives");
+            let lin = solve_profile(
+                k,
+                code.parity_bits(),
+                &profile,
+                &options(ObservationEncoding::Linear),
+            )
+            .expect("the polynomial encoding accepts any order");
+            agree &= sub.solutions.len() == lin.solutions.len();
+            subset_stats = (
+                subset_stats.0.max(sub.num_vars),
+                subset_stats.1.max(sub.num_clauses),
+                subset_stats.2 + sub.total_time.as_micros(),
+            );
+            linear_stats = (
+                linear_stats.0.max(lin.num_vars),
+                linear_stats.1.max(lin.num_clauses),
+                linear_stats.2 + lin.total_time.as_micros(),
+            );
+        }
+        let sub_us = subset_stats.2 / codes_per_order as u128;
+        let lin_us = linear_stats.2 / codes_per_order as u128;
+        println!(
+            "{t:>3} | {:>9} {:>9} {:>10} | {:>9} {:>9} {:>10} | {:>5}",
+            subset_stats.0,
+            subset_stats.1,
+            fmt_duration(std::time::Duration::from_micros(sub_us as u64)),
+            linear_stats.0,
+            linear_stats.1,
+            fmt_duration(std::time::Duration::from_micros(lin_us as u64)),
+            agree,
+        );
+        csv.row_display(&[
+            t.to_string(),
+            k.to_string(),
+            subset_stats.0.to_string(),
+            subset_stats.1.to_string(),
+            sub_us.to_string(),
+            linear_stats.0.to_string(),
+            linear_stats.1.to_string(),
+            lin_us.to_string(),
+            agree.to_string(),
+        ]);
+        assert!(agree, "encodings disagreed at t = {t}");
+    }
+    csv.meta(
+        "wall_clock_s",
+        format!("{:.3}", start.elapsed().as_secs_f64()),
+    );
+    csv.write();
+
+    // Orders only the polynomial encoding can express at all.
+    println!("\nhigh orders (subset-representative encoding refuses, polynomial solves):");
+    let high_orders = scale.pick3(vec![24], vec![24, 48], vec![24, 48, 96]);
+    for t in high_orders {
+        let k = (t + 4).max(k);
+        let mut rng = StdRng::seed_from_u64(0x5EF_0000 + t as u64);
+        let code = hamming::random_sec(k, &mut rng);
+        let mut patterns = PatternSet::One.patterns(k);
+        patterns.extend(random_t_charged(k, t, 4, 0xF00D + t as u64));
+        let profile = analytic_profile(&code, &patterns);
+        let refused = solve_profile(
+            k,
+            code.parity_bits(),
+            &profile,
+            &options(ObservationEncoding::SubsetReps),
+        );
+        assert!(
+            matches!(
+                refused,
+                Err(SolveError::PatternOrderUnsupported { order, .. }) if order == t
+            ),
+            "t = {t} must exceed MAX_SUBSET_ORDER = {MAX_SUBSET_ORDER}"
+        );
+        let solve_start = Instant::now();
+        let lin = solve_profile(
+            k,
+            code.parity_bits(),
+            &profile,
+            &options(ObservationEncoding::Linear),
+        )
+        .expect("polynomial encoding");
+        println!(
+            "  t = {t:>3} (k = {k:>3}): subset -> typed error, linear -> {} solution(s), \
+             {} vars / {} clauses in {}",
+            lin.solutions.len(),
+            lin.num_vars,
+            lin.num_clauses,
+            fmt_duration(solve_start.elapsed()),
+        );
+        assert!(!lin.solutions.is_empty(), "true code must be found");
+    }
+    println!("\ntotal wall clock: {}", fmt_duration(start.elapsed()));
+}

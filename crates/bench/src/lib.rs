@@ -14,6 +14,9 @@ use std::path::PathBuf;
 /// Sample-size scale of a harness run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scale {
+    /// Second-scale CI smoke runs: just enough samples to catch encoding
+    /// regressions, no statistical claims.
+    Smoke,
     /// Minute-scale runs preserving every qualitative shape.
     Quick,
     /// Paper-scale sample sizes.
@@ -28,15 +31,27 @@ impl Scale {
     /// Panics on an unrecognized value.
     pub fn from_env() -> Self {
         match std::env::var("BEER_BENCH_SCALE").as_deref() {
+            Ok("smoke") => Scale::Smoke,
             Ok("paper") => Scale::Paper,
             Ok("quick") | Err(_) => Scale::Quick,
-            Ok(other) => panic!("unknown BEER_BENCH_SCALE {other:?} (quick|paper)"),
+            Ok(other) => panic!("unknown BEER_BENCH_SCALE {other:?} (smoke|quick|paper)"),
         }
     }
 
-    /// Picks between the quick and paper variants of a parameter.
+    /// Picks between the quick and paper variants of a parameter (smoke
+    /// runs use the quick variant unless the bench opts in via
+    /// [`Scale::pick3`]).
     pub fn pick<T>(self, quick: T, paper: T) -> T {
         match self {
+            Scale::Smoke | Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+
+    /// Picks between explicit smoke, quick, and paper variants.
+    pub fn pick3<T>(self, smoke: T, quick: T, paper: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
             Scale::Quick => quick,
             Scale::Paper => paper,
         }
@@ -52,26 +67,36 @@ pub fn banner(id: &str, title: &str, paper_expectation: &str) {
     println!("================================================================");
 }
 
-/// A CSV artifact accumulating rows; written under `bench_results/`.
+/// A CSV artifact accumulating rows; written under `bench_results/` both
+/// as `<name>.csv` and as a machine-readable `<name>.json` summary (an
+/// object with the bench name, scale, metadata such as wall-clock time,
+/// and one JSON object per row).
 pub struct CsvArtifact {
     name: String,
-    content: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    meta: Vec<(String, String)>,
 }
 
 impl CsvArtifact {
     /// Starts an artifact with a header row.
     pub fn new(name: &str, header: &[&str]) -> Self {
-        let mut content = String::new();
-        let _ = writeln!(content, "{}", header.join(","));
         CsvArtifact {
             name: name.to_string(),
-            content,
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            // Read the env var leniently: artifact construction must not
+            // panic (and must not lie) under an odd test environment.
+            meta: vec![(
+                "scale".to_string(),
+                std::env::var("BEER_BENCH_SCALE").unwrap_or_else(|_| "quick".to_string()),
+            )],
         }
     }
 
     /// Appends one row.
     pub fn row(&mut self, fields: &[String]) {
-        let _ = writeln!(self.content, "{}", fields.join(","));
+        self.rows.push(fields.to_vec());
     }
 
     /// Convenience: appends a row of displayable fields.
@@ -80,19 +105,138 @@ impl CsvArtifact {
         self.row(&strings);
     }
 
-    /// Writes the artifact to `bench_results/<name>.csv` (relative to the
-    /// workspace root if invoked via cargo, else the current directory).
+    /// Attaches a metadata entry to the JSON summary (e.g. wall-clock
+    /// seconds, CNF size, code length).
+    pub fn meta<T: std::fmt::Display>(&mut self, key: &str, value: T) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// The CSV rendering of the artifact.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// The JSON rendering of the artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "  {}: {},", json_string(k), json_value(v));
+        }
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let fields: Vec<String> = self
+                .header
+                .iter()
+                .zip(row)
+                .map(|(h, v)| format!("{}: {}", json_string(h), json_value(v)))
+                .collect();
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    {{{}}}{comma}", fields.join(", "));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the artifact to `bench_results/<name>.csv` and
+    /// `bench_results/<name>.json` (relative to the workspace root if
+    /// invoked via cargo, else the current directory). Returns the CSV
+    /// path.
     pub fn write(&self) -> PathBuf {
         let dir = workspace_dir().join("bench_results");
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join(format!("{}.csv", self.name));
-        if let Err(e) = std::fs::write(&path, &self.content) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        } else {
-            println!("[artifact] {}", path.display());
+        for (p, content) in [
+            (path.clone(), self.to_csv()),
+            (dir.join(format!("{}.json", self.name)), self.to_json()),
+        ] {
+            if let Err(e) = std::fs::write(&p, &content) {
+                eprintln!("warning: could not write {}: {e}", p.display());
+            } else {
+                println!("[artifact] {}", p.display());
+            }
         }
         path
     }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a field as a bare JSON number when it already *is* one by the
+/// JSON grammar (so `1.250` stays a number run after run, while `007`,
+/// `NaN`, and `1-CHARGED` stay strings), else as a string.
+fn json_value(s: &str) -> String {
+    if is_json_number(s) {
+        s.to_string()
+    } else {
+        json_string(s)
+    }
+}
+
+/// Exactly the JSON number grammar: `-?(0|[1-9][0-9]*)(\.[0-9]+)?`
+/// with an optional exponent.
+fn is_json_number(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    if b.first() == Some(&b'-') {
+        i += 1;
+    }
+    // Integer part: 0, or a nonzero digit followed by digits.
+    match b.get(i) {
+        Some(b'0') => i += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while b.get(i).is_some_and(|c| c.is_ascii_digit()) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        let start = i;
+        while b.get(i).is_some_and(|c| c.is_ascii_digit()) {
+            i += 1;
+        }
+        if i == start {
+            return false;
+        }
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        let start = i;
+        while b.get(i).is_some_and(|c| c.is_ascii_digit()) {
+            i += 1;
+        }
+        if i == start {
+            return false;
+        }
+    }
+    i == b.len()
 }
 
 fn workspace_dir() -> PathBuf {
@@ -182,6 +326,10 @@ mod tests {
     fn scale_pick() {
         assert_eq!(Scale::Quick.pick(1, 2), 1);
         assert_eq!(Scale::Paper.pick(1, 2), 2);
+        assert_eq!(Scale::Smoke.pick(1, 2), 1, "smoke falls back to quick");
+        assert_eq!(Scale::Smoke.pick3(0, 1, 2), 0);
+        assert_eq!(Scale::Quick.pick3(0, 1, 2), 1);
+        assert_eq!(Scale::Paper.pick3(0, 1, 2), 2);
     }
 
     #[test]
@@ -213,7 +361,43 @@ mod tests {
     fn csv_accumulates() {
         let mut c = CsvArtifact::new("test", &["a", "b"]);
         c.row_display(&[1, 2]);
-        assert!(c.content.contains("a,b"));
-        assert!(c.content.contains("1,2"));
+        let csv = c.to_csv();
+        assert!(csv.contains("a,b"));
+        assert!(csv.contains("1,2"));
+    }
+
+    #[test]
+    fn json_summary_has_name_meta_and_typed_rows() {
+        let mut c = CsvArtifact::new("fig_test", &["k", "label", "wall_us"]);
+        c.row_display(&["8".to_string(), "hi \"x\"".to_string(), "12.5".to_string()]);
+        c.row_display(&[16, 0, 3]);
+        c.meta("wall_clock_s", "1.25");
+        let json = c.to_json();
+        assert!(json.contains("\"name\": \"fig_test\""));
+        assert!(json.contains("\"wall_clock_s\": 1.25"));
+        assert!(json.contains("\"k\": 8"), "integers stay numbers: {json}");
+        assert!(json.contains("\"wall_us\": 12.5"), "floats stay numbers");
+        assert!(json.contains("\\\"x\\\""), "strings are escaped");
+        assert!(json.contains("\"scale\""));
+    }
+
+    #[test]
+    fn json_value_round_trip_rules() {
+        assert_eq!(json_value("42"), "42");
+        assert_eq!(json_value("-3.5"), "-3.5");
+        assert_eq!(
+            json_value("1.250"),
+            "1.250",
+            "trailing zeros stay numbers run after run"
+        );
+        assert_eq!(json_value("1e-3"), "1e-3");
+        assert_eq!(
+            json_value("007"),
+            "\"007\"",
+            "leading zeros are not JSON numbers"
+        );
+        assert_eq!(json_value("1."), "\"1.\"");
+        assert_eq!(json_value("1-CHARGED"), "\"1-CHARGED\"");
+        assert_eq!(json_value("NaN"), "\"NaN\"");
     }
 }

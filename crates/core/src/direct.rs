@@ -90,7 +90,8 @@ mod tests {
             code.parity_bits(),
             &profile,
             &BeerSolverOptions::default(),
-        );
+        )
+        .expect("valid profile");
         assert_eq!(report.solutions.len(), 1);
         assert!(equivalence::equivalent(&report.solutions[0], &injected));
     }

@@ -510,6 +510,37 @@ mod tests {
     }
 
     #[test]
+    fn analytic_backend_supports_high_order_pattern_families() {
+        // RANDOM-t (beyond the subset-search range), CHECKERED, and
+        // ALL-charged all flow through the engine: the analytic predicate
+        // switches to its GF(2) span check for large orders.
+        let (_, code) = small_chip_backend(95);
+        let k = code.k();
+        let mut patterns = PatternSet::RandomT {
+            t: k - 2,
+            count: 4,
+            seed: 3,
+        }
+        .patterns(k);
+        patterns.extend(PatternSet::Checkered.patterns(k));
+        patterns.extend(PatternSet::All.patterns(k));
+        let mut backend = AnalyticBackend::new(code.clone());
+        let profile = collect_with(
+            &mut backend,
+            &patterns,
+            &CollectionPlan::quick(),
+            &EngineOptions::serial(),
+        );
+        assert_eq!(
+            profile.to_constraints(&ThresholdFilter::default()),
+            analytic_profile(&code, &patterns)
+        );
+        // The ALL-charged pattern has no discharged bit to observe.
+        let all_idx = patterns.len() - 1;
+        assert!((0..k).all(|j| profile.count(all_idx, j) == 0));
+    }
+
+    #[test]
     fn einsim_backend_observes_only_possible_miscorrections() {
         let (_, code) = small_chip_backend(93);
         let patterns = PatternSet::One.patterns(code.k());

@@ -51,7 +51,8 @@
 //!     &ThresholdFilter::default(),
 //!     &BeerSolverOptions::default(),
 //!     &EngineOptions::default(),
-//! );
+//! )
+//! .expect("well-formed batches");
 //! assert!(outcome.report.is_unique());
 //! assert!(equivalence::equivalent(&outcome.report.solutions[0], &secret));
 //! ```
@@ -62,6 +63,7 @@ pub mod direct;
 pub mod engine;
 pub mod layout_probe;
 pub mod pattern;
+pub mod preprocess;
 pub mod profile;
 pub mod runtime;
 pub mod solve;

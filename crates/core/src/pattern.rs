@@ -123,6 +123,23 @@ pub enum PatternSet {
     /// The union of the 1- and 2-CHARGED patterns — the configuration the
     /// paper shows always uniquely identifies the ECC function (Fig. 5).
     OneTwo,
+    /// `count` distinct uniformly random `t`-CHARGED patterns drawn
+    /// deterministically from `seed` — the paper's §5.2 RANDOM data
+    /// patterns (fewer patterns exist ⇒ all of them).
+    RandomT {
+        /// CHARGED bits per pattern.
+        t: usize,
+        /// Number of patterns requested.
+        count: usize,
+        /// Deterministic sampling seed.
+        seed: u64,
+    },
+    /// The two alternating half-charged patterns (even bits CHARGED, then
+    /// odd bits CHARGED) — the classic checkerboard stress pair.
+    Checkered,
+    /// The single pattern with every data bit CHARGED (the paper's
+    /// ALL-charged / CHARGED pattern, §5.2).
+    All,
 }
 
 impl PatternSet {
@@ -142,6 +159,9 @@ impl PatternSet {
                 v.extend(two_charged(k));
                 v
             }
+            PatternSet::RandomT { t, count, seed } => random_t_charged(k, t, count, seed),
+            PatternSet::Checkered => checkered(k),
+            PatternSet::All => vec![all_charged(k)],
         }
     }
 
@@ -152,6 +172,9 @@ impl PatternSet {
             PatternSet::Two => k * (k - 1) / 2,
             PatternSet::Three => k * (k - 1) * (k - 2) / 6,
             PatternSet::OneTwo => k + k * (k - 1) / 2,
+            PatternSet::RandomT { t, count, .. } => binomial_capped(k, t, count),
+            PatternSet::Checkered => 2,
+            PatternSet::All => 1,
         }
     }
 }
@@ -163,8 +186,27 @@ impl std::fmt::Display for PatternSet {
             PatternSet::Two => write!(f, "2-CHARGED"),
             PatternSet::Three => write!(f, "3-CHARGED"),
             PatternSet::OneTwo => write!(f, "{{1,2}}-CHARGED"),
+            PatternSet::RandomT { t, count, .. } => write!(f, "RANDOM-{t}-CHARGED(x{count})"),
+            PatternSet::Checkered => write!(f, "CHECKERED"),
+            PatternSet::All => write!(f, "ALL-CHARGED"),
         }
     }
+}
+
+/// `min(C(k, t), cap)` without overflow (the binomial saturates at `cap`).
+fn binomial_capped(k: usize, t: usize, cap: usize) -> usize {
+    if t > k {
+        return 0;
+    }
+    let t = t.min(k - t);
+    let mut acc: u128 = 1;
+    for i in 0..t {
+        acc = acc * (k - i) as u128 / (i + 1) as u128;
+        if acc >= cap as u128 {
+            return cap;
+        }
+    }
+    (acc as usize).min(cap)
 }
 
 /// All 1-CHARGED patterns for a `k`-bit dataword.
@@ -191,6 +233,85 @@ pub fn two_charged(k: usize) -> Vec<ChargedSet> {
         }
     }
     v
+}
+
+/// `count` distinct uniformly random `t`-CHARGED patterns for a `k`-bit
+/// dataword, deterministic in `seed`. If fewer than `count` such patterns
+/// exist, every `t`-subset is returned (in enumeration order).
+///
+/// # Panics
+///
+/// Panics if `t > k` or `count == 0`.
+pub fn random_t_charged(k: usize, t: usize, count: usize, seed: u64) -> Vec<ChargedSet> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    assert!(t <= k, "order {t} exceeds dataword length {k}");
+    assert!(count > 0, "count must be positive");
+    let target = binomial_capped(k, t, count);
+    if target < count {
+        // The whole family fits: enumerate instead of sampling.
+        return all_t_subsets(k, t);
+    }
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..k).collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        indices.shuffle(&mut rng);
+        let mut bits: Vec<usize> = indices[..t].to_vec();
+        bits.sort_unstable();
+        if seen.insert(bits.clone()) {
+            out.push(ChargedSet::new(bits, k));
+        }
+    }
+    out
+}
+
+/// Every `t`-subset of `0..k`, in lexicographic order.
+fn all_t_subsets(k: usize, t: usize) -> Vec<ChargedSet> {
+    let mut out = Vec::new();
+    let mut bits: Vec<usize> = (0..t).collect();
+    loop {
+        out.push(ChargedSet::new(bits.clone(), k));
+        // Advance the combination: find the rightmost incrementable slot.
+        let mut i = t;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if bits[i] < k - (t - i) {
+                bits[i] += 1;
+                for j in (i + 1)..t {
+                    bits[j] = bits[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// The two alternating half-charged patterns: even data bits CHARGED, then
+/// odd data bits CHARGED.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn checkered(k: usize) -> Vec<ChargedSet> {
+    assert!(k >= 2, "checkered patterns need at least 2 data bits");
+    let even: Vec<usize> = (0..k).step_by(2).collect();
+    let odd: Vec<usize> = (1..k).step_by(2).collect();
+    vec![ChargedSet::new(even, k), ChargedSet::new(odd, k)]
+}
+
+/// The pattern with every data bit CHARGED.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn all_charged(k: usize) -> ChargedSet {
+    assert!(k >= 1);
+    ChargedSet::new((0..k).collect(), k)
 }
 
 /// All 3-CHARGED patterns for a `k`-bit dataword.
@@ -280,5 +401,85 @@ mod tests {
         let pats = two_charged(9);
         let set: std::collections::HashSet<_> = pats.iter().cloned().collect();
         assert_eq!(set.len(), pats.len());
+    }
+
+    #[test]
+    fn random_t_charged_is_deterministic_distinct_and_sized() {
+        let a = random_t_charged(16, 5, 20, 42);
+        let b = random_t_charged(16, 5, 20, 42);
+        assert_eq!(a, b, "same seed must reproduce the same family");
+        assert_eq!(a.len(), 20);
+        let set: std::collections::HashSet<_> = a.iter().cloned().collect();
+        assert_eq!(set.len(), 20, "patterns must be distinct");
+        assert!(a.iter().all(|p| p.order() == 5 && p.k() == 16));
+        let c = random_t_charged(16, 5, 20, 43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_t_charged_saturates_to_full_enumeration() {
+        // C(5,2) = 10 < 64: the whole family comes back.
+        let pats = random_t_charged(5, 2, 64, 1);
+        assert_eq!(pats.len(), 10);
+        assert_eq!(pats, two_charged(5));
+        assert_eq!(
+            PatternSet::RandomT {
+                t: 2,
+                count: 64,
+                seed: 1
+            }
+            .len(5),
+            10
+        );
+    }
+
+    #[test]
+    fn checkered_and_all_charged_shapes() {
+        let ck = checkered(7);
+        assert_eq!(ck[0].bits(), &[0, 2, 4, 6]);
+        assert_eq!(ck[1].bits(), &[1, 3, 5]);
+        let all = all_charged(4);
+        assert_eq!(all.order(), 4);
+        assert_eq!(all.to_dataword(CellType::True).to_string(), "1111");
+        assert_eq!(PatternSet::All.patterns(4), vec![all]);
+        assert_eq!(PatternSet::Checkered.len(7), 2);
+    }
+
+    #[test]
+    fn new_family_display_names() {
+        assert_eq!(
+            PatternSet::RandomT {
+                t: 3,
+                count: 16,
+                seed: 0
+            }
+            .to_string(),
+            "RANDOM-3-CHARGED(x16)"
+        );
+        assert_eq!(PatternSet::Checkered.to_string(), "CHECKERED");
+        assert_eq!(PatternSet::All.to_string(), "ALL-CHARGED");
+    }
+
+    #[test]
+    fn new_families_report_their_own_lengths() {
+        for set in [
+            PatternSet::RandomT {
+                t: 4,
+                count: 12,
+                seed: 9,
+            },
+            PatternSet::Checkered,
+            PatternSet::All,
+        ] {
+            assert_eq!(set.patterns(10).len(), set.len(10), "{set}");
+        }
+    }
+
+    #[test]
+    fn binomial_capped_saturates_without_overflow() {
+        assert_eq!(binomial_capped(128, 64, 10_000), 10_000);
+        assert_eq!(binomial_capped(5, 2, 100), 10);
+        assert_eq!(binomial_capped(4, 5, 100), 0);
+        assert_eq!(binomial_capped(6, 0, 9), 1);
     }
 }

@@ -27,6 +27,12 @@ pub enum Observation {
 /// miscorrection only if seen at least `min_count` times *and* carrying at
 /// least `min_fraction` of the pattern's total observation mass.
 ///
+/// Silence is only evidence when the pattern was actually exercised:
+/// patterns with fewer than `min_trials` recorded trials yield
+/// [`Observation::Unknown`] for every bit instead of asserting hard
+/// `NoMiscorrection` facts. Without this guard a profile touched by a
+/// single trial would poison the SAT instance with false negatives.
+///
 /// The defaults mirror the paper's example filter (Figure 4 uses a 10⁻³
 /// probability-mass threshold).
 #[derive(Clone, Copy, Debug)]
@@ -35,6 +41,10 @@ pub struct ThresholdFilter {
     pub min_count: u64,
     /// Minimum share of the pattern's total observations.
     pub min_fraction: f64,
+    /// Minimum trials before a pattern's silence counts as
+    /// `NoMiscorrection` evidence (values below 1 behave as 1 — zero
+    /// trials can never be evidence).
+    pub min_trials: u64,
 }
 
 impl Default for ThresholdFilter {
@@ -42,6 +52,18 @@ impl Default for ThresholdFilter {
         ThresholdFilter {
             min_count: 2,
             min_fraction: 1e-3,
+            min_trials: 2,
+        }
+    }
+}
+
+impl ThresholdFilter {
+    /// A filter that trusts any tested pattern (the pre-guard behavior;
+    /// useful for exhaustively simulated backends).
+    pub fn trusting() -> Self {
+        ThresholdFilter {
+            min_trials: 1,
+            ..ThresholdFilter::default()
         }
     }
 }
@@ -187,8 +209,9 @@ impl MiscorrectionProfile {
 
     /// Applies the threshold filter, producing the binary constraints the
     /// SAT solver consumes. CHARGED bits become [`Observation::Unknown`];
-    /// patterns with zero recorded trials become entirely `Unknown` (they
-    /// were never tested, so their silence is not evidence).
+    /// patterns with fewer than `filter.min_trials` recorded trials become
+    /// entirely `Unknown` (they are under-tested, so their silence is not
+    /// evidence — see [`ThresholdFilter::min_trials`]).
     pub fn to_constraints(&self, filter: &ThresholdFilter) -> ProfileConstraints {
         let entries = self
             .patterns
@@ -201,7 +224,7 @@ impl MiscorrectionProfile {
                         if pattern.is_charged(bit) {
                             return Observation::Unknown;
                         }
-                        if self.trials[pi] == 0 {
+                        if self.trials[pi] < filter.min_trials.max(1) {
                             return Observation::Unknown;
                         }
                         let c = self.counts[pi][bit];
@@ -372,6 +395,37 @@ mod tests {
         let c = p.to_constraints(&ThresholdFilter::default());
         assert!(c.entries[0].1.iter().all(|&o| o == Observation::Unknown));
         assert_eq!(c.definite_facts(), 0);
+    }
+
+    #[test]
+    fn under_tested_patterns_yield_unknown_not_false_negatives() {
+        // One trial, no observations: silence from an under-tested pattern
+        // must not become a hard NoMiscorrection fact.
+        let mut p = one_pattern_profile();
+        p.record_trials(0, 1);
+        let filter = ThresholdFilter::default();
+        assert!(filter.min_trials >= 2, "default must guard under-testing");
+        let c = p.to_constraints(&filter);
+        assert!(
+            c.entries[0].1.iter().all(|&o| o == Observation::Unknown),
+            "1 trial < min_trials must yield Unknown everywhere"
+        );
+        // Meeting the threshold flips silence into evidence.
+        p.record_trials(0, filter.min_trials - 1);
+        let c = p.to_constraints(&filter);
+        assert_eq!(c.entries[0].1[1], Observation::NoMiscorrection);
+        // The trusting filter accepts a single trial.
+        let mut q = one_pattern_profile();
+        q.record_trials(0, 1);
+        let c = q.to_constraints(&ThresholdFilter::trusting());
+        assert_eq!(c.entries[0].1[1], Observation::NoMiscorrection);
+        // min_trials = 0 still treats zero trials as no evidence.
+        let zero = one_pattern_profile();
+        let c = zero.to_constraints(&ThresholdFilter {
+            min_trials: 0,
+            ..ThresholdFilter::default()
+        });
+        assert!(c.entries[0].1.iter().all(|&o| o == Observation::Unknown));
     }
 
     #[test]

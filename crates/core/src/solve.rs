@@ -6,7 +6,10 @@
 //! 1. *Basic linear code properties*: every data column of `H` has weight
 //!    ≥ 2 (distinct from the zero syndrome and the identity columns) and
 //!    data columns are pairwise distinct — exactly what single-error
-//!    correction requires.
+//!    correction requires. Distinctness is encoded either eagerly (the
+//!    classic `O(k²·p)` pairwise XOR grid) or *lazily*: models are checked
+//!    for duplicate columns and only offending pairs get a constraint, a
+//!    counterexample-guided loop that keeps the k = 128 encoding small.
 //! 2. *Canonical form*: rows of `P` in non-decreasing lexicographic order.
 //!    This is a complete symmetry break for the parity-bit relabeling
 //!    freedom (see `beer_ecc::equivalence`), so each *equivalence class*
@@ -15,9 +18,25 @@
 //! 3. *The miscorrection profile*: for every pattern `A` and bit `j` with
 //!    a definite observation, the closed-form predicate
 //!    `∃x ⊆ A: supp(P_j ⊕ ⊕_{a∈x} P_a) ⊆ supp(⊕_{a∈A} P_a)`
-//!    is asserted (observed) or refuted (not observed). Assignments `x`
-//!    and their complements induce identical conditions, so only
-//!    `2^{|A|−1}` representatives are encoded.
+//!    is asserted (observed) or refuted (not observed), via one of two
+//!    [`ObservationEncoding`]s:
+//!
+//!    * **Subset representatives** — enumerate the `2^{|A|−1}`
+//!      complement-classes of `x` explicitly. Compact for the paper's
+//!      `|A| ≤ 3` patterns, exponential beyond.
+//!    * **Linear (polynomial)** — the predicate only constrains rows
+//!      outside `supp(w)`, so it asks whether `P_j`, masked to those rows,
+//!      lies in the span of the masked charged columns. A positive fact is
+//!      a selector circuit (the solver picks `x`); a negative fact asserts
+//!      a GF(2) *dual witness* `y` orthogonal to every masked charged
+//!      column but not to `P_j` — such a `y` exists iff `P_j` is outside
+//!      the span. Both are `O(p·|A|)` and encode the §5.2 RANDOM and
+//!      ALL-charged patterns at any order.
+//!
+//! Before any of this, an optional [`crate::preprocess`] pass mines the
+//! 1-CHARGED facts for pinned `P` entries and per-column weight bounds;
+//! pins are asserted as units and constant-folded out of the observation
+//! circuits.
 //!
 //! Uniqueness checking enumerates models with blocking clauses until UNSAT
 //! or a caller-set cap — "Check Uniqueness" in Figure 6.
@@ -25,11 +44,105 @@
 use crate::collect::CollectionPlan;
 use crate::engine::{collect_with, EngineOptions, ProfileSource};
 use crate::pattern::ChargedSet;
+use crate::preprocess::{preprocess, Preprocessed};
 use crate::profile::{Observation, ProfileConstraints, ThresholdFilter};
 use beer_ecc::LinearCode;
 use beer_gf2::BitMatrix;
 use beer_sat::{CnfBuilder, Lit, SatResult, Solver, SolverSession, SolverStats, Var};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Largest pattern order the subset-representative encoding accepts
+/// (`2^{t−1}` representatives are materialized).
+pub const MAX_SUBSET_ORDER: usize = 16;
+
+/// A typed error from the solve entry points.
+///
+/// Pattern data reaches the encoder from the outside world (traces,
+/// replayed experiments, caller-built constraint sets), so unsupported
+/// inputs surface as values instead of panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The selected [`ObservationEncoding`] cannot express a pattern of
+    /// this order (the subset-representative encoding is exponential and
+    /// capped at [`MAX_SUBSET_ORDER`]).
+    PatternOrderUnsupported {
+        /// The offending pattern's order.
+        order: usize,
+        /// The largest order the selected encoding supports.
+        max: usize,
+    },
+    /// The constraints' dataword length disagrees with the solver's.
+    DatawordMismatch {
+        /// The solver's dataword length.
+        expected: usize,
+        /// The constraints' dataword length.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::PatternOrderUnsupported { order, max } => write!(
+                f,
+                "pattern order {order} exceeds the selected encoding's maximum {max} \
+                 (use ObservationEncoding::Linear for high-order patterns)"
+            ),
+            SolveError::DatawordMismatch { expected, found } => {
+                write!(f, "constraint dataword length {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// How profile facts are turned into clauses (constraint 3 above).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ObservationEncoding {
+    /// Per-order choice: subset representatives for the paper's low
+    /// orders, the polynomial encoding beyond.
+    #[default]
+    Auto,
+    /// Always enumerate `2^{t−1}` subset representatives (orders up to
+    /// [`MAX_SUBSET_ORDER`] only).
+    SubsetReps,
+    /// Always use the polynomial selector/dual-witness encoding.
+    Linear,
+}
+
+impl ObservationEncoding {
+    /// Auto switches to the polynomial encoding above this order (the
+    /// representative count `2^{t−1}` overtakes the `O(p·t)` circuit).
+    const AUTO_SUBSET_MAX: usize = 3;
+
+    fn effective(self, order: usize) -> ObservationEncoding {
+        match self {
+            ObservationEncoding::Auto => {
+                if order <= Self::AUTO_SUBSET_MAX {
+                    ObservationEncoding::SubsetReps
+                } else {
+                    ObservationEncoding::Linear
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+/// How pairwise column distinctness is enforced (constraint 1 above).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ColumnDistinctness {
+    /// Lazily: solve, detect duplicate columns in the model, constrain
+    /// only the offending pairs, repeat. Removes the `O(k²·p)` grid from
+    /// the encoding; real profiles separate almost all columns anyway.
+    #[default]
+    Lazy,
+    /// Eagerly: the full pairwise XOR grid, up front.
+    Eager,
+}
 
 /// Options for [`solve_profile`].
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +156,13 @@ pub struct BeerSolverOptions {
     /// Re-verify each solution against the profile with the closed-form
     /// predicate (cheap, and guards the encoding against itself).
     pub verify_solutions: bool,
+    /// Observation-to-clause translation.
+    pub encoding: ObservationEncoding,
+    /// Column-distinctness scheme.
+    pub distinctness: ColumnDistinctness,
+    /// Run the GF(2) propagation pass over 1-CHARGED facts and pin `P`
+    /// variables before encoding (see [`crate::preprocess`]).
+    pub preprocess: bool,
 }
 
 impl Default for BeerSolverOptions {
@@ -51,6 +171,9 @@ impl Default for BeerSolverOptions {
             max_solutions: 2,
             symmetry_breaking: true,
             verify_solutions: true,
+            encoding: ObservationEncoding::Auto,
+            distinctness: ColumnDistinctness::Lazy,
+            preprocess: true,
         }
     }
 }
@@ -66,7 +189,7 @@ pub struct SolveReport {
     pub determine_time: Duration,
     /// Total time including uniqueness checking.
     pub total_time: Duration,
-    /// CNF size: variables.
+    /// CNF size: variables (including lazily added repair clauses' gates).
     pub num_vars: usize,
     /// CNF size: clauses.
     pub num_clauses: usize,
@@ -81,6 +204,23 @@ impl SolveReport {
     }
 }
 
+/// A literal with constant folding: pinned `P` entries become constants so
+/// preprocessing prunes gates before the CNF ever sees them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FLit {
+    Const(bool),
+    Is(Lit),
+}
+
+impl FLit {
+    fn negate(self) -> FLit {
+        match self {
+            FLit::Const(b) => FLit::Const(!b),
+            FLit::Is(l) => FLit::Is(!l),
+        }
+    }
+}
+
 /// The encoded instance: builder plus the `P`-matrix variables
 /// (`vars[r * k + c]` is `P[r][c]`).
 pub struct EncodedProblem {
@@ -92,33 +232,184 @@ pub struct EncodedProblem {
     pub parity_bits: usize,
     /// Data bits (columns of `P`).
     pub k: usize,
+    /// Preprocessing pins, row-major (`None` = free variable).
+    pins: Vec<Option<bool>>,
+    /// Weight lower bound already encoded per column.
+    encoded_lb: Vec<usize>,
+    /// Column pairs whose distinctness constraint has been emitted.
+    distinct_done: HashSet<(usize, usize)>,
 }
 
 impl EncodedProblem {
     fn p_lit(&self, r: usize, c: usize) -> Lit {
         self.p_vars[r * self.k + c].positive()
     }
+
+    /// The folded view of `P[r][c]`.
+    fn f_p(&self, r: usize, c: usize) -> FLit {
+        match self.pins[r * self.k + c] {
+            Some(b) => FLit::Const(b),
+            None => FLit::Is(self.p_lit(r, c)),
+        }
+    }
+
+    /// Number of `P` variables pinned by preprocessing.
+    pub fn pinned_vars(&self) -> usize {
+        self.pins.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Asserts an always-false constraint (the instance is UNSAT).
+    fn contradiction(&mut self) {
+        let t = self.cnf.lit_true();
+        self.cnf.add_clause(&[!t]);
+    }
+
+    /// XOR with constant folding.
+    fn fxor(&mut self, terms: &[FLit]) -> FLit {
+        let mut parity = false;
+        let mut lits: Vec<Lit> = Vec::with_capacity(terms.len());
+        for &t in terms {
+            match t {
+                FLit::Const(b) => parity ^= b,
+                FLit::Is(l) => lits.push(l),
+            }
+        }
+        if lits.is_empty() {
+            return FLit::Const(parity);
+        }
+        let x = self.cnf.xor_many(&lits);
+        FLit::Is(if parity { !x } else { x })
+    }
+
+    /// AND with constant folding.
+    fn fand(&mut self, a: FLit, b: FLit) -> FLit {
+        match (a, b) {
+            (FLit::Const(false), _) | (_, FLit::Const(false)) => FLit::Const(false),
+            (FLit::Const(true), x) | (x, FLit::Const(true)) => x,
+            (FLit::Is(la), FLit::Is(lb)) => FLit::Is(self.cnf.and(&[la, lb])),
+        }
+    }
+
+    /// Adds a clause with constant folding; an empty residue is a
+    /// contradiction.
+    fn fclause(&mut self, lits: &[FLit]) {
+        let mut out: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match l {
+                FLit::Const(true) => return,
+                FLit::Const(false) => {}
+                FLit::Is(l) => out.push(l),
+            }
+        }
+        if out.is_empty() {
+            self.contradiction();
+        } else {
+            self.cnf.add_clause(&out);
+        }
+    }
+
+    /// Installs preprocessing output: unit-asserts new pins and tightens
+    /// per-column weight bounds. Sound for any constraint stream because
+    /// every pin/bound is implied by validity plus the observations.
+    fn apply_preprocessing(&mut self, pre: &Preprocessed) {
+        if pre.unsat {
+            self.contradiction();
+            return;
+        }
+        for idx in 0..self.pins.len() {
+            if let (None, Some(v)) = (self.pins[idx], pre.pinned[idx]) {
+                self.pins[idx] = Some(v);
+                let lit = self.p_vars[idx].lit(v);
+                self.cnf.assert_lit(lit);
+            }
+        }
+        for c in 0..self.k {
+            if pre.col_weight_lb[c] > self.encoded_lb[c] {
+                let bound = pre.col_weight_lb[c];
+                self.encode_column_weight(c, bound);
+                self.encoded_lb[c] = bound;
+            }
+        }
+    }
+
+    /// Asserts weight ≥ `bound` for column `c`, folding pinned entries.
+    fn encode_column_weight(&mut self, c: usize, bound: usize) {
+        let p = self.parity_bits;
+        let mut ones = 0usize;
+        let mut free: Vec<Lit> = Vec::new();
+        for r in 0..p {
+            match self.f_p(r, c) {
+                FLit::Const(true) => ones += 1,
+                FLit::Const(false) => {}
+                FLit::Is(l) => free.push(l),
+            }
+        }
+        let need = bound.saturating_sub(ones);
+        if need == 0 {
+            return;
+        }
+        if need > free.len() {
+            self.contradiction();
+            return;
+        }
+        self.cnf.at_least_k(&free, need);
+    }
+
+    /// Emits the pairwise-distinctness constraint for one column pair
+    /// (shared by the eager grid and the lazy repair loop). Pinned rows
+    /// fold: a pinned disagreeing row discharges the pair entirely.
+    fn encode_pair_distinct(&mut self, c1: usize, c2: usize) {
+        let key = (c1.min(c2), c1.max(c2));
+        if !self.distinct_done.insert(key) {
+            return;
+        }
+        let p = self.parity_bits;
+        let mut diffs: Vec<FLit> = Vec::with_capacity(p);
+        for r in 0..p {
+            let a = self.f_p(r, c1);
+            let b = self.f_p(r, c2);
+            let d = match (a, b) {
+                (FLit::Const(x), FLit::Const(y)) => FLit::Const(x != y),
+                (FLit::Const(x), FLit::Is(l)) | (FLit::Is(l), FLit::Const(x)) => {
+                    FLit::Is(if x { !l } else { l })
+                }
+                (FLit::Is(la), FLit::Is(lb)) => FLit::Is(self.cnf.xor(la, lb)),
+            };
+            diffs.push(d);
+        }
+        self.fclause(&diffs);
+    }
 }
 
 /// Builds the SAT instance for a profile (constraints 1–3 above).
 ///
+/// # Errors
+///
+/// Returns a [`SolveError`] if the constraints' dataword length differs
+/// from `k` or a pattern order is unsupported by the selected encoding.
+///
 /// # Panics
 ///
-/// Panics if `parity_bits < 2`, `k == 0`, or the constraints' dataword
-/// length differs from `k`.
+/// Panics if `parity_bits < 2` or `k == 0`.
 pub fn encode_profile(
     k: usize,
     parity_bits: usize,
     constraints: &ProfileConstraints,
     options: &BeerSolverOptions,
-) -> EncodedProblem {
-    assert!(k > 0, "k must be positive");
-    assert!(parity_bits >= 2, "a SEC code needs at least 2 parity bits");
-    assert_eq!(constraints.k, k, "constraint dataword length mismatch");
-
+) -> Result<EncodedProblem, SolveError> {
+    if constraints.k != k {
+        return Err(SolveError::DatawordMismatch {
+            expected: k,
+            found: constraints.k,
+        });
+    }
     let mut problem = encode_base(k, parity_bits, options);
-    encode_observations(&mut problem, constraints);
-    problem
+    if options.preprocess {
+        let pre = preprocess(k, parity_bits, constraints);
+        problem.apply_preprocessing(&pre);
+    }
+    encode_observations(&mut problem, constraints, options)?;
+    Ok(problem)
 }
 
 /// Encodes the profile-independent part of the instance (constraints 1–2):
@@ -137,16 +428,21 @@ fn encode_base(k: usize, parity_bits: usize, options: &BeerSolverOptions) -> Enc
         p_vars,
         parity_bits,
         k,
+        pins: vec![None; parity_bits * k],
+        encoded_lb: vec![2; k],
+        distinct_done: HashSet::new(),
     };
-    encode_code_validity(&mut problem);
+    encode_code_validity(&mut problem, options);
     if options.symmetry_breaking {
         encode_row_order(&mut problem);
     }
     problem
 }
 
-/// Constraint 1: data columns have weight ≥ 2 and are pairwise distinct.
-fn encode_code_validity(problem: &mut EncodedProblem) {
+/// Constraint 1: data columns have weight ≥ 2 and are pairwise distinct
+/// (the latter only when the eager scheme is selected; the lazy scheme
+/// adds pairs from counterexamples during enumeration).
+fn encode_code_validity(problem: &mut EncodedProblem, options: &BeerSolverOptions) {
     let (p, k) = (problem.parity_bits, problem.k);
     for c in 0..k {
         let col: Vec<Lit> = (0..p).map(|r| problem.p_lit(r, c)).collect();
@@ -161,16 +457,11 @@ fn encode_code_validity(problem: &mut EncodedProblem) {
             problem.cnf.at_least_one(&rest);
         }
     }
-    for c1 in 0..k {
-        for c2 in (c1 + 1)..k {
-            let diffs: Vec<Lit> = (0..p)
-                .map(|r| {
-                    let a = problem.p_lit(r, c1);
-                    let b = problem.p_lit(r, c2);
-                    problem.cnf.xor(a, b)
-                })
-                .collect();
-            problem.cnf.at_least_one(&diffs);
+    if options.distinctness == ColumnDistinctness::Eager {
+        for c1 in 0..k {
+            for c2 in (c1 + 1)..k {
+                problem.encode_pair_distinct(c1, c2);
+            }
         }
     }
 }
@@ -187,10 +478,15 @@ fn encode_row_order(problem: &mut EncodedProblem) {
 }
 
 /// Constraint 3: the profile facts.
-fn encode_observations(problem: &mut EncodedProblem, constraints: &ProfileConstraints) {
+fn encode_observations(
+    problem: &mut EncodedProblem,
+    constraints: &ProfileConstraints,
+    options: &BeerSolverOptions,
+) -> Result<(), SolveError> {
     for (pattern, observations) in &constraints.entries {
-        encode_observation_entry(problem, pattern, observations);
+        encode_observation_entry(problem, pattern, observations, options)?;
     }
+    Ok(())
 }
 
 /// Encodes one pattern's observations (the per-entry slice of constraint
@@ -199,99 +495,284 @@ fn encode_observation_entry(
     problem: &mut EncodedProblem,
     pattern: &ChargedSet,
     observations: &[Observation],
+    options: &BeerSolverOptions,
+) -> Result<(), SolveError> {
+    let p = problem.parity_bits;
+    let charged = pattern.bits();
+    let t = charged.len();
+    if observations.iter().all(|&o| o == Observation::Unknown) {
+        return Ok(());
+    }
+    if t == 0 {
+        // An all-DISCHARGED pattern experiences no retention errors at
+        // all, so the decoder never acts: a claimed miscorrection is
+        // physically impossible (the instance is unsatisfiable), and a
+        // NoMiscorrection fact is vacuous (weight ≥ 2 already forbids the
+        // only matrix that could miscorrect, P_j = 0).
+        if observations.contains(&Observation::Miscorrection) {
+            problem.contradiction();
+        }
+        return Ok(());
+    }
+    let encoding = options.encoding.effective(t);
+    if encoding == ObservationEncoding::SubsetReps && t > MAX_SUBSET_ORDER {
+        return Err(SolveError::PatternOrderUnsupported {
+            order: t,
+            max: MAX_SUBSET_ORDER,
+        });
+    }
+
+    // w_r = ⊕_{a∈A} P[r][a]: the CHARGED parity-bit indicator (shared by
+    // every observation of the entry).
+    let w: Vec<FLit> = (0..p)
+        .map(|r| {
+            let terms: Vec<FLit> = charged.iter().map(|&a| problem.f_p(r, a)).collect();
+            problem.fxor(&terms)
+        })
+        .collect();
+
+    for (j, &obs) in observations.iter().enumerate() {
+        if obs == Observation::Unknown {
+            continue;
+        }
+        match encoding {
+            ObservationEncoding::SubsetReps => {
+                encode_fact_subset_reps(problem, charged, &w, j, obs);
+            }
+            ObservationEncoding::Linear => {
+                encode_fact_linear(problem, charged, &w, j, obs);
+            }
+            ObservationEncoding::Auto => unreachable!("effective() resolves Auto"),
+        }
+    }
+    Ok(())
+}
+
+/// The subset-representative encoding of one (pattern, bit) fact.
+///
+/// Assignments `x` and their complements induce identical conditions, so
+/// only `2^{|A|−1}` representatives (those with `x₀ = 0`) are encoded.
+fn encode_fact_subset_reps(
+    problem: &mut EncodedProblem,
+    charged: &[usize],
+    w: &[FLit],
+    j: usize,
+    obs: Observation,
 ) {
     let p = problem.parity_bits;
-    {
-        let charged = pattern.bits();
-        let t = charged.len();
-        assert!((1..=16).contains(&t), "unsupported pattern order {t}");
-        // Representatives of x modulo complement: fix x₀ = 0.
-        let reps: Vec<u32> = if t == 1 {
-            vec![0]
-        } else {
-            (0u32..(1 << t)).filter(|x| x & 1 == 0).collect()
-        };
-
-        // w_r = ⊕_{a∈A} P[r][a]: the CHARGED parity-bit indicator.
-        let w: Vec<Lit> = (0..p)
+    let t = charged.len();
+    let reps: Vec<u32> = if t == 1 {
+        vec![0]
+    } else {
+        (0u32..(1 << t)).filter(|x| x & 1 == 0).collect()
+    };
+    // v^x_r = P[r][j] ⊕ ⊕_{x_i=1} P[r][a_i], folded.
+    let v_for = |problem: &mut EncodedProblem, x: u32| -> Vec<FLit> {
+        (0..p)
             .map(|r| {
-                let terms: Vec<Lit> = charged.iter().map(|&a| problem.p_lit(r, a)).collect();
-                problem.cnf.xor_many(&terms)
+                let mut terms = vec![problem.f_p(r, j)];
+                for (i, &a) in charged.iter().enumerate() {
+                    if x >> i & 1 == 1 {
+                        terms.push(problem.f_p(r, a));
+                    }
+                }
+                problem.fxor(&terms)
             })
-            .collect();
+            .collect()
+    };
 
-        for (j, &obs) in observations.iter().enumerate() {
-            if obs == Observation::Unknown {
-                continue;
+    match obs {
+        Observation::Miscorrection => {
+            // ∃ representative x with ∀r (v_r → w_r).
+            let mut surviving: Vec<Vec<Vec<FLit>>> = Vec::new();
+            for &x in &reps {
+                let v = v_for(problem, x);
+                let mut clauses: Vec<Vec<FLit>> = Vec::new();
+                let mut dead = false;
+                for r in 0..p {
+                    match (v[r], w[r]) {
+                        (FLit::Const(false), _) | (_, FLit::Const(true)) => {}
+                        (FLit::Const(true), FLit::Const(false)) => {
+                            dead = true;
+                            break;
+                        }
+                        (vr, wr) => clauses.push(vec![vr.negate(), wr]),
+                    }
+                }
+                if dead {
+                    continue;
+                }
+                if clauses.is_empty() {
+                    // This representative is unconditionally fine: the
+                    // whole fact is already satisfied.
+                    return;
+                }
+                surviving.push(clauses);
             }
-            // v^x_r = P[r][j] ⊕ ⊕_{x_i=1} P[r][a_i].
-            let v_rows: Vec<Vec<Lit>> = reps
-                .iter()
-                .map(|&x| {
-                    (0..p)
-                        .map(|r| {
-                            let mut terms = vec![problem.p_lit(r, j)];
-                            for (i, &a) in charged.iter().enumerate() {
-                                if x >> i & 1 == 1 {
-                                    terms.push(problem.p_lit(r, a));
-                                }
-                            }
-                            problem.cnf.xor_many(&terms)
-                        })
-                        .collect()
-                })
-                .collect();
-
-            match obs {
-                Observation::Miscorrection => {
-                    if reps.len() == 1 {
-                        // Directly: ∀r (v_r → w_r).
-                        for r in 0..p {
-                            problem.cnf.add_clause(&[!v_rows[0][r], w[r]]);
-                        }
-                    } else {
-                        let mut guards = Vec::with_capacity(reps.len());
-                        for v in &v_rows {
-                            let g = problem.cnf.new_lit();
-                            for r in 0..p {
-                                problem.cnf.add_clause(&[!g, !v[r], w[r]]);
-                            }
-                            guards.push(g);
-                        }
-                        problem.cnf.at_least_one(&guards);
+            match surviving.len() {
+                0 => problem.contradiction(),
+                1 => {
+                    for clause in &surviving[0] {
+                        problem.fclause(clause);
                     }
                 }
-                Observation::NoMiscorrection => {
-                    // Every representative must fail: ∃r (v_r ∧ ¬w_r).
-                    for v in &v_rows {
-                        let mut witnesses = Vec::with_capacity(p);
-                        for r in 0..p {
-                            let h = problem.cnf.new_lit();
-                            problem.cnf.add_clause(&[!h, v[r]]);
-                            problem.cnf.add_clause(&[!h, !w[r]]);
-                            witnesses.push(h);
+                _ => {
+                    let mut guards = Vec::with_capacity(surviving.len());
+                    for clauses in &surviving {
+                        let g = problem.cnf.new_lit();
+                        for clause in clauses {
+                            let mut guarded = vec![FLit::Is(!g)];
+                            guarded.extend_from_slice(clause);
+                            problem.fclause(&guarded);
                         }
-                        problem.cnf.at_least_one(&witnesses);
+                        guards.push(g);
                     }
+                    problem.cnf.at_least_one(&guards);
                 }
-                Observation::Unknown => unreachable!(),
             }
         }
+        Observation::NoMiscorrection => {
+            // Every representative must fail: ∃r (v_r ∧ ¬w_r).
+            for &x in &reps {
+                let v = v_for(problem, x);
+                let mut witnesses: Vec<FLit> = Vec::with_capacity(p);
+                let mut satisfied = false;
+                for r in 0..p {
+                    match (v[r], w[r]) {
+                        (FLit::Const(true), FLit::Const(false)) => {
+                            satisfied = true;
+                            break;
+                        }
+                        (FLit::Const(false), _) | (_, FLit::Const(true)) => {}
+                        (FLit::Const(true), wr) => witnesses.push(wr.negate()),
+                        (vr, FLit::Const(false)) => witnesses.push(vr),
+                        (FLit::Is(vl), FLit::Is(wl)) => {
+                            let h = problem.cnf.new_lit();
+                            problem.cnf.add_clause(&[!h, vl]);
+                            problem.cnf.add_clause(&[!h, !wl]);
+                            witnesses.push(FLit::Is(h));
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                problem.fclause(&witnesses);
+            }
+        }
+        Observation::Unknown => unreachable!(),
     }
 }
 
-/// Extracts the `P` matrix from a satisfying assignment.
-fn extract_solution(solver: &Solver, problem: &EncodedProblem) -> LinearCode {
-    let (p, k) = (problem.parity_bits, problem.k);
-    let mut m = BitMatrix::zeros(p, k);
-    for r in 0..p {
+/// The polynomial encoding of one (pattern, bit) fact (`O(p·|A|)` gates).
+///
+/// `supp(v) ⊆ supp(w)` constrains `v` only where `w` is zero, so the
+/// predicate is span membership of the masked columns:
+///
+/// * *Miscorrection*: selector bits `s_i` choose `x`; the accumulated
+///   `v = P_j ⊕ ⊕ s_i·P_{a_i}` must vanish on every row where `w` is
+///   false.
+/// * *NoMiscorrection*: a dual witness `y` supported on `w`'s zero rows
+///   with `y·P_a = 0` for every charged column and `y·P_j = 1` — over
+///   GF(2) such a functional exists iff `P_j` is outside the span.
+fn encode_fact_linear(
+    problem: &mut EncodedProblem,
+    charged: &[usize],
+    w: &[FLit],
+    j: usize,
+    obs: Observation,
+) {
+    let p = problem.parity_bits;
+    match obs {
+        Observation::Miscorrection => {
+            let sels: Vec<Lit> = charged.iter().map(|_| problem.cnf.new_lit()).collect();
+            for (r, &wr) in w.iter().enumerate().take(p) {
+                if wr == FLit::Const(true) {
+                    continue;
+                }
+                let mut terms = vec![problem.f_p(r, j)];
+                for (i, &a) in charged.iter().enumerate() {
+                    let sel = FLit::Is(sels[i]);
+                    let entry = problem.f_p(r, a);
+                    let prod = problem.fand(sel, entry);
+                    terms.push(prod);
+                }
+                let acc = problem.fxor(&terms);
+                problem.fclause(&[wr, acc.negate()]);
+            }
+        }
+        Observation::NoMiscorrection => {
+            // y_r exists only on rows that can be outside supp(w).
+            let ys: Vec<FLit> = (0..p)
+                .map(|r| match w[r] {
+                    FLit::Const(true) => FLit::Const(false),
+                    FLit::Const(false) => FLit::Is(problem.cnf.new_lit()),
+                    FLit::Is(wl) => {
+                        let y = problem.cnf.new_lit();
+                        problem.cnf.add_clause(&[!y, !wl]);
+                        FLit::Is(y)
+                    }
+                })
+                .collect();
+            let dot = |problem: &mut EncodedProblem, col: usize| -> FLit {
+                let mut terms: Vec<FLit> = Vec::with_capacity(p);
+                for (r, &y) in ys.iter().enumerate() {
+                    let entry = problem.f_p(r, col);
+                    let prod = problem.fand(y, entry);
+                    terms.push(prod);
+                }
+                problem.fxor(&terms)
+            };
+            for &a in charged {
+                let parity = dot(problem, a);
+                problem.fclause(&[parity.negate()]);
+            }
+            let parity = dot(problem, j);
+            problem.fclause(&[parity]);
+        }
+        Observation::Unknown => unreachable!(),
+    }
+}
+
+/// Extracts the raw `P` assignment from a satisfying model.
+fn extract_matrix(
+    value: impl Fn(Var) -> Option<bool>,
+    p_vars: &[Var],
+    parity_bits: usize,
+    k: usize,
+) -> BitMatrix {
+    let mut m = BitMatrix::zeros(parity_bits, k);
+    for r in 0..parity_bits {
         for c in 0..k {
-            if solver.value(problem.p_vars[r * k + c]) == Some(true) {
+            if value(p_vars[r * k + c]) == Some(true) {
                 m.set(r, c, true);
             }
         }
     }
-    LinearCode::from_parity_submatrix(m).expect("SAT constraints guarantee a valid SEC code")
+    m
+}
+
+/// Column pairs of `m` with identical values (one pair per duplicate,
+/// anchored at the first occurrence) — the counterexamples the lazy
+/// distinctness scheme repairs.
+fn duplicate_column_pairs(m: &BitMatrix) -> Vec<(usize, usize)> {
+    let mut first: HashMap<u64, usize> = HashMap::new();
+    let mut dups = Vec::new();
+    for c in 0..m.cols() {
+        let mut value = 0u64;
+        for r in 0..m.rows() {
+            if m.get(r, c) {
+                value |= 1 << r;
+            }
+        }
+        match first.entry(value) {
+            std::collections::hash_map::Entry::Occupied(e) => dups.push((*e.get(), c)),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(c);
+            }
+        }
+    }
+    dups
 }
 
 /// Runs BEER's step 3 end to end: encode the profile, find every ECC
@@ -301,53 +782,63 @@ fn extract_solution(solver: &Solver, problem: &EncodedProblem) -> LinearCode {
 /// A report with exactly one solution means the profile uniquely
 /// identifies the chip's ECC function up to parity-bit relabeling.
 ///
+/// # Errors
+///
+/// Returns a [`SolveError`] under the conditions of [`encode_profile`];
+/// unsatisfiable or contradictory profiles are *not* errors — they yield
+/// an empty solution list.
+///
 /// # Panics
 ///
-/// Panics under the conditions of [`encode_profile`], or if a solution
-/// fails re-verification (which would indicate an encoding bug).
+/// Panics if `parity_bits < 2`, `k == 0`, or a solution fails
+/// re-verification (which would indicate an encoding bug).
 pub fn solve_profile(
     k: usize,
     parity_bits: usize,
     constraints: &ProfileConstraints,
     options: &BeerSolverOptions,
-) -> SolveReport {
+) -> Result<SolveReport, SolveError> {
     let start = Instant::now();
-    let EncodedProblem { cnf, p_vars, .. } = encode_profile(k, parity_bits, constraints, options);
-    let num_vars = cnf.num_vars();
-    let num_clauses = cnf.num_clauses();
-    let mut solver = cnf.into_solver();
+    let mut problem = encode_profile(k, parity_bits, constraints, options)?;
+    let mut solver = Solver::new();
+    let mut ok = problem.cnf.flush_into(&mut solver);
 
-    let mut solutions = Vec::new();
+    let mut solutions: Vec<LinearCode> = Vec::new();
     let mut truncated = false;
-    let mut determine_time = Duration::ZERO;
-    loop {
+    let mut determine_time = None;
+    while ok {
         let result = solver.solve();
-        if solutions.is_empty() {
-            determine_time = start.elapsed();
-        }
         if result != SatResult::Sat {
             break;
         }
-        let problem_view = EncodedProblem {
-            cnf: CnfBuilder::new(),
-            p_vars: p_vars.clone(),
-            parity_bits,
-            k,
-        };
-        let code = extract_solution(&solver, &problem_view);
+        let m = extract_matrix(|v| solver.value(v), &problem.p_vars, parity_bits, k);
+        let dups = duplicate_column_pairs(&m);
+        if !dups.is_empty() {
+            // Lazy distinctness: constrain the offending pairs and retry;
+            // the model does not count as a solution.
+            for (c1, c2) in dups {
+                problem.encode_pair_distinct(c1, c2);
+            }
+            ok = problem.cnf.flush_into(&mut solver);
+            continue;
+        }
+        let code = LinearCode::from_parity_submatrix(m)
+            .expect("SAT constraints guarantee a valid SEC code");
         if options.verify_solutions {
             assert!(
                 crate::analytic::code_matches_constraints(&code, constraints),
                 "SAT solution violates the profile — encoding bug"
             );
         }
+        determine_time.get_or_insert_with(|| start.elapsed());
         solutions.push(code);
         if solutions.len() >= options.max_solutions {
             truncated = true;
             break;
         }
         // Block this model (projected onto the P variables).
-        let block: Vec<Lit> = p_vars
+        let block: Vec<Lit> = problem
+            .p_vars
             .iter()
             .map(|&v| v.lit(solver.value(v) != Some(true)))
             .collect();
@@ -356,15 +847,15 @@ pub fn solve_profile(
         }
     }
 
-    SolveReport {
+    Ok(SolveReport {
         solutions,
         truncated,
-        determine_time,
+        determine_time: determine_time.unwrap_or_else(|| start.elapsed()),
         total_time: start.elapsed(),
-        num_vars,
-        num_clauses,
+        num_vars: problem.cnf.num_vars(),
+        num_clauses: problem.cnf.num_clauses(),
         solver_stats: solver.stats(),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -377,9 +868,14 @@ pub fn solve_profile(
 /// instead of re-encoding from scratch (the paper's §6.3 runtime
 /// optimization).
 ///
+/// Each push re-runs the GF(2) preprocessing pass over everything
+/// accumulated (when enabled), asserting any newly derived pins so the SAT
+/// search space shrinks as evidence accumulates.
+///
 /// Blocking clauses from uniqueness checks live in an assumption scope that
 /// is retracted after each check ([`beer_sat::SolverSession`]), so they
-/// never leak into later rounds.
+/// never leak into later rounds. Lazily derived distinctness constraints
+/// are permanent — they are implied by code validity.
 ///
 /// # Examples
 ///
@@ -392,7 +888,7 @@ pub fn solve_profile(
 /// let secret = hamming::eq1_code();
 /// let profile = analytic_profile(&secret, &PatternSet::One.patterns(4));
 /// let mut solver = ProgressiveSolver::new(4, 3, BeerSolverOptions::default());
-/// solver.push_constraints(&profile);
+/// solver.push_constraints(&profile).unwrap();
 /// let report = solver.check();
 /// assert!(report.is_unique());
 /// assert!(equivalence::equivalent(&report.solutions[0], &secret));
@@ -401,7 +897,8 @@ pub struct ProgressiveSolver {
     problem: EncodedProblem,
     session: SolverSession,
     options: BeerSolverOptions,
-    /// Every definite fact pushed so far (kept for solution verification).
+    /// Every definite fact pushed so far (kept for solution verification
+    /// and incremental preprocessing).
     accumulated: ProfileConstraints,
     facts_encoded: usize,
     root_conflict: bool,
@@ -442,6 +939,11 @@ impl ProgressiveSolver {
         self.facts_encoded
     }
 
+    /// Number of `P` variables pinned by preprocessing so far.
+    pub fn pinned_vars(&self) -> usize {
+        self.problem.pinned_vars()
+    }
+
     /// Current CNF size as `(variables, clauses)`.
     pub fn cnf_size(&self) -> (usize, usize) {
         (self.problem.cnf.num_vars(), self.problem.cnf.num_clauses())
@@ -451,16 +953,21 @@ impl ProgressiveSolver {
     /// pushed should not be pushed again (their clauses would be encoded
     /// twice — harmless but wasteful).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the constraints' dataword length differs from `k`.
-    pub fn push_constraints(&mut self, constraints: &ProfileConstraints) {
-        assert_eq!(
-            constraints.k, self.problem.k,
-            "constraint dataword length mismatch"
-        );
+    /// Returns a [`SolveError`] if the constraints' dataword length
+    /// differs from `k` or a pattern order is unsupported by the selected
+    /// encoding. Entries before the offending one are already encoded
+    /// (they remain valid constraints); the failed entry is untouched.
+    pub fn push_constraints(&mut self, constraints: &ProfileConstraints) -> Result<(), SolveError> {
+        if constraints.k != self.problem.k {
+            return Err(SolveError::DatawordMismatch {
+                expected: self.problem.k,
+                found: constraints.k,
+            });
+        }
         for (pattern, observations) in &constraints.entries {
-            encode_observation_entry(&mut self.problem, pattern, observations);
+            encode_observation_entry(&mut self.problem, pattern, observations, &self.options)?;
             self.facts_encoded += observations
                 .iter()
                 .filter(|&&o| o != Observation::Unknown)
@@ -469,9 +976,14 @@ impl ProgressiveSolver {
                 .entries
                 .push((pattern.clone(), observations.clone()));
         }
+        if self.options.preprocess {
+            let pre = preprocess(self.problem.k, self.problem.parity_bits, &self.accumulated);
+            self.problem.apply_preprocessing(&pre);
+        }
         if !self.problem.cnf.flush_into(self.session.solver_mut()) {
             self.root_conflict = true;
         }
+        Ok(())
     }
 
     /// Runs a uniqueness check over everything pushed so far: enumerates
@@ -485,10 +997,9 @@ impl ProgressiveSolver {
     /// the accumulated constraints (an encoding bug).
     pub fn check(&mut self) -> SolveReport {
         let start = Instant::now();
-        let (num_vars, num_clauses) = self.cnf_size();
         let mut solutions: Vec<LinearCode> = Vec::new();
         let mut truncated = false;
-        let mut determine_time = Duration::ZERO;
+        let mut determine_time = None;
 
         if !self.root_conflict {
             // The guard comes from the *encoder's* variable space so future
@@ -500,19 +1011,38 @@ impl ProgressiveSolver {
             let scope = self.session.push_scope_with_guard(guard);
             loop {
                 let result = self.session.solve();
-                if solutions.is_empty() {
-                    determine_time = start.elapsed();
-                }
                 if result != SatResult::Sat {
                     break;
                 }
-                let code = extract_solution(self.session.solver(), &self.problem);
+                let m = extract_matrix(
+                    |v| self.session.value(v),
+                    &self.problem.p_vars,
+                    self.problem.parity_bits,
+                    self.problem.k,
+                );
+                let dups = duplicate_column_pairs(&m);
+                if !dups.is_empty() {
+                    // Lazy distinctness repair: these constraints are
+                    // implied by validity, so they go in permanently (not
+                    // into the retractable scope).
+                    for (c1, c2) in dups {
+                        self.problem.encode_pair_distinct(c1, c2);
+                    }
+                    if !self.problem.cnf.flush_into(self.session.solver_mut()) {
+                        self.root_conflict = true;
+                        break;
+                    }
+                    continue;
+                }
+                let code = LinearCode::from_parity_submatrix(m)
+                    .expect("SAT constraints guarantee a valid SEC code");
                 if self.options.verify_solutions {
                     assert!(
                         crate::analytic::code_matches_constraints(&code, &self.accumulated),
                         "SAT solution violates the profile — encoding bug"
                     );
                 }
+                determine_time.get_or_insert_with(|| start.elapsed());
                 solutions.push(code);
                 if solutions.len() >= self.options.max_solutions {
                     truncated = true;
@@ -531,10 +1061,11 @@ impl ProgressiveSolver {
             self.session.pop_scope(scope);
         }
 
+        let (num_vars, num_clauses) = self.cnf_size();
         SolveReport {
             solutions,
             truncated,
-            determine_time,
+            determine_time: determine_time.unwrap_or_else(|| start.elapsed()),
             total_time: start.elapsed(),
             num_vars,
             num_clauses,
@@ -556,6 +1087,8 @@ pub struct ProgressiveOutcome {
     pub patterns_available: usize,
     /// Definite facts encoded into the SAT session.
     pub facts_encoded: usize,
+    /// `P` variables pinned by GF(2) preprocessing.
+    pub pinned_vars: usize,
     /// Wall-clock total, collection included.
     pub total_time: Duration,
 }
@@ -569,10 +1102,15 @@ pub struct ProgressiveOutcome {
 /// Returns after the first unique check, an UNSAT check (noise made the
 /// profile contradictory), or the last batch.
 ///
+/// # Errors
+///
+/// Returns a [`SolveError`] if a batch's patterns disagree with
+/// `source.k()` or a pattern order is unsupported by the selected
+/// encoding.
+///
 /// # Panics
 ///
-/// Panics if `batches` is empty or a batch's patterns disagree with
-/// `source.k()`.
+/// Panics if `batches` is empty.
 pub fn progressive_recover(
     source: &mut dyn ProfileSource,
     parity_bits: usize,
@@ -581,7 +1119,7 @@ pub fn progressive_recover(
     filter: &ThresholdFilter,
     solver_options: &BeerSolverOptions,
     engine_options: &EngineOptions,
-) -> ProgressiveOutcome {
+) -> Result<ProgressiveOutcome, SolveError> {
     assert!(!batches.is_empty(), "no pattern batches given");
     let start = Instant::now();
     let k = source.k();
@@ -593,7 +1131,7 @@ pub fn progressive_recover(
 
     for batch in batches {
         let profile = collect_with(source, batch, plan, engine_options);
-        solver.push_constraints(&profile.to_constraints(filter));
+        solver.push_constraints(&profile.to_constraints(filter))?;
         rounds += 1;
         patterns_used += batch.len();
         let r = solver.check();
@@ -604,14 +1142,15 @@ pub fn progressive_recover(
         }
     }
 
-    ProgressiveOutcome {
+    Ok(ProgressiveOutcome {
         report: report.expect("at least one round ran"),
         rounds,
         patterns_used,
         patterns_available,
         facts_encoded: solver.facts_encoded(),
+        pinned_vars: solver.pinned_vars(),
         total_time: start.elapsed(),
-    }
+    })
 }
 
 /// The standard progressive batch schedule: all 1-CHARGED patterns first
@@ -650,6 +1189,7 @@ mod tests {
                 ..BeerSolverOptions::default()
             },
         )
+        .expect("valid profile")
     }
 
     #[test]
@@ -685,6 +1225,52 @@ mod tests {
                 equivalence::equivalent(&report.solutions[0], &code),
                 "k={k}: wrong code recovered"
             );
+        }
+    }
+
+    #[test]
+    fn every_option_combination_agrees() {
+        // The encodings, distinctness schemes, and preprocessing must all
+        // accept exactly the same codes.
+        let mut rng = StdRng::seed_from_u64(99);
+        let code = hamming::random_sec(7, &mut rng);
+        let profile = analytic_profile(&code, &PatternSet::OneTwo.patterns(7));
+        let mut baseline: Option<Vec<BitMatrix>> = None;
+        for encoding in [
+            ObservationEncoding::Auto,
+            ObservationEncoding::SubsetReps,
+            ObservationEncoding::Linear,
+        ] {
+            for distinctness in [ColumnDistinctness::Lazy, ColumnDistinctness::Eager] {
+                for preprocess in [true, false] {
+                    let report = solve_profile(
+                        7,
+                        code.parity_bits(),
+                        &profile,
+                        &BeerSolverOptions {
+                            max_solutions: 64,
+                            encoding,
+                            distinctness,
+                            preprocess,
+                            ..BeerSolverOptions::default()
+                        },
+                    )
+                    .expect("valid profile");
+                    let mut matrices: Vec<BitMatrix> = report
+                        .solutions
+                        .iter()
+                        .map(|s| s.parity_submatrix().clone())
+                        .collect();
+                    matrices.sort_by_key(|m| format!("{m:?}"));
+                    match &baseline {
+                        None => baseline = Some(matrices),
+                        Some(b) => assert_eq!(
+                            b, &matrices,
+                            "{encoding:?}/{distinctness:?}/pre={preprocess} disagrees"
+                        ),
+                    }
+                }
+            }
         }
     }
 
@@ -737,9 +1323,10 @@ mod tests {
             &BeerSolverOptions {
                 max_solutions: 50,
                 symmetry_breaking: false,
-                verify_solutions: true,
+                ..BeerSolverOptions::default()
             },
-        );
+        )
+        .expect("valid profile");
         // All solutions must be equivalent to the original, and there must
         // be several of them (row permutations).
         assert!(report.solutions.len() > 1);
@@ -767,7 +1354,8 @@ mod tests {
                 max_solutions: 100,
                 ..BeerSolverOptions::default()
             },
-        );
+        )
+        .expect("valid profile");
         assert_eq!(report.solutions.len(), 4);
         assert!(!report.truncated);
         // All solutions are pairwise inequivalent.
@@ -785,10 +1373,9 @@ mod tests {
     fn contradictory_profile_is_unsat() {
         // Claim: every 1-CHARGED pattern miscorrects every other bit. For
         // k=4, p=3 that forces supp(P_j) ⊆ supp(P_a) for all pairs — i.e.
-        // all supports equal — contradicting column distinctness together
-        // with weight ≥ 2 in 3 rows... (columns within one support class
-        // of size 3 can hold at most C(3,2)+1 = 4 columns of weight ≥ 2 but
-        // all would need *equal* supports to contain each other both ways).
+        // all supports equal, contradicting column distinctness. The
+        // preprocessing pass catches this before SAT; with it disabled the
+        // solver must reach the same answer.
         let code = hamming::eq1_code();
         let base = analytic_profile(&code, &PatternSet::One.patterns(4));
         let all_miscorrect = ProfileConstraints {
@@ -808,18 +1395,153 @@ mod tests {
                 })
                 .collect(),
         };
-        let report = solve_profile(4, 3, &all_miscorrect, &BeerSolverOptions::default());
-        // All supports equal ⇒ only 1 distinct weight-2+ support set can
-        // contain 4 distinct columns if |supp| = 3 (columns 111, 110, 101,
-        // 011 — all contained in 111). That actually *is* satisfiable!
-        // What matters here: the solver must terminate and any solution
-        // must satisfy the forced profile.
-        for s in &report.solutions {
-            assert!(crate::analytic::code_matches_constraints(
-                s,
-                &all_miscorrect
-            ));
+        for preprocess in [true, false] {
+            let report = solve_profile(
+                4,
+                3,
+                &all_miscorrect,
+                &BeerSolverOptions {
+                    verify_solutions: false,
+                    preprocess,
+                    ..BeerSolverOptions::default()
+                },
+            )
+            .expect("well-formed constraints");
+            assert!(
+                report.solutions.is_empty(),
+                "mutual containment must be UNSAT (preprocess={preprocess})"
+            );
         }
+    }
+
+    #[test]
+    fn order_zero_patterns_are_handled_not_panicked() {
+        // A 0-CHARGED pattern cannot produce any retention error, so its
+        // NoMiscorrection facts are vacuous and a Miscorrection fact makes
+        // the instance unsatisfiable. Neither may abort the process.
+        let code = hamming::eq1_code();
+        let empty = ChargedSet::new(vec![], 4);
+
+        // Vacuous: the profile of the real code plus an all-NoMiscorrection
+        // order-0 entry recovers the code as if the entry were absent.
+        let mut profile = analytic_profile(&code, &PatternSet::One.patterns(4));
+        profile
+            .entries
+            .push((empty.clone(), vec![Observation::NoMiscorrection; 4]));
+        let report = solve_profile(
+            4,
+            3,
+            &profile,
+            &BeerSolverOptions {
+                verify_solutions: false,
+                ..BeerSolverOptions::default()
+            },
+        )
+        .expect("order-0 must not error");
+        assert_eq!(report.solutions.len(), 1);
+        assert!(equivalence::equivalent(&report.solutions[0], &code));
+
+        // Impossible: a claimed miscorrection under 0-CHARGED is UNSAT.
+        let mut obs = vec![Observation::Unknown; 4];
+        obs[1] = Observation::Miscorrection;
+        let impossible = ProfileConstraints {
+            k: 4,
+            entries: vec![(empty, obs)],
+        };
+        let report = solve_profile(
+            4,
+            3,
+            &impossible,
+            &BeerSolverOptions {
+                verify_solutions: false,
+                ..BeerSolverOptions::default()
+            },
+        )
+        .expect("order-0 must not error");
+        assert!(report.solutions.is_empty());
+    }
+
+    #[test]
+    fn oversized_orders_error_only_under_subset_reps() {
+        let k = 24;
+        let code = hamming::shortened(k);
+        let big = ChargedSet::new((0..18).collect(), k);
+        let profile = analytic_profile(&code, std::slice::from_ref(&big));
+        let err = solve_profile(
+            k,
+            code.parity_bits(),
+            &profile,
+            &BeerSolverOptions {
+                encoding: ObservationEncoding::SubsetReps,
+                ..BeerSolverOptions::default()
+            },
+        )
+        .expect_err("order 18 exceeds the subset-representative cap");
+        assert_eq!(
+            err,
+            SolveError::PatternOrderUnsupported {
+                order: 18,
+                max: MAX_SUBSET_ORDER
+            }
+        );
+        assert!(err.to_string().contains("order 18"));
+        // The default (Auto) encoding handles the same entry fine.
+        let report = solve_profile(
+            k,
+            code.parity_bits(),
+            &profile,
+            &BeerSolverOptions {
+                verify_solutions: false,
+                ..BeerSolverOptions::default()
+            },
+        )
+        .expect("Auto must route high orders to the Linear encoding");
+        assert!(!report.solutions.is_empty());
+    }
+
+    #[test]
+    fn dataword_mismatch_is_a_typed_error() {
+        let profile = ProfileConstraints {
+            k: 5,
+            entries: vec![],
+        };
+        let err =
+            solve_profile(4, 3, &profile, &BeerSolverOptions::default()).expect_err("k mismatch");
+        assert_eq!(
+            err,
+            SolveError::DatawordMismatch {
+                expected: 4,
+                found: 5
+            }
+        );
+        let mut progressive = ProgressiveSolver::new(4, 3, BeerSolverOptions::default());
+        assert!(progressive.push_constraints(&profile).is_err());
+    }
+
+    #[test]
+    fn high_order_patterns_recover_codes_via_linear_encoding() {
+        // RANDOM-t patterns with t far beyond the subset cap still solve,
+        // and their facts genuinely constrain the instance.
+        let mut rng = StdRng::seed_from_u64(515);
+        let k = 12;
+        let code = hamming::random_sec(k, &mut rng);
+        let mut patterns = PatternSet::One.patterns(k);
+        patterns.extend(crate::pattern::random_t_charged(k, 9, 8, 77));
+        let profile = analytic_profile(&code, &patterns);
+        let report = solve_profile(
+            k,
+            code.parity_bits(),
+            &profile,
+            &BeerSolverOptions {
+                max_solutions: 8,
+                ..BeerSolverOptions::default()
+            },
+        )
+        .expect("high orders must encode");
+        assert!(report
+            .solutions
+            .iter()
+            .any(|s| equivalence::equivalent(s, &code)));
     }
 
     #[test]
@@ -849,10 +1571,12 @@ mod tests {
                 ..BeerSolverOptions::default()
             },
         );
-        solver.push_constraints(&ProfileConstraints {
-            k: 8,
-            entries: profile.entries[..mid].to_vec(),
-        });
+        solver
+            .push_constraints(&ProfileConstraints {
+                k: 8,
+                entries: profile.entries[..mid].to_vec(),
+            })
+            .unwrap();
         let first = solver.check();
         assert!(
             !first.solutions.is_empty(),
@@ -863,10 +1587,12 @@ mod tests {
         let again = solver.check();
         assert_eq!(first.solutions.len(), again.solutions.len());
 
-        solver.push_constraints(&ProfileConstraints {
-            k: 8,
-            entries: profile.entries[mid..].to_vec(),
-        });
+        solver
+            .push_constraints(&ProfileConstraints {
+                k: 8,
+                entries: profile.entries[mid..].to_vec(),
+            })
+            .unwrap();
         let last = solver.check();
         assert!(last.solutions.len() <= first.solutions.len());
         assert_eq!(last.solutions.len(), 1, "full profile must be unique");
@@ -884,15 +1610,18 @@ mod tests {
                 code.parity_bits(),
                 &profile,
                 &BeerSolverOptions::default(),
-            );
+            )
+            .unwrap();
 
             let mut solver =
                 ProgressiveSolver::new(k, code.parity_bits(), BeerSolverOptions::default());
             for entry in &profile.entries {
-                solver.push_constraints(&ProfileConstraints {
-                    k,
-                    entries: vec![entry.clone()],
-                });
+                solver
+                    .push_constraints(&ProfileConstraints {
+                        k,
+                        entries: vec![entry.clone()],
+                    })
+                    .unwrap();
             }
             let progressive = solver.check();
             assert_eq!(
@@ -921,7 +1650,8 @@ mod tests {
             &ThresholdFilter::default(),
             &BeerSolverOptions::default(),
             &EngineOptions::serial(),
-        );
+        )
+        .expect("analytic batches are well-formed");
         assert!(outcome.report.is_unique());
         assert!(equivalence::equivalent(&outcome.report.solutions[0], &code));
         assert!(
@@ -944,10 +1674,7 @@ mod tests {
                 ..BeerSolverOptions::default()
             },
         );
-        // Pattern 1-CHARGED[0] with *every* other bit impossible conflicts
-        // with 1-CHARGED[0] having every other bit possible once combined
-        // with column distinctness over only 3 parity bits... build a
-        // directly contradictory pair instead: same pattern observed both
+        // A directly contradictory pair: the same pattern observed both
         // ways at the same bit.
         let pattern = ChargedSet::new(vec![0], 4);
         let yes = vec![
@@ -958,12 +1685,27 @@ mod tests {
         ];
         let mut no = yes.clone();
         no[1] = Observation::NoMiscorrection;
-        solver.push_constraints(&ProfileConstraints {
-            k: 4,
-            entries: vec![(pattern.clone(), yes), (pattern, no)],
-        });
+        solver
+            .push_constraints(&ProfileConstraints {
+                k: 4,
+                entries: vec![(pattern.clone(), yes), (pattern, no)],
+            })
+            .unwrap();
         let report = solver.check();
         assert!(report.solutions.is_empty());
         assert!(!report.truncated);
+    }
+
+    #[test]
+    fn preprocessing_reports_pinned_variables() {
+        // Eq. 1's 1-CHARGED profile pins column 0 to all-ones.
+        let code = hamming::eq1_code();
+        let profile = analytic_profile(&code, &PatternSet::One.patterns(4));
+        let mut solver = ProgressiveSolver::new(4, 3, BeerSolverOptions::default());
+        assert_eq!(solver.pinned_vars(), 0);
+        solver.push_constraints(&profile).unwrap();
+        assert!(solver.pinned_vars() >= 3, "column 0 must be pinned");
+        let report = solver.check();
+        assert!(report.is_unique());
     }
 }

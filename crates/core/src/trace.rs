@@ -126,10 +126,24 @@ impl ProfileTrace {
             };
             match tag {
                 "k" => {
+                    if k.is_some() {
+                        // A second k line mid-file would silently rescope
+                        // every later pattern; reject it.
+                        return Err(format!("line {}: duplicate k line", ln + 1));
+                    }
                     let v = fields.next().ok_or(format!("line {}: missing k", ln + 1))?;
                     k = Some(parse(v)?);
                 }
                 "pattern" => {
+                    if !units.is_empty() {
+                        // Unit records index into the pattern list; growing
+                        // it afterwards would renumber nothing and hide
+                        // corrupt files.
+                        return Err(format!(
+                            "line {}: pattern declared after unit records",
+                            ln + 1
+                        ));
+                    }
                     let k = k.ok_or(format!("line {}: pattern before k", ln + 1))?;
                     let mut bits: Vec<usize> = fields.map(parse).collect::<Result<_, _>>()?;
                     // Validate here — `ChargedSet::new` asserts, and a
@@ -321,6 +335,25 @@ mod tests {
             ProfileTrace::from_text("beer-profile-trace v1\nk 4\npattern 0\nunit\nm 5 0 1")
                 .is_err()
         );
+    }
+
+    #[test]
+    fn duplicate_k_line_is_rejected_with_line_number() {
+        // Before the fix the second k silently rescoped later patterns.
+        let err = ProfileTrace::from_text("beer-profile-trace v1\nk 4\npattern 0\nk 8\npattern 7")
+            .unwrap_err();
+        assert!(err.contains("line 4"), "got {err:?}");
+        assert!(err.contains("duplicate k"), "got {err:?}");
+    }
+
+    #[test]
+    fn pattern_after_unit_records_is_rejected_with_line_number() {
+        let err = ProfileTrace::from_text(
+            "beer-profile-trace v1\nk 4\npattern 0\nunit\nt 0 3\npattern 1",
+        )
+        .unwrap_err();
+        assert!(err.contains("line 6"), "got {err:?}");
+        assert!(err.contains("after unit"), "got {err:?}");
     }
 
     #[test]

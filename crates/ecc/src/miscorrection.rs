@@ -60,24 +60,42 @@ pub fn charged_parity_mask(code: &LinearCode, charged_data: &[usize]) -> SynMask
     code.parity_mask_of_ones(charged_data)
 }
 
+/// Orders up to this size use the direct `2^t` subset search; larger
+/// patterns switch to the polynomial GF(2) span-membership check.
+const SMALL_ORDER: usize = 10;
+
 /// Closed-form test: can the pattern with CHARGED data bits `charged_data`
 /// produce an observable miscorrection at DISCHARGED data bit `j`?
 ///
+/// For small patterns this searches the `2^|A|` subsets directly. For
+/// larger patterns (the paper's §5.2 RANDOM and ALL-charged families go up
+/// to `|A| = k`) it uses the equivalent linear-algebra formulation: the
+/// predicate holds iff `P_j`, restricted to the parity rows *outside*
+/// `supp(w)`, lies in the span of the charged columns restricted the same
+/// way — a single GF(2) solve instead of an exponential search.
+///
 /// # Panics
 ///
-/// Panics if `j` is charged, out of range, or `charged_data` has more than
-/// 20 entries (the ∃x search is exponential in `|A|`; BEER uses `|A| ≤ 3`).
+/// Panics if `j` is charged or out of range.
 pub fn miscorrection_possible_at(code: &LinearCode, charged_data: &[usize], j: usize) -> bool {
     assert!(j < code.k(), "bit {j} out of dataword range");
     assert!(
         !charged_data.contains(&j),
         "miscorrections are only observable at DISCHARGED bits"
     );
-    assert!(charged_data.len() <= 20, "charged set too large");
+    if charged_data.len() <= SMALL_ORDER {
+        miscorrection_possible_at_brute(code, charged_data, j)
+    } else {
+        miscorrection_possible_at_span(code, charged_data, j)
+    }
+}
+
+/// The direct `2^t` subset search over `∃ x ⊆ A` with
+/// `supp(P_j ⊕ ⊕_{a∈x} P_a) ⊆ supp(w)`.
+fn miscorrection_possible_at_brute(code: &LinearCode, charged_data: &[usize], j: usize) -> bool {
     let w = charged_parity_mask(code, charged_data);
     let pj = code.data_column(j);
     let t = charged_data.len();
-    // ∃ x ⊆ A with supp(P_j ⊕ ⊕_{a∈x} P_a) ⊆ supp(w).
     for x in 0u32..(1u32 << t) {
         let mut v = pj;
         for (idx, &a) in charged_data.iter().enumerate() {
@@ -90,6 +108,42 @@ pub fn miscorrection_possible_at(code: &LinearCode, charged_data: &[usize], j: u
         }
     }
     false
+}
+
+/// Polynomial-time equivalent of the subset search.
+///
+/// `supp(v) ⊆ supp(w)` constrains `v` only on the rows where `w` is zero,
+/// so the predicate asks whether some `⊕_{a∈x} P_a` agrees with `P_j` on
+/// those rows — i.e. whether `P_j`, masked to `supp(w)`'s complement, lies
+/// in the span of the similarly masked charged columns. That is one linear
+/// system over at most `p` rows and `|A|` unknowns.
+fn miscorrection_possible_at_span(code: &LinearCode, charged_data: &[usize], j: usize) -> bool {
+    let w = charged_parity_mask(code, charged_data);
+    let pj = code.data_column(j);
+    let p = code.parity_bits();
+    let masked_rows: Vec<usize> = (0..p).filter(|&r| !w.get(r)).collect();
+    if masked_rows.is_empty() {
+        // Every row of w is set: any v qualifies (x = ∅ works).
+        return true;
+    }
+    let rows: Vec<BitVec> = masked_rows
+        .iter()
+        .map(|&r| {
+            BitVec::from_bits(
+                &charged_data
+                    .iter()
+                    .map(|&a| code.data_column(a).get(r))
+                    .collect::<Vec<bool>>(),
+            )
+        })
+        .collect();
+    let rhs = BitVec::from_bits(
+        &masked_rows
+            .iter()
+            .map(|&r| pj.get(r))
+            .collect::<Vec<bool>>(),
+    );
+    beer_gf2::BitMatrix::from_rows(&rows).solve(&rhs).is_some()
 }
 
 /// All DISCHARGED data bits where the pattern with CHARGED data bits
@@ -308,5 +362,47 @@ mod tests {
     fn predicate_rejects_charged_target() {
         let code = hamming::eq1_code();
         miscorrection_possible_at(&code, &[0], 0);
+    }
+
+    #[test]
+    fn span_path_agrees_with_subset_search() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2112);
+        for k in [8usize, 11, 16] {
+            let code = hamming::random_sec(k, &mut rng);
+            // Orders straddling the SMALL_ORDER switchover, checked
+            // pairwise between the two implementations.
+            for t in [1usize, 2, 3, 5, 8, 10] {
+                if t >= k {
+                    continue;
+                }
+                let charged: Vec<usize> = (0..t).collect();
+                for j in t..k {
+                    assert_eq!(
+                        miscorrection_possible_at_brute(&code, &charged, j),
+                        miscorrection_possible_at_span(&code, &charged, j),
+                        "k={k} t={t} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_order_patterns_no_longer_panic() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let code = hamming::random_sec(40, &mut rng);
+        // Order 39: far beyond any feasible subset enumeration.
+        let charged: Vec<usize> = (0..39).collect();
+        let _ = miscorrection_possible_at(&code, &charged, 39);
+        // An (almost) ALL-charged pattern typically charges every parity
+        // bit, in which case every remaining bit is miscorrectable.
+        let w = charged_parity_mask(&code, &charged);
+        if (0..code.parity_bits()).all(|r| w.get(r)) {
+            assert!(miscorrection_possible_at(&code, &charged, 39));
+        }
     }
 }

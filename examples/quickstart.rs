@@ -65,7 +65,8 @@ fn main() {
         hamming::parity_bits_for(k),
         &constraints,
         &BeerSolverOptions::default(),
-    );
+    )
+    .expect("well-formed constraints");
     println!(
         "step 3: {} solution(s) in {:?} (determine: {:?})",
         report.solutions.len(),

@@ -64,7 +64,8 @@ fn main() {
         &ThresholdFilter::default(),
         &BeerSolverOptions::default(),
         &EngineOptions::default(),
-    );
+    )
+    .expect("well-formed batches");
     let report = &outcome.report;
     println!(
         "    {} round(s), {} of {} patterns collected, {} facts encoded",

@@ -47,7 +47,8 @@
 //!     secret.parity_bits(),
 //!     &constraints,
 //!     &BeerSolverOptions::default(),
-//! );
+//! )
+//! .expect("well-formed constraints");
 //! assert!(report.solutions.iter().any(|s| equivalent(s, &secret)));
 //! ```
 
@@ -68,8 +69,10 @@ pub mod prelude {
     pub use beer_core::analytic::{analytic_profile, code_matches_constraints};
     pub use beer_core::collect::{collect_profile, ChipKnowledge, CollectionPlan};
     pub use beer_core::direct::extract_by_injection;
+    pub use beer_core::preprocess::{preprocess, Preprocessed};
     pub use beer_core::solve::{
-        progressive_batches, progressive_recover, ProgressiveOutcome, ProgressiveSolver,
+        progressive_batches, progressive_recover, ColumnDistinctness, ObservationEncoding,
+        ProgressiveOutcome, ProgressiveSolver, SolveError,
     };
     pub use beer_core::{
         collect_with, solve_profile, AnalyticBackend, BeerSolverOptions, ChargedSet, ChipBackend,

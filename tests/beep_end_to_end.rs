@@ -31,7 +31,8 @@ fn beep_finds_chip_weak_cells_using_beer_recovered_function() {
         hamming::parity_bits_for(chip.k()),
         &profile.to_constraints(&ThresholdFilter::default()),
         &BeerSolverOptions::default(),
-    );
+    )
+    .expect("well-formed constraints");
     let recovered = report
         .solutions
         .iter()

@@ -23,6 +23,7 @@ fn run_pipeline(chip: &mut SimChip, set: PatternSet) -> SolveReport {
         &constraints,
         &BeerSolverOptions::default(),
     )
+    .expect("well-formed constraints")
 }
 
 #[test]
@@ -73,7 +74,8 @@ fn progressive_engine_recovers_manufacturer_b_uniquely() {
         &ThresholdFilter::default(),
         &BeerSolverOptions::default(),
         &EngineOptions::default(),
-    );
+    )
+    .expect("well-formed batches");
     assert!(
         outcome.report.is_unique(),
         "{} solutions",
@@ -114,7 +116,8 @@ fn recovers_manufacturer_c_function_with_anti_cells() {
         hamming::parity_bits_for(chip.k()),
         &constraints,
         &BeerSolverOptions::default(),
-    );
+    )
+    .expect("well-formed constraints");
     assert!(
         report
             .solutions
@@ -176,7 +179,8 @@ fn recovered_function_predicts_held_out_observations() {
             max_solutions: 4,
             ..BeerSolverOptions::default()
         },
-    );
+    )
+    .expect("well-formed constraints");
     assert!(!report.solutions.is_empty());
 
     // Held-out validation: measured test-pattern profile must match the

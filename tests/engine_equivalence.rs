@@ -81,7 +81,8 @@ fn every_backend_recovers_the_same_code() {
             secret.parity_bits(),
             &profile.to_constraints(&ThresholdFilter::default()),
             &BeerSolverOptions::default(),
-        );
+        )
+        .expect("well-formed profile");
         assert!(
             report.is_unique(),
             "backend {} did not yield a unique solution",
@@ -104,7 +105,8 @@ fn progressive_matches_one_shot_with_fewer_constraints() {
     // One-shot: the full {1,2}-CHARGED schedule, encoded in one go.
     let full = PatternSet::OneTwo.patterns(k);
     let full_constraints = analytic_profile(&secret, &full);
-    let one_shot = solve_profile(k, parity, &full_constraints, &BeerSolverOptions::default());
+    let one_shot = solve_profile(k, parity, &full_constraints, &BeerSolverOptions::default())
+        .expect("well-formed profile");
     assert!(one_shot.is_unique());
 
     // Progressive: batches stream in until the solution is unique.
@@ -117,7 +119,8 @@ fn progressive_matches_one_shot_with_fewer_constraints() {
         &ThresholdFilter::default(),
         &BeerSolverOptions::default(),
         &EngineOptions::default(),
-    );
+    )
+    .expect("well-formed batches");
     assert!(outcome.report.is_unique());
     assert!(
         equivalent(&outcome.report.solutions[0], &one_shot.solutions[0]),

@@ -1,0 +1,99 @@
+//! The paper's flagship configuration: recovering a (136, 128) SEC Hamming
+//! code — the 128-bit on-die ECC word size of §5.1.2 — from 1- and
+//! 2-CHARGED analytic constraints.
+//!
+//! The paper reports a 57-hour median for this solve on Z3 over the raw
+//! error-pattern encoding; the reduced closed-form encoding, the GF(2)
+//! preprocessing pass, lazy column distinctness, and progressive solving
+//! bring it into CI territory — but only in release builds, so these tests
+//! are ignored under `debug_assertions` (CI runs them with
+//! `cargo test --release --test k128_recovery`).
+
+use beer::prelude::*;
+
+fn flagship_outcome(seed: u64, chunk: usize) -> ProgressiveOutcome {
+    let code = hamming::random_sec(128, &mut rand::rngs::StdRng::seed_from_u64(seed));
+    assert_eq!(code.parity_bits(), 8, "(136, 128) has 8 parity bits");
+    let mut backend = AnalyticBackend::new(code.clone());
+    let outcome = progressive_recover(
+        &mut backend,
+        8,
+        &progressive_batches(128, chunk),
+        &CollectionPlan::quick(),
+        &ThresholdFilter::default(),
+        &BeerSolverOptions::default(),
+        &EngineOptions::default(),
+    )
+    .expect("well-formed batches");
+    assert!(
+        outcome.report.is_unique(),
+        "(136, 128) seed {seed}: expected a unique solution, got {}",
+        outcome.report.solutions.len()
+    );
+    assert!(
+        equivalent(&outcome.report.solutions[0], &code),
+        "(136, 128) seed {seed}: wrong code recovered"
+    );
+    outcome
+}
+
+use rand::SeedableRng;
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only: full-size k = 128 solve")]
+fn recovers_a_random_136_128_code_progressively() {
+    let outcome = flagship_outcome(0xBEE9, 64);
+    // §6.3's point at full scale: a fraction of the 8256-pattern schedule
+    // suffices once preprocessing and the profile pin the code down.
+    assert!(
+        outcome.patterns_used < outcome.patterns_available,
+        "used the whole schedule ({} of {})",
+        outcome.patterns_used,
+        outcome.patterns_available
+    );
+    assert!(outcome.facts_encoded > 0);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only: full-size k = 128 solve")]
+fn recovers_several_136_128_codes() {
+    for seed in [1u64, 2, 3] {
+        flagship_outcome(seed, 64);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "release-only: full-size k = 128 solve")]
+fn recovers_136_128_code_needing_2charged_evidence() {
+    // The full 1-CHARGED profile often suffices on its own for (136, 128)
+    // codes; withhold a quarter of it (as if those patterns were
+    // under-tested) so the run must consume 2-CHARGED batches — the path
+    // that exercises the order-2 observation encoding at full scale.
+    let code = hamming::random_sec(128, &mut rand::rngs::StdRng::seed_from_u64(0x2C));
+    let mut backend = AnalyticBackend::new(code.clone());
+    let one: Vec<ChargedSet> = beer::core::pattern::one_charged(128)
+        .into_iter()
+        .take(96)
+        .collect();
+    let mut batches = vec![one];
+    for chunk in beer::core::pattern::two_charged(128).chunks(64) {
+        batches.push(chunk.to_vec());
+    }
+    let outcome = progressive_recover(
+        &mut backend,
+        8,
+        &batches,
+        &CollectionPlan::quick(),
+        &ThresholdFilter::default(),
+        &BeerSolverOptions::default(),
+        &EngineOptions::default(),
+    )
+    .expect("well-formed batches");
+    assert!(
+        outcome.rounds > 1,
+        "partial 1-CHARGED profile unexpectedly sufficed — no 2-CHARGED \
+         batch was consumed"
+    );
+    assert!(outcome.report.is_unique());
+    assert!(equivalent(&outcome.report.solutions[0], &code));
+}

@@ -25,7 +25,8 @@ fn injection_beats_beer_on_representation_but_not_on_behaviour() {
         code.parity_bits(),
         &profile,
         &BeerSolverOptions::default(),
-    );
+    )
+    .expect("well-formed profile");
     assert!(report.is_unique());
     let beer_code = &report.solutions[0];
 

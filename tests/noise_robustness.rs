@@ -24,7 +24,8 @@ fn pipeline_with_noise(flip_probability: f64, chip_seed: u64) -> (SolveReport, S
         hamming::parity_bits_for(chip.k()),
         &constraints,
         &BeerSolverOptions::default(),
-    );
+    )
+    .expect("well-formed constraints");
     (report, chip)
 }
 
@@ -101,6 +102,59 @@ fn unfiltered_noisy_profile_contains_spurious_observations() {
             }
         }
     }
+}
+
+#[test]
+fn under_tested_profiles_do_not_poison_the_sat_instance() {
+    // Regression: ThresholdFilter used to assert hard NoMiscorrection
+    // facts for every discharged bit of any pattern with at least one
+    // trial. An under-tested pattern (too few trials to have observed the
+    // code's real miscorrections) then excluded the true code from the
+    // SAT instance. With the min_trials guard, such patterns yield
+    // Unknown and the true code always survives.
+    let code = hamming::shortened(8);
+    let patterns = PatternSet::One.patterns(8);
+    let mut profile = MiscorrectionProfile::new(8, patterns.clone());
+    // Pattern 0 gets one trial and — by bad luck — no observations,
+    // even though the code may allow miscorrections under it. The other
+    // patterns are untouched (zero trials).
+    profile.record_trials(0, 1);
+
+    let filter = ThresholdFilter::default();
+    assert!(filter.min_trials >= 2, "default must guard under-testing");
+    let constraints = profile.to_constraints(&filter);
+    assert_eq!(
+        constraints.definite_facts(),
+        0,
+        "a single-trial pattern's silence must not become evidence"
+    );
+    assert!(
+        code_matches_constraints(&code, &constraints),
+        "under-tested profile excluded the true code"
+    );
+
+    // The same profile through the pre-guard behavior shows the poison:
+    // every discharged bit of pattern 0 becomes a hard NoMiscorrection.
+    let trusting = profile.to_constraints(&ThresholdFilter::trusting());
+    assert_eq!(trusting.definite_facts(), 7);
+
+    // End to end: solving with the guarded constraints keeps the true
+    // code among the candidates.
+    let report = solve_profile(
+        8,
+        code.parity_bits(),
+        &constraints,
+        &BeerSolverOptions {
+            max_solutions: 64,
+            verify_solutions: false,
+            ..BeerSolverOptions::default()
+        },
+    )
+    .expect("well-formed constraints");
+    assert!(
+        report.truncated || report.solutions.iter().any(|s| equivalent(s, &code)),
+        "true code missing from the guarded solve"
+    );
 }
 
 #[test]

@@ -21,7 +21,7 @@ proptest! {
             code.parity_bits(),
             &profile,
             &BeerSolverOptions { max_solutions: 3, ..BeerSolverOptions::default() },
-        );
+        ).expect("well-formed profile");
         prop_assert_eq!(report.solutions.len(), 1);
         prop_assert!(equivalent(&report.solutions[0], &code));
     }
@@ -37,7 +37,7 @@ proptest! {
             code.parity_bits(),
             &profile,
             &BeerSolverOptions { max_solutions: 16, verify_solutions: false, ..BeerSolverOptions::default() },
-        );
+        ).expect("well-formed profile");
         prop_assert!(!report.solutions.is_empty());
         let mut found_original = false;
         for s in &report.solutions {
@@ -60,7 +60,7 @@ proptest! {
             code.parity_bits(),
             &profile,
             &BeerSolverOptions { max_solutions: 32, ..BeerSolverOptions::default() },
-        );
+        ).expect("well-formed profile");
         prop_assert!(
             report.truncated || report.solutions.iter().any(|s| equivalent(s, &code)),
             "true code excluded by a weaker profile"
