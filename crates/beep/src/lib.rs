@@ -39,10 +39,12 @@ mod craft;
 mod decode;
 mod eval;
 mod profiler;
+mod recovered;
 mod target;
 
 pub use craft::{craft_pattern, CraftRequest};
 pub use decode::{decode_read, DecodedTrial};
 pub use eval::{evaluate, EvalConfig, EvalOutcome};
 pub use profiler::{profile_word, BeepConfig, BeepResult};
+pub use recovered::{code_from_outcome, profile_recovered_word, RecoveredCodeError};
 pub use target::{DramWordTarget, SimWordTarget, WordTarget};

@@ -1,0 +1,133 @@
+//! The BEER → BEEP bridge: using a recovery session's outcome as BEEP's
+//! code source.
+//!
+//! BEEP needs the chip's exact ECC function (§7.1 assumes it was
+//! recovered with BEER). Instead of threading a bare [`LinearCode`]
+//! through by hand, callers can hand the typed
+//! [`RecoveryOutcome`] of a `beer_core::recovery::RecoverySession`
+//! straight to the profiler; anything short of a unique recovery is a
+//! typed refusal, because profiling against an ambiguous or inconsistent
+//! function would attribute errors to the wrong cells.
+
+use crate::profiler::{profile_word, BeepConfig, BeepResult};
+use crate::target::WordTarget;
+use beer_core::recovery::RecoveryOutcome;
+use beer_ecc::LinearCode;
+use std::fmt;
+
+/// Why a recovery outcome cannot serve as BEEP's code source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveredCodeError {
+    /// Several functions remain consistent; BEEP needs exactly one.
+    Ambiguous {
+        /// Witness count (a lower bound if the enumeration was capped).
+        count: usize,
+    },
+    /// No function is consistent with the profile.
+    Inconsistent,
+    /// The session stopped on a budget before deciding.
+    BudgetExhausted,
+}
+
+impl fmt::Display for RecoveredCodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveredCodeError::Ambiguous { count } => write!(
+                f,
+                "recovery left {count} candidate ECC functions; BEEP needs a unique one \
+                 (collect more patterns, e.g. the {{1,2}}-CHARGED schedule)"
+            ),
+            RecoveredCodeError::Inconsistent => {
+                write!(f, "recovery found no consistent ECC function")
+            }
+            RecoveredCodeError::BudgetExhausted => {
+                write!(
+                    f,
+                    "recovery stopped on a budget before the function was unique"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveredCodeError {}
+
+/// The uniquely recovered code, or a typed refusal.
+///
+/// # Errors
+///
+/// Returns a [`RecoveredCodeError`] for every non-[`RecoveryOutcome::Unique`]
+/// outcome.
+pub fn code_from_outcome(outcome: &RecoveryOutcome) -> Result<&LinearCode, RecoveredCodeError> {
+    match outcome {
+        RecoveryOutcome::Unique(code) => Ok(code),
+        RecoveryOutcome::Ambiguous { count, .. } => {
+            Err(RecoveredCodeError::Ambiguous { count: *count })
+        }
+        RecoveryOutcome::Inconsistent => Err(RecoveredCodeError::Inconsistent),
+        RecoveryOutcome::BudgetExhausted { .. } => Err(RecoveredCodeError::BudgetExhausted),
+    }
+}
+
+/// Runs the full BEEP profiling loop with a recovery outcome as the code
+/// source — the composed BEER → BEEP pipeline of §7.1.
+///
+/// # Errors
+///
+/// The conditions of [`code_from_outcome`].
+pub fn profile_recovered_word(
+    outcome: &RecoveryOutcome,
+    target: &mut dyn WordTarget,
+    config: &BeepConfig,
+) -> Result<BeepResult, RecoveredCodeError> {
+    let code = code_from_outcome(outcome)?;
+    Ok(profile_word(code, target, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::SimWordTarget;
+    use beer_ecc::hamming;
+
+    #[test]
+    fn unique_outcome_profiles_like_a_bare_code() {
+        let code = hamming::full_length(5);
+        let weak = vec![3usize, 17, 29];
+        let outcome = RecoveryOutcome::Unique(code.clone());
+        let mut target = SimWordTarget::new(code, weak.clone(), 1.0, 99);
+        let result = profile_recovered_word(&outcome, &mut target, &BeepConfig::default())
+            .expect("unique outcome");
+        assert_eq!(result.discovered_sorted(), weak);
+    }
+
+    #[test]
+    fn non_unique_outcomes_are_typed_refusals() {
+        let code = hamming::eq1_code();
+        let ambiguous = RecoveryOutcome::Ambiguous {
+            count: 3,
+            truncated: false,
+            witnesses: vec![code.clone(); 3],
+        };
+        assert_eq!(
+            code_from_outcome(&ambiguous),
+            Err(RecoveredCodeError::Ambiguous { count: 3 })
+        );
+        assert_eq!(
+            code_from_outcome(&RecoveryOutcome::Inconsistent),
+            Err(RecoveredCodeError::Inconsistent)
+        );
+        let exhausted = RecoveryOutcome::BudgetExhausted {
+            reason: beer_core::recovery::BudgetReason::Deadline,
+            partial: vec![code],
+        };
+        assert_eq!(
+            code_from_outcome(&exhausted),
+            Err(RecoveredCodeError::BudgetExhausted)
+        );
+        assert!(code_from_outcome(&ambiguous)
+            .unwrap_err()
+            .to_string()
+            .contains("3 candidate"));
+    }
+}

@@ -13,15 +13,11 @@
 //! see EXPERIMENTS.md.
 
 use beer_bench::{banner, fmt_bytes, fmt_duration, CsvArtifact, Scale};
-use beer_core::analytic::analytic_profile;
-use beer_core::collect::CollectionPlan;
-use beer_core::engine::{AnalyticBackend, EngineOptions};
+use beer_core::engine::AnalyticBackend;
 use beer_core::pattern::{ChargedSet, PatternSet};
-use beer_core::profile::{ProfileConstraints, ThresholdFilter};
-use beer_core::solve::{
-    progressive_batches, progressive_recover, solve_profile, BeerSolverOptions, ProgressiveSolver,
-};
-use beer_ecc::hamming;
+use beer_core::recovery::{RecoveryConfig, RecoveryReport};
+use beer_core::solve::{solve_profile, BeerSolverOptions};
+use beer_ecc::{hamming, LinearCode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -29,6 +25,23 @@ use std::time::{Duration, Instant};
 fn median<T: Copy + Ord>(xs: &mut [T]) -> T {
     xs.sort_unstable();
     xs[xs.len() / 2]
+}
+
+/// One-shot 1-CHARGED recovery of `code` through a `RecoverySession` over
+/// its analytic backend — the bench's unit of measurement.
+fn one_charged_session(code: &LinearCode, p: usize, max_solutions: usize) -> RecoveryReport {
+    let mut backend = AnalyticBackend::new(code.clone());
+    RecoveryConfig::new()
+        .with_parity_bits(p)
+        .with_pattern_family(PatternSet::One)
+        .with_solver_options(BeerSolverOptions {
+            max_solutions,
+            verify_solutions: false,
+            ..BeerSolverOptions::default()
+        })
+        .session(&mut backend)
+        .run_to_completion()
+        .expect("analytic backends cannot fail")
 }
 
 fn main() {
@@ -91,23 +104,13 @@ fn main() {
         for ci in 0..codes_per_k {
             let mut rng = StdRng::seed_from_u64(0xF6_0000 + (k * 100 + ci) as u64);
             let code = hamming::random_sec(k, &mut rng);
-            let profile = analytic_profile(&code, &PatternSet::One.patterns(k));
-            let report = solve_profile(
-                k,
-                p,
-                &profile,
-                &BeerSolverOptions {
-                    max_solutions: 64,
-                    verify_solutions: false,
-                    ..BeerSolverOptions::default()
-                },
-            )
-            .expect("well-formed profile");
-            determines.push(report.determine_time);
-            totals.push(report.total_time);
-            memories.push(report.solver_stats.memory_bytes);
-            vars = report.num_vars;
-            clauses = report.num_clauses;
+            let report = one_charged_session(&code, p, 64);
+            let check = report.last_check.expect("one round always runs");
+            determines.push(check.determine_time);
+            totals.push(check.total_time);
+            memories.push(check.solver_stats.memory_bytes);
+            vars = check.num_vars;
+            clauses = check.num_clauses;
         }
         let d_med = median(&mut determines.clone());
         let t_med = median(&mut totals.clone());
@@ -168,9 +171,11 @@ fn main() {
     k128_flagship(scale);
 }
 
-/// §6.3: the progressive pipeline (incremental SAT session, constraints
-/// streamed batch by batch, stop at uniqueness) versus the same schedule
-/// with one-shot re-encoding of every accumulated constraint each round.
+/// §6.3: the progressive pipeline (a `RecoverySession` streaming batches
+/// into its incremental SAT session, stop at uniqueness) versus the same
+/// schedule with one-shot re-encoding of every accumulated constraint each
+/// round (the legacy `solve_profile` loop — the documented low-level
+/// baseline this comparison exists to beat).
 fn progressive_vs_reencoding(scale: Scale) {
     println!("\n================================================================");
     println!("fig6b: progressive (incremental session) vs one-shot re-encoding");
@@ -222,40 +227,35 @@ fn progressive_vs_reencoding(scale: Scale) {
             let chunk = (k / 4).max(4);
             let all: Vec<ChargedSet> = PatternSet::OneTwo.patterns(k);
             let batches: Vec<Vec<ChargedSet>> = all.chunks(chunk).map(|c| c.to_vec()).collect();
-            let constraint_batches: Vec<ProfileConstraints> =
-                batches.iter().map(|b| analytic_profile(&code, b)).collect();
             patterns_available = batches.iter().map(|b| b.len()).sum();
 
-            // Incremental session: push each batch, reuse learned clauses.
+            // Incremental arm: a RecoverySession streams each batch into
+            // its live SAT session, reusing the encoding and every learned
+            // clause across rounds.
             let start = Instant::now();
-            let mut solver = ProgressiveSolver::new(k, p, options);
-            let mut inc_rounds = 0;
-            let mut inc_patterns = 0;
-            for (batch, constraints) in batches.iter().zip(&constraint_batches) {
-                solver
-                    .push_constraints(constraints)
-                    .expect("well-formed constraints");
-                inc_rounds += 1;
-                inc_patterns += batch.len();
-                if solver.check().is_unique() {
-                    break;
-                }
-            }
+            let mut backend = AnalyticBackend::new(code.clone());
+            let report = RecoveryConfig::new()
+                .with_parity_bits(p)
+                .with_batches(batches.clone())
+                .with_solver_options(options)
+                .session(&mut backend)
+                .run_to_completion()
+                .expect("analytic backends cannot fail");
             inc_times.push(start.elapsed());
-            rounds_used.push(inc_rounds);
-            patterns_used.push(inc_patterns);
+            rounds_used.push(report.stats.rounds);
+            patterns_used.push(report.stats.patterns_used);
 
-            // Baseline: identical schedule, but every round re-encodes all
-            // accumulated constraints into a fresh solver.
+            // Baseline: identical schedule and (analytic) constraints, but
+            // every round re-encodes all accumulated facts into a fresh
+            // solver via the low-level one-shot entry point.
             let start = Instant::now();
-            let mut accumulated = ProfileConstraints {
+            let mut accumulated = beer_core::profile::ProfileConstraints {
                 k,
                 entries: Vec::new(),
             };
-            for constraints in &constraint_batches {
-                accumulated
-                    .entries
-                    .extend(constraints.entries.iter().cloned());
+            for batch in &batches {
+                let constraints = beer_core::analytic::analytic_profile(&code, batch);
+                accumulated.entries.extend(constraints.entries);
                 if solve_profile(k, p, &accumulated, &options)
                     .expect("well-formed constraints")
                     .is_unique()
@@ -329,40 +329,38 @@ fn k128_flagship(scale: Scale) {
         let mut rng = StdRng::seed_from_u64(0xF6C_0000 + seed as u64);
         let code = hamming::random_sec(128, &mut rng);
         let mut backend = AnalyticBackend::new(code.clone());
-        let outcome = progressive_recover(
-            &mut backend,
-            8,
-            &progressive_batches(128, 64),
-            &CollectionPlan::quick(),
-            &ThresholdFilter::default(),
-            &BeerSolverOptions::default(),
-            &EngineOptions::default(),
-        )
-        .expect("well-formed batches");
-        let unique = outcome.report.is_unique();
+        let report = RecoveryConfig::new()
+            .with_parity_bits(8)
+            .with_chunked_schedule(64)
+            .session(&mut backend)
+            .run_to_completion()
+            .expect("analytic backends cannot fail");
+        let unique = report.outcome.is_unique();
         all_unique &= unique;
+        let stats = &report.stats;
+        let check = report.last_check.as_ref().expect("one round always runs");
         println!(
             "{seed:>5} | {:>6} {:>7} {:>13} {:>7} {:>7} | {:>9} {:>9} | {:>10}",
             unique,
-            outcome.rounds,
-            format!("{}/{}", outcome.patterns_used, outcome.patterns_available),
-            outcome.facts_encoded,
-            outcome.pinned_vars,
-            outcome.report.num_vars,
-            outcome.report.num_clauses,
-            fmt_duration(outcome.total_time),
+            stats.rounds,
+            format!("{}/{}", stats.patterns_used, stats.patterns_available),
+            stats.facts_encoded,
+            stats.pinned_vars,
+            check.num_vars,
+            check.num_clauses,
+            fmt_duration(stats.elapsed),
         );
         csv.row_display(&[
             seed.to_string(),
             unique.to_string(),
-            outcome.rounds.to_string(),
-            outcome.patterns_used.to_string(),
-            outcome.patterns_available.to_string(),
-            outcome.facts_encoded.to_string(),
-            outcome.pinned_vars.to_string(),
-            outcome.report.num_vars.to_string(),
-            outcome.report.num_clauses.to_string(),
-            outcome.total_time.as_micros().to_string(),
+            stats.rounds.to_string(),
+            stats.patterns_used.to_string(),
+            stats.patterns_available.to_string(),
+            stats.facts_encoded.to_string(),
+            stats.pinned_vars.to_string(),
+            check.num_vars.to_string(),
+            check.num_clauses.to_string(),
+            stats.elapsed.as_micros().to_string(),
         ]);
     }
     csv.meta("k", 128);

@@ -10,12 +10,13 @@
 //! ALL-charged patterns at k = 128 are order ~64 and 128).
 
 use beer_bench::{banner, fmt_duration, CsvArtifact, Scale};
-use beer_core::analytic::analytic_profile;
-use beer_core::pattern::{random_t_charged, PatternSet};
+use beer_core::engine::AnalyticBackend;
+use beer_core::pattern::{random_t_charged, ChargedSet, PatternSet};
+use beer_core::recovery::{RecoveryConfig, RecoveryError, RecoveryReport};
 use beer_core::solve::{
-    solve_profile, BeerSolverOptions, ObservationEncoding, SolveError, MAX_SUBSET_ORDER,
+    BeerSolverOptions, ObservationEncoding, SolveError, SolveReport, MAX_SUBSET_ORDER,
 };
-use beer_ecc::hamming;
+use beer_ecc::{hamming, LinearCode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -29,6 +30,26 @@ fn options(encoding: ObservationEncoding) -> BeerSolverOptions {
         preprocess: false,
         ..BeerSolverOptions::default()
     }
+}
+
+/// One-shot recovery of `code` from `patterns` under the given encoding,
+/// through a `RecoverySession` over the code's analytic backend.
+fn session_solve(
+    code: &LinearCode,
+    patterns: &[ChargedSet],
+    encoding: ObservationEncoding,
+) -> Result<RecoveryReport, RecoveryError> {
+    let mut backend = AnalyticBackend::new(code.clone());
+    RecoveryConfig::new()
+        .with_parity_bits(code.parity_bits())
+        .with_batches(vec![patterns.to_vec()])
+        .with_solver_options(options(encoding))
+        .session(&mut backend)
+        .run_to_completion()
+}
+
+fn check_of(report: RecoveryReport) -> SolveReport {
+    report.last_check.expect("one round always runs")
 }
 
 fn main() {
@@ -85,22 +106,15 @@ fn main() {
                 patterns_per_order,
                 0xBEE5 + t as u64,
             ));
-            let profile = analytic_profile(&code, &patterns);
 
-            let sub = solve_profile(
-                k,
-                code.parity_bits(),
-                &profile,
-                &options(ObservationEncoding::SubsetReps),
-            )
-            .expect("t <= 16 encodes under subset representatives");
-            let lin = solve_profile(
-                k,
-                code.parity_bits(),
-                &profile,
-                &options(ObservationEncoding::Linear),
-            )
-            .expect("the polynomial encoding accepts any order");
+            let sub = check_of(
+                session_solve(&code, &patterns, ObservationEncoding::SubsetReps)
+                    .expect("t <= 16 encodes under subset representatives"),
+            );
+            let lin = check_of(
+                session_solve(&code, &patterns, ObservationEncoding::Linear)
+                    .expect("the polynomial encoding accepts any order"),
+            );
             agree &= sub.solutions.len() == lin.solutions.len();
             subset_stats = (
                 subset_stats.0.max(sub.num_vars),
@@ -153,28 +167,20 @@ fn main() {
         let code = hamming::random_sec(k, &mut rng);
         let mut patterns = PatternSet::One.patterns(k);
         patterns.extend(random_t_charged(k, t, 4, 0xF00D + t as u64));
-        let profile = analytic_profile(&code, &patterns);
-        let refused = solve_profile(
-            k,
-            code.parity_bits(),
-            &profile,
-            &options(ObservationEncoding::SubsetReps),
-        );
+        let refused = session_solve(&code, &patterns, ObservationEncoding::SubsetReps);
         assert!(
             matches!(
                 refused,
-                Err(SolveError::PatternOrderUnsupported { order, .. }) if order == t
+                Err(RecoveryError::Solve(SolveError::PatternOrderUnsupported { order, .. }))
+                    if order == t
             ),
             "t = {t} must exceed MAX_SUBSET_ORDER = {MAX_SUBSET_ORDER}"
         );
         let solve_start = Instant::now();
-        let lin = solve_profile(
-            k,
-            code.parity_bits(),
-            &profile,
-            &options(ObservationEncoding::Linear),
-        )
-        .expect("polynomial encoding");
+        let lin = check_of(
+            session_solve(&code, &patterns, ObservationEncoding::Linear)
+                .expect("polynomial encoding"),
+        );
         println!(
             "  t = {t:>3} (k = {k:>3}): subset -> typed error, linear -> {} solution(s), \
              {} vars / {} clauses in {}",

@@ -79,6 +79,13 @@ pub struct CollectionPlan {
     pub trials_per_step: usize,
 }
 
+impl Default for CollectionPlan {
+    /// The simulation-scale sweep ([`CollectionPlan::quick`]).
+    fn default() -> Self {
+        CollectionPlan::quick()
+    }
+}
+
 impl CollectionPlan {
     /// Total retention trials in the plan (refresh windows × trials each)
     /// — the number of independent work units the engine can shard.

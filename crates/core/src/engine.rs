@@ -16,20 +16,104 @@
 //!   consume this one trait.
 //! * **Parallel batch collection.** A source partitions its work into
 //!   *units* — independent, deterministically numbered batches (for a chip:
-//!   one retention trial of the refresh-window sweep). [`collect_with`]
+//!   one retention trial of the refresh-window sweep). [`try_collect_with`]
 //!   shards units across worker threads, each accumulating into a local
 //!   profile, and merges the shards. Because units are deterministic and
 //!   profile merging is commutative counting, the merged profile is
 //!   **bit-identical** to a serial run regardless of thread count.
+//!   Failures — a worker panic, a replayed trace that cannot serve the
+//!   requested patterns — surface as typed [`EngineError`]s;
+//!   [`try_collect_traced`] additionally records per-unit traces for
+//!   checkpointing. [`crate::recovery::RecoverySession`] is the high-level
+//!   driver over all of this.
 
 use crate::collect::{run_collection_trial, validate_patterns, ChipKnowledge, CollectionPlan};
 use crate::pattern::ChargedSet;
 use crate::profile::MiscorrectionProfile;
+use crate::trace::UnitTrace;
 use beer_dram::{CellType, DramInterface};
 use beer_ecc::{miscorrection, LinearCode};
 use beer_einsim::{simulate, ErrorModel, SimConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::fmt;
+
+/// A typed error from the collection engine.
+///
+/// Collection drives external state — worker threads, recorded traces,
+/// real hardware — so failures surface as values that the
+/// [`crate::recovery`] session routes into its error path instead of
+/// aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A parallel collection worker panicked. The shard context names the
+    /// units the worker covered (`shard`, `shard + stride`, … up to
+    /// `units`).
+    WorkerPanicked {
+        /// The worker's shard index.
+        shard: usize,
+        /// The stride between the shard's units (the worker count).
+        stride: usize,
+        /// Total units in the collection.
+        units: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A replayed trace cannot serve a requested pattern — the session
+    /// asked for evidence the recording never collected.
+    TraceMissingPattern {
+        /// Display form of the missing pattern.
+        pattern: String,
+        /// Number of patterns the trace does contain.
+        recorded: usize,
+    },
+    /// A backend-specific failure serving the collection.
+    Backend {
+        /// The backend's [`ProfileSource::label`].
+        backend: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WorkerPanicked {
+                shard,
+                stride,
+                units,
+                message,
+            } => {
+                // Name only units the shard actually covers.
+                if shard + stride < *units {
+                    write!(
+                        f,
+                        "collection worker {shard} panicked covering units \
+                         {shard}, {}, … of {units}: {message}",
+                        shard + stride
+                    )
+                } else {
+                    write!(
+                        f,
+                        "collection worker {shard} panicked covering unit \
+                         {shard} of {units}: {message}"
+                    )
+                }
+            }
+            EngineError::TraceMissingPattern { pattern, recorded } => write!(
+                f,
+                "replay trace lacks pattern {pattern} (the recording covers \
+                 {recorded} patterns); the trace cannot serve this schedule"
+            ),
+            EngineError::Backend { backend, message } => {
+                write!(f, "{backend} backend failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// A source of miscorrection observations (see the module docs).
 ///
@@ -49,13 +133,18 @@ pub trait ProfileSource {
 
     /// Executes unit `unit`, accumulating observations into `profile`
     /// (which is always created over exactly `patterns`).
+    ///
+    /// # Errors
+    ///
+    /// Backends over external state (recorded traces, hardware) report
+    /// failures as [`EngineError`]s; in-memory backends are infallible.
     fn run_unit(
         &mut self,
         unit: usize,
         patterns: &[ChargedSet],
         plan: &CollectionPlan,
         profile: &mut MiscorrectionProfile,
-    );
+    ) -> Result<(), EngineError>;
 
     /// An independent handle for a parallel worker, if the source supports
     /// one. Returning `None` (the default) makes [`collect_with`] fall back
@@ -64,18 +153,25 @@ pub trait ProfileSource {
         None
     }
 
-    /// Notifies the source that a collection is about to start — called
-    /// once per [`collect_with`] run, on the primary source, before any
-    /// forking. Sources with sampling state re-synchronize it here (e.g. a
-    /// chip driven directly between collections has consumed trial
-    /// indices the backend hasn't seen). Default: no-op.
-    fn begin_collection(&mut self) {}
+    /// Notifies the source that a collection over `patterns` is about to
+    /// start — called once per collection, on the primary source, before
+    /// any forking. Sources with sampling state re-synchronize it here
+    /// (e.g. a chip driven directly between collections has consumed trial
+    /// indices the backend hasn't seen); sources backed by recordings
+    /// validate that they can serve `patterns` at all. Default: no-op.
+    fn begin_collection(
+        &mut self,
+        _patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+    ) -> Result<(), EngineError> {
+        Ok(())
+    }
 
     /// Notifies the source that a collection of `units` units finished —
-    /// called once per [`collect_with`] run, on the primary source only.
-    /// Sources with sampling state advance it here so the *next*
-    /// collection draws independent samples instead of replaying this
-    /// one's stream. Default: no-op (stateless backends).
+    /// called once per collection, on the primary source only. Sources
+    /// with sampling state advance it here so the *next* collection draws
+    /// independent samples instead of replaying this one's stream.
+    /// Default: no-op (stateless backends).
     fn finish_collection(&mut self, _units: usize) {}
 }
 
@@ -108,71 +204,233 @@ impl EngineOptions {
     }
 }
 
-/// Collects a miscorrection profile from any backend, sharding work units
-/// across threads when the source supports forking.
-///
-/// The result is bit-identical to a serial run for every thread count.
-///
-/// # Panics
-///
-/// Panics if `patterns` is empty, their dataword lengths differ, or they
-/// disagree with `source.k()`.
-pub fn collect_with(
+/// Optional stop predicate checked between units (deadline/cancellation).
+pub(crate) type InterruptFn<'a> = dyn Fn() -> bool + Sync + 'a;
+
+/// Extracts a human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Everything one collection run produced.
+pub(crate) struct Collected {
+    /// The merged profile (bit-identical to a serial run).
+    pub profile: MiscorrectionProfile,
+    /// Per-unit traces in unit order (empty unless recording was asked
+    /// for, or the run was interrupted — an interrupted recording is
+    /// incomplete and therefore discarded).
+    pub units: Vec<UnitTrace>,
+    /// True if the interrupt predicate stopped the run before every unit
+    /// executed; the partial profile must then be discarded by the caller
+    /// (which units completed depends on worker scheduling).
+    pub interrupted: bool,
+}
+
+/// The collection-wide parameters every shard shares.
+struct ShardJob<'a> {
+    patterns: &'a [ChargedSet],
+    plan: &'a CollectionPlan,
+    k: usize,
+    units: usize,
+    record_units: bool,
+    interrupt: Option<&'a InterruptFn<'a>>,
+}
+
+/// One shard's yield: its local profile, recorded unit traces, and
+/// whether the interrupt predicate stopped it early.
+type ShardYield = (MiscorrectionProfile, Vec<(usize, UnitTrace)>, bool);
+
+/// One worker's share of a collection: units `shard`, `shard + stride`, …
+fn run_shard(
+    worker: &mut dyn ProfileSource,
+    shard: usize,
+    stride: usize,
+    job: &ShardJob<'_>,
+) -> Result<ShardYield, EngineError> {
+    let mut local = MiscorrectionProfile::new(job.k, job.patterns.to_vec());
+    let mut traces: Vec<(usize, UnitTrace)> = Vec::new();
+    for unit in (shard..job.units).step_by(stride.max(1)) {
+        if job.interrupt.is_some_and(|stop| stop()) {
+            return Ok((local, traces, true));
+        }
+        if job.record_units {
+            let mut scratch = MiscorrectionProfile::new(job.k, job.patterns.to_vec());
+            worker.run_unit(unit, job.patterns, job.plan, &mut scratch)?;
+            traces.push((unit, UnitTrace::from_profile(&scratch)));
+            local.merge(&scratch);
+        } else {
+            worker.run_unit(unit, job.patterns, job.plan, &mut local)?;
+        }
+    }
+    Ok((local, traces, false))
+}
+
+/// The collection driver behind every public entry point: shards units
+/// across threads when the source forks, optionally records per-unit
+/// traces, and honors an interrupt predicate between units.
+pub(crate) fn collect_inner(
     source: &mut dyn ProfileSource,
     patterns: &[ChargedSet],
     plan: &CollectionPlan,
     options: &EngineOptions,
-) -> MiscorrectionProfile {
+    record_units: bool,
+    interrupt: Option<&InterruptFn>,
+) -> Result<Collected, EngineError> {
     let k = validate_patterns(patterns);
     assert_eq!(
         k,
         source.k(),
         "pattern length does not match the source's dataword size"
     );
-    source.begin_collection();
+    source.begin_collection(patterns, plan)?;
     let units = source.num_units(patterns, plan);
     let mut profile = MiscorrectionProfile::new(k, patterns.to_vec());
     let threads = options.effective_threads().min(units.max(1));
+    let job = ShardJob {
+        patterns,
+        plan,
+        k,
+        units,
+        record_units,
+        interrupt,
+    };
 
-    if threads > 1 {
-        // Every worker (including the first) runs on a fork so the shards
-        // are fully independent; if the source cannot fork, fall through to
-        // the serial path below.
-        let workers: Option<Vec<Box<dyn ProfileSource + Send>>> =
-            (0..threads).map(|_| source.fork()).collect();
-        if let Some(workers) = workers {
-            let shards = std::thread::scope(|scope| {
+    // Every worker (including the first) runs on a fork so the shards are
+    // fully independent; a single-thread request or a source that cannot
+    // fork takes the serial path.
+    let workers: Option<Vec<Box<dyn ProfileSource + Send>>> = if threads > 1 {
+        (0..threads).map(|_| source.fork()).collect()
+    } else {
+        None
+    };
+    let (shards, interrupted) = match workers {
+        Some(workers) => {
+            let job = &job;
+            let results = std::thread::scope(|scope| {
                 let handles: Vec<_> = workers
                     .into_iter()
                     .enumerate()
                     .map(|(w, mut worker)| {
-                        let mut local = MiscorrectionProfile::new(k, patterns.to_vec());
-                        scope.spawn(move || {
-                            for unit in (w..units).step_by(threads) {
-                                worker.run_unit(unit, patterns, plan, &mut local);
-                            }
-                            local
-                        })
+                        scope.spawn(move || run_shard(worker.as_mut(), w, threads, job))
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("collection worker panicked"))
+                    .enumerate()
+                    .map(|(w, h)| {
+                        h.join().unwrap_or_else(|payload| {
+                            Err(EngineError::WorkerPanicked {
+                                shard: w,
+                                stride: threads,
+                                units,
+                                message: panic_message(payload.as_ref()),
+                            })
+                        })
+                    })
                     .collect::<Vec<_>>()
             });
-            for shard in &shards {
-                profile.merge(shard);
+            // Shards merge in worker order, so the outcome (success or
+            // the first error by shard index) is deterministic.
+            let mut shards = Vec::with_capacity(results.len());
+            let mut interrupted = false;
+            for result in results {
+                let (shard, traces, stopped) = result?;
+                interrupted |= stopped;
+                shards.push((shard, traces));
             }
-            source.finish_collection(units);
-            return profile;
+            (shards, interrupted)
         }
-    }
+        None => {
+            let (shard, traces, stopped) = run_shard(source, 0, 1, &job)?;
+            (vec![(shard, traces)], stopped)
+        }
+    };
 
-    for unit in 0..units {
-        source.run_unit(unit, patterns, plan, &mut profile);
+    let mut unit_traces: Vec<(usize, UnitTrace)> = Vec::new();
+    for (shard, traces) in shards {
+        profile.merge(&shard);
+        unit_traces.extend(traces);
     }
+    unit_traces.sort_by_key(|&(unit, _)| unit);
     source.finish_collection(units);
-    profile
+    Ok(Collected {
+        profile,
+        // An interrupted recording is missing units — never expose it.
+        units: if interrupted {
+            Vec::new()
+        } else {
+            unit_traces.into_iter().map(|(_, t)| t).collect()
+        },
+        interrupted,
+    })
+}
+
+/// Collects a miscorrection profile from any backend, sharding work units
+/// across threads when the source supports forking.
+///
+/// The result is bit-identical to a serial run for every thread count.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if a parallel worker panics or the backend
+/// cannot serve the request (e.g. a replayed trace lacks a requested
+/// pattern).
+///
+/// # Panics
+///
+/// Panics if `patterns` is empty, their dataword lengths differ, or they
+/// disagree with `source.k()`.
+pub fn try_collect_with(
+    source: &mut dyn ProfileSource,
+    patterns: &[ChargedSet],
+    plan: &CollectionPlan,
+    options: &EngineOptions,
+) -> Result<MiscorrectionProfile, EngineError> {
+    collect_inner(source, patterns, plan, options, false, None).map(|c| c.profile)
+}
+
+/// Collects a profile *and* its per-unit [`UnitTrace`]s, so the run can be
+/// checkpointed into a [`crate::trace::ProfileTrace`] and replayed later.
+/// Parallelizes like [`try_collect_with`]; the traces come back in unit
+/// order regardless of scheduling.
+///
+/// # Errors
+///
+/// The same conditions as [`try_collect_with`].
+///
+/// # Panics
+///
+/// The same conditions as [`try_collect_with`].
+pub fn try_collect_traced(
+    source: &mut dyn ProfileSource,
+    patterns: &[ChargedSet],
+    plan: &CollectionPlan,
+    options: &EngineOptions,
+) -> Result<(MiscorrectionProfile, Vec<UnitTrace>), EngineError> {
+    collect_inner(source, patterns, plan, options, true, None).map(|c| (c.profile, c.units))
+}
+
+/// The panicking form of [`try_collect_with`] — the original low-level
+/// entry point, kept for direct engine experiments. New code should prefer
+/// [`crate::recovery::RecoverySession`], which drives collection and
+/// solving end to end with typed errors.
+///
+/// # Panics
+///
+/// Panics under the error conditions of [`try_collect_with`], in addition
+/// to its panic conditions.
+pub fn collect_with(
+    source: &mut dyn ProfileSource,
+    patterns: &[ChargedSet],
+    plan: &CollectionPlan,
+    options: &EngineOptions,
+) -> MiscorrectionProfile {
+    try_collect_with(source, patterns, plan, options)
+        .unwrap_or_else(|e| panic!("collection failed: {e}"))
 }
 
 // ---------------------------------------------------------------------------
@@ -236,7 +494,7 @@ impl ProfileSource for ChipBackend {
         patterns: &[ChargedSet],
         plan: &CollectionPlan,
         profile: &mut MiscorrectionProfile,
-    ) {
+    ) -> Result<(), EngineError> {
         self.chip.set_temperature(plan.celsius);
         run_collection_trial(
             self.chip.as_mut(),
@@ -247,6 +505,7 @@ impl ProfileSource for ChipBackend {
             self.trial_base,
             profile,
         );
+        Ok(())
     }
 
     fn fork(&self) -> Option<Box<dyn ProfileSource + Send>> {
@@ -258,11 +517,16 @@ impl ProfileSource for ChipBackend {
         }))
     }
 
-    fn begin_collection(&mut self) {
+    fn begin_collection(
+        &mut self,
+        _patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+    ) -> Result<(), EngineError> {
         // The chip may have been driven directly since the last collection
         // (its counter advanced past our base); resume from wherever the
         // noise stream actually is.
         self.trial_base = self.trial_base.max(self.chip.trial_counter());
+        Ok(())
     }
 
     fn finish_collection(&mut self, units: usize) {
@@ -327,7 +591,7 @@ impl ProfileSource for AnalyticBackend {
         patterns: &[ChargedSet],
         _plan: &CollectionPlan,
         profile: &mut MiscorrectionProfile,
-    ) {
+    ) -> Result<(), EngineError> {
         let pattern = &patterns[unit];
         for j in 0..self.code.k() {
             if !pattern.is_charged(j)
@@ -337,6 +601,7 @@ impl ProfileSource for AnalyticBackend {
             }
         }
         profile.record_trials(unit, self.emphasis);
+        Ok(())
     }
 
     fn fork(&self) -> Option<Box<dyn ProfileSource + Send>> {
@@ -412,7 +677,7 @@ impl ProfileSource for EinsimBackend {
         patterns: &[ChargedSet],
         _plan: &CollectionPlan,
         profile: &mut MiscorrectionProfile,
-    ) {
+    ) -> Result<(), EngineError> {
         let pattern = &patterns[unit];
         let data = pattern.to_dataword(CellType::True);
         for (bi, &ber) in self.bers.iter().enumerate() {
@@ -437,6 +702,7 @@ impl ProfileSource for EinsimBackend {
             }
             profile.record_trials(unit, self.words_per_ber);
         }
+        Ok(())
     }
 
     fn fork(&self) -> Option<Box<dyn ProfileSource + Send>> {
@@ -563,6 +829,82 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A backend whose forks blow up on one specific unit.
+    #[derive(Clone)]
+    struct PanickyBackend;
+
+    impl ProfileSource for PanickyBackend {
+        fn k(&self) -> usize {
+            4
+        }
+
+        fn label(&self) -> String {
+            "panicky".to_string()
+        }
+
+        fn num_units(&self, _patterns: &[ChargedSet], _plan: &CollectionPlan) -> usize {
+            4
+        }
+
+        fn run_unit(
+            &mut self,
+            unit: usize,
+            _patterns: &[ChargedSet],
+            _plan: &CollectionPlan,
+            profile: &mut MiscorrectionProfile,
+        ) -> Result<(), EngineError> {
+            if unit == 2 {
+                panic!("injected failure");
+            }
+            profile.record_trials(0, 1);
+            Ok(())
+        }
+
+        fn fork(&self) -> Option<Box<dyn ProfileSource + Send>> {
+            Some(Box::new(self.clone()))
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error_with_shard_context() {
+        let patterns = vec![ChargedSet::new(vec![0], 4)];
+        let err = crate::engine::try_collect_with(
+            &mut PanickyBackend,
+            &patterns,
+            &CollectionPlan::quick(),
+            &EngineOptions::with_threads(2),
+        )
+        .expect_err("the shard covering unit 2 panics");
+        match &err {
+            EngineError::WorkerPanicked {
+                shard,
+                stride,
+                units,
+                message,
+            } => {
+                assert_eq!(*shard, 0, "unit 2 belongs to shard 0 under stride 2");
+                assert_eq!(*stride, 2);
+                assert_eq!(*units, 4);
+                assert_eq!(message, "injected failure");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        let display = err.to_string();
+        assert!(display.contains("worker 0"), "got {display}");
+        assert!(display.contains("units 0, 2"), "got {display}");
+
+        // A shard covering a single unit must not name nonexistent units.
+        let single = EngineError::WorkerPanicked {
+            shard: 1,
+            stride: 2,
+            units: 2,
+            message: "boom".to_string(),
+        };
+        let display = single.to_string();
+        assert!(display.contains("unit 1 of 2"), "got {display}");
+        assert!(!display.contains("3"), "got {display}");
     }
 
     #[test]

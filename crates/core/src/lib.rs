@@ -17,13 +17,15 @@
 //!    consistent function; a unique solution identifies the chip's code up
 //!    to parity-bit relabeling (§4.2.1).
 //!
-//! The three steps are tied together by the unified profiling [`engine`]:
-//! any [`engine::ProfileSource`] backend — live chip, exact analytic
-//! model, EINSim Monte-Carlo, or a recorded [`trace`] — feeds the same
-//! parallel batched collection driver ([`engine::collect_with`]), and
-//! [`solve::ProgressiveSolver`] streams the resulting constraints into an
-//! incremental SAT session so collection and solving interleave, stopping
-//! at the first unique solution (§6.3).
+//! The three steps are tied together by the [`recovery`] session — the
+//! typed entry point for the whole pipeline: a [`recovery::RecoveryConfig`]
+//! owns every knob, and a [`recovery::RecoverySession`] drives any
+//! [`engine::ProfileSource`] backend — live chip, exact analytic model,
+//! EINSim Monte-Carlo, or a recorded [`trace`] — through parallel batched
+//! collection and an incremental SAT session so collection and solving
+//! interleave, stopping at the first unique solution (§6.3), with
+//! cancellation, budgets, progress events, trace checkpointing, and a
+//! [`recovery::RecoveryFleet`] batch runner on top.
 //!
 //! [`analytic`] computes exact profiles from known codes (the simulation
 //! methodology of §6.1), and [`runtime`] models experiment runtimes
@@ -34,27 +36,19 @@
 //! Recovering a known code progressively from its analytic backend:
 //!
 //! ```
-//! use beer_core::collect::CollectionPlan;
-//! use beer_core::engine::{AnalyticBackend, EngineOptions};
-//! use beer_core::pattern::PatternSet;
-//! use beer_core::profile::ThresholdFilter;
-//! use beer_core::solve::{progressive_batches, progressive_recover, BeerSolverOptions};
+//! use beer_core::engine::AnalyticBackend;
+//! use beer_core::recovery::RecoveryConfig;
 //! use beer_ecc::{equivalence, hamming};
 //!
 //! let secret = hamming::eq1_code();
 //! let mut backend = AnalyticBackend::new(secret.clone());
-//! let outcome = progressive_recover(
-//!     &mut backend,
-//!     secret.parity_bits(),
-//!     &progressive_batches(secret.k(), 4),
-//!     &CollectionPlan::quick(),
-//!     &ThresholdFilter::default(),
-//!     &BeerSolverOptions::default(),
-//!     &EngineOptions::default(),
-//! )
-//! .expect("well-formed batches");
-//! assert!(outcome.report.is_unique());
-//! assert!(equivalence::equivalent(&outcome.report.solutions[0], &secret));
+//! let report = RecoveryConfig::new()
+//!     .with_chunked_schedule(4)
+//!     .session(&mut backend)
+//!     .run_to_completion()
+//!     .expect("analytic backends cannot fail");
+//! let code = report.outcome.unique_code().expect("unique recovery");
+//! assert!(equivalence::equivalent(code, &secret));
 //! ```
 
 pub mod analytic;
@@ -65,14 +59,21 @@ pub mod layout_probe;
 pub mod pattern;
 pub mod preprocess;
 pub mod profile;
+pub mod recovery;
 pub mod runtime;
 pub mod solve;
 pub mod trace;
 
 pub use engine::{
-    collect_with, AnalyticBackend, ChipBackend, EinsimBackend, EngineOptions, ProfileSource,
+    collect_with, try_collect_traced, try_collect_with, AnalyticBackend, ChipBackend,
+    EinsimBackend, EngineError, EngineOptions, ProfileSource,
 };
 pub use pattern::{ChargedSet, PatternSet};
 pub use profile::{MiscorrectionProfile, Observation, ProfileConstraints, ThresholdFilter};
+pub use recovery::{
+    BudgetReason, CancelToken, FleetMember, FleetOutcome, PatternSchedule, RecoveryConfig,
+    RecoveryError, RecoveryEvent, RecoveryFleet, RecoveryOutcome, RecoveryReport, RecoverySession,
+    RecoveryStats, SessionStatus,
+};
 pub use solve::{solve_profile, BeerSolverOptions, SolveReport};
 pub use trace::{ProfileTrace, ReplayBackend};

@@ -1,0 +1,909 @@
+//! The unified recovery session: one typed entry point for the whole BEER
+//! pipeline.
+//!
+//! The paper's methodology is a single conceptual loop — craft patterns,
+//! profile retention miscorrections, solve for the consistent ECC
+//! functions, act on the recovered code — and this module packages it as
+//! one: a [`RecoveryConfig`] builder owns every knob the pipeline has
+//! (backend-agnostic pattern schedule, collection plan, threshold filter,
+//! solver options, thread budget, wall-clock/fact/pattern budgets), and a
+//! [`RecoverySession`] drives any [`ProfileSource`] from the first batch
+//! to a typed terminal [`RecoveryOutcome`]:
+//!
+//! * **Step-wise execution.** [`RecoverySession::advance`] runs one
+//!   collect → push → check round, exactly the interleaving of the §6.3
+//!   progressive optimization; [`RecoverySession::run_to_completion`]
+//!   loops it to the end.
+//! * **Cancellation and budgets.** A wall-clock deadline, a fact budget, a
+//!   pattern budget, and a shareable [`CancelToken`] all terminate the
+//!   session with [`RecoveryOutcome::BudgetExhausted`] carrying the
+//!   partial candidate set — deadline and cancellation are honored
+//!   *mid-batch* (the engine checks between collection units).
+//! * **Observability.** A [`RecoveryEvent`] observer replaces ad-hoc
+//!   progress printing: batch collected, facts pushed, distinctness
+//!   counterexamples repaired, check completed.
+//! * **Checkpointing.** With [`RecoveryConfig::with_trace_recording`],
+//!   the session accumulates every collected unit into a
+//!   [`ProfileTrace`]; replaying it through
+//!   [`crate::trace::ReplayBackend`] reproduces the outcome bit for bit.
+//! * **Fleet execution.** [`RecoveryFleet`] runs N independent sessions —
+//!   one per chip of a population — concurrently over a shared thread
+//!   budget, returning per-member reports in deterministic member order.
+//!
+//! The original free functions ([`crate::engine::collect_with`],
+//! [`crate::solve::solve_profile`], [`crate::solve::progressive_recover`])
+//! remain as documented low-level entry points; `progressive_recover` is a
+//! thin wrapper over a session.
+//!
+//! # Examples
+//!
+//! ```
+//! use beer_core::engine::AnalyticBackend;
+//! use beer_core::recovery::{RecoveryConfig, RecoveryOutcome};
+//! use beer_ecc::{equivalence, hamming};
+//!
+//! let secret = hamming::shortened(11);
+//! let mut backend = AnalyticBackend::new(secret.clone());
+//! let report = RecoveryConfig::new()
+//!     .with_chunked_schedule(8)
+//!     .session(&mut backend)
+//!     .run_to_completion()
+//!     .expect("analytic backends cannot fail");
+//! match report.outcome {
+//!     RecoveryOutcome::Unique(code) => {
+//!         assert!(equivalence::equivalent(&code, &secret));
+//!     }
+//!     other => panic!("expected a unique recovery, got {other:?}"),
+//! }
+//! ```
+
+use crate::collect::CollectionPlan;
+use crate::engine::{collect_inner, EngineError, EngineOptions, ProfileSource};
+use crate::pattern::{ChargedSet, PatternSet};
+use crate::profile::ThresholdFilter;
+use crate::solve::{
+    progressive_batches, BeerSolverOptions, ColumnDistinctness, ObservationEncoding,
+    ProgressiveSolver, SolveError, SolveReport,
+};
+use crate::trace::{ProfileTrace, UnitTrace};
+use beer_ecc::{hamming, LinearCode};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Errors, outcomes, events
+// ---------------------------------------------------------------------------
+
+/// A typed error from a recovery session: either the collection engine
+/// failed (worker panic, exhausted trace) or the solver rejected the
+/// constraints (unsupported pattern order, dataword mismatch).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The collection engine failed.
+    Engine(EngineError),
+    /// The SAT encoding rejected the constraints.
+    Solve(SolveError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Engine(e) => write!(f, "collection failed: {e}"),
+            RecoveryError::Solve(e) => write!(f, "solving failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<EngineError> for RecoveryError {
+    fn from(e: EngineError) -> Self {
+        RecoveryError::Engine(e)
+    }
+}
+
+impl From<SolveError> for RecoveryError {
+    fn from(e: SolveError) -> Self {
+        RecoveryError::Solve(e)
+    }
+}
+
+/// Which budget terminated a session early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetReason {
+    /// The wall-clock deadline expired.
+    Deadline,
+    /// The session's [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The fact budget ([`RecoveryConfig::with_max_facts`]) was reached.
+    MaxFacts,
+    /// The pattern budget ([`RecoveryConfig::with_max_patterns`]) was
+    /// reached.
+    MaxPatterns,
+}
+
+/// The terminal state of a recovery session.
+#[derive(Clone, Debug)]
+pub enum RecoveryOutcome {
+    /// Exactly one ECC function (equivalence class) is consistent with
+    /// everything collected — BEER's success case.
+    Unique(LinearCode),
+    /// The full schedule ran and several functions remain consistent
+    /// (expected for shortened codes under 1-CHARGED only, Figure 5).
+    Ambiguous {
+        /// Number of witnesses found; a lower bound when `truncated`.
+        count: usize,
+        /// True if enumeration stopped at the solver's solution cap.
+        truncated: bool,
+        /// The consistent functions, as enumerated.
+        witnesses: Vec<LinearCode>,
+    },
+    /// No function is consistent — noise (or a corrupt trace) made the
+    /// profile contradictory.
+    Inconsistent,
+    /// A budget terminated the session before the schedule decided.
+    BudgetExhausted {
+        /// Which budget fired.
+        reason: BudgetReason,
+        /// The candidates consistent with everything collected so far
+        /// (empty if no check completed).
+        partial: Vec<LinearCode>,
+    },
+}
+
+impl RecoveryOutcome {
+    /// The uniquely recovered code, if the session succeeded.
+    pub fn unique_code(&self) -> Option<&LinearCode> {
+        match self {
+            RecoveryOutcome::Unique(code) => Some(code),
+            _ => None,
+        }
+    }
+
+    /// True for [`RecoveryOutcome::Unique`].
+    pub fn is_unique(&self) -> bool {
+        matches!(self, RecoveryOutcome::Unique(_))
+    }
+}
+
+/// Progress notifications emitted by a session (see the module docs).
+#[derive(Clone, Debug)]
+pub enum RecoveryEvent {
+    /// A pattern batch finished collecting.
+    BatchCollected {
+        /// 1-based round number.
+        round: usize,
+        /// Patterns in the batch.
+        patterns: usize,
+        /// Raw miscorrection observations in the batch.
+        observations: u64,
+        /// Trials recorded across the batch's patterns.
+        trials: u64,
+    },
+    /// The batch's thresholded facts entered the live SAT session.
+    FactsPushed {
+        /// 1-based round number.
+        round: usize,
+        /// Definite facts this batch contributed.
+        new_facts: usize,
+        /// Definite facts encoded so far.
+        total_facts: usize,
+        /// `P` variables pinned by GF(2) preprocessing so far.
+        pinned_vars: usize,
+    },
+    /// The lazy column-distinctness loop repaired counterexamples during
+    /// the round's check.
+    CounterexampleRepaired {
+        /// 1-based round number.
+        round: usize,
+        /// Column pairs constrained.
+        pairs: usize,
+    },
+    /// A uniqueness check finished.
+    CheckCompleted {
+        /// 1-based round number.
+        round: usize,
+        /// Consistent functions found (up to the solver's cap).
+        solutions: usize,
+        /// True if enumeration stopped at the cap.
+        truncated: bool,
+        /// Wall-clock time of the check.
+        elapsed: Duration,
+    },
+}
+
+/// Cooperative cancellation handle: clone it, hand it to another thread,
+/// and [`CancelToken::cancel`] terminates the session at the next unit
+/// boundary with [`BudgetReason::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// How a session schedules test patterns into collect → check batches.
+#[derive(Clone, Debug)]
+pub enum PatternSchedule {
+    /// The standard progressive schedule: all 1-CHARGED patterns first,
+    /// then 2-CHARGED patterns in chunks of the given size
+    /// ([`progressive_batches`]).
+    Progressive {
+        /// 2-CHARGED patterns per batch.
+        chunk: usize,
+    },
+    /// One pattern family as a single batch (one-shot recovery).
+    Family(PatternSet),
+    /// Explicit batches, collected and checked in order.
+    Batches(Vec<Vec<ChargedSet>>),
+}
+
+impl Default for PatternSchedule {
+    fn default() -> Self {
+        PatternSchedule::Progressive { chunk: 64 }
+    }
+}
+
+impl PatternSchedule {
+    /// Materializes the schedule for a `k`-bit dataword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty or `k` is too small for the family.
+    pub fn resolve(&self, k: usize) -> Vec<Vec<ChargedSet>> {
+        let batches = match self {
+            PatternSchedule::Progressive { chunk } => progressive_batches(k, *chunk),
+            PatternSchedule::Family(set) => vec![set.patterns(k)],
+            PatternSchedule::Batches(batches) => batches.clone(),
+        };
+        assert!(
+            !batches.is_empty() && batches.iter().all(|b| !b.is_empty()),
+            "pattern schedule must contain at least one non-empty batch"
+        );
+        batches
+    }
+}
+
+/// Every knob of the BEER pipeline in one typed builder (see the module
+/// docs). `Default`/[`RecoveryConfig::new`] reproduce the paper's standard
+/// methodology: progressive {1,2}-CHARGED schedule, the quick collection
+/// plan, the §5.2 threshold filter, and the default solver options.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryConfig {
+    parity_bits: Option<usize>,
+    schedule: PatternSchedule,
+    plan: CollectionPlan,
+    filter: ThresholdFilter,
+    solver: BeerSolverOptions,
+    engine: EngineOptions,
+    deadline: Option<Duration>,
+    max_facts: Option<usize>,
+    max_patterns: Option<usize>,
+    record_trace: bool,
+}
+
+impl RecoveryConfig {
+    /// The paper-standard configuration.
+    pub fn new() -> Self {
+        RecoveryConfig::default()
+    }
+
+    /// Overrides the parity-bit count (default: the smallest SEC Hamming
+    /// parity count for the source's dataword length,
+    /// [`hamming::parity_bits_for`]).
+    pub fn with_parity_bits(mut self, parity_bits: usize) -> Self {
+        self.parity_bits = Some(parity_bits);
+        self
+    }
+
+    /// Uses an explicit pattern schedule.
+    pub fn with_schedule(mut self, schedule: PatternSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Collects one pattern family as a single batch (one-shot recovery).
+    pub fn with_pattern_family(self, set: PatternSet) -> Self {
+        self.with_schedule(PatternSchedule::Family(set))
+    }
+
+    /// Uses the progressive {1,2}-CHARGED schedule with the given
+    /// 2-CHARGED chunk size.
+    pub fn with_chunked_schedule(self, chunk: usize) -> Self {
+        self.with_schedule(PatternSchedule::Progressive { chunk })
+    }
+
+    /// Uses explicit pattern batches.
+    pub fn with_batches(self, batches: Vec<Vec<ChargedSet>>) -> Self {
+        self.with_schedule(PatternSchedule::Batches(batches))
+    }
+
+    /// Overrides the refresh-window sweep.
+    pub fn with_plan(mut self, plan: CollectionPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Overrides the §5.2 threshold filter.
+    pub fn with_filter(mut self, filter: ThresholdFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Overrides the full solver option block.
+    pub fn with_solver_options(mut self, solver: BeerSolverOptions) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Overrides the observation-to-clause encoding only.
+    pub fn with_encoding(mut self, encoding: ObservationEncoding) -> Self {
+        self.solver.encoding = encoding;
+        self
+    }
+
+    /// Overrides the column-distinctness scheme only.
+    pub fn with_distinctness(mut self, distinctness: ColumnDistinctness) -> Self {
+        self.solver.distinctness = distinctness;
+        self
+    }
+
+    /// Overrides the solution-enumeration cap only.
+    pub fn with_max_solutions(mut self, max_solutions: usize) -> Self {
+        self.solver.max_solutions = max_solutions;
+        self
+    }
+
+    /// Collection worker threads (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.engine = EngineOptions::with_threads(threads);
+        self
+    }
+
+    /// Overrides the full engine option block.
+    pub fn with_engine_options(mut self, engine: EngineOptions) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Terminates the session once this much wall-clock time has elapsed
+    /// since it started (honored mid-batch).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Terminates the session once this many definite facts are encoded.
+    pub fn with_max_facts(mut self, max_facts: usize) -> Self {
+        self.max_facts = Some(max_facts);
+        self
+    }
+
+    /// Terminates the session once this many patterns are collected.
+    pub fn with_max_patterns(mut self, max_patterns: usize) -> Self {
+        self.max_patterns = Some(max_patterns);
+        self
+    }
+
+    /// Records every collected unit into an exportable [`ProfileTrace`]
+    /// (see [`RecoverySession::export_trace`]).
+    pub fn with_trace_recording(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Starts a session over `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule resolves to no patterns for the source's
+    /// dataword length, or the dataword length is zero.
+    pub fn session<'s>(&self, source: &'s mut dyn ProfileSource) -> RecoverySession<'s> {
+        let k = source.k();
+        let parity_bits = self
+            .parity_bits
+            .unwrap_or_else(|| hamming::parity_bits_for(k));
+        let batches = self.schedule.resolve(k);
+        let patterns_available = batches.iter().map(|b| b.len()).sum();
+        RecoverySession {
+            solver: ProgressiveSolver::new(k, parity_bits, self.solver),
+            source,
+            parity_bits,
+            batches,
+            plan: self.plan.clone(),
+            filter: self.filter,
+            engine: self.engine,
+            deadline: self.deadline,
+            max_facts: self.max_facts,
+            max_patterns: self.max_patterns,
+            cancel: CancelToken::new(),
+            observer: None,
+            started: Instant::now(),
+            next_batch: 0,
+            rounds: 0,
+            patterns_used: 0,
+            patterns_available,
+            last_check: None,
+            outcome: None,
+            error: None,
+            trace: self.record_trace.then(|| TraceLog {
+                patterns: Vec::new(),
+                units: Vec::new(),
+            }),
+        }
+    }
+
+    /// A fleet runner over this configuration (see [`RecoveryFleet`]).
+    pub fn fleet(&self) -> RecoveryFleet {
+        RecoveryFleet::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// Whether a session has more work to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// More batches remain and no terminal outcome was reached.
+    Running,
+    /// The session reached a [`RecoveryOutcome`].
+    Finished,
+}
+
+/// Bookkeeping of a session's progress.
+#[derive(Clone, Debug)]
+pub struct RecoveryStats {
+    /// Collect → check rounds executed.
+    pub rounds: usize,
+    /// Batches in the full schedule.
+    pub batches_total: usize,
+    /// Patterns actually collected.
+    pub patterns_used: usize,
+    /// Patterns the full schedule would collect.
+    pub patterns_available: usize,
+    /// Definite facts encoded into the SAT session.
+    pub facts_encoded: usize,
+    /// `P` variables pinned by GF(2) preprocessing.
+    pub pinned_vars: usize,
+    /// Wall-clock time since the session started.
+    pub elapsed: Duration,
+}
+
+/// The final product of a session: the typed outcome, progress statistics,
+/// the last uniqueness check's [`SolveReport`], and (if recording was
+/// enabled) the replayable trace.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The terminal outcome.
+    pub outcome: RecoveryOutcome,
+    /// Progress bookkeeping.
+    pub stats: RecoveryStats,
+    /// The last check's report (absent if no round completed).
+    pub last_check: Option<SolveReport>,
+    /// Everything collected, replayable through
+    /// [`crate::trace::ReplayBackend`] (present iff recording was on).
+    pub trace: Option<ProfileTrace>,
+}
+
+struct TraceLog {
+    patterns: Vec<ChargedSet>,
+    units: Vec<UnitTrace>,
+}
+
+/// The BEER pipeline as a resumable state machine over one
+/// [`ProfileSource`] (see the module docs).
+pub struct RecoverySession<'s> {
+    source: &'s mut dyn ProfileSource,
+    parity_bits: usize,
+    batches: Vec<Vec<ChargedSet>>,
+    plan: CollectionPlan,
+    filter: ThresholdFilter,
+    engine: EngineOptions,
+    deadline: Option<Duration>,
+    max_facts: Option<usize>,
+    max_patterns: Option<usize>,
+    solver: ProgressiveSolver,
+    cancel: CancelToken,
+    #[allow(clippy::type_complexity)]
+    observer: Option<Box<dyn FnMut(&RecoveryEvent) + 's>>,
+    started: Instant,
+    next_batch: usize,
+    rounds: usize,
+    patterns_used: usize,
+    patterns_available: usize,
+    last_check: Option<SolveReport>,
+    outcome: Option<RecoveryOutcome>,
+    error: Option<RecoveryError>,
+    trace: Option<TraceLog>,
+}
+
+impl<'s> RecoverySession<'s> {
+    /// Dataword length.
+    pub fn k(&self) -> usize {
+        self.solver.k()
+    }
+
+    /// Parity bits the solver searches over.
+    pub fn parity_bits(&self) -> usize {
+        self.parity_bits
+    }
+
+    /// Installs a progress observer (replaces any previous one).
+    pub fn with_observer(mut self, observer: impl FnMut(&RecoveryEvent) + 's) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// A cancellation handle for this session (clone freely).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// The terminal outcome, once reached.
+    pub fn outcome(&self) -> Option<&RecoveryOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// The most recent uniqueness check's report.
+    pub fn last_check(&self) -> Option<&SolveReport> {
+        self.last_check.as_ref()
+    }
+
+    /// Progress so far.
+    pub fn stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            rounds: self.rounds,
+            batches_total: self.batches.len(),
+            patterns_used: self.patterns_used,
+            patterns_available: self.patterns_available,
+            facts_encoded: self.solver.facts_encoded(),
+            pinned_vars: self.solver.pinned_vars(),
+            elapsed: self.started.elapsed(),
+        }
+    }
+
+    /// Everything collected so far as a replayable [`ProfileTrace`]
+    /// (`None` unless [`RecoveryConfig::with_trace_recording`] was set).
+    /// Valid at any point — a budget-exhausted session's checkpoint
+    /// replays exactly the rounds that ran.
+    pub fn export_trace(&self) -> Option<ProfileTrace> {
+        self.trace.as_ref().map(|log| ProfileTrace {
+            k: self.k(),
+            patterns: log.patterns.clone(),
+            units: log.units.clone(),
+        })
+    }
+
+    fn emit(&mut self, event: RecoveryEvent) {
+        if let Some(observer) = &mut self.observer {
+            observer(&event);
+        }
+    }
+
+    fn budget_reason(&self) -> Option<BudgetReason> {
+        if self.cancel.is_cancelled() {
+            return Some(BudgetReason::Cancelled);
+        }
+        if self
+            .deadline
+            .is_some_and(|deadline| self.started.elapsed() >= deadline)
+        {
+            return Some(BudgetReason::Deadline);
+        }
+        if self
+            .max_patterns
+            .is_some_and(|max| self.patterns_used >= max)
+        {
+            return Some(BudgetReason::MaxPatterns);
+        }
+        if self
+            .max_facts
+            .is_some_and(|max| self.solver.facts_encoded() >= max)
+        {
+            return Some(BudgetReason::MaxFacts);
+        }
+        None
+    }
+
+    fn finish_exhausted(&mut self, reason: BudgetReason) {
+        let partial = self
+            .last_check
+            .as_ref()
+            .map(|r| r.solutions.clone())
+            .unwrap_or_default();
+        self.outcome = Some(RecoveryOutcome::BudgetExhausted { reason, partial });
+    }
+
+    /// Runs one collect → push → check round; returns whether the session
+    /// reached a terminal outcome. Calling `advance` on a finished session
+    /// is a no-op returning [`SessionStatus::Finished`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryError`] if the engine fails the batch or the
+    /// solver rejects its constraints. A failed session is terminal:
+    /// every later `advance` returns the same error.
+    pub fn advance(&mut self) -> Result<SessionStatus, RecoveryError> {
+        if let Some(err) = &self.error {
+            return Err(err.clone());
+        }
+        match self.advance_impl() {
+            Ok(status) => Ok(status),
+            Err(err) => {
+                self.error = Some(err.clone());
+                Err(err)
+            }
+        }
+    }
+
+    fn advance_impl(&mut self) -> Result<SessionStatus, RecoveryError> {
+        if self.outcome.is_some() {
+            return Ok(SessionStatus::Finished);
+        }
+        if let Some(reason) = self.budget_reason() {
+            self.finish_exhausted(reason);
+            return Ok(SessionStatus::Finished);
+        }
+
+        // Collect the next batch, checking deadline/cancellation between
+        // units so budgets are honored mid-batch. Each batch is consumed
+        // exactly once, so take it instead of cloning it.
+        let batch = std::mem::take(&mut self.batches[self.next_batch]);
+        let cancel = self.cancel.clone();
+        let deadline_at = self.deadline.map(|d| self.started + d);
+        let interrupt =
+            move || cancel.is_cancelled() || deadline_at.is_some_and(|at| Instant::now() >= at);
+        let record = self.trace.is_some();
+        let collected = collect_inner(
+            self.source,
+            &batch,
+            &self.plan,
+            &self.engine,
+            record,
+            Some(&interrupt),
+        )?;
+        if collected.interrupted {
+            // The partial batch is discarded: which units completed
+            // depends on scheduling, and a partial profile would assert
+            // false NoMiscorrection facts.
+            let reason = if self.cancel.is_cancelled() {
+                BudgetReason::Cancelled
+            } else {
+                BudgetReason::Deadline
+            };
+            self.finish_exhausted(reason);
+            return Ok(SessionStatus::Finished);
+        }
+        if let Some(log) = &mut self.trace {
+            let offset = log.patterns.len();
+            log.patterns.extend(batch.iter().cloned());
+            for mut unit in collected.units {
+                unit.offset_patterns(offset);
+                log.units.push(unit);
+            }
+        }
+        self.rounds += 1;
+        self.next_batch += 1;
+        self.patterns_used += batch.len();
+        let round = self.rounds;
+        let observations: u64 = collected.profile.per_bit_totals().iter().sum();
+        let trials: u64 = (0..batch.len())
+            .map(|pi| collected.profile.trials(pi))
+            .sum();
+        self.emit(RecoveryEvent::BatchCollected {
+            round,
+            patterns: batch.len(),
+            observations,
+            trials,
+        });
+
+        // Push the thresholded facts into the live SAT session.
+        let constraints = collected.profile.to_constraints(&self.filter);
+        let facts_before = self.solver.facts_encoded();
+        self.solver.push_constraints(&constraints)?;
+        let total_facts = self.solver.facts_encoded();
+        let pinned_vars = self.solver.pinned_vars();
+        self.emit(RecoveryEvent::FactsPushed {
+            round,
+            new_facts: total_facts - facts_before,
+            total_facts,
+            pinned_vars,
+        });
+
+        // Check uniqueness over everything pushed so far.
+        let report = self.solver.check();
+        if report.distinctness_repairs > 0 {
+            self.emit(RecoveryEvent::CounterexampleRepaired {
+                round,
+                pairs: report.distinctness_repairs,
+            });
+        }
+        self.emit(RecoveryEvent::CheckCompleted {
+            round,
+            solutions: report.solutions.len(),
+            truncated: report.truncated,
+            elapsed: report.total_time,
+        });
+
+        let schedule_done = self.next_batch >= self.batches.len();
+        if report.is_unique() {
+            self.outcome = Some(RecoveryOutcome::Unique(report.solutions[0].clone()));
+        } else if report.solutions.is_empty() {
+            self.outcome = Some(RecoveryOutcome::Inconsistent);
+        } else if schedule_done {
+            self.outcome = Some(RecoveryOutcome::Ambiguous {
+                count: report.solutions.len(),
+                truncated: report.truncated,
+                witnesses: report.solutions.clone(),
+            });
+        }
+        self.last_check = Some(report);
+        Ok(if self.outcome.is_some() {
+            SessionStatus::Finished
+        } else {
+            SessionStatus::Running
+        })
+    }
+
+    /// Advances until the session finishes, then returns the report.
+    ///
+    /// # Errors
+    ///
+    /// The conditions of [`RecoverySession::advance`].
+    pub fn run_to_completion(mut self) -> Result<RecoveryReport, RecoveryError> {
+        while self.advance()? == SessionStatus::Running {}
+        Ok(self.into_report())
+    }
+
+    /// Consumes a finished session into its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has not finished (no terminal outcome yet).
+    pub fn into_report(mut self) -> RecoveryReport {
+        let stats = self.stats();
+        let trace = self.export_trace();
+        let outcome = self
+            .outcome
+            .take()
+            .expect("into_report called on an unfinished session");
+        RecoveryReport {
+            outcome,
+            stats,
+            last_check: self.last_check.take(),
+            trace,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet
+// ---------------------------------------------------------------------------
+
+/// One chip of a fleet: a label (for the report) and its backend.
+pub struct FleetMember {
+    /// Name carried through to the [`FleetOutcome`].
+    pub label: String,
+    /// The member's profile source.
+    pub source: Box<dyn ProfileSource + Send>,
+}
+
+impl FleetMember {
+    /// A labeled member.
+    pub fn new(label: impl Into<String>, source: Box<dyn ProfileSource + Send>) -> Self {
+        FleetMember {
+            label: label.into(),
+            source,
+        }
+    }
+}
+
+/// One member's result, in the input order.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// The member's label.
+    pub label: String,
+    /// The member's session result.
+    pub result: Result<RecoveryReport, RecoveryError>,
+}
+
+/// Runs N independent recovery sessions — one per [`FleetMember`] —
+/// concurrently over a shared thread budget.
+///
+/// Each member's session runs serially (its engine thread count is forced
+/// to 1) so the fleet's worker count bounds total parallelism, and every
+/// session is deterministic; results therefore equal N serial sessions run
+/// one after another, returned in member order regardless of completion
+/// order.
+pub struct RecoveryFleet {
+    config: RecoveryConfig,
+    threads: usize,
+}
+
+impl RecoveryFleet {
+    /// A fleet over the given per-member configuration.
+    pub fn new(config: RecoveryConfig) -> Self {
+        RecoveryFleet { config, threads: 0 }
+    }
+
+    /// Worker threads (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs every member to completion and returns their reports in
+    /// member order.
+    pub fn run(&self, members: Vec<FleetMember>) -> Vec<FleetOutcome> {
+        // Sessions collect serially inside fleet workers: the fleet's own
+        // worker count is the thread budget.
+        let mut config = self.config.clone();
+        config.engine = EngineOptions::serial();
+        let n = members.len();
+        let workers = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+        }
+        .min(n.max(1));
+
+        let queue: Mutex<VecDeque<(usize, FleetMember)>> =
+            Mutex::new(members.into_iter().enumerate().collect());
+        let slots: Mutex<Vec<Option<FleetOutcome>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some((idx, mut member)) = queue.lock().unwrap().pop_front() else {
+                        break;
+                    };
+                    // A member whose backend panics must not take the rest
+                    // of the fleet down: the panic becomes that member's
+                    // typed error and the worker moves on.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        config.session(member.source.as_mut()).run_to_completion()
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(RecoveryError::Engine(EngineError::Backend {
+                            backend: format!("fleet member {:?}", member.label),
+                            message: crate::engine::panic_message(payload.as_ref()),
+                        }))
+                    });
+                    slots.lock().unwrap()[idx] = Some(FleetOutcome {
+                        label: member.label,
+                        result,
+                    });
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|slot| slot.expect("every member was processed"))
+            .collect()
+    }
+}

@@ -42,7 +42,7 @@
 //! or a caller-set cap — "Check Uniqueness" in Figure 6.
 
 use crate::collect::CollectionPlan;
-use crate::engine::{collect_with, EngineOptions, ProfileSource};
+use crate::engine::{EngineOptions, ProfileSource};
 use crate::pattern::ChargedSet;
 use crate::preprocess::{preprocess, Preprocessed};
 use crate::profile::{Observation, ProfileConstraints, ThresholdFilter};
@@ -193,6 +193,9 @@ pub struct SolveReport {
     pub num_vars: usize,
     /// CNF size: clauses.
     pub num_clauses: usize,
+    /// Column pairs constrained by the lazy-distinctness repair loop
+    /// during this solve (0 under the eager scheme).
+    pub distinctness_repairs: usize,
     /// Final solver statistics (includes the memory estimate).
     pub solver_stats: SolverStats,
 }
@@ -806,6 +809,7 @@ pub fn solve_profile(
     let mut solutions: Vec<LinearCode> = Vec::new();
     let mut truncated = false;
     let mut determine_time = None;
+    let mut repairs = 0usize;
     while ok {
         let result = solver.solve();
         if result != SatResult::Sat {
@@ -816,6 +820,7 @@ pub fn solve_profile(
         if !dups.is_empty() {
             // Lazy distinctness: constrain the offending pairs and retry;
             // the model does not count as a solution.
+            repairs += dups.len();
             for (c1, c2) in dups {
                 problem.encode_pair_distinct(c1, c2);
             }
@@ -854,6 +859,7 @@ pub fn solve_profile(
         total_time: start.elapsed(),
         num_vars: problem.cnf.num_vars(),
         num_clauses: problem.cnf.num_clauses(),
+        distinctness_repairs: repairs,
         solver_stats: solver.stats(),
     })
 }
@@ -1000,6 +1006,7 @@ impl ProgressiveSolver {
         let mut solutions: Vec<LinearCode> = Vec::new();
         let mut truncated = false;
         let mut determine_time = None;
+        let mut repairs = 0usize;
 
         if !self.root_conflict {
             // The guard comes from the *encoder's* variable space so future
@@ -1025,6 +1032,7 @@ impl ProgressiveSolver {
                     // Lazy distinctness repair: these constraints are
                     // implied by validity, so they go in permanently (not
                     // into the retractable scope).
+                    repairs += dups.len();
                     for (c1, c2) in dups {
                         self.problem.encode_pair_distinct(c1, c2);
                     }
@@ -1069,6 +1077,7 @@ impl ProgressiveSolver {
             total_time: start.elapsed(),
             num_vars,
             num_clauses,
+            distinctness_repairs: repairs,
             solver_stats: self.session.stats(),
         }
     }
@@ -1094,13 +1103,18 @@ pub struct ProgressiveOutcome {
 }
 
 /// Interleaves collection and solving: collects one pattern batch at a
-/// time from `source`, streams its thresholded constraints into a
-/// [`ProgressiveSolver`], and stops at the first batch after which the
+/// time from `source`, streams its thresholded constraints into an
+/// incremental SAT session, and stops at the first batch after which the
 /// solution is unique — realizing the §6.3 observation that most patterns
 /// are redundant once the profile pins the code down.
 ///
 /// Returns after the first unique check, an UNSAT check (noise made the
 /// profile contradictory), or the last batch.
+///
+/// This is a documented low-level wrapper over
+/// [`crate::recovery::RecoverySession`]; the session additionally offers
+/// step-wise execution, cancellation, budgets, progress events, and trace
+/// checkpointing.
 ///
 /// # Errors
 ///
@@ -1110,7 +1124,8 @@ pub struct ProgressiveOutcome {
 ///
 /// # Panics
 ///
-/// Panics if `batches` is empty.
+/// Panics if `batches` is empty or the backend fails the collection (use
+/// [`crate::recovery::RecoverySession`] for typed engine errors).
 pub fn progressive_recover(
     source: &mut dyn ProfileSource,
     parity_bits: usize,
@@ -1121,35 +1136,29 @@ pub fn progressive_recover(
     engine_options: &EngineOptions,
 ) -> Result<ProgressiveOutcome, SolveError> {
     assert!(!batches.is_empty(), "no pattern batches given");
-    let start = Instant::now();
-    let k = source.k();
-    let patterns_available: usize = batches.iter().map(|b| b.len()).sum();
-    let mut solver = ProgressiveSolver::new(k, parity_bits, *solver_options);
-    let mut rounds = 0;
-    let mut patterns_used = 0;
-    let mut report = None;
-
-    for batch in batches {
-        let profile = collect_with(source, batch, plan, engine_options);
-        solver.push_constraints(&profile.to_constraints(filter))?;
-        rounds += 1;
-        patterns_used += batch.len();
-        let r = solver.check();
-        let done = r.is_unique() || r.solutions.is_empty();
-        report = Some(r);
-        if done {
-            break;
-        }
-    }
-
+    let report = crate::recovery::RecoveryConfig::new()
+        .with_parity_bits(parity_bits)
+        .with_batches(batches.to_vec())
+        .with_plan(plan.clone())
+        .with_filter(*filter)
+        .with_solver_options(*solver_options)
+        .with_engine_options(*engine_options)
+        .session(source)
+        .run_to_completion()
+        .map_err(|e| match e {
+            crate::recovery::RecoveryError::Solve(e) => e,
+            crate::recovery::RecoveryError::Engine(e) => panic!("collection failed: {e}"),
+        })?;
     Ok(ProgressiveOutcome {
-        report: report.expect("at least one round ran"),
-        rounds,
-        patterns_used,
-        patterns_available,
-        facts_encoded: solver.facts_encoded(),
-        pinned_vars: solver.pinned_vars(),
-        total_time: start.elapsed(),
+        report: report
+            .last_check
+            .expect("a non-empty schedule runs at least one round"),
+        rounds: report.stats.rounds,
+        patterns_used: report.stats.patterns_used,
+        patterns_available: report.stats.patterns_available,
+        facts_encoded: report.stats.facts_encoded,
+        pinned_vars: report.stats.pinned_vars,
+        total_time: report.stats.elapsed,
     })
 }
 

@@ -8,9 +8,10 @@
 //! it runs against live chips: profile a fleet once, re-analyze forever.
 
 use crate::collect::CollectionPlan;
-use crate::engine::ProfileSource;
+use crate::engine::{EngineError, EngineOptions, ProfileSource};
 use crate::pattern::ChargedSet;
 use crate::profile::MiscorrectionProfile;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The observations of one work unit.
@@ -20,6 +21,38 @@ pub struct UnitTrace {
     pub miscorrections: Vec<(usize, usize, u64)>,
     /// `(pattern index, trials)` records.
     pub trials: Vec<(usize, u64)>,
+}
+
+impl UnitTrace {
+    /// Extracts one unit's records from a scratch profile that accumulated
+    /// exactly that unit.
+    pub fn from_profile(scratch: &MiscorrectionProfile) -> UnitTrace {
+        let mut ut = UnitTrace::default();
+        for pi in 0..scratch.patterns().len() {
+            for bit in 0..scratch.k() {
+                let c = scratch.count(pi, bit);
+                if c > 0 {
+                    ut.miscorrections.push((pi, bit, c));
+                }
+            }
+            let t = scratch.trials(pi);
+            if t > 0 {
+                ut.trials.push((pi, t));
+            }
+        }
+        ut
+    }
+
+    /// Shifts every pattern index by `offset` — used when concatenating
+    /// traces recorded over successive pattern batches.
+    pub(crate) fn offset_patterns(&mut self, offset: usize) {
+        for rec in &mut self.miscorrections {
+            rec.0 += offset;
+        }
+        for rec in &mut self.trials {
+            rec.0 += offset;
+        }
+    }
 }
 
 /// A complete recorded collection run (see the module docs).
@@ -34,47 +67,59 @@ pub struct ProfileTrace {
 }
 
 impl ProfileTrace {
-    /// Records a trace by running every unit of `source` serially.
+    /// Records a trace by running every unit of `source`, sharded across
+    /// worker threads like any collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] under the conditions of
+    /// [`crate::engine::try_collect_traced`].
     ///
     /// # Panics
     ///
     /// Panics if `patterns` is empty or disagrees with `source.k()`.
+    pub fn try_record(
+        source: &mut dyn ProfileSource,
+        patterns: &[ChargedSet],
+        plan: &CollectionPlan,
+        options: &EngineOptions,
+    ) -> Result<ProfileTrace, EngineError> {
+        let (_, units) = crate::engine::try_collect_traced(source, patterns, plan, options)?;
+        Ok(ProfileTrace {
+            k: patterns[0].k(),
+            patterns: patterns.to_vec(),
+            units,
+        })
+    }
+
+    /// The panicking, serial form of [`ProfileTrace::try_record`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty or disagrees with `source.k()`, or if
+    /// the source fails the collection.
     pub fn record(
         source: &mut dyn ProfileSource,
         patterns: &[ChargedSet],
         plan: &CollectionPlan,
     ) -> ProfileTrace {
-        let k = crate::collect::validate_patterns(patterns);
-        assert_eq!(k, source.k(), "pattern/source dataword mismatch");
-        source.begin_collection();
-        let num_units = source.num_units(patterns, plan);
-        let mut units = Vec::with_capacity(num_units);
-        for unit in 0..num_units {
-            let mut scratch = MiscorrectionProfile::new(k, patterns.to_vec());
-            source.run_unit(unit, patterns, plan, &mut scratch);
-            let mut ut = UnitTrace::default();
-            for pi in 0..patterns.len() {
-                for bit in 0..k {
-                    let c = scratch.count(pi, bit);
-                    if c > 0 {
-                        ut.miscorrections.push((pi, bit, c));
-                    }
-                }
-                let t = scratch.trials(pi);
-                if t > 0 {
-                    ut.trials.push((pi, t));
-                }
+        ProfileTrace::try_record(source, patterns, plan, &EngineOptions::serial())
+            .unwrap_or_else(|e| panic!("trace recording failed: {e}"))
+    }
+
+    /// Merges every unit's records into one profile — the same profile a
+    /// collection over the recorded patterns produces.
+    pub fn to_profile(&self) -> MiscorrectionProfile {
+        let mut profile = MiscorrectionProfile::new(self.k, self.patterns.clone());
+        for unit in &self.units {
+            for &(pi, bit, count) in &unit.miscorrections {
+                profile.record_miscorrections(pi, bit, count);
             }
-            units.push(ut);
+            for &(pi, trials) in &unit.trials {
+                profile.record_trials(pi, trials);
+            }
         }
-        // A recording consumes the source's sampling stream exactly like a
-        // collection does.
-        source.finish_collection(num_units);
-        ProfileTrace {
-            k,
-            patterns: patterns.to_vec(),
-            units,
-        }
+        profile
     }
 
     /// Serializes the trace to its line-based text format.
@@ -220,11 +265,24 @@ impl ProfileTrace {
 /// the replay is one unit of the original run; forking is free (the trace
 /// is shared), so replays parallelize like any other backend.
 ///
+/// A collection may request any *subset* of the recorded patterns, in any
+/// order — the backend maps them onto the trace by value, so a session
+/// that collects batch by batch replays a trace recorded across several
+/// batches. Requesting a pattern the trace never recorded is a typed
+/// [`EngineError::TraceMissingPattern`] (the recording is exhausted), not
+/// a panic or a silently empty profile.
+///
 /// The replayed profile is bit-identical to the recorded run's profile —
 /// the property the cross-backend equivalence tests pin down.
 #[derive(Clone)]
 pub struct ReplayBackend {
     trace: Arc<ProfileTrace>,
+    /// Trace pattern index → requested pattern index for the collection in
+    /// flight (built by `begin_collection`; `None` = not requested).
+    mapping: Arc<Vec<Option<usize>>>,
+    /// Trace units holding at least one mapped record — the replay's work
+    /// units, so a batch only replays its own share of a long recording.
+    active_units: Arc<Vec<usize>>,
 }
 
 impl ReplayBackend {
@@ -232,6 +290,8 @@ impl ReplayBackend {
     pub fn new(trace: ProfileTrace) -> Self {
         ReplayBackend {
             trace: Arc::new(trace),
+            mapping: Arc::new(Vec::new()),
+            active_units: Arc::new(Vec::new()),
         }
     }
 
@@ -251,12 +311,84 @@ impl ProfileSource for ReplayBackend {
     }
 
     fn num_units(&self, patterns: &[ChargedSet], _plan: &CollectionPlan) -> usize {
-        assert_eq!(
-            patterns,
-            &self.trace.patterns[..],
-            "replay pattern list differs from the recorded trace"
-        );
-        self.trace.units.len()
+        if self.mapping.is_empty() {
+            // Driven through the raw unit protocol without
+            // `begin_collection` (which builds the subset mapping): only
+            // the identity replay is possible, and a mismatch must stay
+            // loud rather than yield a silently empty collection.
+            assert_eq!(
+                patterns,
+                &self.trace.patterns[..],
+                "replay pattern list differs from the recorded trace \
+                 (call begin_collection to replay a subset)"
+            );
+            self.trace.units.len()
+        } else {
+            self.active_units.len()
+        }
+    }
+
+    fn begin_collection(
+        &mut self,
+        patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+    ) -> Result<(), EngineError> {
+        let mut by_value: HashMap<&ChargedSet, usize> = HashMap::new();
+        let mut duplicated: Vec<&ChargedSet> = Vec::new();
+        for (ti, p) in self.trace.patterns.iter().enumerate() {
+            if by_value.insert(p, ti).is_some() {
+                duplicated.push(p);
+            }
+        }
+        let mut mapping = vec![None; self.trace.patterns.len()];
+        for (ri, pattern) in patterns.iter().enumerate() {
+            // A pattern recorded (or requested) twice has no unambiguous
+            // per-batch share of the recorded counts; silently picking one
+            // occurrence would undercount, so refuse loudly instead.
+            if duplicated.contains(&pattern) {
+                return Err(EngineError::Backend {
+                    backend: "replay".to_string(),
+                    message: format!(
+                        "pattern {pattern} was recorded more than once; replaying it is \
+                         ambiguous (replay the trace batch by batch instead)"
+                    ),
+                });
+            }
+            match by_value.get(pattern) {
+                Some(&ti) => {
+                    if mapping[ti].replace(ri).is_some() {
+                        return Err(EngineError::Backend {
+                            backend: "replay".to_string(),
+                            message: format!(
+                                "pattern {pattern} requested more than once in one collection"
+                            ),
+                        });
+                    }
+                }
+                None => {
+                    return Err(EngineError::TraceMissingPattern {
+                        pattern: pattern.to_string(),
+                        recorded: self.trace.patterns.len(),
+                    })
+                }
+            }
+        }
+        let active_units: Vec<usize> = self
+            .trace
+            .units
+            .iter()
+            .enumerate()
+            .filter(|(_, ut)| {
+                ut.miscorrections
+                    .iter()
+                    .any(|&(pi, _, _)| mapping[pi].is_some())
+                    || ut.trials.iter().any(|&(pi, _)| mapping[pi].is_some())
+            })
+            .map(|(ui, _)| ui)
+            .collect();
+        self.mapping = Arc::new(mapping);
+        self.active_units = Arc::new(active_units);
+        Ok(())
     }
 
     fn run_unit(
@@ -265,14 +397,33 @@ impl ProfileSource for ReplayBackend {
         _patterns: &[ChargedSet],
         _plan: &CollectionPlan,
         profile: &mut MiscorrectionProfile,
-    ) {
-        let ut = &self.trace.units[unit];
+    ) -> Result<(), EngineError> {
+        // Identity replay when the raw protocol skipped begin_collection
+        // (num_units has already asserted the pattern lists match).
+        let identity = self.mapping.is_empty();
+        let map = |pi: usize| {
+            if identity {
+                Some(pi)
+            } else {
+                self.mapping.get(pi).copied().flatten()
+            }
+        };
+        let ut = if identity {
+            &self.trace.units[unit]
+        } else {
+            &self.trace.units[self.active_units[unit]]
+        };
         for &(pi, bit, count) in &ut.miscorrections {
-            profile.record_miscorrections(pi, bit, count);
+            if let Some(ri) = map(pi) {
+                profile.record_miscorrections(ri, bit, count);
+            }
         }
         for &(pi, trials) in &ut.trials {
-            profile.record_trials(pi, trials);
+            if let Some(ri) = map(pi) {
+                profile.record_trials(ri, trials);
+            }
         }
+        Ok(())
     }
 
     fn fork(&self) -> Option<Box<dyn ProfileSource + Send>> {
@@ -354,6 +505,165 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("line 6"), "got {err:?}");
         assert!(err.contains("after unit"), "got {err:?}");
+    }
+
+    #[test]
+    fn replay_serves_pattern_subsets_by_value() {
+        // A session replaying a multi-batch trace asks for one batch at a
+        // time; counts and trials must match the original per batch.
+        let (trace, original) = sample_trace();
+        let patterns = trace.patterns.clone();
+        let subset: Vec<ChargedSet> = patterns.iter().skip(3).cloned().collect();
+        let mut replay = ReplayBackend::new(trace);
+        let replayed = collect_with(
+            &mut replay,
+            &subset,
+            &CollectionPlan::quick(),
+            &EngineOptions::serial(),
+        );
+        for (si, pattern) in subset.iter().enumerate() {
+            let oi = patterns.iter().position(|p| p == pattern).unwrap();
+            assert_eq!(original.trials(oi), replayed.trials(si));
+            for j in 0..8 {
+                assert_eq!(original.count(oi, j), replayed.count(si, j));
+            }
+        }
+    }
+
+    #[test]
+    fn replay_of_unrecorded_pattern_is_a_typed_error() {
+        // Exhausting the recording must be an EngineError, not a panic or
+        // a silent empty profile.
+        let (trace, _) = sample_trace();
+        let recorded = trace.patterns.len();
+        let mut replay = ReplayBackend::new(trace);
+        let missing = vec![ChargedSet::new(vec![0, 1, 2], 8)];
+        let err = crate::engine::try_collect_with(
+            &mut replay,
+            &missing,
+            &CollectionPlan::quick(),
+            &EngineOptions::serial(),
+        )
+        .expect_err("unrecorded pattern must not replay");
+        assert_eq!(
+            err,
+            EngineError::TraceMissingPattern {
+                pattern: missing[0].to_string(),
+                recorded,
+            }
+        );
+        assert!(err.to_string().contains("3-CHARGED"), "got {err}");
+    }
+
+    #[test]
+    fn replay_of_duplicated_patterns_is_refused_not_undercounted() {
+        // The same pattern recorded in two batches has no unambiguous
+        // per-batch share; the backend must refuse rather than silently
+        // drop one occurrence's counts.
+        let text = "beer-profile-trace v1\nk 4\npattern 1\npattern 1\n\
+                    unit\nt 0 3\nunit\nt 1 3\n";
+        let trace = ProfileTrace::from_text(text).expect("well-formed");
+        let request = vec![ChargedSet::new(vec![1], 4)];
+        let mut replay = ReplayBackend::new(trace);
+        let err = crate::engine::try_collect_with(
+            &mut replay,
+            &request,
+            &CollectionPlan::quick(),
+            &EngineOptions::serial(),
+        )
+        .expect_err("duplicated recording must not replay");
+        assert!(
+            matches!(&err, EngineError::Backend { backend, .. } if backend == "replay"),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("more than once"), "got {err}");
+
+        // Requesting the same pattern twice in one collection is refused
+        // for the same reason.
+        let trace = ProfileTrace::from_text("beer-profile-trace v1\nk 4\npattern 1\nunit\nt 0 3\n")
+            .expect("well-formed");
+        let twice = vec![ChargedSet::new(vec![1], 4), ChargedSet::new(vec![1], 4)];
+        let mut replay = ReplayBackend::new(trace);
+        let err = crate::engine::try_collect_with(
+            &mut replay,
+            &twice,
+            &CollectionPlan::quick(),
+            &EngineOptions::serial(),
+        )
+        .expect_err("duplicate request must not replay");
+        assert!(
+            err.to_string().contains("requested more than once"),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn raw_protocol_replay_without_begin_collection_is_identity_and_loud() {
+        // Drivers of the bare unit protocol (no begin_collection) get the
+        // identity replay with the full unit count — never a silently
+        // empty collection.
+        let (trace, original) = sample_trace();
+        let patterns = trace.patterns.clone();
+        let plan = CollectionPlan::quick();
+        let mut replay = ReplayBackend::new(trace);
+        let n = replay.num_units(&patterns, &plan);
+        assert!(n > 0, "raw protocol must see every recorded unit");
+        let mut profile = MiscorrectionProfile::new(8, patterns.clone());
+        for unit in 0..n {
+            replay
+                .run_unit(unit, &patterns, &plan, &mut profile)
+                .expect("identity replay");
+        }
+        for pi in 0..patterns.len() {
+            assert_eq!(original.trials(pi), profile.trials(pi));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from the recorded trace")]
+    fn raw_protocol_replay_rejects_mismatched_patterns() {
+        let (trace, _) = sample_trace();
+        let replay = ReplayBackend::new(trace);
+        let other = vec![ChargedSet::new(vec![0, 1, 2], 8)];
+        let _ = replay.num_units(&other, &CollectionPlan::quick());
+    }
+
+    #[test]
+    fn replay_skips_units_belonging_to_other_batches() {
+        // A multi-batch trace: batch 1's replay must only execute batch
+        // 1's units (no O(batches × units) re-scans).
+        let text = "beer-profile-trace v1\nk 4\npattern 0\npattern 1\n\
+                    unit\nt 0 5\nunit\nt 1 7\n";
+        let trace = ProfileTrace::from_text(text).expect("well-formed");
+        let batch1 = vec![ChargedSet::new(vec![0], 4)];
+        let mut replay = ReplayBackend::new(trace);
+        replay
+            .begin_collection(&batch1, &CollectionPlan::quick())
+            .expect("batch 1 is recorded");
+        assert_eq!(
+            replay.num_units(&batch1, &CollectionPlan::quick()),
+            1,
+            "only the unit carrying pattern 0's records is active"
+        );
+        let profile = collect_with(
+            &mut replay,
+            &batch1,
+            &CollectionPlan::quick(),
+            &EngineOptions::serial(),
+        );
+        assert_eq!(profile.trials(0), 5);
+    }
+
+    #[test]
+    fn to_profile_matches_replayed_collection() {
+        let (trace, original) = sample_trace();
+        let folded = trace.to_profile();
+        for pi in 0..trace.patterns.len() {
+            assert_eq!(original.trials(pi), folded.trials(pi));
+            for j in 0..8 {
+                assert_eq!(original.count(pi, j), folded.count(pi, j));
+            }
+        }
     }
 
     #[test]

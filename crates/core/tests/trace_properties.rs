@@ -1,0 +1,103 @@
+//! Property tests for trace serialization: save/load round-trips for
+//! observations drawn from *every* pattern family — 1-/2-CHARGED and
+//! their union, RANDOM-t, CHECKERED, and ALL-charged — not just the
+//! k-CHARGED sets the unit tests cover.
+
+use beer_core::collect::CollectionPlan;
+use beer_core::engine::{AnalyticBackend, EngineOptions};
+use beer_core::pattern::PatternSet;
+use beer_core::trace::{ProfileTrace, ReplayBackend};
+use beer_ecc::hamming;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn family(index: usize, k: usize, seed: u64) -> PatternSet {
+    match index % 6 {
+        0 => PatternSet::One,
+        1 => PatternSet::Two,
+        2 => PatternSet::OneTwo,
+        3 => PatternSet::RandomT {
+            t: (k / 2).max(1),
+            count: 5,
+            seed,
+        },
+        4 => PatternSet::Checkered,
+        _ => PatternSet::All,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(18))]
+
+    /// Text round-trip is lossless for every pattern family, and the
+    /// replayed trace reproduces the recorded profile count for count.
+    #[test]
+    fn trace_roundtrips_across_all_pattern_families(
+        k in 5usize..16,
+        code_seed in any::<u64>(),
+        family_index in 0usize..6,
+        pattern_seed in any::<u64>(),
+    ) {
+        let code = hamming::random_sec(k, &mut StdRng::seed_from_u64(code_seed));
+        let patterns = family(family_index, k, pattern_seed).patterns(k);
+        let plan = CollectionPlan::quick();
+        let mut backend = AnalyticBackend::new(code);
+        let trace = ProfileTrace::record(&mut backend, &patterns, &plan);
+
+        // Lossless text round-trip.
+        let parsed = ProfileTrace::from_text(&trace.to_text());
+        prop_assert!(parsed.is_ok(), "parse failed: {:?}", parsed.err());
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed, &trace);
+
+        // Replaying the parsed trace reproduces the recorded profile.
+        let original = trace.to_profile();
+        let mut replay = ReplayBackend::new(parsed);
+        let replayed = beer_core::engine::try_collect_with(
+            &mut replay,
+            &patterns,
+            &plan,
+            &EngineOptions::serial(),
+        );
+        prop_assert!(replayed.is_ok(), "replay failed: {:?}", replayed.err());
+        let replayed = replayed.unwrap();
+        for pi in 0..patterns.len() {
+            prop_assert_eq!(original.trials(pi), replayed.trials(pi));
+            for bit in 0..k {
+                prop_assert_eq!(
+                    original.count(pi, bit),
+                    replayed.count(pi, bit),
+                    "({}, {}) diverged", pi, bit
+                );
+            }
+        }
+    }
+
+    /// Parallel recording equals serial recording for every family — the
+    /// engine's determinism contract extends to traced collection.
+    #[test]
+    fn traced_recording_is_deterministic_under_sharding(
+        k in 5usize..14,
+        code_seed in any::<u64>(),
+        family_index in 0usize..6,
+    ) {
+        let code = hamming::random_sec(k, &mut StdRng::seed_from_u64(code_seed));
+        let patterns = family(family_index, k, code_seed).patterns(k);
+        let plan = CollectionPlan::quick();
+        let serial = ProfileTrace::try_record(
+            &mut AnalyticBackend::new(code.clone()),
+            &patterns,
+            &plan,
+            &EngineOptions::serial(),
+        );
+        let sharded = ProfileTrace::try_record(
+            &mut AnalyticBackend::new(code),
+            &patterns,
+            &plan,
+            &EngineOptions::with_threads(3),
+        );
+        prop_assert!(serial.is_ok() && sharded.is_ok());
+        prop_assert_eq!(serial.unwrap(), sharded.unwrap());
+    }
+}

@@ -1,10 +1,14 @@
 //! BEEP (§7.1): locate pre-correction error-prone cells bit-exactly —
-//! including cells inside the chip-invisible parity bits — using a known
-//! ECC function.
+//! including cells inside the chip-invisible parity bits — using the ECC
+//! function recovered by BEER.
 //!
-//! Plants weak cells in simulated ECC words, runs the three BEEP phases
-//! (craft patterns → experiment → calculate), and reports precision and
-//! recall against the planted ground truth.
+//! The composed pipeline: a [`RecoverySession`] first recovers the (63,
+//! 57) code from its miscorrection profile, then the typed outcome feeds
+//! BEEP directly (`profile_recovered_word`) — anything short of a unique
+//! recovery is a typed refusal, never a silently wrong profile. Weak
+//! cells are planted in simulated ECC words, the three BEEP phases run
+//! (craft patterns → experiment → calculate), and precision/recall are
+//! reported against the planted ground truth.
 //!
 //! Run with: `cargo run --release --example beep_profiling`
 
@@ -16,13 +20,36 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(0xBEE9_0001);
 
-    // The ECC function would come from BEER in practice; here we take a
-    // (63, 57) SEC Hamming code drawn from the design space.
-    let code = hamming::random_sec(57, &mut rng);
+    // The chip's secret function: a (63, 57) SEC Hamming code drawn from
+    // the design space. BEER recovers it from retention evidence alone.
+    let secret = hamming::random_sec(57, &mut rng);
     println!(
-        "ECC function: ({}, {}) SEC Hamming code (known via BEER)",
-        code.n(),
-        code.k()
+        "secret ECC function: ({}, {}) SEC Hamming code",
+        secret.n(),
+        secret.k()
+    );
+    let mut backend = AnalyticBackend::new(secret.clone());
+    let report = RecoveryConfig::new()
+        .with_parity_bits(secret.parity_bits())
+        .with_chunked_schedule(128)
+        .session(&mut backend)
+        .run_to_completion()
+        .expect("analytic backends cannot fail");
+    println!(
+        "BEER: {} in {} round(s), {}/{} patterns",
+        if report.outcome.is_unique() {
+            "unique recovery"
+        } else {
+            "NO unique recovery"
+        },
+        report.stats.rounds,
+        report.stats.patterns_used,
+        report.stats.patterns_available,
+    );
+    let recovered = code_from_outcome(&report.outcome).expect("unique recovery");
+    assert!(
+        equivalent(recovered, &secret),
+        "recovered function must match the secret"
     );
 
     let configs = [
@@ -34,23 +61,30 @@ fn main() {
 
     for (label, n_errors, p_error, passes) in configs {
         // Plant weak cells anywhere in the codeword, parity included.
+        // BEER recovers the function up to parity-bit relabeling, so cell
+        // positions live in the recovered function's coordinate system —
+        // the target simulates the same physical device in those
+        // coordinates, exactly as BEEP sees it in practice.
         let weak: Vec<usize> = {
-            let mut v: Vec<usize> = sample(&mut rng, code.n(), n_errors).into_iter().collect();
+            let mut v: Vec<usize> = sample(&mut rng, recovered.n(), n_errors)
+                .into_iter()
+                .collect();
             v.sort_unstable();
             v
         };
-        let mut target = SimWordTarget::new(code.clone(), weak.clone(), p_error, 0xD0D0);
+        let mut target = SimWordTarget::new(recovered.clone(), weak.clone(), p_error, 0xD0D0);
         let config = BeepConfig {
             passes,
             trials_per_pattern: 4,
             ..BeepConfig::default()
         };
-        let result = profile_word(&code, &mut target, &config);
+        let result = profile_recovered_word(&report.outcome, &mut target, &config)
+            .expect("unique recovery feeds BEEP directly");
         let found = result.discovered_sorted();
 
         let tp = found.iter().filter(|f| weak.contains(f)).count();
         let fp = found.len() - tp;
-        let parity_found = found.iter().filter(|&&f| f >= code.k()).count();
+        let parity_found = found.iter().filter(|&&f| f >= recovered.k()).count();
         println!("\n== {label} ==");
         println!("   planted:    {weak:?}");
         println!("   discovered: {found:?}");

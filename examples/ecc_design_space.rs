@@ -1,14 +1,18 @@
-//! §7.2.1: informing secondary-ECC design with the recovered function.
+//! §7.2.1: informing secondary-ECC design with recovered functions.
 //!
 //! Different on-die ECC functions reshape the *post-correction* error
 //! distribution in function-specific ways even when the underlying raw
 //! errors are identical (Figure 1). A system architect adding rank-level
-//! ECC wants to know which data bits the on-die function makes
+//! ECC wants to know which data bits each on-die function makes
 //! error-prone, so protection can be weighted accordingly (§7.2.1).
 //!
-//! This example simulates the same uniform-random raw errors through three
-//! candidate ECC functions, prints the per-bit miscorrection distribution
-//! each induces, and derives the asymmetric-protection hint.
+//! The architect does not get the vendors' functions on a datasheet: a
+//! [`RecoveryFleet`] first recovers all three concurrently — one
+//! [`RecoverySession`] per manufacturer's chip model, over a shared
+//! thread budget, with deterministic per-member results. The example then
+//! simulates the same uniform-random raw errors through each *recovered*
+//! function, prints the per-bit miscorrection distribution each induces,
+//! and derives the asymmetric-protection hint.
 //!
 //! Run with: `cargo run --release --example ecc_design_space`
 
@@ -22,24 +26,53 @@ fn main() {
     let ber = 2e-2;
     let data = BitVec::ones(k); // the paper's 0xFF pattern
 
+    // ------------------------------------------------------------------
+    // Fleet recovery: one session per manufacturer, run concurrently.
+    // ------------------------------------------------------------------
+    let members: Vec<FleetMember> = Manufacturer::ALL
+        .iter()
+        .map(|&m| {
+            FleetMember::new(
+                format!("manufacturer {m}"),
+                Box::new(AnalyticBackend::new(vendor_code(m, k, 0))),
+            )
+        })
+        .collect();
+    let fleet = RecoveryConfig::new().with_chunked_schedule(64).fleet();
+    let outcomes = fleet.run(members);
+    println!(
+        "recovered {} on-die ECC functions concurrently via RecoveryFleet\n",
+        outcomes.len()
+    );
+
     println!("workload: {words} words, uniform-random raw errors at BER {ber:e}, 0xFF data\n");
 
     let mut most_skewed: Option<(Manufacturer, f64)> = None;
-    for m in Manufacturer::ALL {
-        let code = vendor_code(m, k, 0);
+    for (m, outcome) in Manufacturer::ALL.iter().zip(&outcomes) {
+        let report = outcome
+            .result
+            .as_ref()
+            .expect("analytic fleets cannot fail");
+        let code = code_from_outcome(&report.outcome).expect("vendor codes recover uniquely");
         let cfg = SimConfig {
             words,
             model: ErrorModel::UniformRandom { ber },
         };
         let mut rng = SmallRng::seed_from_u64(42);
-        let stats = simulate(&code, &data, &cfg, &mut rng);
+        let stats = simulate(code, &data, &cfg, &mut rng);
         let shares = stats.miscorrection_shares();
 
         // A simple skew metric: max/mean share.
         let mean = 1.0 / k as f64;
         let max = shares.iter().cloned().fold(0.0, f64::max);
         let skew = max / mean;
-        println!("ECC function {m} (({}, {}) code):", code.n(), code.k());
+        println!(
+            "{} (({}, {}) code, recovered in {} round(s)):",
+            outcome.label,
+            code.n(),
+            code.k(),
+            report.stats.rounds
+        );
         println!(
             "   miscorrected words: {} / {} with raw errors",
             stats.miscorrected_words, stats.words_with_pre_errors
@@ -57,7 +90,7 @@ fn main() {
         let hot_bits: Vec<usize> = hot.iter().take(4).map(|&(b, _)| b).collect();
         println!("   skew (max/mean): {skew:.2}; most miscorrection-prone bits: {hot_bits:?}\n");
         if most_skewed.is_none_or(|(_, s)| skew > s) {
-            most_skewed = Some((m, skew));
+            most_skewed = Some((*m, skew));
         }
     }
 

@@ -1,7 +1,7 @@
 //! Quickstart: recover a hidden on-die ECC function end to end.
 //!
 //! Builds a simulated DRAM chip whose on-die ECC function is "secret",
-//! runs the three BEER steps against its external interface only, and
+//! runs the whole BEER pipeline through one [`RecoverySession`], and
 //! checks the recovered parity-check matrix against the ground truth
 //! (something the paper's authors could not do on real chips — §6.1
 //! explains why simulation is the only place this check is possible).
@@ -23,73 +23,67 @@ fn main() {
         chip.n() - chip.k()
     );
     let secret = chip.reveal_code().clone();
-    let k = chip.k();
 
-    // ------------------------------------------------------------------
-    // Step 1: induce miscorrections with 1-CHARGED test patterns across a
-    // refresh-window sweep (§5.1), sharded over worker threads by the
-    // profiling engine.
-    // ------------------------------------------------------------------
+    // The experimenter's knowledge: dataword layout and cell types (here
+    // assumed; `reverse_engineer_chip.rs` probes both from scratch).
     let knowledge = ChipKnowledge::uniform(
         chip.config().word_layout,
         CellType::True,
         chip.geometry().total_rows(),
     );
     let mut backend = ChipBackend::new(Box::new(chip), knowledge);
-    let patterns = PatternSet::One.patterns(k);
-    println!("step 1: testing {} patterns...", patterns.len());
-    let profile = collect_with(
-        &mut backend,
-        &patterns,
-        &CollectionPlan::quick(),
-        &EngineOptions::default(),
-    );
-    let observations: u64 = profile.per_bit_totals().iter().sum();
-    println!("        observed {observations} miscorrections");
 
-    // ------------------------------------------------------------------
-    // Step 2: threshold-filter the observations (§5.2).
-    // ------------------------------------------------------------------
-    let constraints = profile.to_constraints(&ThresholdFilter::default());
-    println!(
-        "step 2: {} definite facts ({} positive)",
-        constraints.definite_facts(),
-        constraints.miscorrection_facts()
-    );
-
-    // ------------------------------------------------------------------
-    // Step 3: solve for the ECC function and check uniqueness (§5.3).
-    // ------------------------------------------------------------------
-    let report = solve_profile(
-        k,
-        hamming::parity_bits_for(k),
-        &constraints,
-        &BeerSolverOptions::default(),
-    )
-    .expect("well-formed constraints");
-    println!(
-        "step 3: {} solution(s) in {:?} (determine: {:?})",
-        report.solutions.len(),
-        report.total_time,
-        report.determine_time,
-    );
+    // One typed entry point for the whole pipeline: the config owns the
+    // pattern schedule, collection plan, threshold filter, and solver
+    // options; the session interleaves collection and solving (§6.3) and
+    // reports progress through typed events instead of ad-hoc printing.
+    let config = RecoveryConfig::new()
+        .with_parity_bits(secret.parity_bits())
+        .with_pattern_family(PatternSet::One);
+    let report = config
+        .session(&mut backend)
+        .with_observer(|event| match event {
+            RecoveryEvent::BatchCollected {
+                patterns,
+                observations,
+                ..
+            } => println!("step 1: {patterns} patterns tested, {observations} miscorrections"),
+            RecoveryEvent::FactsPushed {
+                new_facts,
+                pinned_vars,
+                ..
+            } => println!("step 2: {new_facts} definite facts ({pinned_vars} variables pinned)"),
+            RecoveryEvent::CheckCompleted {
+                solutions, elapsed, ..
+            } => println!("step 3: {solutions} solution(s) in {elapsed:?}"),
+            RecoveryEvent::CounterexampleRepaired { pairs, .. } => {
+                println!("        ({pairs} distinctness counterexamples repaired)")
+            }
+        })
+        .run_to_completion()
+        .expect("simulated chips cannot fail collection");
 
     // Ground-truth validation (possible only in simulation).
-    let truth = &secret;
-    match report.solutions.iter().find(|s| equivalent(s, truth)) {
-        Some(found) => {
+    match &report.outcome {
+        RecoveryOutcome::Unique(code) => {
             println!("\nrecovered parity-check sub-matrix P (canonical form):");
-            println!("{}", canonicalize(found).parity_submatrix());
-            println!("\nSUCCESS: recovered function matches the chip's secret ECC");
+            println!("{}", canonicalize(code).parity_submatrix());
+            if equivalent(code, &secret) {
+                println!("SUCCESS: recovered function matches the chip's secret ECC");
+            } else {
+                println!("FAILURE: unique function does not match ground truth");
+            }
+            println!("uniqueness: the profile admits exactly this one function");
         }
-        None => println!("\nFAILURE: recovered function does not match ground truth"),
-    }
-    if report.is_unique() {
-        println!("uniqueness: the profile admits exactly this one function");
-    } else {
-        println!(
-            "uniqueness: {} candidate functions (try PatternSet::OneTwo)",
-            report.solutions.len()
-        );
+        RecoveryOutcome::Ambiguous {
+            count, witnesses, ..
+        } => {
+            match witnesses.iter().find(|s| equivalent(s, &secret)) {
+                Some(_) => println!("\nthe secret function is among the candidates"),
+                None => println!("\nFAILURE: no candidate matches ground truth"),
+            }
+            println!("uniqueness: {count} candidate functions (try PatternSet::OneTwo)");
+        }
+        other => println!("\nunexpected outcome: {other:?}"),
     }
 }

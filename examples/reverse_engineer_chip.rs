@@ -6,6 +6,11 @@
 //! anti-cells in alternating row blocks (§5.1.1), so even *writing a test
 //! pattern* requires first learning which rows invert data.
 //!
+//! The recovery itself runs through a checkpointing [`RecoverySession`]:
+//! every collected unit is recorded into a [`ProfileTrace`], and the
+//! example replays that trace through a [`ReplayBackend`] session to show
+//! the archived experiment reproduces the outcome bit for bit.
+//!
 //! Run with: `cargo run --release --example reverse_engineer_chip`
 
 use beer::prelude::*;
@@ -47,62 +52,94 @@ fn main() {
     println!("    word layout: {:?}", knowledge.word_layout);
 
     // ---------------------------------------------------------------
-    // §5.1.3 + §5.3, interleaved: the progressive engine collects one
-    // pattern batch at a time (sharded over worker threads), streams the
-    // thresholded constraints into a live SAT session, and stops at the
-    // first batch that pins the ECC function down uniquely (§6.3).
+    // §5.1.3 + §5.3, interleaved: one session drives progressive batch
+    // collection (sharded over worker threads), streams the thresholded
+    // constraints into a live SAT session, and stops at the first batch
+    // that pins the ECC function down uniquely (§6.3). Trace recording is
+    // on, so the whole experiment is checkpointed as it runs.
     // ---------------------------------------------------------------
-    println!("\n[2] progressive collect-and-solve (§5.1.3 + §5.3 + §6.3)...");
+    println!("\n[2] recovery session: progressive collect-and-solve (§5.1.3 + §5.3 + §6.3)...");
     let secret = chip.reveal_code().clone();
     let k = chip.k();
     let mut backend = ChipBackend::new(Box::new(chip), knowledge);
-    let outcome = progressive_recover(
-        &mut backend,
-        hamming::parity_bits_for(k),
-        &progressive_batches(k, 64),
-        &CollectionPlan::quick(),
-        &ThresholdFilter::default(),
-        &BeerSolverOptions::default(),
-        &EngineOptions::default(),
-    )
-    .expect("well-formed batches");
-    let report = &outcome.report;
+    let session_config = RecoveryConfig::new()
+        .with_parity_bits(hamming::parity_bits_for(k))
+        .with_chunked_schedule(64)
+        .with_trace_recording(true);
+    let report = session_config
+        .session(&mut backend)
+        .with_observer(|event| {
+            if let RecoveryEvent::CheckCompleted {
+                round,
+                solutions,
+                elapsed,
+                ..
+            } = event
+            {
+                println!("    round {round}: {solutions} candidate function(s) ({elapsed:?})");
+            }
+        })
+        .run_to_completion()
+        .expect("simulated chips cannot fail collection");
+    let stats = &report.stats;
     println!(
-        "    {} round(s), {} of {} patterns collected, {} facts encoded",
-        outcome.rounds, outcome.patterns_used, outcome.patterns_available, outcome.facts_encoded
+        "    {} round(s), {} of {} patterns collected, {} facts encoded, {} vars pinned",
+        stats.rounds,
+        stats.patterns_used,
+        stats.patterns_available,
+        stats.facts_encoded,
+        stats.pinned_vars
     );
-    println!(
-        "    {} solution(s); total {:?}, {} vars / {} clauses",
-        report.solutions.len(),
-        outcome.total_time,
-        report.num_vars,
-        report.num_clauses
-    );
+    if let Some(check) = &report.last_check {
+        println!(
+            "    final check: {} vars / {} clauses, total {:?}",
+            check.num_vars, check.num_clauses, stats.elapsed
+        );
+    }
 
     // ---------------------------------------------------------------
     // Validation against ground truth (simulation-only luxury), plus the
     // paper's §5.1.3 EINSim-style cross-check: the recovered function's
-    // *analytic* profile must reproduce a freshly measured one.
+    // *analytic* profile must reproduce the measured one — here taken
+    // straight from the session's own checkpoint.
     // ---------------------------------------------------------------
-    let hit = report.solutions.iter().find(|s| equivalent(s, &secret));
-    match hit {
-        Some(found) => {
+    let trace = report.trace.as_ref().expect("recording was enabled");
+    match report.outcome.unique_code() {
+        Some(found) if equivalent(found, &secret) => {
             println!("\n[3] ground truth check: MATCH");
-            let patterns = PatternSet::One.patterns(k);
-            let measured = collect_with(
-                &mut backend,
-                &patterns,
-                &CollectionPlan::quick(),
-                &EngineOptions::default(),
-            )
-            .to_constraints(&ThresholdFilter::default());
-            let cross = analytic_profile(found, &patterns);
-            let disagreements = measured.disagreements(&cross);
+            let measured = trace
+                .to_profile()
+                .to_constraints(&ThresholdFilter::default());
+            let cross = analytic_profile(found, &trace.patterns);
             println!(
                 "    EINSim cross-check: {} disagreements between measured and simulated profiles",
-                disagreements.len()
+                measured.disagreements(&cross).len()
             );
         }
-        None => println!("\n[3] ground truth check: MISMATCH"),
+        Some(_) => println!("\n[3] ground truth check: MISMATCH"),
+        None => println!("\n[3] no unique function: {:?}", report.outcome),
     }
+
+    // ---------------------------------------------------------------
+    // Checkpoint replay: the recorded trace stands in for the chip — the
+    // same session config over a ReplayBackend reproduces the recovery
+    // bit for bit, without touching hardware (profile a fleet once,
+    // re-analyze forever).
+    // ---------------------------------------------------------------
+    println!("\n[4] replaying the checkpoint through a ReplayBackend session...");
+    let mut replay = ReplayBackend::new(trace.clone());
+    let replayed = RecoveryConfig::new()
+        .with_parity_bits(hamming::parity_bits_for(k))
+        .with_chunked_schedule(64)
+        .session(&mut replay)
+        .run_to_completion()
+        .expect("the checkpoint covers every batch the session re-requests");
+    let identical = match (report.outcome.unique_code(), replayed.outcome.unique_code()) {
+        (Some(a), Some(b)) => a.parity_submatrix() == b.parity_submatrix(),
+        _ => false,
+    };
+    println!(
+        "    replayed outcome identical to the live run: {}",
+        if identical { "YES" } else { "NO" }
+    );
 }

@@ -14,8 +14,11 @@
 //!
 //! ## Quickstart
 //!
-//! Recover the hidden ECC function of a simulated chip through the
-//! profiling engine (parallel collection + progressive solving):
+//! The whole pipeline — craft patterns, profile retention miscorrections,
+//! solve for the consistent ECC functions — runs through one typed entry
+//! point: a [`beer_core::recovery::RecoveryConfig`] owns every knob, and
+//! the [`beer_core::recovery::RecoverySession`] it starts drives any
+//! backend to a typed [`beer_core::recovery::RecoveryOutcome`]:
 //!
 //! ```
 //! use beer::prelude::*;
@@ -28,29 +31,25 @@
 //!     CellType::True,
 //!     chip.geometry().total_rows(),
 //! );
-//!
-//! // Steps 1+2: collect a miscorrection profile with 1-CHARGED patterns,
-//! // sharded across worker threads by the engine.
 //! let mut backend = ChipBackend::new(Box::new(chip), knowledge);
-//! let patterns = PatternSet::One.patterns(backend.k());
-//! let profile = collect_with(
-//!     &mut backend,
-//!     &patterns,
-//!     &CollectionPlan::quick(),
-//!     &EngineOptions::default(),
-//! );
 //!
-//! // Step 3: solve for every consistent ECC function.
-//! let constraints = profile.to_constraints(&ThresholdFilter::default());
-//! let report = solve_profile(
-//!     backend.k(),
-//!     secret.parity_bits(),
-//!     &constraints,
-//!     &BeerSolverOptions::default(),
-//! )
-//! .expect("well-formed constraints");
-//! assert!(report.solutions.iter().any(|s| equivalent(s, &secret)));
+//! // Steps 1–3, interleaved: batches of patterns are collected (sharded
+//! // across worker threads), threshold-filtered, and streamed into an
+//! // incremental SAT session until the ECC function is pinned down.
+//! let report = RecoveryConfig::new()
+//!     .with_parity_bits(secret.parity_bits())
+//!     .session(&mut backend)
+//!     .run_to_completion()
+//!     .expect("simulated chips cannot fail collection");
+//! match report.outcome {
+//!     RecoveryOutcome::Unique(code) => assert!(equivalent(&code, &secret)),
+//!     other => panic!("expected a unique recovery, got {other:?}"),
+//! }
 //! ```
+//!
+//! The low-level steps (`collect_with`, `solve_profile`,
+//! `ProgressiveSolver`) remain available for experiments that need to
+//! drive one stage in isolation — see the README's low-level API appendix.
 
 pub use beer_beep as beep;
 pub use beer_core as core;
@@ -63,8 +62,8 @@ pub use beer_sat as sat;
 /// The commonly used types and functions, one `use` away.
 pub mod prelude {
     pub use beer_beep::{
-        evaluate, profile_word, BeepConfig, BeepResult, DramWordTarget, EvalConfig, SimWordTarget,
-        WordTarget,
+        code_from_outcome, evaluate, profile_recovered_word, profile_word, BeepConfig, BeepResult,
+        DramWordTarget, EvalConfig, RecoveredCodeError, SimWordTarget, WordTarget,
     };
     pub use beer_core::analytic::{analytic_profile, code_matches_constraints};
     pub use beer_core::collect::{collect_profile, ChipKnowledge, CollectionPlan};
@@ -75,9 +74,12 @@ pub mod prelude {
         ProgressiveOutcome, ProgressiveSolver, SolveError,
     };
     pub use beer_core::{
-        collect_with, solve_profile, AnalyticBackend, BeerSolverOptions, ChargedSet, ChipBackend,
-        EinsimBackend, EngineOptions, MiscorrectionProfile, Observation, PatternSet,
-        ProfileConstraints, ProfileSource, ProfileTrace, ReplayBackend, SolveReport,
+        collect_with, solve_profile, try_collect_traced, try_collect_with, AnalyticBackend,
+        BeerSolverOptions, BudgetReason, CancelToken, ChargedSet, ChipBackend, EinsimBackend,
+        EngineError, EngineOptions, FleetMember, FleetOutcome, MiscorrectionProfile, Observation,
+        PatternSchedule, PatternSet, ProfileConstraints, ProfileSource, ProfileTrace,
+        RecoveryConfig, RecoveryError, RecoveryEvent, RecoveryFleet, RecoveryOutcome,
+        RecoveryReport, RecoverySession, RecoveryStats, ReplayBackend, SessionStatus, SolveReport,
         ThresholdFilter,
     };
     pub use beer_dram::{

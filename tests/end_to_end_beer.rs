@@ -2,43 +2,42 @@
 //!
 //! Exercises the full §5 pipeline — pattern programming, retention-error
 //! induction, miscorrection profiling, threshold filtering, SAT solving,
-//! and uniqueness checking — against simulated chips from all three
-//! manufacturer design styles, and validates the recovered function
-//! against the simulator's ground truth (§6.1).
+//! and uniqueness checking — through the unified `RecoverySession` entry
+//! point, against simulated chips from all three manufacturer design
+//! styles, and validates the recovered function against the simulator's
+//! ground truth (§6.1).
 
 use beer::prelude::*;
 
-fn run_pipeline(chip: &mut SimChip, set: PatternSet) -> SolveReport {
+fn run_pipeline(chip: SimChip, set: PatternSet) -> SolveReport {
     let knowledge = ChipKnowledge::uniform(
         chip.config().word_layout,
         CellType::True,
         chip.geometry().total_rows(),
     );
-    let patterns = set.patterns(chip.k());
-    let profile = collect_profile(chip, &knowledge, &patterns, &CollectionPlan::quick());
-    let constraints = profile.to_constraints(&ThresholdFilter::default());
-    solve_profile(
-        chip.k(),
-        hamming::parity_bits_for(chip.k()),
-        &constraints,
-        &BeerSolverOptions::default(),
-    )
-    .expect("well-formed constraints")
+    let k = chip.k();
+    let mut backend = ChipBackend::new(Box::new(chip), knowledge);
+    RecoveryConfig::new()
+        .with_parity_bits(hamming::parity_bits_for(k))
+        .with_pattern_family(set)
+        .session(&mut backend)
+        .run_to_completion()
+        .expect("simulated chips cannot fail collection")
+        .last_check
+        .expect("one round always runs")
 }
 
 #[test]
 fn recovers_manufacturer_a_function() {
-    let mut chip = SimChip::new(
+    let chip = SimChip::new(
         ChipConfig::lpddr4_like(Manufacturer::A, 0, 11)
             .with_geometry(Geometry::new(1, 64, 128))
             .with_word_bytes(2),
     );
-    let report = run_pipeline(&mut chip, PatternSet::One);
+    let secret = chip.reveal_code().clone();
+    let report = run_pipeline(chip, PatternSet::One);
     assert!(
-        report
-            .solutions
-            .iter()
-            .any(|s| equivalent(s, chip.reveal_code())),
+        report.solutions.iter().any(|s| equivalent(s, &secret)),
         "true function not among {} solutions",
         report.solutions.len()
     );
@@ -46,10 +45,11 @@ fn recovers_manufacturer_a_function() {
 
 #[test]
 fn recovers_manufacturer_b_function_uniquely() {
-    let mut chip = SimChip::new(ChipConfig::small_test_chip(22));
-    let report = run_pipeline(&mut chip, PatternSet::One);
+    let chip = SimChip::new(ChipConfig::small_test_chip(22));
+    let secret = chip.reveal_code().clone();
+    let report = run_pipeline(chip, PatternSet::One);
     assert!(report.is_unique(), "{} solutions", report.solutions.len());
-    assert!(equivalent(&report.solutions[0], chip.reveal_code()));
+    assert!(equivalent(&report.solutions[0], &secret));
 }
 
 #[test]
