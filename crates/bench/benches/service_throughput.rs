@@ -1,0 +1,236 @@
+//! Service scale proof: jobs/sec and cache-hit latency under concurrent
+//! multi-tenant load over `AnalyticBackend` profiles.
+//!
+//! Two modes per submitter count (1 / 8 / 64):
+//!
+//! * **dedup** — tenants submit recorded traces drawn from a small pool of
+//!   distinct profiles (the paper's "manufacturers reuse a few ECC
+//!   functions" scenario): in-flight duplicates coalesce, completed ones
+//!   hit the registry cache, so throughput decouples from solver cost.
+//! * **raw** — every job is a live `AnalyticBackend` source (opaque to
+//!   dedup): each submission pays a full recovery, measuring the worker
+//!   pool's solve throughput.
+//!
+//! A final section times submit→done latency for pure cache hits (p50 /
+//! p99): the O(1) answer path a restarted service serves from history.
+
+use beer_bench::{banner, fmt_duration, CsvArtifact, Scale};
+use beer_core::collect::CollectionPlan;
+use beer_core::engine::AnalyticBackend;
+use beer_core::pattern::PatternSet;
+use beer_core::trace::ProfileTrace;
+use beer_ecc::{equivalence, hamming, LinearCode};
+use beer_service::{JobRequest, RecoveryService, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn distinct_codes(count: usize, k: usize, seed: u64) -> Vec<LinearCode> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut codes: Vec<LinearCode> = Vec::new();
+    while codes.len() < count {
+        let candidate = hamming::random_sec(k, &mut rng);
+        if !codes.iter().any(|c| equivalence::equivalent(c, &candidate)) {
+            codes.push(candidate);
+        }
+    }
+    codes
+}
+
+fn record_trace(code: &LinearCode) -> ProfileTrace {
+    let patterns = PatternSet::OneTwo.patterns(code.k());
+    let mut backend = AnalyticBackend::new(code.clone());
+    ProfileTrace::record(&mut backend, &patterns, &CollectionPlan::quick())
+}
+
+struct RunStats {
+    jobs: usize,
+    wall: Duration,
+    solves: usize,
+    coalesced: u64,
+    cache_hits: u64,
+}
+
+/// Drives `submitters` threads through `jobs_each` submissions and waits
+/// for every job; panics on any unexpected outcome (the proof part).
+fn drive(
+    service: &Arc<RecoveryService>,
+    submitters: usize,
+    jobs_each: usize,
+    codes: &[LinearCode],
+    traces: &[ProfileTrace],
+    raw: bool,
+) -> RunStats {
+    let before = service.stats();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..submitters)
+        .map(|s| {
+            let service = Arc::clone(service);
+            let codes = codes.to_vec();
+            let traces = traces.to_vec();
+            std::thread::spawn(move || {
+                let tenant = format!("tenant-{s}");
+                let ids: Vec<_> = (0..jobs_each)
+                    .map(|j| {
+                        let which = (s + j) % traces.len();
+                        let request = if raw {
+                            JobRequest::source(
+                                &tenant,
+                                "analytic",
+                                Box::new(AnalyticBackend::new(codes[which].clone())),
+                            )
+                        } else {
+                            JobRequest::trace(&tenant, traces[which].clone())
+                        };
+                        (which, service.submit(request).expect("admitted"))
+                    })
+                    .collect();
+                for (which, id) in ids {
+                    let output = service.wait(id).expect("clean profile solves");
+                    let code = output.outcome.unique_code().expect("unique recovery");
+                    assert!(
+                        equivalence::equivalent(code, &codes[which]),
+                        "service answer disagrees with the profiled code"
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("submitter");
+    }
+    let wall = start.elapsed();
+    let after = service.stats();
+    RunStats {
+        jobs: submitters * jobs_each,
+        wall,
+        solves: (after.completed - before.completed) as usize
+            - (after.coalesced - before.coalesced) as usize
+            - (after.cache_hits - before.cache_hits) as usize,
+        coalesced: after.coalesced - before.coalesced,
+        cache_hits: after.cache_hits - before.cache_hits,
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let start = Instant::now();
+    let scale = Scale::from_env();
+    banner(
+        "service_throughput",
+        "multi-tenant recovery service: jobs/sec and cache-hit latency",
+        "dedup decouples throughput from solver cost; cache hits answer in O(1)",
+    );
+
+    let k = scale.pick3(8, 8, 16);
+    let pool = scale.pick3(2, 8, 16);
+    let dedup_jobs_each = scale.pick3(4, 24, 64);
+    let raw_jobs_each = scale.pick3(2, 6, 12);
+    let cache_probes = scale.pick3(32, 256, 1024);
+    let submitter_counts = [1usize, 8, 64];
+
+    let codes = distinct_codes(pool, k, 0x5EE7);
+    let traces: Vec<ProfileTrace> = codes.iter().map(record_trace).collect();
+    println!(
+        "k = {k}, {pool} distinct profiles, {dedup_jobs_each} dedup / {raw_jobs_each} raw jobs \
+         per submitter\n"
+    );
+
+    let mut csv = CsvArtifact::new(
+        "service_throughput",
+        &[
+            "mode",
+            "submitters",
+            "jobs",
+            "unique_profiles",
+            "wall_ms",
+            "jobs_per_sec",
+            "solves",
+            "coalesced",
+            "cache_hits",
+        ],
+    );
+    println!(
+        "{:>6} | {:>10} {:>6} {:>9} {:>11} {:>7} {:>9} {:>10}",
+        "mode", "submitters", "jobs", "wall", "jobs/sec", "solves", "coalesced", "cache hits"
+    );
+    for &submitters in &submitter_counts {
+        for raw in [false, true] {
+            let jobs_each = if raw { raw_jobs_each } else { dedup_jobs_each };
+            // A fresh service per cell: cold caches, clean counters.
+            let service = Arc::new(
+                RecoveryService::start(
+                    ServiceConfig::new().with_queue_capacity(submitters * jobs_each + 16),
+                )
+                .expect("start service"),
+            );
+            let stats = drive(&service, submitters, jobs_each, &codes, &traces, raw);
+            let mode = if raw { "raw" } else { "dedup" };
+            let jobs_per_sec = stats.jobs as f64 / stats.wall.as_secs_f64();
+            if !raw {
+                assert_eq!(stats.solves, pool.min(stats.jobs), "one solve per profile");
+            }
+            println!(
+                "{:>6} | {:>10} {:>6} {:>9} {:>11.1} {:>7} {:>9} {:>10}",
+                mode,
+                submitters,
+                stats.jobs,
+                fmt_duration(stats.wall),
+                jobs_per_sec,
+                stats.solves,
+                stats.coalesced,
+                stats.cache_hits,
+            );
+            csv.row_display(&[
+                mode.to_string(),
+                submitters.to_string(),
+                stats.jobs.to_string(),
+                pool.to_string(),
+                format!("{:.3}", stats.wall.as_secs_f64() * 1e3),
+                format!("{jobs_per_sec:.1}"),
+                stats.solves.to_string(),
+                stats.coalesced.to_string(),
+                stats.cache_hits.to_string(),
+            ]);
+        }
+    }
+
+    // Cache-hit latency: a warm service answering repeats from history.
+    let service = Arc::new(
+        RecoveryService::start(ServiceConfig::new().with_queue_capacity(pool + 16))
+            .expect("start warm service"),
+    );
+    let _ = drive(&service, 1, pool, &codes, &traces, false); // warm every profile
+    let mut latencies: Vec<Duration> = (0..cache_probes)
+        .map(|i| {
+            let t0 = Instant::now();
+            let id = service
+                .submit(JobRequest::trace("prober", traces[i % pool].clone()))
+                .expect("admitted");
+            let output = service.wait(id).expect("cache answers");
+            assert!(output.from_cache, "warm service must answer from cache");
+            t0.elapsed()
+        })
+        .collect();
+    latencies.sort();
+    let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+    println!(
+        "\ncache-hit latency over {cache_probes} probes: p50 = {}, p99 = {}",
+        fmt_duration(p50),
+        fmt_duration(p99)
+    );
+    csv.meta("cache_probes", cache_probes);
+    csv.meta("hit_p50_us", p50.as_micros());
+    csv.meta("hit_p99_us", p99.as_micros());
+    csv.meta(
+        "wall_clock_s",
+        format!("{:.3}", start.elapsed().as_secs_f64()),
+    );
+    csv.write();
+    println!("\ntotal wall clock: {}", fmt_duration(start.elapsed()));
+}

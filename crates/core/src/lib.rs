@@ -71,9 +71,9 @@ pub use engine::{
 pub use pattern::{ChargedSet, PatternSet};
 pub use profile::{MiscorrectionProfile, Observation, ProfileConstraints, ThresholdFilter};
 pub use recovery::{
-    BudgetReason, CancelToken, FleetMember, FleetOutcome, PatternSchedule, RecoveryConfig,
-    RecoveryError, RecoveryEvent, RecoveryFleet, RecoveryOutcome, RecoveryReport, RecoverySession,
-    RecoveryStats, SessionStatus,
+    lock_unpoisoned, run_session_guarded, BudgetReason, CancelToken, Fanout, FleetMember,
+    FleetOutcome, PatternSchedule, RecoveryConfig, RecoveryError, RecoveryEvent, RecoveryFleet,
+    RecoveryOutcome, RecoveryReport, RecoverySession, RecoveryStats, SessionHooks, SessionStatus,
 };
 pub use solve::{solve_profile, BeerSolverOptions, SolveReport};
-pub use trace::{ProfileTrace, ReplayBackend};
+pub use trace::{Fingerprint, ProfileTrace, ReplayBackend, TraceParseError};

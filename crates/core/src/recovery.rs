@@ -70,8 +70,20 @@ use beer_ecc::{hamming, LinearCode};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// Every shared structure of the fleet and of `beer_service` holds plain
+/// counting/slot state that is valid after any partial update, and member
+/// panics are already surfaced as typed per-member errors — so a poisoned
+/// lock must not cascade into aborting unrelated members.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 // ---------------------------------------------------------------------------
 // Errors, outcomes, events
@@ -235,6 +247,73 @@ impl CancelToken {
     /// True once [`CancelToken::cancel`] has been called.
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A cloneable broadcast channel: every value published is delivered to
+/// every live subscriber, and subscribers whose receiver was dropped are
+/// pruned on the next publish.
+///
+/// This is the event fan-out under session observability: a session's
+/// single observer callback publishes into a `Fanout<RecoveryEvent>`
+/// (see [`Fanout::observer`]) and any number of consumers subscribe;
+/// `beer_service` uses the same type to stream its per-job events to
+/// tenants.
+pub struct Fanout<T: Clone + Send> {
+    subscribers: Arc<Mutex<Vec<mpsc::Sender<T>>>>,
+}
+
+impl<T: Clone + Send> Clone for Fanout<T> {
+    fn clone(&self) -> Self {
+        Fanout {
+            subscribers: Arc::clone(&self.subscribers),
+        }
+    }
+}
+
+impl<T: Clone + Send> Default for Fanout<T> {
+    fn default() -> Self {
+        Fanout {
+            subscribers: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+impl<T: Clone + Send> Fanout<T> {
+    /// A fan-out with no subscribers yet.
+    pub fn new() -> Self {
+        Fanout::default()
+    }
+
+    /// Registers a subscriber; values published from now on arrive on the
+    /// returned receiver.
+    pub fn subscribe(&self) -> mpsc::Receiver<T> {
+        let (tx, rx) = mpsc::channel();
+        lock_unpoisoned(&self.subscribers).push(tx);
+        rx
+    }
+
+    /// Delivers `value` to every live subscriber, pruning dead ones.
+    pub fn publish(&self, value: &T) {
+        lock_unpoisoned(&self.subscribers).retain(|tx| tx.send(value.clone()).is_ok());
+    }
+
+    /// Number of currently registered subscribers (dead ones are only
+    /// pruned on publish).
+    pub fn subscriber_count(&self) -> usize {
+        lock_unpoisoned(&self.subscribers).len()
+    }
+}
+
+impl<T: Clone + Send> Fanout<T> {
+    /// An observer closure publishing every event into this fan-out —
+    /// pass it to [`RecoverySession::with_observer`].
+    pub fn observer(&self) -> impl FnMut(&T) + Send + 'static
+    where
+        T: 'static,
+    {
+        let fanout = self.clone();
+        move |event: &T| fanout.publish(event)
     }
 }
 
@@ -453,6 +532,17 @@ impl RecoveryConfig {
         }
     }
 
+    /// Patterns the configured schedule would collect for a `k`-bit
+    /// dataword — what a full session over such a source costs. Admission
+    /// control in `beer_service` sizes live-backend jobs with this.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`PatternSchedule::resolve`].
+    pub fn scheduled_patterns(&self, k: usize) -> usize {
+        self.schedule.resolve(k).iter().map(|b| b.len()).sum()
+    }
+
     /// A fleet runner over this configuration (see [`RecoveryFleet`]).
     pub fn fleet(&self) -> RecoveryFleet {
         RecoveryFleet::new(self.clone())
@@ -553,6 +643,15 @@ impl<'s> RecoverySession<'s> {
     /// Installs a progress observer (replaces any previous one).
     pub fn with_observer(mut self, observer: impl FnMut(&RecoveryEvent) + 's) -> Self {
         self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Uses an externally created cancellation token (replaces the
+    /// session's own). This lets a caller — e.g. a service holding one
+    /// token per job — arm cancellation *before* the session exists, so a
+    /// job cancelled while still queued never starts collecting.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
         self
     }
 
@@ -829,6 +928,61 @@ pub struct FleetOutcome {
     pub result: Result<RecoveryReport, RecoveryError>,
 }
 
+/// Optional per-session hooks for [`run_session_guarded`]: an external
+/// cancellation token and an event observer.
+#[derive(Default)]
+pub struct SessionHooks {
+    /// Arms the session with this token (see
+    /// [`RecoverySession::with_cancel_token`]).
+    pub cancel: Option<CancelToken>,
+    /// Progress observer (see [`RecoverySession::with_observer`]).
+    #[allow(clippy::type_complexity)]
+    pub observer: Option<Box<dyn FnMut(&RecoveryEvent) + Send>>,
+}
+
+/// Runs one configured session over `source` to completion, converting a
+/// panicking backend into a typed [`RecoveryError`] attributed to `label`
+/// instead of unwinding into the caller.
+///
+/// This is the execution core shared by [`RecoveryFleet`] workers and the
+/// `beer_service` job workers: both must guarantee that one misbehaving
+/// member/job cannot take down its siblings. Even a panic *payload* whose
+/// `Drop` panics again is contained here.
+pub fn run_session_guarded(
+    config: &RecoveryConfig,
+    label: &str,
+    source: &mut dyn ProfileSource,
+    hooks: SessionHooks,
+) -> Result<RecoveryReport, RecoveryError> {
+    let SessionHooks {
+        cancel,
+        mut observer,
+    } = hooks;
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut session = config.session(source);
+        if let Some(token) = cancel {
+            session = session.with_cancel_token(token);
+        }
+        if let Some(observer) = observer.as_mut() {
+            session = session.with_observer(move |event| observer(event));
+        }
+        session.run_to_completion()
+    }));
+    match run {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = crate::engine::panic_message(payload.as_ref());
+            // A payload whose Drop panics must not unwind out of the
+            // worker (it would poison shared locks and abort siblings).
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(payload)));
+            Err(RecoveryError::Engine(EngineError::Backend {
+                backend: label.to_string(),
+                message,
+            }))
+        }
+    }
+}
+
 /// Runs N independent recovery sessions — one per [`FleetMember`] —
 /// concurrently over a shared thread budget.
 ///
@@ -877,22 +1031,24 @@ impl RecoveryFleet {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let Some((idx, mut member)) = queue.lock().unwrap().pop_front() else {
+                    // The queue/slots locks recover from poisoning: a
+                    // panicking member is surfaced as that member's typed
+                    // error (below), never by aborting unrelated members
+                    // stuck behind a poisoned mutex.
+                    let Some((idx, mut member)) = lock_unpoisoned(&queue).pop_front() else {
                         break;
                     };
                     // A member whose backend panics must not take the rest
                     // of the fleet down: the panic becomes that member's
                     // typed error and the worker moves on.
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        config.session(member.source.as_mut()).run_to_completion()
-                    }))
-                    .unwrap_or_else(|payload| {
-                        Err(RecoveryError::Engine(EngineError::Backend {
-                            backend: format!("fleet member {:?}", member.label),
-                            message: crate::engine::panic_message(payload.as_ref()),
-                        }))
-                    });
-                    slots.lock().unwrap()[idx] = Some(FleetOutcome {
+                    let label = format!("fleet member {:?}", member.label);
+                    let result = run_session_guarded(
+                        &config,
+                        &label,
+                        member.source.as_mut(),
+                        SessionHooks::default(),
+                    );
+                    lock_unpoisoned(&slots)[idx] = Some(FleetOutcome {
                         label: member.label,
                         result,
                     });
@@ -901,7 +1057,7 @@ impl RecoveryFleet {
         });
         slots
             .into_inner()
-            .unwrap()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .into_iter()
             .map(|slot| slot.expect("every member was processed"))
             .collect()

@@ -11,8 +11,102 @@ use crate::collect::CollectionPlan;
 use crate::engine::{EngineError, EngineOptions, ProfileSource};
 use crate::pattern::ChargedSet;
 use crate::profile::MiscorrectionProfile;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::sync::Arc;
+
+/// The header line written by [`ProfileTrace::to_text`].
+pub const TRACE_HEADER_V2: &str = "beer-trace v2";
+/// The header line of the previous format version, still accepted.
+pub const TRACE_HEADER_V1: &str = "beer-profile-trace v1";
+
+/// A typed failure parsing the trace text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The header names a format version this build does not understand —
+    /// likely a trace written by a newer version of the tool. The body is
+    /// not parsed at all: a future version may have changed any record.
+    UnsupportedVersion {
+        /// The header line as found.
+        header: String,
+    },
+    /// A structural problem at a specific line (1-based).
+    Malformed {
+        /// 1-based line number of the first offending line.
+        line: usize,
+        /// What is wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::UnsupportedVersion { header } => write!(
+                f,
+                "unsupported trace format version {header:?} (this build reads \
+                 {TRACE_HEADER_V2:?}, {TRACE_HEADER_V1:?}, and headerless traces)"
+            ),
+            TraceParseError::Malformed { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// A 128-bit content hash of a *normalized* trace — see
+/// [`ProfileTrace::fingerprint`]. Two traces fingerprint identically iff
+/// they carry the same evidence: same dataword length, same pattern set,
+/// and the same per-pattern miscorrection counts and trial totals after
+/// folding away the unit split and the pattern order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({:032x})", self.0)
+    }
+}
+
+impl std::str::FromStr for Fingerprint {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        u128::from_str_radix(s, 16).map(Fingerprint)
+    }
+}
+
+/// Incremental FNV-1a over 128 bits: cheap, dependency-free, and stable
+/// across platforms and releases — the property the persistent registry
+/// needs from a fingerprint.
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+    fn new() -> Self {
+        Fnv128(Self::OFFSET)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 = (self.0 ^ u128::from(byte)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        self.0
+    }
+}
 
 /// The observations of one work unit.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -122,11 +216,53 @@ impl ProfileTrace {
         profile
     }
 
-    /// Serializes the trace to its line-based text format.
+    /// The canonical content fingerprint of the trace's *evidence*.
+    ///
+    /// Normalization folds away everything that does not change what the
+    /// solver would see: the per-unit split collapses into aggregate
+    /// per-pattern counts, patterns are ordered canonically (by their
+    /// charged-bit sets), and duplicate patterns merge their counts. A
+    /// recording sharded across 8 workers therefore fingerprints the same
+    /// as its serial twin, while any change to `k`, the pattern set, a
+    /// miscorrection count, or a trial total produces a different value.
+    ///
+    /// This is the dedup key of `beer_service`: byte-different submissions
+    /// of the same profile coalesce onto one recovery job.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let profile = self.to_profile();
+        // Merge by pattern value in canonical (sorted charged-set) order.
+        let mut entries: BTreeMap<&[usize], (u64, Vec<u64>)> = BTreeMap::new();
+        for (pi, pattern) in self.patterns.iter().enumerate() {
+            let entry = entries
+                .entry(pattern.bits())
+                .or_insert_with(|| (0, vec![0; self.k]));
+            entry.0 += profile.trials(pi);
+            for (bit, count) in entry.1.iter_mut().enumerate() {
+                *count += profile.count(pi, bit);
+            }
+        }
+        let mut h = Fnv128::new();
+        h.write_u64(self.k as u64);
+        h.write_u64(entries.len() as u64);
+        for (bits, (trials, counts)) in &entries {
+            h.write_u64(bits.len() as u64);
+            for &b in *bits {
+                h.write_u64(b as u64);
+            }
+            h.write_u64(*trials);
+            for &c in counts {
+                h.write_u64(c);
+            }
+        }
+        Fingerprint(h.finish())
+    }
+
+    /// Serializes the trace to its line-based text format (header
+    /// [`TRACE_HEADER_V2`]).
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "beer-profile-trace v1");
+        let _ = writeln!(out, "{TRACE_HEADER_V2}");
         let _ = writeln!(out, "k {}", self.k);
         for p in &self.patterns {
             let bits: Vec<String> = p.bits().iter().map(|b| b.to_string()).collect();
@@ -146,15 +282,34 @@ impl ProfileTrace {
 
     /// Parses a trace from its text format.
     ///
+    /// Accepts the current [`TRACE_HEADER_V2`] header, the previous
+    /// [`TRACE_HEADER_V1`] header, and the legacy headerless form (body
+    /// records starting directly at line 1). A header announcing a format
+    /// version this build does not know is reported as
+    /// [`TraceParseError::UnsupportedVersion`] — not as a generic parse
+    /// failure of whatever its body happens to contain.
+    ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line.
-    pub fn from_text(text: &str) -> Result<ProfileTrace, String> {
-        let mut lines = text.lines().enumerate();
-        let (_, header) = lines.next().ok_or("empty trace")?;
-        if header.trim() != "beer-profile-trace v1" {
-            return Err(format!("unknown trace header {header:?}"));
+    /// Returns a [`TraceParseError`] locating the first problem.
+    pub fn from_text(text: &str) -> Result<ProfileTrace, TraceParseError> {
+        let malformed = |line: usize, message: String| TraceParseError::Malformed { line, message };
+        let mut lines = text.lines().enumerate().peekable();
+        let Some(&(_, first)) = lines.peek() else {
+            return Err(malformed(1, "empty trace".to_string()));
+        };
+        let first = first.trim();
+        if first == TRACE_HEADER_V2 || first == TRACE_HEADER_V1 {
+            lines.next();
+        } else if first.starts_with("beer-trace") || first.starts_with("beer-profile-trace") {
+            // A recognizable header naming a version we do not read: a
+            // future format may have changed any record, so refuse to
+            // guess at the body.
+            return Err(TraceParseError::UnsupportedVersion {
+                header: first.to_string(),
+            });
         }
+        // Anything else is the legacy headerless body, parsed as-is.
         let mut k: Option<usize> = None;
         let mut patterns: Vec<ChargedSet> = Vec::new();
         let mut units: Vec<UnitTrace> = Vec::new();
@@ -165,77 +320,81 @@ impl ProfileTrace {
             }
             let mut fields = line.split_whitespace();
             let tag = fields.next().expect("non-empty line has a field");
-            let parse = |s: &str| -> Result<usize, String> {
+            let parse = |s: &str| -> Result<usize, TraceParseError> {
                 s.parse()
-                    .map_err(|_| format!("line {}: bad number {s:?}", ln + 1))
+                    .map_err(|_| malformed(ln + 1, format!("bad number {s:?}")))
+            };
+            let field = |fields: &mut std::str::SplitWhitespace| -> Result<usize, TraceParseError> {
+                let s = fields
+                    .next()
+                    .ok_or_else(|| malformed(ln + 1, "truncated record".to_string()))?;
+                parse(s)
             };
             match tag {
                 "k" => {
                     if k.is_some() {
                         // A second k line mid-file would silently rescope
                         // every later pattern; reject it.
-                        return Err(format!("line {}: duplicate k line", ln + 1));
+                        return Err(malformed(ln + 1, "duplicate k line".to_string()));
                     }
-                    let v = fields.next().ok_or(format!("line {}: missing k", ln + 1))?;
-                    k = Some(parse(v)?);
+                    k = Some(field(&mut fields)?);
                 }
                 "pattern" => {
                     if !units.is_empty() {
                         // Unit records index into the pattern list; growing
                         // it afterwards would renumber nothing and hide
                         // corrupt files.
-                        return Err(format!(
-                            "line {}: pattern declared after unit records",
-                            ln + 1
+                        return Err(malformed(
+                            ln + 1,
+                            "pattern declared after unit records".to_string(),
                         ));
                     }
-                    let k = k.ok_or(format!("line {}: pattern before k", ln + 1))?;
+                    let k = k.ok_or_else(|| malformed(ln + 1, "pattern before k".to_string()))?;
                     let mut bits: Vec<usize> = fields.map(parse).collect::<Result<_, _>>()?;
                     // Validate here — `ChargedSet::new` asserts, and a
                     // malformed file must yield Err, not a panic.
                     bits.sort_unstable();
                     if bits.windows(2).any(|w| w[0] == w[1]) {
-                        return Err(format!("line {}: duplicate charged bit", ln + 1));
+                        return Err(malformed(ln + 1, "duplicate charged bit".to_string()));
                     }
                     if bits.last().is_some_and(|&b| b >= k) {
-                        return Err(format!("line {}: charged bit out of range", ln + 1));
+                        return Err(malformed(ln + 1, "charged bit out of range".to_string()));
                     }
                     patterns.push(ChargedSet::new(bits, k));
                 }
                 "unit" => units.push(UnitTrace::default()),
                 "m" | "t" => {
+                    // The pattern list is final once units begin (enforced
+                    // above), so records range-check inline.
+                    let k = k.ok_or_else(|| malformed(ln + 1, "record before k".to_string()))?;
                     let unit = units
                         .last_mut()
-                        .ok_or(format!("line {}: record before any unit", ln + 1))?;
-                    let a = parse(fields.next().ok_or(format!("line {}: truncated", ln + 1))?)?;
+                        .ok_or_else(|| malformed(ln + 1, "record before any unit".to_string()))?;
+                    let pi = field(&mut fields)?;
+                    if pi >= patterns.len() {
+                        return Err(malformed(
+                            ln + 1,
+                            format!("pattern index {pi} out of range"),
+                        ));
+                    }
                     if tag == "m" {
-                        let bit =
-                            parse(fields.next().ok_or(format!("line {}: truncated", ln + 1))?)?;
-                        let count =
-                            parse(fields.next().ok_or(format!("line {}: truncated", ln + 1))?)?;
-                        unit.miscorrections.push((a, bit, count as u64));
+                        let bit = field(&mut fields)?;
+                        if bit >= k {
+                            return Err(malformed(ln + 1, format!("bit {bit} out of range")));
+                        }
+                        let count = field(&mut fields)?;
+                        unit.miscorrections.push((pi, bit, count as u64));
                     } else {
-                        let trials =
-                            parse(fields.next().ok_or(format!("line {}: truncated", ln + 1))?)?;
-                        unit.trials.push((a, trials as u64));
+                        let trials = field(&mut fields)?;
+                        unit.trials.push((pi, trials as u64));
                     }
                 }
-                other => return Err(format!("line {}: unknown tag {other:?}", ln + 1)),
-            }
-        }
-        let k = k.ok_or("trace has no k line")?;
-        for u in &units {
-            for &(pi, bit, _) in &u.miscorrections {
-                if pi >= patterns.len() || bit >= k {
-                    return Err(format!("record ({pi}, {bit}) out of range"));
-                }
-            }
-            for &(pi, _) in &u.trials {
-                if pi >= patterns.len() {
-                    return Err(format!("trial record for pattern {pi} out of range"));
+                other => {
+                    return Err(malformed(ln + 1, format!("unknown tag {other:?}")));
                 }
             }
         }
+        let k = k.ok_or_else(|| malformed(1, "trace has no k line".to_string()))?;
         Ok(ProfileTrace { k, patterns, units })
     }
 
@@ -493,8 +652,11 @@ mod tests {
         // Before the fix the second k silently rescoped later patterns.
         let err = ProfileTrace::from_text("beer-profile-trace v1\nk 4\npattern 0\nk 8\npattern 7")
             .unwrap_err();
-        assert!(err.contains("line 4"), "got {err:?}");
-        assert!(err.contains("duplicate k"), "got {err:?}");
+        assert!(
+            matches!(err, TraceParseError::Malformed { line: 4, .. }),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("duplicate k"), "got {err}");
     }
 
     #[test]
@@ -503,8 +665,88 @@ mod tests {
             "beer-profile-trace v1\nk 4\npattern 0\nunit\nt 0 3\npattern 1",
         )
         .unwrap_err();
-        assert!(err.contains("line 6"), "got {err:?}");
-        assert!(err.contains("after unit"), "got {err:?}");
+        assert!(
+            matches!(err, TraceParseError::Malformed { line: 6, .. }),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("after unit"), "got {err}");
+    }
+
+    #[test]
+    fn all_known_header_forms_parse_identically() {
+        let body = "k 4\npattern 0\nunit\nm 0 1 8\nt 0 8\n";
+        let v2 = ProfileTrace::from_text(&format!("{TRACE_HEADER_V2}\n{body}")).expect("v2");
+        let v1 = ProfileTrace::from_text(&format!("{TRACE_HEADER_V1}\n{body}")).expect("v1");
+        let headerless = ProfileTrace::from_text(body).expect("legacy headerless");
+        assert_eq!(v2, v1);
+        assert_eq!(v2, headerless);
+        // to_text writes the current header.
+        assert!(v2.to_text().starts_with(TRACE_HEADER_V2));
+    }
+
+    #[test]
+    fn unknown_future_versions_are_a_typed_error() {
+        for header in ["beer-trace v3", "beer-profile-trace v9", "beer-trace"] {
+            let err = ProfileTrace::from_text(&format!("{header}\nk 4\npattern 0\n"))
+                .expect_err("future versions must not parse");
+            assert_eq!(
+                err,
+                TraceParseError::UnsupportedVersion {
+                    header: header.to_string()
+                },
+                "header {header:?}"
+            );
+            assert!(err.to_string().contains(header), "got {err}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_invariant_under_unit_split_and_pattern_order() {
+        let (trace, _) = sample_trace();
+        let fp = trace.fingerprint();
+
+        // Fold every unit into one: same evidence, different split.
+        let folded = ProfileTrace {
+            k: trace.k,
+            patterns: trace.patterns.clone(),
+            units: vec![UnitTrace::from_profile(&trace.to_profile())],
+        };
+        assert_ne!(folded.units.len(), trace.units.len());
+        assert_eq!(folded.fingerprint(), fp, "unit split must not matter");
+
+        // Reverse the pattern list (remapping every record's index).
+        let n = trace.patterns.len();
+        let reversed = ProfileTrace {
+            k: trace.k,
+            patterns: trace.patterns.iter().rev().cloned().collect(),
+            units: trace
+                .units
+                .iter()
+                .map(|u| UnitTrace {
+                    miscorrections: u
+                        .miscorrections
+                        .iter()
+                        .map(|&(pi, bit, c)| (n - 1 - pi, bit, c))
+                        .collect(),
+                    trials: u.trials.iter().map(|&(pi, t)| (n - 1 - pi, t)).collect(),
+                })
+                .collect(),
+        };
+        assert_eq!(reversed.fingerprint(), fp, "pattern order must not matter");
+    }
+
+    #[test]
+    fn fingerprint_changes_with_the_evidence() {
+        let (trace, _) = sample_trace();
+        let fp = trace.fingerprint();
+
+        let mut bumped = trace.clone();
+        bumped.units[0].trials[0].1 += 1;
+        assert_ne!(bumped.fingerprint(), fp, "trial totals are evidence");
+
+        let mut grown = trace.clone();
+        grown.patterns.push(ChargedSet::new(vec![0, 1, 2], 8));
+        assert_ne!(grown.fingerprint(), fp, "the pattern set is evidence");
     }
 
     #[test]

@@ -35,6 +35,44 @@ pub fn equivalent(a: &LinearCode, b: &LinearCode) -> bool {
         && canonical_parity(a) == canonical_parity(b)
 }
 
+/// A 64-bit content hash of the code's canonical form: equal for
+/// equivalent codes (it hashes exactly what [`canonical_parity`] compares),
+/// and distinct for inequivalent codes up to FNV-1a collisions.
+///
+/// This is the key of `beer_service`'s recovered-code cache: codes
+/// recovered from different chips of one family hash into the same bucket
+/// in O(1), with [`equivalent`] confirming equality inside the bucket — so
+/// a rare collision can never conflate two ECC functions.
+pub fn canonical_hash(code: &LinearCode) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut write = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+    };
+    write(code.k() as u64);
+    write(code.parity_bits() as u64);
+    for row in canonical_parity(code).iter_rows() {
+        // Rows can exceed 64 bits (k up to 128); hash 64-bit limbs.
+        let mut limb = 0u64;
+        for (i, bit) in row.iter().enumerate() {
+            if bit {
+                limb |= 1 << (i % 64);
+            }
+            if i % 64 == 63 {
+                write(limb);
+                limb = 0;
+            }
+        }
+        if row.len() % 64 != 0 {
+            write(limb);
+        }
+    }
+    h
+}
+
 /// Applies a row permutation to a code's parity sub-matrix: `perm[i]` is
 /// the source row for destination row `i`. Used by tests to generate
 /// equivalent-but-different representations.
@@ -114,5 +152,40 @@ mod tests {
     fn permute_rejects_non_permutations() {
         let code = hamming::eq1_code();
         permute_parity_rows(&code, &[0, 0, 1]);
+    }
+
+    #[test]
+    fn canonical_hash_respects_equivalence() {
+        let code = hamming::shortened(8);
+        let permuted = permute_parity_rows(&code, &[3, 1, 0, 2]);
+        assert_eq!(canonical_hash(&code), canonical_hash(&permuted));
+
+        let b = crate::design::vendor_code(crate::design::Manufacturer::B, 11, 0);
+        let c = crate::design::vendor_code(crate::design::Manufacturer::C, 11, 0);
+        assert_ne!(canonical_hash(&b), canonical_hash(&c));
+    }
+
+    #[test]
+    fn canonical_hash_covers_rows_past_64_bits() {
+        // k = 128 rows span two hash limbs; flipping a bit in the second
+        // limb must change the hash.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE);
+        let code = hamming::random_sec(128, &mut rng);
+        let h = canonical_hash(&code);
+        let mut p = code.parity_submatrix().clone();
+        // Toggle two high columns of one row to keep the code valid with
+        // high probability; retry rows until construction succeeds.
+        for r in 0..p.rows() {
+            let mut q = p.clone();
+            q.set(r, 100, !q.get(r, 100));
+            q.set(r, 120, !q.get(r, 120));
+            if let Ok(other) = LinearCode::from_parity_submatrix(q.clone()) {
+                assert_ne!(canonical_hash(&other), h);
+                return;
+            }
+            p = code.parity_submatrix().clone();
+        }
+        panic!("no valid single-row perturbation found");
     }
 }

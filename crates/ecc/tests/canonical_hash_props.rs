@@ -1,0 +1,101 @@
+//! Property tests pinning the canonical form and its content hash — the
+//! cache key of `beer_service`'s recovered-code registry.
+//!
+//! The residual freedom BEER cannot observe (paper §4.2.1) is the labeling
+//! of the parity bits: permuting the rows of `P` — equivalently, permuting
+//! the identity columns of `H = [P | I]` together with the rows — yields a
+//! code with identical externally visible behaviour. `canonicalize` must
+//! therefore be invariant under every such permutation, and
+//! `canonical_hash` must collide exactly when `equivalent()` holds, so the
+//! service can answer "have we seen this ECC function before?" in O(1)
+//! without ever conflating two functions.
+
+use beer_ecc::{equivalence, hamming, LinearCode};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn random_code(k: usize, seed: u64) -> LinearCode {
+    hamming::random_sec(k, &mut StdRng::seed_from_u64(seed))
+}
+
+fn random_perm(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut StdRng::seed_from_u64(seed));
+    perm
+}
+
+proptest! {
+    #[test]
+    fn canonicalize_is_invariant_under_parity_relabelings(
+        k in 4usize..14,
+        seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+        perm_seed2 in any::<u64>(),
+    ) {
+        let code = random_code(k, seed);
+        let p = code.parity_bits();
+        // One permutation, and a composition of two (the permutations form
+        // a group; canonicalize must collapse all of it).
+        let once = equivalence::permute_parity_rows(&code, &random_perm(p, perm_seed));
+        let twice = equivalence::permute_parity_rows(&once, &random_perm(p, perm_seed2));
+        for permuted in [&once, &twice] {
+            prop_assert!(equivalence::equivalent(&code, permuted));
+            prop_assert_eq!(
+                equivalence::canonicalize(&code).parity_submatrix(),
+                equivalence::canonicalize(permuted).parity_submatrix()
+            );
+        }
+        // Idempotence: the canonical form is a fixed point.
+        let canon = equivalence::canonicalize(&code);
+        prop_assert_eq!(
+            canon.parity_submatrix(),
+            equivalence::canonicalize(&canon).parity_submatrix()
+        );
+    }
+
+    #[test]
+    fn canonical_hash_collides_iff_equivalent(
+        k in 4usize..14,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        let a = random_code(k, seed_a);
+        let b = random_code(k, seed_b);
+
+        // Equivalent representatives must hash identically.
+        let relabeled =
+            equivalence::permute_parity_rows(&a, &random_perm(a.parity_bits(), perm_seed));
+        prop_assert_eq!(equivalence::canonical_hash(&a), equivalence::canonical_hash(&relabeled));
+
+        // And the hash must agree with equivalent() in both directions:
+        // the hash covers exactly the canonical form, so inequivalent
+        // codes differ (up to 64-bit FNV collisions, which this sampled
+        // domain does not produce — and which the service guards against
+        // by confirming with equivalent() inside a hash bucket).
+        prop_assert_eq!(
+            equivalence::canonical_hash(&a) == equivalence::canonical_hash(&b),
+            equivalence::equivalent(&a, &b)
+        );
+    }
+
+    #[test]
+    fn canonical_hash_is_blind_to_everything_but_the_canonical_form(
+        k in 4usize..12,
+        seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        // Hashing the canonical representative directly equals hashing any
+        // member of the class: canonical_hash ∘ canonicalize = canonical_hash.
+        let code = random_code(k, seed);
+        let permuted =
+            equivalence::permute_parity_rows(&code, &random_perm(code.parity_bits(), perm_seed));
+        let canon = equivalence::canonicalize(&permuted);
+        prop_assert_eq!(
+            equivalence::canonical_hash(&canon),
+            equivalence::canonical_hash(&code)
+        );
+    }
+}

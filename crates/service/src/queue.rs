@@ -1,0 +1,244 @@
+//! The bounded, tenant-fair priority queue behind the service.
+//!
+//! Scheduling policy, in order:
+//!
+//! 1. **Fairness across tenants.** Tenants with queued work are served
+//!    round-robin: each pop takes from the least recently served tenant,
+//!    so a tenant submitting thousands of jobs cannot starve one
+//!    submitting a single job.
+//! 2. **Priority within a tenant.** Among one tenant's jobs, higher
+//!    [`Priority`] first, FIFO within equal priority.
+//! 3. **Bounded admission.** The total queue is capacity-bounded; a full
+//!    queue rejects with typed [`Rejected::QueueFull`] backpressure
+//!    instead of growing without bound.
+
+use crate::job::{Priority, Rejected};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+struct Entry<T> {
+    priority: Priority,
+    /// Admission order, inverted so the heap pops oldest-first within a
+    /// priority class.
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The scheduler data structure (see the module docs). Generic over the
+/// queued item so it unit-tests without the full job machinery.
+pub(crate) struct FairScheduler<T> {
+    capacity: usize,
+    len: usize,
+    seq: u64,
+    /// Tenants with at least one queued entry, in round-robin order.
+    rotation: VecDeque<String>,
+    queues: HashMap<String, BinaryHeap<Entry<T>>>,
+}
+
+impl<T> FairScheduler<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        FairScheduler {
+            capacity,
+            len: 0,
+            seq: 0,
+            rotation: VecDeque::new(),
+            queues: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Admits an item, applying the capacity bound.
+    pub(crate) fn push(
+        &mut self,
+        tenant: &str,
+        priority: Priority,
+        item: T,
+    ) -> Result<(), Rejected> {
+        if self.len >= self.capacity {
+            return Err(Rejected::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        self.requeue(tenant, priority, item);
+        Ok(())
+    }
+
+    /// Admits an item bypassing the capacity bound — used to promote a
+    /// coalesced waiter whose primary was cancelled (the waiter was
+    /// already admitted once; bouncing it now would lose an accepted job).
+    pub(crate) fn requeue(&mut self, tenant: &str, priority: Priority, item: T) {
+        let queue = self.queues.entry(tenant.to_string()).or_default();
+        if queue.is_empty() {
+            self.rotation.push_back(tenant.to_string());
+        }
+        queue.push(Entry {
+            priority,
+            seq: self.seq,
+            item,
+        });
+        self.seq += 1;
+        self.len += 1;
+    }
+
+    /// Removes a specific queued item (a cancelled job must not keep
+    /// holding queue capacity or a fairness turn). Returns whether it was
+    /// present.
+    pub(crate) fn remove(&mut self, tenant: &str, item: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let Some(queue) = self.queues.get_mut(tenant) else {
+            return false;
+        };
+        let before = queue.len();
+        let kept: Vec<Entry<T>> = queue.drain().filter(|e| e.item != *item).collect();
+        *queue = kept.into_iter().collect();
+        let removed = before - queue.len();
+        if removed == 0 {
+            return false;
+        }
+        self.len -= removed;
+        if queue.is_empty() {
+            self.queues.remove(tenant);
+            self.rotation.retain(|t| t != tenant);
+        }
+        true
+    }
+
+    /// Takes the next item per the scheduling policy.
+    pub(crate) fn pop(&mut self) -> Option<T> {
+        let tenant = self.rotation.pop_front()?;
+        let queue = self
+            .queues
+            .get_mut(&tenant)
+            .expect("rotation names only tenants with queues");
+        let entry = queue.pop().expect("rotation names only non-empty queues");
+        if queue.is_empty() {
+            self.queues.remove(&tenant);
+        } else {
+            self.rotation.push_back(tenant);
+        }
+        self.len -= 1;
+        Some(entry.item)
+    }
+
+    /// Drains everything (shutdown path), in no particular order.
+    pub(crate) fn drain(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for (_, queue) in self.queues.drain() {
+            out.extend(queue.into_iter().map(|e| e.item));
+        }
+        self.rotation.clear();
+        self.len = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_across_tenants() {
+        let mut q = FairScheduler::new(16);
+        // Tenant a floods the queue before tenant b submits one job.
+        for i in 0..5 {
+            q.push("a", Priority::Normal, format!("a{i}")).unwrap();
+        }
+        q.push("b", Priority::Normal, "b0".to_string()).unwrap();
+        assert_eq!(q.pop().unwrap(), "a0");
+        // b is served on the very next pop despite a's backlog.
+        assert_eq!(q.pop().unwrap(), "b0");
+        assert_eq!(q.pop().unwrap(), "a1");
+        assert_eq!(q.pop().unwrap(), "a2");
+    }
+
+    #[test]
+    fn priority_then_fifo_within_a_tenant() {
+        let mut q = FairScheduler::new(16);
+        q.push("t", Priority::Low, "low0").unwrap();
+        q.push("t", Priority::Normal, "norm0").unwrap();
+        q.push("t", Priority::High, "high0").unwrap();
+        q.push("t", Priority::High, "high1").unwrap();
+        q.push("t", Priority::Normal, "norm1").unwrap();
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["high0", "high1", "norm0", "norm1", "low0"]);
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_a_typed_rejection() {
+        let mut q = FairScheduler::new(2);
+        q.push("t", Priority::Normal, 1).unwrap();
+        q.push("u", Priority::Normal, 2).unwrap();
+        assert_eq!(
+            q.push("v", Priority::Normal, 3),
+            Err(Rejected::QueueFull { capacity: 2 })
+        );
+        // Popping frees capacity again.
+        q.pop().unwrap();
+        q.push("v", Priority::Normal, 3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity() {
+        let mut q = FairScheduler::new(1);
+        q.push("t", Priority::Normal, 1).unwrap();
+        q.requeue("t", Priority::High, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn remove_frees_capacity_and_fairness_turns() {
+        let mut q = FairScheduler::new(2);
+        q.push("a", Priority::Normal, 1).unwrap();
+        q.push("b", Priority::Normal, 2).unwrap();
+        assert!(q.remove("a", &1));
+        assert!(!q.remove("a", &1), "already gone");
+        assert!(!q.remove("ghost", &9));
+        // The slot is free again and tenant a no longer takes a turn.
+        q.push("c", Priority::Normal, 3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drain_empties_everything() {
+        let mut q = FairScheduler::new(8);
+        for t in ["a", "b", "c"] {
+            q.push(t, Priority::Normal, t.to_string()).unwrap();
+        }
+        let mut drained = q.drain();
+        drained.sort();
+        assert_eq!(drained, ["a", "b", "c"]);
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+    }
+}

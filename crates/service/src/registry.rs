@@ -1,0 +1,627 @@
+//! The persistent code registry: an append-only log of completed job
+//! records and recovered canonical codes.
+//!
+//! The BEER paper's key economic observation is that manufacturers reuse a
+//! small set of on-die ECC functions across many chips — so a recovered
+//! function is a durable, shareable artifact. The registry makes it one:
+//!
+//! * **Append-only log.** Every completed trace job appends its record
+//!   (profile fingerprint → outcome); a `Unique` outcome first appends the
+//!   recovered canonical code, deduplicated by
+//!   [`equivalence::canonical_hash`] so a function recovered from a
+//!   thousand chips is stored once. Records are flushed per append.
+//! * **Crash-recovery replay.** [`Registry::open`] replays the log,
+//!   tolerating a truncated or corrupt tail (a crash mid-append): bad
+//!   lines are counted and skipped, never propagated as parse failures.
+//! * **Snapshot/compact.** [`Registry::compact`] rewrites the log as a
+//!   minimal snapshot (atomically, via a temp file + rename), bounding
+//!   replay time for long-lived services.
+//! * **Queries.** By profile [`Fingerprint`], by code dimensions `(n, k)`,
+//!   and by canonical-code equality — each O(1) or O(matches).
+
+use crate::job::CodeOutcome;
+use beer_core::recovery::BudgetReason;
+use beer_core::trace::Fingerprint;
+use beer_ecc::{equivalence, LinearCode};
+use beer_gf2::{BitMatrix, BitVec};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// First line of every registry file.
+pub const REGISTRY_HEADER: &str = "beer-registry v1";
+
+/// A completed job's durable record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Fingerprint of the normalized profile the job solved.
+    pub fingerprint: Fingerprint,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The outcome summary (`Unique` resolved to the canonical code).
+    pub outcome: CodeOutcome,
+}
+
+/// One recovered ECC function (equivalence class), stored once no matter
+/// how many profiles recovered it.
+#[derive(Clone, Debug)]
+pub struct CodeEntry {
+    /// [`equivalence::canonical_hash`] of the code.
+    pub hash: u64,
+    /// The canonical representative.
+    pub code: LinearCode,
+    /// Every profile fingerprint that recovered this function — the
+    /// "same ECC function across many chips" evidence.
+    pub fingerprints: Vec<Fingerprint>,
+}
+
+/// The registry (see the module docs). In-memory maps mirror the log.
+pub struct Registry {
+    path: Option<PathBuf>,
+    file: Option<File>,
+    records: HashMap<Fingerprint, JobRecord>,
+    /// canonical hash → entries; the bucket confirms with
+    /// [`equivalence::equivalent`], so a hash collision cannot conflate
+    /// two functions.
+    codes: HashMap<u64, Vec<CodeEntry>>,
+    code_count: usize,
+    appended: usize,
+    skipped_lines: usize,
+}
+
+impl Registry {
+    /// A registry with no backing file: state lives for the process only.
+    pub fn in_memory() -> Self {
+        Registry {
+            path: None,
+            file: None,
+            records: HashMap::new(),
+            codes: HashMap::new(),
+            code_count: 0,
+            appended: 0,
+            skipped_lines: 0,
+        }
+    }
+
+    /// Opens (creating if absent) a file-backed registry, replaying the
+    /// log into memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and refuses a file whose header names an
+    /// unknown format version. Corrupt *body* lines — e.g. a torn tail
+    /// from a crash mid-append — are skipped and counted
+    /// ([`Registry::skipped_lines`]), not errors.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Registry> {
+        let path = path.as_ref().to_path_buf();
+        let mut registry = Registry::in_memory();
+        registry.path = Some(path.clone());
+        match std::fs::read_to_string(&path) {
+            Ok(text) => registry.replay(&text)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                std::fs::write(&path, format!("{REGISTRY_HEADER}\n"))?;
+            }
+            Err(e) => return Err(e),
+        }
+        registry.file = Some(OpenOptions::new().append(true).create(true).open(&path)?);
+        Ok(registry)
+    }
+
+    fn replay(&mut self, text: &str) -> io::Result<()> {
+        let mut lines = text.lines();
+        match lines.next() {
+            None | Some("") => {} // empty file: treat as fresh
+            Some(REGISTRY_HEADER) => {}
+            Some(other) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown registry header {other:?} (expected {REGISTRY_HEADER:?})"),
+                ));
+            }
+        }
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if self.replay_line(line).is_none() {
+                self.skipped_lines += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn replay_line(&mut self, line: &str) -> Option<()> {
+        let mut fields = line.split_whitespace();
+        match fields.next()? {
+            "code" => {
+                let hash = u64::from_str_radix(fields.next()?, 16).ok()?;
+                let p: usize = fields.next()?.parse().ok()?;
+                let k: usize = fields.next()?.parse().ok()?;
+                let rows: Vec<BitVec> = (0..p)
+                    .map(|_| fields.next().and_then(|hex| row_from_hex(hex, k)))
+                    .collect::<Option<_>>()?;
+                let code = LinearCode::from_parity_submatrix(BitMatrix::from_rows(&rows)).ok()?;
+                // The stored form must already be canonical and must hash
+                // to its own key — otherwise the line is corrupt.
+                if equivalence::canonical_hash(&code) != hash {
+                    return None;
+                }
+                self.insert_code(code);
+            }
+            "job" => {
+                let fingerprint: Fingerprint = fields.next()?.parse().ok()?;
+                let tenant = fields.next()?.to_string();
+                let outcome = match fields.next()? {
+                    "unique" => {
+                        let hash = u64::from_str_radix(fields.next()?, 16).ok()?;
+                        let idx: usize = fields.next()?.parse().ok()?;
+                        // The code line always precedes its job lines; the
+                        // explicit bucket index keeps the reference exact
+                        // even if two inequivalent codes collide on the
+                        // 64-bit hash (bucket order is append order, which
+                        // both replay and compaction preserve).
+                        let entry = self.codes.get_mut(&hash)?.get_mut(idx)?;
+                        if !entry.fingerprints.contains(&fingerprint) {
+                            entry.fingerprints.push(fingerprint);
+                        }
+                        CodeOutcome::Unique(entry.code.clone())
+                    }
+                    "ambiguous" => CodeOutcome::Ambiguous {
+                        count: fields.next()?.parse().ok()?,
+                        truncated: fields.next()? == "1",
+                    },
+                    "inconsistent" => CodeOutcome::Inconsistent,
+                    "exhausted" => CodeOutcome::BudgetExhausted {
+                        reason: reason_from_str(fields.next()?)?,
+                    },
+                    _ => return None,
+                };
+                self.records.insert(
+                    fingerprint,
+                    JobRecord {
+                        fingerprint,
+                        tenant,
+                        outcome,
+                    },
+                );
+            }
+            _ => return None,
+        }
+        Some(())
+    }
+
+    /// Inserts a canonical code into the in-memory index if absent;
+    /// returns `(was_new, bucket index)`.
+    fn insert_code(&mut self, code: LinearCode) -> (bool, usize) {
+        let hash = equivalence::canonical_hash(&code);
+        let bucket = self.codes.entry(hash).or_default();
+        if let Some(idx) = bucket
+            .iter()
+            .position(|e| equivalence::equivalent(&e.code, &code))
+        {
+            return (false, idx);
+        }
+        bucket.push(CodeEntry {
+            hash,
+            code,
+            fingerprints: Vec::new(),
+        });
+        self.code_count += 1;
+        (true, bucket.len() - 1)
+    }
+
+    /// Records a completed job, appending to the log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the append (in-memory state is updated
+    /// regardless, so a full disk degrades durability, not service).
+    pub fn record(
+        &mut self,
+        fingerprint: Fingerprint,
+        tenant: &str,
+        outcome: &CodeOutcome,
+    ) -> io::Result<()> {
+        let mut log = String::new();
+        let outcome = match outcome {
+            CodeOutcome::Unique(code) => {
+                let canonical = equivalence::canonicalize(code);
+                let hash = equivalence::canonical_hash(&canonical);
+                let (was_new, idx) = self.insert_code(canonical.clone());
+                if was_new {
+                    log.push_str(&code_line(hash, &canonical));
+                }
+                let entry = &mut self.codes.get_mut(&hash).expect("just inserted")[idx];
+                if !entry.fingerprints.contains(&fingerprint) {
+                    entry.fingerprints.push(fingerprint);
+                }
+                log.push_str(&format!(
+                    "job {fingerprint} {tenant} unique {hash:016x} {idx}\n"
+                ));
+                CodeOutcome::Unique(canonical)
+            }
+            CodeOutcome::Ambiguous { count, truncated } => {
+                log.push_str(&format!(
+                    "job {fingerprint} {tenant} ambiguous {count} {}\n",
+                    u8::from(*truncated)
+                ));
+                outcome.clone()
+            }
+            CodeOutcome::Inconsistent => {
+                log.push_str(&format!("job {fingerprint} {tenant} inconsistent\n"));
+                outcome.clone()
+            }
+            CodeOutcome::BudgetExhausted { reason } => {
+                log.push_str(&format!(
+                    "job {fingerprint} {tenant} exhausted {}\n",
+                    reason_to_str(*reason)
+                ));
+                outcome.clone()
+            }
+        };
+        self.records.insert(
+            fingerprint,
+            JobRecord {
+                fingerprint,
+                tenant: tenant.to_string(),
+                outcome,
+            },
+        );
+        self.appended += 1;
+        // A file-backed registry that lost its append handle (e.g. a
+        // failed compaction) re-opens it here rather than silently
+        // dropping durability.
+        if self.file.is_none() {
+            if let Some(path) = &self.path {
+                self.file = Some(OpenOptions::new().append(true).create(true).open(path)?);
+            }
+        }
+        if let Some(file) = &mut self.file {
+            file.write_all(log.as_bytes())?;
+            file.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The record for a profile fingerprint, if one completed before.
+    pub fn lookup_fingerprint(&self, fingerprint: Fingerprint) -> Option<&JobRecord> {
+        self.records.get(&fingerprint)
+    }
+
+    /// The stored entry for a code equivalent to `code`, in O(1) via the
+    /// canonical hash.
+    pub fn lookup_code(&self, code: &LinearCode) -> Option<&CodeEntry> {
+        self.codes
+            .get(&equivalence::canonical_hash(code))?
+            .iter()
+            .find(|e| equivalence::equivalent(&e.code, code))
+    }
+
+    /// Every stored code with codeword length `n` and dataword length `k`.
+    pub fn lookup_dims(&self, n: usize, k: usize) -> Vec<&CodeEntry> {
+        let mut out: Vec<&CodeEntry> = self
+            .codes
+            .values()
+            .flatten()
+            .filter(|e| e.code.n() == n && e.code.k() == k)
+            .collect();
+        out.sort_by_key(|e| e.hash);
+        out
+    }
+
+    /// Number of stored job records.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of distinct stored codes (equivalence classes).
+    pub fn code_count(&self) -> usize {
+        self.code_count
+    }
+
+    /// Records appended since the last compaction (or open).
+    pub fn appended_since_compact(&self) -> usize {
+        self.appended
+    }
+
+    /// Corrupt lines skipped during the last replay.
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// Rewrites the log as a minimal snapshot of the current state,
+    /// atomically (temp file + rename). No-op for in-memory registries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the previous log stays intact on failure.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let Some(path) = self.path.clone() else {
+            self.appended = 0;
+            return Ok(());
+        };
+        let mut snapshot = format!("{REGISTRY_HEADER}\n");
+        let mut entries: Vec<&CodeEntry> = self.codes.values().flatten().collect();
+        entries.sort_by_key(|e| e.hash);
+        for entry in &entries {
+            snapshot.push_str(&code_line(entry.hash, &entry.code));
+        }
+        let mut records: Vec<&JobRecord> = self.records.values().collect();
+        records.sort_by_key(|r| r.fingerprint);
+        for record in records {
+            let JobRecord {
+                fingerprint,
+                tenant,
+                outcome,
+            } = record;
+            match outcome {
+                CodeOutcome::Unique(code) => {
+                    let hash = equivalence::canonical_hash(code);
+                    // Stable sort + flatten preserve bucket-internal
+                    // (append) order, so the index survives the snapshot.
+                    let idx = self
+                        .codes
+                        .get(&hash)
+                        .and_then(|b| {
+                            b.iter()
+                                .position(|e| equivalence::equivalent(&e.code, code))
+                        })
+                        .expect("recorded code is indexed");
+                    snapshot.push_str(&format!(
+                        "job {fingerprint} {tenant} unique {hash:016x} {idx}\n"
+                    ));
+                }
+                CodeOutcome::Ambiguous { count, truncated } => {
+                    snapshot.push_str(&format!(
+                        "job {fingerprint} {tenant} ambiguous {count} {}\n",
+                        u8::from(*truncated)
+                    ));
+                }
+                CodeOutcome::Inconsistent => {
+                    snapshot.push_str(&format!("job {fingerprint} {tenant} inconsistent\n"));
+                }
+                CodeOutcome::BudgetExhausted { reason } => {
+                    snapshot.push_str(&format!(
+                        "job {fingerprint} {tenant} exhausted {}\n",
+                        reason_to_str(*reason)
+                    ));
+                }
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, snapshot)?;
+        self.file = None; // close the old append handle first
+        let renamed = std::fs::rename(&tmp, &path);
+        // Restore an append handle to whichever file now lives at `path` —
+        // the new snapshot on success, the intact old log on failure — so
+        // a failed compaction never silently drops later appends (record()
+        // also re-opens lazily as a second line of defense).
+        self.file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .ok();
+        renamed?;
+        self.appended = 0;
+        Ok(())
+    }
+}
+
+fn code_line(hash: u64, code: &LinearCode) -> String {
+    use std::fmt::Write as _;
+    let p = code.parity_submatrix();
+    let mut line = format!("code {hash:016x} {} {}", p.rows(), p.cols());
+    for row in p.iter_rows() {
+        let _ = write!(line, " {}", row_to_hex(row));
+    }
+    line.push('\n');
+    line
+}
+
+/// Bits → hex nibbles, bit `j` at weight `1 << (j % 4)` of nibble `j / 4`.
+fn row_to_hex(row: &BitVec) -> String {
+    let mut s = String::with_capacity(row.len().div_ceil(4));
+    for nib in 0..row.len().div_ceil(4) {
+        let mut v = 0u32;
+        for b in 0..4 {
+            let i = nib * 4 + b;
+            if i < row.len() && row.get(i) {
+                v |= 1 << b;
+            }
+        }
+        s.push(char::from_digit(v, 16).expect("nibble"));
+    }
+    s
+}
+
+fn row_from_hex(s: &str, k: usize) -> Option<BitVec> {
+    if s.len() != k.div_ceil(4) {
+        return None;
+    }
+    let mut row = BitVec::zeros(k);
+    for (nib, c) in s.chars().enumerate() {
+        let v = c.to_digit(16)?;
+        for b in 0..4 {
+            let i = nib * 4 + b;
+            if v & (1 << b) != 0 {
+                if i >= k {
+                    return None; // padding bits must be zero
+                }
+                row.set(i, true);
+            }
+        }
+    }
+    Some(row)
+}
+
+fn reason_to_str(reason: BudgetReason) -> &'static str {
+    match reason {
+        BudgetReason::Deadline => "deadline",
+        BudgetReason::Cancelled => "cancelled",
+        BudgetReason::MaxFacts => "maxfacts",
+        BudgetReason::MaxPatterns => "maxpatterns",
+    }
+}
+
+fn reason_from_str(s: &str) -> Option<BudgetReason> {
+    Some(match s {
+        "deadline" => BudgetReason::Deadline,
+        "cancelled" => BudgetReason::Cancelled,
+        "maxfacts" => BudgetReason::MaxFacts,
+        "maxpatterns" => BudgetReason::MaxPatterns,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beer_ecc::hamming;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("beer_registry_{name}_{}", std::process::id()))
+    }
+
+    fn fp(n: u128) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    #[test]
+    fn row_hex_roundtrip_covers_odd_widths() {
+        for k in [1, 4, 7, 11, 64, 91, 128] {
+            let mut row = BitVec::zeros(k);
+            for i in (0..k).step_by(3) {
+                row.set(i, true);
+            }
+            let hex = row_to_hex(&row);
+            assert_eq!(row_from_hex(&hex, k).expect("roundtrip"), row, "k={k}");
+        }
+        // Padding bits must be zero.
+        assert!(row_from_hex("f", 2).is_none());
+        assert!(row_from_hex("zz", 8).is_none());
+    }
+
+    #[test]
+    fn persists_and_replays_across_reopen() {
+        let path = temp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        let code = hamming::shortened(8);
+        {
+            let mut reg = Registry::open(&path).expect("open fresh");
+            reg.record(fp(1), "alice", &CodeOutcome::Unique(code.clone()))
+                .expect("record");
+            reg.record(
+                fp(2),
+                "bob",
+                &CodeOutcome::Ambiguous {
+                    count: 3,
+                    truncated: false,
+                },
+            )
+            .expect("record");
+            reg.record(fp(3), "bob", &CodeOutcome::Inconsistent)
+                .expect("record");
+        }
+        let reg = Registry::open(&path).expect("reopen");
+        assert_eq!(reg.record_count(), 3);
+        assert_eq!(reg.code_count(), 1);
+        assert_eq!(reg.skipped_lines(), 0);
+        let rec = reg.lookup_fingerprint(fp(1)).expect("record survives");
+        assert_eq!(rec.tenant, "alice");
+        let recovered = rec.outcome.unique_code().expect("unique");
+        assert!(equivalence::equivalent(recovered, &code));
+        assert_eq!(
+            reg.lookup_fingerprint(fp(2)).unwrap().outcome,
+            CodeOutcome::Ambiguous {
+                count: 3,
+                truncated: false
+            }
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn code_is_stored_once_across_equivalent_recoveries() {
+        let mut reg = Registry::in_memory();
+        let code = hamming::shortened(10);
+        let relabeled = equivalence::permute_parity_rows(&code, &[3, 0, 2, 1]);
+        reg.record(fp(10), "a", &CodeOutcome::Unique(code.clone()))
+            .expect("record");
+        reg.record(fp(11), "b", &CodeOutcome::Unique(relabeled))
+            .expect("record");
+        assert_eq!(reg.code_count(), 1, "equivalent codes share one entry");
+        let entry = reg.lookup_code(&code).expect("by canonical equality");
+        assert_eq!(entry.fingerprints, vec![fp(10), fp(11)]);
+        assert_eq!(reg.lookup_dims(code.n(), code.k()).len(), 1);
+        assert!(reg.lookup_dims(99, 98).is_empty());
+    }
+
+    #[test]
+    fn corrupt_tail_is_skipped_not_fatal() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut reg = Registry::open(&path).expect("open");
+            reg.record(fp(7), "t", &CodeOutcome::Unique(hamming::shortened(8)))
+                .expect("record");
+        }
+        // Simulate a crash mid-append: a torn job line and pure garbage.
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("job deadbeef\n");
+        text.push_str("???\n");
+        std::fs::write(&path, &text).expect("write");
+
+        let reg = Registry::open(&path).expect("reopen with torn tail");
+        assert_eq!(reg.record_count(), 1, "intact records survive");
+        assert_eq!(reg.skipped_lines(), 2, "torn lines are counted");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_header_version_is_refused() {
+        let path = temp_path("future");
+        std::fs::write(&path, "beer-registry v9\n").expect("write");
+        let err = match Registry::open(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("future versions must not replay"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_produces_a_minimal_equivalent_snapshot() {
+        let path = temp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut rng = StdRng::seed_from_u64(7);
+        let codes: Vec<LinearCode> = (0..3).map(|_| hamming::random_sec(12, &mut rng)).collect();
+        {
+            let mut reg = Registry::open(&path).expect("open");
+            // Every record appended twice (an upsert re-appends): the log
+            // grows, the state doesn't — exactly what compaction reclaims.
+            for round in 0..2 {
+                for i in 0..20u128 {
+                    let code = &codes[(i % 3) as usize];
+                    reg.record(fp(100 + i), "t", &CodeOutcome::Unique(code.clone()))
+                        .unwrap_or_else(|e| panic!("record round {round}: {e}"));
+                }
+            }
+            assert_eq!(reg.appended_since_compact(), 40);
+            let before = std::fs::metadata(&path).expect("meta").len();
+            reg.compact().expect("compact");
+            assert_eq!(reg.appended_since_compact(), 0);
+            let after = std::fs::metadata(&path).expect("meta").len();
+            assert!(after < before, "snapshot must shrink the log");
+        }
+        let reg = Registry::open(&path).expect("reopen snapshot");
+        assert_eq!(reg.record_count(), 20);
+        assert_eq!(reg.code_count(), codes.len());
+        for code in &codes {
+            assert!(reg.lookup_code(code).is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

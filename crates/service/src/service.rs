@@ -1,0 +1,899 @@
+//! The long-running, multi-tenant recovery service.
+//!
+//! ```text
+//!  tenants ──submit──▶ admission ──▶ fair queue ──▶ worker pool ──▶ registry
+//!                        │  │            (bounded,     (guarded        (append-only
+//!                        │  │             round-robin,  sessions,       log + cache)
+//!                        │  └─ cache hit  priority)     serial engine)
+//!                        └──── coalesce onto in-flight fingerprint
+//! ```
+//!
+//! Submissions pass three gates before costing a worker: the *registry
+//! cache* (a completed record for the same profile fingerprint answers in
+//! O(1) without solving), *in-flight coalescing* (an identical queued or
+//! running profile absorbs the submission as a waiter), and *admission
+//! control* (typed [`Rejected`] backpressure once the bounded queue is
+//! full). Jobs that do run are driven by a fixed worker pool through
+//! [`run_session_guarded`] — the same guarded execution core as
+//! [`RecoveryFleet`](beer_core::recovery::RecoveryFleet), so a panicking
+//! backend becomes that job's typed failure, never the pool's.
+
+use crate::job::{
+    CodeOutcome, JobError, JobEvent, JobId, JobInput, JobOutput, JobRequest, JobResult, JobState,
+    Priority, Rejected,
+};
+use crate::queue::FairScheduler;
+use crate::registry::{CodeEntry, JobRecord, Registry};
+use beer_core::engine::{EngineOptions, ProfileSource};
+use beer_core::recovery::{
+    lock_unpoisoned, run_session_guarded, BudgetReason, CancelToken, Fanout, RecoveryConfig,
+    RecoveryEvent, RecoveryOutcome, SessionHooks,
+};
+use beer_core::trace::{Fingerprint, ProfileTrace, ReplayBackend};
+use beer_ecc::{equivalence, LinearCode};
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of a [`RecoveryService`].
+pub struct ServiceConfig {
+    /// Worker threads (`0` = the machine's available parallelism). Each
+    /// worker drives one session at a time with a serial collection
+    /// engine, so this bounds total parallelism exactly like a
+    /// [`RecoveryFleet`](beer_core::recovery::RecoveryFleet)'s thread
+    /// budget.
+    pub workers: usize,
+    /// Bounded queue capacity; beyond it, [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// Per-job size ceiling in patterns; beyond it,
+    /// [`Rejected::TooLarge`].
+    pub max_patterns: usize,
+    /// Backing file for the persistent registry (`None` = in-memory).
+    pub registry_path: Option<PathBuf>,
+    /// Auto-compact the registry log after this many appended records.
+    pub compact_after: usize,
+    /// How many *terminal* jobs to retain in memory for `status`/`wait`/
+    /// `result` queries; older terminal jobs are evicted (their ids then
+    /// answer [`JobError::Unknown`](crate::JobError::Unknown)), bounding
+    /// memory in a long-running service. `0` retains everything.
+    pub retained_jobs: usize,
+    /// The recovery pipeline configuration every job runs under. Trace
+    /// jobs replay against this schedule, so submitted traces must cover
+    /// the patterns it requests (record them over the same schedule).
+    pub recovery: RecoveryConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 256,
+            max_patterns: 1 << 16,
+            registry_path: None,
+            compact_after: 4096,
+            retained_jobs: 4096,
+            recovery: RecoveryConfig::new(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration (see the field docs).
+    pub fn new() -> Self {
+        ServiceConfig::default()
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Overrides the per-job pattern ceiling.
+    pub fn with_max_patterns(mut self, max_patterns: usize) -> Self {
+        self.max_patterns = max_patterns;
+        self
+    }
+
+    /// Backs the registry with a file, surviving restarts.
+    pub fn with_registry_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.registry_path = Some(path.into());
+        self
+    }
+
+    /// Overrides the auto-compaction threshold.
+    pub fn with_compact_after(mut self, records: usize) -> Self {
+        self.compact_after = records;
+        self
+    }
+
+    /// Overrides the terminal-job retention bound (`0` = retain all).
+    pub fn with_retained_jobs(mut self, retained: usize) -> Self {
+        self.retained_jobs = retained;
+        self
+    }
+
+    /// Overrides the recovery pipeline configuration.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+}
+
+/// Service counters and gauges (see [`RecoveryService::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs admitted (including cache hits and coalesced waiters).
+    pub submitted: u64,
+    /// Jobs that ended `Done`.
+    pub completed: u64,
+    /// Jobs that ended `Failed`.
+    pub failed: u64,
+    /// Jobs that ended `Cancelled`.
+    pub cancelled: u64,
+    /// Submissions answered from the persistent registry without solving.
+    pub cache_hits: u64,
+    /// Submissions absorbed by an identical in-flight job.
+    pub coalesced: u64,
+    /// Waiters promoted back into the queue after their primary was
+    /// cancelled.
+    pub requeued: u64,
+    /// Jobs currently queued (gauge).
+    pub queued: usize,
+    /// Jobs currently running (gauge).
+    pub running: usize,
+}
+
+enum InputSlot {
+    Trace(Arc<ProfileTrace>),
+    Source {
+        label: String,
+        source: Option<Box<dyn ProfileSource + Send>>,
+    },
+}
+
+struct Job {
+    tenant: String,
+    priority: Priority,
+    state: JobState,
+    input: InputSlot,
+    fingerprint: Option<Fingerprint>,
+    cancel: CancelToken,
+    deadline_at: Option<Instant>,
+    /// Jobs coalesced onto this one (present on primaries only).
+    waiters: Vec<JobId>,
+    /// The primary this job coalesced onto (present on waiters only).
+    coalesced_into: Option<JobId>,
+    result: Option<JobResult>,
+    events: Fanout<JobEvent>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    cache_hits: u64,
+    coalesced: u64,
+    requeued: u64,
+}
+
+struct State {
+    scheduler: FairScheduler<JobId>,
+    jobs: HashMap<JobId, Job>,
+    /// Terminal jobs in completion order, for bounded retention.
+    terminal_order: std::collections::VecDeque<JobId>,
+    /// Fingerprint → the queued/running primary job for it.
+    inflight: HashMap<Fingerprint, JobId>,
+    registry: Registry,
+    next_id: u64,
+    running: usize,
+    counters: Counters,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signals workers that the queue gained an entry (or shutdown).
+    work_ready: Condvar,
+    /// Signals [`RecoveryService::wait`]ers that some job finished.
+    finished: Condvar,
+    /// Service-wide event stream.
+    events: Fanout<JobEvent>,
+    recovery: RecoveryConfig,
+    queue_capacity: usize,
+    max_patterns: usize,
+    compact_after: usize,
+    retained_jobs: usize,
+}
+
+/// The multi-tenant recovery service (see the module docs and the crate
+/// docs for an end-to-end example).
+pub struct RecoveryService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RecoveryService {
+    /// Starts the service: opens (and replays) the registry and spawns the
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry I/O errors.
+    pub fn start(config: ServiceConfig) -> io::Result<RecoveryService> {
+        let registry = match &config.registry_path {
+            Some(path) => Registry::open(path)?,
+            None => Registry::in_memory(),
+        };
+        let worker_count = if config.workers > 0 {
+            config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                scheduler: FairScheduler::new(config.queue_capacity),
+                jobs: HashMap::new(),
+                terminal_order: std::collections::VecDeque::new(),
+                inflight: HashMap::new(),
+                registry,
+                next_id: 0,
+                running: 0,
+                counters: Counters::default(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            finished: Condvar::new(),
+            events: Fanout::new(),
+            recovery: config.recovery,
+            queue_capacity: config.queue_capacity,
+            max_patterns: config.max_patterns,
+            compact_after: config.compact_after,
+            retained_jobs: config.retained_jobs,
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("beer-service-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Ok(RecoveryService { inner, workers })
+    }
+
+    /// Submits a job, passing it through the cache, coalescing, and
+    /// admission gates (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`Rejected`] — admission backpressure, never a
+    /// panic.
+    pub fn submit(&self, request: JobRequest) -> Result<JobId, Rejected> {
+        let JobRequest {
+            tenant,
+            priority,
+            deadline,
+            input,
+        } = request;
+        if tenant.is_empty() {
+            return Err(Rejected::InvalidTenant {
+                reason: "tenant name is empty",
+            });
+        }
+        if tenant.chars().any(char::is_whitespace) {
+            return Err(Rejected::InvalidTenant {
+                reason: "tenant name contains whitespace",
+            });
+        }
+        let (slot, fingerprint, patterns) = match input {
+            JobInput::Trace(trace) => {
+                let patterns = trace.patterns.len();
+                let fingerprint = trace.fingerprint();
+                (
+                    InputSlot::Trace(Arc::new(trace)),
+                    Some(fingerprint),
+                    patterns,
+                )
+            }
+            JobInput::Source { label, source } => {
+                // `scheduled_patterns` asserts on unschedulable dataword
+                // lengths; admission control must reject typed instead of
+                // unwinding into the submitter.
+                let k = source.k();
+                let recovery = &self.inner.recovery;
+                let patterns = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    recovery.scheduled_patterns(k)
+                }))
+                .map_err(|_| Rejected::Unschedulable { k })?;
+                (
+                    InputSlot::Source {
+                        label,
+                        source: Some(source),
+                    },
+                    None,
+                    patterns,
+                )
+            }
+        };
+        if patterns > self.inner.max_patterns {
+            return Err(Rejected::TooLarge {
+                patterns,
+                limit: self.inner.max_patterns,
+            });
+        }
+
+        let mut state = lock_unpoisoned(&self.inner.state);
+        if state.shutdown {
+            return Err(Rejected::ShuttingDown);
+        }
+        // Cache: a completed record for this fingerprint answers in O(1).
+        let cached = fingerprint.and_then(|fp| {
+            state
+                .registry
+                .lookup_fingerprint(fp)
+                .map(|record| record.outcome.clone())
+        });
+        // Coalescing: an identical in-flight profile absorbs this job.
+        let primary = fingerprint.and_then(|fp| state.inflight.get(&fp).copied());
+        // Admission: everything else needs a queue slot.
+        if cached.is_none()
+            && primary.is_none()
+            && state.scheduler.len() >= self.inner.queue_capacity
+        {
+            return Err(Rejected::QueueFull {
+                capacity: self.inner.queue_capacity,
+            });
+        }
+
+        let id = JobId(state.next_id);
+        state.next_id += 1;
+        state.counters.submitted += 1;
+        state.jobs.insert(
+            id,
+            Job {
+                tenant: tenant.clone(),
+                priority,
+                state: JobState::Queued,
+                input: slot,
+                fingerprint,
+                cancel: CancelToken::new(),
+                deadline_at: deadline.map(|d| Instant::now() + d),
+                waiters: Vec::new(),
+                coalesced_into: None,
+                result: None,
+                events: Fanout::new(),
+            },
+        );
+        self.inner
+            .emit(&state, JobEvent::Submitted { job: id, tenant });
+
+        if let Some(outcome) = cached {
+            state.counters.cache_hits += 1;
+            self.inner.emit(&state, JobEvent::CacheHit { job: id });
+            self.inner.finalize(
+                &mut state,
+                id,
+                JobState::Done,
+                Ok(JobOutput {
+                    outcome,
+                    from_cache: true,
+                    coalesced_into: None,
+                }),
+            );
+        } else if let Some(primary) = primary {
+            state
+                .jobs
+                .get_mut(&primary)
+                .expect("inflight names a live job")
+                .waiters
+                .push(id);
+            state
+                .jobs
+                .get_mut(&id)
+                .expect("just inserted")
+                .coalesced_into = Some(primary);
+            state.counters.coalesced += 1;
+            self.inner
+                .emit(&state, JobEvent::Coalesced { job: id, primary });
+        } else {
+            let tenant = state.jobs[&id].tenant.clone();
+            state
+                .scheduler
+                .push(&tenant, priority, id)
+                .expect("capacity checked above");
+            if let Some(fp) = fingerprint {
+                state.inflight.insert(fp, id);
+            }
+            self.inner.work_ready.notify_one();
+        }
+        Ok(id)
+    }
+
+    /// The job's current lifecycle state.
+    pub fn status(&self, id: JobId) -> Option<JobState> {
+        lock_unpoisoned(&self.inner.state)
+            .jobs
+            .get(&id)
+            .map(|j| j.state)
+    }
+
+    /// The job's result, if it reached a terminal state (non-blocking).
+    pub fn result(&self, id: JobId) -> Option<JobResult> {
+        lock_unpoisoned(&self.inner.state)
+            .jobs
+            .get(&id)
+            .and_then(|j| j.result.clone())
+    }
+
+    /// Blocks until the job reaches a terminal state and returns its
+    /// result ([`JobError::Unknown`] for an id this instance never
+    /// issued).
+    pub fn wait(&self, id: JobId) -> JobResult {
+        let mut state = lock_unpoisoned(&self.inner.state);
+        loop {
+            match state.jobs.get(&id) {
+                None => return Err(JobError::Unknown),
+                Some(job) => {
+                    if let Some(result) = &job.result {
+                        return result.clone();
+                    }
+                }
+            }
+            state = self
+                .inner
+                .finished
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Requests cancellation. Queued jobs (and coalesced waiters) land
+    /// `Cancelled` immediately; a running job's session stops at the next
+    /// unit boundary. Returns `false` if the job is unknown or already
+    /// terminal.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut state = lock_unpoisoned(&self.inner.state);
+        let Some(job) = state.jobs.get(&id) else {
+            return false;
+        };
+        if job.state.is_terminal() {
+            return false;
+        }
+        job.cancel.cancel();
+        let coalesced_into = job.coalesced_into;
+        let tenant = job.tenant.clone();
+        match job.state {
+            JobState::Queued => {
+                if let Some(primary) = coalesced_into {
+                    if let Some(pj) = state.jobs.get_mut(&primary) {
+                        pj.waiters.retain(|w| *w != id);
+                    }
+                } else {
+                    // Drop the scheduler entry so a cancelled job stops
+                    // consuming queue capacity and fairness turns.
+                    state.scheduler.remove(&tenant, &id);
+                }
+                // A queued primary's waiters are promoted by finalize.
+                self.inner.finalize(
+                    &mut state,
+                    id,
+                    JobState::Cancelled,
+                    Err(JobError::Cancelled),
+                );
+            }
+            JobState::Running => {
+                // The worker's completion path maps the session's
+                // cancelled outcome to `Cancelled`.
+            }
+            _ => unreachable!("terminal states handled above"),
+        }
+        true
+    }
+
+    /// Subscribes to one job's event stream (events from subscription
+    /// time onward).
+    pub fn subscribe(&self, id: JobId) -> Option<mpsc::Receiver<JobEvent>> {
+        lock_unpoisoned(&self.inner.state)
+            .jobs
+            .get(&id)
+            .map(|j| j.events.subscribe())
+    }
+
+    /// Subscribes to every job's events. Subscribe *before* submitting to
+    /// observe admission-time events (`Submitted`, `Coalesced`,
+    /// `CacheHit`).
+    pub fn subscribe_all(&self) -> mpsc::Receiver<JobEvent> {
+        self.inner.events.subscribe()
+    }
+
+    /// The cached outcome for a profile fingerprint, if any job completed
+    /// it (now or in a previous service life).
+    pub fn cached_outcome(&self, fingerprint: Fingerprint) -> Option<CodeOutcome> {
+        lock_unpoisoned(&self.inner.state)
+            .registry
+            .lookup_fingerprint(fingerprint)
+            .map(|record| record.outcome.clone())
+    }
+
+    /// The full registry record for a profile fingerprint.
+    pub fn lookup_fingerprint(&self, fingerprint: Fingerprint) -> Option<JobRecord> {
+        lock_unpoisoned(&self.inner.state)
+            .registry
+            .lookup_fingerprint(fingerprint)
+            .cloned()
+    }
+
+    /// The registry entry for any code equivalent to `code`.
+    pub fn lookup_code(&self, code: &LinearCode) -> Option<CodeEntry> {
+        lock_unpoisoned(&self.inner.state)
+            .registry
+            .lookup_code(code)
+            .cloned()
+    }
+
+    /// Every registered code with the given dimensions.
+    pub fn lookup_dims(&self, n: usize, k: usize) -> Vec<CodeEntry> {
+        lock_unpoisoned(&self.inner.state)
+            .registry
+            .lookup_dims(n, k)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// `(job records, distinct codes)` currently in the registry.
+    pub fn registry_size(&self) -> (usize, usize) {
+        let state = lock_unpoisoned(&self.inner.state);
+        (state.registry.record_count(), state.registry.code_count())
+    }
+
+    /// Forces a registry snapshot/compaction now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the previous log stays intact on failure.
+    pub fn compact_registry(&self) -> io::Result<()> {
+        lock_unpoisoned(&self.inner.state).registry.compact()
+    }
+
+    /// Current counters and gauges.
+    pub fn stats(&self) -> ServiceStats {
+        let state = lock_unpoisoned(&self.inner.state);
+        let c = state.counters;
+        ServiceStats {
+            submitted: c.submitted,
+            completed: c.completed,
+            failed: c.failed,
+            cancelled: c.cancelled,
+            cache_hits: c.cache_hits,
+            coalesced: c.coalesced,
+            requeued: c.requeued,
+            queued: state
+                .jobs
+                .values()
+                .filter(|j| j.state == JobState::Queued)
+                .count(),
+            running: state.running,
+        }
+    }
+
+    /// Stops accepting work, fails still-queued jobs with
+    /// [`JobError::ShutDown`], lets running sessions finish, and joins the
+    /// workers. Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        {
+            let mut state = lock_unpoisoned(&self.inner.state);
+            if !state.shutdown {
+                state.shutdown = true;
+                for id in state.scheduler.drain() {
+                    if !state.jobs[&id].state.is_terminal() {
+                        self.inner.finalize(
+                            &mut state,
+                            id,
+                            JobState::Failed,
+                            Err(JobError::ShutDown),
+                        );
+                    }
+                }
+            }
+        }
+        self.inner.work_ready.notify_all();
+        self.inner.finished.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RecoveryService {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl Inner {
+    /// Publishes an event to the job's subscribers and the service-wide
+    /// stream.
+    fn emit(&self, state: &State, event: JobEvent) {
+        if let Some(job) = state.jobs.get(&event.job()) {
+            job.events.publish(&event);
+        }
+        self.events.publish(&event);
+    }
+
+    /// Moves a job to a terminal state: sets the result, updates counters
+    /// and the in-flight index, resolves coalesced waiters (sharing the
+    /// result, or promoting them after a cancellation), and wakes waiters.
+    fn finalize(&self, state: &mut State, id: JobId, new_state: JobState, result: JobResult) {
+        debug_assert!(new_state.is_terminal());
+        let Some(job) = state.jobs.get_mut(&id) else {
+            return;
+        };
+        if job.state.is_terminal() {
+            return;
+        }
+        job.state = new_state;
+        job.result = Some(result.clone());
+        let waiters = std::mem::take(&mut job.waiters);
+        let fingerprint = job.fingerprint;
+        match new_state {
+            JobState::Done => state.counters.completed += 1,
+            JobState::Failed => state.counters.failed += 1,
+            JobState::Cancelled => state.counters.cancelled += 1,
+            _ => {}
+        }
+        self.emit(
+            state,
+            JobEvent::StateChanged {
+                job: id,
+                state: new_state,
+            },
+        );
+        if let Some(fp) = fingerprint {
+            if state.inflight.get(&fp) == Some(&id) {
+                state.inflight.remove(&fp);
+            }
+        }
+        if new_state == JobState::Cancelled {
+            // Cancelling a primary must not take its waiters down: the
+            // first live waiter is promoted to run the profile itself.
+            let mut live: Vec<JobId> = waiters
+                .into_iter()
+                .filter(|w| {
+                    state
+                        .jobs
+                        .get(w)
+                        .is_some_and(|j| !j.state.is_terminal() && !j.cancel.is_cancelled())
+                })
+                .collect();
+            if !live.is_empty() {
+                let promoted = live.remove(0);
+                let pj = state.jobs.get_mut(&promoted).expect("live waiter");
+                pj.coalesced_into = None;
+                pj.waiters = live;
+                let (tenant, priority) = (pj.tenant.clone(), pj.priority);
+                if let Some(fp) = fingerprint {
+                    state.inflight.insert(fp, promoted);
+                }
+                state.scheduler.requeue(&tenant, priority, promoted);
+                state.counters.requeued += 1;
+                self.emit(state, JobEvent::Requeued { job: promoted });
+                self.work_ready.notify_one();
+            }
+        } else {
+            let now = Instant::now();
+            for waiter in waiters {
+                let Some(wj) = state.jobs.get(&waiter) else {
+                    continue;
+                };
+                if wj.state.is_terminal() {
+                    continue;
+                }
+                // A waiter's own deadline covers its whole wait: a result
+                // arriving after it expired is reported as the typed
+                // expiry, not as a late success.
+                if wj.deadline_at.is_some_and(|at| now >= at) {
+                    self.finalize(
+                        state,
+                        waiter,
+                        JobState::Failed,
+                        Err(JobError::DeadlineExpired),
+                    );
+                    continue;
+                }
+                let shared = match &result {
+                    Ok(output) => Ok(JobOutput {
+                        coalesced_into: Some(id),
+                        from_cache: false,
+                        outcome: output.outcome.clone(),
+                    }),
+                    Err(e) => Err(e.clone()),
+                };
+                self.finalize(state, waiter, new_state, shared);
+            }
+        }
+        // Bounded retention: evict the oldest terminal jobs beyond the
+        // configured window so a long-running service does not accumulate
+        // every job ever submitted.
+        state.terminal_order.push_back(id);
+        if self.retained_jobs > 0 {
+            while state.terminal_order.len() > self.retained_jobs {
+                let evicted = state.terminal_order.pop_front().expect("len checked above");
+                state.jobs.remove(&evicted);
+            }
+        }
+        self.finished.notify_all();
+    }
+}
+
+/// What a worker carries out of the lock to run a job.
+enum RunInput {
+    Trace(Arc<ProfileTrace>),
+    Source {
+        label: String,
+        source: Box<dyn ProfileSource + Send>,
+    },
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut state = lock_unpoisoned(&inner.state);
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let Some(id) = state.scheduler.pop() else {
+            state = inner
+                .work_ready
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            continue;
+        };
+        let job = state.jobs.get_mut(&id).expect("scheduled job exists");
+        if job.state != JobState::Queued {
+            continue; // stale entry: cancelled while queued
+        }
+        if job.cancel.is_cancelled() {
+            inner.finalize(
+                &mut state,
+                id,
+                JobState::Cancelled,
+                Err(JobError::Cancelled),
+            );
+            continue;
+        }
+        if job.deadline_at.is_some_and(|at| Instant::now() >= at) {
+            inner.finalize(
+                &mut state,
+                id,
+                JobState::Failed,
+                Err(JobError::DeadlineExpired),
+            );
+            continue;
+        }
+        job.state = JobState::Running;
+        let cancel = job.cancel.clone();
+        let deadline_at = job.deadline_at;
+        let job_events = job.events.clone();
+        let tenant = job.tenant.clone();
+        let fingerprint = job.fingerprint;
+        let input = match &mut job.input {
+            InputSlot::Trace(trace) => RunInput::Trace(Arc::clone(trace)),
+            InputSlot::Source { label, source } => RunInput::Source {
+                label: label.clone(),
+                source: source.take().expect("sources run once"),
+            },
+        };
+        state.running += 1;
+        inner.emit(
+            &state,
+            JobEvent::StateChanged {
+                job: id,
+                state: JobState::Running,
+            },
+        );
+        drop(state);
+
+        // Run the session outside the lock. Each worker collects serially
+        // (the pool is the parallelism budget), and the guarded runner
+        // turns a panicking backend into this job's typed error.
+        let global_events = inner.events.clone();
+        let observer = move |event: &RecoveryEvent| {
+            let event = JobEvent::Progress {
+                job: id,
+                event: event.clone(),
+            };
+            job_events.publish(&event);
+            global_events.publish(&event);
+        };
+        let mut config = inner
+            .recovery
+            .clone()
+            .with_engine_options(EngineOptions::serial());
+        if let Some(at) = deadline_at {
+            config = config.with_deadline(at.saturating_duration_since(Instant::now()));
+        }
+        let hooks = SessionHooks {
+            cancel: Some(cancel),
+            observer: Some(Box::new(observer)),
+        };
+        let run = match input {
+            RunInput::Trace(trace) => {
+                let mut backend = ReplayBackend::new((*trace).clone());
+                run_session_guarded(&config, &format!("{id} (replay)"), &mut backend, hooks)
+            }
+            RunInput::Source { label, mut source } => {
+                run_session_guarded(&config, &format!("{id} ({label})"), source.as_mut(), hooks)
+            }
+        };
+
+        state = lock_unpoisoned(&inner.state);
+        state.running -= 1;
+        let (job_state, job_result) = match run {
+            Ok(report) => match report.outcome {
+                RecoveryOutcome::Unique(code) => (
+                    JobState::Done,
+                    Ok(CodeOutcome::Unique(equivalence::canonicalize(&code))),
+                ),
+                RecoveryOutcome::Ambiguous {
+                    count, truncated, ..
+                } => (
+                    JobState::Done,
+                    Ok(CodeOutcome::Ambiguous { count, truncated }),
+                ),
+                RecoveryOutcome::Inconsistent => (JobState::Done, Ok(CodeOutcome::Inconsistent)),
+                RecoveryOutcome::BudgetExhausted { reason, .. } => match reason {
+                    BudgetReason::Cancelled => (JobState::Cancelled, Err(JobError::Cancelled)),
+                    BudgetReason::Deadline => (JobState::Failed, Err(JobError::DeadlineExpired)),
+                    reason => (JobState::Done, Ok(CodeOutcome::BudgetExhausted { reason })),
+                },
+            },
+            Err(e) => (JobState::Failed, Err(JobError::Recovery(e))),
+        };
+        let job_result: JobResult = job_result.map(|outcome| {
+            // Durable record + cache for trace outcomes determined by the
+            // evidence. BudgetExhausted is an artifact of this service's
+            // budgets, not of the profile — caching it would pin the
+            // artifact forever (even across a reconfigured restart), so it
+            // is returned but never recorded.
+            let evidence_determined = !matches!(outcome, CodeOutcome::BudgetExhausted { .. });
+            if let Some(fp) = fingerprint {
+                if evidence_determined {
+                    if let Err(e) = state.registry.record(fp, &tenant, &outcome) {
+                        // Disk trouble degrades durability, not service.
+                        eprintln!("beer_service: registry append failed: {e}");
+                    }
+                    if state.registry.appended_since_compact() >= inner.compact_after {
+                        if let Err(e) = state.registry.compact() {
+                            eprintln!("beer_service: registry compaction failed: {e}");
+                        }
+                    }
+                }
+            }
+            JobOutput {
+                outcome,
+                from_cache: false,
+                coalesced_into: None,
+            }
+        });
+        inner.finalize(&mut state, id, job_state, job_result);
+    }
+}

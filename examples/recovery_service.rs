@@ -1,0 +1,131 @@
+//! Running BEER as a service: multi-tenant job submission, fingerprint
+//! dedup, event streaming, and the persistent code registry surviving a
+//! restart.
+//!
+//! ```sh
+//! cargo run --release --example recovery_service
+//! ```
+
+use beer::prelude::*;
+use beer::service::Registry;
+
+fn record_trace(code: &LinearCode) -> ProfileTrace {
+    let patterns = PatternSet::OneTwo.patterns(code.k());
+    let mut backend = AnalyticBackend::new(code.clone());
+    ProfileTrace::record(&mut backend, &patterns, &CollectionPlan::quick())
+}
+
+fn main() -> std::io::Result<()> {
+    let registry_path = std::env::temp_dir().join("beer_recovery_service_example.log");
+    let _ = std::fs::remove_file(&registry_path);
+
+    // Two chip families, i.e. two distinct on-die ECC functions. Tenants
+    // profile their chips (here: the analytic model) and submit traces.
+    let family_a = vendor_code(Manufacturer::B, 16, 0);
+    let family_b = vendor_code(Manufacturer::C, 16, 0);
+    let trace_a1 = record_trace(&family_a); // alice's chip
+    let trace_a2 = record_trace(&family_a); // bob's chip, same family
+    let trace_b = record_trace(&family_b);
+
+    println!("=== first service life ===");
+    let service = RecoveryService::start(
+        ServiceConfig::new()
+            .with_workers(2)
+            .with_registry_path(&registry_path),
+    )?;
+    let events = service.subscribe_all();
+
+    let alice = service
+        .submit(JobRequest::trace("alice", trace_a1.clone()))
+        .expect("admitted");
+    let bob = service
+        .submit(JobRequest::trace("bob", trace_a2.clone()).with_priority(Priority::High))
+        .expect("admitted");
+    let carol = service
+        .submit(JobRequest::trace("carol", trace_b.clone()))
+        .expect("admitted");
+
+    for (who, id, family) in [
+        ("alice", alice, &family_a),
+        ("bob", bob, &family_a),
+        ("carol", carol, &family_b),
+    ] {
+        let output = service.wait(id).expect("clean profiles solve");
+        let code = output.outcome.unique_code().expect("unique recovery");
+        println!(
+            "{who:>6}: {id} -> ({}, {}) code, matches family: {}, from cache: {}",
+            code.n(),
+            code.k(),
+            equivalent(code, family),
+            output.from_cache,
+        );
+    }
+
+    // Alice's and bob's chips are *different recordings* of the same
+    // physical evidence, so their fingerprints match and only one was
+    // actually solved — visible in the event stream.
+    let mut coalesced = 0;
+    let mut progress = 0;
+    for event in events.try_iter() {
+        match event {
+            JobEvent::Coalesced { job, primary } => {
+                coalesced += 1;
+                println!("  event: {job} coalesced onto {primary}");
+            }
+            JobEvent::Progress { .. } => progress += 1,
+            _ => {}
+        }
+    }
+    let stats = service.stats();
+    println!(
+        "dedup: {} coalesced + {} cache hits across {} submissions ({progress} session events)",
+        stats.coalesced, stats.cache_hits, stats.submitted
+    );
+    assert_eq!(coalesced + stats.cache_hits as usize, 1);
+
+    // The registry now holds both families, queryable three ways.
+    let (records, codes) = service.registry_size();
+    println!("registry: {records} job records, {codes} distinct codes");
+    let entry = service.lookup_code(&family_a).expect("family A registered");
+    println!(
+        "family A was recovered from {} profile(s): {:?}",
+        entry.fingerprints.len(),
+        entry.fingerprints
+    );
+    println!(
+        "({}, {}) codes on file: {}",
+        family_a.n(),
+        family_a.k(),
+        service.lookup_dims(family_a.n(), family_a.k()).len()
+    );
+    service.shutdown();
+
+    println!("\n=== second service life (same registry file) ===");
+    let service = RecoveryService::start(
+        ServiceConfig::new()
+            .with_workers(2)
+            .with_registry_path(&registry_path),
+    )?;
+    let dave = service
+        .submit(JobRequest::trace("dave", trace_a1.clone()))
+        .expect("admitted");
+    let output = service.wait(dave).expect("cache answers");
+    println!(
+        "dave resubmits alice's profile: from_cache = {}, matches family A: {}",
+        output.from_cache,
+        equivalent(output.outcome.unique_code().expect("unique"), &family_a),
+    );
+    assert!(output.from_cache, "the restart must answer from history");
+    service.shutdown();
+
+    // The log is a plain, replayable artifact.
+    let registry = Registry::open(&registry_path)?;
+    println!(
+        "standalone replay: {} records, {} codes, {} corrupt lines skipped",
+        registry.record_count(),
+        registry.code_count(),
+        registry.skipped_lines()
+    );
+    let _ = std::fs::remove_file(&registry_path);
+    Ok(())
+}

@@ -58,6 +58,7 @@ pub use beer_ecc as ecc;
 pub use beer_einsim as einsim;
 pub use beer_gf2 as gf2;
 pub use beer_sat as sat;
+pub use beer_service as service;
 
 /// The commonly used types and functions, one `use` away.
 pub mod prelude {
@@ -74,13 +75,13 @@ pub mod prelude {
         ProgressiveOutcome, ProgressiveSolver, SolveError,
     };
     pub use beer_core::{
-        collect_with, solve_profile, try_collect_traced, try_collect_with, AnalyticBackend,
-        BeerSolverOptions, BudgetReason, CancelToken, ChargedSet, ChipBackend, EinsimBackend,
-        EngineError, EngineOptions, FleetMember, FleetOutcome, MiscorrectionProfile, Observation,
-        PatternSchedule, PatternSet, ProfileConstraints, ProfileSource, ProfileTrace,
-        RecoveryConfig, RecoveryError, RecoveryEvent, RecoveryFleet, RecoveryOutcome,
-        RecoveryReport, RecoverySession, RecoveryStats, ReplayBackend, SessionStatus, SolveReport,
-        ThresholdFilter,
+        collect_with, run_session_guarded, solve_profile, try_collect_traced, try_collect_with,
+        AnalyticBackend, BeerSolverOptions, BudgetReason, CancelToken, ChargedSet, ChipBackend,
+        EinsimBackend, EngineError, EngineOptions, Fanout, Fingerprint, FleetMember, FleetOutcome,
+        MiscorrectionProfile, Observation, PatternSchedule, PatternSet, ProfileConstraints,
+        ProfileSource, ProfileTrace, RecoveryConfig, RecoveryError, RecoveryEvent, RecoveryFleet,
+        RecoveryOutcome, RecoveryReport, RecoverySession, RecoveryStats, ReplayBackend,
+        SessionHooks, SessionStatus, SolveReport, ThresholdFilter, TraceParseError,
     };
     pub use beer_dram::{
         CellLayout, CellType, ChipConfig, ControllerReport, DramInterface, Geometry, RankLevelEcc,
@@ -91,4 +92,8 @@ pub mod prelude {
     pub use beer_ecc::{hamming, miscorrection, Correction, DecodeResult, LinearCode};
     pub use beer_einsim::{simulate, simulate_batches, ErrorModel, PerBitStats, SimConfig};
     pub use beer_gf2::{BitMatrix, BitVec, SynMask};
+    pub use beer_service::{
+        CodeOutcome, JobError, JobEvent, JobId, JobInput, JobOutput, JobRequest, JobResult,
+        JobState, Priority, RecoveryService, Rejected, ServiceConfig, ServiceStats,
+    };
 }

@@ -405,3 +405,79 @@ fn observer_sees_every_round_in_order() {
         rounds
     );
 }
+
+/// A panic payload whose own `Drop` panics — the worst-case member
+/// failure. Before the poison-recovery fix, the second panic unwound out
+/// of the fleet worker after `catch_unwind`, poisoning the shared
+/// queue/slots mutexes and aborting the entire `fleet.run` (unrelated
+/// members included). Now it must surface as that one member's typed
+/// error.
+struct VenomousPayload;
+
+impl Drop for VenomousPayload {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            panic!("venomous payload dropped");
+        }
+    }
+}
+
+struct VenomousBackend;
+
+impl ProfileSource for VenomousBackend {
+    fn k(&self) -> usize {
+        8
+    }
+
+    fn label(&self) -> String {
+        "venomous".to_string()
+    }
+
+    fn num_units(&self, _patterns: &[ChargedSet], _plan: &CollectionPlan) -> usize {
+        1
+    }
+
+    fn run_unit(
+        &mut self,
+        _unit: usize,
+        _patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+        _profile: &mut MiscorrectionProfile,
+    ) -> Result<(), EngineError> {
+        std::panic::panic_any(VenomousPayload);
+    }
+}
+
+#[test]
+fn fleet_survives_a_member_whose_panic_payload_panics_on_drop() {
+    let code = random_code(8, 0x5E55_0009);
+    let members = vec![
+        FleetMember::new("healthy-0", Box::new(AnalyticBackend::new(code.clone()))),
+        FleetMember::new("venomous", Box::new(VenomousBackend)),
+        FleetMember::new("healthy-1", Box::new(AnalyticBackend::new(code.clone()))),
+    ];
+    let outcomes = RecoveryConfig::new()
+        .with_parity_bits(code.parity_bits())
+        .fleet()
+        .with_threads(2)
+        .run(members);
+
+    assert_eq!(outcomes.len(), 3, "every member reports, in member order");
+    for (i, expected) in ["healthy-0", "venomous", "healthy-1"].iter().enumerate() {
+        assert_eq!(&outcomes[i].label, expected);
+    }
+    // The poisoned member fails typed, attributed to itself.
+    match &outcomes[1].result {
+        Err(RecoveryError::Engine(EngineError::Backend { backend, message })) => {
+            assert!(backend.contains("venomous"), "got {backend:?}");
+            assert_eq!(message, "non-string panic payload");
+        }
+        other => panic!("expected the member's typed error, got {other:?}"),
+    }
+    // Unrelated members complete normally.
+    for i in [0, 2] {
+        let report = outcomes[i].result.as_ref().expect("healthy member");
+        let recovered = report.outcome.unique_code().expect("unique");
+        assert!(equivalent(recovered, &code), "member {i}");
+    }
+}

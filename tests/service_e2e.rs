@@ -1,0 +1,418 @@
+//! End-to-end semantics of the recovery service: dedup coalescing
+//! (verified via the event stream), mid-run cancellation, typed admission
+//! backpressure, and cache-from-registry answers across a service restart.
+
+use beer::prelude::*;
+use beer::service::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn record_trace(code: &LinearCode) -> ProfileTrace {
+    let patterns = PatternSet::OneTwo.patterns(code.k());
+    let mut backend = AnalyticBackend::new(code.clone());
+    ProfileTrace::record(&mut backend, &patterns, &CollectionPlan::quick())
+}
+
+fn temp_registry(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("beer_service_{name}_{}.log", std::process::id()))
+}
+
+/// A backend that parks its single unit until released — used to hold the
+/// one worker busy so later submissions queue deterministically.
+#[derive(Clone)]
+struct GateSource {
+    released: Arc<AtomicBool>,
+    running: Arc<AtomicBool>,
+}
+
+impl ProfileSource for GateSource {
+    fn k(&self) -> usize {
+        8
+    }
+
+    fn label(&self) -> String {
+        "gate".to_string()
+    }
+
+    fn num_units(&self, _patterns: &[ChargedSet], _plan: &CollectionPlan) -> usize {
+        1
+    }
+
+    fn run_unit(
+        &mut self,
+        _unit: usize,
+        _patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+        _profile: &mut MiscorrectionProfile,
+    ) -> Result<(), EngineError> {
+        self.running.store(true, Ordering::SeqCst);
+        while !self.released.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    }
+}
+
+/// A backend whose units are individually fast but numerous, so a cancel
+/// request always lands *mid-batch* (the engine checks the token between
+/// units).
+#[derive(Clone)]
+struct SlowSource {
+    started: Arc<AtomicBool>,
+    units_run: Arc<AtomicUsize>,
+}
+
+impl ProfileSource for SlowSource {
+    fn k(&self) -> usize {
+        8
+    }
+
+    fn label(&self) -> String {
+        "slow".to_string()
+    }
+
+    fn num_units(&self, _patterns: &[ChargedSet], _plan: &CollectionPlan) -> usize {
+        512
+    }
+
+    fn run_unit(
+        &mut self,
+        _unit: usize,
+        _patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+        _profile: &mut MiscorrectionProfile,
+    ) -> Result<(), EngineError> {
+        self.started.store(true, Ordering::SeqCst);
+        self.units_run.fetch_add(1, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(2));
+        Ok(())
+    }
+}
+
+fn wait_flag(flag: &AtomicBool, what: &str) {
+    for _ in 0..5000 {
+        if flag.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// The acceptance scenario: two tenants, four jobs (two byte-identical
+/// profiles, one cancelled mid-run), then a service restart answering the
+/// duplicate from the replayed registry.
+#[test]
+fn coalescing_cancellation_and_cache_across_restart() {
+    let registry_path = temp_registry("e2e");
+    let _ = std::fs::remove_file(&registry_path);
+    let code_a = hamming::shortened(8);
+    let code_b = {
+        let mut rng = StdRng::seed_from_u64(0xE2E);
+        let mut candidate = hamming::random_sec(8, &mut rng);
+        while equivalent(&candidate, &code_a) {
+            candidate = hamming::random_sec(8, &mut rng);
+        }
+        candidate
+    };
+    let trace_a = record_trace(&code_a);
+    let trace_b = record_trace(&code_b);
+    let fingerprint_a = trace_a.fingerprint();
+
+    let (job1, job2, job3, job4);
+    {
+        let service = RecoveryService::start(
+            ServiceConfig::new()
+                .with_workers(1)
+                .with_registry_path(&registry_path),
+        )
+        .expect("start service");
+        let events = service.subscribe_all();
+
+        // Hold the single worker busy so submissions 1–4 queue up and the
+        // coalescing decision is deterministic.
+        let gate = GateSource {
+            released: Arc::new(AtomicBool::new(false)),
+            running: Arc::new(AtomicBool::new(false)),
+        };
+        let gate_job = service
+            .submit(JobRequest::source("ops", "gate", Box::new(gate.clone())))
+            .expect("gate admitted");
+        wait_flag(&gate.running, "gate to occupy the worker");
+
+        // Two tenants, four jobs; jobs 1 and 2 are byte-identical profiles.
+        let slow = SlowSource {
+            started: Arc::new(AtomicBool::new(false)),
+            units_run: Arc::new(AtomicUsize::new(0)),
+        };
+        job1 = service
+            .submit(JobRequest::trace("alice", trace_a.clone()))
+            .expect("job1 admitted");
+        job2 = service
+            .submit(JobRequest::trace("bob", trace_a.clone()))
+            .expect("job2 admitted");
+        job3 = service
+            .submit(JobRequest::source(
+                "alice",
+                "slow-chip",
+                Box::new(slow.clone()),
+            ))
+            .expect("job3 admitted");
+        job4 = service
+            .submit(JobRequest::trace("bob", trace_b.clone()))
+            .expect("job4 admitted");
+
+        gate.released.store(true, Ordering::SeqCst);
+        let _ = service.wait(gate_job);
+
+        // Cancel job3 once it is actually running: the token lands between
+        // collection units, so the cancel is observed mid-run.
+        wait_flag(&slow.started, "job3 to start running");
+        assert_eq!(service.status(job3), Some(JobState::Running));
+        assert!(service.cancel(job3), "cancel lands on a running job");
+        assert_eq!(service.wait(job3), Err(JobError::Cancelled));
+        assert_eq!(service.status(job3), Some(JobState::Cancelled));
+        assert!(
+            slow.units_run.load(Ordering::SeqCst) < 512,
+            "cancellation must stop the batch early"
+        );
+
+        // The duplicate coalesced: one recovery, one shared result.
+        let out1 = service.wait(job1).expect("job1 solves");
+        let out2 = service.wait(job2).expect("job2 shares the result");
+        assert!(equivalent(
+            out1.outcome.unique_code().expect("unique"),
+            &code_a
+        ));
+        assert_eq!(out1.coalesced_into, None);
+        assert_eq!(out2.coalesced_into, Some(job1), "job2 rode on job1");
+        assert_eq!(out1.outcome, out2.outcome);
+        let out4 = service.wait(job4).expect("job4 solves");
+        assert!(equivalent(
+            out4.outcome.unique_code().expect("unique"),
+            &code_b
+        ));
+
+        // Verify the coalescing through the event stream: job2 announced
+        // Coalesced onto job1, ran no session of its own (no Progress
+        // events), while job1 did the solving.
+        let seen: Vec<JobEvent> = events.try_iter().collect();
+        assert!(
+            seen.iter().any(|e| matches!(
+                e,
+                JobEvent::Coalesced { job, primary } if *job == job2 && *primary == job1
+            )),
+            "missing Coalesced event for job2"
+        );
+        assert!(
+            seen.iter()
+                .any(|e| matches!(e, JobEvent::Progress { job, .. } if *job == job1)),
+            "job1 must emit session progress"
+        );
+        assert!(
+            !seen
+                .iter()
+                .any(|e| matches!(e, JobEvent::Progress { job, .. } if *job == job2)),
+            "job2 must not run a session"
+        );
+
+        let stats = service.stats();
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.cancelled, 1);
+        service.shutdown();
+    }
+
+    // Restart: the registry replays from disk and the duplicate query is
+    // answered from cache, without re-solving.
+    let service = RecoveryService::start(
+        ServiceConfig::new()
+            .with_workers(1)
+            .with_registry_path(&registry_path),
+    )
+    .expect("restart service");
+    let events = service.subscribe_all();
+    assert_eq!(service.registry_size(), (2, 2), "two profiles, two codes");
+
+    let job5 = service
+        .submit(JobRequest::trace("carol", trace_a.clone()))
+        .expect("resubmission admitted");
+    let out5 = service.wait(job5).expect("served from cache");
+    assert!(
+        out5.from_cache,
+        "must be answered from the replayed registry"
+    );
+    assert!(equivalent(
+        out5.outcome.unique_code().expect("unique"),
+        &code_a
+    ));
+    let seen: Vec<JobEvent> = events.try_iter().collect();
+    assert!(
+        seen.iter()
+            .any(|e| matches!(e, JobEvent::CacheHit { job } if *job == job5)),
+        "missing CacheHit event"
+    );
+    assert!(
+        !seen.iter().any(|e| matches!(e, JobEvent::Progress { .. })),
+        "a cache hit must not solve anything"
+    );
+    assert_eq!(service.stats().cache_hits, 1);
+
+    // Registry queries: by fingerprint, by canonical-code equality, by
+    // dimensions.
+    let record = service
+        .lookup_fingerprint(fingerprint_a)
+        .expect("record for trace A");
+    assert_eq!(record.tenant, "alice", "the original solver is recorded");
+    let entry = service.lookup_code(&code_a).expect("code entry for A");
+    assert!(entry.fingerprints.contains(&fingerprint_a));
+    assert_eq!(service.lookup_dims(code_a.n(), code_a.k()).len(), 2);
+    service.shutdown();
+
+    // The registry file itself replays standalone.
+    let registry = Registry::open(&registry_path).expect("replay log");
+    assert_eq!(registry.record_count(), 2);
+    assert_eq!(registry.code_count(), 2);
+    let _ = std::fs::remove_file(&registry_path);
+}
+
+/// Admission control: typed QueueFull and TooLarge rejections.
+#[test]
+fn admission_backpressure_is_typed() {
+    let gate = GateSource {
+        released: Arc::new(AtomicBool::new(false)),
+        running: Arc::new(AtomicBool::new(false)),
+    };
+    let service = RecoveryService::start(
+        ServiceConfig::new()
+            .with_workers(1)
+            .with_queue_capacity(1)
+            .with_max_patterns(64),
+    )
+    .expect("start");
+
+    // Occupy the worker, then fill the single queue slot.
+    let gate_job = service
+        .submit(JobRequest::source("t", "gate", Box::new(gate.clone())))
+        .expect("gate admitted");
+    wait_flag(&gate.running, "gate to occupy the worker");
+    let trace = record_trace(&hamming::shortened(8));
+    let queued = service
+        .submit(JobRequest::trace("t", trace.clone()))
+        .expect("first queued job fits");
+
+    // Queue full: typed backpressure, not unbounded growth.
+    let other = record_trace(&hamming::shortened(10));
+    assert_eq!(
+        service.submit(JobRequest::trace("t", other)),
+        Err(Rejected::QueueFull { capacity: 1 })
+    );
+
+    // A duplicate of an in-flight profile still coalesces — dedup costs no
+    // queue slot.
+    let dup = service
+        .submit(JobRequest::trace("u", trace.clone()))
+        .expect("duplicates coalesce past a full queue");
+
+    // Oversized jobs are rejected up front.
+    let big = record_trace(&hamming::shortened(16));
+    let patterns = big.patterns.len();
+    assert!(patterns > 64);
+    assert_eq!(
+        service.submit(JobRequest::trace("t", big)),
+        Err(Rejected::TooLarge {
+            patterns,
+            limit: 64
+        })
+    );
+
+    // Invalid tenants never reach the queue.
+    assert!(matches!(
+        service.submit(JobRequest::trace("", trace.clone())),
+        Err(Rejected::InvalidTenant { .. })
+    ));
+    assert!(matches!(
+        service.submit(JobRequest::trace("a b", trace.clone())),
+        Err(Rejected::InvalidTenant { .. })
+    ));
+
+    // A backend the configured schedule cannot cover is rejected typed,
+    // not a panic out of submit().
+    struct TinySource;
+    impl ProfileSource for TinySource {
+        fn k(&self) -> usize {
+            1
+        }
+        fn label(&self) -> String {
+            "tiny".to_string()
+        }
+        fn num_units(&self, _p: &[ChargedSet], _plan: &CollectionPlan) -> usize {
+            1
+        }
+        fn run_unit(
+            &mut self,
+            _u: usize,
+            _p: &[ChargedSet],
+            _plan: &CollectionPlan,
+            _profile: &mut MiscorrectionProfile,
+        ) -> Result<(), EngineError> {
+            Ok(())
+        }
+    }
+    assert_eq!(
+        service.submit(JobRequest::source("t", "tiny", Box::new(TinySource))),
+        Err(Rejected::Unschedulable { k: 1 })
+    );
+
+    gate.released.store(true, Ordering::SeqCst);
+    let _ = service.wait(gate_job);
+    assert!(service.wait(queued).is_ok());
+    assert!(service.wait(dup).is_ok());
+    service.shutdown();
+}
+
+/// A deadline covers queue wait: a job that expires before a worker picks
+/// it up fails typed, and an unknown id is a typed error, not a hang.
+#[test]
+fn queue_deadline_and_unknown_ids() {
+    let gate = GateSource {
+        released: Arc::new(AtomicBool::new(false)),
+        running: Arc::new(AtomicBool::new(false)),
+    };
+    let service = RecoveryService::start(ServiceConfig::new().with_workers(1)).expect("start");
+    let gate_job = service
+        .submit(JobRequest::source("t", "gate", Box::new(gate.clone())))
+        .expect("gate admitted");
+    wait_flag(&gate.running, "gate to occupy the worker");
+
+    let trace = record_trace(&hamming::shortened(8));
+    let doomed = service
+        .submit(JobRequest::trace("t", trace.clone()).with_deadline(Duration::ZERO))
+        .expect("admitted");
+    // A coalesced waiter's deadline is honored too: a primary without a
+    // deadline absorbs a zero-deadline duplicate, and the waiter still
+    // expires instead of inheriting a late success.
+    let primary = service
+        .submit(JobRequest::trace(
+            "u",
+            record_trace(&hamming::shortened(10)),
+        ))
+        .expect("admitted");
+    let doomed_waiter = service
+        .submit(
+            JobRequest::trace("v", record_trace(&hamming::shortened(10)))
+                .with_deadline(Duration::ZERO),
+        )
+        .expect("admitted");
+    gate.released.store(true, Ordering::SeqCst);
+    assert_eq!(service.wait(doomed), Err(JobError::DeadlineExpired));
+    assert_eq!(service.status(doomed), Some(JobState::Failed));
+    assert!(service.wait(primary).is_ok(), "the primary itself succeeds");
+    assert_eq!(service.wait(doomed_waiter), Err(JobError::DeadlineExpired));
+
+    let _ = service.wait(gate_job);
+    assert_eq!(service.wait(JobId(9999)), Err(JobError::Unknown));
+    service.shutdown();
+}
