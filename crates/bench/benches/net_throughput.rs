@@ -1,0 +1,276 @@
+//! Network scale proof: jobs/sec and cache-hit latency through the full
+//! `beer-wire v1` stack — real TCP clients over loopback against one
+//! `NetServer`-fronted service.
+//!
+//! Two modes per client count (1 / 8 / 64):
+//!
+//! * **dedup** — clients submit traces drawn from a small pool of
+//!   distinct profiles (the paper's "manufacturers reuse a few ECC
+//!   functions" scenario): in-flight duplicates coalesce server-side and
+//!   completed ones hit the registry cache, so wire throughput decouples
+//!   from solver cost. Repeat submissions are fingerprint-only exchanges
+//!   (no re-upload).
+//! * **raw** — every submission is a distinct profile (unique
+//!   fingerprint): each pays a chunked upload and a full recovery,
+//!   measuring the end-to-end solve path through the network edge.
+//!
+//! A final section times submit→done latency for pure cache hits over
+//! the wire (p50 / p99): the remote answer path a restarted server
+//! serves from its replayed registry.
+
+use beer_bench::{banner, fmt_duration, CsvArtifact, Scale};
+use beer_core::collect::CollectionPlan;
+use beer_core::engine::AnalyticBackend;
+use beer_core::pattern::PatternSet;
+use beer_core::trace::ProfileTrace;
+use beer_ecc::{equivalence, hamming, LinearCode};
+use beer_net::{Client, NetServer, NetServerConfig};
+use beer_service::{RecoveryService, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn distinct_codes(count: usize, k: usize, seed: u64) -> Vec<LinearCode> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut codes: Vec<LinearCode> = Vec::new();
+    while codes.len() < count {
+        let candidate = hamming::random_sec(k, &mut rng);
+        if !codes.iter().any(|c| equivalence::equivalent(c, &candidate)) {
+            codes.push(candidate);
+        }
+    }
+    codes
+}
+
+fn record_trace(code: &LinearCode) -> ProfileTrace {
+    let patterns = PatternSet::OneTwo.patterns(code.k());
+    let mut backend = AnalyticBackend::new(code.clone());
+    ProfileTrace::record(&mut backend, &patterns, &CollectionPlan::quick())
+}
+
+struct RunStats {
+    jobs: usize,
+    wall: Duration,
+    solves: usize,
+    coalesced: u64,
+    cache_hits: u64,
+}
+
+/// Drives `clients` real TCP connections through `jobs_each` submissions
+/// each and waits for every result; panics on any wrong answer.
+fn drive(
+    service: &Arc<RecoveryService>,
+    addr: &str,
+    clients: usize,
+    jobs_each: usize,
+    codes: &[LinearCode],
+    traces: &[ProfileTrace],
+) -> RunStats {
+    let before = service.stats();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let codes = codes.to_vec();
+            let traces = traces.to_vec();
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect(&addr, format!("tenant-{c}"), "").expect("connect");
+                // Pipeline: submit everything, then collect everything —
+                // the same shape a batch-submitting tenant drives.
+                let jobs: Vec<_> = (0..jobs_each)
+                    .map(|j| {
+                        // Disjoint slices per client: in raw mode (one
+                        // trace per job overall) no index is shared, in
+                        // dedup mode the small pool cycles.
+                        let which = (c * jobs_each + j) % traces.len();
+                        (which, client.submit(&traces[which]).expect("admitted"))
+                    })
+                    .collect();
+                for (which, job) in jobs {
+                    let output = client
+                        .wait(job)
+                        .expect("watch completes")
+                        .expect("clean profile solves");
+                    let code = output.outcome.unique_code().expect("unique recovery");
+                    assert!(
+                        equivalence::equivalent(code, &codes[which]),
+                        "remote answer disagrees with the profiled code"
+                    );
+                }
+                client.close();
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+    let wall = start.elapsed();
+    let after = service.stats();
+    RunStats {
+        jobs: clients * jobs_each,
+        wall,
+        solves: (after.completed - before.completed) as usize
+            - (after.coalesced - before.coalesced) as usize
+            - (after.cache_hits - before.cache_hits) as usize,
+        coalesced: after.coalesced - before.coalesced,
+        cache_hits: after.cache_hits - before.cache_hits,
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let start = Instant::now();
+    let scale = Scale::from_env();
+    banner(
+        "net_throughput",
+        "beer-wire v1 over loopback: jobs/sec and cache-hit latency",
+        "dedup decouples wire throughput from solver cost; remote cache hits stay sub-ms",
+    );
+
+    let k = scale.pick3(8, 8, 16);
+    let pool = scale.pick3(2, 8, 16);
+    let dedup_jobs_each = scale.pick3(4, 16, 48);
+    let raw_jobs_each = scale.pick3(2, 4, 8);
+    let cache_probes = scale.pick3(32, 256, 1024);
+    let client_counts = [1usize, 8, 64];
+
+    let codes = distinct_codes(pool, k, 0x5EE7);
+    let traces: Vec<ProfileTrace> = codes.iter().map(record_trace).collect();
+    println!(
+        "k = {k}, {pool} distinct profiles, {dedup_jobs_each} dedup / {raw_jobs_each} raw jobs \
+         per client\n"
+    );
+
+    let mut csv = CsvArtifact::new(
+        "net_throughput",
+        &[
+            "mode",
+            "clients",
+            "jobs",
+            "unique_profiles",
+            "wall_ms",
+            "jobs_per_sec",
+            "solves",
+            "coalesced",
+            "cache_hits",
+        ],
+    );
+    println!(
+        "{:>6} | {:>8} {:>6} {:>9} {:>11} {:>7} {:>9} {:>10}",
+        "mode", "clients", "jobs", "wall", "jobs/sec", "solves", "coalesced", "cache hits"
+    );
+    for &clients in &client_counts {
+        for raw in [false, true] {
+            let jobs_each = if raw { raw_jobs_each } else { dedup_jobs_each };
+            // Raw mode: every (client, job) pair gets its own profile, so
+            // nothing dedups and every submission pays upload + solve.
+            let (cell_codes, cell_traces) = if raw {
+                let codes = distinct_codes(clients * jobs_each, k, 0xC0DE + clients as u64);
+                let traces: Vec<ProfileTrace> = codes.iter().map(record_trace).collect();
+                (codes, traces)
+            } else {
+                (codes.clone(), traces.clone())
+            };
+            // A fresh service + server per cell: cold caches, clean counters.
+            let service = Arc::new(
+                RecoveryService::start(
+                    ServiceConfig::new().with_queue_capacity(clients * jobs_each + 16),
+                )
+                .expect("start service"),
+            );
+            let server = NetServer::bind(
+                Arc::clone(&service),
+                "127.0.0.1:0",
+                NetServerConfig::new().with_max_connections(clients + 8),
+            )
+            .expect("bind server");
+            let addr = server.local_addr().to_string();
+            let stats = drive(
+                &service,
+                &addr,
+                clients,
+                jobs_each,
+                &cell_codes,
+                &cell_traces,
+            );
+            let mode = if raw { "raw" } else { "dedup" };
+            let jobs_per_sec = stats.jobs as f64 / stats.wall.as_secs_f64();
+            if !raw {
+                assert_eq!(stats.solves, pool.min(stats.jobs), "one solve per profile");
+            } else {
+                assert_eq!(stats.solves, stats.jobs, "raw mode solves everything");
+            }
+            println!(
+                "{:>6} | {:>8} {:>6} {:>9} {:>11.1} {:>7} {:>9} {:>10}",
+                mode,
+                clients,
+                stats.jobs,
+                fmt_duration(stats.wall),
+                jobs_per_sec,
+                stats.solves,
+                stats.coalesced,
+                stats.cache_hits,
+            );
+            csv.row_display(&[
+                mode.to_string(),
+                clients.to_string(),
+                stats.jobs.to_string(),
+                if raw { stats.jobs } else { pool }.to_string(),
+                format!("{:.3}", stats.wall.as_secs_f64() * 1e3),
+                format!("{jobs_per_sec:.1}"),
+                stats.solves.to_string(),
+                stats.coalesced.to_string(),
+                stats.cache_hits.to_string(),
+            ]);
+            server.shutdown(Duration::from_secs(5));
+        }
+    }
+
+    // Remote cache-hit latency: a warm server answering repeats from its
+    // registry, one full submit→watch→done exchange per probe.
+    let service = Arc::new(
+        RecoveryService::start(ServiceConfig::new().with_queue_capacity(pool + 16))
+            .expect("start warm service"),
+    );
+    let server = NetServer::bind(Arc::clone(&service), "127.0.0.1:0", NetServerConfig::new())
+        .expect("bind warm server");
+    let addr = server.local_addr().to_string();
+    let _ = drive(&service, &addr, 1, pool, &codes, &traces); // warm every profile
+    let mut prober = Client::connect(&addr, "prober", "").expect("prober connects");
+    let mut latencies: Vec<Duration> = (0..cache_probes)
+        .map(|i| {
+            let t0 = Instant::now();
+            let job = prober.submit(&traces[i % pool]).expect("admitted");
+            let output = prober
+                .wait(job)
+                .expect("watch completes")
+                .expect("cache answers");
+            assert!(output.from_cache, "warm server must answer from cache");
+            t0.elapsed()
+        })
+        .collect();
+    prober.close();
+    latencies.sort();
+    let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+    println!(
+        "\nremote cache-hit latency over {cache_probes} probes: p50 = {}, p99 = {}",
+        fmt_duration(p50),
+        fmt_duration(p99)
+    );
+    csv.meta("cache_probes", cache_probes);
+    csv.meta("hit_p50_us", p50.as_micros());
+    csv.meta("hit_p99_us", p99.as_micros());
+    csv.meta(
+        "wall_clock_s",
+        format!("{:.3}", start.elapsed().as_secs_f64()),
+    );
+    csv.write();
+    server.shutdown(Duration::from_secs(5));
+    println!("\ntotal wall clock: {}", fmt_duration(start.elapsed()));
+}

@@ -76,4 +76,6 @@ pub use recovery::{
     RecoveryOutcome, RecoveryReport, RecoverySession, RecoveryStats, SessionHooks, SessionStatus,
 };
 pub use solve::{solve_profile, BeerSolverOptions, SolveReport};
-pub use trace::{Fingerprint, ProfileTrace, ReplayBackend, TraceParseError};
+pub use trace::{
+    ChunkError, Fingerprint, ProfileTrace, ReplayBackend, TraceAssembler, TraceParseError,
+};

@@ -418,6 +418,223 @@ impl ProfileTrace {
         ProfileTrace::from_text(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+
+    /// Splits the text serialization into chunks of at most `max_bytes`
+    /// for transfer in bounded frames, returning the evidence
+    /// [`fingerprint`](ProfileTrace::fingerprint) that keys the upload.
+    /// Reassemble with a [`TraceAssembler`] seeded from the same
+    /// fingerprint and chunk count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bytes` is zero.
+    pub fn to_chunks(&self, max_bytes: usize) -> (Fingerprint, Vec<Vec<u8>>) {
+        assert!(max_bytes > 0, "chunk size must be positive");
+        let text = self.to_text().into_bytes();
+        let chunks = text.chunks(max_bytes).map(<[u8]>::to_vec).collect();
+        (self.fingerprint(), chunks)
+    }
+}
+
+/// A typed failure assembling a chunked trace upload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChunkError {
+    /// The upload declares no chunks at all.
+    Empty,
+    /// The declared size exceeds the receiver's limit — rejected up front,
+    /// before any buffering.
+    Oversized {
+        /// Declared total bytes.
+        bytes: u64,
+        /// The receiver's limit.
+        limit: u64,
+    },
+    /// A chunk index at or past the declared chunk count.
+    IndexOutOfRange {
+        /// The offending index.
+        index: u32,
+        /// The declared chunk count.
+        total: u32,
+    },
+    /// The same chunk index arrived twice.
+    Duplicate {
+        /// The repeated index.
+        index: u32,
+    },
+    /// The assembled bytes disagree with the declared total size.
+    SizeMismatch {
+        /// Bytes actually received.
+        received: u64,
+        /// Bytes declared by the upload.
+        declared: u64,
+    },
+    /// The assembled bytes are not UTF-8 text.
+    NotText,
+    /// The assembled text is not a parseable trace.
+    Parse(TraceParseError),
+    /// The assembled trace's evidence fingerprint disagrees with the one
+    /// the upload was keyed by — a corrupt or mislabeled transfer.
+    FingerprintMismatch {
+        /// The fingerprint the upload declared.
+        declared: Fingerprint,
+        /// The fingerprint of what actually arrived.
+        actual: Fingerprint,
+    },
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkError::Empty => write!(f, "upload declares zero chunks"),
+            ChunkError::Oversized { bytes, limit } => {
+                write!(
+                    f,
+                    "upload declares {bytes} bytes, over the limit of {limit}"
+                )
+            }
+            ChunkError::IndexOutOfRange { index, total } => {
+                write!(f, "chunk index {index} out of range (upload has {total})")
+            }
+            ChunkError::Duplicate { index } => write!(f, "chunk {index} received twice"),
+            ChunkError::SizeMismatch { received, declared } => {
+                write!(
+                    f,
+                    "received {received} bytes but the upload declared {declared}"
+                )
+            }
+            ChunkError::NotText => write!(f, "assembled upload is not UTF-8 text"),
+            ChunkError::Parse(e) => write!(f, "assembled upload is not a trace: {e}"),
+            ChunkError::FingerprintMismatch { declared, actual } => write!(
+                f,
+                "assembled trace fingerprints as {actual}, not the declared {declared}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// Reassembles a chunked trace upload produced by
+/// [`ProfileTrace::to_chunks`], verifying size bounds up front and the
+/// evidence fingerprint on completion. Chunks may arrive in any order.
+#[derive(Debug)]
+pub struct TraceAssembler {
+    fingerprint: Fingerprint,
+    declared_bytes: u64,
+    chunks: Vec<Option<Vec<u8>>>,
+    received: usize,
+    received_bytes: u64,
+}
+
+impl TraceAssembler {
+    /// Starts an assembly for `total_chunks` chunks of `total_bytes`
+    /// declared bytes, keyed by the sender's `fingerprint`. Refuses
+    /// declarations over `max_bytes` *before* buffering anything.
+    ///
+    /// # Errors
+    ///
+    /// [`ChunkError::Empty`] or [`ChunkError::Oversized`].
+    pub fn new(
+        fingerprint: Fingerprint,
+        total_chunks: u32,
+        total_bytes: u64,
+        max_bytes: u64,
+    ) -> Result<TraceAssembler, ChunkError> {
+        if total_chunks == 0 {
+            return Err(ChunkError::Empty);
+        }
+        if total_bytes > max_bytes {
+            return Err(ChunkError::Oversized {
+                bytes: total_bytes,
+                limit: max_bytes,
+            });
+        }
+        // The slot table is sized by the declared chunk count, so the
+        // count itself must be consistent with the (already bounded)
+        // byte declaration: more chunks than bytes means empty chunks,
+        // which no sender produces — refuse before allocating the table.
+        if u64::from(total_chunks) > total_bytes {
+            return Err(ChunkError::SizeMismatch {
+                received: u64::from(total_chunks),
+                declared: total_bytes,
+            });
+        }
+        Ok(TraceAssembler {
+            fingerprint,
+            declared_bytes: total_bytes,
+            chunks: vec![None; total_chunks as usize],
+            received: 0,
+            received_bytes: 0,
+        })
+    }
+
+    /// The fingerprint the upload is keyed by.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// Chunks received so far out of the declared total.
+    pub fn progress(&self) -> (usize, usize) {
+        (self.received, self.chunks.len())
+    }
+
+    /// Accepts one chunk. Returns `Ok(Some(trace))` when the final chunk
+    /// completes a verified trace, `Ok(None)` while chunks are missing.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ChunkError`]; the assembly is unusable after an error and
+    /// should be dropped (the sender restarts the upload).
+    pub fn accept(
+        &mut self,
+        index: u32,
+        data: Vec<u8>,
+    ) -> Result<Option<ProfileTrace>, ChunkError> {
+        let total = self.chunks.len() as u32;
+        let slot = self
+            .chunks
+            .get_mut(index as usize)
+            .ok_or(ChunkError::IndexOutOfRange { index, total })?;
+        if slot.is_some() {
+            return Err(ChunkError::Duplicate { index });
+        }
+        // Incremental size guard: a sender whose chunks outgrow its
+        // declaration is refused at the first excess byte, not after
+        // buffering everything it cares to stream.
+        let received_bytes = self.received_bytes + data.len() as u64;
+        if received_bytes > self.declared_bytes {
+            return Err(ChunkError::SizeMismatch {
+                received: received_bytes,
+                declared: self.declared_bytes,
+            });
+        }
+        self.received_bytes = received_bytes;
+        *slot = Some(data);
+        self.received += 1;
+        if self.received < self.chunks.len() {
+            return Ok(None);
+        }
+        let mut bytes: Vec<u8> = Vec::with_capacity(self.declared_bytes as usize);
+        for chunk in &self.chunks {
+            bytes.extend_from_slice(chunk.as_ref().expect("all chunks received"));
+        }
+        if bytes.len() as u64 != self.declared_bytes {
+            return Err(ChunkError::SizeMismatch {
+                received: bytes.len() as u64,
+                declared: self.declared_bytes,
+            });
+        }
+        let text = String::from_utf8(bytes).map_err(|_| ChunkError::NotText)?;
+        let trace = ProfileTrace::from_text(&text).map_err(ChunkError::Parse)?;
+        let actual = trace.fingerprint();
+        if actual != self.fingerprint {
+            return Err(ChunkError::FingerprintMismatch {
+                declared: self.fingerprint,
+                actual,
+            });
+        }
+        Ok(Some(trace))
+    }
 }
 
 /// A [`ProfileSource`] replaying a recorded [`ProfileTrace`]. One unit of
@@ -906,6 +1123,121 @@ mod tests {
                 assert_eq!(original.count(pi, j), folded.count(pi, j));
             }
         }
+    }
+
+    #[test]
+    fn chunked_upload_roundtrips_in_any_order() {
+        let (trace, _) = sample_trace();
+        let (fp, chunks) = trace.to_chunks(16);
+        assert!(chunks.len() > 1, "sample trace must actually chunk");
+        let total_bytes: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        let mut asm =
+            TraceAssembler::new(fp, chunks.len() as u32, total_bytes, 1 << 20).expect("fits");
+        // Deliver out of order: last first.
+        let mut order: Vec<usize> = (0..chunks.len()).collect();
+        order.rotate_left(1);
+        let mut done = None;
+        for i in order {
+            let got = asm
+                .accept(i as u32, chunks[i].clone())
+                .expect("clean chunk");
+            assert_eq!(got.is_some(), asm.progress().0 == chunks.len());
+            done = got.or(done);
+        }
+        assert_eq!(done.expect("assembled"), trace);
+    }
+
+    #[test]
+    fn chunk_assembly_failures_are_typed() {
+        let (trace, _) = sample_trace();
+        let (fp, chunks) = trace.to_chunks(32);
+        let total_bytes: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        let total = chunks.len() as u32;
+
+        assert_eq!(
+            TraceAssembler::new(fp, 0, 1, 1 << 20).unwrap_err(),
+            ChunkError::Empty
+        );
+        assert_eq!(
+            TraceAssembler::new(fp, total, total_bytes, 4).unwrap_err(),
+            ChunkError::Oversized {
+                bytes: total_bytes,
+                limit: 4
+            }
+        );
+
+        let mut asm = TraceAssembler::new(fp, total, total_bytes, 1 << 20).expect("fits");
+        assert_eq!(
+            asm.accept(total, vec![]).unwrap_err(),
+            ChunkError::IndexOutOfRange {
+                index: total,
+                total
+            }
+        );
+        asm.accept(0, chunks[0].clone()).expect("first");
+        assert_eq!(
+            asm.accept(0, chunks[0].clone()).unwrap_err(),
+            ChunkError::Duplicate { index: 0 }
+        );
+
+        // Declared size disagreeing with the delivered bytes — refused
+        // at the first excess byte, before buffering more.
+        let mut asm = TraceAssembler::new(fp, 1, 3, 1 << 20).expect("fits");
+        assert_eq!(
+            asm.accept(0, b"abcd".to_vec()).unwrap_err(),
+            ChunkError::SizeMismatch {
+                received: 4,
+                declared: 3
+            }
+        );
+
+        // A chunk count the declared bytes cannot fill is refused before
+        // the slot table is allocated (no memory proportional to a lying
+        // count), and mid-stream overflow is caught incrementally.
+        assert_eq!(
+            TraceAssembler::new(fp, u32::MAX, 16, 1 << 20).unwrap_err(),
+            ChunkError::SizeMismatch {
+                received: u64::from(u32::MAX),
+                declared: 16
+            }
+        );
+        let mut asm = TraceAssembler::new(fp, 4, 4, 1 << 20).expect("fits");
+        asm.accept(0, b"ab".to_vec()).expect("within bounds");
+        assert_eq!(
+            asm.accept(1, b"cde".to_vec()).unwrap_err(),
+            ChunkError::SizeMismatch {
+                received: 5,
+                declared: 4
+            },
+            "overflow must be refused at the offending chunk, not at completion"
+        );
+
+        // Well-formed trace bytes under the wrong fingerprint.
+        let wrong = Fingerprint(fp.0 ^ 1);
+        let mut asm = TraceAssembler::new(wrong, total, total_bytes, 1 << 20).expect("fits");
+        let mut last = Ok(None);
+        for (i, chunk) in chunks.iter().enumerate() {
+            last = asm.accept(i as u32, chunk.clone());
+        }
+        assert_eq!(
+            last.unwrap_err(),
+            ChunkError::FingerprintMismatch {
+                declared: wrong,
+                actual: fp
+            }
+        );
+
+        // Garbage payloads: non-UTF-8, then unparseable text.
+        let mut asm = TraceAssembler::new(fp, 1, 2, 1 << 20).expect("fits");
+        assert_eq!(
+            asm.accept(0, vec![0xFF, 0xFE]).unwrap_err(),
+            ChunkError::NotText
+        );
+        let mut asm = TraceAssembler::new(fp, 1, 9, 1 << 20).expect("fits");
+        assert!(matches!(
+            asm.accept(0, b"bogus 1 2".to_vec()).unwrap_err(),
+            ChunkError::Parse(_)
+        ));
     }
 
     #[test]

@@ -1,0 +1,637 @@
+//! A typed, blocking `beer-wire v1` client.
+//!
+//! [`Client`] owns one connection and the state needed to survive losing
+//! it: every submitted trace is retained by fingerprint, so when the
+//! connection drops mid-wait the client reconnects, re-authenticates,
+//! re-uploads if the server no longer holds the trace, and re-submits —
+//! and the service's fingerprint dedup re-attaches it to the coalesced
+//! in-flight job (or the completed result lands as a cache hit) instead
+//! of re-solving anything.
+
+use crate::wire::{
+    self, read_message, write_message, ErrorKind, Message, RecvError, WireCodeEntry, WireEvent,
+    WireRecord, WireResult, WireStats,
+};
+use beer_core::trace::{Fingerprint, ProfileTrace};
+use beer_service::Priority;
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a [`Client`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Read deadline per response frame.
+    pub read_timeout: Duration,
+    /// Write deadline per request frame.
+    pub write_timeout: Duration,
+    /// Frame size cap, enforced before allocation.
+    pub max_frame_bytes: usize,
+    /// Trace upload chunk size.
+    pub chunk_bytes: usize,
+    /// Reconnect attempts after a dropped connection (each attempt
+    /// re-submits by fingerprint and resumes the coalesced job).
+    pub reconnect_attempts: usize,
+    /// Pause between reconnect attempts.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+            chunk_bytes: wire::DEFAULT_CHUNK_BYTES,
+            reconnect_attempts: 3,
+            reconnect_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The default configuration (see the field docs).
+    pub fn new() -> Self {
+        ClientConfig::default()
+    }
+
+    /// Overrides the per-frame read deadline.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Overrides the upload chunk size.
+    pub fn with_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.chunk_bytes = bytes;
+        self
+    }
+
+    /// Overrides the reconnect policy.
+    pub fn with_reconnect(mut self, attempts: usize, backoff: Duration) -> Self {
+        self.reconnect_attempts = attempts;
+        self.reconnect_backoff = backoff;
+        self
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure that reconnection did not cure.
+    Io(io::Error),
+    /// The peer sent bytes that are not a valid frame.
+    Wire(wire::WireError),
+    /// The server answered with a typed error frame.
+    Refused {
+        /// The error kind.
+        kind: ErrorKind,
+        /// The server's detail message.
+        detail: String,
+    },
+    /// The server answered with a frame the protocol does not allow here.
+    Protocol {
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// The connection dropped and every reconnect attempt failed.
+    Disconnected,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "bad frame from server: {e}"),
+            ClientError::Refused { kind, detail } => write!(f, "server refused: {kind} ({detail})"),
+            ClientError::Protocol { expected } => {
+                write!(f, "protocol violation: expected {expected}")
+            }
+            ClientError::Disconnected => write!(f, "connection lost and reconnects exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// True for refusals that are *backpressure* (retry later), as
+    /// opposed to permanent errors.
+    pub fn is_backpressure(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Refused {
+                kind: ErrorKind::QueueFull { .. } | ErrorKind::Busy | ErrorKind::ShuttingDown,
+                ..
+            }
+        )
+    }
+}
+
+/// A handle to a job submitted over the network. Carries the profile
+/// fingerprint so a reconnected client can re-attach to the same work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteJob {
+    /// Server-scoped job id.
+    pub id: u64,
+    /// The submitted profile's fingerprint (stable across restarts).
+    pub fingerprint: Fingerprint,
+    /// The priority the job was submitted with — reused when a dropped
+    /// connection forces a resume-by-fingerprint.
+    pub priority: Priority,
+    /// The deadline the job was submitted with. A resume re-applies the
+    /// full duration (the clock restarts from the re-submission).
+    pub deadline: Option<Duration>,
+}
+
+/// A typed, blocking `beer-wire v1` client (see the module docs).
+pub struct Client {
+    addr: String,
+    tenant: String,
+    token: String,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    /// Protocol version negotiated by the last Hello.
+    version: u16,
+    /// Traces submitted through this client, retained for resume.
+    traces: HashMap<Fingerprint, Arc<ProfileTrace>>,
+}
+
+impl Client {
+    /// Connects and authenticates.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or a typed [`ClientError::Refused`] for version
+    /// or auth failures.
+    pub fn connect(
+        addr: impl Into<String>,
+        tenant: impl Into<String>,
+        token: impl Into<String>,
+    ) -> Result<Client, ClientError> {
+        Client::connect_with(addr, tenant, token, ClientConfig::default())
+    }
+
+    /// [`Client::connect`] with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_with(
+        addr: impl Into<String>,
+        tenant: impl Into<String>,
+        token: impl Into<String>,
+        config: ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let mut client = Client {
+            addr: addr.into(),
+            tenant: tenant.into(),
+            token: token.into(),
+            config,
+            stream: None,
+            version: 0,
+            traces: HashMap::new(),
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    /// The protocol version negotiated with the server.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// The tenant this client authenticated as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// (Re)establishes the connection and redoes the Hello handshake.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.stream = None;
+        let stream = TcpStream::connect(&self.addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        self.stream = Some(stream);
+        let hello = Message::Hello {
+            min_version: 1,
+            max_version: wire::WIRE_VERSION,
+            tenant: self.tenant.clone(),
+            token: self.token.clone(),
+        };
+        match self.roundtrip_raw(&hello)? {
+            Message::HelloAck { version, .. } => {
+                self.version = version;
+                Ok(())
+            }
+            Message::Error { kind, detail } => {
+                self.stream = None;
+                Err(ClientError::Refused { kind, detail })
+            }
+            _ => {
+                self.stream = None;
+                Err(ClientError::Protocol {
+                    expected: "HelloAck",
+                })
+            }
+        }
+    }
+
+    fn stream(&mut self) -> Result<&mut TcpStream, ClientError> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Writes one frame, dropping the connection on failure: a partial
+    /// write leaves the stream mid-frame, where any later request would
+    /// be parsed as garbage by the server.
+    fn write_or_drop(&mut self, message: &Message) -> Result<(), ClientError> {
+        let stream = self.stream()?;
+        if let Err(e) = write_message(stream, message) {
+            self.stream = None;
+            return Err(ClientError::Io(e));
+        }
+        Ok(())
+    }
+
+    /// Sends a request and reads the next frame, with no reconnection.
+    fn roundtrip_raw(&mut self, request: &Message) -> Result<Message, ClientError> {
+        let max_frame = self.config.max_frame_bytes;
+        self.write_or_drop(request)?;
+        let stream = self
+            .stream
+            .as_mut()
+            .expect("write_or_drop keeps the stream on success");
+        match read_message(stream, max_frame) {
+            Ok(message) => Ok(message),
+            Err(RecvError::Closed) => {
+                self.stream = None;
+                Err(ClientError::Disconnected)
+            }
+            Err(RecvError::Io(e)) => {
+                self.stream = None;
+                Err(ClientError::Io(e))
+            }
+            Err(RecvError::Frame(e)) => Err(ClientError::Wire(e)),
+        }
+    }
+
+    /// Sends a request and reads the next frame, reconnecting (with the
+    /// configured attempts) on transport failure.
+    fn roundtrip(&mut self, request: &Message) -> Result<Message, ClientError> {
+        let mut attempts = 0;
+        loop {
+            match self.roundtrip_raw(request) {
+                Err(ClientError::Io(_) | ClientError::Disconnected)
+                    if attempts < self.config.reconnect_attempts =>
+                {
+                    attempts += 1;
+                    std::thread::sleep(self.config.reconnect_backoff);
+                    if self.reconnect().is_err() && attempts >= self.config.reconnect_attempts {
+                        return Err(ClientError::Disconnected);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Uploads a trace in chunks; the server verifies the fingerprint.
+    fn upload(&mut self, trace: &ProfileTrace) -> Result<Fingerprint, ClientError> {
+        let (fingerprint, chunks) = trace.to_chunks(self.config.chunk_bytes);
+        let total_bytes: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        let begin = Message::TraceBegin {
+            fingerprint,
+            total_chunks: chunks.len() as u32,
+            total_bytes,
+        };
+        let max_frame = self.config.max_frame_bytes;
+        self.write_or_drop(&begin)?;
+        let last = chunks.len() - 1;
+        for (index, data) in chunks.into_iter().enumerate() {
+            let chunk = Message::TraceChunk {
+                fingerprint,
+                index: index as u32,
+                data,
+            };
+            self.write_or_drop(&chunk)?;
+            if index == last {
+                // Only the final chunk is acknowledged.
+                let stream = self
+                    .stream
+                    .as_mut()
+                    .expect("write_or_drop keeps the stream");
+                match read_message(stream, max_frame) {
+                    Ok(Message::TraceAck { fingerprint: fp }) if fp == fingerprint => {}
+                    Ok(Message::Error { kind, detail }) => {
+                        return Err(ClientError::Refused { kind, detail })
+                    }
+                    Ok(_) => {
+                        return Err(ClientError::Protocol {
+                            expected: "TraceAck",
+                        })
+                    }
+                    Err(RecvError::Frame(e)) => return Err(ClientError::Wire(e)),
+                    Err(RecvError::Closed) => {
+                        self.stream = None;
+                        return Err(ClientError::Disconnected);
+                    }
+                    Err(RecvError::Io(e)) => {
+                        self.stream = None;
+                        return Err(ClientError::Io(e));
+                    }
+                }
+            }
+        }
+        Ok(fingerprint)
+    }
+
+    /// Submits a trace with default priority and no deadline.
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals ([`ClientError::Refused`] mirrors the service's
+    /// admission backpressure) and transport failures.
+    pub fn submit(&mut self, trace: &ProfileTrace) -> Result<RemoteJob, ClientError> {
+        self.submit_with(trace, Priority::Normal, None)
+    }
+
+    /// Submits a trace with an explicit priority and optional deadline.
+    ///
+    /// The trace is uploaded only if the server does not already hold it
+    /// (dedup makes re-submission of a known profile a fingerprint-only
+    /// exchange), and is retained client-side so a dropped connection can
+    /// resume by fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`].
+    pub fn submit_with(
+        &mut self,
+        trace: &ProfileTrace,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<RemoteJob, ClientError> {
+        let fingerprint = trace.fingerprint();
+        self.traces
+            .entry(fingerprint)
+            .or_insert_with(|| Arc::new(trace.clone()));
+        self.submit_fingerprint(fingerprint, priority, deadline)
+    }
+
+    /// Submits by fingerprint, uploading the retained trace when the
+    /// server asks for it.
+    fn submit_fingerprint(
+        &mut self,
+        fingerprint: Fingerprint,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<RemoteJob, ClientError> {
+        let submit = Message::Submit {
+            fingerprint,
+            priority,
+            deadline_ms: deadline.map(|d| d.as_millis() as u64),
+        };
+        let mut uploaded = false;
+        loop {
+            match self.roundtrip(&submit)? {
+                Message::SubmitAck { job } => {
+                    return Ok(RemoteJob {
+                        id: job,
+                        fingerprint,
+                        priority,
+                        deadline,
+                    })
+                }
+                Message::Error {
+                    kind: ErrorKind::UnknownFingerprint { .. },
+                    ..
+                } if !uploaded => {
+                    let trace =
+                        self.traces
+                            .get(&fingerprint)
+                            .cloned()
+                            .ok_or(ClientError::Refused {
+                                kind: ErrorKind::UnknownFingerprint { fingerprint },
+                                detail: "trace not retained client-side".to_string(),
+                            })?;
+                    self.upload(&trace)?;
+                    uploaded = true;
+                }
+                Message::Error { kind, detail } => {
+                    return Err(ClientError::Refused { kind, detail })
+                }
+                _ => {
+                    return Err(ClientError::Protocol {
+                        expected: "SubmitAck",
+                    })
+                }
+            }
+        }
+    }
+
+    /// Blocks until the job completes, discarding intermediate events.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::wait_with`].
+    pub fn wait(&mut self, job: RemoteJob) -> Result<WireResult, ClientError> {
+        self.wait_with(job, |_| {})
+    }
+
+    /// Blocks until the job completes, delivering every streamed
+    /// [`WireEvent`] to `on_event` along the way.
+    ///
+    /// If the connection drops mid-watch, the client reconnects and
+    /// *resumes by fingerprint*: the retained trace is re-submitted, the
+    /// service's dedup coalesces it onto the still-running job (or
+    /// answers from cache), and the watch continues on the new job id —
+    /// no work is re-solved.
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals and transport failures after reconnects are
+    /// exhausted.
+    pub fn wait_with(
+        &mut self,
+        job: RemoteJob,
+        mut on_event: impl FnMut(&WireEvent),
+    ) -> Result<WireResult, ClientError> {
+        let mut current = job;
+        let mut attempts = 0;
+        loop {
+            let err = match self.watch_once(current, &mut on_event) {
+                Ok(result) => return Ok(result),
+                Err(e @ (ClientError::Io(_) | ClientError::Disconnected)) => e,
+                Err(e) => return Err(e),
+            };
+            // Resume: reconnect and re-attach to the in-flight work (or
+            // its cached result) under a fresh job id — never re-watch
+            // the stale id, which the new connection is not authorized
+            // for. The original priority and deadline are re-applied.
+            loop {
+                if attempts >= self.config.reconnect_attempts {
+                    return Err(err);
+                }
+                attempts += 1;
+                std::thread::sleep(self.config.reconnect_backoff);
+                if self.reconnect().is_err() {
+                    continue;
+                }
+                match self.submit_fingerprint(
+                    current.fingerprint,
+                    current.priority,
+                    current.deadline,
+                ) {
+                    Ok(resumed) => {
+                        // A successful resume restores the full budget:
+                        // attempts are per connection drop, not per wait.
+                        current = resumed;
+                        attempts = 0;
+                        break;
+                    }
+                    // Transport trouble: burn another attempt.
+                    Err(ClientError::Io(_) | ClientError::Disconnected) => continue,
+                    // A typed refusal is a real answer, not a flaky link.
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    /// One watch attempt on the current connection.
+    fn watch_once(
+        &mut self,
+        job: RemoteJob,
+        on_event: &mut impl FnMut(&WireEvent),
+    ) -> Result<WireResult, ClientError> {
+        let max_frame = self.config.max_frame_bytes;
+        self.write_or_drop(&Message::Watch { job: job.id })?;
+        let stream = self
+            .stream
+            .as_mut()
+            .expect("write_or_drop keeps the stream");
+        loop {
+            match read_message(stream, max_frame) {
+                Ok(Message::Event { event, .. }) => on_event(&event),
+                Ok(Message::Done { result, .. }) => return Ok(result),
+                Ok(Message::Error { kind, detail }) => {
+                    return Err(ClientError::Refused { kind, detail })
+                }
+                Ok(Message::Bye) => {
+                    // Server drain closed the stream mid-watch.
+                    self.stream = None;
+                    return Err(ClientError::Disconnected);
+                }
+                Ok(_) => return Err(ClientError::Protocol { expected: "Event" }),
+                Err(RecvError::Frame(e)) => return Err(ClientError::Wire(e)),
+                Err(RecvError::Closed) => {
+                    self.stream = None;
+                    return Err(ClientError::Disconnected);
+                }
+                Err(RecvError::Io(e)) => {
+                    self.stream = None;
+                    return Err(ClientError::Io(e));
+                }
+            }
+        }
+    }
+
+    /// Requests cancellation of a job submitted through this client.
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals and transport failures.
+    pub fn cancel(&mut self, job: RemoteJob) -> Result<bool, ClientError> {
+        match self.roundtrip(&Message::Cancel { job: job.id })? {
+            Message::CancelAck { cancelled, .. } => Ok(cancelled),
+            Message::Error { kind, detail } => Err(ClientError::Refused { kind, detail }),
+            _ => Err(ClientError::Protocol {
+                expected: "CancelAck",
+            }),
+        }
+    }
+
+    /// The registry record for a profile fingerprint, if any.
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals and transport failures.
+    pub fn query_fingerprint(
+        &mut self,
+        fingerprint: Fingerprint,
+    ) -> Result<Option<WireRecord>, ClientError> {
+        match self.roundtrip(&Message::QueryFingerprint { fingerprint })? {
+            Message::FingerprintInfo { record, .. } => Ok(record),
+            Message::Error { kind, detail } => Err(ClientError::Refused { kind, detail }),
+            _ => Err(ClientError::Protocol {
+                expected: "FingerprintInfo",
+            }),
+        }
+    }
+
+    /// Every registered code with the given dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals and transport failures.
+    pub fn query_dims(&mut self, n: u32, k: u32) -> Result<Vec<WireCodeEntry>, ClientError> {
+        match self.roundtrip(&Message::QueryDims { n, k })? {
+            Message::DimsInfo { entries } => Ok(entries),
+            Message::Error { kind, detail } => Err(ClientError::Refused { kind, detail }),
+            _ => Err(ClientError::Protocol {
+                expected: "DimsInfo",
+            }),
+        }
+    }
+
+    /// Every registered code with the given canonical hash.
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals and transport failures.
+    pub fn query_hash(&mut self, hash: u64) -> Result<Vec<WireCodeEntry>, ClientError> {
+        match self.roundtrip(&Message::QueryHash { hash })? {
+            Message::HashInfo { entries } => Ok(entries),
+            Message::Error { kind, detail } => Err(ClientError::Refused { kind, detail }),
+            _ => Err(ClientError::Protocol {
+                expected: "HashInfo",
+            }),
+        }
+    }
+
+    /// A service stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals and transport failures.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.roundtrip(&Message::QueryStats)? {
+            Message::StatsInfo(stats) => Ok(stats),
+            Message::Error { kind, detail } => Err(ClientError::Refused { kind, detail }),
+            _ => Err(ClientError::Protocol {
+                expected: "StatsInfo",
+            }),
+        }
+    }
+
+    /// Closes the connection cleanly.
+    pub fn close(mut self) {
+        if let Some(stream) = &mut self.stream {
+            let _ = write_message(stream, &Message::Bye);
+        }
+        self.stream = None;
+    }
+}

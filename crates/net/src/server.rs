@@ -1,0 +1,862 @@
+//! The network edge: a TCP server fronting a [`RecoveryService`].
+//!
+//! ```text
+//!  clients ──TCP──▶ accept (bounded pool) ──▶ per-connection thread
+//!                      │                        Hello/auth → requests
+//!                      └─ over the limit:       │ submit → service (load
+//!                         typed Busy frame      │   shedding: Rejected →
+//!                                               │   typed Error frames)
+//!                                               └ watch → event stream
+//! ```
+//!
+//! Design rules:
+//!
+//! * **Load shedding, not dropped sockets.** Every admission failure —
+//!   full queue, oversized job, bad tenant, drain — crosses the wire as a
+//!   typed [`Message::Error`] frame mirroring [`Rejected`], so a client
+//!   can distinguish backpressure from network failure.
+//! * **Deadlines everywhere.** Per-connection read and write timeouts
+//!   bound how long a dead peer can hold a connection slot.
+//! * **Graceful drain.** [`NetServer::shutdown`] stops admitting new
+//!   submissions (they get [`ErrorKind::ShuttingDown`]) but lets
+//!   in-flight jobs finish and their watchers collect results before the
+//!   listener closes.
+
+use crate::wire::{
+    self, read_message, write_message, ErrorKind, Message, RecvError, WireEvent, WireJobError,
+    WireOutcome, WireOutput, WireRecord, WireResult, WireStats,
+};
+use beer_core::trace::{Fingerprint, ProfileTrace, TraceAssembler};
+use beer_service::{CodeEntry, JobEvent, JobId, JobRequest, RecoveryService, ServiceStats};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`NetServer`].
+#[derive(Clone, Debug)]
+pub struct NetServerConfig {
+    /// Concurrent connections; over the limit, new connections get a
+    /// typed [`ErrorKind::Busy`] frame and a clean close (never a
+    /// silently dropped socket).
+    pub max_connections: usize,
+    /// Per-connection read deadline: an idle or dead peer is disconnected
+    /// after this long without a frame.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline: a peer that stops draining its
+    /// socket is disconnected once a write blocks this long.
+    pub write_timeout: Duration,
+    /// Frame size cap, enforced before allocation.
+    pub max_frame_bytes: usize,
+    /// Total size cap for one chunked trace upload.
+    pub max_trace_bytes: u64,
+    /// Uploaded traces retained for submit-by-fingerprint, shared across
+    /// connections (FIFO eviction). Reconnecting clients re-attach to
+    /// in-flight work without re-uploading while their trace is retained.
+    pub upload_capacity: usize,
+    /// Human-readable server identity sent in HelloAck.
+    pub server_name: String,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_connections: 128,
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+            max_trace_bytes: 16 << 20,
+            upload_capacity: 1024,
+            server_name: "beer_net".to_string(),
+        }
+    }
+}
+
+impl NetServerConfig {
+    /// The default configuration (see the field docs).
+    pub fn new() -> Self {
+        NetServerConfig::default()
+    }
+
+    /// Overrides the connection limit.
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max;
+        self
+    }
+
+    /// Overrides the per-connection read deadline.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Overrides the per-connection write deadline.
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = timeout;
+        self
+    }
+
+    /// Overrides the frame size cap.
+    pub fn with_max_frame_bytes(mut self, max: usize) -> Self {
+        self.max_frame_bytes = max;
+        self
+    }
+
+    /// Overrides the server identity string.
+    pub fn with_server_name(mut self, name: impl Into<String>) -> Self {
+        self.server_name = name.into();
+        self
+    }
+}
+
+/// Uploaded traces shared across connections, keyed by fingerprint, with
+/// FIFO eviction past the capacity bound.
+struct Uploads {
+    by_fingerprint: HashMap<Fingerprint, Arc<ProfileTrace>>,
+    order: VecDeque<Fingerprint>,
+    capacity: usize,
+}
+
+impl Uploads {
+    fn insert(&mut self, fingerprint: Fingerprint, trace: ProfileTrace) {
+        if self
+            .by_fingerprint
+            .insert(fingerprint, Arc::new(trace))
+            .is_none()
+        {
+            self.order.push_back(fingerprint);
+            while self.by_fingerprint.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.by_fingerprint.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn get(&self, fingerprint: Fingerprint) -> Option<Arc<ProfileTrace>> {
+        self.by_fingerprint.get(&fingerprint).cloned()
+    }
+}
+
+struct ServerInner {
+    service: Arc<RecoveryService>,
+    config: NetServerConfig,
+    uploads: Mutex<Uploads>,
+    /// Draining: submissions are refused, everything else still answers.
+    draining: AtomicBool,
+    /// Stopped: connection threads exit at the next frame boundary.
+    stopped: AtomicBool,
+    active_connections: AtomicUsize,
+    /// Live sockets, for prompt unblock on shutdown.
+    sockets: Mutex<HashMap<u64, TcpStream>>,
+    next_socket_id: AtomicUsize,
+}
+
+impl ServerInner {
+    fn register_socket(&self, stream: &TcpStream) -> u64 {
+        let id = self.next_socket_id.fetch_add(1, Ordering::Relaxed) as u64;
+        if let Ok(clone) = stream.try_clone() {
+            self.sockets
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(id, clone);
+        }
+        id
+    }
+
+    fn unregister_socket(&self, id: u64) {
+        self.sockets
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id);
+    }
+}
+
+/// A TCP server exposing a [`RecoveryService`] over `beer-wire v1` (see
+/// the module docs).
+pub struct NetServer {
+    inner: Arc<ServerInner>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    connection_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections for `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(
+        service: Arc<RecoveryService>,
+        addr: impl ToSocketAddrs,
+        config: NetServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(ServerInner {
+            service,
+            uploads: Mutex::new(Uploads {
+                by_fingerprint: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: config.upload_capacity,
+            }),
+            config,
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            sockets: Mutex::new(HashMap::new()),
+            next_socket_id: AtomicUsize::new(0),
+        });
+        let connection_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_inner = Arc::clone(&inner);
+        let accept_threads = Arc::clone(&connection_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("beer-net-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_inner, &accept_threads))
+            .expect("spawn accept thread");
+        Ok(NetServer {
+            inner,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            connection_threads,
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.inner.active_connections.load(Ordering::Relaxed)
+    }
+
+    /// Stops admitting new submissions (they get
+    /// [`ErrorKind::ShuttingDown`]) but keeps serving queries and event
+    /// streams while in-flight jobs finish — for up to `drain`. Then
+    /// closes the listener and every connection and joins the threads.
+    /// The underlying [`RecoveryService`] is shared and stays up; shut it
+    /// down separately.
+    pub fn shutdown(mut self, drain: Duration) {
+        self.shutdown_impl(drain);
+    }
+
+    fn shutdown_impl(&mut self, drain: Duration) {
+        if self.accept_thread.is_none() {
+            return;
+        }
+        self.inner.draining.store(true, Ordering::SeqCst);
+        // Drain: wait for the service to go idle so watchers can collect
+        // their terminal frames before the sockets close.
+        let deadline = Instant::now() + drain;
+        loop {
+            let stats = self.inner.service.stats();
+            if (stats.queued == 0 && stats.running == 0) || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a wake-up connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Unblock connection threads stuck in reads.
+        for (_, socket) in self
+            .inner
+            .sockets
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain()
+        {
+            let _ = socket.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .connection_threads
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_impl(Duration::from_secs(0));
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    inner: &Arc<ServerInner>,
+    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if inner.stopped.load(Ordering::SeqCst) {
+                return;
+            }
+            // Transient accept failure (e.g. fd exhaustion): back off
+            // briefly instead of spinning.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        if inner.stopped.load(Ordering::SeqCst) {
+            return; // the wake-up connection
+        }
+        // Bounded pool: over the limit, the peer gets a typed Busy frame
+        // and a clean close instead of a dropped socket.
+        if inner.active_connections.load(Ordering::SeqCst) >= inner.config.max_connections {
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+            let _ = write_message(
+                &mut stream,
+                &Message::Error {
+                    kind: ErrorKind::Busy,
+                    detail: format!(
+                        "connection limit of {} reached; retry later",
+                        inner.config.max_connections
+                    ),
+                },
+            );
+            continue;
+        }
+        inner.active_connections.fetch_add(1, Ordering::SeqCst);
+        let conn_inner = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name("beer-net-conn".to_string())
+            .spawn(move || {
+                let socket_id = conn_inner.register_socket(&stream);
+                serve_connection(stream, &conn_inner);
+                conn_inner.unregister_socket(socket_id);
+                conn_inner.active_connections.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("spawn connection thread");
+        let mut threads = threads.lock().unwrap_or_else(|p| p.into_inner());
+        // Opportunistically reap finished threads so the vec stays small.
+        let mut i = 0;
+        while i < threads.len() {
+            if threads[i].is_finished() {
+                let _ = threads.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        threads.push(handle);
+    }
+}
+
+/// Per-connection state after a successful Hello.
+struct Connection {
+    tenant: String,
+    /// Job ids issued on this connection — the only ids it may watch or
+    /// cancel (tenancy isolation at the wire edge).
+    jobs: HashSet<u64>,
+    /// In-progress chunked uploads.
+    assemblies: HashMap<Fingerprint, TraceAssembler>,
+    /// Uploads already refused with a typed error. Later chunks of a
+    /// refused upload are dropped *silently*: the sender streams its
+    /// chunks before reading the refusal, and answering each one would
+    /// desynchronize its request/response pairing.
+    rejected_uploads: HashSet<Fingerprint>,
+}
+
+/// Concurrent in-progress uploads one connection may hold.
+const MAX_CONCURRENT_UPLOADS: usize = 4;
+/// Refused-upload fingerprints remembered per connection.
+const MAX_REJECTED_UPLOADS: usize = 1024;
+/// Entries one registry query answer may carry (a larger registry
+/// answer would outgrow the peer's frame cap anyway).
+const MAX_QUERY_ENTRIES: usize = 256;
+
+impl Connection {
+    /// Bounds the refusal memory. Clearing drops the silent-absorb
+    /// guarantee for any *still-streaming* refused upload (its remaining
+    /// chunks would each earn an error frame again), but only a client
+    /// cycling through >1024 refused uploads on one connection can reach
+    /// this, and bounded memory wins over its framing.
+    fn bound_rejected_uploads(&mut self) {
+        if self.rejected_uploads.len() > MAX_REJECTED_UPLOADS {
+            self.rejected_uploads.clear();
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, message: &Message) -> bool {
+    write_message(stream, message).is_ok()
+}
+
+fn send_error(stream: &mut TcpStream, kind: ErrorKind, detail: impl Into<String>) -> bool {
+    send(
+        stream,
+        &Message::Error {
+            kind,
+            detail: detail.into(),
+        },
+    )
+}
+
+fn serve_connection(mut stream: TcpStream, inner: &ServerInner) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+
+    // First frame must be a Hello that negotiates and authenticates.
+    let mut conn = match read_message(&mut stream, inner.config.max_frame_bytes) {
+        Ok(Message::Hello {
+            min_version,
+            max_version,
+            tenant,
+            token,
+        }) => {
+            let Some(version) = wire::negotiate(min_version, max_version) else {
+                send_error(
+                    &mut stream,
+                    ErrorKind::UnsupportedVersion {
+                        min: wire::WIRE_VERSION,
+                        max: wire::WIRE_VERSION,
+                    },
+                    format!(
+                        "no common version: client speaks {min_version}..={max_version}, \
+                         server speaks {0}..={0}",
+                        wire::WIRE_VERSION
+                    ),
+                );
+                return;
+            };
+            if !inner.service.authenticate(&tenant, &token) {
+                send_error(
+                    &mut stream,
+                    ErrorKind::AuthFailed,
+                    format!("tenant {tenant:?} refused"),
+                );
+                return;
+            }
+            if !send(
+                &mut stream,
+                &Message::HelloAck {
+                    version,
+                    server: inner.config.server_name.clone(),
+                },
+            ) {
+                return;
+            }
+            Connection {
+                tenant,
+                jobs: HashSet::new(),
+                assemblies: HashMap::new(),
+                rejected_uploads: HashSet::new(),
+            }
+        }
+        Ok(_) => {
+            send_error(
+                &mut stream,
+                ErrorKind::BadRequest,
+                "first frame must be Hello",
+            );
+            return;
+        }
+        Err(RecvError::Frame(e)) => {
+            send_error(&mut stream, ErrorKind::BadRequest, e.to_string());
+            return;
+        }
+        Err(_) => return,
+    };
+
+    loop {
+        if inner.stopped.load(Ordering::SeqCst) {
+            let _ = send(&mut stream, &Message::Bye);
+            return;
+        }
+        let message = match read_message(&mut stream, inner.config.max_frame_bytes) {
+            Ok(message) => message,
+            Err(RecvError::Frame(e)) => {
+                // A peer sending garbage gets one typed diagnosis, then
+                // the connection closes (framing may be unrecoverable).
+                send_error(&mut stream, ErrorKind::BadRequest, e.to_string());
+                return;
+            }
+            Err(_) => return, // closed, timed out, or transport failure
+        };
+        let keep_going = handle_message(&mut stream, inner, &mut conn, message);
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Handles one request frame; returns false when the connection is done.
+fn handle_message(
+    stream: &mut TcpStream,
+    inner: &ServerInner,
+    conn: &mut Connection,
+    message: Message,
+) -> bool {
+    match message {
+        Message::TraceBegin {
+            fingerprint,
+            total_chunks,
+            total_bytes,
+        } => {
+            // Bound what one connection may buffer: a restarted upload
+            // for a known fingerprint replaces its assembly, but brand-new
+            // concurrent assemblies are capped (every other buffer in the
+            // stack is bounded; this must be too).
+            if !conn.assemblies.contains_key(&fingerprint)
+                && conn.assemblies.len() >= MAX_CONCURRENT_UPLOADS
+            {
+                conn.rejected_uploads.insert(fingerprint);
+                conn.bound_rejected_uploads();
+                return send_error(
+                    stream,
+                    ErrorKind::BadChunk,
+                    format!(
+                        "too many concurrent uploads on one connection                          (limit {MAX_CONCURRENT_UPLOADS}); finish one first"
+                    ),
+                );
+            }
+            match TraceAssembler::new(
+                fingerprint,
+                total_chunks,
+                total_bytes,
+                inner.config.max_trace_bytes,
+            ) {
+                Ok(assembler) => {
+                    // A restarted upload for the same fingerprint replaces
+                    // the stale assembly (and clears any earlier refusal).
+                    conn.rejected_uploads.remove(&fingerprint);
+                    conn.assemblies.insert(fingerprint, assembler);
+                    true
+                }
+                Err(e) => {
+                    conn.rejected_uploads.insert(fingerprint);
+                    conn.bound_rejected_uploads();
+                    send_error(stream, ErrorKind::BadChunk, e.to_string())
+                }
+            }
+        }
+        Message::TraceChunk {
+            fingerprint,
+            index,
+            data,
+        } => {
+            let Some(assembler) = conn.assemblies.get_mut(&fingerprint) else {
+                // One refusal per upload: the begin/first-bad-chunk error
+                // already went out, so the rest of an already-refused
+                // stream is absorbed without a reply.
+                if conn.rejected_uploads.contains(&fingerprint) {
+                    return true;
+                }
+                return send_error(
+                    stream,
+                    ErrorKind::BadChunk,
+                    format!("no upload in progress for {fingerprint} (send TraceBegin first)"),
+                );
+            };
+            match assembler.accept(index, data) {
+                Ok(None) => true,
+                Ok(Some(trace)) => {
+                    conn.assemblies.remove(&fingerprint);
+                    inner
+                        .uploads
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .insert(fingerprint, trace);
+                    send(stream, &Message::TraceAck { fingerprint })
+                }
+                Err(e) => {
+                    conn.assemblies.remove(&fingerprint);
+                    conn.rejected_uploads.insert(fingerprint);
+                    conn.bound_rejected_uploads();
+                    send_error(stream, ErrorKind::BadChunk, e.to_string())
+                }
+            }
+        }
+        Message::Submit {
+            fingerprint,
+            priority,
+            deadline_ms,
+        } => {
+            if inner.draining.load(Ordering::SeqCst) {
+                return send_error(
+                    stream,
+                    ErrorKind::ShuttingDown,
+                    "server is draining; no new submissions",
+                );
+            }
+            let trace = inner
+                .uploads
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get(fingerprint);
+            let Some(trace) = trace else {
+                return send_error(
+                    stream,
+                    ErrorKind::UnknownFingerprint { fingerprint },
+                    "upload the trace before submitting it",
+                );
+            };
+            // The upload cache's Arc is shared into the job: the dedup
+            // hot path (many submissions of one profile) never copies
+            // the trace.
+            let mut request = JobRequest::shared_trace(&conn.tenant, trace).with_priority(priority);
+            if let Some(ms) = deadline_ms {
+                request = request.with_deadline(Duration::from_millis(ms));
+            }
+            // Load shedding: service backpressure crosses the wire as a
+            // typed error frame, never a dropped socket.
+            match inner.service.submit(request) {
+                Ok(JobId(job)) => {
+                    conn.jobs.insert(job);
+                    send(stream, &Message::SubmitAck { job })
+                }
+                Err(rejected) => send_error(
+                    stream,
+                    ErrorKind::from_rejected(&rejected),
+                    rejected.to_string(),
+                ),
+            }
+        }
+        Message::Watch { job } => {
+            if !conn.jobs.contains(&job) {
+                return send_error(
+                    stream,
+                    ErrorKind::UnknownJob { job },
+                    "not a job submitted on this connection",
+                );
+            }
+            watch_job(stream, inner, JobId(job))
+        }
+        Message::Cancel { job } => {
+            if !conn.jobs.contains(&job) {
+                return send_error(
+                    stream,
+                    ErrorKind::UnknownJob { job },
+                    "not a job submitted on this connection",
+                );
+            }
+            let cancelled = inner.service.cancel(JobId(job));
+            send(stream, &Message::CancelAck { job, cancelled })
+        }
+        Message::QueryFingerprint { fingerprint } => {
+            let record = inner
+                .service
+                .lookup_fingerprint(fingerprint)
+                .map(|r| WireRecord {
+                    tenant: r.tenant,
+                    outcome: WireOutcome::from_outcome(&r.outcome),
+                });
+            send(
+                stream,
+                &Message::FingerprintInfo {
+                    fingerprint,
+                    record,
+                },
+            )
+        }
+        Message::QueryDims { n, k } => {
+            let entries = inner.service.lookup_dims(n as usize, k as usize);
+            // Capped: an unbounded answer would outgrow the peer's frame
+            // cap and desynchronize the stream. lookup_dims orders by
+            // hash, so the cap returns a stable prefix.
+            send(
+                stream,
+                &Message::DimsInfo {
+                    entries: entries
+                        .iter()
+                        .take(MAX_QUERY_ENTRIES)
+                        .map(wire_entry)
+                        .collect(),
+                },
+            )
+        }
+        Message::QueryHash { hash } => {
+            let entries = inner.service.lookup_hash(hash);
+            send(
+                stream,
+                &Message::HashInfo {
+                    entries: entries
+                        .iter()
+                        .take(MAX_QUERY_ENTRIES)
+                        .map(wire_entry)
+                        .collect(),
+                },
+            )
+        }
+        Message::QueryStats => {
+            let stats: ServiceStats = inner.service.stats();
+            send(stream, &Message::StatsInfo(WireStats::from(stats)))
+        }
+        Message::Bye => {
+            let _ = send(stream, &Message::Bye);
+            false
+        }
+        // Server-to-client frames arriving at the server are protocol
+        // violations.
+        Message::Hello { .. }
+        | Message::HelloAck { .. }
+        | Message::TraceAck { .. }
+        | Message::SubmitAck { .. }
+        | Message::Event { .. }
+        | Message::Done { .. }
+        | Message::CancelAck { .. }
+        | Message::FingerprintInfo { .. }
+        | Message::DimsInfo { .. }
+        | Message::HashInfo { .. }
+        | Message::StatsInfo(_)
+        | Message::Error { .. } => {
+            send_error(stream, ErrorKind::BadRequest, "unexpected frame direction")
+        }
+    }
+}
+
+fn wire_entry(entry: &CodeEntry) -> wire::WireCodeEntry {
+    wire::WireCodeEntry {
+        hash: entry.hash,
+        code: entry.code.clone(),
+        fingerprints: entry.fingerprints.clone(),
+    }
+}
+
+/// Streams a job's events to the peer until the job is terminal, then
+/// sends the Done frame. Returns false when the connection should close.
+fn watch_job(stream: &mut TcpStream, inner: &ServerInner, id: JobId) -> bool {
+    // Subscribe before checking the result so no terminal event can slip
+    // between the check and the subscription.
+    let events = inner.service.subscribe(id);
+    if let Some(result) = inner.service.result(id) {
+        return send_done(stream, id, &result);
+    }
+    let Some(events) = events else {
+        // Evicted or never known; result() above also found nothing.
+        return send_error(
+            stream,
+            ErrorKind::UnknownJob { job: id.0 },
+            "job expired from the retention window",
+        );
+    };
+    let mut last_liveness = Instant::now();
+    loop {
+        // A watch writes only when events arrive, so a vanished peer
+        // would otherwise hold its slot for the whole job. A periodic
+        // zero-consume peek detects a closed peer (FIN/RST) promptly; a
+        // silent partition stays undetectable until the next write, as
+        // with any TCP stream without keepalive.
+        if last_liveness.elapsed() >= Duration::from_secs(2) {
+            last_liveness = Instant::now();
+            if peer_closed(stream) {
+                return false;
+            }
+        }
+        match events.recv_timeout(Duration::from_millis(50)) {
+            Ok(event) => {
+                if let Some(wire_event) = wire_event(&event) {
+                    if !send(
+                        stream,
+                        &Message::Event {
+                            job: id.0,
+                            event: wire_event,
+                        },
+                    ) {
+                        // The peer is gone; the job keeps running (a
+                        // reconnecting client re-attaches by fingerprint).
+                        return false;
+                    }
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // The job's event fan-out is gone: it was evicted from
+                // the retention window (or the service stopped). One
+                // final result check, then a typed answer either way —
+                // never a poll loop against a channel that returns
+                // Disconnected instantly.
+                if let Some(result) = inner.service.result(id) {
+                    return send_done(stream, id, &result);
+                }
+                return send_error(
+                    stream,
+                    ErrorKind::UnknownJob { job: id.0 },
+                    "job expired from the retention window before its result was read",
+                );
+            }
+        }
+        if let Some(result) = inner.service.result(id) {
+            return send_done(stream, id, &result);
+        }
+        if inner.stopped.load(Ordering::SeqCst) {
+            let _ = send(stream, &Message::Bye);
+            return false;
+        }
+    }
+}
+
+/// True if the peer has closed (or reset) the connection — a 1-byte
+/// `peek` under a tiny read deadline returns `Ok(0)` on FIN and a hard
+/// error on RST, while an alive-but-quiet peer times out. The original
+/// read deadline is restored afterwards.
+fn peer_closed(stream: &mut TcpStream) -> bool {
+    let original = stream.read_timeout().ok().flatten();
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(1)))
+        .is_err()
+    {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let closed = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false, // pipelined bytes: not our business mid-watch
+        Err(e) => !matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+        ),
+    };
+    let _ = stream.set_read_timeout(original);
+    closed
+}
+
+fn send_done(stream: &mut TcpStream, id: JobId, result: &beer_service::JobResult) -> bool {
+    let wire_result: WireResult = match result {
+        Ok(output) => Ok(WireOutput {
+            outcome: WireOutcome::from_outcome(&output.outcome),
+            from_cache: output.from_cache,
+            coalesced_into: output.coalesced_into.map(|JobId(j)| j),
+        }),
+        Err(e) => Err(WireJobError::from_error(e)),
+    };
+    send(
+        stream,
+        &Message::Done {
+            job: id.0,
+            result: wire_result,
+        },
+    )
+}
+
+/// Maps a service event to its wire twin (session progress flattens to a
+/// rendered detail line).
+fn wire_event(event: &JobEvent) -> Option<WireEvent> {
+    Some(match event {
+        JobEvent::Submitted { tenant, .. } => WireEvent::Submitted {
+            tenant: tenant.clone(),
+        },
+        JobEvent::StateChanged { state, .. } => WireEvent::State { state: *state },
+        JobEvent::Coalesced { primary, .. } => WireEvent::Coalesced { primary: primary.0 },
+        JobEvent::CacheHit { .. } => WireEvent::CacheHit,
+        JobEvent::Requeued { .. } => WireEvent::Requeued,
+        JobEvent::Progress { event, .. } => WireEvent::Progress {
+            detail: format!("{event:?}"),
+        },
+    })
+}

@@ -6,6 +6,7 @@ use beer_core::recovery::{BudgetReason, RecoveryError, RecoveryEvent};
 use beer_core::trace::ProfileTrace;
 use beer_ecc::LinearCode;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Opaque job identifier, unique within one service instance. Durable
@@ -87,8 +88,10 @@ pub enum JobInput {
     /// [`ReplayBackend`](beer_core::trace::ReplayBackend). Trace jobs are
     /// *dedupable*: identical normalized evidence coalesces onto one
     /// in-flight job, and completed results are served from the registry
-    /// cache forever after.
-    Trace(ProfileTrace),
+    /// cache forever after. Shared (`Arc`) so front ends holding many
+    /// duplicate submissions of one profile (e.g. the network edge's
+    /// upload cache) never deep-copy the trace per submission.
+    Trace(Arc<ProfileTrace>),
     /// A live backend (a chip on a tester, a simulation). Opaque to the
     /// service: never coalesced, never cached — every submission runs.
     Source {
@@ -117,6 +120,13 @@ pub struct JobRequest {
 impl JobRequest {
     /// A trace job with default priority and no deadline.
     pub fn trace(tenant: impl Into<String>, trace: ProfileTrace) -> Self {
+        JobRequest::shared_trace(tenant, Arc::new(trace))
+    }
+
+    /// A trace job over an already-shared trace — duplicate submissions
+    /// of one profile (the dedup hot path) share the allocation instead
+    /// of cloning it.
+    pub fn shared_trace(tenant: impl Into<String>, trace: Arc<ProfileTrace>) -> Self {
         JobRequest {
             tenant: tenant.into(),
             priority: Priority::default(),

@@ -69,4 +69,6 @@ pub use job::{
     Priority, Rejected,
 };
 pub use registry::{CodeEntry, JobRecord, Registry, REGISTRY_HEADER};
-pub use service::{RecoveryService, ServiceConfig, ServiceStats};
+pub use service::{
+    ConfigError, RecoveryService, RejectionStats, ServiceConfig, ServiceStats, StartError,
+};

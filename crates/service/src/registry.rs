@@ -298,6 +298,13 @@ impl Registry {
             .find(|e| equivalence::equivalent(&e.code, code))
     }
 
+    /// Every stored entry with the given canonical hash, in append order
+    /// (more than one only on a 64-bit hash collision between
+    /// inequivalent codes).
+    pub fn lookup_hash(&self, hash: u64) -> &[CodeEntry] {
+        self.codes.get(&hash).map_or(&[], Vec::as_slice)
+    }
+
     /// Every stored code with codeword length `n` and dataword length `k`.
     pub fn lookup_dims(&self, n: usize, k: usize) -> Vec<&CodeEntry> {
         let mut out: Vec<&CodeEntry> = self

@@ -32,21 +32,102 @@ use beer_core::recovery::{
 use beer_core::trace::{Fingerprint, ProfileTrace, ReplayBackend};
 use beer_ecc::{equivalence, LinearCode};
 use std::collections::HashMap;
+use std::fmt;
 use std::io;
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// A typed configuration error from [`RecoveryService::start`]: the
+/// settings describe a service that could never make progress, so the
+/// service refuses to spawn instead of wedging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0`: no thread would ever pop the queue.
+    ZeroWorkers,
+    /// `queue_capacity == 0`: every submission would be
+    /// [`Rejected::QueueFull`].
+    ZeroQueueCapacity,
+    /// An explicit tenant set with no tenants in it: every submission
+    /// would be [`Rejected::InvalidTenant`].
+    EmptyTenantSet,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            ConfigError::ZeroQueueCapacity => write!(f, "queue capacity must be at least 1"),
+            ConfigError::EmptyTenantSet => {
+                write!(f, "an explicit tenant set must name at least one tenant")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Why [`RecoveryService::start`] failed.
+#[derive(Debug)]
+pub enum StartError {
+    /// The configuration is unusable (typed; see [`ConfigError`]).
+    Config(ConfigError),
+    /// Opening or replaying the registry failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for StartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartError::Config(e) => write!(f, "invalid service configuration: {e}"),
+            StartError::Io(e) => write!(f, "registry I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StartError::Config(e) => Some(e),
+            StartError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for StartError {
+    fn from(e: io::Error) -> Self {
+        StartError::Io(e)
+    }
+}
+
+impl From<ConfigError> for StartError {
+    fn from(e: ConfigError) -> Self {
+        StartError::Config(e)
+    }
+}
+
+/// Callers in `io::Result` contexts keep working: a config error maps to
+/// [`io::ErrorKind::InvalidInput`].
+impl From<StartError> for io::Error {
+    fn from(e: StartError) -> Self {
+        match e {
+            StartError::Config(c) => io::Error::new(io::ErrorKind::InvalidInput, c),
+            StartError::Io(e) => e,
+        }
+    }
+}
+
 /// Configuration of a [`RecoveryService`].
 pub struct ServiceConfig {
-    /// Worker threads (`0` = the machine's available parallelism). Each
-    /// worker drives one session at a time with a serial collection
-    /// engine, so this bounds total parallelism exactly like a
-    /// [`RecoveryFleet`](beer_core::recovery::RecoveryFleet)'s thread
-    /// budget.
+    /// Worker threads. Each worker drives one session at a time with a
+    /// serial collection engine, so this bounds total parallelism exactly
+    /// like a [`RecoveryFleet`](beer_core::recovery::RecoveryFleet)'s
+    /// thread budget. Defaults to the machine's available parallelism;
+    /// `0` is a typed [`ConfigError::ZeroWorkers`] at start.
     pub workers: usize,
-    /// Bounded queue capacity; beyond it, [`Rejected::QueueFull`].
+    /// Bounded queue capacity; beyond it, [`Rejected::QueueFull`]. `0` is
+    /// a typed [`ConfigError::ZeroQueueCapacity`] at start.
     pub queue_capacity: usize,
     /// Per-job size ceiling in patterns; beyond it,
     /// [`Rejected::TooLarge`].
@@ -64,18 +145,30 @@ pub struct ServiceConfig {
     /// jobs replay against this schedule, so submitted traces must cover
     /// the patterns it requests (record them over the same schedule).
     pub recovery: RecoveryConfig,
+    /// The admitted tenants and their auth tokens. `None` (the default)
+    /// is an *open* service: any well-formed tenant name may submit, and
+    /// authentication always succeeds. `Some(set)` is a *closed* service:
+    /// submissions from tenants outside the set are
+    /// [`Rejected::InvalidTenant`], and
+    /// [`RecoveryService::authenticate`] (the network edge's Hello check)
+    /// requires the tenant's exact token. An empty set is a typed
+    /// [`ConfigError::EmptyTenantSet`] at start.
+    pub tenants: Option<HashMap<String, String>>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
-            workers: 0,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             queue_capacity: 256,
             max_patterns: 1 << 16,
             registry_path: None,
             compact_after: 4096,
             retained_jobs: 4096,
             recovery: RecoveryConfig::new(),
+            tenants: None,
         }
     }
 }
@@ -127,6 +220,67 @@ impl ServiceConfig {
         self.recovery = recovery;
         self
     }
+
+    /// Closes the service to an explicit `(tenant, auth token)` set.
+    pub fn with_tenants<T, U>(mut self, tenants: impl IntoIterator<Item = (T, U)>) -> Self
+    where
+        T: Into<String>,
+        U: Into<String>,
+    {
+        self.tenants = Some(
+            tenants
+                .into_iter()
+                .map(|(t, u)| (t.into(), u.into()))
+                .collect(),
+        );
+        self
+    }
+
+    /// Validates the configuration (also run by
+    /// [`RecoveryService::start`]).
+    ///
+    /// # Errors
+    ///
+    /// The first applicable [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.tenants.as_ref().is_some_and(HashMap::is_empty) {
+            return Err(ConfigError::EmptyTenantSet);
+        }
+        Ok(())
+    }
+}
+
+/// Admission rejections by kind (see [`ServiceStats::rejected`]) — the
+/// shape of the backpressure a service is applying.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RejectionStats {
+    /// [`Rejected::QueueFull`] rejections.
+    pub queue_full: u64,
+    /// [`Rejected::TooLarge`] rejections.
+    pub too_large: u64,
+    /// [`Rejected::InvalidTenant`] rejections.
+    pub invalid_tenant: u64,
+    /// [`Rejected::Unschedulable`] rejections.
+    pub unschedulable: u64,
+    /// [`Rejected::ShuttingDown`] rejections.
+    pub shutting_down: u64,
+}
+
+impl RejectionStats {
+    /// Rejections of every kind.
+    pub fn total(&self) -> u64 {
+        self.queue_full
+            + self.too_large
+            + self.invalid_tenant
+            + self.unschedulable
+            + self.shutting_down
+    }
 }
 
 /// Service counters and gauges (see [`RecoveryService::stats`]).
@@ -151,6 +305,8 @@ pub struct ServiceStats {
     pub queued: usize,
     /// Jobs currently running (gauge).
     pub running: usize,
+    /// Admission rejections by kind.
+    pub rejected: RejectionStats,
 }
 
 enum InputSlot {
@@ -186,6 +342,7 @@ struct Counters {
     cache_hits: u64,
     coalesced: u64,
     requeued: u64,
+    rejected: RejectionStats,
 }
 
 struct State {
@@ -215,6 +372,8 @@ struct Inner {
     max_patterns: usize,
     compact_after: usize,
     retained_jobs: usize,
+    /// `Some` = closed tenant set with auth tokens; `None` = open.
+    tenants: Option<HashMap<String, String>>,
 }
 
 /// The multi-tenant recovery service (see the module docs and the crate
@@ -225,24 +384,21 @@ pub struct RecoveryService {
 }
 
 impl RecoveryService {
-    /// Starts the service: opens (and replays) the registry and spawns the
-    /// worker pool.
+    /// Starts the service: validates the configuration, opens (and
+    /// replays) the registry, and spawns the worker pool.
     ///
     /// # Errors
     ///
-    /// Propagates registry I/O errors.
-    pub fn start(config: ServiceConfig) -> io::Result<RecoveryService> {
+    /// [`StartError::Config`] for a configuration that could never make
+    /// progress (zero workers, zero queue capacity, or an explicit-but-
+    /// empty tenant set); [`StartError::Io`] for registry I/O errors.
+    pub fn start(config: ServiceConfig) -> Result<RecoveryService, StartError> {
+        config.validate()?;
         let registry = match &config.registry_path {
             Some(path) => Registry::open(path)?,
             None => Registry::in_memory(),
         };
-        let worker_count = if config.workers > 0 {
-            config.workers
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        };
+        let worker_count = config.workers;
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 scheduler: FairScheduler::new(config.queue_capacity),
@@ -263,6 +419,7 @@ impl RecoveryService {
             max_patterns: config.max_patterns,
             compact_after: config.compact_after,
             retained_jobs: config.retained_jobs,
+            tenants: config.tenants,
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -284,6 +441,22 @@ impl RecoveryService {
     /// Returns a typed [`Rejected`] — admission backpressure, never a
     /// panic.
     pub fn submit(&self, request: JobRequest) -> Result<JobId, Rejected> {
+        let result = self.submit_inner(request);
+        if let Err(rejected) = &result {
+            let mut state = lock_unpoisoned(&self.inner.state);
+            let r = &mut state.counters.rejected;
+            match rejected {
+                Rejected::QueueFull { .. } => r.queue_full += 1,
+                Rejected::TooLarge { .. } => r.too_large += 1,
+                Rejected::InvalidTenant { .. } => r.invalid_tenant += 1,
+                Rejected::Unschedulable { .. } => r.unschedulable += 1,
+                Rejected::ShuttingDown => r.shutting_down += 1,
+            }
+        }
+        result
+    }
+
+    fn submit_inner(&self, request: JobRequest) -> Result<JobId, Rejected> {
         let JobRequest {
             tenant,
             priority,
@@ -300,15 +473,18 @@ impl RecoveryService {
                 reason: "tenant name contains whitespace",
             });
         }
+        if let Some(tenants) = &self.inner.tenants {
+            if !tenants.contains_key(&tenant) {
+                return Err(Rejected::InvalidTenant {
+                    reason: "tenant is not in the service's tenant set",
+                });
+            }
+        }
         let (slot, fingerprint, patterns) = match input {
             JobInput::Trace(trace) => {
                 let patterns = trace.patterns.len();
                 let fingerprint = trace.fingerprint();
-                (
-                    InputSlot::Trace(Arc::new(trace)),
-                    Some(fingerprint),
-                    patterns,
-                )
+                (InputSlot::Trace(trace), Some(fingerprint), patterns)
             }
             JobInput::Source { label, source } => {
                 // `scheduled_patterns` asserts on unschedulable dataword
@@ -538,12 +714,46 @@ impl RecoveryService {
             .cloned()
     }
 
+    /// Checks a tenant's credentials — the network edge's Hello gate.
+    ///
+    /// An *open* service (no configured tenant set) accepts any
+    /// well-formed tenant name and ignores the token. A *closed* service
+    /// requires the tenant to be in the set with exactly this token
+    /// (compared in constant time over the token bytes).
+    pub fn authenticate(&self, tenant: &str, token: &str) -> bool {
+        if tenant.is_empty() || tenant.chars().any(char::is_whitespace) {
+            return false;
+        }
+        match &self.inner.tenants {
+            None => true,
+            Some(tenants) => tenants.get(tenant).is_some_and(|expected| {
+                // Constant-time comparison: no early exit leaking how much
+                // of the token matched.
+                expected.len() == token.len()
+                    && expected
+                        .bytes()
+                        .zip(token.bytes())
+                        .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+                        == 0
+            }),
+        }
+    }
+
     /// The registry entry for any code equivalent to `code`.
     pub fn lookup_code(&self, code: &LinearCode) -> Option<CodeEntry> {
         lock_unpoisoned(&self.inner.state)
             .registry
             .lookup_code(code)
             .cloned()
+    }
+
+    /// Every registry entry whose canonical hash is `hash` (more than one
+    /// only if two inequivalent codes collide on the 64-bit hash).
+    pub fn lookup_hash(&self, hash: u64) -> Vec<CodeEntry> {
+        lock_unpoisoned(&self.inner.state)
+            .registry
+            .lookup_hash(hash)
+            .to_vec()
     }
 
     /// Every registered code with the given dimensions.
@@ -589,6 +799,7 @@ impl RecoveryService {
                 .filter(|j| j.state == JobState::Queued)
                 .count(),
             running: state.running,
+            rejected: c.rejected,
         }
     }
 
@@ -895,5 +1106,103 @@ fn worker_loop(inner: &Inner) {
             }
         });
         inner.finalize(&mut state, id, job_state, job_result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobRequest;
+    use beer_core::collect::CollectionPlan;
+    use beer_core::engine::AnalyticBackend;
+    use beer_core::pattern::PatternSet;
+    use beer_ecc::hamming;
+
+    fn sample_trace() -> ProfileTrace {
+        let code = hamming::shortened(8);
+        let patterns = PatternSet::OneTwo.patterns(8);
+        let mut backend = AnalyticBackend::new(code);
+        ProfileTrace::record(&mut backend, &patterns, &CollectionPlan::quick())
+    }
+
+    #[test]
+    fn unusable_configurations_are_typed_start_errors() {
+        for (config, expected) in [
+            (
+                ServiceConfig::new().with_workers(0),
+                ConfigError::ZeroWorkers,
+            ),
+            (
+                ServiceConfig::new().with_queue_capacity(0),
+                ConfigError::ZeroQueueCapacity,
+            ),
+            (
+                ServiceConfig::new().with_tenants(Vec::<(String, String)>::new()),
+                ConfigError::EmptyTenantSet,
+            ),
+        ] {
+            match RecoveryService::start(config) {
+                Err(StartError::Config(got)) => assert_eq!(got, expected),
+                Err(other) => panic!("expected {expected:?}, got {other:?}"),
+                Ok(_) => panic!("expected {expected:?}, got a running service"),
+            }
+        }
+        // The typed error maps to InvalidInput for io::Result callers.
+        let err: io::Error = StartError::Config(ConfigError::ZeroWorkers).into();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn closed_tenant_set_gates_submission_and_authentication() {
+        let service = RecoveryService::start(
+            ServiceConfig::new()
+                .with_workers(1)
+                .with_tenants([("alice", "secret-a"), ("bob", "secret-b")]),
+        )
+        .expect("valid closed config");
+        assert!(service.authenticate("alice", "secret-a"));
+        assert!(!service.authenticate("alice", "secret-b"));
+        assert!(!service.authenticate("alice", "secret-a-longer"));
+        assert!(!service.authenticate("mallory", "secret-a"));
+        assert!(!service.authenticate("", ""));
+
+        let err = service
+            .submit(JobRequest::trace("mallory", sample_trace()))
+            .expect_err("unknown tenant must be rejected");
+        assert!(matches!(err, Rejected::InvalidTenant { .. }));
+        let id = service
+            .submit(JobRequest::trace("alice", sample_trace()))
+            .expect("known tenant admitted");
+        assert!(service.wait(id).is_ok());
+        assert_eq!(service.stats().rejected.invalid_tenant, 1);
+    }
+
+    #[test]
+    fn open_service_authenticates_any_well_formed_tenant() {
+        let service =
+            RecoveryService::start(ServiceConfig::new().with_workers(1)).expect("open config");
+        assert!(service.authenticate("anyone", "any-token"));
+        assert!(!service.authenticate("bad tenant", "t"));
+    }
+
+    #[test]
+    fn rejections_are_counted_by_kind() {
+        let service = RecoveryService::start(
+            ServiceConfig::new()
+                .with_workers(1)
+                .with_max_patterns(2)
+                .with_queue_capacity(1),
+        )
+        .expect("start");
+        let _ = service
+            .submit(JobRequest::trace("t", sample_trace()))
+            .expect_err("over the pattern ceiling");
+        let _ = service
+            .submit(JobRequest::trace("bad tenant", sample_trace()))
+            .expect_err("whitespace tenant");
+        let stats = service.stats();
+        assert_eq!(stats.rejected.too_large, 1);
+        assert_eq!(stats.rejected.invalid_tenant, 1);
+        assert_eq!(stats.rejected.total(), 2);
     }
 }

@@ -57,6 +57,7 @@ pub use beer_dram as dram;
 pub use beer_ecc as ecc;
 pub use beer_einsim as einsim;
 pub use beer_gf2 as gf2;
+pub use beer_net as net;
 pub use beer_sat as sat;
 pub use beer_service as service;
 
@@ -92,8 +93,13 @@ pub mod prelude {
     pub use beer_ecc::{hamming, miscorrection, Correction, DecodeResult, LinearCode};
     pub use beer_einsim::{simulate, simulate_batches, ErrorModel, PerBitStats, SimConfig};
     pub use beer_gf2::{BitMatrix, BitVec, SynMask};
+    pub use beer_net::{
+        Client, ClientConfig, ClientError, NetServer, NetServerConfig, RemoteJob, WireOutcome,
+        WireResult,
+    };
     pub use beer_service::{
-        CodeOutcome, JobError, JobEvent, JobId, JobInput, JobOutput, JobRequest, JobResult,
-        JobState, Priority, RecoveryService, Rejected, ServiceConfig, ServiceStats,
+        CodeOutcome, ConfigError, JobError, JobEvent, JobId, JobInput, JobOutput, JobRequest,
+        JobResult, JobState, Priority, RecoveryService, Rejected, RejectionStats, ServiceConfig,
+        ServiceStats, StartError,
     };
 }

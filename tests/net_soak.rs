@@ -1,0 +1,227 @@
+//! Network soak: N concurrent clients over loopback against one server —
+//! duplicate submissions, cancels before completion, typed backpressure,
+//! and a graceful drain — asserting the service's answers equal local
+//! recoveries and the whole stack stays deadlock-free.
+
+use beer::net::wire::ErrorKind;
+use beer::net::{Client, ClientError, NetServer, NetServerConfig};
+use beer::prelude::*;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn record_trace(code: &LinearCode) -> ProfileTrace {
+    let patterns = PatternSet::OneTwo.patterns(code.k());
+    let mut backend = AnalyticBackend::new(code.clone());
+    ProfileTrace::record(&mut backend, &patterns, &CollectionPlan::quick())
+}
+
+fn distinct_codes(count: usize, k: usize, seed: u64) -> Vec<LinearCode> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut codes: Vec<LinearCode> = Vec::new();
+    while codes.len() < count {
+        let candidate = hamming::random_sec(k, &mut rng);
+        if !codes.iter().any(|c| equivalent(c, &candidate)) {
+            codes.push(candidate);
+        }
+    }
+    codes
+}
+
+/// A backend that parks its single unit until released.
+#[derive(Clone)]
+struct GateSource {
+    released: Arc<AtomicBool>,
+    running: Arc<AtomicBool>,
+}
+
+impl ProfileSource for GateSource {
+    fn k(&self) -> usize {
+        8
+    }
+
+    fn label(&self) -> String {
+        "gate".to_string()
+    }
+
+    fn num_units(&self, _patterns: &[ChargedSet], _plan: &CollectionPlan) -> usize {
+        1
+    }
+
+    fn run_unit(
+        &mut self,
+        _unit: usize,
+        _patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+        _profile: &mut MiscorrectionProfile,
+    ) -> Result<(), EngineError> {
+        self.running.store(true, Ordering::SeqCst);
+        while !self.released.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    }
+}
+
+/// 4 clients × 24 jobs from a 6-profile pool (duplicates guaranteed),
+/// every 6th job cancelled right after submission. Every completed answer
+/// must equal the locally recovered canonical code for its profile.
+#[test]
+fn concurrent_clients_with_duplicates_and_cancels() {
+    let clients = 4usize;
+    let jobs_each = 24usize;
+    let pool = 6usize;
+
+    let codes = distinct_codes(pool, 8, 0x50AC);
+    let traces: Vec<ProfileTrace> = codes.iter().map(record_trace).collect();
+
+    // The ground truth each remote answer must match, bit for bit.
+    let expected: Vec<BitMatrix> = codes
+        .iter()
+        .map(|code| canonicalize(code).parity_submatrix().clone())
+        .collect();
+
+    let service = Arc::new(
+        RecoveryService::start(
+            ServiceConfig::new()
+                .with_workers(2)
+                .with_queue_capacity(clients * jobs_each + 8),
+        )
+        .expect("start"),
+    );
+    let server =
+        NetServer::bind(Arc::clone(&service), "127.0.0.1:0", NetServerConfig::new()).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let completed = Arc::new(AtomicUsize::new(0));
+    let cancelled = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let traces = traces.clone();
+            let expected = expected.clone();
+            let completed = Arc::clone(&completed);
+            let cancelled = Arc::clone(&cancelled);
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect(&addr, format!("tenant-{c}"), "").expect("connect");
+                for j in 0..jobs_each {
+                    let which = (c + j) % traces.len();
+                    let job = client.submit(&traces[which]).expect("admitted");
+                    let try_cancel = j % 6 == 5;
+                    if try_cancel {
+                        let _ = client.cancel(job).expect("cancel answered");
+                    }
+                    match client.wait(job).expect("watch completes") {
+                        Ok(output) => {
+                            let code = output.outcome.unique_code().expect("unique");
+                            assert_eq!(
+                                code.parity_submatrix(),
+                                &expected[which],
+                                "remote answer differs from the local recovery"
+                            );
+                            completed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            assert!(
+                                try_cancel,
+                                "only cancelled jobs may fail, got {e:?} for job {j}"
+                            );
+                            cancelled.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                client.close();
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    let total = completed.load(Ordering::SeqCst) + cancelled.load(Ordering::SeqCst);
+    assert_eq!(
+        total,
+        clients * jobs_each,
+        "every job reached a terminal answer"
+    );
+    assert!(
+        completed.load(Ordering::SeqCst) >= clients * (jobs_each - jobs_each / 6),
+        "non-cancelled jobs all complete"
+    );
+
+    let stats = service.stats();
+    assert_eq!(stats.submitted as usize, clients * jobs_each);
+    // Dedup must have collapsed most of the load: at most one solve per
+    // distinct profile, plus re-solves forced by cancelled primaries.
+    assert!(
+        (stats.coalesced + stats.cache_hits) as usize
+            >= clients * jobs_each - pool - stats.cancelled as usize,
+        "dedup shares the work: {stats:?}"
+    );
+    server.shutdown(Duration::from_secs(5));
+}
+
+/// Graceful drain: with a job still running, shutdown refuses new
+/// submissions with a typed ShuttingDown frame while the in-flight job
+/// finishes and its watcher collects the result.
+#[test]
+fn drain_refuses_new_submits_and_finishes_inflight_work() {
+    let secret = hamming::shortened(8);
+    let trace = record_trace(&secret);
+
+    let service =
+        Arc::new(RecoveryService::start(ServiceConfig::new().with_workers(1)).expect("start"));
+    let server =
+        NetServer::bind(Arc::clone(&service), "127.0.0.1:0", NetServerConfig::new()).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // Occupy the worker so the drain has something in flight.
+    let gate = GateSource {
+        released: Arc::new(AtomicBool::new(false)),
+        running: Arc::new(AtomicBool::new(false)),
+    };
+    let gate_job = service
+        .submit(JobRequest::source("warden", "gate", Box::new(gate.clone())))
+        .expect("gate admitted");
+    while !gate.running.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut client = Client::connect(&addr, "alice", "").expect("connect");
+    let queued = client.submit(&trace).expect("queued behind the gate");
+
+    // Start the drain in the background: it waits for the queue to empty.
+    let drain_server = server;
+    let drainer = std::thread::spawn(move || {
+        drain_server.shutdown(Duration::from_secs(30));
+    });
+    std::thread::sleep(Duration::from_millis(100)); // let draining latch
+
+    // New submissions are refused with the typed drain error…
+    let mut late = Client::connect(&addr, "bob", "").expect("queries still served");
+    let fresh = record_trace(&distinct_codes(1, 8, 0xD1A1)[0]);
+    match late.submit(&fresh) {
+        Err(
+            e @ ClientError::Refused {
+                kind: ErrorKind::ShuttingDown,
+                ..
+            },
+        ) => assert!(e.is_backpressure()),
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+
+    // …while the in-flight work finishes and its watcher gets the result.
+    gate.released.store(true, Ordering::SeqCst);
+    let _ = service.wait(gate_job);
+    let output = client
+        .wait(queued)
+        .expect("watch survives the drain")
+        .expect("queued job finishes during drain");
+    assert!(equivalent(
+        output.outcome.unique_code().expect("unique"),
+        &secret
+    ));
+    drainer.join().expect("drain completes");
+}
