@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Gate remote cache-hit latency against a checked-in baseline.
+
+Usage: check_net_latency.py <run_json> <baseline_json> [factor]
+
+Reads `hit_p99_us` from a `bench_results/net_throughput.json` produced by
+the net_throughput bench and from the checked-in baseline, and fails
+(exit 1) if the run regressed by more than `factor` (default 2.0). The
+generous factor absorbs shared-runner noise; a return to polling-based
+event delivery (~50 ms ticks) overshoots it by orders of magnitude.
+
+Refresh the baseline deliberately with a smoke-scale run on a quiet
+machine:  BEER_BENCH_SCALE=smoke cargo bench -p beer_bench --bench \
+net_throughput && cp bench_results/net_throughput.json \
+ci/net_throughput.baseline.json
+"""
+
+import json
+import sys
+
+
+def hit_p99_us(path):
+    with open(path) as f:
+        doc = json.load(f)
+    value = doc.get("hit_p99_us")
+    if value is None:
+        sys.exit(f"{path}: no hit_p99_us in artifact metadata")
+    return float(value)
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(f"usage: {sys.argv[0]} <run_json> <baseline_json> [factor]")
+    run_path, baseline_path = sys.argv[1], sys.argv[2]
+    factor = float(sys.argv[3]) if len(sys.argv) == 4 else 2.0
+
+    run = hit_p99_us(run_path)
+    baseline = hit_p99_us(baseline_path)
+    limit = baseline * factor
+    verdict = "OK" if run <= limit else "REGRESSION"
+    print(
+        f"remote cache-hit p99: run = {run:.0f} us, baseline = {baseline:.0f} us, "
+        f"limit = {limit:.0f} us ({factor}x) -> {verdict}"
+    )
+    if run > limit:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

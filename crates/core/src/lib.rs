@@ -71,9 +71,10 @@ pub use engine::{
 pub use pattern::{ChargedSet, PatternSet};
 pub use profile::{MiscorrectionProfile, Observation, ProfileConstraints, ThresholdFilter};
 pub use recovery::{
-    lock_unpoisoned, run_session_guarded, BudgetReason, CancelToken, Fanout, FleetMember,
-    FleetOutcome, PatternSchedule, RecoveryConfig, RecoveryError, RecoveryEvent, RecoveryFleet,
-    RecoveryOutcome, RecoveryReport, RecoverySession, RecoveryStats, SessionHooks, SessionStatus,
+    lock_unpoisoned, run_session_guarded, BudgetReason, CancelToken, Fanout, FanoutNotify,
+    FleetMember, FleetOutcome, PatternSchedule, RecoveryConfig, RecoveryError, RecoveryEvent,
+    RecoveryFleet, RecoveryOutcome, RecoveryReport, RecoverySession, RecoveryStats, SessionHooks,
+    SessionStatus,
 };
 pub use solve::{solve_profile, BeerSolverOptions, SolveReport};
 pub use trace::{

@@ -259,8 +259,21 @@ impl CancelToken {
 /// (see [`Fanout::observer`]) and any number of consumers subscribe;
 /// `beer_service` uses the same type to stream its per-job events to
 /// tenants.
+/// A wakeup callback attached to a [`Fanout`] subscriber: invoked after
+/// each value lands in that subscriber's queue, from the publishing
+/// thread. Keep it cheap and non-blocking — its job is to *signal* (wake
+/// an event loop, set a flag), never to consume.
+pub type FanoutNotify = Arc<dyn Fn() + Send + Sync>;
+
+struct FanoutSubscriber<T> {
+    tx: mpsc::Sender<T>,
+    /// Optional readiness signal for subscribers that cannot block on the
+    /// receiver (e.g. an epoll reactor parking thousands of watchers).
+    notify: Option<FanoutNotify>,
+}
+
 pub struct Fanout<T: Clone + Send> {
-    subscribers: Arc<Mutex<Vec<mpsc::Sender<T>>>>,
+    subscribers: Arc<Mutex<Vec<FanoutSubscriber<T>>>>,
 }
 
 impl<T: Clone + Send> Clone for Fanout<T> {
@@ -289,13 +302,35 @@ impl<T: Clone + Send> Fanout<T> {
     /// returned receiver.
     pub fn subscribe(&self) -> mpsc::Receiver<T> {
         let (tx, rx) = mpsc::channel();
-        lock_unpoisoned(&self.subscribers).push(tx);
+        lock_unpoisoned(&self.subscribers).push(FanoutSubscriber { tx, notify: None });
         rx
     }
 
-    /// Delivers `value` to every live subscriber, pruning dead ones.
+    /// Registers a subscriber with a wakeup callback: `notify` runs after
+    /// each value is queued, so an event loop that multiplexes many
+    /// receivers can sleep until one of them actually has something,
+    /// instead of polling each with a timeout.
+    pub fn subscribe_with_notify(&self, notify: FanoutNotify) -> mpsc::Receiver<T> {
+        let (tx, rx) = mpsc::channel();
+        lock_unpoisoned(&self.subscribers).push(FanoutSubscriber {
+            tx,
+            notify: Some(notify),
+        });
+        rx
+    }
+
+    /// Delivers `value` to every live subscriber, pruning dead ones and
+    /// firing each surviving subscriber's wakeup callback.
     pub fn publish(&self, value: &T) {
-        lock_unpoisoned(&self.subscribers).retain(|tx| tx.send(value.clone()).is_ok());
+        lock_unpoisoned(&self.subscribers).retain(|sub| {
+            if sub.tx.send(value.clone()).is_err() {
+                return false;
+            }
+            if let Some(notify) = &sub.notify {
+                notify();
+            }
+            true
+        });
     }
 
     /// Number of currently registered subscribers (dead ones are only

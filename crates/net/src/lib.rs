@@ -15,11 +15,18 @@
 //!   backpressure. Decoding is total — corrupt, truncated, oversized,
 //!   and unknown-future frames are typed [`wire::WireError`]s, never
 //!   panics.
-//! * [`server`] — [`NetServer`](server::NetServer), a bounded-pool TCP
-//!   front for a [`RecoveryService`](beer_service::RecoveryService):
-//!   per-connection deadlines, per-tenant auth from the service config,
-//!   load shedding as wire errors (never dropped sockets), and graceful
-//!   drain on shutdown.
+//! * [`server`] — [`NetServer`](server::NetServer), an event-driven TCP
+//!   front for a [`RecoveryService`](beer_service::RecoveryService): one
+//!   [`reactor`] thread multiplexes every connection over epoll
+//!   (nonblocking sockets, per-connection state machines, pooled frame
+//!   buffers, vectored writes), so thousands of idle watchers cost no
+//!   threads. Per-tenant auth from the service config, load shedding as
+//!   wire errors (never dropped sockets), bounded per-connection write
+//!   queues, and graceful drain on shutdown.
+//! * [`reactor`] — the readiness layer: a dependency-free epoll wrapper
+//!   ([`reactor::Poller`]), an eventfd [`reactor::Waker`] that delivers
+//!   job events to watching connections without polling, and the
+//!   [`reactor::BufPool`] of reusable frame buffers.
 //! * [`client`] — [`Client`](client::Client), a typed blocking client
 //!   that retains submitted traces and *resumes by fingerprint* after a
 //!   dropped connection: the service's dedup re-attaches it to the
@@ -62,6 +69,7 @@
 //! `EXPERIMENTS.md` for the `net_throughput` methodology.
 
 pub mod client;
+pub mod reactor;
 pub mod server;
 pub mod wire;
 

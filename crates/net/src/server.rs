@@ -1,38 +1,63 @@
-//! The network edge: a TCP server fronting a [`RecoveryService`].
+//! The network edge: an event-driven TCP server fronting a
+//! [`RecoveryService`].
 //!
 //! ```text
-//!  clients ──TCP──▶ accept (bounded pool) ──▶ per-connection thread
-//!                      │                        Hello/auth → requests
-//!                      └─ over the limit:       │ submit → service (load
-//!                         typed Busy frame      │   shedding: Rejected →
-//!                                               │   typed Error frames)
-//!                                               └ watch → event stream
+//!  clients ──TCP──▶ listener ─┐
+//!                             ▼            one reactor thread (epoll)
+//!                   ┌──────────────────────────────────────────────┐
+//!                   │ accept → slab slot (over limit: typed Busy)  │
+//!                   │ per-connection state machine:                │
+//!                   │   handshake ─▶ ready ─▶ watching ─▶ ready…   │
+//!                   │ pooled read buffers → incremental decode     │
+//!                   │ pooled write queue  → vectored flush         │
+//!                   └──────────▲───────────────────────────────────┘
+//!                              │ eventfd wake
+//!                   service workers ── JobEvent fanout notify hook
 //! ```
 //!
 //! Design rules:
 //!
+//! * **One thread, any number of connections.** Every socket is
+//!   nonblocking and multiplexed by a single reactor thread over epoll
+//!   ([`crate::reactor`]); server thread count is O(service workers +
+//!   1), never O(connections). A thousand idle watchers cost a thousand
+//!   fds and nothing else.
+//! * **Events push, nothing polls.** A watching connection is woken
+//!   through the service's fanout notify hook
+//!   ([`RecoveryService::subscribe_notified`]) and an eventfd, not a
+//!   50 ms poll loop; a peer hangup is an `EPOLLRDHUP` readiness event,
+//!   not a periodic liveness probe.
 //! * **Load shedding, not dropped sockets.** Every admission failure —
 //!   full queue, oversized job, bad tenant, drain — crosses the wire as a
-//!   typed [`Message::Error`] frame mirroring [`Rejected`], so a client
-//!   can distinguish backpressure from network failure.
-//! * **Deadlines everywhere.** Per-connection read and write timeouts
-//!   bound how long a dead peer can hold a connection slot.
+//!   typed [`Message::Error`] frame mirroring
+//!   [`Rejected`](beer_service::Rejected), so a client can distinguish
+//!   backpressure from network failure. A peer that stops draining its
+//!   socket overflows its bounded write queue and gets a typed
+//!   [`ErrorKind::Busy`] before the disconnect.
+//! * **Buffers are pooled.** Frames encode via
+//!   [`Message::encode_into`] into buffers from a reactor-owned
+//!   [`BufPool`] — the hot frames (Event, SubmitAck, cache-hit Done)
+//!   allocate nothing in steady state — and partial writes resume from
+//!   a queue of whole frames flushed with `write_vectored`.
 //! * **Graceful drain.** [`NetServer::shutdown`] stops admitting new
-//!   submissions (they get [`ErrorKind::ShuttingDown`]) but lets
-//!   in-flight jobs finish and their watchers collect results before the
-//!   listener closes.
+//!   submissions (they get [`ErrorKind::ShuttingDown`]), waits on the
+//!   service's idle condvar, then waits for watchers to collect their
+//!   terminal frames and write queues to flush — condvar wakeups
+//!   throughout, no sleep loops.
 
+use crate::reactor::{BufPool, Event, Poller, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::wire::{
-    self, read_message, write_message, ErrorKind, Message, RecvError, WireEvent, WireJobError,
-    WireOutcome, WireOutput, WireRecord, WireResult, WireStats,
+    self, ErrorKind, Message, WireError, WireEvent, WireJobError, WireOutcome, WireOutput,
+    WireRecord, WireResult, WireStats,
 };
 use beer_core::trace::{Fingerprint, ProfileTrace, TraceAssembler};
 use beer_service::{CodeEntry, JobEvent, JobId, JobRequest, RecoveryService, ServiceStats};
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -43,11 +68,13 @@ pub struct NetServerConfig {
     /// typed [`ErrorKind::Busy`] frame and a clean close (never a
     /// silently dropped socket).
     pub max_connections: usize,
-    /// Per-connection read deadline: an idle or dead peer is disconnected
-    /// after this long without a frame.
+    /// Per-connection read deadline: an idle peer with nothing in
+    /// flight (no watch, no pending writes) is disconnected after this
+    /// long without a frame.
     pub read_timeout: Duration,
     /// Per-connection write deadline: a peer that stops draining its
-    /// socket is disconnected once a write blocks this long.
+    /// socket is disconnected once its write queue has been blocked
+    /// this long.
     pub write_timeout: Duration,
     /// Frame size cap, enforced before allocation.
     pub max_frame_bytes: usize,
@@ -57,6 +84,15 @@ pub struct NetServerConfig {
     /// connections (FIFO eviction). Reconnecting clients re-attach to
     /// in-flight work without re-uploading while their trace is retained.
     pub upload_capacity: usize,
+    /// Bound on one connection's queued-but-unflushed reply bytes. Past
+    /// it the queue is dropped, a typed [`ErrorKind::Busy`] goes out,
+    /// and the connection closes — a slow reader can stall only itself.
+    pub max_write_buffer: usize,
+    /// Entries one registry query answer may carry (a larger answer
+    /// would outgrow the peer's frame cap anyway). An answer carrying
+    /// exactly this many entries may be truncated; truncations are
+    /// counted in [`ServiceStats::truncated_answers`].
+    pub max_query_entries: usize,
     /// Human-readable server identity sent in HelloAck.
     pub server_name: String,
 }
@@ -70,6 +106,8 @@ impl Default for NetServerConfig {
             max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
             max_trace_bytes: 16 << 20,
             upload_capacity: 1024,
+            max_write_buffer: 1 << 20,
+            max_query_entries: 256,
             server_name: "beer_net".to_string(),
         }
     }
@@ -102,6 +140,18 @@ impl NetServerConfig {
     /// Overrides the frame size cap.
     pub fn with_max_frame_bytes(mut self, max: usize) -> Self {
         self.max_frame_bytes = max;
+        self
+    }
+
+    /// Overrides the per-connection write queue bound.
+    pub fn with_max_write_buffer(mut self, max: usize) -> Self {
+        self.max_write_buffer = max;
+        self
+    }
+
+    /// Overrides the registry query answer cap.
+    pub fn with_max_query_entries(mut self, max: usize) -> Self {
+        self.max_query_entries = max;
         self
     }
 
@@ -141,64 +191,75 @@ impl Uploads {
     }
 }
 
-struct ServerInner {
+/// `(active watches, unflushed reply bytes)` published by the reactor
+/// while draining; `GAUGE_UNPUBLISHED` until the first publish so a
+/// drain cannot succeed against a stale zero.
+type DrainGauge = (usize, usize);
+const GAUGE_UNPUBLISHED: DrainGauge = (usize::MAX, usize::MAX);
+
+/// The reactor's doorbell: an eventfd plus the tokens of watching
+/// connections whose job gained events. Kept in its own `Arc`, apart
+/// from [`Shared`], because notify hooks capturing it are stored inside
+/// the service's fanout — if they captured [`Shared`] (which holds the
+/// service `Arc`) that would be a reference cycle keeping the service
+/// alive after shutdown.
+struct WakeHub {
+    /// Wakes the reactor out of `epoll_wait` from any thread.
+    waker: Waker,
+    /// Tokens of watching connections whose job gained events.
+    watch_wakeups: Mutex<Vec<u64>>,
+}
+
+/// State shared between the reactor thread and the [`NetServer`] handle.
+struct Shared {
     service: Arc<RecoveryService>,
     config: NetServerConfig,
     uploads: Mutex<Uploads>,
     /// Draining: submissions are refused, everything else still answers.
     draining: AtomicBool,
-    /// Stopped: connection threads exit at the next frame boundary.
+    /// Stopped: the reactor closes everything and exits.
     stopped: AtomicBool,
     active_connections: AtomicUsize,
-    /// Live sockets, for prompt unblock on shutdown.
-    sockets: Mutex<HashMap<u64, TcpStream>>,
-    next_socket_id: AtomicUsize,
+    wake: Arc<WakeHub>,
+    drain_gauge: Mutex<DrainGauge>,
+    drain_cv: Condvar,
 }
 
-impl ServerInner {
-    fn register_socket(&self, stream: &TcpStream) -> u64 {
-        let id = self.next_socket_id.fetch_add(1, Ordering::Relaxed) as u64;
-        if let Ok(clone) = stream.try_clone() {
-            self.sockets
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .insert(id, clone);
-        }
-        id
-    }
-
-    fn unregister_socket(&self, id: u64) {
-        self.sockets
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .remove(&id);
-    }
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// A TCP server exposing a [`RecoveryService`] over `beer-wire v1` (see
 /// the module docs).
 pub struct NetServer {
-    inner: Arc<ServerInner>,
+    shared: Arc<Shared>,
     local_addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
-    connection_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor_thread: Option<JoinHandle<()>>,
 }
 
 impl NetServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections for `service`.
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// reactor thread accepting connections for `service`.
     ///
     /// # Errors
     ///
-    /// Propagates bind errors.
+    /// Propagates bind and epoll-setup errors.
     pub fn bind(
         service: Arc<RecoveryService>,
         addr: impl ToSocketAddrs,
         config: NetServerConfig,
     ) -> io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let inner = Arc::new(ServerInner {
+        let poller = Poller::new()?;
+        let wake = Arc::new(WakeHub {
+            waker: Waker::new()?,
+            watch_wakeups: Mutex::new(Vec::new()),
+        });
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)?;
+        poller.add(wake.waker.fd(), TOKEN_WAKER, EPOLLIN)?;
+        let shared = Arc::new(Shared {
             service,
             uploads: Mutex::new(Uploads {
                 by_fingerprint: HashMap::new(),
@@ -209,21 +270,27 @@ impl NetServer {
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
             active_connections: AtomicUsize::new(0),
-            sockets: Mutex::new(HashMap::new()),
-            next_socket_id: AtomicUsize::new(0),
+            wake,
+            drain_gauge: Mutex::new(GAUGE_UNPUBLISHED),
+            drain_cv: Condvar::new(),
         });
-        let connection_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_inner = Arc::clone(&inner);
-        let accept_threads = Arc::clone(&connection_threads);
-        let accept_thread = std::thread::Builder::new()
-            .name("beer-net-accept".to_string())
-            .spawn(move || accept_loop(&listener, &accept_inner, &accept_threads))
-            .expect("spawn accept thread");
+        let reactor = Reactor {
+            shared: Arc::clone(&shared),
+            listener,
+            poller,
+            pool: BufPool::new(1024, 64 << 10),
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+        };
+        let reactor_thread = std::thread::Builder::new()
+            .name("beer-net-reactor".to_string())
+            .spawn(move || reactor.run())
+            .expect("spawn reactor thread");
         Ok(NetServer {
-            inner,
+            shared,
             local_addr,
-            accept_thread: Some(accept_thread),
-            connection_threads,
+            reactor_thread: Some(reactor_thread),
         })
     }
 
@@ -234,57 +301,56 @@ impl NetServer {
 
     /// Connections currently being served.
     pub fn active_connections(&self) -> usize {
-        self.inner.active_connections.load(Ordering::Relaxed)
+        self.shared.active_connections.load(Ordering::SeqCst)
     }
 
     /// Stops admitting new submissions (they get
     /// [`ErrorKind::ShuttingDown`]) but keeps serving queries and event
     /// streams while in-flight jobs finish — for up to `drain`. Then
-    /// closes the listener and every connection and joins the threads.
+    /// closes the listener and every connection and joins the reactor.
     /// The underlying [`RecoveryService`] is shared and stays up; shut it
     /// down separately.
+    ///
+    /// The whole drain is event-driven: a condvar wait on the service
+    /// going idle, then a condvar wait on the reactor reporting zero
+    /// active watches and zero unflushed bytes. No sleep loops.
     pub fn shutdown(mut self, drain: Duration) {
         self.shutdown_impl(drain);
     }
 
     fn shutdown_impl(&mut self, drain: Duration) {
-        if self.accept_thread.is_none() {
+        if self.reactor_thread.is_none() {
             return;
         }
-        self.inner.draining.store(true, Ordering::SeqCst);
-        // Drain: wait for the service to go idle so watchers can collect
-        // their terminal frames before the sockets close.
         let deadline = Instant::now() + drain;
-        loop {
-            let stats = self.inner.service.stats();
-            if (stats.queued == 0 && stats.running == 0) || Instant::now() >= deadline {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        self.inner.stopped.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a wake-up connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
-        // Unblock connection threads stuck in reads.
-        for (_, socket) in self
-            .inner
-            .sockets
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .drain()
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.wake.waker.wake();
+        let _ = self
+            .shared
+            .service
+            .wait_idle(deadline.saturating_duration_since(Instant::now()));
+        // Wait for watchers to collect their terminal frames and for
+        // write queues to flush, as reported by the reactor.
         {
-            let _ = socket.shutdown(Shutdown::Both);
+            let mut gauge = lock(&self.shared.drain_gauge);
+            while *gauge != (0, 0) {
+                let Some(remaining) = deadline
+                    .checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (g, _) = self
+                    .shared
+                    .drain_cv
+                    .wait_timeout(gauge, remaining)
+                    .unwrap_or_else(|p| p.into_inner());
+                gauge = g;
+            }
         }
-        let handles: Vec<JoinHandle<()>> = self
-            .connection_threads
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .drain(..)
-            .collect();
-        for handle in handles {
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        self.shared.wake.waker.wake();
+        if let Some(handle) = self.reactor_thread.take() {
             let _ = handle.join();
         }
     }
@@ -296,68 +362,39 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    inner: &Arc<ServerInner>,
-    threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if inner.stopped.load(Ordering::SeqCst) {
-                return;
-            }
-            // Transient accept failure (e.g. fd exhaustion): back off
-            // briefly instead of spinning.
-            std::thread::sleep(Duration::from_millis(10));
-            continue;
-        };
-        if inner.stopped.load(Ordering::SeqCst) {
-            return; // the wake-up connection
-        }
-        // Bounded pool: over the limit, the peer gets a typed Busy frame
-        // and a clean close instead of a dropped socket.
-        if inner.active_connections.load(Ordering::SeqCst) >= inner.config.max_connections {
-            let mut stream = stream;
-            let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
-            let _ = write_message(
-                &mut stream,
-                &Message::Error {
-                    kind: ErrorKind::Busy,
-                    detail: format!(
-                        "connection limit of {} reached; retry later",
-                        inner.config.max_connections
-                    ),
-                },
-            );
-            continue;
-        }
-        inner.active_connections.fetch_add(1, Ordering::SeqCst);
-        let conn_inner = Arc::clone(inner);
-        let handle = std::thread::Builder::new()
-            .name("beer-net-conn".to_string())
-            .spawn(move || {
-                let socket_id = conn_inner.register_socket(&stream);
-                serve_connection(stream, &conn_inner);
-                conn_inner.unregister_socket(socket_id);
-                conn_inner.active_connections.fetch_sub(1, Ordering::SeqCst);
-            })
-            .expect("spawn connection thread");
-        let mut threads = threads.lock().unwrap_or_else(|p| p.into_inner());
-        // Opportunistically reap finished threads so the vec stays small.
-        let mut i = 0;
-        while i < threads.len() {
-            if threads[i].is_finished() {
-                let _ = threads.swap_remove(i).join();
-            } else {
-                i += 1;
-            }
-        }
-        threads.push(handle);
-    }
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+/// Read-budget per connection per readiness event, for fairness.
+const READ_BUDGET: usize = 256 << 10;
+/// Frames gathered into one `write_vectored` call.
+const WRITE_BATCH: usize = 64;
+/// Concurrent in-progress uploads one connection may hold.
+const MAX_CONCURRENT_UPLOADS: usize = 4;
+/// Refused-upload fingerprints remembered per connection.
+const MAX_REJECTED_UPLOADS: usize = 1024;
+
+fn conn_token(generation: u32, idx: usize) -> u64 {
+    ((generation as u64) << 32) | idx as u64
 }
 
-/// Per-connection state after a successful Hello.
-struct Connection {
+/// What a connection is doing, beyond request/response.
+struct WatchState {
+    id: JobId,
+    rx: mpsc::Receiver<JobEvent>,
+}
+
+/// One connection's state machine: `authed == false` is the handshake
+/// state (only Hello is legal), `watch.is_some()` is the streaming state
+/// (incoming frames buffer unparsed until the watch ends).
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    authed: bool,
     tenant: String,
     /// Job ids issued on this connection — the only ids it may watch or
     /// cancel (tenancy isolation at the wire edge).
@@ -369,17 +406,58 @@ struct Connection {
     /// chunks before reading the refusal, and answering each one would
     /// desynchronize its request/response pairing.
     rejected_uploads: HashSet<Fingerprint>,
+    /// Pooled read buffer: raw bytes in, frames decoded incrementally
+    /// from `rpos` without per-frame allocation.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Pooled write queue: whole encoded frames, flushed with
+    /// `write_vectored`; `out_offset` is the written prefix of the
+    /// front frame, `out_bytes` the unwritten total.
+    outbox: VecDeque<Vec<u8>>,
+    out_offset: usize,
+    out_bytes: usize,
+    watch: Option<WatchState>,
+    /// Currently registered epoll interest bits.
+    interest: u32,
+    last_activity: Instant,
+    /// When the write queue first failed to flush (slow peer).
+    blocked_since: Option<Instant>,
+    /// The peer sent FIN: no more requests will arrive.
+    peer_eof: bool,
+    /// Close once the outbox flushes (typed refusal already queued).
+    close_after_flush: bool,
+    /// The write queue overflowed: only the final Busy frame remains.
+    overflowed: bool,
+    /// Transport failure: close immediately, flush nothing.
+    dead: bool,
 }
 
-/// Concurrent in-progress uploads one connection may hold.
-const MAX_CONCURRENT_UPLOADS: usize = 4;
-/// Refused-upload fingerprints remembered per connection.
-const MAX_REJECTED_UPLOADS: usize = 1024;
-/// Entries one registry query answer may carry (a larger registry
-/// answer would outgrow the peer's frame cap anyway).
-const MAX_QUERY_ENTRIES: usize = 256;
+impl Conn {
+    fn new(stream: TcpStream, token: u64, rbuf: Vec<u8>) -> Conn {
+        Conn {
+            stream,
+            token,
+            authed: false,
+            tenant: String::new(),
+            jobs: HashSet::new(),
+            assemblies: HashMap::new(),
+            rejected_uploads: HashSet::new(),
+            rbuf,
+            rpos: 0,
+            outbox: VecDeque::new(),
+            out_offset: 0,
+            out_bytes: 0,
+            watch: None,
+            interest: EPOLLIN | EPOLLRDHUP,
+            last_activity: Instant::now(),
+            blocked_since: None,
+            peer_eof: false,
+            close_after_flush: false,
+            overflowed: false,
+            dead: false,
+        }
+    }
 
-impl Connection {
     /// Bounds the refusal memory. Clearing drops the silent-absorb
     /// guarantee for any *still-streaming* refused upload (its remaining
     /// chunks would each earn an error frame again), but only a client
@@ -390,118 +468,531 @@ impl Connection {
             self.rejected_uploads.clear();
         }
     }
-}
 
-fn send(stream: &mut TcpStream, message: &Message) -> bool {
-    write_message(stream, message).is_ok()
-}
+    /// Encodes `message` into a pooled buffer and queues it. Past the
+    /// write-queue bound the queue is dropped (keeping a half-written
+    /// front frame so the stream stays framed), one typed Busy goes out,
+    /// and the connection is marked to close: a peer that stops reading
+    /// stalls only itself.
+    fn queue(&mut self, pool: &mut BufPool, config: &NetServerConfig, message: &Message) {
+        if self.dead || self.overflowed {
+            return;
+        }
+        let mut buf = pool.take();
+        message.encode_into(&mut buf);
+        if self.out_bytes + buf.len() > config.max_write_buffer {
+            pool.put(buf);
+            let keep = usize::from(self.out_offset > 0);
+            while self.outbox.len() > keep {
+                let dropped = self.outbox.pop_back().expect("len > keep");
+                self.out_bytes -= dropped.len();
+                pool.put(dropped);
+            }
+            self.overflowed = true;
+            self.watch = None;
+            self.close_after_flush = true;
+            let mut busy = pool.take();
+            Message::Error {
+                kind: ErrorKind::Busy,
+                detail: format!(
+                    "write queue overflowed {} bytes: the peer is not draining its socket",
+                    config.max_write_buffer
+                ),
+            }
+            .encode_into(&mut busy);
+            self.out_bytes += busy.len();
+            self.outbox.push_back(busy);
+            return;
+        }
+        self.out_bytes += buf.len();
+        self.outbox.push_back(buf);
+    }
 
-fn send_error(stream: &mut TcpStream, kind: ErrorKind, detail: impl Into<String>) -> bool {
-    send(
-        stream,
-        &Message::Error {
-            kind,
-            detail: detail.into(),
-        },
-    )
-}
+    fn queue_error(
+        &mut self,
+        pool: &mut BufPool,
+        config: &NetServerConfig,
+        kind: ErrorKind,
+        detail: impl Into<String>,
+    ) {
+        self.queue(
+            pool,
+            config,
+            &Message::Error {
+                kind,
+                detail: detail.into(),
+            },
+        );
+    }
 
-fn serve_connection(mut stream: TcpStream, inner: &ServerInner) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
-
-    // First frame must be a Hello that negotiates and authenticates.
-    let mut conn = match read_message(&mut stream, inner.config.max_frame_bytes) {
-        Ok(Message::Hello {
-            min_version,
-            max_version,
-            tenant,
-            token,
-        }) => {
-            let Some(version) = wire::negotiate(min_version, max_version) else {
-                send_error(
-                    &mut stream,
-                    ErrorKind::UnsupportedVersion {
-                        min: wire::WIRE_VERSION,
-                        max: wire::WIRE_VERSION,
-                    },
-                    format!(
-                        "no common version: client speaks {min_version}..={max_version}, \
-                         server speaks {0}..={0}",
-                        wire::WIRE_VERSION
-                    ),
-                );
-                return;
+    /// Vectored flush of as many queued frames as the socket takes;
+    /// fully written frames return their buffers to the pool.
+    fn flush(&mut self, pool: &mut BufPool) -> io::Result<()> {
+        while !self.outbox.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> =
+                Vec::with_capacity(self.outbox.len().min(WRITE_BATCH));
+            let mut iter = self.outbox.iter();
+            let front = iter.next().expect("outbox nonempty");
+            slices.push(IoSlice::new(&front[self.out_offset..]));
+            for frame in iter.take(WRITE_BATCH - 1) {
+                slices.push(IoSlice::new(frame));
+            }
+            let mut n = match self.stream.write_vectored(&slices) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if self.blocked_since.is_none() {
+                        self.blocked_since = Some(Instant::now());
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
             };
-            if !inner.service.authenticate(&tenant, &token) {
-                send_error(
-                    &mut stream,
-                    ErrorKind::AuthFailed,
-                    format!("tenant {tenant:?} refused"),
-                );
-                return;
-            }
-            if !send(
-                &mut stream,
-                &Message::HelloAck {
-                    version,
-                    server: inner.config.server_name.clone(),
-                },
-            ) {
-                return;
-            }
-            Connection {
-                tenant,
-                jobs: HashSet::new(),
-                assemblies: HashMap::new(),
-                rejected_uploads: HashSet::new(),
+            self.out_bytes -= n;
+            while n > 0 {
+                let front_remaining =
+                    self.outbox.front().expect("bytes imply frames").len() - self.out_offset;
+                if n >= front_remaining {
+                    n -= front_remaining;
+                    self.out_offset = 0;
+                    pool.put(self.outbox.pop_front().expect("front exists"));
+                } else {
+                    self.out_offset += n;
+                    n = 0;
+                }
             }
         }
-        Ok(_) => {
-            send_error(
-                &mut stream,
-                ErrorKind::BadRequest,
-                "first frame must be Hello",
-            );
-            return;
-        }
-        Err(RecvError::Frame(e)) => {
-            send_error(&mut stream, ErrorKind::BadRequest, e.to_string());
-            return;
-        }
-        Err(_) => return,
-    };
+        self.blocked_since = None;
+        Ok(())
+    }
 
-    loop {
-        if inner.stopped.load(Ordering::SeqCst) {
-            let _ = send(&mut stream, &Message::Bye);
-            return;
+    /// Reads available bytes into the pooled buffer, up to the fairness
+    /// budget and the buffer cap (a frame-and-a-bit; a larger declared
+    /// frame is refused as [`WireError::FrameTooLarge`] before then).
+    fn fill(&mut self, config: &NetServerConfig) -> io::Result<()> {
+        let cap = config.max_frame_bytes + 4 + (64 << 10);
+        let mut budget = READ_BUDGET;
+        while budget > 0 && !self.peer_eof && self.rbuf.len() < cap {
+            let old = self.rbuf.len();
+            let want = (cap - old).min(16 << 10).min(budget);
+            self.rbuf.resize(old + want, 0);
+            match self.stream.read(&mut self.rbuf[old..]) {
+                Ok(0) => {
+                    self.rbuf.truncate(old);
+                    self.peer_eof = true;
+                }
+                Ok(n) => {
+                    self.rbuf.truncate(old + n);
+                    self.last_activity = Instant::now();
+                    budget -= n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.rbuf.truncate(old);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.rbuf.truncate(old);
+                }
+                Err(e) => {
+                    self.rbuf.truncate(old);
+                    return Err(e);
+                }
+            }
         }
-        let message = match read_message(&mut stream, inner.config.max_frame_bytes) {
-            Ok(message) => message,
-            Err(RecvError::Frame(e)) => {
-                // A peer sending garbage gets one typed diagnosis, then
-                // the connection closes (framing may be unrecoverable).
-                send_error(&mut stream, ErrorKind::BadRequest, e.to_string());
+        Ok(())
+    }
+
+    /// The epoll interest this connection's state wants right now.
+    fn desired_interest(&self, config: &NetServerConfig) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        let cap = config.max_frame_bytes + 4 + (64 << 10);
+        if !self.peer_eof && self.rbuf.len() < cap {
+            bits |= EPOLLIN;
+        }
+        if !self.outbox.is_empty() {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+struct Reactor {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    poller: Poller,
+    pool: BufPool,
+    conns: Vec<Option<Conn>>,
+    /// Per-slot generation, bumped on close so a stale token (an event
+    /// or watch wakeup for a recycled slot) is recognizably stale.
+    gens: Vec<u32>,
+    free: Vec<usize>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            events.clear();
+            let _ = self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(500)));
+            if self.shared.stopped.load(Ordering::SeqCst) {
+                self.close_all();
                 return;
             }
-            Err(_) => return, // closed, timed out, or transport failure
-        };
-        let keep_going = handle_message(&mut stream, inner, &mut conn, message);
-        if !keep_going {
+            for ev in events.drain(..) {
+                match ev.token {
+                    TOKEN_WAKER => self.shared.wake.waker.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.conn_ready(token, ev),
+                }
+            }
+            let woken: Vec<u64> = std::mem::take(&mut *lock(&self.shared.wake.watch_wakeups));
+            for token in woken {
+                self.watch_ready(token);
+            }
+            if last_sweep.elapsed() >= Duration::from_secs(1) {
+                last_sweep = Instant::now();
+                self.sweep_timeouts();
+            }
+            if self.shared.draining.load(Ordering::SeqCst) {
+                self.publish_drain_gauge();
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failure (e.g. fd exhaustion): the next
+                // readiness event retries.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        // Bounded slab: over the limit, the peer gets a typed Busy frame
+        // and a clean close instead of a dropped socket.
+        if self.shared.active_connections.load(Ordering::SeqCst)
+            >= self.shared.config.max_connections
+        {
+            let mut frame = self.pool.take();
+            Message::Error {
+                kind: ErrorKind::Busy,
+                detail: format!(
+                    "connection limit of {} reached; retry later",
+                    self.shared.config.max_connections
+                ),
+            }
+            .encode_into(&mut frame);
+            let _ = stream.set_nonblocking(true);
+            let _ = (&stream).write(&frame);
+            self.pool.put(frame);
             return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.gens.push(0);
+            self.conns.len() - 1
+        });
+        let token = conn_token(self.gens[idx], idx);
+        let conn = Conn::new(stream, token, self.pool.take());
+        if self
+            .poller
+            .add(conn.stream.as_raw_fd(), token, conn.interest)
+            .is_err()
+        {
+            self.free.push(idx);
+            return;
+        }
+        self.conns[idx] = Some(conn);
+        self.shared
+            .active_connections
+            .fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Resolves a token to its live slot index, refusing stale tokens.
+    fn resolve(&self, token: u64) -> Option<usize> {
+        let idx = (token & u32::MAX as u64) as usize;
+        (idx < self.conns.len()
+            && conn_token(self.gens[idx], idx) == token
+            && self.conns[idx].is_some())
+        .then_some(idx)
+    }
+
+    fn conn_ready(&mut self, token: u64, ev: Event) {
+        let Some(idx) = self.resolve(token) else {
+            return;
+        };
+        {
+            let conn = self.conns[idx].as_mut().expect("resolved");
+            if ev.writable() && conn.flush(&mut self.pool).is_err() {
+                conn.dead = true;
+            }
+            if !conn.dead
+                && (ev.readable() || ev.closed())
+                && conn.fill(&self.shared.config).is_err()
+            {
+                conn.dead = true;
+            }
+        }
+        self.drive(idx);
+        self.finish(idx);
+    }
+
+    fn watch_ready(&mut self, token: u64) {
+        let Some(idx) = self.resolve(token) else {
+            return;
+        };
+        self.drive(idx);
+        self.finish(idx);
+    }
+
+    /// Advances the connection's state machine: pumps an active watch,
+    /// then decodes and handles buffered frames until it blocks on input,
+    /// enters a watch, or is marked to close.
+    fn drive(&mut self, idx: usize) {
+        let shared = Arc::clone(&self.shared);
+        let pool = &mut self.pool;
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        loop {
+            if conn.dead {
+                break;
+            }
+            if conn.watch.is_some() {
+                pump_watch(conn, pool, &shared);
+                if conn.watch.is_some() {
+                    break; // still streaming: buffer input, do not parse
+                }
+            }
+            if conn.close_after_flush {
+                break;
+            }
+            let avail = conn.rbuf.len() - conn.rpos;
+            if avail < 4 {
+                break;
+            }
+            let declared = u32::from_be_bytes(
+                conn.rbuf[conn.rpos..conn.rpos + 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            ) as usize;
+            if declared > shared.config.max_frame_bytes {
+                // Refused before any buffering, mirroring read_message.
+                let e = WireError::FrameTooLarge {
+                    len: declared as u64,
+                    limit: shared.config.max_frame_bytes as u64,
+                };
+                conn.queue_error(pool, &shared.config, ErrorKind::BadRequest, e.to_string());
+                conn.close_after_flush = true;
+                break;
+            }
+            if avail < 4 + declared {
+                break;
+            }
+            let decoded = Message::decode_body(&conn.rbuf[conn.rpos + 4..conn.rpos + 4 + declared]);
+            conn.rpos += 4 + declared;
+            match decoded {
+                Ok(message) => handle_frame(conn, pool, &shared, message),
+                Err(e) => {
+                    // A peer sending garbage gets one typed diagnosis,
+                    // then the connection closes (framing may be
+                    // unrecoverable).
+                    conn.queue_error(pool, &shared.config, ErrorKind::BadRequest, e.to_string());
+                    conn.close_after_flush = true;
+                    break;
+                }
+            }
+        }
+        // Compact the consumed prefix once per drive, not per frame.
+        if conn.rpos > 0 {
+            conn.rbuf.drain(..conn.rpos);
+            conn.rpos = 0;
+        }
+    }
+
+    /// Flushes queued replies, closes the connection if its state says
+    /// so, and otherwise re-arms epoll interest to match.
+    fn finish(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        if !conn.dead && conn.flush(&mut self.pool).is_err() {
+            conn.dead = true;
+        }
+        let flushed = conn.outbox.is_empty();
+        let close = conn.dead
+            || (conn.close_after_flush && flushed)
+            // A watcher that hung up releases its slot now; the job
+            // keeps running (a reconnecting client re-attaches by
+            // fingerprint).
+            || (conn.peer_eof && conn.watch.is_some())
+            // Clean EOF: no more requests can arrive, replies are out.
+            // Any unparsed leftover is a frame that can never complete.
+            || (conn.peer_eof && conn.watch.is_none() && flushed);
+        if close {
+            self.close_conn(idx);
+            return;
+        }
+        let desired = conn.desired_interest(&self.shared.config);
+        if desired != conn.interest
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), conn.token, desired)
+                .is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        let Some(mut conn) = self.conns[idx].take() else {
+            return;
+        };
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        self.pool.put(std::mem::take(&mut conn.rbuf));
+        for frame in conn.outbox.drain(..) {
+            self.pool.put(frame);
+        }
+        // Dropping conn.watch drops the receiver; the fanout prunes the
+        // subscriber (and its notify hook) on the next publish.
+        self.gens[idx] = self.gens[idx].wrapping_add(1);
+        self.free.push(idx);
+        self.shared
+            .active_connections
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Disconnects idle peers (nothing in flight, no frame for the read
+    /// deadline) and stalled writers (queue blocked past the write
+    /// deadline). Watching connections are exempt from the idle deadline:
+    /// a watch legitimately carries no traffic while its job runs.
+    fn sweep_timeouts(&mut self) {
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_ref() else {
+                continue;
+            };
+            let stalled = conn
+                .blocked_since
+                .is_some_and(|since| since.elapsed() >= self.shared.config.write_timeout);
+            let idle = conn.watch.is_none()
+                && conn.outbox.is_empty()
+                && conn.last_activity.elapsed() >= self.shared.config.read_timeout;
+            if stalled || idle {
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    fn publish_drain_gauge(&self) {
+        let watches = self
+            .conns
+            .iter()
+            .flatten()
+            .filter(|c| c.watch.is_some())
+            .count();
+        let unflushed: usize = self.conns.iter().flatten().map(|c| c.out_bytes).sum();
+        *lock(&self.shared.drain_gauge) = (watches, unflushed);
+        self.shared.drain_cv.notify_all();
+    }
+
+    /// Stop: best-effort Bye to every peer, then close everything.
+    fn close_all(&mut self) {
+        let pool = &mut self.pool;
+        for slot in self.conns.iter_mut() {
+            if let Some(conn) = slot.as_mut() {
+                conn.queue(pool, &self.shared.config, &Message::Bye);
+                let _ = conn.flush(pool);
+            }
+        }
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].is_some() {
+                self.close_conn(idx);
+            }
         }
     }
 }
 
-/// Handles one request frame; returns false when the connection is done.
-fn handle_message(
-    stream: &mut TcpStream,
-    inner: &ServerInner,
-    conn: &mut Connection,
-    message: Message,
-) -> bool {
+// ---------------------------------------------------------------------------
+// Frame handling
+// ---------------------------------------------------------------------------
+
+/// Handles one decoded request frame, queueing any reply.
+fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, message: Message) {
+    let config = &shared.config;
+    conn.last_activity = Instant::now();
+    // Handshake state: the first frame must be a Hello that negotiates
+    // and authenticates.
+    if !conn.authed {
+        match message {
+            Message::Hello {
+                min_version,
+                max_version,
+                tenant,
+                token,
+            } => {
+                let Some(version) = wire::negotiate(min_version, max_version) else {
+                    conn.queue_error(
+                        pool,
+                        config,
+                        ErrorKind::UnsupportedVersion {
+                            min: wire::WIRE_VERSION,
+                            max: wire::WIRE_VERSION,
+                        },
+                        format!(
+                            "no common version: client speaks {min_version}..={max_version}, \
+                             server speaks {0}..={0}",
+                            wire::WIRE_VERSION
+                        ),
+                    );
+                    conn.close_after_flush = true;
+                    return;
+                };
+                if !shared.service.authenticate(&tenant, &token) {
+                    conn.queue_error(
+                        pool,
+                        config,
+                        ErrorKind::AuthFailed,
+                        format!("tenant {tenant:?} refused"),
+                    );
+                    conn.close_after_flush = true;
+                    return;
+                }
+                conn.queue(
+                    pool,
+                    config,
+                    &Message::HelloAck {
+                        version,
+                        server: config.server_name.clone(),
+                    },
+                );
+                conn.tenant = tenant;
+                conn.authed = true;
+            }
+            _ => {
+                conn.queue_error(
+                    pool,
+                    config,
+                    ErrorKind::BadRequest,
+                    "first frame must be Hello",
+                );
+                conn.close_after_flush = true;
+            }
+        }
+        return;
+    }
     match message {
         Message::TraceBegin {
             fingerprint,
@@ -517,31 +1008,33 @@ fn handle_message(
             {
                 conn.rejected_uploads.insert(fingerprint);
                 conn.bound_rejected_uploads();
-                return send_error(
-                    stream,
+                conn.queue_error(
+                    pool,
+                    config,
                     ErrorKind::BadChunk,
                     format!(
-                        "too many concurrent uploads on one connection                          (limit {MAX_CONCURRENT_UPLOADS}); finish one first"
+                        "too many concurrent uploads on one connection \
+                         (limit {MAX_CONCURRENT_UPLOADS}); finish one first"
                     ),
                 );
+                return;
             }
             match TraceAssembler::new(
                 fingerprint,
                 total_chunks,
                 total_bytes,
-                inner.config.max_trace_bytes,
+                config.max_trace_bytes,
             ) {
                 Ok(assembler) => {
                     // A restarted upload for the same fingerprint replaces
                     // the stale assembly (and clears any earlier refusal).
                     conn.rejected_uploads.remove(&fingerprint);
                     conn.assemblies.insert(fingerprint, assembler);
-                    true
                 }
                 Err(e) => {
                     conn.rejected_uploads.insert(fingerprint);
                     conn.bound_rejected_uploads();
-                    send_error(stream, ErrorKind::BadChunk, e.to_string())
+                    conn.queue_error(pool, config, ErrorKind::BadChunk, e.to_string());
                 }
             }
         }
@@ -554,31 +1047,28 @@ fn handle_message(
                 // One refusal per upload: the begin/first-bad-chunk error
                 // already went out, so the rest of an already-refused
                 // stream is absorbed without a reply.
-                if conn.rejected_uploads.contains(&fingerprint) {
-                    return true;
+                if !conn.rejected_uploads.contains(&fingerprint) {
+                    conn.queue_error(
+                        pool,
+                        config,
+                        ErrorKind::BadChunk,
+                        format!("no upload in progress for {fingerprint} (send TraceBegin first)"),
+                    );
                 }
-                return send_error(
-                    stream,
-                    ErrorKind::BadChunk,
-                    format!("no upload in progress for {fingerprint} (send TraceBegin first)"),
-                );
+                return;
             };
             match assembler.accept(index, data) {
-                Ok(None) => true,
+                Ok(None) => {}
                 Ok(Some(trace)) => {
                     conn.assemblies.remove(&fingerprint);
-                    inner
-                        .uploads
-                        .lock()
-                        .unwrap_or_else(|p| p.into_inner())
-                        .insert(fingerprint, trace);
-                    send(stream, &Message::TraceAck { fingerprint })
+                    lock(&shared.uploads).insert(fingerprint, trace);
+                    conn.queue(pool, config, &Message::TraceAck { fingerprint });
                 }
                 Err(e) => {
                     conn.assemblies.remove(&fingerprint);
                     conn.rejected_uploads.insert(fingerprint);
                     conn.bound_rejected_uploads();
-                    send_error(stream, ErrorKind::BadChunk, e.to_string())
+                    conn.queue_error(pool, config, ErrorKind::BadChunk, e.to_string());
                 }
             }
         }
@@ -587,24 +1077,23 @@ fn handle_message(
             priority,
             deadline_ms,
         } => {
-            if inner.draining.load(Ordering::SeqCst) {
-                return send_error(
-                    stream,
+            if shared.draining.load(Ordering::SeqCst) {
+                conn.queue_error(
+                    pool,
+                    config,
                     ErrorKind::ShuttingDown,
                     "server is draining; no new submissions",
                 );
+                return;
             }
-            let trace = inner
-                .uploads
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .get(fingerprint);
-            let Some(trace) = trace else {
-                return send_error(
-                    stream,
+            let Some(trace) = lock(&shared.uploads).get(fingerprint) else {
+                conn.queue_error(
+                    pool,
+                    config,
                     ErrorKind::UnknownFingerprint { fingerprint },
                     "upload the trace before submitting it",
                 );
+                return;
             };
             // The upload cache's Arc is shared into the job: the dedup
             // hot path (many submissions of one profile) never copies
@@ -615,91 +1104,108 @@ fn handle_message(
             }
             // Load shedding: service backpressure crosses the wire as a
             // typed error frame, never a dropped socket.
-            match inner.service.submit(request) {
+            match shared.service.submit(request) {
                 Ok(JobId(job)) => {
                     conn.jobs.insert(job);
-                    send(stream, &Message::SubmitAck { job })
+                    conn.queue(pool, config, &Message::SubmitAck { job });
                 }
-                Err(rejected) => send_error(
-                    stream,
-                    ErrorKind::from_rejected(&rejected),
-                    rejected.to_string(),
-                ),
+                Err(rejected) => {
+                    conn.queue_error(
+                        pool,
+                        config,
+                        ErrorKind::from_rejected(&rejected),
+                        rejected.to_string(),
+                    );
+                }
             }
         }
         Message::Watch { job } => {
             if !conn.jobs.contains(&job) {
-                return send_error(
-                    stream,
+                conn.queue_error(
+                    pool,
+                    config,
                     ErrorKind::UnknownJob { job },
                     "not a job submitted on this connection",
                 );
+                return;
             }
-            watch_job(stream, inner, JobId(job))
+            start_watch(conn, pool, shared, JobId(job));
         }
         Message::Cancel { job } => {
             if !conn.jobs.contains(&job) {
-                return send_error(
-                    stream,
+                conn.queue_error(
+                    pool,
+                    config,
                     ErrorKind::UnknownJob { job },
                     "not a job submitted on this connection",
                 );
+                return;
             }
-            let cancelled = inner.service.cancel(JobId(job));
-            send(stream, &Message::CancelAck { job, cancelled })
+            let cancelled = shared.service.cancel(JobId(job));
+            conn.queue(pool, config, &Message::CancelAck { job, cancelled });
         }
         Message::QueryFingerprint { fingerprint } => {
-            let record = inner
+            let record = shared
                 .service
                 .lookup_fingerprint(fingerprint)
                 .map(|r| WireRecord {
                     tenant: r.tenant,
                     outcome: WireOutcome::from_outcome(&r.outcome),
                 });
-            send(
-                stream,
+            conn.queue(
+                pool,
+                config,
                 &Message::FingerprintInfo {
                     fingerprint,
                     record,
                 },
-            )
+            );
         }
         Message::QueryDims { n, k } => {
-            let entries = inner.service.lookup_dims(n as usize, k as usize);
+            let entries = shared.service.lookup_dims(n as usize, k as usize);
             // Capped: an unbounded answer would outgrow the peer's frame
             // cap and desynchronize the stream. lookup_dims orders by
-            // hash, so the cap returns a stable prefix.
-            send(
-                stream,
+            // hash, so the cap returns a stable prefix; truncations are
+            // counted so operators can tell.
+            if entries.len() > config.max_query_entries {
+                shared.service.note_truncated_answer();
+            }
+            conn.queue(
+                pool,
+                config,
                 &Message::DimsInfo {
                     entries: entries
                         .iter()
-                        .take(MAX_QUERY_ENTRIES)
+                        .take(config.max_query_entries)
                         .map(wire_entry)
                         .collect(),
                 },
-            )
+            );
         }
         Message::QueryHash { hash } => {
-            let entries = inner.service.lookup_hash(hash);
-            send(
-                stream,
+            let entries = shared.service.lookup_hash(hash);
+            if entries.len() > config.max_query_entries {
+                shared.service.note_truncated_answer();
+            }
+            conn.queue(
+                pool,
+                config,
                 &Message::HashInfo {
                     entries: entries
                         .iter()
-                        .take(MAX_QUERY_ENTRIES)
+                        .take(config.max_query_entries)
                         .map(wire_entry)
                         .collect(),
                 },
-            )
+            );
         }
         Message::QueryStats => {
-            let stats: ServiceStats = inner.service.stats();
-            send(stream, &Message::StatsInfo(WireStats::from(stats)))
+            let stats: ServiceStats = shared.service.stats();
+            conn.queue(pool, config, &Message::StatsInfo(WireStats::from(stats)));
         }
         Message::Bye => {
-            let _ = send(stream, &Message::Bye);
-            false
+            conn.queue(pool, config, &Message::Bye);
+            conn.close_after_flush = true;
         }
         // Server-to-client frames arriving at the server are protocol
         // violations.
@@ -715,118 +1221,109 @@ fn handle_message(
         | Message::HashInfo { .. }
         | Message::StatsInfo(_)
         | Message::Error { .. } => {
-            send_error(stream, ErrorKind::BadRequest, "unexpected frame direction")
+            conn.queue_error(
+                pool,
+                config,
+                ErrorKind::BadRequest,
+                "unexpected frame direction",
+            );
         }
     }
 }
 
-fn wire_entry(entry: &CodeEntry) -> wire::WireCodeEntry {
-    wire::WireCodeEntry {
-        hash: entry.hash,
-        code: entry.code.clone(),
-        fingerprints: entry.fingerprints.clone(),
+/// Begins streaming a job's events: subscribes with a notify hook that
+/// wakes this connection through the reactor, then (only then) checks
+/// for an already-terminal result so no terminal event can slip between
+/// the check and the subscription.
+fn start_watch(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, id: JobId) {
+    let token = conn.token;
+    // The hook captures the WakeHub, not Shared: hooks outlive the watch
+    // inside the fanout, and must not pin the service (see WakeHub).
+    let hook_wake = Arc::clone(&shared.wake);
+    let rx = shared.service.subscribe_notified(
+        id,
+        Arc::new(move || {
+            lock(&hook_wake.watch_wakeups).push(token);
+            hook_wake.waker.wake();
+        }),
+    );
+    if let Some(result) = shared.service.result(id) {
+        queue_done(conn, pool, &shared.config, id, &result);
+        return;
     }
-}
-
-/// Streams a job's events to the peer until the job is terminal, then
-/// sends the Done frame. Returns false when the connection should close.
-fn watch_job(stream: &mut TcpStream, inner: &ServerInner, id: JobId) -> bool {
-    // Subscribe before checking the result so no terminal event can slip
-    // between the check and the subscription.
-    let events = inner.service.subscribe(id);
-    if let Some(result) = inner.service.result(id) {
-        return send_done(stream, id, &result);
-    }
-    let Some(events) = events else {
+    let Some(rx) = rx else {
         // Evicted or never known; result() above also found nothing.
-        return send_error(
-            stream,
+        conn.queue_error(
+            pool,
+            &shared.config,
             ErrorKind::UnknownJob { job: id.0 },
             "job expired from the retention window",
         );
+        return;
     };
-    let mut last_liveness = Instant::now();
+    conn.watch = Some(WatchState { id, rx });
+    // The caller's drive loop pumps immediately, catching events (or a
+    // terminal result) that landed while we subscribed.
+}
+
+/// Drains ready events for an active watch into the write queue and ends
+/// the watch with the Done frame once the job is terminal.
+fn pump_watch(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>) {
+    let Some(id) = conn.watch.as_ref().map(|w| w.id) else {
+        return;
+    };
     loop {
-        // A watch writes only when events arrive, so a vanished peer
-        // would otherwise hold its slot for the whole job. A periodic
-        // zero-consume peek detects a closed peer (FIN/RST) promptly; a
-        // silent partition stays undetectable until the next write, as
-        // with any TCP stream without keepalive.
-        if last_liveness.elapsed() >= Duration::from_secs(2) {
-            last_liveness = Instant::now();
-            if peer_closed(stream) {
-                return false;
-            }
-        }
-        match events.recv_timeout(Duration::from_millis(50)) {
+        let received = match conn.watch.as_mut() {
+            Some(watch) => watch.rx.try_recv(),
+            None => return,
+        };
+        match received {
             Ok(event) => {
                 if let Some(wire_event) = wire_event(&event) {
-                    if !send(
-                        stream,
-                        &Message::Event {
-                            job: id.0,
-                            event: wire_event,
-                        },
-                    ) {
-                        // The peer is gone; the job keeps running (a
-                        // reconnecting client re-attaches by fingerprint).
-                        return false;
+                    let frame = Message::Event {
+                        job: id.0,
+                        event: wire_event,
+                    };
+                    conn.queue(pool, &shared.config, &frame);
+                    if conn.overflowed {
+                        return; // queue() already tore the watch down
                     }
                 }
             }
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            Err(mpsc::TryRecvError::Empty) => break,
+            Err(mpsc::TryRecvError::Disconnected) => {
                 // The job's event fan-out is gone: it was evicted from
                 // the retention window (or the service stopped). One
-                // final result check, then a typed answer either way —
-                // never a poll loop against a channel that returns
-                // Disconnected instantly.
-                if let Some(result) = inner.service.result(id) {
-                    return send_done(stream, id, &result);
+                // final result check, then a typed answer either way.
+                conn.watch = None;
+                match shared.service.result(id) {
+                    Some(result) => queue_done(conn, pool, &shared.config, id, &result),
+                    None => conn.queue_error(
+                        pool,
+                        &shared.config,
+                        ErrorKind::UnknownJob { job: id.0 },
+                        "job expired from the retention window before its result was read",
+                    ),
                 }
-                return send_error(
-                    stream,
-                    ErrorKind::UnknownJob { job: id.0 },
-                    "job expired from the retention window before its result was read",
-                );
+                return;
             }
         }
-        if let Some(result) = inner.service.result(id) {
-            return send_done(stream, id, &result);
-        }
-        if inner.stopped.load(Ordering::SeqCst) {
-            let _ = send(stream, &Message::Bye);
-            return false;
-        }
+    }
+    // Result is set before the terminal event publishes (same lock), so
+    // when the last notify fired this check concludes the watch.
+    if let Some(result) = shared.service.result(id) {
+        conn.watch = None;
+        queue_done(conn, pool, &shared.config, id, &result);
     }
 }
 
-/// True if the peer has closed (or reset) the connection — a 1-byte
-/// `peek` under a tiny read deadline returns `Ok(0)` on FIN and a hard
-/// error on RST, while an alive-but-quiet peer times out. The original
-/// read deadline is restored afterwards.
-fn peer_closed(stream: &mut TcpStream) -> bool {
-    let original = stream.read_timeout().ok().flatten();
-    if stream
-        .set_read_timeout(Some(Duration::from_millis(1)))
-        .is_err()
-    {
-        return false;
-    }
-    let mut probe = [0u8; 1];
-    let closed = match stream.peek(&mut probe) {
-        Ok(0) => true,
-        Ok(_) => false, // pipelined bytes: not our business mid-watch
-        Err(e) => !matches!(
-            e.kind(),
-            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
-        ),
-    };
-    let _ = stream.set_read_timeout(original);
-    closed
-}
-
-fn send_done(stream: &mut TcpStream, id: JobId, result: &beer_service::JobResult) -> bool {
+fn queue_done(
+    conn: &mut Conn,
+    pool: &mut BufPool,
+    config: &NetServerConfig,
+    id: JobId,
+    result: &beer_service::JobResult,
+) {
     let wire_result: WireResult = match result {
         Ok(output) => Ok(WireOutput {
             outcome: WireOutcome::from_outcome(&output.outcome),
@@ -835,13 +1332,22 @@ fn send_done(stream: &mut TcpStream, id: JobId, result: &beer_service::JobResult
         }),
         Err(e) => Err(WireJobError::from_error(e)),
     };
-    send(
-        stream,
+    conn.queue(
+        pool,
+        config,
         &Message::Done {
             job: id.0,
             result: wire_result,
         },
-    )
+    );
+}
+
+fn wire_entry(entry: &CodeEntry) -> wire::WireCodeEntry {
+    wire::WireCodeEntry {
+        hash: entry.hash,
+        code: entry.code.clone(),
+        fingerprints: entry.fingerprints.clone(),
+    }
 }
 
 /// Maps a service event to its wire twin (session progress flattens to a

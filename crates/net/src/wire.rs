@@ -123,9 +123,9 @@ impl std::error::Error for RecvError {}
 // Primitive encode/decode
 // ---------------------------------------------------------------------------
 
-struct Writer(Vec<u8>);
+struct Writer<'a>(&'a mut Vec<u8>);
 
-impl Writer {
+impl Writer<'_> {
     fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
@@ -241,7 +241,7 @@ impl<'a> Reader<'a> {
 // Domain sub-encodings
 // ---------------------------------------------------------------------------
 
-fn put_priority(w: &mut Writer, p: Priority) {
+fn put_priority(w: &mut Writer<'_>, p: Priority) {
     w.u8(match p {
         Priority::Low => 0,
         Priority::Normal => 1,
@@ -258,7 +258,7 @@ fn get_priority(r: &mut Reader) -> Result<Priority, WireError> {
     })
 }
 
-fn put_job_state(w: &mut Writer, s: JobState) {
+fn put_job_state(w: &mut Writer<'_>, s: JobState) {
     w.u8(match s {
         JobState::Queued => 0,
         JobState::Running => 1,
@@ -279,7 +279,7 @@ fn get_job_state(r: &mut Reader) -> Result<JobState, WireError> {
     })
 }
 
-fn put_budget_reason(w: &mut Writer, reason: BudgetReason) {
+fn put_budget_reason(w: &mut Writer<'_>, reason: BudgetReason) {
     w.u8(match reason {
         BudgetReason::Deadline => 0,
         BudgetReason::Cancelled => 1,
@@ -305,7 +305,7 @@ fn get_budget_reason(r: &mut Reader) -> Result<BudgetReason, WireError> {
 /// A linear code travels as its parity submatrix: `u16 parity rows ‖ u32
 /// k ‖ rows`, each row `⌈k/8⌉` bit-packed bytes (bit `j` at weight
 /// `1 << (j % 8)` of byte `j / 8`, padding bits zero).
-fn put_code(w: &mut Writer, code: &LinearCode) {
+fn put_code(w: &mut Writer<'_>, code: &LinearCode) {
     let p = code.parity_submatrix();
     w.u16(p.rows() as u16);
     w.u32(p.cols() as u32);
@@ -405,7 +405,7 @@ impl WireOutcome {
     }
 }
 
-fn put_outcome(w: &mut Writer, outcome: &WireOutcome) {
+fn put_outcome(w: &mut Writer<'_>, outcome: &WireOutcome) {
     match outcome {
         WireOutcome::Unique(code) => {
             w.u8(0);
@@ -489,7 +489,7 @@ impl fmt::Display for WireJobError {
 
 impl std::error::Error for WireJobError {}
 
-fn put_job_error(w: &mut Writer, e: &WireJobError) {
+fn put_job_error(w: &mut Writer<'_>, e: &WireJobError) {
     match e {
         WireJobError::Recovery { message } => {
             w.u8(0);
@@ -530,7 +530,7 @@ pub struct WireOutput {
 /// How a remote job ended.
 pub type WireResult = Result<WireOutput, WireJobError>;
 
-fn put_result(w: &mut Writer, result: &WireResult) {
+fn put_result(w: &mut Writer<'_>, result: &WireResult) {
     match result {
         Ok(output) => {
             w.u8(0);
@@ -589,7 +589,7 @@ pub enum WireEvent {
     },
 }
 
-fn put_event(w: &mut Writer, event: &WireEvent) {
+fn put_event(w: &mut Writer<'_>, event: &WireEvent) {
     match event {
         WireEvent::Submitted { tenant } => {
             w.u8(0);
@@ -641,7 +641,7 @@ pub struct WireCodeEntry {
     pub fingerprints: Vec<Fingerprint>,
 }
 
-fn put_code_entry(w: &mut Writer, entry: &WireCodeEntry) {
+fn put_code_entry(w: &mut Writer<'_>, entry: &WireCodeEntry) {
     w.u64(entry.hash);
     put_code(w, &entry.code);
     w.u32(entry.fingerprints.len() as u32);
@@ -669,7 +669,7 @@ fn get_code_entry(r: &mut Reader) -> Result<WireCodeEntry, WireError> {
     })
 }
 
-fn put_code_entries(w: &mut Writer, entries: &[WireCodeEntry]) {
+fn put_code_entries(w: &mut Writer<'_>, entries: &[WireCodeEntry]) {
     w.u32(entries.len() as u32);
     for entry in entries {
         put_code_entry(w, entry);
@@ -748,7 +748,7 @@ impl From<ServiceStats> for WireStats {
     }
 }
 
-fn put_stats(w: &mut Writer, s: &WireStats) {
+fn put_stats(w: &mut Writer<'_>, s: &WireStats) {
     for v in [
         s.submitted,
         s.completed,
@@ -891,7 +891,7 @@ impl fmt::Display for ErrorKind {
     }
 }
 
-fn put_error_kind(w: &mut Writer, kind: &ErrorKind) {
+fn put_error_kind(w: &mut Writer<'_>, kind: &ErrorKind) {
     match kind {
         ErrorKind::QueueFull { capacity } => {
             w.u8(0);
@@ -1125,7 +1125,18 @@ const TAG_BYE: u8 = 22;
 impl Message {
     /// Encodes the frame body (tag + payload, no length prefix).
     pub fn encode_body(&self) -> Vec<u8> {
-        let mut w = Writer(Vec::new());
+        let mut body = Vec::new();
+        self.encode_body_into(&mut body);
+        body
+    }
+
+    /// Encodes the frame body (tag + payload, no length prefix) by
+    /// *appending* to `buf` — the allocation-free path for hot frames
+    /// (Event, SubmitAck, cache-hit Done) encoding into pooled buffers.
+    /// Produces byte-for-byte the same encoding as
+    /// [`Message::encode_body`].
+    pub fn encode_body_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer(buf);
         match self {
             Message::Hello {
                 min_version,
@@ -1254,7 +1265,6 @@ impl Message {
             }
             Message::Bye => w.u8(TAG_BYE),
         }
-        w.0
     }
 
     /// Decodes a frame body (tag + payload).
@@ -1358,11 +1368,21 @@ impl Message {
 
     /// Encodes the complete frame: length prefix + body.
     pub fn encode_frame(&self) -> Vec<u8> {
-        let body = self.encode_body();
-        let mut frame = Vec::with_capacity(4 + body.len());
-        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        frame.extend_from_slice(&body);
+        let mut frame = Vec::new();
+        self.encode_into(&mut frame);
         frame
+    }
+
+    /// Encodes the complete frame (length prefix + body) by *appending*
+    /// to `buf`. The length prefix is reserved up front and patched
+    /// after the body lands, so the frame is built in one buffer with no
+    /// intermediate concatenation.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        buf.extend_from_slice(&[0u8; 4]);
+        self.encode_body_into(buf);
+        let body_len = (buf.len() - start - 4) as u32;
+        buf[start..start + 4].copy_from_slice(&body_len.to_be_bytes());
     }
 }
 

@@ -26,8 +26,8 @@ use crate::queue::FairScheduler;
 use crate::registry::{CodeEntry, JobRecord, Registry};
 use beer_core::engine::{EngineOptions, ProfileSource};
 use beer_core::recovery::{
-    lock_unpoisoned, run_session_guarded, BudgetReason, CancelToken, Fanout, RecoveryConfig,
-    RecoveryEvent, RecoveryOutcome, SessionHooks,
+    lock_unpoisoned, run_session_guarded, BudgetReason, CancelToken, Fanout, FanoutNotify,
+    RecoveryConfig, RecoveryEvent, RecoveryOutcome, SessionHooks,
 };
 use beer_core::trace::{Fingerprint, ProfileTrace, ReplayBackend};
 use beer_ecc::{equivalence, LinearCode};
@@ -307,6 +307,10 @@ pub struct ServiceStats {
     pub running: usize,
     /// Admission rejections by kind.
     pub rejected: RejectionStats,
+    /// Registry query answers truncated at the network edge's entry cap
+    /// (reported by [`RecoveryService::note_truncated_answer`]): operators
+    /// watching this climb know clients are seeing partial answers.
+    pub truncated_answers: u64,
 }
 
 enum InputSlot {
@@ -343,6 +347,7 @@ struct Counters {
     coalesced: u64,
     requeued: u64,
     rejected: RejectionStats,
+    truncated_answers: u64,
 }
 
 struct State {
@@ -690,6 +695,23 @@ impl RecoveryService {
             .map(|j| j.events.subscribe())
     }
 
+    /// Subscribes to one job's event stream with a wakeup callback:
+    /// `notify` runs (on the publishing thread) after each event is
+    /// queued. This is the network edge's fan-out hook — a reactor
+    /// multiplexing thousands of watchers parks on epoll and is woken
+    /// exactly when a watched job produces an event, instead of polling
+    /// every receiver on a timer.
+    pub fn subscribe_notified(
+        &self,
+        id: JobId,
+        notify: FanoutNotify,
+    ) -> Option<mpsc::Receiver<JobEvent>> {
+        lock_unpoisoned(&self.inner.state)
+            .jobs
+            .get(&id)
+            .map(|j| j.events.subscribe_with_notify(notify))
+    }
+
     /// Subscribes to every job's events. Subscribe *before* submitting to
     /// observe admission-time events (`Submitted`, `Coalesced`,
     /// `CacheHit`).
@@ -781,6 +803,42 @@ impl RecoveryService {
         lock_unpoisoned(&self.inner.state).registry.compact()
     }
 
+    /// Blocks until the service is *idle* — nothing queued and nothing
+    /// running — or `timeout` elapses; returns `true` when idle was
+    /// reached. Driven by the same condvar that resolves
+    /// [`RecoveryService::wait`], so a drain waits exactly as long as the
+    /// work does, with no polling.
+    pub fn wait_idle(&self, timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = lock_unpoisoned(&self.inner.state);
+        loop {
+            if state.scheduler.len() == 0 && state.running == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return false;
+            };
+            let (guard, _) = self
+                .inner
+                .finished
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = guard;
+        }
+    }
+
+    /// Records that a registry query answer was truncated at the network
+    /// edge's entry cap (see [`ServiceStats::truncated_answers`]).
+    pub fn note_truncated_answer(&self) {
+        lock_unpoisoned(&self.inner.state)
+            .counters
+            .truncated_answers += 1;
+    }
+
     /// Current counters and gauges.
     pub fn stats(&self) -> ServiceStats {
         let state = lock_unpoisoned(&self.inner.state);
@@ -800,6 +858,7 @@ impl RecoveryService {
                 .count(),
             running: state.running,
             rejected: c.rejected,
+            truncated_answers: c.truncated_answers,
         }
     }
 

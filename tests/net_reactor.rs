@@ -1,0 +1,518 @@
+//! Reactor-edge behaviors the blocking suites cannot see: connection
+//! scaling without threads, readiness-driven hangup detection, bounded
+//! write queues shedding slow readers, typed admission-control refusals,
+//! event-driven drain latency, and truncation accounting on registry
+//! queries.
+
+use beer::net::reactor::raise_nofile_limit;
+use beer::net::wire::{read_message, write_message, ErrorKind, Message, RecvError, WIRE_VERSION};
+use beer::net::{Client, NetServer, NetServerConfig};
+use beer::prelude::*;
+use rand::SeedableRng;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MAX_FRAME: usize = 1 << 20;
+
+fn record_trace(code: &LinearCode) -> ProfileTrace {
+    let patterns = PatternSet::OneTwo.patterns(code.k());
+    let mut backend = AnalyticBackend::new(code.clone());
+    ProfileTrace::record(&mut backend, &patterns, &CollectionPlan::quick())
+}
+
+fn distinct_codes(count: usize, k: usize, seed: u64) -> Vec<LinearCode> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut codes: Vec<LinearCode> = Vec::new();
+    while codes.len() < count {
+        let candidate = hamming::random_sec(k, &mut rng);
+        if !codes.iter().any(|c| equivalent(c, &candidate)) {
+            codes.push(candidate);
+        }
+    }
+    codes
+}
+
+/// A backend that parks its single unit until released, keeping the
+/// worker busy so queued jobs stay queued.
+#[derive(Clone)]
+struct GateSource {
+    released: Arc<AtomicBool>,
+    running: Arc<AtomicBool>,
+}
+
+impl GateSource {
+    fn new() -> Self {
+        GateSource {
+            released: Arc::new(AtomicBool::new(false)),
+            running: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+impl ProfileSource for GateSource {
+    fn k(&self) -> usize {
+        8
+    }
+
+    fn label(&self) -> String {
+        "gate".to_string()
+    }
+
+    fn num_units(&self, _patterns: &[ChargedSet], _plan: &CollectionPlan) -> usize {
+        1
+    }
+
+    fn run_unit(
+        &mut self,
+        _unit: usize,
+        _patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+        _profile: &mut MiscorrectionProfile,
+    ) -> Result<(), EngineError> {
+        self.running.store(true, Ordering::SeqCst);
+        while !self.released.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    }
+}
+
+/// Connects a raw wire-speaking socket and completes the Hello handshake.
+fn handshake(addr: &str, tenant: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_message(
+        &mut stream,
+        &Message::Hello {
+            min_version: WIRE_VERSION,
+            max_version: WIRE_VERSION,
+            tenant: tenant.to_string(),
+            token: String::new(),
+        },
+    )
+    .expect("hello");
+    match read_message(&mut stream, MAX_FRAME).expect("hello answered") {
+        Message::HelloAck { .. } => stream,
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+}
+
+/// Uploads a trace over a raw socket, returning its fingerprint.
+fn upload(stream: &mut TcpStream, trace: &ProfileTrace) -> Fingerprint {
+    let (fingerprint, chunks) = trace.to_chunks(64 << 10);
+    let total_bytes: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+    write_message(
+        stream,
+        &Message::TraceBegin {
+            fingerprint,
+            total_chunks: chunks.len() as u32,
+            total_bytes,
+        },
+    )
+    .expect("begin");
+    let last = chunks.len() - 1;
+    for (index, data) in chunks.into_iter().enumerate() {
+        write_message(
+            stream,
+            &Message::TraceChunk {
+                fingerprint,
+                index: index as u32,
+                data,
+            },
+        )
+        .expect("chunk");
+        if index == last {
+            match read_message(stream, MAX_FRAME).expect("upload answered") {
+                Message::TraceAck { fingerprint: fp } if fp == fingerprint => {}
+                other => panic!("expected TraceAck, got {other:?}"),
+            }
+        }
+    }
+    fingerprint
+}
+
+/// Submits an uploaded fingerprint over a raw socket, returning the job.
+fn submit(stream: &mut TcpStream, fingerprint: Fingerprint) -> u64 {
+    write_message(
+        stream,
+        &Message::Submit {
+            fingerprint,
+            priority: Priority::Normal,
+            deadline_ms: None,
+        },
+    )
+    .expect("submit");
+    match read_message(stream, MAX_FRAME).expect("submit answered") {
+        Message::SubmitAck { job } => job,
+        other => panic!("expected SubmitAck, got {other:?}"),
+    }
+}
+
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("/proc/self/status")
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .expect("Threads line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+/// Connection scaling is thread-free: hundreds of concurrent live
+/// watches (dedup-coalesced behind a gated worker) add ZERO threads to
+/// the process — the reactor multiplexes them all.
+#[test]
+fn idle_watchers_cost_no_threads() {
+    let watchers = 512usize;
+    let _ = raise_nofile_limit();
+
+    let secret = hamming::shortened(8);
+    let trace = record_trace(&secret);
+
+    let service =
+        Arc::new(RecoveryService::start(ServiceConfig::new().with_workers(1)).expect("start"));
+    let server = NetServer::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        NetServerConfig::new().with_max_connections(watchers + 8),
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // Park the worker so every submitted job stays live (the duplicates
+    // coalesce into one queued primary).
+    let gate = GateSource::new();
+    let gate_job = service
+        .submit(JobRequest::source("warden", "gate", Box::new(gate.clone())))
+        .expect("gate admitted");
+    while !gate.running.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let threads_before = thread_count();
+
+    let mut conns: Vec<TcpStream> = Vec::with_capacity(watchers);
+    let mut fingerprint = None;
+    for i in 0..watchers {
+        let mut stream = handshake(&addr, "alice");
+        let fp = match fingerprint {
+            Some(fp) => fp,
+            None => *fingerprint.insert(upload(&mut stream, &trace)),
+        };
+        let job = submit(&mut stream, fp);
+        write_message(&mut stream, &Message::Watch { job }).expect("watch");
+        conns.push(stream);
+        if i == 0 {
+            // All later submissions coalesce into this primary.
+            assert!(service.stats().queued >= 1);
+        }
+    }
+    assert_eq!(server.active_connections(), watchers);
+
+    let threads_after = thread_count();
+    assert_eq!(
+        threads_after, threads_before,
+        "{watchers} live watches must not add threads \
+         (before={threads_before}, after={threads_after})"
+    );
+
+    // Release the gate: every watcher gets its terminal Done frame,
+    // fanned out through the reactor.
+    gate.released.store(true, Ordering::SeqCst);
+    let _ = service.wait(gate_job);
+    for (i, stream) in conns.iter_mut().enumerate() {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        loop {
+            match read_message(stream, MAX_FRAME).expect("event stream") {
+                Message::Event { .. } => {}
+                Message::Done { result, .. } => {
+                    assert!(result.is_ok(), "watcher {i} saw a failed job");
+                    break;
+                }
+                other => panic!("watcher {i}: unexpected frame {other:?}"),
+            }
+        }
+    }
+    drop(conns);
+    server.shutdown(Duration::from_secs(5));
+}
+
+/// A watcher that hangs up mid-watch is detected by readiness (RDHUP),
+/// not a liveness poll: its slot frees within a reactor tick while the
+/// watched job keeps running.
+#[test]
+fn closed_watcher_releases_slot_within_one_tick() {
+    let secret = hamming::shortened(8);
+    let trace = record_trace(&secret);
+
+    let service =
+        Arc::new(RecoveryService::start(ServiceConfig::new().with_workers(1)).expect("start"));
+    let server =
+        NetServer::bind(Arc::clone(&service), "127.0.0.1:0", NetServerConfig::new()).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // Park the worker so the watched job stays queued (the watch stays
+    // live instead of completing instantly).
+    let gate = GateSource::new();
+    let gate_job = service
+        .submit(JobRequest::source("warden", "gate", Box::new(gate.clone())))
+        .expect("gate admitted");
+    while !gate.running.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut stream = handshake(&addr, "alice");
+    let fingerprint = upload(&mut stream, &trace);
+    let job = submit(&mut stream, fingerprint);
+    write_message(&mut stream, &Message::Watch { job }).expect("watch");
+    assert_eq!(server.active_connections(), 1);
+
+    // Hang up mid-watch. The old edge needed a periodic zero-byte
+    // liveness peek to notice; the reactor sees the FIN as a readiness
+    // event and must release the slot within one tick.
+    drop(stream);
+    let deadline = Instant::now() + Duration::from_millis(500);
+    while server.active_connections() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "hung-up watcher still holds its slot after 500ms"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The job was unaffected: it finishes once the worker frees up.
+    gate.released.store(true, Ordering::SeqCst);
+    let _ = service.wait(gate_job);
+    let output = service.wait(JobId(job)).expect("job survives its watcher");
+    assert!(equivalent(
+        output.outcome.unique_code().expect("unique"),
+        &secret
+    ));
+    server.shutdown(Duration::from_secs(5));
+}
+
+/// Over the connection limit, a new peer gets a typed Busy frame and a
+/// clean close — never a silently dropped socket.
+#[test]
+fn over_limit_connection_gets_typed_busy() {
+    let service =
+        Arc::new(RecoveryService::start(ServiceConfig::new().with_workers(1)).expect("start"));
+    let server = NetServer::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        NetServerConfig::new().with_max_connections(1),
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let held = handshake(&addr, "alice");
+    let mut refused = TcpStream::connect(&addr).expect("connect");
+    refused
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    match read_message(&mut refused, MAX_FRAME).expect("refusal frame") {
+        Message::Error {
+            kind: ErrorKind::Busy,
+            detail,
+        } => assert!(detail.contains("connection limit"), "detail: {detail}"),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    match read_message(&mut refused, MAX_FRAME) {
+        Err(RecvError::Closed) => {}
+        other => panic!("expected clean close after refusal, got {other:?}"),
+    }
+    drop(held);
+    server.shutdown(Duration::from_secs(5));
+}
+
+/// A peer that pipelines thousands of requests but never reads its
+/// responses overflows its bounded write queue: it gets a typed Busy
+/// frame and a disconnect, while a healthy connection on the same
+/// reactor keeps round-tripping unstalled.
+#[test]
+fn slow_reader_is_shed_without_stalling_others() {
+    let idle_conns = 62usize; // + 1 slow + 1 healthy = 64 on one reactor
+    let _ = raise_nofile_limit();
+
+    let service =
+        Arc::new(RecoveryService::start(ServiceConfig::new().with_workers(1)).expect("start"));
+    let server = NetServer::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        NetServerConfig::new()
+            .with_max_connections(256)
+            .with_max_write_buffer(32 << 10),
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // A crowd of idle authed connections: the shed must not touch them.
+    let idle: Vec<TcpStream> = (0..idle_conns).map(|_| handshake(&addr, "crowd")).collect();
+    let mut healthy = Client::connect(&addr, "alice", "").expect("connect");
+
+    // The slow reader floods pipelined QueryStats requests (5 bytes each,
+    // ~130-byte answers) without ever reading: kernel buffers fill, then
+    // the server-side queue hits its 32 KiB bound.
+    let mut slow = handshake(&addr, "sloth");
+    slow.set_write_timeout(Some(Duration::from_millis(200)))
+        .expect("timeout");
+    let batch: Vec<u8> = {
+        let mut one = Vec::new();
+        Message::QueryStats.encode_into(&mut one);
+        one.repeat(1000)
+    };
+    let send_deadline = Instant::now() + Duration::from_secs(10);
+    let mut sent = 0usize;
+    while sent < 64_000 && Instant::now() < send_deadline {
+        match slow.write(&batch) {
+            Ok(n) => sent += n / 5,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            // Reset: the server already shed us mid-send. Also proof.
+            Err(_) => break,
+        }
+        // The healthy connection round-trips while the flood is active.
+        let t0 = Instant::now();
+        healthy.stats().expect("healthy round-trip");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "healthy connection stalled behind the slow reader"
+        );
+    }
+
+    // Drain what the server managed to flush: complete frames, then the
+    // typed overflow refusal, then a close. (Framing survives the shed —
+    // the queue is cut at frame boundaries.)
+    slow.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut answered = 0usize;
+    let mut shed = false;
+    loop {
+        match read_message(&mut slow, MAX_FRAME) {
+            Ok(Message::StatsInfo(_)) => answered += 1,
+            Ok(Message::Error {
+                kind: ErrorKind::Busy,
+                detail,
+            }) => {
+                assert!(detail.contains("write queue"), "detail: {detail}");
+                shed = true;
+            }
+            Ok(other) => panic!("unexpected frame {other:?}"),
+            Err(RecvError::Closed) => break,
+            Err(e) => panic!("transport error instead of clean shed: {e:?}"),
+        }
+    }
+    assert!(shed, "slow reader was never sent the typed Busy refusal");
+    assert!(
+        answered < sent,
+        "every request answered ({answered}/{sent}): the queue never overflowed; \
+         raise the flood size"
+    );
+
+    // The crowd and the healthy connection are untouched.
+    healthy.stats().expect("healthy survives the shed");
+    drop(idle);
+    drop(healthy);
+    server.shutdown(Duration::from_secs(5));
+}
+
+/// Drain latency is event-driven: once in-flight work finishes and the
+/// watcher collects its result, shutdown returns promptly (condvar
+/// wakeups, not sleep loops).
+#[test]
+fn drain_returns_promptly_after_service_goes_idle() {
+    let secret = hamming::shortened(8);
+    let trace = record_trace(&secret);
+
+    let service =
+        Arc::new(RecoveryService::start(ServiceConfig::new().with_workers(1)).expect("start"));
+    let server =
+        NetServer::bind(Arc::clone(&service), "127.0.0.1:0", NetServerConfig::new()).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let gate = GateSource::new();
+    let gate_job = service
+        .submit(JobRequest::source("warden", "gate", Box::new(gate.clone())))
+        .expect("gate admitted");
+    while !gate.running.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut client = Client::connect(&addr, "alice", "").expect("connect");
+    let queued = client.submit(&trace).expect("queued behind the gate");
+    let watcher = std::thread::spawn(move || {
+        let output = client
+            .wait(queued)
+            .expect("watch survives the drain")
+            .expect("job finishes during drain");
+        assert!(equivalent(
+            output.outcome.unique_code().expect("unique"),
+            &secret
+        ));
+    });
+
+    let drainer = std::thread::spawn(move || {
+        let t0 = Instant::now();
+        server.shutdown(Duration::from_secs(30));
+        t0.elapsed()
+    });
+    std::thread::sleep(Duration::from_millis(100)); // let draining latch
+
+    let released_at = Instant::now();
+    gate.released.store(true, Ordering::SeqCst);
+    let _ = service.wait(gate_job);
+    watcher.join().expect("watcher thread");
+    let drained_in = drainer.join().expect("drain completes");
+    let after_release = released_at.elapsed();
+    assert!(
+        after_release < Duration::from_secs(2),
+        "drain took {after_release:?} after the gate released; \
+         the idle/flush waits must be event-driven"
+    );
+    assert!(
+        drained_in >= Duration::from_millis(100),
+        "drain saw the gate"
+    );
+}
+
+/// Registry query answers are capped; a capped answer is marked by
+/// counting it in ServiceStats.truncated_answers so operators can tell
+/// truncation from a small registry.
+#[test]
+fn truncated_query_answers_are_counted() {
+    let cap = 2usize;
+    let codes = distinct_codes(4, 8, 0xBEE5);
+
+    let service =
+        Arc::new(RecoveryService::start(ServiceConfig::new().with_workers(2)).expect("start"));
+    let server = NetServer::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        NetServerConfig::new().with_max_query_entries(cap),
+    )
+    .expect("bind");
+
+    let mut client =
+        Client::connect(server.local_addr().to_string(), "alice", "").expect("connect");
+    for code in &codes {
+        let job = client.submit(&record_trace(code)).expect("submit");
+        client.wait(job).expect("watch").expect("solves");
+    }
+    assert_eq!(service.stats().truncated_answers, 0);
+
+    let n = codes[0].n() as u32;
+    let entries = client.query_dims(n, 8).expect("query");
+    assert_eq!(entries.len(), cap, "answer is capped at max_query_entries");
+    assert_eq!(
+        service.stats().truncated_answers,
+        1,
+        "the capped answer is counted as truncated"
+    );
+    server.shutdown(Duration::from_secs(5));
+}
