@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Gate segmented-registry startup against a checked-in baseline.
+
+Usage: check_registry_scale.py <run_json> <baseline_json> [factor]
+
+Reads `startup_segmented_ms` from a `bench_results/registry_scale.json`
+produced by the registry_scale bench and from the checked-in baseline,
+and fails (exit 1) if the run regressed by more than `factor` (default
+2.0). The generous factor absorbs shared-runner noise; a return to
+whole-log replay at startup overshoots it by an order of magnitude
+(see `startup_monolith_ms` in the same artifact).
+
+Refresh the baseline deliberately with a smoke-scale run on a quiet
+machine:  BEER_BENCH_SCALE=smoke cargo bench -p beer_bench --bench \
+registry_scale && cp bench_results/registry_scale.json \
+ci/registry_scale.baseline.json
+"""
+
+import json
+import sys
+
+
+def startup_ms(path):
+    with open(path) as f:
+        doc = json.load(f)
+    value = doc.get("startup_segmented_ms")
+    if value is None:
+        sys.exit(f"{path}: no startup_segmented_ms in artifact metadata")
+    return float(value)
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(f"usage: {sys.argv[0]} <run_json> <baseline_json> [factor]")
+    run_path, baseline_path = sys.argv[1], sys.argv[2]
+    factor = float(sys.argv[3]) if len(sys.argv) == 4 else 2.0
+
+    run = startup_ms(run_path)
+    baseline = startup_ms(baseline_path)
+    limit = baseline * factor
+    verdict = "OK" if run <= limit else "REGRESSION"
+    print(
+        f"segmented registry startup: run = {run:.2f} ms, baseline = {baseline:.2f} ms, "
+        f"limit = {limit:.2f} ms ({factor}x) -> {verdict}"
+    )
+    if run > limit:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

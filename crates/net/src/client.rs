@@ -612,6 +612,113 @@ impl Client {
         }
     }
 
+    /// One page of the codes with the given dimensions (protocol v2).
+    /// Pass `None` to start, then each answer's `next_cursor` to resume;
+    /// `limit` 0 accepts the server's page cap.
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals (including [`ErrorKind::BadRequest`] on a v1
+    /// server or a stale cursor) and transport failures.
+    pub fn query_dims_page(
+        &mut self,
+        n: u32,
+        k: u32,
+        cursor: Option<Vec<u8>>,
+        limit: u32,
+    ) -> Result<(Vec<WireCodeEntry>, Option<Vec<u8>>), ClientError> {
+        match self.roundtrip(&Message::QueryDimsPage {
+            n,
+            k,
+            cursor,
+            limit,
+        })? {
+            Message::DimsPage {
+                entries,
+                next_cursor,
+            } => Ok((entries, next_cursor)),
+            Message::Error { kind, detail } => Err(ClientError::Refused { kind, detail }),
+            _ => Err(ClientError::Protocol {
+                expected: "DimsPage",
+            }),
+        }
+    }
+
+    /// One page of the codes with the given canonical hash (protocol
+    /// v2). Cursor semantics match [`NetClient::query_dims_page`].
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals and transport failures.
+    pub fn query_hash_page(
+        &mut self,
+        hash: u64,
+        cursor: Option<Vec<u8>>,
+        limit: u32,
+    ) -> Result<(Vec<WireCodeEntry>, Option<Vec<u8>>), ClientError> {
+        match self.roundtrip(&Message::QueryHashPage {
+            hash,
+            cursor,
+            limit,
+        })? {
+            Message::HashPage {
+                entries,
+                next_cursor,
+            } => Ok((entries, next_cursor)),
+            Message::Error { kind, detail } => Err(ClientError::Refused { kind, detail }),
+            _ => Err(ClientError::Protocol {
+                expected: "HashPage",
+            }),
+        }
+    }
+
+    /// Every code with the given dimensions, paging to completion on a
+    /// v2 server. Against a v1 server this falls back to the single
+    /// capped [`NetClient::query_dims`] answer (which may be truncated
+    /// at the server's cap — v1 has no way past it).
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals and transport failures.
+    pub fn query_dims_all(&mut self, n: u32, k: u32) -> Result<Vec<WireCodeEntry>, ClientError> {
+        if self.version < 2 {
+            return self.query_dims(n, k);
+        }
+        let mut all = Vec::new();
+        let mut cursor = None;
+        loop {
+            let (mut entries, next) = self.query_dims_page(n, k, cursor, 0)?;
+            all.append(&mut entries);
+            match next {
+                Some(next) => cursor = Some(next),
+                None => return Ok(all),
+            }
+        }
+    }
+
+    /// Every code with the given canonical hash, paging to completion on
+    /// a v2 server; falls back to the capped [`NetClient::query_hash`]
+    /// on v1.
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals and transport failures.
+    pub fn query_hash_all(&mut self, hash: u64) -> Result<Vec<WireCodeEntry>, ClientError> {
+        if self.version < 2 {
+            return self.query_hash(hash);
+        }
+        let mut all = Vec::new();
+        let mut cursor = None;
+        loop {
+            let (mut entries, next) = self.query_hash_page(hash, cursor, 0)?;
+            all.append(&mut entries);
+            match next {
+                Some(next) => cursor = Some(next),
+                None => return Ok(all),
+            }
+        }
+    }
+
     /// A service stats snapshot.
     ///
     /// # Errors

@@ -395,6 +395,10 @@ struct Conn {
     stream: TcpStream,
     token: u64,
     authed: bool,
+    /// Protocol version negotiated at Hello (0 before the handshake).
+    /// Gates v2-only frames: a v1 peer sending a paginated query gets a
+    /// typed BadRequest, not a silent downgrade.
+    version: u16,
     tenant: String,
     /// Job ids issued on this connection — the only ids it may watch or
     /// cancel (tenancy isolation at the wire edge).
@@ -438,6 +442,7 @@ impl Conn {
             stream,
             token,
             authed: false,
+            version: 0,
             tenant: String::new(),
             jobs: HashSet::new(),
             assemblies: HashMap::new(),
@@ -948,12 +953,13 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
                         pool,
                         config,
                         ErrorKind::UnsupportedVersion {
-                            min: wire::WIRE_VERSION,
+                            min: wire::WIRE_MIN_VERSION,
                             max: wire::WIRE_VERSION,
                         },
                         format!(
                             "no common version: client speaks {min_version}..={max_version}, \
-                             server speaks {0}..={0}",
+                             server speaks {}..={}",
+                            wire::WIRE_MIN_VERSION,
                             wire::WIRE_VERSION
                         ),
                     );
@@ -980,6 +986,7 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
                 );
                 conn.tenant = tenant;
                 conn.authed = true;
+                conn.version = version;
             }
             _ => {
                 conn.queue_error(
@@ -1199,6 +1206,79 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
                 },
             );
         }
+        Message::QueryDimsPage {
+            n,
+            k,
+            cursor,
+            limit,
+        } => {
+            if conn.version < 2 {
+                conn.queue_error(
+                    pool,
+                    config,
+                    ErrorKind::BadRequest,
+                    "paginated queries need protocol v2",
+                );
+                return;
+            }
+            let after = match cursor.as_deref().map(|c| parse_dims_cursor(c, n, k)) {
+                None => None,
+                Some(Ok(position)) => Some(position),
+                Some(Err(why)) => {
+                    conn.queue_error(pool, config, ErrorKind::BadRequest, why);
+                    return;
+                }
+            };
+            let (entries, next) = shared.service.lookup_dims_page(
+                n as usize,
+                k as usize,
+                after,
+                page_limit(config, limit),
+            );
+            conn.queue(
+                pool,
+                config,
+                &Message::DimsPage {
+                    entries: entries.iter().map(wire_entry).collect(),
+                    next_cursor: next.map(|position| mint_dims_cursor(n, k, position)),
+                },
+            );
+        }
+        Message::QueryHashPage {
+            hash,
+            cursor,
+            limit,
+        } => {
+            if conn.version < 2 {
+                conn.queue_error(
+                    pool,
+                    config,
+                    ErrorKind::BadRequest,
+                    "paginated queries need protocol v2",
+                );
+                return;
+            }
+            let after = match cursor.as_deref().map(|c| parse_hash_cursor(c, hash)) {
+                None => None,
+                Some(Ok(idx)) => Some(idx),
+                Some(Err(why)) => {
+                    conn.queue_error(pool, config, ErrorKind::BadRequest, why);
+                    return;
+                }
+            };
+            let (entries, next) =
+                shared
+                    .service
+                    .lookup_hash_page(hash, after, page_limit(config, limit));
+            conn.queue(
+                pool,
+                config,
+                &Message::HashPage {
+                    entries: entries.iter().map(wire_entry).collect(),
+                    next_cursor: next.map(|idx| mint_hash_cursor(hash, idx)),
+                },
+            );
+        }
         Message::QueryStats => {
             let stats: ServiceStats = shared.service.stats();
             conn.queue(pool, config, &Message::StatsInfo(WireStats::from(stats)));
@@ -1219,6 +1299,8 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
         | Message::FingerprintInfo { .. }
         | Message::DimsInfo { .. }
         | Message::HashInfo { .. }
+        | Message::DimsPage { .. }
+        | Message::HashPage { .. }
         | Message::StatsInfo(_)
         | Message::Error { .. } => {
             conn.queue_error(
@@ -1340,6 +1422,95 @@ fn queue_done(
             result: wire_result,
         },
     );
+}
+
+// ---------------------------------------------------------------------------
+// Pagination cursors
+// ---------------------------------------------------------------------------
+//
+// A cursor is opaque to the client but self-validating to the server:
+// `kind ‖ query params ‖ position ‖ FNV-1a checksum`. Embedding the query
+// params binds a cursor to the query that minted it, and the checksum
+// turns random or bit-rotted bytes into a typed BadRequest instead of a
+// silently wrong page. The position is the registry's stable resume
+// point — dims runs are append-only and hash buckets never reorder, so a
+// cursor stays valid across compactions and concurrent appends.
+
+const CURSOR_DIMS: u8 = 1;
+const CURSOR_HASH: u8 = 2;
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+fn mint_dims_cursor(n: u32, k: u32, (hash, idx): (u64, u32)) -> Vec<u8> {
+    let mut c = Vec::with_capacity(25);
+    c.push(CURSOR_DIMS);
+    c.extend_from_slice(&n.to_be_bytes());
+    c.extend_from_slice(&k.to_be_bytes());
+    c.extend_from_slice(&hash.to_be_bytes());
+    c.extend_from_slice(&idx.to_be_bytes());
+    let sum = fnv1a(&c);
+    c.extend_from_slice(&sum.to_be_bytes());
+    c
+}
+
+fn parse_dims_cursor(c: &[u8], n: u32, k: u32) -> Result<(u64, u32), &'static str> {
+    if c.len() != 25 {
+        return Err("malformed dims cursor");
+    }
+    if fnv1a(&c[..21]) != u32::from_be_bytes(c[21..25].try_into().unwrap()) {
+        return Err("dims cursor checksum mismatch");
+    }
+    if c[0] != CURSOR_DIMS
+        || u32::from_be_bytes(c[1..5].try_into().unwrap()) != n
+        || u32::from_be_bytes(c[5..9].try_into().unwrap()) != k
+    {
+        return Err("cursor does not belong to this query");
+    }
+    Ok((
+        u64::from_be_bytes(c[9..17].try_into().unwrap()),
+        u32::from_be_bytes(c[17..21].try_into().unwrap()),
+    ))
+}
+
+fn mint_hash_cursor(hash: u64, idx: u32) -> Vec<u8> {
+    let mut c = Vec::with_capacity(17);
+    c.push(CURSOR_HASH);
+    c.extend_from_slice(&hash.to_be_bytes());
+    c.extend_from_slice(&idx.to_be_bytes());
+    let sum = fnv1a(&c);
+    c.extend_from_slice(&sum.to_be_bytes());
+    c
+}
+
+fn parse_hash_cursor(c: &[u8], hash: u64) -> Result<u32, &'static str> {
+    if c.len() != 17 {
+        return Err("malformed hash cursor");
+    }
+    if fnv1a(&c[..13]) != u32::from_be_bytes(c[13..17].try_into().unwrap()) {
+        return Err("hash cursor checksum mismatch");
+    }
+    if c[0] != CURSOR_HASH || u64::from_be_bytes(c[1..9].try_into().unwrap()) != hash {
+        return Err("cursor does not belong to this query");
+    }
+    Ok(u32::from_be_bytes(c[9..13].try_into().unwrap()))
+}
+
+/// The server-side page size: a client limit of 0 means "server's cap",
+/// anything else is clamped to it.
+fn page_limit(config: &NetServerConfig, limit: u32) -> usize {
+    let cap = config.max_query_entries.max(1);
+    if limit == 0 {
+        cap
+    } else {
+        (limit as usize).min(cap)
+    }
 }
 
 fn wire_entry(entry: &CodeEntry) -> wire::WireCodeEntry {

@@ -22,8 +22,10 @@ use beer_service::{JobState, Priority, Rejected, ServiceStats};
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// The protocol version this build speaks.
-pub const WIRE_VERSION: u16 = 1;
+/// The protocol version this build speaks. v2 adds cursor-paginated
+/// registry queries (tags 23–26); v1 peers still get the capped,
+/// possibly-truncated [`Message::DimsInfo`]/[`Message::HashInfo`] answers.
+pub const WIRE_VERSION: u16 = 2;
 /// The oldest protocol version this build still accepts.
 pub const WIRE_MIN_VERSION: u16 = 1;
 /// Magic bytes opening every [`Message::Hello`] payload.
@@ -160,6 +162,15 @@ impl Writer<'_> {
             }
         }
     }
+    fn opt_bytes(&mut self, v: Option<&[u8]>) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.bytes(v);
+            }
+        }
+    }
 }
 
 struct Reader<'a> {
@@ -221,6 +232,14 @@ impl<'a> Reader<'a> {
     fn opt_u64(&mut self, what: &'static str) -> Result<Option<u64>, WireError> {
         Ok(if self.boolean(what)? {
             Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    fn opt_bytes(&mut self, what: &'static str) -> Result<Option<Vec<u8>>, WireError> {
+        Ok(if self.boolean(what)? {
+            Some(self.bytes()?)
         } else {
             None
         })
@@ -1084,6 +1103,45 @@ pub enum Message {
         /// Matching entries (more than one only on a hash collision).
         entries: Vec<WireCodeEntry>,
     },
+    /// Client → server (v2+): one page of the codes with these
+    /// dimensions. The cursor is opaque: `None` starts from the
+    /// beginning, and each answer's `next_cursor` resumes strictly after
+    /// the last entry it returned. A cursor the server did not mint for
+    /// this same query is refused with [`ErrorKind::BadRequest`].
+    QueryDimsPage {
+        /// Codeword length.
+        n: u32,
+        /// Dataword length.
+        k: u32,
+        /// Opaque resume cursor from a previous [`Message::DimsPage`].
+        cursor: Option<Vec<u8>>,
+        /// Entries per page; 0 means the server's own cap.
+        limit: u32,
+    },
+    /// Server → client (v2+): one page of a dimension query.
+    DimsPage {
+        /// This page's entries.
+        entries: Vec<WireCodeEntry>,
+        /// Send this back to fetch the next page; `None` means done.
+        next_cursor: Option<Vec<u8>>,
+    },
+    /// Client → server (v2+): one page of the codes with this canonical
+    /// hash. Cursor semantics match [`Message::QueryDimsPage`].
+    QueryHashPage {
+        /// The canonical hash.
+        hash: u64,
+        /// Opaque resume cursor from a previous [`Message::HashPage`].
+        cursor: Option<Vec<u8>>,
+        /// Entries per page; 0 means the server's own cap.
+        limit: u32,
+    },
+    /// Server → client (v2+): one page of a hash query.
+    HashPage {
+        /// This page's entries.
+        entries: Vec<WireCodeEntry>,
+        /// Send this back to fetch the next page; `None` means done.
+        next_cursor: Option<Vec<u8>>,
+    },
     /// Client → server: request a service stats snapshot.
     QueryStats,
     /// Server → client: the stats snapshot.
@@ -1121,6 +1179,10 @@ const TAG_QUERY_STATS: u8 = 19;
 const TAG_STATS_INFO: u8 = 20;
 const TAG_ERROR: u8 = 21;
 const TAG_BYE: u8 = 22;
+const TAG_QUERY_DIMS_PAGE: u8 = 23;
+const TAG_DIMS_PAGE: u8 = 24;
+const TAG_QUERY_HASH_PAGE: u8 = 25;
+const TAG_HASH_PAGE: u8 = 26;
 
 impl Message {
     /// Encodes the frame body (tag + payload, no length prefix).
@@ -1253,6 +1315,44 @@ impl Message {
                 w.u8(TAG_HASH_INFO);
                 put_code_entries(&mut w, entries);
             }
+            Message::QueryDimsPage {
+                n,
+                k,
+                cursor,
+                limit,
+            } => {
+                w.u8(TAG_QUERY_DIMS_PAGE);
+                w.u32(*n);
+                w.u32(*k);
+                w.opt_bytes(cursor.as_deref());
+                w.u32(*limit);
+            }
+            Message::DimsPage {
+                entries,
+                next_cursor,
+            } => {
+                w.u8(TAG_DIMS_PAGE);
+                put_code_entries(&mut w, entries);
+                w.opt_bytes(next_cursor.as_deref());
+            }
+            Message::QueryHashPage {
+                hash,
+                cursor,
+                limit,
+            } => {
+                w.u8(TAG_QUERY_HASH_PAGE);
+                w.u64(*hash);
+                w.opt_bytes(cursor.as_deref());
+                w.u32(*limit);
+            }
+            Message::HashPage {
+                entries,
+                next_cursor,
+            } => {
+                w.u8(TAG_HASH_PAGE);
+                put_code_entries(&mut w, entries);
+                w.opt_bytes(next_cursor.as_deref());
+            }
             Message::QueryStats => w.u8(TAG_QUERY_STATS),
             Message::StatsInfo(stats) => {
                 w.u8(TAG_STATS_INFO);
@@ -1352,6 +1452,25 @@ impl Message {
             TAG_QUERY_HASH => Message::QueryHash { hash: r.u64()? },
             TAG_HASH_INFO => Message::HashInfo {
                 entries: get_code_entries(&mut r)?,
+            },
+            TAG_QUERY_DIMS_PAGE => Message::QueryDimsPage {
+                n: r.u32()?,
+                k: r.u32()?,
+                cursor: r.opt_bytes("dims cursor present")?,
+                limit: r.u32()?,
+            },
+            TAG_DIMS_PAGE => Message::DimsPage {
+                entries: get_code_entries(&mut r)?,
+                next_cursor: r.opt_bytes("dims next cursor present")?,
+            },
+            TAG_QUERY_HASH_PAGE => Message::QueryHashPage {
+                hash: r.u64()?,
+                cursor: r.opt_bytes("hash cursor present")?,
+                limit: r.u32()?,
+            },
+            TAG_HASH_PAGE => Message::HashPage {
+                entries: get_code_entries(&mut r)?,
+                next_cursor: r.opt_bytes("hash next cursor present")?,
             },
             TAG_QUERY_STATS => Message::QueryStats,
             TAG_STATS_INFO => Message::StatsInfo(get_stats(&mut r)?),

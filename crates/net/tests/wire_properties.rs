@@ -1,4 +1,4 @@
-//! Wire robustness properties for `beer-wire v1`.
+//! Wire robustness properties for `beer-wire`.
 //!
 //! Three guarantees the protocol must keep whatever bytes arrive:
 //!
@@ -64,6 +64,10 @@ impl Gen {
 
     fn opt_u64(&mut self) -> Option<u64> {
         self.boolean().then(|| self.next())
+    }
+
+    fn opt_bytes(&mut self) -> Option<Vec<u8>> {
+        self.boolean().then(|| self.bytes())
     }
 
     fn code(&mut self) -> beer_ecc::LinearCode {
@@ -186,10 +190,10 @@ impl Gen {
 }
 
 /// Every frame variant, payloads derived from the seed. `variant` cycles
-/// through all 22 message kinds so every test run covers the full space.
+/// through all 26 message kinds so every test run covers the full space.
 fn arb_message(variant: u64, seed: u64) -> Message {
     let g = &mut Gen(seed | 1);
-    match variant % 22 {
+    match variant % 26 {
         0 => Message::Hello {
             min_version: g.next() as u16,
             max_version: g.next() as u16,
@@ -272,13 +276,32 @@ fn arb_message(variant: u64, seed: u64) -> Message {
             kind: g.error_kind(),
             detail: g.string(),
         },
+        21 => Message::QueryDimsPage {
+            n: g.next() as u32,
+            k: g.next() as u32,
+            cursor: g.opt_bytes(),
+            limit: g.next() as u32,
+        },
+        22 => Message::DimsPage {
+            entries: g.entries(),
+            next_cursor: g.opt_bytes(),
+        },
+        23 => Message::QueryHashPage {
+            hash: g.next(),
+            cursor: g.opt_bytes(),
+            limit: g.next() as u32,
+        },
+        24 => Message::HashPage {
+            entries: g.entries(),
+            next_cursor: g.opt_bytes(),
+        },
         _ => Message::Bye,
     }
 }
 
 proptest! {
     #[test]
-    fn every_frame_roundtrips(variant in 0u64..22, seed in any::<u64>()) {
+    fn every_frame_roundtrips(variant in 0u64..26, seed in any::<u64>()) {
         let message = arb_message(variant, seed);
         let body = message.encode_body();
         let decoded = Message::decode_body(&body).expect("own encoding decodes");
@@ -292,7 +315,7 @@ proptest! {
     }
 
     #[test]
-    fn every_truncation_is_a_typed_error(variant in 0u64..22, seed in any::<u64>()) {
+    fn every_truncation_is_a_typed_error(variant in 0u64..26, seed in any::<u64>()) {
         let body = arb_message(variant, seed).encode_body();
         for len in 0..body.len() {
             match Message::decode_body(&body[..len]) {
@@ -308,7 +331,7 @@ proptest! {
     }
 
     #[test]
-    fn trailing_bytes_are_a_typed_error(variant in 0u64..22, seed in any::<u64>()) {
+    fn trailing_bytes_are_a_typed_error(variant in 0u64..26, seed in any::<u64>()) {
         let mut body = arb_message(variant, seed).encode_body();
         body.push(0);
         // Most frames report the trailing byte; frames ending in a
@@ -318,7 +341,7 @@ proptest! {
     }
 
     #[test]
-    fn corrupt_bytes_never_panic(variant in 0u64..22, seed in any::<u64>(), flips in 1usize..8) {
+    fn corrupt_bytes_never_panic(variant in 0u64..26, seed in any::<u64>(), flips in 1usize..8) {
         let mut body = arb_message(variant, seed).encode_body();
         let mut g = Gen(seed ^ 0xDEAD_BEEF);
         for _ in 0..flips {
@@ -345,7 +368,7 @@ proptest! {
 
 #[test]
 fn unknown_future_tags_are_typed_errors() {
-    for tag in [0u8, 23, 42, 200, 255] {
+    for tag in [0u8, 27, 42, 200, 255] {
         let body = vec![tag, 1, 2, 3];
         assert_eq!(
             Message::decode_body(&body),
@@ -406,9 +429,11 @@ fn clean_eof_is_distinguished_from_truncation() {
 
 #[test]
 fn version_negotiation_picks_the_highest_common_version() {
-    // Identical ranges: the current version.
-    assert_eq!(negotiate(1, 1), Some(WIRE_VERSION));
-    // A newer client offering a range including v1: still v1.
+    // A v1-only client: the server steps down to v1.
+    assert_eq!(negotiate(1, 1), Some(1));
+    // Identical ranges at the current version.
+    assert_eq!(negotiate(WIRE_VERSION, WIRE_VERSION), Some(WIRE_VERSION));
+    // A newer client offering a wide range: the server's best version.
     assert_eq!(negotiate(1, 9), Some(WIRE_VERSION));
     // A client that only speaks newer versions: no overlap.
     assert_eq!(negotiate(WIRE_VERSION + 1, WIRE_VERSION + 5), None);

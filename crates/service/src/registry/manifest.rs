@@ -1,0 +1,119 @@
+//! The registry manifest: the single authoritative list of live segments.
+//!
+//! A registry directory contains text log segments (`seg-NNNNNN.log`),
+//! binary snapshot segments (`snap-NNNNNN.snap`), and one `MANIFEST`.
+//! Every structural change — sealing the active log, compaction — writes
+//! a complete new manifest through a temp file + atomic rename, and only
+//! then deletes obsolete segments. A crash at any point therefore leaves
+//! either the old manifest (new files are unreferenced orphans, garbage-
+//! collected at the next open) or the new one (old files are orphans) —
+//! never a state that references missing data.
+//!
+//! `records` is the number of distinct fingerprints held by the listed
+//! *snapshots*; log segments re-count their novel fingerprints during
+//! replay, so the total is exact without reading any snapshot body.
+
+use std::io::{self, Write as _};
+use std::path::Path;
+
+pub const MANIFEST_HEADER: &str = "beer-manifest v1";
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Parsed manifest contents. `snaps` and `logs` are `(number, filename)`
+/// in age order, oldest first; the last log is the active append segment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    pub records: u64,
+    pub snaps: Vec<(u64, String)>,
+    pub logs: Vec<(u64, String)>,
+}
+
+impl Manifest {
+    /// Reads `dir/MANIFEST`; `Ok(None)` if it does not exist. A manifest
+    /// is written atomically, so a malformed one is real corruption and
+    /// an error — unlike torn log tails, which are expected and skipped.
+    pub fn read(dir: &Path) -> io::Result<Option<Manifest>> {
+        let text = match std::fs::read_to_string(dir.join(MANIFEST_NAME)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(bad("unknown manifest header"));
+        }
+        let mut manifest = Manifest::default();
+        let mut saw_records = false;
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            match fields.next() {
+                Some("records") => {
+                    manifest.records = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("records line"))?;
+                    saw_records = true;
+                }
+                Some("snap") => manifest.snaps.push(entry(&mut fields, "snap line")?),
+                Some("log") => manifest.logs.push(entry(&mut fields, "log line")?),
+                _ => return Err(bad("unknown manifest line")),
+            }
+        }
+        if !saw_records || manifest.logs.is_empty() {
+            return Err(bad("missing records count or active log"));
+        }
+        Ok(Some(manifest))
+    }
+
+    /// Writes `dir/MANIFEST` atomically (temp + rename).
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        let mut text = format!("{MANIFEST_HEADER}\nrecords {}\n", self.records);
+        for (generation, name) in &self.snaps {
+            text.push_str(&format!("snap {generation} {name}\n"));
+        }
+        for (seq, name) in &self.logs {
+            text.push_str(&format!("log {seq} {name}\n"));
+        }
+        let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.flush()?;
+        }
+        std::fs::rename(&tmp, dir.join(MANIFEST_NAME))
+    }
+
+    /// True if `name` is referenced by this manifest.
+    pub fn references(&self, name: &str) -> bool {
+        self.snaps.iter().any(|(_, n)| n == name) || self.logs.iter().any(|(_, n)| n == name)
+    }
+}
+
+fn entry<'a>(fields: &mut impl Iterator<Item = &'a str>, what: &str) -> io::Result<(u64, String)> {
+    let num = fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad(what))?;
+    let name = fields.next().ok_or_else(|| bad(what))?.to_string();
+    Ok((num, name))
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt manifest: {what}"),
+    )
+}
+
+/// `seg-NNNNNN.log` for a log sequence number.
+pub fn log_name(seq: u64) -> String {
+    format!("seg-{seq:06}.log")
+}
+
+/// `snap-NNNNNN.snap` for a snapshot generation.
+pub fn snap_name(generation: u64) -> String {
+    format!("snap-{generation:06}.snap")
+}

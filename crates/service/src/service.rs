@@ -132,10 +132,21 @@ pub struct ServiceConfig {
     /// Per-job size ceiling in patterns; beyond it,
     /// [`Rejected::TooLarge`].
     pub max_patterns: usize,
-    /// Backing file for the persistent registry (`None` = in-memory).
+    /// Backing path for the persistent registry (`None` = in-memory).
+    /// A directory of segments; a legacy v1 single-file log found here
+    /// is migrated in place on start.
     pub registry_path: Option<PathBuf>,
-    /// Auto-compact the registry log after this many appended records.
+    /// Compact the registry once its in-memory tail holds this many
+    /// records (the compaction drains the tail into a snapshot segment).
     pub compact_after: usize,
+    /// Registry snapshot generations tolerated before a compaction
+    /// majors into a full merge: under the budget, compactions are
+    /// cheap minor ones (O(tail) pause); at the budget, one major merge
+    /// collapses every generation. Lower = fewer segments probed per
+    /// lookup, higher = cheaper steady-state compactions.
+    pub compact_budget: usize,
+    /// Size (bytes) at which the registry's active log segment seals.
+    pub registry_seal_bytes: u64,
     /// How many *terminal* jobs to retain in memory for `status`/`wait`/
     /// `result` queries; older terminal jobs are evicted (their ids then
     /// answer [`JobError::Unknown`](crate::JobError::Unknown)), bounding
@@ -166,6 +177,8 @@ impl Default for ServiceConfig {
             max_patterns: 1 << 16,
             registry_path: None,
             compact_after: 4096,
+            compact_budget: 6,
+            registry_seal_bytes: crate::registry::DEFAULT_SEAL_BYTES,
             retained_jobs: 4096,
             recovery: RecoveryConfig::new(),
             tenants: None,
@@ -206,6 +219,18 @@ impl ServiceConfig {
     /// Overrides the auto-compaction threshold.
     pub fn with_compact_after(mut self, records: usize) -> Self {
         self.compact_after = records;
+        self
+    }
+
+    /// Overrides the snapshot-generation budget before a major merge.
+    pub fn with_compact_budget(mut self, generations: usize) -> Self {
+        self.compact_budget = generations;
+        self
+    }
+
+    /// Overrides the active-log seal threshold (bytes).
+    pub fn with_registry_seal_bytes(mut self, bytes: u64) -> Self {
+        self.registry_seal_bytes = bytes;
         self
     }
 
@@ -311,6 +336,17 @@ pub struct ServiceStats {
     /// (reported by [`RecoveryService::note_truncated_answer`]): operators
     /// watching this climb know clients are seeing partial answers.
     pub truncated_answers: u64,
+    /// Live registry segments of any kind — log + snapshot (gauge).
+    pub registry_segments: usize,
+    /// Live registry snapshot generations (gauge). Climbing toward the
+    /// compaction budget means a major merge is coming.
+    pub registry_snapshots: usize,
+    /// Successful registry compactions (minor + major).
+    pub registry_compactions: u64,
+    /// Failed registry compactions. Appended-record accounting is kept
+    /// intact on failure, so this climbing is an operator signal, not a
+    /// silent reset.
+    pub registry_compaction_failures: u64,
 }
 
 enum InputSlot {
@@ -376,6 +412,7 @@ struct Inner {
     queue_capacity: usize,
     max_patterns: usize,
     compact_after: usize,
+    compact_budget: usize,
     retained_jobs: usize,
     /// `Some` = closed tenant set with auth tokens; `None` = open.
     tenants: Option<HashMap<String, String>>,
@@ -399,10 +436,11 @@ impl RecoveryService {
     /// empty tenant set); [`StartError::Io`] for registry I/O errors.
     pub fn start(config: ServiceConfig) -> Result<RecoveryService, StartError> {
         config.validate()?;
-        let registry = match &config.registry_path {
+        let mut registry = match &config.registry_path {
             Some(path) => Registry::open(path)?,
             None => Registry::in_memory(),
         };
+        registry.set_seal_bytes(config.registry_seal_bytes);
         let worker_count = config.workers;
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
@@ -423,6 +461,7 @@ impl RecoveryService {
             queue_capacity: config.queue_capacity,
             max_patterns: config.max_patterns,
             compact_after: config.compact_after,
+            compact_budget: config.compact_budget,
             retained_jobs: config.retained_jobs,
             tenants: config.tenants,
         });
@@ -527,7 +566,7 @@ impl RecoveryService {
             state
                 .registry
                 .lookup_fingerprint(fp)
-                .map(|record| record.outcome.clone())
+                .map(|record| record.outcome)
         });
         // Coalescing: an identical in-flight profile absorbs this job.
         let primary = fingerprint.and_then(|fp| state.inflight.get(&fp).copied());
@@ -725,7 +764,7 @@ impl RecoveryService {
         lock_unpoisoned(&self.inner.state)
             .registry
             .lookup_fingerprint(fingerprint)
-            .map(|record| record.outcome.clone())
+            .map(|record| record.outcome)
     }
 
     /// The full registry record for a profile fingerprint.
@@ -733,7 +772,6 @@ impl RecoveryService {
         lock_unpoisoned(&self.inner.state)
             .registry
             .lookup_fingerprint(fingerprint)
-            .cloned()
     }
 
     /// Checks a tenant's credentials — the network edge's Hello gate.
@@ -786,6 +824,37 @@ impl RecoveryService {
             .into_iter()
             .cloned()
             .collect()
+    }
+
+    /// One page of the dims query, resuming strictly after the
+    /// `(hash, bucket idx)` cursor; returns the page and the cursor for
+    /// the next one (`None` when exhausted). The underlying run is
+    /// append-only and sorted, so a cursor stays valid while jobs
+    /// complete between pages — this is what the network edge serves,
+    /// holding the registry lock only per page, never across pages.
+    pub fn lookup_dims_page(
+        &self,
+        n: usize,
+        k: usize,
+        after: Option<(u64, u32)>,
+        limit: usize,
+    ) -> (Vec<CodeEntry>, Option<(u64, u32)>) {
+        let state = lock_unpoisoned(&self.inner.state);
+        let (page, next) = state.registry.lookup_dims_page(n, k, after, limit);
+        (page.into_iter().cloned().collect(), next)
+    }
+
+    /// One page of a canonical-hash bucket, resuming strictly after
+    /// bucket index `after` (see [`RecoveryService::lookup_dims_page`]).
+    pub fn lookup_hash_page(
+        &self,
+        hash: u64,
+        after: Option<u32>,
+        limit: usize,
+    ) -> (Vec<CodeEntry>, Option<u32>) {
+        let state = lock_unpoisoned(&self.inner.state);
+        let (page, next) = state.registry.lookup_hash_page(hash, after, limit);
+        (page.into_iter().cloned().collect(), next)
     }
 
     /// `(job records, distinct codes)` currently in the registry.
@@ -859,6 +928,10 @@ impl RecoveryService {
             running: state.running,
             rejected: c.rejected,
             truncated_answers: c.truncated_answers,
+            registry_segments: state.registry.segment_count(),
+            registry_snapshots: state.registry.snapshot_count(),
+            registry_compactions: state.registry.compactions(),
+            registry_compaction_failures: state.registry.compaction_failures(),
         }
     }
 
@@ -1151,10 +1224,18 @@ fn worker_loop(inner: &Inner) {
                         // Disk trouble degrades durability, not service.
                         eprintln!("beer_service: registry append failed: {e}");
                     }
-                    if state.registry.appended_since_compact() >= inner.compact_after {
-                        if let Err(e) = state.registry.compact() {
-                            eprintln!("beer_service: registry compaction failed: {e}");
-                        }
+                    // The worker path drives the storage lifecycle:
+                    // record() seals the active log at the size
+                    // threshold, and once the tail reaches
+                    // `compact_after` this drains it into a snapshot —
+                    // minor generations under `compact_budget`, one
+                    // major merge at it. Failures are counted
+                    // (`registry_compaction_failures`), never reset.
+                    if let Err(e) = state
+                        .registry
+                        .maybe_roll(inner.compact_after, inner.compact_budget)
+                    {
+                        eprintln!("beer_service: registry compaction failed: {e}");
                     }
                 }
             }

@@ -18,6 +18,7 @@ fn record_trace(code: &LinearCode) -> ProfileTrace {
 fn main() -> std::io::Result<()> {
     let registry_path = std::env::temp_dir().join("beer_recovery_service_example.log");
     let _ = std::fs::remove_file(&registry_path);
+    let _ = std::fs::remove_dir_all(&registry_path);
 
     // Two chip families, i.e. two distinct on-die ECC functions. Tenants
     // profile their chips (here: the analytic model) and submit traces.
@@ -118,7 +119,7 @@ fn main() -> std::io::Result<()> {
     assert!(output.from_cache, "the restart must answer from history");
     service.shutdown();
 
-    // The log is a plain, replayable artifact.
+    // The registry directory is a plain, replayable artifact.
     let registry = Registry::open(&registry_path)?;
     println!(
         "standalone replay: {} records, {} codes, {} corrupt lines skipped",
@@ -127,5 +128,6 @@ fn main() -> std::io::Result<()> {
         registry.skipped_lines()
     );
     let _ = std::fs::remove_file(&registry_path);
+    let _ = std::fs::remove_dir_all(&registry_path);
     Ok(())
 }

@@ -380,9 +380,11 @@ fn protocol_violations_are_typed_errors() {
         .expect("send");
         match wire::read_message(&mut stream, max) {
             Ok(Message::Error {
-                kind: ErrorKind::UnsupportedVersion { min: 1, max: 1 },
+                kind: ErrorKind::UnsupportedVersion { min, max },
                 ..
-            }) => {}
+            }) => {
+                assert_eq!((min, max), (wire::WIRE_MIN_VERSION, wire::WIRE_VERSION));
+            }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
     }
@@ -503,6 +505,7 @@ fn protocol_violations_are_typed_errors() {
 fn restarted_server_answers_from_replayed_registry() {
     let registry_path = temp_registry("restart");
     let _ = std::fs::remove_file(&registry_path);
+    let _ = std::fs::remove_dir_all(&registry_path);
     let secret = hamming::shortened(8);
     let trace = record_trace(&secret);
     let fingerprint = trace.fingerprint();
@@ -580,6 +583,7 @@ fn restarted_server_answers_from_replayed_registry() {
     assert_eq!(stats.completed, 1);
     server.shutdown(Duration::from_secs(2));
     let _ = std::fs::remove_file(&registry_path);
+    let _ = std::fs::remove_dir_all(&registry_path);
 }
 
 /// A refused chunked upload must not desynchronize the connection: the

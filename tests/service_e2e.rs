@@ -109,6 +109,7 @@ fn wait_flag(flag: &AtomicBool, what: &str) {
 fn coalescing_cancellation_and_cache_across_restart() {
     let registry_path = temp_registry("e2e");
     let _ = std::fs::remove_file(&registry_path);
+    let _ = std::fs::remove_dir_all(&registry_path);
     let code_a = hamming::shortened(8);
     let code_b = {
         let mut rng = StdRng::seed_from_u64(0xE2E);
@@ -276,6 +277,7 @@ fn coalescing_cancellation_and_cache_across_restart() {
     assert_eq!(registry.record_count(), 2);
     assert_eq!(registry.code_count(), 2);
     let _ = std::fs::remove_file(&registry_path);
+    let _ = std::fs::remove_dir_all(&registry_path);
 }
 
 /// Admission control: typed QueueFull and TooLarge rejections.

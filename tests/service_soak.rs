@@ -114,6 +114,7 @@ fn soak_240_mixed_jobs() {
     let registry_path =
         std::env::temp_dir().join(format!("beer_service_soak_{}.log", std::process::id()));
     let _ = std::fs::remove_file(&registry_path);
+    let _ = std::fs::remove_dir_all(&registry_path);
 
     let main_codes = distinct_codes(MAIN_POOL, 0x50AC);
     let main_traces: Vec<ProfileTrace> = main_codes.iter().map(record_trace).collect();
@@ -290,4 +291,5 @@ fn soak_240_mixed_jobs() {
         assert!(registry.lookup_code(expected).is_some());
     }
     let _ = std::fs::remove_file(&registry_path);
+    let _ = std::fs::remove_dir_all(&registry_path);
 }
