@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Gate cluster scaling efficiency against a checked-in baseline.
+
+Usage: check_cluster_scaling.py <run_json> <baseline_json> [factor]
+
+Reads `efficiency_2node` — 2-node speedup normalized by
+`min(2, cpu_cores)` — from a `bench_results/cluster_throughput.json`
+produced by the cluster_throughput bench. The normalization makes the
+number portable across machines: on a 1-core box it asserts sharding
+adds no serialization penalty (parity), on a multi-core runner it
+demands real near-linear scaling. The run fails (exit 1) if its
+efficiency drops below `min(baseline, 1.0) * factor` (default 0.7 —
+speedup >= 1.4x on a 2-core runner; the bench itself demonstrates
+~2x where cores allow). The baseline is capped at 1.0 so a lucky
+superlinear baseline can never demand the impossible.
+
+Also fails if `duplicate_solves != duplicate_pairs`: cross-node
+duplicates must coalesce to exactly one solve each, run and baseline
+alike — dedup has no noise allowance.
+
+Refresh the baseline deliberately with a smoke-scale run on a quiet
+machine:  BEER_BENCH_SCALE=smoke cargo bench -p beer_bench --bench \
+cluster_throughput && cp bench_results/cluster_throughput.json \
+ci/cluster_throughput.baseline.json
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def field(doc, path, key):
+    value = doc.get(key)
+    if value is None:
+        sys.exit(f"{path}: no {key} in artifact metadata")
+    return float(value)
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(f"usage: {sys.argv[0]} <run_json> <baseline_json> [factor]")
+    run_path, baseline_path = sys.argv[1], sys.argv[2]
+    factor = float(sys.argv[3]) if len(sys.argv) == 4 else 0.7
+
+    run = load(run_path)
+    baseline = load(baseline_path)
+
+    pairs = field(run, run_path, "duplicate_pairs")
+    solves = field(run, run_path, "duplicate_solves")
+    if solves != pairs:
+        sys.exit(
+            f"cross-node dedup broke: {solves:.0f} solves for "
+            f"{pairs:.0f} duplicated profiles (expected exactly one each)"
+        )
+    print(f"cross-node dedup: {solves:.0f} solves for {pairs:.0f} pairs -> OK")
+
+    run_eff = field(run, run_path, "efficiency_2node")
+    base_eff = field(baseline, baseline_path, "efficiency_2node")
+    floor = min(base_eff, 1.0) * factor
+    verdict = "OK" if run_eff >= floor else "REGRESSION"
+    print(
+        f"2-node scaling efficiency: run = {run_eff:.3f} "
+        f"(speedup {field(run, run_path, 'speedup_2node'):.2f}x on "
+        f"{field(run, run_path, 'cpu_cores'):.0f} cores), "
+        f"baseline = {base_eff:.3f}, floor = {floor:.3f} ({factor}x) -> {verdict}"
+    )
+    if run_eff < floor:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

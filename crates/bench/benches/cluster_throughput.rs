@@ -1,0 +1,328 @@
+//! Cluster scale proof: unique-solve throughput across 1 / 2 / 4
+//! fingerprint-sharded nodes over loopback, plus the cross-node dedup
+//! guarantee.
+//!
+//! * **scaling** — a fixed batch of distinct profiles (unique
+//!   fingerprints, so nothing dedups and every job pays a full
+//!   recovery) is submitted through a ring-aware `ClusterClient` that
+//!   routes each trace to its owning node. Each cell launches a fresh
+//!   N-node cluster with the same per-node worker count, so the fleet's
+//!   total solver capacity grows linearly with N and near-linear
+//!   throughput scaling falls out wherever the machine has cores to
+//!   back it.
+//! * **duplicate** — the same profile submitted through *different*
+//!   nodes (one ring-routed to the owner, one forwarded by a
+//!   non-owner) must coalesce to exactly one solve with both clients
+//!   receiving the identical terminal result.
+//!
+//! Scaling is a property of the machine as much as of the cluster: on
+//! a single core, N loopback nodes share one CPU and parity is the
+//! honest ceiling. The artifact therefore records `cpu_cores` and
+//! reports **efficiency** — speedup normalized by `min(nodes,
+//! cpu_cores)` — which `ci/check_cluster_scaling.py` gates against the
+//! checked-in baseline: on a 1-core box it asserts sharding adds no
+//! serialization penalty, on a multi-core runner it demands the real
+//! near-linear win (see EXPERIMENTS.md §cluster_throughput).
+
+use beer_bench::{banner, fmt_duration, CsvArtifact, Scale};
+use beer_cluster::{Cluster, ClusterClient, ClusterJob};
+use beer_core::collect::CollectionPlan;
+use beer_core::engine::AnalyticBackend;
+use beer_core::pattern::PatternSet;
+use beer_core::trace::ProfileTrace;
+use beer_ecc::{equivalence, hamming, LinearCode};
+use beer_net::{Client, WireOutcome};
+use beer_service::{RecoveryService, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn distinct_codes(count: usize, k: usize, seed: u64) -> Vec<LinearCode> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut codes: Vec<LinearCode> = Vec::new();
+    while codes.len() < count {
+        let candidate = hamming::random_sec(k, &mut rng);
+        if !codes.iter().any(|c| equivalence::equivalent(c, &candidate)) {
+            codes.push(candidate);
+        }
+    }
+    codes
+}
+
+fn record_trace(code: &LinearCode) -> ProfileTrace {
+    let patterns = PatternSet::OneTwo.patterns(code.k());
+    let mut backend = AnalyticBackend::new(code.clone());
+    ProfileTrace::record(&mut backend, &patterns, &CollectionPlan::quick())
+}
+
+fn start_services(nodes: usize, workers: usize) -> Vec<Arc<RecoveryService>> {
+    (0..nodes)
+        .map(|_| {
+            Arc::new(
+                RecoveryService::start(ServiceConfig::new().with_workers(workers))
+                    .expect("start service"),
+            )
+        })
+        .collect()
+}
+
+fn assert_unique(result: beer_net::WireResult, expected: &LinearCode) {
+    let output = result.expect("job solves");
+    match output.outcome {
+        WireOutcome::Unique(code) => assert!(
+            equivalence::equivalent(&code, expected),
+            "remote answer disagrees with the profiled code"
+        ),
+        other => panic!("expected a unique recovery, got {other:?}"),
+    }
+}
+
+struct ScalingCell {
+    nodes: usize,
+    jobs: usize,
+    wall: Duration,
+    solves: u64,
+    forwarded: u64,
+    balance: Vec<usize>,
+}
+
+/// One scaling cell: a fresh `nodes`-node cluster solves every trace
+/// exactly once, with the client pipelining ring-routed submissions
+/// (submit everything, then collect everything).
+fn scaling_cell(
+    nodes: usize,
+    workers_per_node: usize,
+    codes: &[LinearCode],
+    traces: &[ProfileTrace],
+) -> ScalingCell {
+    let cluster = Cluster::launch(start_services(nodes, workers_per_node)).expect("launch");
+    let mut balance = vec![0usize; nodes];
+    for trace in traces {
+        let owner = &cluster.ring().owner(trace.fingerprint()).name;
+        let index: usize = owner
+            .strip_prefix("node-")
+            .and_then(|s| s.parse().ok())
+            .expect("launch names nodes node-{i}");
+        balance[index] += 1;
+    }
+
+    let mut client = ClusterClient::connect(cluster.addrs(), "bench", "").expect("connect");
+    let start = Instant::now();
+    let jobs: Vec<ClusterJob> = traces
+        .iter()
+        .map(|trace| client.submit(trace).expect("admitted"))
+        .collect();
+    for (job, code) in jobs.iter().zip(codes) {
+        assert_unique(client.wait(job).expect("watch completes"), code);
+    }
+    let wall = start.elapsed();
+
+    let (mut solves, mut forwarded) = (0u64, 0u64);
+    for node in cluster.nodes() {
+        let stats = node.service().stats();
+        solves += stats.completed - stats.coalesced - stats.cache_hits;
+        forwarded += stats.forwarded_jobs;
+    }
+    cluster.shutdown(Duration::from_secs(5));
+    ScalingCell {
+        nodes,
+        jobs: traces.len(),
+        wall,
+        solves,
+        forwarded,
+        balance,
+    }
+}
+
+struct DuplicateCell {
+    wall: Duration,
+    solves: u64,
+    forwarded: u64,
+}
+
+/// The cross-node dedup guarantee: `pairs` profiles are each submitted
+/// twice through *different* nodes — once ring-routed to the owner,
+/// once staged on and forwarded by the non-owner — and every pair must
+/// coalesce to one solve with both watchers answered.
+fn duplicate_cell(workers_per_node: usize, pairs: usize, k: usize) -> DuplicateCell {
+    let cluster = Cluster::launch(start_services(2, workers_per_node)).expect("launch");
+    let codes = distinct_codes(pairs, k, 0xD0B1E);
+    let traces: Vec<ProfileTrace> = codes.iter().map(record_trace).collect();
+
+    let mut direct = ClusterClient::connect(cluster.addrs(), "direct", "").expect("connect");
+    // One plain client per node: the duplicate goes to whichever node
+    // does *not* own the trace, so it always crosses the ring.
+    let mut detour: Vec<Client> = cluster
+        .addrs()
+        .into_iter()
+        .map(|addr| Client::connect(addr, "detour", "").expect("connect"))
+        .collect();
+
+    let start = Instant::now();
+    let mut jobs = Vec::with_capacity(pairs);
+    for trace in &traces {
+        let owner = &cluster.ring().owner(trace.fingerprint()).name;
+        let non_owner = usize::from(owner == "node-0");
+        let a = direct.submit(trace).expect("owner submit");
+        detour[non_owner].upload_trace(trace).expect("stage trace");
+        let b = detour[non_owner]
+            .submit(trace)
+            .expect("forwarded duplicate");
+        jobs.push((a, non_owner, b));
+    }
+    for ((a, non_owner, b), code) in jobs.into_iter().zip(&codes) {
+        assert_unique(direct.wait(&a).expect("direct terminal result"), code);
+        assert_unique(detour[non_owner].wait(b).expect("detour terminal"), code);
+    }
+    let wall = start.elapsed();
+
+    let (mut solves, mut forwarded) = (0u64, 0u64);
+    for node in cluster.nodes() {
+        let stats = node.service().stats();
+        solves += stats.completed - stats.coalesced - stats.cache_hits;
+        forwarded += stats.forwarded_jobs;
+        assert_eq!(stats.forward_errors, 0, "clean run forwards cleanly");
+    }
+    cluster.shutdown(Duration::from_secs(5));
+    DuplicateCell {
+        wall,
+        solves,
+        forwarded,
+    }
+}
+
+fn main() {
+    let start = Instant::now();
+    let scale = Scale::from_env();
+    banner(
+        "cluster_throughput",
+        "fingerprint-sharded cluster over loopback: unique-solve scaling + cross-node dedup",
+        "per-trace work is embarrassingly partitionable; dedup survives sharding",
+    );
+
+    let cpu_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // k = 16 even at smoke scale keeps the cells solve-bound (not
+    // wire-bound), so a multi-core runner shows real scaling.
+    let k = scale.pick3(16, 16, 24);
+    let jobs = scale.pick3(16, 64, 256);
+    let workers_per_node = 2;
+    let dup_pairs = scale.pick3(4, 16, 32);
+    let node_counts = [1usize, 2, 4];
+
+    let codes = distinct_codes(jobs, k, 0xC1A5);
+    let traces: Vec<ProfileTrace> = codes.iter().map(record_trace).collect();
+    println!(
+        "k = {k}, {jobs} distinct profiles, {workers_per_node} workers/node, \
+         {cpu_cores} cpu cores\n"
+    );
+
+    let mut csv = CsvArtifact::new(
+        "cluster_throughput",
+        &[
+            "nodes",
+            "jobs",
+            "wall_ms",
+            "jobs_per_sec",
+            "solves",
+            "forwarded",
+            "speedup",
+            "efficiency",
+            "balance",
+        ],
+    );
+    println!(
+        "{:>5} | {:>6} {:>9} {:>11} {:>7} {:>9} {:>8} {:>10}  balance",
+        "nodes", "jobs", "wall", "jobs/sec", "solves", "forwarded", "speedup", "efficiency"
+    );
+    let mut single_node_rate = None;
+    let mut efficiencies = Vec::new();
+    for &nodes in &node_counts {
+        let cell = scaling_cell(nodes, workers_per_node, &codes, &traces);
+        assert_eq!(
+            cell.solves, cell.jobs as u64,
+            "every unique profile solves once"
+        );
+        assert_eq!(
+            cell.forwarded, 0,
+            "a ring-aware client routes straight to owners"
+        );
+        let rate = cell.jobs as f64 / cell.wall.as_secs_f64();
+        let base = *single_node_rate.get_or_insert(rate);
+        let speedup = rate / base;
+        // Normalize by the parallelism the machine can actually grant:
+        // on one core N nodes can at best tie, on >= N cores near-linear
+        // scaling is the claim under test.
+        let efficiency = speedup / nodes.min(cpu_cores) as f64;
+        efficiencies.push((nodes, speedup, efficiency));
+        let balance = cell
+            .balance
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        println!(
+            "{:>5} | {:>6} {:>9} {:>11.1} {:>7} {:>9} {:>7.2}x {:>10.2}  {}",
+            cell.nodes,
+            cell.jobs,
+            fmt_duration(cell.wall),
+            rate,
+            cell.solves,
+            cell.forwarded,
+            speedup,
+            efficiency,
+            balance,
+        );
+        csv.row(&[
+            cell.nodes.to_string(),
+            cell.jobs.to_string(),
+            format!("{:.3}", cell.wall.as_secs_f64() * 1e3),
+            format!("{rate:.1}"),
+            cell.solves.to_string(),
+            cell.forwarded.to_string(),
+            format!("{speedup:.3}"),
+            format!("{efficiency:.3}"),
+            balance,
+        ]);
+    }
+
+    // Cross-node duplicates: every pair coalesces to one solve, both
+    // watchers get the terminal answer (asserted inside the cell).
+    let dup = duplicate_cell(workers_per_node, dup_pairs, k);
+    assert_eq!(
+        dup.solves, dup_pairs as u64,
+        "each duplicated profile solves exactly once"
+    );
+    assert_eq!(
+        dup.forwarded, dup_pairs as u64,
+        "every duplicate crossed the ring"
+    );
+    println!(
+        "\ncross-node duplicates: {dup_pairs} pairs in {}, {} solves ({} forwarded) — \
+         exactly one solve per profile, both watchers answered",
+        fmt_duration(dup.wall),
+        dup.solves,
+        dup.forwarded,
+    );
+
+    csv.meta("cpu_cores", cpu_cores);
+    csv.meta("workers_per_node", workers_per_node);
+    for (nodes, speedup, efficiency) in &efficiencies {
+        if *nodes > 1 {
+            csv.meta(&format!("speedup_{nodes}node"), format!("{speedup:.3}"));
+            csv.meta(
+                &format!("efficiency_{nodes}node"),
+                format!("{efficiency:.3}"),
+            );
+        }
+    }
+    csv.meta("duplicate_pairs", dup_pairs);
+    csv.meta("duplicate_solves", dup.solves);
+    csv.meta("duplicate_forwarded", dup.forwarded);
+    csv.meta(
+        "wall_clock_s",
+        format!("{:.3}", start.elapsed().as_secs_f64()),
+    );
+    csv.write();
+    println!("\ntotal wall clock: {}", fmt_duration(start.elapsed()));
+}

@@ -8,14 +8,17 @@
 //! in-flight job (or the completed result lands as a cache hit) instead
 //! of re-solving anything.
 
+use crate::ring::Ring;
 use crate::wire::{
     self, read_message, write_message, ErrorKind, Message, RecvError, WireCodeEntry, WireEvent,
     WireRecord, WireResult, WireStats,
 };
 use beer_core::trace::{Fingerprint, ProfileTrace};
 use beer_service::Priority;
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasher, Hasher};
 use std::io;
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -35,8 +38,13 @@ pub struct ClientConfig {
     /// Reconnect attempts after a dropped connection (each attempt
     /// re-submits by fingerprint and resumes the coalesced job).
     pub reconnect_attempts: usize,
-    /// Pause between reconnect attempts.
-    pub reconnect_backoff: Duration,
+    /// First-attempt backoff. Attempt `n` waits a jittered exponential
+    /// delay in `[e/2, e]` where `e = min(cap, base × 2^(n−1))` — see
+    /// [`backoff_delay`]. The jitter spreads a herd of clients resuming
+    /// against a restarted node instead of stampeding it.
+    pub reconnect_backoff_base: Duration,
+    /// Backoff ceiling (the `cap` above).
+    pub reconnect_backoff_cap: Duration,
 }
 
 impl Default for ClientConfig {
@@ -47,7 +55,8 @@ impl Default for ClientConfig {
             max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
             chunk_bytes: wire::DEFAULT_CHUNK_BYTES,
             reconnect_attempts: 3,
-            reconnect_backoff: Duration::from_millis(50),
+            reconnect_backoff_base: Duration::from_millis(10),
+            reconnect_backoff_cap: Duration::from_secs(2),
         }
     }
 }
@@ -70,12 +79,28 @@ impl ClientConfig {
         self
     }
 
-    /// Overrides the reconnect policy.
-    pub fn with_reconnect(mut self, attempts: usize, backoff: Duration) -> Self {
+    /// Overrides the reconnect policy: the attempt budget and the
+    /// *base* of the jittered exponential backoff (the cap stays).
+    pub fn with_reconnect(mut self, attempts: usize, base: Duration) -> Self {
         self.reconnect_attempts = attempts;
-        self.reconnect_backoff = backoff;
+        self.reconnect_backoff_base = base;
         self
     }
+}
+
+/// The reconnect backoff schedule: attempt `n` (1-based) waits a delay
+/// drawn uniformly from `[e/2, e]`, where `e = min(cap, base × 2^(n−1))`.
+/// `jitter` is caller-supplied entropy (any u64); the function itself is
+/// deterministic, which is what lets tests pin the schedule's bounds.
+pub fn backoff_delay(attempt: u32, base: Duration, cap: Duration, jitter: u64) -> Duration {
+    let shift = attempt.clamp(1, 32) - 1;
+    let exp = base.saturating_mul(1u32 << shift.min(31)).min(cap);
+    if exp.is_zero() {
+        return exp;
+    }
+    let exp_ns = u64::try_from(exp.as_nanos()).unwrap_or(u64::MAX);
+    let half = exp_ns / 2;
+    Duration::from_nanos(half + jitter % (exp_ns - half + 1))
 }
 
 /// Why a client call failed.
@@ -164,6 +189,10 @@ pub struct Client {
     version: u16,
     /// Traces submitted through this client, retained for resume.
     traces: HashMap<Fingerprint, Arc<ProfileTrace>>,
+    /// The newest cluster ring learned from HelloAck / RingChanged.
+    ring: Option<Ring>,
+    /// Backoff jitter state (xorshift64), seeded per client.
+    rng: u64,
 }
 
 impl Client {
@@ -192,14 +221,19 @@ impl Client {
         token: impl Into<String>,
         config: ClientConfig,
     ) -> Result<Client, ClientError> {
+        let addr = addr.into();
+        let mut seeder = RandomState::new().build_hasher();
+        seeder.write(addr.as_bytes());
         let mut client = Client {
-            addr: addr.into(),
+            addr,
             tenant: tenant.into(),
             token: token.into(),
             config,
             stream: None,
             version: 0,
             traces: HashMap::new(),
+            ring: None,
+            rng: seeder.finish() | 1,
         };
         client.reconnect()?;
         Ok(client)
@@ -213,6 +247,38 @@ impl Client {
     /// The tenant this client authenticated as.
     pub fn tenant(&self) -> &str {
         &self.tenant
+    }
+
+    /// The newest cluster ring this client has learned (from `HelloAck`
+    /// or a `RingChanged` push), if the server is a cluster member.
+    pub fn ring(&self) -> Option<&Ring> {
+        self.ring.as_ref()
+    }
+
+    /// Adopts a ring if it is newer than the one held.
+    fn adopt_ring(&mut self, ring: Ring) {
+        let newer = match &self.ring {
+            None => true,
+            Some(held) => held.epoch() < ring.epoch(),
+        };
+        if newer {
+            self.ring = Some(ring);
+        }
+    }
+
+    /// Jittered exponential sleep before reconnect `attempt` (1-based).
+    fn backoff(&mut self, attempt: usize) {
+        // xorshift64 — cheap, and quality only has to beat "every client
+        // sleeping the exact same schedule".
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        std::thread::sleep(backoff_delay(
+            attempt.min(u32::MAX as usize) as u32,
+            self.config.reconnect_backoff_base,
+            self.config.reconnect_backoff_cap,
+            self.rng,
+        ));
     }
 
     /// (Re)establishes the connection and redoes the Hello handshake.
@@ -230,8 +296,11 @@ impl Client {
             token: self.token.clone(),
         };
         match self.roundtrip_raw(&hello)? {
-            Message::HelloAck { version, .. } => {
+            Message::HelloAck { version, ring, .. } => {
                 self.version = version;
+                if let Some(ring) = ring {
+                    self.adopt_ring(ring);
+                }
                 Ok(())
             }
             Message::Error { kind, detail } => {
@@ -267,29 +336,35 @@ impl Client {
     }
 
     /// Sends a request and reads the next frame, with no reconnection.
+    /// Asynchronous `RingChanged` pushes are adopted and skipped — any
+    /// frame may be preceded by one on a cluster connection.
     fn roundtrip_raw(&mut self, request: &Message) -> Result<Message, ClientError> {
         let max_frame = self.config.max_frame_bytes;
         self.write_or_drop(request)?;
-        let stream = self
-            .stream
-            .as_mut()
-            .expect("write_or_drop keeps the stream on success");
-        match read_message(stream, max_frame) {
-            Ok(message) => Ok(message),
-            Err(RecvError::Closed) => {
-                self.stream = None;
-                Err(ClientError::Disconnected)
+        loop {
+            let stream = self
+                .stream
+                .as_mut()
+                .expect("write_or_drop keeps the stream on success");
+            match read_message(stream, max_frame) {
+                Ok(Message::RingChanged { ring }) => self.adopt_ring(ring),
+                Ok(message) => return Ok(message),
+                Err(RecvError::Closed) => {
+                    self.stream = None;
+                    return Err(ClientError::Disconnected);
+                }
+                Err(RecvError::Io(e)) => {
+                    self.stream = None;
+                    return Err(ClientError::Io(e));
+                }
+                Err(RecvError::Frame(e)) => return Err(ClientError::Wire(e)),
             }
-            Err(RecvError::Io(e)) => {
-                self.stream = None;
-                Err(ClientError::Io(e))
-            }
-            Err(RecvError::Frame(e)) => Err(ClientError::Wire(e)),
         }
     }
 
     /// Sends a request and reads the next frame, reconnecting (with the
-    /// configured attempts) on transport failure.
+    /// configured attempts, under jittered exponential backoff) on
+    /// transport failure.
     fn roundtrip(&mut self, request: &Message) -> Result<Message, ClientError> {
         let mut attempts = 0;
         loop {
@@ -298,7 +373,7 @@ impl Client {
                     if attempts < self.config.reconnect_attempts =>
                 {
                     attempts += 1;
-                    std::thread::sleep(self.config.reconnect_backoff);
+                    self.backoff(attempts);
                     if self.reconnect().is_err() && attempts >= self.config.reconnect_attempts {
                         return Err(ClientError::Disconnected);
                     }
@@ -329,28 +404,34 @@ impl Client {
             self.write_or_drop(&chunk)?;
             if index == last {
                 // Only the final chunk is acknowledged.
-                let stream = self
-                    .stream
-                    .as_mut()
-                    .expect("write_or_drop keeps the stream");
-                match read_message(stream, max_frame) {
-                    Ok(Message::TraceAck { fingerprint: fp }) if fp == fingerprint => {}
-                    Ok(Message::Error { kind, detail }) => {
-                        return Err(ClientError::Refused { kind, detail })
-                    }
-                    Ok(_) => {
-                        return Err(ClientError::Protocol {
-                            expected: "TraceAck",
-                        })
-                    }
-                    Err(RecvError::Frame(e)) => return Err(ClientError::Wire(e)),
-                    Err(RecvError::Closed) => {
-                        self.stream = None;
-                        return Err(ClientError::Disconnected);
-                    }
-                    Err(RecvError::Io(e)) => {
-                        self.stream = None;
-                        return Err(ClientError::Io(e));
+                loop {
+                    let stream = self
+                        .stream
+                        .as_mut()
+                        .expect("write_or_drop keeps the stream");
+                    match read_message(stream, max_frame) {
+                        Ok(Message::TraceAck { fingerprint: fp }) if fp == fingerprint => break,
+                        Ok(Message::RingChanged { ring }) => {
+                            self.adopt_ring(ring);
+                            continue;
+                        }
+                        Ok(Message::Error { kind, detail }) => {
+                            return Err(ClientError::Refused { kind, detail })
+                        }
+                        Ok(_) => {
+                            return Err(ClientError::Protocol {
+                                expected: "TraceAck",
+                            })
+                        }
+                        Err(RecvError::Frame(e)) => return Err(ClientError::Wire(e)),
+                        Err(RecvError::Closed) => {
+                            self.stream = None;
+                            return Err(ClientError::Disconnected);
+                        }
+                        Err(RecvError::Io(e)) => {
+                            self.stream = None;
+                            return Err(ClientError::Io(e));
+                        }
                     }
                 }
             }
@@ -389,6 +470,85 @@ impl Client {
             .entry(fingerprint)
             .or_insert_with(|| Arc::new(trace.clone()));
         self.submit_fingerprint(fingerprint, priority, deadline)
+    }
+
+    /// Uploads (and retains) a trace without submitting it. Useful for
+    /// pre-staging a trace on a non-owning cluster node — a later
+    /// [`Client::submit_with`] there finds the trace present and the
+    /// node forwards the job to its owner instead of redirecting.
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals and transport failures.
+    pub fn upload_trace(&mut self, trace: &ProfileTrace) -> Result<Fingerprint, ClientError> {
+        let fingerprint = trace.fingerprint();
+        self.traces
+            .entry(fingerprint)
+            .or_insert_with(|| Arc::new(trace.clone()));
+        self.upload(trace)
+    }
+
+    /// Submits a trace as an *already-forwarded* cluster job (wire v3's
+    /// `SubmitForwarded`): the receiving node must own the fingerprint
+    /// and will answer [`ErrorKind::WrongNode`] instead of forwarding
+    /// again if it does not — the cluster's loop guard. `epoch` is the
+    /// sender's ring epoch. This is the node-to-node path; ordinary
+    /// clients want [`Client::submit_with`].
+    ///
+    /// # Errors
+    ///
+    /// Typed refusals (including `WrongNode` on a misroute) and
+    /// transport failures.
+    pub fn submit_forwarded(
+        &mut self,
+        trace: &ProfileTrace,
+        priority: Priority,
+        deadline: Option<Duration>,
+        epoch: u64,
+    ) -> Result<RemoteJob, ClientError> {
+        let fingerprint = trace.fingerprint();
+        self.traces
+            .entry(fingerprint)
+            .or_insert_with(|| Arc::new(trace.clone()));
+        let submit = Message::SubmitForwarded {
+            fingerprint,
+            priority,
+            deadline_ms: deadline.map(|d| d.as_millis() as u64),
+            epoch,
+        };
+        let mut uploaded = false;
+        loop {
+            match self.roundtrip(&submit)? {
+                Message::SubmitAck { job } => {
+                    return Ok(RemoteJob {
+                        id: job,
+                        fingerprint,
+                        priority,
+                        deadline,
+                    })
+                }
+                Message::Error {
+                    kind: ErrorKind::UnknownFingerprint { .. },
+                    ..
+                } if !uploaded => {
+                    let trace = self
+                        .traces
+                        .get(&fingerprint)
+                        .cloned()
+                        .expect("retained just above");
+                    self.upload(&trace)?;
+                    uploaded = true;
+                }
+                Message::Error { kind, detail } => {
+                    return Err(ClientError::Refused { kind, detail })
+                }
+                _ => {
+                    return Err(ClientError::Protocol {
+                        expected: "SubmitAck",
+                    })
+                }
+            }
+        }
     }
 
     /// Submits by fingerprint, uploading the retained trace when the
@@ -486,7 +646,7 @@ impl Client {
                     return Err(err);
                 }
                 attempts += 1;
-                std::thread::sleep(self.config.reconnect_backoff);
+                self.backoff(attempts);
                 if self.reconnect().is_err() {
                     continue;
                 }
@@ -519,13 +679,14 @@ impl Client {
     ) -> Result<WireResult, ClientError> {
         let max_frame = self.config.max_frame_bytes;
         self.write_or_drop(&Message::Watch { job: job.id })?;
-        let stream = self
-            .stream
-            .as_mut()
-            .expect("write_or_drop keeps the stream");
         loop {
+            let stream = self
+                .stream
+                .as_mut()
+                .expect("write_or_drop keeps the stream");
             match read_message(stream, max_frame) {
                 Ok(Message::Event { event, .. }) => on_event(&event),
+                Ok(Message::RingChanged { ring }) => self.adopt_ring(ring),
                 Ok(Message::Done { result, .. }) => return Ok(result),
                 Ok(Message::Error { kind, detail }) => {
                     return Err(ClientError::Refused { kind, detail })
@@ -726,7 +887,7 @@ impl Client {
     /// Typed refusals and transport failures.
     pub fn stats(&mut self) -> Result<WireStats, ClientError> {
         match self.roundtrip(&Message::QueryStats)? {
-            Message::StatsInfo(stats) => Ok(stats),
+            Message::StatsInfo(stats) | Message::StatsInfoV3(stats) => Ok(stats),
             Message::Error { kind, detail } => Err(ClientError::Refused { kind, detail }),
             _ => Err(ClientError::Protocol {
                 expected: "StatsInfo",
@@ -740,5 +901,61 @@ impl Client {
             let _ = write_message(stream, &Message::Bye);
         }
         self.stream = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::backoff_delay;
+    use std::time::Duration;
+
+    const BASE: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn backoff_schedule_stays_inside_its_bounds() {
+        // Attempt n: delay ∈ [e/2, e] with e = min(cap, base × 2^(n−1)).
+        for attempt in 1..=16u32 {
+            let expected = BASE.saturating_mul(1u32 << (attempt - 1).min(31)).min(CAP);
+            for jitter in [0u64, 1, 7, u64::MAX / 3, u64::MAX] {
+                let d = backoff_delay(attempt, BASE, CAP, jitter);
+                assert!(
+                    d >= expected / 2 && d <= expected,
+                    "attempt {attempt} jitter {jitter}: {d:?} outside [{:?}, {expected:?}]",
+                    expected / 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        // With jitter pinned at the top of the band the schedule is the
+        // pure exponential: 10, 20, 40, … ms, flat at the 2 s cap.
+        let full = |attempt| backoff_delay(attempt, BASE, CAP, 0);
+        assert_eq!(full(1), Duration::from_millis(5)); // jitter 0 → e/2
+        for attempt in 1..=8u32 {
+            let this = backoff_delay(attempt, BASE, CAP, u64::MAX);
+            let next = backoff_delay(attempt + 1, BASE, CAP, u64::MAX);
+            assert!(next >= this, "schedule must be monotone");
+        }
+        // Attempt 9 of base 10 ms is 2.56 s raw — capped at 2 s. A
+        // jitter hitting the top of the band lands exactly on the cap
+        // (band [1 s, 2 s] → span 1e9+1 ns, top at jitter 1e9).
+        assert_eq!(backoff_delay(9, BASE, CAP, 1_000_000_000), CAP);
+        for attempt in [9u32, 32, u32::MAX] {
+            for jitter in [0u64, 123_456_789, u64::MAX] {
+                let d = backoff_delay(attempt, BASE, CAP, jitter);
+                assert!(d >= CAP / 2 && d <= CAP, "capped band violated: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_handles_degenerate_configs() {
+        assert_eq!(backoff_delay(3, Duration::ZERO, CAP, 99), Duration::ZERO);
+        // Base over cap clamps to cap.
+        let d = backoff_delay(1, Duration::from_secs(10), CAP, 7);
+        assert!(d <= CAP && d >= CAP / 2);
     }
 }

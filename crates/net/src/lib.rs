@@ -27,6 +27,11 @@
 //!   ([`reactor::Poller`]), an eventfd [`reactor::Waker`] that delivers
 //!   job events to watching connections without polling, and the
 //!   [`reactor::BufPool`] of reusable frame buffers.
+//! * [`ring`] — the cluster hash [`Ring`](ring::Ring): epoch-numbered
+//!   consistent-hash membership over trace fingerprints, shared by the
+//!   server (ownership checks, forwarding), the client (direct routing),
+//!   and `beer_cluster`. Wire v3 carries it in `HelloAck` and pushes
+//!   changes as `RingChanged`.
 //! * [`client`] — [`Client`](client::Client), a typed blocking client
 //!   that retains submitted traces and *resumes by fingerprint* after a
 //!   dropped connection: the service's dedup re-attaches it to the
@@ -70,11 +75,13 @@
 
 pub mod client;
 pub mod reactor;
+pub mod ring;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientConfig, ClientError, RemoteJob};
-pub use server::{NetServer, NetServerConfig};
+pub use client::{backoff_delay, Client, ClientConfig, ClientError, RemoteJob};
+pub use ring::{Ring, RingError, RingMember};
+pub use server::{ClusterConfig, NetServer, NetServerConfig};
 pub use wire::{
     ErrorKind, Message, RecvError, WireCodeEntry, WireError, WireEvent, WireJobError, WireOutcome,
     WireOutput, WireRecord, WireResult, WireStats, WIRE_MAGIC, WIRE_VERSION,

@@ -45,13 +45,17 @@
 //!   terminal frames and write queues to flush — condvar wakeups
 //!   throughout, no sleep loops.
 
+use crate::client::{Client, ClientConfig, ClientError};
 use crate::reactor::{BufPool, Event, Poller, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::ring::Ring;
 use crate::wire::{
     self, ErrorKind, Message, WireError, WireEvent, WireJobError, WireOutcome, WireOutput,
     WireRecord, WireResult, WireStats,
 };
 use beer_core::trace::{Fingerprint, ProfileTrace, TraceAssembler};
-use beer_service::{CodeEntry, JobEvent, JobId, JobRequest, RecoveryService, ServiceStats};
+use beer_service::{
+    CodeEntry, JobEvent, JobId, JobRequest, Priority, RecoveryService, ServiceStats,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -60,6 +64,52 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Cluster-mode settings: the node's identity on the hash [`Ring`] and
+/// how it reaches peers when proxying misrouted submissions (see
+/// `beer_cluster` and DESIGN.md §"Cluster architecture").
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// This node's ring member name. A submit whose fingerprint this
+    /// member does not own is forwarded to the owner (trace in hand) or
+    /// redirected with a typed [`ErrorKind::WrongNode`] (v3 peers).
+    pub member: String,
+    /// Tenant that node-to-node forwarded submissions authenticate as
+    /// on the owning peer.
+    pub peer_tenant: String,
+    /// Auth token for `peer_tenant` (empty for open services).
+    pub peer_token: String,
+    /// Forwarder threads relaying misrouted submissions to their
+    /// owners. Each proxied job occupies one forwarder for its
+    /// lifetime, so this bounds concurrent cross-node proxying.
+    pub forwarders: usize,
+}
+
+impl ClusterConfig {
+    /// Cluster settings for the named ring member, with the default
+    /// peer tenant (`"cluster"`, empty token) and 2 forwarders.
+    pub fn new(member: impl Into<String>) -> Self {
+        ClusterConfig {
+            member: member.into(),
+            peer_tenant: "cluster".to_string(),
+            peer_token: String::new(),
+            forwarders: 2,
+        }
+    }
+
+    /// Overrides the tenant/token used for node-to-node forwarding.
+    pub fn with_peer_auth(mut self, tenant: impl Into<String>, token: impl Into<String>) -> Self {
+        self.peer_tenant = tenant.into();
+        self.peer_token = token.into();
+        self
+    }
+
+    /// Overrides the forwarder thread count (minimum 1).
+    pub fn with_forwarders(mut self, forwarders: usize) -> Self {
+        self.forwarders = forwarders.max(1);
+        self
+    }
+}
 
 /// Configuration of a [`NetServer`].
 #[derive(Clone, Debug)]
@@ -95,6 +145,9 @@ pub struct NetServerConfig {
     pub max_query_entries: usize,
     /// Human-readable server identity sent in HelloAck.
     pub server_name: String,
+    /// Cluster mode: when set, submits for fingerprints this node does
+    /// not own on the current [`Ring`] are forwarded or redirected.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for NetServerConfig {
@@ -109,6 +162,7 @@ impl Default for NetServerConfig {
             max_write_buffer: 1 << 20,
             max_query_entries: 256,
             server_name: "beer_net".to_string(),
+            cluster: None,
         }
     }
 }
@@ -160,6 +214,12 @@ impl NetServerConfig {
         self.server_name = name.into();
         self
     }
+
+    /// Enables cluster mode (see [`ClusterConfig`]).
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
 }
 
 /// Uploaded traces shared across connections, keyed by fingerprint, with
@@ -208,6 +268,10 @@ struct WakeHub {
     waker: Waker,
     /// Tokens of watching connections whose job gained events.
     watch_wakeups: Mutex<Vec<u64>>,
+    /// Progress of proxied (forwarded) submissions, posted by forwarder
+    /// threads and drained by the reactor, which relays them to the
+    /// originating connection.
+    forward_updates: Mutex<Vec<ForwardUpdate>>,
 }
 
 /// State shared between the reactor thread and the [`NetServer`] handle.
@@ -223,10 +287,238 @@ struct Shared {
     wake: Arc<WakeHub>,
     drain_gauge: Mutex<DrainGauge>,
     drain_cv: Condvar,
+    /// The cluster hash ring (cluster mode only; epoch-numbered, swapped
+    /// whole by [`NetServer::set_ring`]).
+    ring: Mutex<Option<Arc<Ring>>>,
+    /// A new ring is waiting to be pushed to v3 peers as `RingChanged`.
+    ring_push: AtomicBool,
+    /// Forwarding work queue (cluster mode only).
+    forward: Option<Arc<ForwardHub>>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Cluster forwarding
+// ---------------------------------------------------------------------------
+
+/// Forward tasks one reactor may queue before answering typed Busy.
+const MAX_PENDING_FORWARDS: usize = 1024;
+/// Pooled idle peer clients kept per owner address.
+const MAX_POOLED_PEER_CLIENTS: usize = 4;
+/// Events buffered for a proxied job before its Watch arrives.
+const MAX_BUFFERED_FORWARD_EVENTS: usize = 256;
+
+/// A misrouted submission handed to the forwarder pool: proxy it to the
+/// owning node and relay the answer back to connection `token`.
+struct ForwardTask {
+    token: u64,
+    trace: Arc<ProfileTrace>,
+    priority: Priority,
+    deadline_ms: Option<u64>,
+    owner_name: String,
+    owner_addr: String,
+    epoch: u64,
+}
+
+/// What a forwarder learned about a proxied job, relayed to the
+/// originating connection by the reactor.
+enum ForwardOutcome {
+    /// The owner accepted: `job` is the *owner's* job id, which the
+    /// proxying node surfaces verbatim (ids are connection-scoped, so
+    /// there is no collision with locally issued ids... they live in
+    /// the same per-connection namespace, tracked in `Conn::forwarded`).
+    Ack {
+        job: u64,
+    },
+    Event {
+        job: u64,
+        event: WireEvent,
+    },
+    Done {
+        job: u64,
+        result: WireResult,
+    },
+    /// The owner refused with a typed error (queue full, wrong node
+    /// after a ring change, ...): relayed verbatim.
+    Refused {
+        kind: ErrorKind,
+        detail: String,
+    },
+    /// The owner was unreachable or the proxy transport failed.
+    Failed {
+        owner: String,
+        detail: String,
+    },
+}
+
+struct ForwardUpdate {
+    token: u64,
+    outcome: ForwardOutcome,
+}
+
+/// The forwarding work queue shared by the reactor (producer) and the
+/// forwarder threads (consumers). Holds the [`WakeHub`] — never
+/// [`Shared`] — so detached forwarder threads cannot pin the service
+/// alive after shutdown (same rule as the watch notify hooks).
+struct ForwardHub {
+    cluster: ClusterConfig,
+    wake: Arc<WakeHub>,
+    tasks: Mutex<VecDeque<ForwardTask>>,
+    task_cv: Condvar,
+    stopped: AtomicBool,
+    /// Idle peer clients pooled per owner address: the steady-state
+    /// cross-node path reuses connections instead of re-dialing.
+    idle: Mutex<HashMap<String, Vec<Client>>>,
+}
+
+impl ForwardHub {
+    fn new(cluster: ClusterConfig, wake: Arc<WakeHub>) -> ForwardHub {
+        ForwardHub {
+            cluster,
+            wake,
+            tasks: Mutex::new(VecDeque::new()),
+            task_cv: Condvar::new(),
+            stopped: AtomicBool::new(false),
+            idle: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Queues a task for the forwarder pool; `false` when the queue is
+    /// at its bound (the caller answers typed Busy).
+    fn submit(&self, task: ForwardTask) -> bool {
+        let mut tasks = lock(&self.tasks);
+        if tasks.len() >= MAX_PENDING_FORWARDS {
+            return false;
+        }
+        tasks.push_back(task);
+        drop(tasks);
+        self.task_cv.notify_one();
+        true
+    }
+
+    fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        self.task_cv.notify_all();
+    }
+
+    fn post(&self, token: u64, outcome: ForwardOutcome) {
+        lock(&self.wake.forward_updates).push(ForwardUpdate { token, outcome });
+        self.wake.waker.wake();
+    }
+
+    fn take_client(&self, addr: &str) -> Result<Client, ClientError> {
+        if let Some(client) = lock(&self.idle).get_mut(addr).and_then(Vec::pop) {
+            return Ok(client);
+        }
+        Client::connect_with(
+            addr,
+            self.cluster.peer_tenant.clone(),
+            self.cluster.peer_token.clone(),
+            ClientConfig::new().with_reconnect(2, Duration::from_millis(10)),
+        )
+    }
+
+    fn put_client(&self, addr: String, client: Client) {
+        let mut idle = lock(&self.idle);
+        let pool = idle.entry(addr).or_default();
+        if pool.len() < MAX_POOLED_PEER_CLIENTS {
+            pool.push(client);
+        }
+    }
+
+    /// One forwarder thread: pop tasks, proxy each to its owner over
+    /// beer-wire, post progress back through the [`WakeHub`].
+    fn run(self: &Arc<ForwardHub>) {
+        loop {
+            let task = {
+                let mut tasks = lock(&self.tasks);
+                loop {
+                    if let Some(task) = tasks.pop_front() {
+                        break Some(task);
+                    }
+                    if self.stopped.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    tasks = self.task_cv.wait(tasks).unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            let Some(task) = task else { return };
+            self.proxy(task);
+        }
+    }
+
+    fn proxy(&self, task: ForwardTask) {
+        let mut client = match self.take_client(&task.owner_addr) {
+            Ok(client) => client,
+            Err(e) => {
+                self.post(
+                    task.token,
+                    ForwardOutcome::Failed {
+                        owner: task.owner_addr.clone(),
+                        detail: format!("owner {} unreachable: {e}", task.owner_name),
+                    },
+                );
+                return;
+            }
+        };
+        let deadline = task.deadline_ms.map(Duration::from_millis);
+        let job = match client.submit_forwarded(&task.trace, task.priority, deadline, task.epoch) {
+            Ok(job) => job,
+            Err(ClientError::Refused { kind, detail }) => {
+                self.post(task.token, ForwardOutcome::Refused { kind, detail });
+                return;
+            }
+            Err(e) => {
+                self.post(
+                    task.token,
+                    ForwardOutcome::Failed {
+                        owner: task.owner_addr.clone(),
+                        detail: format!("forwarding to {} failed: {e}", task.owner_name),
+                    },
+                );
+                return;
+            }
+        };
+        self.post(task.token, ForwardOutcome::Ack { job: job.id });
+        let waited = client.wait_with(job, |event| {
+            self.post(
+                task.token,
+                ForwardOutcome::Event {
+                    job: job.id,
+                    event: event.clone(),
+                },
+            );
+        });
+        match waited {
+            Ok(result) => {
+                self.post(
+                    task.token,
+                    ForwardOutcome::Done {
+                        job: job.id,
+                        result,
+                    },
+                );
+                self.put_client(task.owner_addr, client);
+            }
+            Err(e) => {
+                // The ack is already out, so the originating client is
+                // owed a terminal answer for this job id: a typed job
+                // error, not a dangling watch.
+                self.post(
+                    task.token,
+                    ForwardOutcome::Done {
+                        job: job.id,
+                        result: Err(WireJobError::Recovery {
+                            message: format!("proxied job lost on owner {}: {e}", task.owner_name),
+                        }),
+                    },
+                );
+            }
+        }
+    }
 }
 
 /// A TCP server exposing a [`RecoveryService`] over `beer-wire v1` (see
@@ -256,9 +548,23 @@ impl NetServer {
         let wake = Arc::new(WakeHub {
             waker: Waker::new()?,
             watch_wakeups: Mutex::new(Vec::new()),
+            forward_updates: Mutex::new(Vec::new()),
         });
         poller.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)?;
         poller.add(wake.waker.fd(), TOKEN_WAKER, EPOLLIN)?;
+        let forward = config.cluster.clone().map(|cluster| {
+            let hub = Arc::new(ForwardHub::new(cluster, Arc::clone(&wake)));
+            // Detached: a forwarder blocked on a long remote job must not
+            // stall shutdown; it holds only the hub and the wake hub, so
+            // it cannot pin the service (or this server) alive.
+            for i in 0..hub.cluster.forwarders.max(1) {
+                let hub = Arc::clone(&hub);
+                let _ = std::thread::Builder::new()
+                    .name(format!("beer-net-forwarder-{i}"))
+                    .spawn(move || hub.run());
+            }
+            hub
+        });
         let shared = Arc::new(Shared {
             service,
             uploads: Mutex::new(Uploads {
@@ -273,6 +579,9 @@ impl NetServer {
             wake,
             drain_gauge: Mutex::new(GAUGE_UNPUBLISHED),
             drain_cv: Condvar::new(),
+            ring: Mutex::new(None),
+            ring_push: AtomicBool::new(false),
+            forward,
         });
         let reactor = Reactor {
             shared: Arc::clone(&shared),
@@ -302,6 +611,22 @@ impl NetServer {
     /// Connections currently being served.
     pub fn active_connections(&self) -> usize {
         self.shared.active_connections.load(Ordering::SeqCst)
+    }
+
+    /// Installs (or replaces) the cluster hash ring. Takes effect for
+    /// the next frame on every connection; v3 peers are additionally
+    /// pushed a `RingChanged` frame. Rings carry an epoch so clients
+    /// can recognize staleness; installing an older epoch is allowed
+    /// (the server trusts its operator) but clients will not adopt it.
+    pub fn set_ring(&self, ring: Ring) {
+        *lock(&self.shared.ring) = Some(Arc::new(ring));
+        self.shared.ring_push.store(true, Ordering::SeqCst);
+        self.shared.wake.waker.wake();
+    }
+
+    /// The currently installed cluster ring, if any.
+    pub fn ring(&self) -> Option<Arc<Ring>> {
+        lock(&self.shared.ring).clone()
     }
 
     /// Stops admitting new submissions (they get
@@ -348,6 +673,9 @@ impl NetServer {
                 gauge = g;
             }
         }
+        if let Some(hub) = &self.shared.forward {
+            hub.stop();
+        }
         self.shared.stopped.store(true, Ordering::SeqCst);
         self.shared.wake.waker.wake();
         if let Some(handle) = self.reactor_thread.take() {
@@ -388,6 +716,17 @@ struct WatchState {
     rx: mpsc::Receiver<JobEvent>,
 }
 
+/// A job this connection submitted that is being proxied to its owning
+/// cluster node. Events and the result stream in from a forwarder
+/// thread; until the client Watches, they buffer here (events bounded,
+/// oldest dropped — they are advisory; the result is what matters).
+#[derive(Default)]
+struct ForwardedJob {
+    events: VecDeque<WireEvent>,
+    result: Option<WireResult>,
+    watching: bool,
+}
+
 /// One connection's state machine: `authed == false` is the handshake
 /// state (only Hello is legal), `watch.is_some()` is the streaming state
 /// (incoming frames buffer unparsed until the watch ends).
@@ -403,6 +742,9 @@ struct Conn {
     /// Job ids issued on this connection — the only ids it may watch or
     /// cancel (tenancy isolation at the wire edge).
     jobs: HashSet<u64>,
+    /// Jobs proxied to their owning cluster node on this connection's
+    /// behalf, keyed by the owner's job id.
+    forwarded: HashMap<u64, ForwardedJob>,
     /// In-progress chunked uploads.
     assemblies: HashMap<Fingerprint, TraceAssembler>,
     /// Uploads already refused with a typed error. Later chunks of a
@@ -445,6 +787,7 @@ impl Conn {
             version: 0,
             tenant: String::new(),
             jobs: HashSet::new(),
+            forwarded: HashMap::new(),
             assemblies: HashMap::new(),
             rejected_uploads: HashSet::new(),
             rbuf,
@@ -658,6 +1001,14 @@ impl Reactor {
             for token in woken {
                 self.watch_ready(token);
             }
+            let updates: Vec<ForwardUpdate> =
+                std::mem::take(&mut *lock(&self.shared.wake.forward_updates));
+            for update in updates {
+                self.apply_forward_update(update);
+            }
+            if self.shared.ring_push.swap(false, Ordering::SeqCst) {
+                self.broadcast_ring();
+            }
             if last_sweep.elapsed() >= Duration::from_secs(1) {
                 last_sweep = Instant::now();
                 self.sweep_timeouts();
@@ -761,6 +1112,82 @@ impl Reactor {
         };
         self.drive(idx);
         self.finish(idx);
+    }
+
+    /// Relays one forwarder-thread update to its originating connection.
+    /// A stale token (the peer hung up while its job was proxied) drops
+    /// the update; the owner finishes the job regardless.
+    fn apply_forward_update(&mut self, update: ForwardUpdate) {
+        let Some(idx) = self.resolve(update.token) else {
+            return;
+        };
+        let shared = Arc::clone(&self.shared);
+        let config = &shared.config;
+        let pool = &mut self.pool;
+        let conn = self.conns[idx].as_mut().expect("resolved");
+        match update.outcome {
+            ForwardOutcome::Ack { job } => {
+                conn.forwarded.insert(job, ForwardedJob::default());
+                conn.queue(pool, config, &Message::SubmitAck { job });
+            }
+            ForwardOutcome::Event { job, event } => {
+                if let Some(fwd) = conn.forwarded.get_mut(&job) {
+                    if fwd.watching {
+                        conn.queue(pool, config, &Message::Event { job, event });
+                    } else {
+                        if fwd.events.len() >= MAX_BUFFERED_FORWARD_EVENTS {
+                            fwd.events.pop_front();
+                        }
+                        fwd.events.push_back(event);
+                    }
+                }
+            }
+            ForwardOutcome::Done { job, result } => {
+                if let Some(fwd) = conn.forwarded.get_mut(&job) {
+                    if fwd.watching {
+                        conn.forwarded.remove(&job);
+                        conn.queue(pool, config, &Message::Done { job, result });
+                    } else {
+                        fwd.result = Some(result);
+                    }
+                }
+            }
+            ForwardOutcome::Refused { kind, detail } => {
+                shared.service.note_forward_error();
+                conn.queue_error(pool, config, kind, detail);
+            }
+            ForwardOutcome::Failed { owner, detail } => {
+                shared.service.note_forward_error();
+                conn.queue_error(pool, config, ErrorKind::WrongNode { owner }, detail);
+            }
+        }
+        self.finish(idx);
+    }
+
+    /// Pushes the freshly installed ring to every authed v3 peer.
+    fn broadcast_ring(&mut self) {
+        let Some(ring) = lock(&self.shared.ring).clone() else {
+            return;
+        };
+        let config = self.shared.config.clone();
+        for idx in 0..self.conns.len() {
+            let queued = match self.conns[idx].as_mut() {
+                Some(conn) if conn.authed && conn.version >= 3 && !conn.dead => {
+                    conn.queue(
+                        &mut self.pool,
+                        &config,
+                        &Message::RingChanged {
+                            ring: (*ring).clone(),
+                        },
+                    );
+                    true
+                }
+                _ => false,
+            };
+            if queued {
+                self.finish(idx);
+            }
+        }
     }
 
     /// Advances the connection's state machine: pumps an active watch,
@@ -893,6 +1320,9 @@ impl Reactor {
                 .blocked_since
                 .is_some_and(|since| since.elapsed() >= self.shared.config.write_timeout);
             let idle = conn.watch.is_none()
+                // A forwarded job legitimately carries no local traffic
+                // while the owning node solves it.
+                && conn.forwarded.is_empty()
                 && conn.outbox.is_empty()
                 && conn.last_activity.elapsed() >= self.shared.config.read_timeout;
             if stalled || idle {
@@ -906,7 +1336,7 @@ impl Reactor {
             .conns
             .iter()
             .flatten()
-            .filter(|c| c.watch.is_some())
+            .filter(|c| c.watch.is_some() || c.forwarded.values().any(|f| f.watching))
             .count();
         let unflushed: usize = self.conns.iter().flatten().map(|c| c.out_bytes).sum();
         *lock(&self.shared.drain_gauge) = (watches, unflushed);
@@ -976,12 +1406,21 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
                     conn.close_after_flush = true;
                     return;
                 }
+                // v3 peers learn the cluster ring in the handshake; the
+                // ring rides HelloAck as bare trailing bytes, so a
+                // ringless v3 ack is byte-identical to v2's.
+                let ring = if version >= 3 {
+                    lock(&shared.ring).clone().map(|r| (*r).clone())
+                } else {
+                    None
+                };
                 conn.queue(
                     pool,
                     config,
                     &Message::HelloAck {
                         version,
                         server: config.server_name.clone(),
+                        ring,
                     },
                 );
                 conn.tenant = tenant;
@@ -1093,52 +1532,158 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
                 );
                 return;
             }
-            let Some(trace) = lock(&shared.uploads).get(fingerprint) else {
+            // Cluster routing: a fingerprint this node does not own is
+            // proxied to its owner (trace in hand) or redirected with a
+            // typed WrongNode so a ring-aware client can re-dial.
+            if let (Some(cluster), Some(ring)) = (&config.cluster, lock(&shared.ring).clone()) {
+                let owner = ring.owner(fingerprint);
+                if owner.name != cluster.member {
+                    let owner_name = owner.name.clone();
+                    let owner_addr = owner.addr.clone();
+                    match lock(&shared.uploads).get(fingerprint) {
+                        Some(trace) => {
+                            let hub = shared.forward.as_ref().expect("cluster implies hub");
+                            let queued = hub.submit(ForwardTask {
+                                token: conn.token,
+                                trace,
+                                priority,
+                                deadline_ms,
+                                owner_name,
+                                owner_addr,
+                                epoch: ring.epoch(),
+                            });
+                            if queued {
+                                // The ack (or a typed failure) arrives
+                                // asynchronously from the forwarder pool.
+                                shared.service.note_forwarded_job();
+                            } else {
+                                conn.queue_error(
+                                    pool,
+                                    config,
+                                    ErrorKind::Busy,
+                                    "forwarding queue is full; retry later",
+                                );
+                            }
+                        }
+                        None if conn.version >= 3 => {
+                            conn.queue_error(
+                                pool,
+                                config,
+                                ErrorKind::WrongNode {
+                                    owner: owner_addr.clone(),
+                                },
+                                format!(
+                                    "fingerprint {fingerprint} is owned by \
+                                     {owner_name} at {owner_addr}"
+                                ),
+                            );
+                        }
+                        None => {
+                            // v1/v2 peers know no redirects: ask for the
+                            // trace; once uploaded, the forward path above
+                            // takes it from there.
+                            conn.queue_error(
+                                pool,
+                                config,
+                                ErrorKind::UnknownFingerprint { fingerprint },
+                                "upload the trace before submitting it",
+                            );
+                        }
+                    }
+                    return;
+                }
+            }
+            submit_local(conn, pool, shared, fingerprint, priority, deadline_ms);
+        }
+        Message::SubmitForwarded {
+            fingerprint,
+            priority,
+            deadline_ms,
+            epoch,
+        } => {
+            // The cluster's loop guard: an already-forwarded submit is
+            // never forwarded again. A node that does not own the
+            // fingerprint answers a typed WrongNode (counted as a
+            // forward error) — the sender's ring was stale.
+            let Some(cluster) = &config.cluster else {
                 conn.queue_error(
                     pool,
                     config,
-                    ErrorKind::UnknownFingerprint { fingerprint },
-                    "upload the trace before submitting it",
+                    ErrorKind::BadRequest,
+                    "not a cluster node: forwarded submits are not accepted",
                 );
                 return;
             };
-            // The upload cache's Arc is shared into the job: the dedup
-            // hot path (many submissions of one profile) never copies
-            // the trace.
-            let mut request = JobRequest::shared_trace(&conn.tenant, trace).with_priority(priority);
-            if let Some(ms) = deadline_ms {
-                request = request.with_deadline(Duration::from_millis(ms));
+            if conn.version < 3 {
+                conn.queue_error(
+                    pool,
+                    config,
+                    ErrorKind::BadRequest,
+                    "forwarded submits need protocol v3",
+                );
+                return;
             }
-            // Load shedding: service backpressure crosses the wire as a
-            // typed error frame, never a dropped socket.
-            match shared.service.submit(request) {
-                Ok(JobId(job)) => {
-                    conn.jobs.insert(job);
-                    conn.queue(pool, config, &Message::SubmitAck { job });
-                }
-                Err(rejected) => {
-                    conn.queue_error(
-                        pool,
-                        config,
-                        ErrorKind::from_rejected(&rejected),
-                        rejected.to_string(),
-                    );
-                }
+            if shared.draining.load(Ordering::SeqCst) {
+                conn.queue_error(
+                    pool,
+                    config,
+                    ErrorKind::ShuttingDown,
+                    "server is draining; no new submissions",
+                );
+                return;
             }
+            let ring = lock(&shared.ring).clone();
+            let owned = ring
+                .as_ref()
+                .is_some_and(|r| r.owns(&cluster.member, fingerprint));
+            if !owned {
+                shared.service.note_forward_error();
+                let (owner, local_epoch) = ring
+                    .as_ref()
+                    .map(|r| (r.owner(fingerprint).addr.clone(), r.epoch()))
+                    .unwrap_or_default();
+                conn.queue_error(
+                    pool,
+                    config,
+                    ErrorKind::WrongNode { owner },
+                    format!(
+                        "already-forwarded submit for a fingerprint this node \
+                         does not own (sender epoch {epoch}, local epoch {local_epoch})"
+                    ),
+                );
+                return;
+            }
+            submit_local(conn, pool, shared, fingerprint, priority, deadline_ms);
         }
         Message::Watch { job } => {
-            if !conn.jobs.contains(&job) {
+            if conn.jobs.contains(&job) {
+                start_watch(conn, pool, shared, JobId(job));
+            } else if conn.forwarded.contains_key(&job) {
+                start_forward_watch(conn, pool, config, job);
+            } else {
                 conn.queue_error(
                     pool,
                     config,
                     ErrorKind::UnknownJob { job },
                     "not a job submitted on this connection",
                 );
-                return;
             }
-            start_watch(conn, pool, shared, JobId(job));
         }
         Message::Cancel { job } => {
+            if conn.forwarded.contains_key(&job) {
+                // Remote cancellation is not proxied: the owner solves
+                // on (dedup makes the work reusable anyway). Honest
+                // answer: not cancelled.
+                conn.queue(
+                    pool,
+                    config,
+                    &Message::CancelAck {
+                        job,
+                        cancelled: false,
+                    },
+                );
+                return;
+            }
             if !conn.jobs.contains(&job) {
                 conn.queue_error(
                     pool,
@@ -1281,7 +1826,15 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
         }
         Message::QueryStats => {
             let stats: ServiceStats = shared.service.stats();
-            conn.queue(pool, config, &Message::StatsInfo(WireStats::from(stats)));
+            let wire_stats = WireStats::from(stats);
+            // v3 peers get the full gauge set; the legacy StatsInfo
+            // layout is frozen at its 14 v1 counters.
+            let answer = if conn.version >= 3 {
+                Message::StatsInfoV3(wire_stats)
+            } else {
+                Message::StatsInfo(wire_stats)
+            };
+            conn.queue(pool, config, &answer);
         }
         Message::Bye => {
             conn.queue(pool, config, &Message::Bye);
@@ -1302,6 +1855,8 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
         | Message::DimsPage { .. }
         | Message::HashPage { .. }
         | Message::StatsInfo(_)
+        | Message::StatsInfoV3(_)
+        | Message::RingChanged { .. }
         | Message::Error { .. } => {
             conn.queue_error(
                 pool,
@@ -1310,6 +1865,74 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
                 "unexpected frame direction",
             );
         }
+    }
+}
+
+/// The local submit path shared by `Submit` (owned fingerprints) and
+/// `SubmitForwarded` (ownership already verified): uploads lookup →
+/// service submit → typed ack or refusal.
+fn submit_local(
+    conn: &mut Conn,
+    pool: &mut BufPool,
+    shared: &Arc<Shared>,
+    fingerprint: Fingerprint,
+    priority: Priority,
+    deadline_ms: Option<u64>,
+) {
+    let config = &shared.config;
+    let Some(trace) = lock(&shared.uploads).get(fingerprint) else {
+        conn.queue_error(
+            pool,
+            config,
+            ErrorKind::UnknownFingerprint { fingerprint },
+            "upload the trace before submitting it",
+        );
+        return;
+    };
+    // The upload cache's Arc is shared into the job: the dedup
+    // hot path (many submissions of one profile) never copies
+    // the trace.
+    let mut request = JobRequest::shared_trace(&conn.tenant, trace).with_priority(priority);
+    if let Some(ms) = deadline_ms {
+        request = request.with_deadline(Duration::from_millis(ms));
+    }
+    // Load shedding: service backpressure crosses the wire as a
+    // typed error frame, never a dropped socket.
+    match shared.service.submit(request) {
+        Ok(JobId(job)) => {
+            conn.jobs.insert(job);
+            conn.queue(pool, config, &Message::SubmitAck { job });
+        }
+        Err(rejected) => {
+            conn.queue_error(
+                pool,
+                config,
+                ErrorKind::from_rejected(&rejected),
+                rejected.to_string(),
+            );
+        }
+    }
+}
+
+/// Begins streaming a proxied job's events: flushes whatever the
+/// forwarder already relayed, then marks the entry live so further
+/// updates stream straight through.
+fn start_forward_watch(conn: &mut Conn, pool: &mut BufPool, config: &NetServerConfig, job: u64) {
+    let Some(fwd) = conn.forwarded.get_mut(&job) else {
+        return;
+    };
+    fwd.watching = true;
+    let events: Vec<WireEvent> = fwd.events.drain(..).collect();
+    let result = fwd.result.take();
+    for event in events {
+        conn.queue(pool, config, &Message::Event { job, event });
+        if conn.overflowed {
+            return;
+        }
+    }
+    if let Some(result) = result {
+        conn.forwarded.remove(&job);
+        conn.queue(pool, config, &Message::Done { job, result });
     }
 }
 

@@ -14,6 +14,7 @@
 //! their bit-packed parity submatrix. See `DESIGN.md` §"The wire
 //! protocol" for the full frame grammar and the error mapping table.
 
+use crate::ring::{Ring, RingMember};
 use beer_core::recovery::BudgetReason;
 use beer_core::trace::Fingerprint;
 use beer_ecc::LinearCode;
@@ -25,7 +26,12 @@ use std::io::{self, Read, Write};
 /// The protocol version this build speaks. v2 adds cursor-paginated
 /// registry queries (tags 23–26); v1 peers still get the capped,
 /// possibly-truncated [`Message::DimsInfo`]/[`Message::HashInfo`] answers.
-pub const WIRE_VERSION: u16 = 2;
+/// v3 adds the cluster surface: [`Message::HelloAck`] carries the hash
+/// ring, [`Message::RingChanged`] pushes membership changes,
+/// [`Message::SubmitForwarded`] is the loop-guarded node-to-node submit,
+/// [`Message::StatsInfoV3`] grows the stats answer, and
+/// [`ErrorKind::WrongNode`] is the typed stale-routing redirect.
+pub const WIRE_VERSION: u16 = 3;
 /// The oldest protocol version this build still accepts.
 pub const WIRE_MIN_VERSION: u16 = 1;
 /// Magic bytes opening every [`Message::Hello`] payload.
@@ -704,6 +710,45 @@ fn get_code_entries(r: &mut Reader) -> Result<Vec<WireCodeEntry>, WireError> {
     (0..count).map(|_| get_code_entry(r)).collect()
 }
 
+/// A ring travels as `u64 epoch ‖ u32 vnodes ‖ u32 member count ‖
+/// members`, each member `string name ‖ string addr`, members in strict
+/// ascending name order (the ring's canonical order — a frame listing
+/// them any other way is corrupt, which keeps the encoding bijective).
+fn put_ring(w: &mut Writer<'_>, ring: &Ring) {
+    w.u64(ring.epoch());
+    w.u32(ring.vnodes());
+    w.u32(ring.members().len() as u32);
+    for member in ring.members() {
+        w.string(&member.name);
+        w.string(&member.addr);
+    }
+}
+
+fn get_ring(r: &mut Reader) -> Result<Ring, WireError> {
+    let epoch = r.u64()?;
+    let vnodes = r.u32()?;
+    let count = r.u32()? as usize;
+    // Each member is at least 10 bytes (two length prefixes + one byte
+    // of name and of addr); refuse a count the frame cannot hold.
+    if count.saturating_mul(10) > r.buf.len() - r.pos {
+        return Err(WireError::Truncated);
+    }
+    let mut members = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = r.string()?;
+        let addr = r.string()?;
+        if let Some(RingMember { name: prev, .. }) = members.last() {
+            if prev >= &name {
+                return Err(WireError::BadValue {
+                    what: "ring member order",
+                });
+            }
+        }
+        members.push(RingMember { name, addr });
+    }
+    Ring::new(epoch, vnodes, members).map_err(|_| WireError::BadValue { what: "ring" })
+}
+
 /// A completed job's registry record on the wire.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WireRecord {
@@ -744,6 +789,21 @@ pub struct WireStats {
     pub rejected_unschedulable: u64,
     /// `ShuttingDown` rejections.
     pub rejected_shutting_down: u64,
+    /// Query answers truncated at the entry cap (v3+; zero from older
+    /// servers).
+    pub truncated_answers: u64,
+    /// Live registry log segments (v3+).
+    pub registry_segments: u64,
+    /// Live registry snapshots (v3+).
+    pub registry_snapshots: u64,
+    /// Registry compactions completed (v3+).
+    pub registry_compactions: u64,
+    /// Registry compactions failed (v3+).
+    pub registry_compaction_failures: u64,
+    /// Submissions proxied to their owning cluster node (v3+).
+    pub forwarded_jobs: u64,
+    /// Forwarding attempts that failed (v3+).
+    pub forward_errors: u64,
 }
 
 impl From<ServiceStats> for WireStats {
@@ -763,6 +823,13 @@ impl From<ServiceStats> for WireStats {
             rejected_invalid_tenant: s.rejected.invalid_tenant,
             rejected_unschedulable: s.rejected.unschedulable,
             rejected_shutting_down: s.rejected.shutting_down,
+            truncated_answers: s.truncated_answers,
+            registry_segments: s.registry_segments as u64,
+            registry_snapshots: s.registry_snapshots as u64,
+            registry_compactions: s.registry_compactions,
+            registry_compaction_failures: s.registry_compaction_failures,
+            forwarded_jobs: s.forwarded_jobs,
+            forward_errors: s.forward_errors,
         }
     }
 }
@@ -804,14 +871,47 @@ fn get_stats(r: &mut Reader) -> Result<WireStats, WireError> {
         rejected_invalid_tenant: r.u64()?,
         rejected_unschedulable: r.u64()?,
         rejected_shutting_down: r.u64()?,
+        ..WireStats::default()
     })
+}
+
+/// The v3 stats payload: the legacy 14 words followed by the registry
+/// and forwarding gauges. A *new* tag rather than trailing fields on
+/// [`Message::StatsInfo`], because the encoding must stay a pure
+/// function of the message and every legacy frame must keep rejecting
+/// trailing bytes.
+fn put_stats_v3(w: &mut Writer<'_>, s: &WireStats) {
+    put_stats(w, s);
+    for v in [
+        s.truncated_answers,
+        s.registry_segments,
+        s.registry_snapshots,
+        s.registry_compactions,
+        s.registry_compaction_failures,
+        s.forwarded_jobs,
+        s.forward_errors,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn get_stats_v3(r: &mut Reader) -> Result<WireStats, WireError> {
+    let mut stats = get_stats(r)?;
+    stats.truncated_answers = r.u64()?;
+    stats.registry_segments = r.u64()?;
+    stats.registry_snapshots = r.u64()?;
+    stats.registry_compactions = r.u64()?;
+    stats.registry_compaction_failures = r.u64()?;
+    stats.forwarded_jobs = r.u64()?;
+    stats.forward_errors = r.u64()?;
+    Ok(stats)
 }
 
 /// The kind of a typed [`Message::Error`] frame. The first five mirror
 /// [`beer_service::Rejected`] exactly (the load-shedding map: queue
 /// backpressure becomes a wire error, never a dropped socket); the rest
 /// are protocol-level refusals.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ErrorKind {
     /// The service queue is at capacity; retry later.
     QueueFull {
@@ -860,6 +960,15 @@ pub enum ErrorKind {
     Busy,
     /// The frame sequence violates the protocol (e.g. no Hello first).
     BadRequest,
+    /// (v3+) This node does not own the submitted fingerprint under the
+    /// current ring — resubmit to `owner`. Sent to ring-aware peers
+    /// routing on a stale epoch, and to a peer whose already-forwarded
+    /// submit landed on a non-owner (the loop guard: a forwarded job is
+    /// never forwarded again).
+    WrongNode {
+        /// `host:port` of the owning node.
+        owner: String,
+    },
 }
 
 impl ErrorKind {
@@ -906,6 +1015,9 @@ impl fmt::Display for ErrorKind {
             ErrorKind::BadChunk => write!(f, "trace chunk refused"),
             ErrorKind::Busy => write!(f, "connection limit reached"),
             ErrorKind::BadRequest => write!(f, "protocol violation"),
+            ErrorKind::WrongNode { owner } => {
+                write!(f, "wrong node: the fingerprint is owned by {owner}")
+            }
         }
     }
 }
@@ -944,6 +1056,10 @@ fn put_error_kind(w: &mut Writer<'_>, kind: &ErrorKind) {
         ErrorKind::BadChunk => w.u8(9),
         ErrorKind::Busy => w.u8(10),
         ErrorKind::BadRequest => w.u8(11),
+        ErrorKind::WrongNode { owner } => {
+            w.u8(12);
+            w.string(owner);
+        }
     }
 }
 
@@ -969,6 +1085,7 @@ fn get_error_kind(r: &mut Reader) -> Result<ErrorKind, WireError> {
         9 => ErrorKind::BadChunk,
         10 => ErrorKind::Busy,
         11 => ErrorKind::BadRequest,
+        12 => ErrorKind::WrongNode { owner: r.string()? },
         _ => return Err(WireError::BadValue { what: "error kind" }),
     })
 }
@@ -977,7 +1094,7 @@ fn get_error_kind(r: &mut Reader) -> Result<ErrorKind, WireError> {
 // Messages
 // ---------------------------------------------------------------------------
 
-/// Every `beer-wire v1` frame. Client→server and server→client frames
+/// Every beer-wire frame. Client→server and server→client frames
 /// share one tag space (a peer receiving a frame it never expects answers
 /// [`ErrorKind::BadRequest`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -1000,6 +1117,9 @@ pub enum Message {
         version: u16,
         /// Human-readable server identity.
         server: String,
+        /// (v3+) The cluster ring, when this server is a cluster
+        /// member (a presence byte, then the ring).
+        ring: Option<Ring>,
     },
     /// Client → server: a chunked trace upload begins.
     TraceBegin {
@@ -1144,8 +1264,34 @@ pub enum Message {
     },
     /// Client → server: request a service stats snapshot.
     QueryStats,
-    /// Server → client: the stats snapshot.
+    /// Server → client: the stats snapshot (v1/v2 layout — the legacy
+    /// 14 counters; the registry and forwarding gauges ride only in
+    /// [`Message::StatsInfoV3`]).
     StatsInfo(WireStats),
+    /// Server → client (v3+): the stats snapshot including the registry
+    /// and forwarding gauges.
+    StatsInfoV3(WireStats),
+    /// Server → client (v3+), push: the cluster membership changed.
+    /// Clients adopt the ring (if its epoch is newer) and re-route
+    /// without reconnecting.
+    RingChanged {
+        /// The new ring.
+        ring: Ring,
+    },
+    /// Node → node (v3+): a submit proxied by a non-owning cluster node.
+    /// Carries the forwarder's ring epoch; the receiver answers
+    /// [`ErrorKind::WrongNode`] instead of forwarding again if it does
+    /// not own the fingerprint (the loop guard).
+    SubmitForwarded {
+        /// Fingerprint of a previously uploaded trace.
+        fingerprint: Fingerprint,
+        /// Priority within the tenant's queue.
+        priority: Priority,
+        /// Submission-to-completion deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// The forwarder's ring epoch, for stale-routing diagnostics.
+        epoch: u64,
+    },
     /// Server → client: a typed refusal (see [`ErrorKind`]).
     Error {
         /// What went wrong.
@@ -1183,6 +1329,9 @@ const TAG_QUERY_DIMS_PAGE: u8 = 23;
 const TAG_DIMS_PAGE: u8 = 24;
 const TAG_QUERY_HASH_PAGE: u8 = 25;
 const TAG_HASH_PAGE: u8 = 26;
+const TAG_RING_CHANGED: u8 = 27;
+const TAG_SUBMIT_FORWARDED: u8 = 28;
+const TAG_STATS_INFO_V3: u8 = 29;
 
 impl Message {
     /// Encodes the frame body (tag + payload, no length prefix).
@@ -1213,10 +1362,21 @@ impl Message {
                 w.string(tenant);
                 w.string(token);
             }
-            Message::HelloAck { version, server } => {
+            Message::HelloAck {
+                version,
+                server,
+                ring,
+            } => {
                 w.u8(TAG_HELLO_ACK);
                 w.u16(*version);
                 w.string(server);
+                match ring {
+                    Some(ring) => {
+                        w.u8(1);
+                        put_ring(&mut w, ring);
+                    }
+                    None => w.u8(0),
+                }
             }
             Message::TraceBegin {
                 fingerprint,
@@ -1358,6 +1518,26 @@ impl Message {
                 w.u8(TAG_STATS_INFO);
                 put_stats(&mut w, stats);
             }
+            Message::StatsInfoV3(stats) => {
+                w.u8(TAG_STATS_INFO_V3);
+                put_stats_v3(&mut w, stats);
+            }
+            Message::RingChanged { ring } => {
+                w.u8(TAG_RING_CHANGED);
+                put_ring(&mut w, ring);
+            }
+            Message::SubmitForwarded {
+                fingerprint,
+                priority,
+                deadline_ms,
+                epoch,
+            } => {
+                w.u8(TAG_SUBMIT_FORWARDED);
+                w.u128(fingerprint.0);
+                put_priority(&mut w, *priority);
+                w.opt_u64(*deadline_ms);
+                w.u64(*epoch);
+            }
             Message::Error { kind, detail } => {
                 w.u8(TAG_ERROR);
                 put_error_kind(&mut w, kind);
@@ -1387,10 +1567,20 @@ impl Message {
                     token: r.string()?,
                 }
             }
-            TAG_HELLO_ACK => Message::HelloAck {
-                version: r.u16()?,
-                server: r.string()?,
-            },
+            TAG_HELLO_ACK => {
+                let version = r.u16()?;
+                let server = r.string()?;
+                let ring = match r.u8()? {
+                    0 => None,
+                    1 => Some(get_ring(&mut r)?),
+                    _ => return Err(WireError::BadValue { what: "ring flag" }),
+                };
+                Message::HelloAck {
+                    version,
+                    server,
+                    ring,
+                }
+            }
             TAG_TRACE_BEGIN => Message::TraceBegin {
                 fingerprint: Fingerprint(r.u128()?),
                 total_chunks: r.u32()?,
@@ -1474,6 +1664,16 @@ impl Message {
             },
             TAG_QUERY_STATS => Message::QueryStats,
             TAG_STATS_INFO => Message::StatsInfo(get_stats(&mut r)?),
+            TAG_STATS_INFO_V3 => Message::StatsInfoV3(get_stats_v3(&mut r)?),
+            TAG_RING_CHANGED => Message::RingChanged {
+                ring: get_ring(&mut r)?,
+            },
+            TAG_SUBMIT_FORWARDED => Message::SubmitForwarded {
+                fingerprint: Fingerprint(r.u128()?),
+                priority: get_priority(&mut r)?,
+                deadline_ms: r.opt_u64("deadline")?,
+                epoch: r.u64()?,
+            },
             TAG_ERROR => Message::Error {
                 kind: get_error_kind(&mut r)?,
                 detail: r.string()?,

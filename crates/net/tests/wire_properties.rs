@@ -17,6 +17,7 @@ use beer_net::wire::{
     negotiate, read_message, ErrorKind, Message, RecvError, WireCodeEntry, WireError, WireEvent,
     WireJobError, WireOutcome, WireOutput, WireRecord, WireStats, WIRE_MIN_VERSION, WIRE_VERSION,
 };
+use beer_net::{Ring, RingMember};
 use beer_service::{JobState, Priority};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -143,7 +144,7 @@ impl Gen {
     }
 
     fn error_kind(&mut self) -> ErrorKind {
-        match self.below(12) {
+        match self.below(13) {
             0 => ErrorKind::QueueFull {
                 capacity: self.next(),
             },
@@ -165,10 +166,17 @@ impl Gen {
             8 => ErrorKind::UnknownJob { job: self.next() },
             9 => ErrorKind::BadChunk,
             10 => ErrorKind::Busy,
+            11 => ErrorKind::WrongNode {
+                owner: self.string(),
+            },
             _ => ErrorKind::BadRequest,
         }
     }
 
+    /// Stats for the legacy `StatsInfo` frame: its 14-counter v1 layout
+    /// is frozen, so the v3-only gauges stay at their default (they are
+    /// dropped on encode, and the round-trip property requires encoding
+    /// to be lossless).
     fn stats(&mut self) -> WireStats {
         WireStats {
             submitted: self.next(),
@@ -185,15 +193,43 @@ impl Gen {
             rejected_invalid_tenant: self.next(),
             rejected_unschedulable: self.next(),
             rejected_shutting_down: self.next(),
+            ..WireStats::default()
         }
+    }
+
+    /// Stats for `StatsInfoV3`: every field, including the v3 gauges.
+    fn stats_v3(&mut self) -> WireStats {
+        WireStats {
+            truncated_answers: self.next(),
+            registry_segments: self.next(),
+            registry_snapshots: self.next(),
+            registry_compactions: self.next(),
+            registry_compaction_failures: self.next(),
+            forwarded_jobs: self.next(),
+            forward_errors: self.next(),
+            ..self.stats()
+        }
+    }
+
+    fn ring(&mut self) -> Ring {
+        let members: Vec<RingMember> = (0..1 + self.below(4))
+            .map(|i| RingMember {
+                // The index prefix keeps names unique whatever the
+                // random suffix collides on.
+                name: format!("{i:02}-{}", self.string()),
+                addr: format!("127.0.0.1:{}", 1024 + self.below(60000)),
+            })
+            .collect();
+        let vnodes = 1 + self.below(8) as u32;
+        Ring::new(self.next(), vnodes, members).expect("generated ring is valid")
     }
 }
 
 /// Every frame variant, payloads derived from the seed. `variant` cycles
-/// through all 26 message kinds so every test run covers the full space.
+/// through all 29 message kinds so every test run covers the full space.
 fn arb_message(variant: u64, seed: u64) -> Message {
     let g = &mut Gen(seed | 1);
-    match variant % 26 {
+    match variant % 29 {
         0 => Message::Hello {
             min_version: g.next() as u16,
             max_version: g.next() as u16,
@@ -203,6 +239,7 @@ fn arb_message(variant: u64, seed: u64) -> Message {
         1 => Message::HelloAck {
             version: g.next() as u16,
             server: g.string(),
+            ring: g.boolean().then(|| g.ring()),
         },
         2 => Message::TraceBegin {
             fingerprint: g.fingerprint(),
@@ -295,13 +332,25 @@ fn arb_message(variant: u64, seed: u64) -> Message {
             entries: g.entries(),
             next_cursor: g.opt_bytes(),
         },
-        _ => Message::Bye,
+        25 => Message::Bye,
+        26 => Message::RingChanged { ring: g.ring() },
+        27 => Message::SubmitForwarded {
+            fingerprint: g.fingerprint(),
+            priority: match g.below(3) {
+                0 => Priority::Low,
+                1 => Priority::Normal,
+                _ => Priority::High,
+            },
+            deadline_ms: g.opt_u64(),
+            epoch: g.next(),
+        },
+        _ => Message::StatsInfoV3(g.stats_v3()),
     }
 }
 
 proptest! {
     #[test]
-    fn every_frame_roundtrips(variant in 0u64..26, seed in any::<u64>()) {
+    fn every_frame_roundtrips(variant in 0u64..29, seed in any::<u64>()) {
         let message = arb_message(variant, seed);
         let body = message.encode_body();
         let decoded = Message::decode_body(&body).expect("own encoding decodes");
@@ -315,7 +364,7 @@ proptest! {
     }
 
     #[test]
-    fn every_truncation_is_a_typed_error(variant in 0u64..26, seed in any::<u64>()) {
+    fn every_truncation_is_a_typed_error(variant in 0u64..29, seed in any::<u64>()) {
         let body = arb_message(variant, seed).encode_body();
         for len in 0..body.len() {
             match Message::decode_body(&body[..len]) {
@@ -331,7 +380,7 @@ proptest! {
     }
 
     #[test]
-    fn trailing_bytes_are_a_typed_error(variant in 0u64..26, seed in any::<u64>()) {
+    fn trailing_bytes_are_a_typed_error(variant in 0u64..29, seed in any::<u64>()) {
         let mut body = arb_message(variant, seed).encode_body();
         body.push(0);
         // Most frames report the trailing byte; frames ending in a
@@ -341,7 +390,7 @@ proptest! {
     }
 
     #[test]
-    fn corrupt_bytes_never_panic(variant in 0u64..26, seed in any::<u64>(), flips in 1usize..8) {
+    fn corrupt_bytes_never_panic(variant in 0u64..29, seed in any::<u64>(), flips in 1usize..8) {
         let mut body = arb_message(variant, seed).encode_body();
         let mut g = Gen(seed ^ 0xDEAD_BEEF);
         for _ in 0..flips {

@@ -347,6 +347,14 @@ pub struct ServiceStats {
     /// intact on failure, so this climbing is an operator signal, not a
     /// silent reset.
     pub registry_compaction_failures: u64,
+    /// Submissions this node proxied to their owning cluster peer
+    /// (reported by [`RecoveryService::note_forwarded_job`]). Zero on a
+    /// standalone node.
+    pub forwarded_jobs: u64,
+    /// Forwarding attempts that failed — the peer was unreachable or
+    /// refused the job (reported by
+    /// [`RecoveryService::note_forward_error`]).
+    pub forward_errors: u64,
 }
 
 enum InputSlot {
@@ -384,6 +392,8 @@ struct Counters {
     requeued: u64,
     rejected: RejectionStats,
     truncated_answers: u64,
+    forwarded_jobs: u64,
+    forward_errors: u64,
 }
 
 struct State {
@@ -908,6 +918,19 @@ impl RecoveryService {
             .truncated_answers += 1;
     }
 
+    /// Records that a submission was proxied to its owning cluster peer
+    /// (see [`ServiceStats::forwarded_jobs`]). The job itself runs — and
+    /// is counted — on the owner; this node only relayed it.
+    pub fn note_forwarded_job(&self) {
+        lock_unpoisoned(&self.inner.state).counters.forwarded_jobs += 1;
+    }
+
+    /// Records a failed forwarding attempt (see
+    /// [`ServiceStats::forward_errors`]).
+    pub fn note_forward_error(&self) {
+        lock_unpoisoned(&self.inner.state).counters.forward_errors += 1;
+    }
+
     /// Current counters and gauges.
     pub fn stats(&self) -> ServiceStats {
         let state = lock_unpoisoned(&self.inner.state);
@@ -932,6 +955,8 @@ impl RecoveryService {
             registry_snapshots: state.registry.snapshot_count(),
             registry_compactions: state.registry.compactions(),
             registry_compaction_failures: state.registry.compaction_failures(),
+            forwarded_jobs: c.forwarded_jobs,
+            forward_errors: c.forward_errors,
         }
     }
 

@@ -52,6 +52,7 @@
 //! drive one stage in isolation — see the README's low-level API appendix.
 
 pub use beer_beep as beep;
+pub use beer_cluster as cluster;
 pub use beer_core as core;
 pub use beer_dram as dram;
 pub use beer_ecc as ecc;
@@ -67,6 +68,7 @@ pub mod prelude {
         code_from_outcome, evaluate, profile_recovered_word, profile_word, BeepConfig, BeepResult,
         DramWordTarget, EvalConfig, RecoveredCodeError, SimWordTarget, WordTarget,
     };
+    pub use beer_cluster::{Cluster, ClusterClient, ClusterJob};
     pub use beer_core::analytic::{analytic_profile, code_matches_constraints};
     pub use beer_core::collect::{collect_profile, ChipKnowledge, CollectionPlan};
     pub use beer_core::direct::extract_by_injection;
@@ -94,8 +96,8 @@ pub mod prelude {
     pub use beer_einsim::{simulate, simulate_batches, ErrorModel, PerBitStats, SimConfig};
     pub use beer_gf2::{BitMatrix, BitVec, SynMask};
     pub use beer_net::{
-        Client, ClientConfig, ClientError, NetServer, NetServerConfig, RemoteJob, WireOutcome,
-        WireResult,
+        Client, ClientConfig, ClientError, NetServer, NetServerConfig, RemoteJob, Ring, RingMember,
+        WireOutcome, WireResult,
     };
     pub use beer_service::{
         CodeOutcome, ConfigError, JobError, JobEvent, JobId, JobInput, JobOutput, JobRequest,
