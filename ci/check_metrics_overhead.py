@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate beer_obs instrumentation cost against a checked-in baseline.
+
+Usage: check_metrics_overhead.py <run_json> <baseline_json> [margin_pct]
+
+Reads `overhead_pct` — the throughput cost of running the service with
+observability on versus off, measured on the dedup fast path where
+per-job metric recording is the largest fraction of the work — from a
+`bench_results/metrics_overhead.json` produced by the metrics_overhead
+bench. The run fails (exit 1) if its overhead exceeds
+`max(baseline, 0) + margin` (default margin 5.0 — "at most five points
+of regression"). The baseline is floored at zero so a lucky negative
+baseline (measurement noise can make obs-on win) never tightens the
+gate below the advertised five percent.
+
+Refresh the baseline deliberately with a quick-scale run on a quiet
+machine:  BEER_BENCH_SCALE=quick cargo bench -p beer_bench --bench \
+metrics_overhead && cp bench_results/metrics_overhead.json \
+ci/metrics_overhead.baseline.json
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def field(doc, path, key):
+    value = doc.get(key)
+    if value is None:
+        sys.exit(f"{path}: no {key} in artifact metadata")
+    return float(value)
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(f"usage: {sys.argv[0]} <run_json> <baseline_json> [margin_pct]")
+    run_path, baseline_path = sys.argv[1], sys.argv[2]
+    margin = float(sys.argv[3]) if len(sys.argv) == 4 else 5.0
+
+    run = load(run_path)
+    baseline = load(baseline_path)
+
+    run_overhead = field(run, run_path, "overhead_pct")
+    base_overhead = field(baseline, baseline_path, "overhead_pct")
+    ceiling = max(base_overhead, 0.0) + margin
+    verdict = "OK" if run_overhead <= ceiling else "REGRESSION"
+    print(
+        f"observability overhead: run = {run_overhead:.2f}% "
+        f"(on {field(run, run_path, 'hits_per_sec_on'):.0f} vs "
+        f"off {field(run, run_path, 'hits_per_sec_off'):.0f} hits/sec), "
+        f"baseline = {base_overhead:.2f}%, "
+        f"ceiling = {ceiling:.2f}% (+{margin}) -> {verdict}"
+    )
+    if run_overhead > ceiling:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -301,6 +301,7 @@ fn conn_scaling_cell(conns: usize, probes: usize) -> ConnScalingCell {
                 fingerprint: fp,
                 priority: Priority::Normal,
                 deadline_ms: None,
+                trace_id: None,
             },
         )
         .expect("submit");

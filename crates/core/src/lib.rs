@@ -73,8 +73,8 @@ pub use profile::{MiscorrectionProfile, Observation, ProfileConstraints, Thresho
 pub use recovery::{
     lock_unpoisoned, run_session_guarded, BudgetReason, CancelToken, Fanout, FanoutNotify,
     FleetMember, FleetOutcome, PatternSchedule, RecoveryConfig, RecoveryError, RecoveryEvent,
-    RecoveryFleet, RecoveryOutcome, RecoveryReport, RecoverySession, RecoveryStats, SessionHooks,
-    SessionStatus,
+    RecoveryFleet, RecoveryOutcome, RecoveryReport, RecoverySession, RecoveryStats, RoundPhases,
+    SessionHooks, SessionStatus,
 };
 pub use solve::{solve_profile, BeerSolverOptions, SolveReport};
 pub use trace::{

@@ -67,6 +67,7 @@ use crate::solve::{
 };
 use crate::trace::{ProfileTrace, UnitTrace};
 use beer_ecc::{hamming, LinearCode};
+use beer_sat::SolverStats;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -224,7 +225,30 @@ pub enum RecoveryEvent {
         truncated: bool,
         /// Wall-clock time of the check.
         elapsed: Duration,
+        /// Per-phase wall-clock breakdown of the whole round (the
+        /// paper's Fig. 6 stage split, live).
+        phases: RoundPhases,
+        /// Solver statistics after the check (vars/clauses/learnts,
+        /// conflicts, decisions, propagations).
+        solver: SolverStats,
     },
+}
+
+/// The wall-clock breakdown of one collect → push → check round,
+/// carried on [`RecoveryEvent::CheckCompleted`]. `solve` is the same
+/// duration as the event's `elapsed`; the other three cover the round's
+/// earlier phases, so `collect + preprocess + encode + solve` is the
+/// round's total pipeline time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundPhases {
+    /// Collecting the batch's miscorrection profile from the backend.
+    pub collect: Duration,
+    /// GF(2) preprocessing (variable pinning) over the accumulated facts.
+    pub preprocess: Duration,
+    /// Encoding the thresholded facts into CNF.
+    pub encode: Duration,
+    /// The SAT uniqueness check (enumeration + lazy repairs).
+    pub solve: Duration,
 }
 
 /// Cooperative cancellation handle: clone it, hand it to another thread,
@@ -810,6 +834,7 @@ impl<'s> RecoverySession<'s> {
         let interrupt =
             move || cancel.is_cancelled() || deadline_at.is_some_and(|at| Instant::now() >= at);
         let record = self.trace.is_some();
+        let collect_start = Instant::now();
         let collected = collect_inner(
             self.source,
             &batch,
@@ -818,6 +843,7 @@ impl<'s> RecoverySession<'s> {
             record,
             Some(&interrupt),
         )?;
+        let collect_time = collect_start.elapsed();
         if collected.interrupted {
             // The partial batch is discarded: which units completed
             // depends on scheduling, and a partial profile would assert
@@ -857,6 +883,7 @@ impl<'s> RecoverySession<'s> {
         let constraints = collected.profile.to_constraints(&self.filter);
         let facts_before = self.solver.facts_encoded();
         self.solver.push_constraints(&constraints)?;
+        let (encode_time, preprocess_time) = self.solver.last_push_times();
         let total_facts = self.solver.facts_encoded();
         let pinned_vars = self.solver.pinned_vars();
         self.emit(RecoveryEvent::FactsPushed {
@@ -879,6 +906,13 @@ impl<'s> RecoverySession<'s> {
             solutions: report.solutions.len(),
             truncated: report.truncated,
             elapsed: report.total_time,
+            phases: RoundPhases {
+                collect: collect_time,
+                preprocess: preprocess_time,
+                encode: encode_time,
+                solve: report.total_time,
+            },
+            solver: report.solver_stats,
         });
 
         let schedule_done = self.next_batch >= self.batches.len();

@@ -908,6 +908,10 @@ pub struct ProgressiveSolver {
     accumulated: ProfileConstraints,
     facts_encoded: usize,
     root_conflict: bool,
+    /// Wall-clock split of the most recent [`ProgressiveSolver::push_constraints`]:
+    /// `(encode, preprocess)`. Surfaced per round through
+    /// [`RecoveryEvent::CheckCompleted`](crate::recovery::RecoveryEvent).
+    last_push_times: (Duration, Duration),
 }
 
 impl ProgressiveSolver {
@@ -932,6 +936,7 @@ impl ProgressiveSolver {
             },
             facts_encoded: 0,
             root_conflict: !ok,
+            last_push_times: (Duration::ZERO, Duration::ZERO),
         }
     }
 
@@ -972,6 +977,7 @@ impl ProgressiveSolver {
                 found: constraints.k,
             });
         }
+        let encode_start = Instant::now();
         for (pattern, observations) in &constraints.entries {
             encode_observation_entry(&mut self.problem, pattern, observations, &self.options)?;
             self.facts_encoded += observations
@@ -982,14 +988,24 @@ impl ProgressiveSolver {
                 .entries
                 .push((pattern.clone(), observations.clone()));
         }
+        let encode_time = encode_start.elapsed();
+        let preprocess_start = Instant::now();
         if self.options.preprocess {
             let pre = preprocess(self.problem.k, self.problem.parity_bits, &self.accumulated);
             self.problem.apply_preprocessing(&pre);
         }
+        let preprocess_time = preprocess_start.elapsed();
         if !self.problem.cnf.flush_into(self.session.solver_mut()) {
             self.root_conflict = true;
         }
+        self.last_push_times = (encode_time, preprocess_time);
         Ok(())
+    }
+
+    /// Wall-clock `(encode, preprocess)` split of the most recent
+    /// [`ProgressiveSolver::push_constraints`] call.
+    pub fn last_push_times(&self) -> (Duration, Duration) {
+        self.last_push_times
     }
 
     /// Runs a uniqueness check over everything pushed so far: enumerates

@@ -14,6 +14,7 @@ use crate::wire::{
     WireRecord, WireResult, WireStats,
 };
 use beer_core::trace::{Fingerprint, ProfileTrace};
+use beer_obs::TraceId;
 use beer_service::Priority;
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
@@ -176,6 +177,10 @@ pub struct RemoteJob {
     /// The deadline the job was submitted with. A resume re-applies the
     /// full duration (the clock restarts from the re-submission).
     pub deadline: Option<Duration>,
+    /// The trace id the submit carried (v4+ servers only). A resume
+    /// re-submits under the same id, so the whole retry chain
+    /// correlates in every node's flight recorder.
+    pub trace_id: Option<u128>,
 }
 
 /// A typed, blocking `beer-wire v1` client (see the module docs).
@@ -469,7 +474,7 @@ impl Client {
         self.traces
             .entry(fingerprint)
             .or_insert_with(|| Arc::new(trace.clone()));
-        self.submit_fingerprint(fingerprint, priority, deadline)
+        self.submit_fingerprint(fingerprint, priority, deadline, None)
     }
 
     /// Uploads (and retains) a trace without submitting it. Useful for
@@ -505,16 +510,21 @@ impl Client {
         priority: Priority,
         deadline: Option<Duration>,
         epoch: u64,
+        trace_id: Option<u128>,
     ) -> Result<RemoteJob, ClientError> {
         let fingerprint = trace.fingerprint();
         self.traces
             .entry(fingerprint)
             .or_insert_with(|| Arc::new(trace.clone()));
+        // A v3 receiver has no v4 tags; the id is dropped rather than
+        // the submit refused — correlation degrades, forwarding works.
+        let trace_id = trace_id.filter(|_| self.version >= 4);
         let submit = Message::SubmitForwarded {
             fingerprint,
             priority,
             deadline_ms: deadline.map(|d| d.as_millis() as u64),
             epoch,
+            trace_id,
         };
         let mut uploaded = false;
         loop {
@@ -525,6 +535,7 @@ impl Client {
                         fingerprint,
                         priority,
                         deadline,
+                        trace_id,
                     })
                 }
                 Message::Error {
@@ -552,17 +563,26 @@ impl Client {
     }
 
     /// Submits by fingerprint, uploading the retained trace when the
-    /// server asks for it.
+    /// server asks for it. On a v4 server a missing `trace_id` is
+    /// minted here — the submission end of the trace — so the id exists
+    /// before the frame leaves this process.
     fn submit_fingerprint(
         &mut self,
         fingerprint: Fingerprint,
         priority: Priority,
         deadline: Option<Duration>,
+        trace_id: Option<u128>,
     ) -> Result<RemoteJob, ClientError> {
+        let trace_id = match trace_id {
+            Some(id) if self.version >= 4 => Some(id),
+            None if self.version >= 4 => Some(TraceId::mint().0),
+            _ => None,
+        };
         let submit = Message::Submit {
             fingerprint,
             priority,
             deadline_ms: deadline.map(|d| d.as_millis() as u64),
+            trace_id,
         };
         let mut uploaded = false;
         loop {
@@ -573,6 +593,7 @@ impl Client {
                         fingerprint,
                         priority,
                         deadline,
+                        trace_id,
                     })
                 }
                 Message::Error {
@@ -654,6 +675,7 @@ impl Client {
                     current.fingerprint,
                     current.priority,
                     current.deadline,
+                    current.trace_id,
                 ) {
                     Ok(resumed) => {
                         // A successful resume restores the full budget:
@@ -891,6 +913,35 @@ impl Client {
             Message::Error { kind, detail } => Err(ClientError::Refused { kind, detail }),
             _ => Err(ClientError::Protocol {
                 expected: "StatsInfo",
+            }),
+        }
+    }
+
+    /// The node's metrics exposition (v4+): one text block of counters,
+    /// gauges, histogram summaries, and the newest `tail`
+    /// flight-recorder events.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Refused`] with
+    /// [`ErrorKind::UnsupportedVersion`] against a pre-v4 server (the
+    /// check is client-side — the server has no frame to misread),
+    /// plus the usual typed refusals and transport failures.
+    pub fn query_metrics(&mut self, tail: u32) -> Result<String, ClientError> {
+        if self.version < 4 {
+            return Err(ClientError::Refused {
+                kind: ErrorKind::UnsupportedVersion {
+                    min: wire::WIRE_MIN_VERSION,
+                    max: self.version,
+                },
+                detail: "metrics queries need protocol v4".to_string(),
+            });
+        }
+        match self.roundtrip(&Message::QueryMetrics { tail })? {
+            Message::MetricsInfo { text } => Ok(text),
+            Message::Error { kind, detail } => Err(ClientError::Refused { kind, detail }),
+            _ => Err(ClientError::Protocol {
+                expected: "MetricsInfo",
             }),
         }
     }

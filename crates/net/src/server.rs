@@ -53,8 +53,9 @@ use crate::wire::{
     WireRecord, WireResult, WireStats,
 };
 use beer_core::trace::{Fingerprint, ProfileTrace, TraceAssembler};
+use beer_obs::TraceId;
 use beer_service::{
-    CodeEntry, JobEvent, JobId, JobRequest, Priority, RecoveryService, ServiceStats,
+    CodeEntry, JobEvent, JobId, JobRequest, Priority, RecoveryService, ServiceObs, ServiceStats,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
@@ -321,6 +322,9 @@ struct ForwardTask {
     owner_name: String,
     owner_addr: String,
     epoch: u64,
+    /// The job's trace id, minted at the forward decision so the origin
+    /// node's flight recorder and the owner's job share one id.
+    trace_id: Option<u128>,
 }
 
 /// What a forwarder learned about a proxied job, relayed to the
@@ -372,10 +376,14 @@ struct ForwardHub {
     /// Idle peer clients pooled per owner address: the steady-state
     /// cross-node path reuses connections instead of re-dialing.
     idle: Mutex<HashMap<String, Vec<Client>>>,
+    /// The service's observability surface (a standalone Arc — holding
+    /// it does not pin the service alive, preserving the no-`Shared`
+    /// rule above): forward round-trips land in `net_forward_rtt_ns`.
+    obs: Arc<ServiceObs>,
 }
 
 impl ForwardHub {
-    fn new(cluster: ClusterConfig, wake: Arc<WakeHub>) -> ForwardHub {
+    fn new(cluster: ClusterConfig, wake: Arc<WakeHub>, obs: Arc<ServiceObs>) -> ForwardHub {
         ForwardHub {
             cluster,
             wake,
@@ -383,6 +391,7 @@ impl ForwardHub {
             task_cv: Condvar::new(),
             stopped: AtomicBool::new(false),
             idle: Mutex::new(HashMap::new()),
+            obs,
         }
     }
 
@@ -465,7 +474,23 @@ impl ForwardHub {
             }
         };
         let deadline = task.deadline_ms.map(Duration::from_millis);
-        let job = match client.submit_forwarded(&task.trace, task.priority, deadline, task.epoch) {
+        let rtt_start = Instant::now();
+        let submitted = client.submit_forwarded(
+            &task.trace,
+            task.priority,
+            deadline,
+            task.epoch,
+            task.trace_id,
+        );
+        // The forward round-trip is submit-to-ack (or typed refusal) —
+        // the owner's solve time is its own series, not this one.
+        if self.obs.enabled() {
+            self.obs
+                .registry()
+                .histogram("net_forward_rtt_ns")
+                .record_duration(rtt_start.elapsed());
+        }
+        let job = match submitted {
             Ok(job) => job,
             Err(ClientError::Refused { kind, detail }) => {
                 self.post(task.token, ForwardOutcome::Refused { kind, detail });
@@ -553,7 +578,11 @@ impl NetServer {
         poller.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)?;
         poller.add(wake.waker.fd(), TOKEN_WAKER, EPOLLIN)?;
         let forward = config.cluster.clone().map(|cluster| {
-            let hub = Arc::new(ForwardHub::new(cluster, Arc::clone(&wake)));
+            let hub = Arc::new(ForwardHub::new(
+                cluster,
+                Arc::clone(&wake),
+                Arc::clone(service.obs()),
+            ));
             // Detached: a forwarder blocked on a long remote job must not
             // stall shutdown; it holds only the hub and the wake hub, so
             // it cannot pin the service (or this server) alive.
@@ -981,6 +1010,14 @@ impl Reactor {
     fn run(mut self) {
         let mut events: Vec<Event> = Vec::new();
         let mut last_sweep = Instant::now();
+        let obs = Arc::clone(self.shared.service.obs());
+        // Time spent servicing each non-empty readiness batch — the
+        // reactor's "how long was the loop busy" series. Idle 500 ms
+        // timeout wakeups are not ticks; recording them would drown the
+        // signal in timer noise.
+        let tick_histogram = obs
+            .enabled()
+            .then(|| obs.registry().histogram("net_reactor_tick_ns"));
         loop {
             events.clear();
             let _ = self
@@ -990,6 +1027,7 @@ impl Reactor {
                 self.close_all();
                 return;
             }
+            let tick_start = (!events.is_empty()).then(Instant::now);
             for ev in events.drain(..) {
                 match ev.token {
                     TOKEN_WAKER => self.shared.wake.waker.drain(),
@@ -1008,6 +1046,9 @@ impl Reactor {
             }
             if self.shared.ring_push.swap(false, Ordering::SeqCst) {
                 self.broadcast_ring();
+            }
+            if let (Some(histogram), Some(start)) = (&tick_histogram, tick_start) {
+                histogram.record_duration(start.elapsed());
             }
             if last_sweep.elapsed() >= Duration::from_secs(1) {
                 last_sweep = Instant::now();
@@ -1522,7 +1563,19 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
             fingerprint,
             priority,
             deadline_ms,
+            trace_id,
         } => {
+            // The v4 tag from a pre-v4 peer is a protocol violation —
+            // negotiation already settled what this connection speaks.
+            if trace_id.is_some() && conn.version < 4 {
+                conn.queue_error(
+                    pool,
+                    config,
+                    ErrorKind::BadRequest,
+                    "trace ids need protocol v4",
+                );
+                return;
+            }
             if shared.draining.load(Ordering::SeqCst) {
                 conn.queue_error(
                     pool,
@@ -1542,6 +1595,16 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
                     let owner_addr = owner.addr.clone();
                     match lock(&shared.uploads).get(fingerprint) {
                         Some(trace) => {
+                            // Mint here if the client did not: the id
+                            // must exist before the hop so both nodes'
+                            // flight recorders stitch to one trace.
+                            let trace_id = trace_id.unwrap_or_else(|| TraceId::mint().0);
+                            let obs = shared.service.obs();
+                            obs.flight(
+                                "forward",
+                                Some(TraceId(trace_id)),
+                                format!("{fingerprint} to {owner_name} at {owner_addr}"),
+                            );
                             let hub = shared.forward.as_ref().expect("cluster implies hub");
                             let queued = hub.submit(ForwardTask {
                                 token: conn.token,
@@ -1551,6 +1614,7 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
                                 owner_name,
                                 owner_addr,
                                 epoch: ring.epoch(),
+                                trace_id: Some(trace_id),
                             });
                             if queued {
                                 // The ack (or a typed failure) arrives
@@ -1593,14 +1657,32 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
                     return;
                 }
             }
-            submit_local(conn, pool, shared, fingerprint, priority, deadline_ms);
+            submit_local(
+                conn,
+                pool,
+                shared,
+                fingerprint,
+                priority,
+                deadline_ms,
+                trace_id,
+            );
         }
         Message::SubmitForwarded {
             fingerprint,
             priority,
             deadline_ms,
             epoch,
+            trace_id,
         } => {
+            if trace_id.is_some() && conn.version < 4 {
+                conn.queue_error(
+                    pool,
+                    config,
+                    ErrorKind::BadRequest,
+                    "trace ids need protocol v4",
+                );
+                return;
+            }
             // The cluster's loop guard: an already-forwarded submit is
             // never forwarded again. A node that does not own the
             // fingerprint answers a typed WrongNode (counted as a
@@ -1653,7 +1735,15 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
                 );
                 return;
             }
-            submit_local(conn, pool, shared, fingerprint, priority, deadline_ms);
+            submit_local(
+                conn,
+                pool,
+                shared,
+                fingerprint,
+                priority,
+                deadline_ms,
+                trace_id,
+            );
         }
         Message::Watch { job } => {
             if conn.jobs.contains(&job) {
@@ -1836,6 +1926,19 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
             };
             conn.queue(pool, config, &answer);
         }
+        Message::QueryMetrics { tail } => {
+            if conn.version < 4 {
+                conn.queue_error(
+                    pool,
+                    config,
+                    ErrorKind::BadRequest,
+                    "metrics queries need protocol v4",
+                );
+                return;
+            }
+            let text = shared.service.metrics_text(tail as usize);
+            conn.queue(pool, config, &Message::MetricsInfo { text });
+        }
         Message::Bye => {
             conn.queue(pool, config, &Message::Bye);
             conn.close_after_flush = true;
@@ -1856,6 +1959,7 @@ fn handle_frame(conn: &mut Conn, pool: &mut BufPool, shared: &Arc<Shared>, messa
         | Message::HashPage { .. }
         | Message::StatsInfo(_)
         | Message::StatsInfoV3(_)
+        | Message::MetricsInfo { .. }
         | Message::RingChanged { .. }
         | Message::Error { .. } => {
             conn.queue_error(
@@ -1878,6 +1982,7 @@ fn submit_local(
     fingerprint: Fingerprint,
     priority: Priority,
     deadline_ms: Option<u64>,
+    trace_id: Option<u128>,
 ) {
     let config = &shared.config;
     let Some(trace) = lock(&shared.uploads).get(fingerprint) else {
@@ -1895,6 +2000,12 @@ fn submit_local(
     let mut request = JobRequest::shared_trace(&conn.tenant, trace).with_priority(priority);
     if let Some(ms) = deadline_ms {
         request = request.with_deadline(Duration::from_millis(ms));
+    }
+    // A wire-carried id (v4 client mint, or a forwarding peer passing
+    // the origin's id through) wins; otherwise the service mints one
+    // at admission.
+    if let Some(trace_id) = trace_id {
+        request = request.with_trace_id(TraceId(trace_id));
     }
     // Load shedding: service backpressure crosses the wire as a
     // typed error frame, never a dropped socket.

@@ -31,7 +31,13 @@ use std::io::{self, Read, Write};
 /// [`Message::SubmitForwarded`] is the loop-guarded node-to-node submit,
 /// [`Message::StatsInfoV3`] grows the stats answer, and
 /// [`ErrorKind::WrongNode`] is the typed stale-routing redirect.
-pub const WIRE_VERSION: u16 = 3;
+/// v4 adds the observability surface: [`Message::Submit`] and
+/// [`Message::SubmitForwarded`] may carry a 128-bit trace id (new tags
+/// 30/31; the legacy tags still encode the id-less form, so v3 byte
+/// streams are unchanged), and
+/// [`Message::QueryMetrics`]/[`Message::MetricsInfo`] fetch a node's
+/// text metrics exposition.
+pub const WIRE_VERSION: u16 = 4;
 /// The oldest protocol version this build still accepts.
 pub const WIRE_MIN_VERSION: u16 = 1;
 /// Magic bytes opening every [`Message::Hello`] payload.
@@ -1152,6 +1158,10 @@ pub enum Message {
         priority: Priority,
         /// Submission-to-completion deadline in milliseconds.
         deadline_ms: Option<u64>,
+        /// Trace id minted at submission (v4+). `None` encodes the
+        /// legacy v1 tag byte-for-byte; `Some` encodes the v4 tag, so
+        /// the mapping between value and bytes stays bijective.
+        trace_id: Option<u128>,
     },
     /// Server → client: the job was admitted.
     SubmitAck {
@@ -1291,6 +1301,23 @@ pub enum Message {
         deadline_ms: Option<u64>,
         /// The forwarder's ring epoch, for stale-routing diagnostics.
         epoch: u64,
+        /// The origin node's trace id for the job (v4+), so both ends
+        /// of a forwarded submit report the same id. `None` encodes the
+        /// legacy v3 tag; `Some` encodes the v4 tag.
+        trace_id: Option<u128>,
+    },
+    /// Client → server (v4+): request the node's metrics exposition.
+    QueryMetrics {
+        /// How many flight-recorder events to include, newest last.
+        /// 0 means counters and histograms only.
+        tail: u32,
+    },
+    /// Server → client (v4+): the metrics exposition — one
+    /// line-oriented text block of counters, gauges, histogram
+    /// summaries, and the flight-recorder tail.
+    MetricsInfo {
+        /// The rendered exposition.
+        text: String,
     },
     /// Server → client: a typed refusal (see [`ErrorKind`]).
     Error {
@@ -1332,6 +1359,10 @@ const TAG_HASH_PAGE: u8 = 26;
 const TAG_RING_CHANGED: u8 = 27;
 const TAG_SUBMIT_FORWARDED: u8 = 28;
 const TAG_STATS_INFO_V3: u8 = 29;
+const TAG_SUBMIT_V4: u8 = 30;
+const TAG_SUBMIT_FORWARDED_V4: u8 = 31;
+const TAG_QUERY_METRICS: u8 = 32;
+const TAG_METRICS_INFO: u8 = 33;
 
 impl Message {
     /// Encodes the frame body (tag + payload, no length prefix).
@@ -1406,11 +1437,21 @@ impl Message {
                 fingerprint,
                 priority,
                 deadline_ms,
+                trace_id,
             } => {
-                w.u8(TAG_SUBMIT);
+                // The legacy tag iff there is no trace id: a v3 Submit
+                // round-trips to the same bytes, and each value has
+                // exactly one encoding.
+                match trace_id {
+                    None => w.u8(TAG_SUBMIT),
+                    Some(_) => w.u8(TAG_SUBMIT_V4),
+                }
                 w.u128(fingerprint.0);
                 put_priority(&mut w, *priority);
                 w.opt_u64(*deadline_ms);
+                if let Some(trace) = trace_id {
+                    w.u128(*trace);
+                }
             }
             Message::SubmitAck { job } => {
                 w.u8(TAG_SUBMIT_ACK);
@@ -1531,12 +1572,27 @@ impl Message {
                 priority,
                 deadline_ms,
                 epoch,
+                trace_id,
             } => {
-                w.u8(TAG_SUBMIT_FORWARDED);
+                match trace_id {
+                    None => w.u8(TAG_SUBMIT_FORWARDED),
+                    Some(_) => w.u8(TAG_SUBMIT_FORWARDED_V4),
+                }
                 w.u128(fingerprint.0);
                 put_priority(&mut w, *priority);
                 w.opt_u64(*deadline_ms);
                 w.u64(*epoch);
+                if let Some(trace) = trace_id {
+                    w.u128(*trace);
+                }
+            }
+            Message::QueryMetrics { tail } => {
+                w.u8(TAG_QUERY_METRICS);
+                w.u32(*tail);
+            }
+            Message::MetricsInfo { text } => {
+                w.u8(TAG_METRICS_INFO);
+                w.string(text);
             }
             Message::Error { kind, detail } => {
                 w.u8(TAG_ERROR);
@@ -1598,6 +1654,13 @@ impl Message {
                 fingerprint: Fingerprint(r.u128()?),
                 priority: get_priority(&mut r)?,
                 deadline_ms: r.opt_u64("deadline")?,
+                trace_id: None,
+            },
+            TAG_SUBMIT_V4 => Message::Submit {
+                fingerprint: Fingerprint(r.u128()?),
+                priority: get_priority(&mut r)?,
+                deadline_ms: r.opt_u64("deadline")?,
+                trace_id: Some(r.u128()?),
             },
             TAG_SUBMIT_ACK => Message::SubmitAck { job: r.u64()? },
             TAG_WATCH => Message::Watch { job: r.u64()? },
@@ -1673,7 +1736,17 @@ impl Message {
                 priority: get_priority(&mut r)?,
                 deadline_ms: r.opt_u64("deadline")?,
                 epoch: r.u64()?,
+                trace_id: None,
             },
+            TAG_SUBMIT_FORWARDED_V4 => Message::SubmitForwarded {
+                fingerprint: Fingerprint(r.u128()?),
+                priority: get_priority(&mut r)?,
+                deadline_ms: r.opt_u64("deadline")?,
+                epoch: r.u64()?,
+                trace_id: Some(r.u128()?),
+            },
+            TAG_QUERY_METRICS => Message::QueryMetrics { tail: r.u32()? },
+            TAG_METRICS_INFO => Message::MetricsInfo { text: r.string()? },
             TAG_ERROR => Message::Error {
                 kind: get_error_kind(&mut r)?,
                 detail: r.string()?,

@@ -71,6 +71,11 @@ impl Gen {
         self.boolean().then(|| self.bytes())
     }
 
+    fn opt_u128(&mut self) -> Option<u128> {
+        self.boolean()
+            .then(|| (u128::from(self.next()) << 64) | u128::from(self.next()))
+    }
+
     fn code(&mut self) -> beer_ecc::LinearCode {
         let k = 4 + self.below(12) as usize;
         hamming::random_sec(k, &mut StdRng::seed_from_u64(self.next()))
@@ -226,10 +231,12 @@ impl Gen {
 }
 
 /// Every frame variant, payloads derived from the seed. `variant` cycles
-/// through all 29 message kinds so every test run covers the full space.
+/// through all 31 message kinds so every test run covers the full space.
+/// The optional trace ids on Submit/SubmitForwarded cover both tags:
+/// `None` exercises the legacy v1/v3 encodings, `Some` the v4 ones.
 fn arb_message(variant: u64, seed: u64) -> Message {
     let g = &mut Gen(seed | 1);
-    match variant % 29 {
+    match variant % 31 {
         0 => Message::Hello {
             min_version: g.next() as u16,
             max_version: g.next() as u16,
@@ -262,6 +269,7 @@ fn arb_message(variant: u64, seed: u64) -> Message {
                 _ => Priority::High,
             },
             deadline_ms: g.opt_u64(),
+            trace_id: g.opt_u128(),
         },
         6 => Message::SubmitAck { job: g.next() },
         7 => Message::Watch { job: g.next() },
@@ -343,14 +351,19 @@ fn arb_message(variant: u64, seed: u64) -> Message {
             },
             deadline_ms: g.opt_u64(),
             epoch: g.next(),
+            trace_id: g.opt_u128(),
         },
-        _ => Message::StatsInfoV3(g.stats_v3()),
+        28 => Message::StatsInfoV3(g.stats_v3()),
+        29 => Message::QueryMetrics {
+            tail: g.next() as u32,
+        },
+        _ => Message::MetricsInfo { text: g.string() },
     }
 }
 
 proptest! {
     #[test]
-    fn every_frame_roundtrips(variant in 0u64..29, seed in any::<u64>()) {
+    fn every_frame_roundtrips(variant in 0u64..31, seed in any::<u64>()) {
         let message = arb_message(variant, seed);
         let body = message.encode_body();
         let decoded = Message::decode_body(&body).expect("own encoding decodes");
@@ -364,7 +377,7 @@ proptest! {
     }
 
     #[test]
-    fn every_truncation_is_a_typed_error(variant in 0u64..29, seed in any::<u64>()) {
+    fn every_truncation_is_a_typed_error(variant in 0u64..31, seed in any::<u64>()) {
         let body = arb_message(variant, seed).encode_body();
         for len in 0..body.len() {
             match Message::decode_body(&body[..len]) {
@@ -380,7 +393,7 @@ proptest! {
     }
 
     #[test]
-    fn trailing_bytes_are_a_typed_error(variant in 0u64..29, seed in any::<u64>()) {
+    fn trailing_bytes_are_a_typed_error(variant in 0u64..31, seed in any::<u64>()) {
         let mut body = arb_message(variant, seed).encode_body();
         body.push(0);
         // Most frames report the trailing byte; frames ending in a
@@ -390,7 +403,7 @@ proptest! {
     }
 
     #[test]
-    fn corrupt_bytes_never_panic(variant in 0u64..29, seed in any::<u64>(), flips in 1usize..8) {
+    fn corrupt_bytes_never_panic(variant in 0u64..31, seed in any::<u64>(), flips in 1usize..8) {
         let mut body = arb_message(variant, seed).encode_body();
         let mut g = Gen(seed ^ 0xDEAD_BEEF);
         for _ in 0..flips {
@@ -417,7 +430,9 @@ proptest! {
 
 #[test]
 fn unknown_future_tags_are_typed_errors() {
-    for tag in [0u8, 27, 42, 200, 255] {
+    // 34 is the first tag past the v4 additions (30–33); the rest are
+    // arbitrary unassigned values including the extremes.
+    for tag in [0u8, 34, 42, 200, 255] {
         let body = vec![tag, 1, 2, 3];
         assert_eq!(
             Message::decode_body(&body),
@@ -480,6 +495,12 @@ fn clean_eof_is_distinguished_from_truncation() {
 fn version_negotiation_picks_the_highest_common_version() {
     // A v1-only client: the server steps down to v1.
     assert_eq!(negotiate(1, 1), Some(1));
+    // Pre-v4 peers: the server steps down to the client's best version,
+    // so v3 cluster nodes and v1 tooling keep working against a v4
+    // server (they just never see trace ids or metrics frames).
+    assert_eq!(negotiate(1, 3), Some(3));
+    assert_eq!(negotiate(3, 3), Some(3));
+    assert_eq!(negotiate(1, 2), Some(2));
     // Identical ranges at the current version.
     assert_eq!(negotiate(WIRE_VERSION, WIRE_VERSION), Some(WIRE_VERSION));
     // A newer client offering a wide range: the server's best version.

@@ -1,0 +1,147 @@
+//! The flight recorder: a bounded ring of recent structured events.
+
+use crate::trace::TraceId;
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// One recorded event. `seq` increases forever (so a poller can detect
+/// how much it missed); `age_micros` is the event's age relative to the
+/// recorder's creation, giving a stable per-node ordering without wall
+/// clocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    pub seq: u64,
+    pub at_micros: u64,
+    pub kind: &'static str,
+    pub trace: Option<TraceId>,
+    pub detail: String,
+}
+
+struct Ring {
+    events: VecDeque<FlightEvent>,
+    next_seq: u64,
+}
+
+/// A fixed-capacity, lock-guarded ring of recent [`FlightEvent`]s.
+///
+/// Recording is a short critical section (one `VecDeque` push and
+/// possible pop); the ring never allocates past its capacity. One
+/// recorder per node is the intended shape.
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+    start: Instant,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+            }),
+            start: Instant::now(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Ring> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends an event, evicting the oldest once full.
+    pub fn record(&self, kind: &'static str, trace: Option<TraceId>, detail: impl Into<String>) {
+        let at_micros = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut ring = self.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(FlightEvent {
+            seq,
+            at_micros,
+            kind,
+            trace,
+            detail: detail.into(),
+        });
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<FlightEvent> {
+        let ring = self.lock();
+        let skip = ring.events.len().saturating_sub(n);
+        ring.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// The tail as text, one event per line:
+    /// `flight <seq> +<age>us <kind> trace=<id|-> <detail>`.
+    pub fn render_tail(&self, n: usize) -> String {
+        let mut out = String::new();
+        for event in self.tail(n) {
+            let trace = event
+                .trace
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "flight {} +{}us {} trace={} {}\n",
+                event.seq, event.at_micros, event.kind, trace, event.detail
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FlightRecorder(capacity {})", self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            rec.record("tick", None, format!("event {i}"));
+        }
+        let tail = rec.tail(10);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(
+            tail.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(rec.recorded(), 5);
+    }
+
+    #[test]
+    fn tail_is_bounded_by_request() {
+        let rec = FlightRecorder::new(8);
+        for _ in 0..8 {
+            rec.record("shed", None, "queue full");
+        }
+        assert_eq!(rec.tail(2).len(), 2);
+    }
+
+    #[test]
+    fn render_includes_trace_ids() {
+        let rec = FlightRecorder::new(4);
+        let id = TraceId(0xDEAD_BEEF);
+        rec.record("forward", Some(id), "to node-b");
+        rec.record("dispatch", None, "job 7");
+        let text = rec.render_tail(4);
+        assert!(text.contains(&format!("trace={id}")), "{text}");
+        assert!(text.contains("trace=- job 7"), "{text}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Named metric handles with a stable text exposition.
+
+use crate::histogram::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable point-in-time value (queue depth, open connections, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Saturating decrement: a gauge never wraps below zero.
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A get-or-create map of named metrics.
+///
+/// Registration takes a lock; recording does not (handles are `Arc`s to
+/// lock-free atomics). Hot paths register once at startup and keep the
+/// handle. Names are free-form but the convention is
+/// `tier_series_unit` (`service_queue_wait_ns`, `net_forward_rtt_ns`);
+/// the exposition sorts by name, so related series render adjacently.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind —
+    /// that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// The full registry as text, one metric per line, sorted by name:
+    ///
+    /// ```text
+    /// counter service_submitted_total 42
+    /// gauge service_queued 3
+    /// histogram service_queue_wait_ns count=41 sum=... p50=... p99=... max=...
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in self.lock().iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("counter {name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("gauge {name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("histogram {name} {}\n", h.snapshot().render()));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsRegistry({} metrics)", self.lock().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("jobs").inc();
+        reg.counter("jobs").add(2);
+        assert_eq!(reg.counter("jobs").get(), 3);
+
+        reg.gauge("depth").set(7);
+        reg.gauge("depth").inc();
+        reg.gauge("depth").dec();
+        assert_eq!(reg.gauge("depth").get(), 7);
+
+        reg.histogram("lat").record(100);
+        assert_eq!(reg.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn gauge_never_underflows() {
+        let g = Gauge::default();
+        g.dec();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn render_is_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("b_gauge").set(5);
+        reg.counter("a_counter").add(9);
+        reg.histogram("c_hist").record(32);
+        let text = reg.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "counter a_counter 9");
+        assert_eq!(lines[1], "gauge b_gauge 5");
+        assert!(lines[2].starts_with("histogram c_hist count=1 sum=32"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_collisions_are_loud() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        reg.gauge("x");
+    }
+}

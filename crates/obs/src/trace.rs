@@ -1,0 +1,62 @@
+//! 128-bit trace correlation ids.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 128-bit correlation id minted once at job submission and carried
+/// with the job everywhere it goes — across the wire, through the
+/// forwarding hop to the owning cluster node, into flight-recorder
+/// events — so one id stitches a job's whole story together.
+///
+/// This is an *identifier*, not a capability or a secret: it is derived
+/// from `RandomState` hasher entropy plus a process-local counter, which
+/// makes collisions vanishingly unlikely across a cluster without
+/// needing an OS entropy source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u128);
+
+impl TraceId {
+    /// Mints a fresh id. Distinct per call within a process (counter)
+    /// and distinct across processes/nodes (per-process hasher keys).
+    pub fn mint() -> TraceId {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let state = RandomState::new();
+        let mut hi = state.build_hasher();
+        hi.write_u64(n);
+        hi.write_u64(0x9E37_79B9_7F4A_7C15);
+        let mut lo = state.build_hasher();
+        lo.write_u64(!n);
+        lo.write_u64(0xC2B2_AE3D_27D4_EB4F);
+        TraceId((u128::from(hi.finish()) << 64) | u128::from(lo.finish()))
+    }
+}
+
+/// Renders as 32 lowercase hex digits — the form logged, exposed in
+/// `QueryMetrics` text, and matched by tests.
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn minted_ids_are_distinct() {
+        let ids: HashSet<TraceId> = (0..1000).map(|_| TraceId::mint()).collect();
+        assert_eq!(ids.len(), 1000);
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let rendered = TraceId::mint().to_string();
+        assert_eq!(rendered.len(), 32);
+        assert!(rendered.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(TraceId(0xABC).to_string(), format!("{:032x}", 0xABCu128));
+    }
+}

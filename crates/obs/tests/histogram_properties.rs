@@ -1,0 +1,126 @@
+//! Property tests for the log-bucketed histogram: the three invariants
+//! monitoring correctness rests on.
+//!
+//! 1. **Merge associativity** — per-thread / per-node snapshots merge to
+//!    the same aggregate whatever the merge tree looks like.
+//! 2. **Quantile monotonicity** — `quantile(q)` is non-decreasing in `q`
+//!    (a p99 below the p50 would make every dashboard lie).
+//! 3. **Bucket bounds** — a quantile estimate is always within the
+//!    bucket bounds of some actually-recorded value: at most 12.5%
+//!    relative error above, never below the true rank value's bucket.
+
+use beer_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// xorshift64* — same deterministic generator idiom the wire property
+/// tests use; the vendored proptest has no collection-of-u64 shrinking.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Values spanning many magnitudes: a random bit-width keeps small
+    /// and huge values equally likely instead of almost-always-huge.
+    fn value(&mut self) -> u64 {
+        let bits = self.next() % 64;
+        self.next() >> bits
+    }
+
+    fn values(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.value()).collect()
+    }
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_order_free(seed in any::<u64>(), n in 1usize..120) {
+        let mut g = Gen(seed | 1);
+        let a = snapshot_of(&g.values(n));
+        let b = snapshot_of(&g.values(n / 2 + 1));
+        let c = snapshot_of(&g.values(n / 3 + 1));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // and commutative: c ⊕ b ⊕ a
+        let mut rev = c.clone();
+        rev.merge(&b);
+        rev.merge(&a);
+        prop_assert_eq!(&left, &rev);
+
+        prop_assert_eq!(left.count(), a.count() + b.count() + c.count());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(seed in any::<u64>(), n in 1usize..200) {
+        let mut g = Gen(seed | 1);
+        let s = snapshot_of(&g.values(n));
+        let mut last = 0u64;
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            let v = s.quantile(q);
+            prop_assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+        prop_assert!(last <= s.max());
+    }
+
+    #[test]
+    fn quantile_matches_true_rank_within_bucket_error(seed in any::<u64>(), n in 1usize..200) {
+        let mut g = Gen(seed | 1);
+        let mut values = g.values(n);
+        let s = snapshot_of(&values);
+        values.sort_unstable();
+        for step in 0..=10 {
+            let q = step as f64 / 10.0;
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let truth = values[rank - 1];
+            let estimate = s.quantile(q);
+            // The estimate is a bucket upper bound: never below the true
+            // rank value, and at most 1/8 (plus one for the exact-bucket
+            // region) above it.
+            prop_assert!(estimate >= truth, "quantile({q}) = {estimate} < true {truth}");
+            prop_assert!(
+                estimate - truth <= truth / 8 + 1,
+                "quantile({q}) = {estimate} overshoots true {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_max_sum_survive_merges(seed in any::<u64>(), n in 1usize..100) {
+        let mut g = Gen(seed | 1);
+        let xs = g.values(n);
+        let ys = g.values(n);
+        let mut merged = snapshot_of(&xs);
+        merged.merge(&snapshot_of(&ys));
+        let all: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+        prop_assert_eq!(merged.min(), *all.iter().min().unwrap());
+        prop_assert_eq!(merged.max(), *all.iter().max().unwrap());
+        let direct = snapshot_of(&all);
+        prop_assert_eq!(&merged, &direct);
+    }
+}

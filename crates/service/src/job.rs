@@ -5,6 +5,7 @@ use beer_core::engine::ProfileSource;
 use beer_core::recovery::{BudgetReason, RecoveryError, RecoveryEvent};
 use beer_core::trace::ProfileTrace;
 use beer_ecc::LinearCode;
+use beer_obs::TraceId;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -115,6 +116,12 @@ pub struct JobRequest {
     pub deadline: Option<Duration>,
     /// The profile to recover from.
     pub input: JobInput,
+    /// The job's trace correlation id. `None` (the default) mints a
+    /// fresh id at admission; a front end that already named the job —
+    /// the network edge carrying a client- or forwarder-supplied id
+    /// across nodes — passes it through so one id follows the job
+    /// everywhere.
+    pub trace_id: Option<TraceId>,
 }
 
 impl JobRequest {
@@ -132,6 +139,7 @@ impl JobRequest {
             priority: Priority::default(),
             deadline: None,
             input: JobInput::Trace(trace),
+            trace_id: None,
         }
     }
 
@@ -149,6 +157,7 @@ impl JobRequest {
                 label: label.into(),
                 source,
             },
+            trace_id: None,
         }
     }
 
@@ -161,6 +170,13 @@ impl JobRequest {
     /// Sets the submission-to-completion deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Carries an already-minted trace correlation id (a forwarded job
+    /// keeps the id minted on its origin node).
+    pub fn with_trace_id(mut self, trace_id: TraceId) -> Self {
+        self.trace_id = Some(trace_id);
         self
     }
 }

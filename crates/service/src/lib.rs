@@ -70,5 +70,6 @@ pub use job::{
 };
 pub use registry::{CodeEntry, JobRecord, Registry, REGISTRY_HEADER};
 pub use service::{
-    ConfigError, RecoveryService, RejectionStats, ServiceConfig, ServiceStats, StartError,
+    ConfigError, RecoveryService, RejectionStats, ServiceConfig, ServiceObs, ServiceStats,
+    StartError,
 };

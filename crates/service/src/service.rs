@@ -31,6 +31,7 @@ use beer_core::recovery::{
 };
 use beer_core::trace::{Fingerprint, ProfileTrace, ReplayBackend};
 use beer_ecc::{equivalence, LinearCode};
+use beer_obs::{FlightRecorder, Histogram, MetricsRegistry, TraceId};
 use std::collections::HashMap;
 use std::fmt;
 use std::io;
@@ -165,6 +166,12 @@ pub struct ServiceConfig {
     /// requires the tenant's exact token. An empty set is a typed
     /// [`ConfigError::EmptyTenantSet`] at start.
     pub tenants: Option<HashMap<String, String>>,
+    /// Whether the observability layer records anything. On (the
+    /// default), latency histograms, per-tenant counters, and the flight
+    /// recorder are live; off, every recording call is a no-op branch —
+    /// the switch the `metrics_overhead` bench compares across. The
+    /// frozen `ServiceStats` counters are kept either way.
+    pub observability: bool,
 }
 
 impl Default for ServiceConfig {
@@ -182,6 +189,7 @@ impl Default for ServiceConfig {
             retained_jobs: 4096,
             recovery: RecoveryConfig::new(),
             tenants: None,
+            observability: true,
         }
     }
 }
@@ -243,6 +251,13 @@ impl ServiceConfig {
     /// Overrides the recovery pipeline configuration.
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Turns the observability layer on or off (see
+    /// [`ServiceConfig::observability`]).
+    pub fn with_observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
         self
     }
 
@@ -357,6 +372,89 @@ pub struct ServiceStats {
     pub forward_errors: u64,
 }
 
+/// The service's observability hub: one metrics registry and one flight
+/// recorder per node, shared (by `Arc`) with the network edge so every
+/// tier's series land in one exposition.
+///
+/// The frozen [`ServiceStats`] counters stay authoritative under the
+/// state lock; this hub carries what they cannot — latency
+/// *distributions* (queue wait, solve time, cache lookups, per-round
+/// pipeline phases), per-tenant counters, and the recent-event ring.
+/// When constructed disabled, every recording method is one branch and
+/// returns — the `metrics_overhead` bench compares exactly this switch.
+pub struct ServiceObs {
+    enabled: bool,
+    registry: MetricsRegistry,
+    recorder: FlightRecorder,
+    queue_wait: Arc<Histogram>,
+    solve_time: Arc<Histogram>,
+    cache_lookup: Arc<Histogram>,
+    phase_collect: Arc<Histogram>,
+    phase_preprocess: Arc<Histogram>,
+    phase_encode: Arc<Histogram>,
+    phase_solve: Arc<Histogram>,
+}
+
+/// How many flight-recorder events a node retains.
+const FLIGHT_CAPACITY: usize = 256;
+
+impl ServiceObs {
+    fn new(enabled: bool) -> Self {
+        let registry = MetricsRegistry::new();
+        ServiceObs {
+            enabled,
+            queue_wait: registry.histogram("service_queue_wait_ns"),
+            solve_time: registry.histogram("service_solve_ns"),
+            cache_lookup: registry.histogram("service_cache_lookup_ns"),
+            phase_collect: registry.histogram("pipeline_collect_ns"),
+            phase_preprocess: registry.histogram("pipeline_preprocess_ns"),
+            phase_encode: registry.histogram("pipeline_encode_ns"),
+            phase_solve: registry.histogram("pipeline_solve_ns"),
+            recorder: FlightRecorder::new(FLIGHT_CAPACITY),
+            registry,
+        }
+    }
+
+    /// True when the layer records; false turns every record into a
+    /// no-op (the exposition then shows only empty series).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The node's metrics registry. Other tiers (the network edge's
+    /// reactor and forwarder) register their own series here so one
+    /// `QueryMetrics` answer covers the whole node.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Records a flight-recorder event (no-op when disabled).
+    pub fn flight(&self, kind: &'static str, trace: Option<TraceId>, detail: impl Into<String>) {
+        if self.enabled {
+            self.recorder.record(kind, trace, detail);
+        }
+    }
+
+    /// The recent-event ring, for direct inspection.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    fn record(&self, histogram: &Histogram, elapsed: std::time::Duration) {
+        if self.enabled {
+            histogram.record_duration(elapsed);
+        }
+    }
+
+    fn bump_tenant(&self, tenant: &str, series: &str) {
+        if self.enabled {
+            self.registry
+                .counter(&format!("tenant_{tenant}_{series}"))
+                .inc();
+        }
+    }
+}
+
 enum InputSlot {
     Trace(Arc<ProfileTrace>),
     Source {
@@ -373,6 +471,11 @@ struct Job {
     fingerprint: Option<Fingerprint>,
     cancel: CancelToken,
     deadline_at: Option<Instant>,
+    /// When the job was admitted — the start of its queue-wait span.
+    enqueued_at: Instant,
+    /// The job's correlation id: supplied by the submitter (a forwarded
+    /// job keeps its origin-node id) or minted at admission.
+    trace_id: TraceId,
     /// Jobs coalesced onto this one (present on primaries only).
     waiters: Vec<JobId>,
     /// The primary this job coalesced onto (present on waiters only).
@@ -426,6 +529,7 @@ struct Inner {
     retained_jobs: usize,
     /// `Some` = closed tenant set with auth tokens; `None` = open.
     tenants: Option<HashMap<String, String>>,
+    obs: Arc<ServiceObs>,
 }
 
 /// The multi-tenant recovery service (see the module docs and the crate
@@ -474,6 +578,7 @@ impl RecoveryService {
             compact_budget: config.compact_budget,
             retained_jobs: config.retained_jobs,
             tenants: config.tenants,
+            obs: Arc::new(ServiceObs::new(config.observability)),
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -495,17 +600,28 @@ impl RecoveryService {
     /// Returns a typed [`Rejected`] — admission backpressure, never a
     /// panic.
     pub fn submit(&self, request: JobRequest) -> Result<JobId, Rejected> {
+        let tenant = request.tenant.clone();
         let result = self.submit_inner(request);
         if let Err(rejected) = &result {
-            let mut state = lock_unpoisoned(&self.inner.state);
-            let r = &mut state.counters.rejected;
-            match rejected {
-                Rejected::QueueFull { .. } => r.queue_full += 1,
-                Rejected::TooLarge { .. } => r.too_large += 1,
-                Rejected::InvalidTenant { .. } => r.invalid_tenant += 1,
-                Rejected::Unschedulable { .. } => r.unschedulable += 1,
-                Rejected::ShuttingDown => r.shutting_down += 1,
+            {
+                let mut state = lock_unpoisoned(&self.inner.state);
+                let r = &mut state.counters.rejected;
+                match rejected {
+                    Rejected::QueueFull { .. } => r.queue_full += 1,
+                    Rejected::TooLarge { .. } => r.too_large += 1,
+                    Rejected::InvalidTenant { .. } => r.invalid_tenant += 1,
+                    Rejected::Unschedulable { .. } => r.unschedulable += 1,
+                    Rejected::ShuttingDown => r.shutting_down += 1,
+                }
             }
+            // No per-tenant series for InvalidTenant: arbitrary unvetted
+            // names would grow the registry without bound.
+            if !matches!(rejected, Rejected::InvalidTenant { .. }) {
+                self.inner.obs.bump_tenant(&tenant, "rejected_total");
+            }
+            self.inner
+                .obs
+                .flight("shed", None, format!("tenant {tenant}: {rejected}"));
         }
         result
     }
@@ -516,6 +632,7 @@ impl RecoveryService {
             priority,
             deadline,
             input,
+            trace_id,
         } = request;
         if tenant.is_empty() {
             return Err(Rejected::InvalidTenant {
@@ -572,12 +689,15 @@ impl RecoveryService {
             return Err(Rejected::ShuttingDown);
         }
         // Cache: a completed record for this fingerprint answers in O(1).
+        let lookup_start = Instant::now();
         let cached = fingerprint.and_then(|fp| {
             state
                 .registry
                 .lookup_fingerprint(fp)
                 .map(|record| record.outcome)
         });
+        let obs = &self.inner.obs;
+        obs.record(&obs.cache_lookup, lookup_start.elapsed());
         // Coalescing: an identical in-flight profile absorbs this job.
         let primary = fingerprint.and_then(|fp| state.inflight.get(&fp).copied());
         // Admission: everything else needs a queue slot.
@@ -593,6 +713,9 @@ impl RecoveryService {
         let id = JobId(state.next_id);
         state.next_id += 1;
         state.counters.submitted += 1;
+        // Every admitted job carries a trace id: the submitter's (a
+        // forwarded job keeps its origin-node id) or one minted here.
+        let trace_id = trace_id.unwrap_or_else(TraceId::mint);
         state.jobs.insert(
             id,
             Job {
@@ -603,12 +726,16 @@ impl RecoveryService {
                 fingerprint,
                 cancel: CancelToken::new(),
                 deadline_at: deadline.map(|d| Instant::now() + d),
+                enqueued_at: Instant::now(),
+                trace_id,
                 waiters: Vec::new(),
                 coalesced_into: None,
                 result: None,
                 events: Fanout::new(),
             },
         );
+        obs.bump_tenant(&tenant, "submitted_total");
+        obs.flight("admission", Some(trace_id), format!("{id} tenant {tenant}"));
         self.inner
             .emit(&state, JobEvent::Submitted { job: id, tenant });
 
@@ -931,6 +1058,65 @@ impl RecoveryService {
         lock_unpoisoned(&self.inner.state).counters.forward_errors += 1;
     }
 
+    /// The node's observability hub: metrics registry, latency
+    /// histograms, and flight recorder. The network edge shares it so
+    /// one exposition covers every tier of the node.
+    pub fn obs(&self) -> &Arc<ServiceObs> {
+        &self.inner.obs
+    }
+
+    /// The trace correlation id of a job still in the retention window.
+    pub fn job_trace_id(&self, id: JobId) -> Option<TraceId> {
+        lock_unpoisoned(&self.inner.state)
+            .jobs
+            .get(&id)
+            .map(|job| job.trace_id)
+    }
+
+    /// The node's full observability state as text: the frozen
+    /// [`ServiceStats`] mirror, every registered metric series (latency
+    /// histograms with p50/p90/p99), and the last `tail` flight-recorder
+    /// events. This is the payload of the wire's v4 `QueryMetrics`
+    /// answer; the format is line-oriented and stable enough to grep,
+    /// not a frozen wire encoding.
+    pub fn metrics_text(&self, tail: usize) -> String {
+        let stats = self.stats();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "stats submitted={} completed={} failed={} cancelled={} \
+             cache_hits={} coalesced={} requeued={} queued={} running={} \
+             rejected={} truncated_answers={} forwarded_jobs={} forward_errors={}\n",
+            stats.submitted,
+            stats.completed,
+            stats.failed,
+            stats.cancelled,
+            stats.cache_hits,
+            stats.coalesced,
+            stats.requeued,
+            stats.queued,
+            stats.running,
+            stats.rejected.total(),
+            stats.truncated_answers,
+            stats.forwarded_jobs,
+            stats.forward_errors,
+        ));
+        out.push_str(&format!(
+            "stats registry_segments={} registry_snapshots={} \
+             registry_compactions={} registry_compaction_failures={}\n",
+            stats.registry_segments,
+            stats.registry_snapshots,
+            stats.registry_compactions,
+            stats.registry_compaction_failures,
+        ));
+        if self.inner.obs.enabled() {
+            out.push_str(&self.inner.obs.registry().render());
+            out.push_str(&self.inner.obs.recorder().render_tail(tail));
+        } else {
+            out.push_str("# observability disabled\n");
+        }
+        out
+    }
+
     /// Current counters and gauges.
     pub fn stats(&self) -> ServiceStats {
         let state = lock_unpoisoned(&self.inner.state);
@@ -1163,6 +1349,8 @@ fn worker_loop(inner: &Inner) {
         let job_events = job.events.clone();
         let tenant = job.tenant.clone();
         let fingerprint = job.fingerprint;
+        let trace_id = job.trace_id;
+        let queue_wait = job.enqueued_at.elapsed();
         let input = match &mut job.input {
             InputSlot::Trace(trace) => RunInput::Trace(Arc::clone(trace)),
             InputSlot::Source { label, source } => RunInput::Source {
@@ -1170,6 +1358,13 @@ fn worker_loop(inner: &Inner) {
                 source: source.take().expect("sources run once"),
             },
         };
+        let obs = Arc::clone(&inner.obs);
+        obs.record(&obs.queue_wait, queue_wait);
+        obs.flight(
+            "dispatch",
+            Some(trace_id),
+            format!("{id} after {}us queued", queue_wait.as_micros()),
+        );
         state.running += 1;
         inner.emit(
             &state,
@@ -1184,7 +1379,17 @@ fn worker_loop(inner: &Inner) {
         // (the pool is the parallelism budget), and the guarded runner
         // turns a panicking backend into this job's typed error.
         let global_events = inner.events.clone();
+        let observer_obs = Arc::clone(&obs);
         let observer = move |event: &RecoveryEvent| {
+            // The per-round phase breakdown feeds the node's pipeline
+            // histograms — the paper's Fig. 6 stage split, live.
+            if let RecoveryEvent::CheckCompleted { phases, .. } = event {
+                let o = &observer_obs;
+                o.record(&o.phase_collect, phases.collect);
+                o.record(&o.phase_preprocess, phases.preprocess);
+                o.record(&o.phase_encode, phases.encode);
+                o.record(&o.phase_solve, phases.solve);
+            }
             let event = JobEvent::Progress {
                 job: id,
                 event: event.clone(),
@@ -1203,6 +1408,7 @@ fn worker_loop(inner: &Inner) {
             cancel: Some(cancel),
             observer: Some(Box::new(observer)),
         };
+        let run_start = Instant::now();
         let run = match input {
             RunInput::Trace(trace) => {
                 let mut backend = ReplayBackend::new((*trace).clone());
@@ -1212,6 +1418,7 @@ fn worker_loop(inner: &Inner) {
                 run_session_guarded(&config, &format!("{id} ({label})"), source.as_mut(), hooks)
             }
         };
+        obs.record(&obs.solve_time, run_start.elapsed());
 
         state = lock_unpoisoned(&inner.state);
         state.running -= 1;
@@ -1256,11 +1463,23 @@ fn worker_loop(inner: &Inner) {
                     // minor generations under `compact_budget`, one
                     // major merge at it. Failures are counted
                     // (`registry_compaction_failures`), never reset.
+                    let compactions_before = state.registry.compactions();
                     if let Err(e) = state
                         .registry
                         .maybe_roll(inner.compact_after, inner.compact_budget)
                     {
                         eprintln!("beer_service: registry compaction failed: {e}");
+                    }
+                    let compacted = state.registry.compactions() - compactions_before;
+                    if compacted > 0 {
+                        obs.flight(
+                            "compaction",
+                            None,
+                            format!(
+                                "registry rolled ({} segments live)",
+                                state.registry.segment_count()
+                            ),
+                        );
                     }
                 }
             }

@@ -59,6 +59,7 @@ pub use beer_ecc as ecc;
 pub use beer_einsim as einsim;
 pub use beer_gf2 as gf2;
 pub use beer_net as net;
+pub use beer_obs as obs;
 pub use beer_sat as sat;
 pub use beer_service as service;
 
@@ -99,9 +100,12 @@ pub mod prelude {
         Client, ClientConfig, ClientError, NetServer, NetServerConfig, RemoteJob, Ring, RingMember,
         WireOutcome, WireResult,
     };
+    pub use beer_obs::{
+        FlightEvent, FlightRecorder, Histogram, HistogramSnapshot, MetricsRegistry, TraceId,
+    };
     pub use beer_service::{
         CodeOutcome, ConfigError, JobError, JobEvent, JobId, JobInput, JobOutput, JobRequest,
         JobResult, JobState, Priority, RecoveryService, Rejected, RejectionStats, ServiceConfig,
-        ServiceStats, StartError,
+        ServiceObs, ServiceStats, StartError,
     };
 }

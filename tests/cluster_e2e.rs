@@ -86,6 +86,65 @@ fn forwarded_submit_solves_on_owner() {
     cluster.shutdown(Duration::from_secs(2));
 }
 
+/// Cross-node trace correlation (wire v4): the trace id minted at
+/// submission rides the forward hop, so querying metrics on the origin
+/// *and* the owner finds the same 32-hex id — the origin's "forward"
+/// flight event and the owner's admission/dispatch events stitch into
+/// one trace. The owner additionally reports non-empty per-stage
+/// pipeline histograms for the solve it ran.
+#[test]
+fn forwarded_job_reports_one_trace_id_on_both_nodes() {
+    let cluster = two_node_cluster();
+    let trace = trace_owned_by(cluster.ring(), "node-1");
+
+    let mut client = Client::connect(cluster.addrs()[0].clone(), "alice", "").expect("connect");
+    client.upload_trace(&trace).expect("upload to non-owner");
+    let job = client.submit(&trace).expect("forwarded submit acks");
+    let trace_id = job
+        .trace_id
+        .expect("a v4 client mints a trace id at submission");
+    unique_code(client.wait(job).expect("forwarded watch completes"));
+
+    let hex = format!("{trace_id:032x}");
+    let origin_metrics = client.query_metrics(64).expect("origin metrics");
+    let mut owner =
+        Client::connect(cluster.addrs()[1].clone(), "alice", "").expect("connect owner");
+    let owner_metrics = owner.query_metrics(64).expect("owner metrics");
+    assert!(
+        origin_metrics.contains(&hex),
+        "the origin's flight recorder must name the trace id {hex}:\n{origin_metrics}"
+    );
+    assert!(
+        owner_metrics.contains(&hex),
+        "the owner's flight recorder must name the same trace id {hex}:\n{owner_metrics}"
+    );
+    assert!(
+        origin_metrics.contains("flight") && origin_metrics.contains("forward"),
+        "the origin records the forward hop:\n{origin_metrics}"
+    );
+
+    // The per-stage pipeline breakdown (paper Fig. 6 style) lands where
+    // the solve ran: every stage histogram on the owner has samples.
+    for series in [
+        "pipeline_collect_ns",
+        "pipeline_preprocess_ns",
+        "pipeline_encode_ns",
+        "pipeline_solve_ns",
+        "service_queue_wait_ns",
+        "service_solve_ns",
+    ] {
+        assert!(
+            owner_metrics.contains(&format!("histogram {series} count=")),
+            "owner exposition is missing {series}:\n{owner_metrics}"
+        );
+        assert!(
+            !owner_metrics.contains(&format!("histogram {series} count=0 ")),
+            "owner ran the solve, so {series} must have samples:\n{owner_metrics}"
+        );
+    }
+    cluster.shutdown(Duration::from_secs(2));
+}
+
 /// The loop guard: a node receiving an *already-forwarded* submit for a
 /// fingerprint it does not own answers a typed `WrongNode` carrying the
 /// true owner, counts a forward error, and never forwards again.
@@ -96,7 +155,7 @@ fn already_forwarded_misroute_is_typed() {
     let owner_addr = cluster.addrs()[1].clone();
 
     let mut client = Client::connect(cluster.addrs()[0].clone(), "mallory", "").expect("connect");
-    let misrouted = client.submit_forwarded(&trace, Priority::Normal, None, 1);
+    let misrouted = client.submit_forwarded(&trace, Priority::Normal, None, 1, None);
     match misrouted {
         Err(ClientError::Refused {
             kind: ErrorKind::WrongNode { owner },

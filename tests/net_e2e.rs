@@ -414,6 +414,7 @@ fn protocol_violations_are_typed_errors() {
                 fingerprint,
                 priority: Priority::Normal,
                 deadline_ms: None,
+                trace_id: None,
             },
         )
         .expect("send submit");

@@ -141,6 +141,7 @@ fn submit(stream: &mut TcpStream, fingerprint: Fingerprint) -> u64 {
             fingerprint,
             priority: Priority::Normal,
             deadline_ms: None,
+            trace_id: None,
         },
     )
     .expect("submit");
