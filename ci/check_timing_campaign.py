@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Gate cost-aware campaign scheduling against a checked-in baseline.
+
+Usage: check_timing_campaign.py <run_json> <baseline_json> [max_ratio_x]
+
+Reads `ratio` — the worst-case (over the temperatures run) quotient of
+cost-aware over naive simulated campaign nanoseconds — from a
+`bench_results/timing_campaign.json` produced by the timing_campaign
+bench. Two conditions gate the run (exit 1 on failure):
+
+1. Cost-aware must actually beat naive: `ratio < 1.0`. The scheduler's
+   whole claim is fewer simulated DRAM hours for the same recovered
+   function; a ratio at or above parity means the ordering regressed to
+   worthless.
+2. No drift past the baseline: `ratio <= baseline_ratio * max_ratio_x`
+   (default 1.1 — "at most 10% worse than the checked-in run"). The
+   simulation is deterministic, so any movement here is a real change
+   in scheduler or controller behavior, not noise.
+
+Refresh the baseline deliberately after an intentional change:
+  BEER_BENCH_SCALE=quick cargo bench -p beer_bench --bench \
+timing_campaign && cp bench_results/timing_campaign.json \
+ci/timing_campaign.baseline.json
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def field(doc, path, key):
+    value = doc.get(key)
+    if value is None:
+        sys.exit(f"{path}: no {key} in artifact metadata")
+    return float(value)
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(f"usage: {sys.argv[0]} <run_json> <baseline_json> [max_ratio_x]")
+    run_path, baseline_path = sys.argv[1], sys.argv[2]
+    max_ratio_x = float(sys.argv[3]) if len(sys.argv) == 4 else 1.1
+
+    run = load(run_path)
+    baseline = load(baseline_path)
+
+    run_ratio = field(run, run_path, "ratio")
+    base_ratio = field(baseline, baseline_path, "ratio")
+    ceiling = base_ratio * max_ratio_x
+
+    beats_naive = run_ratio < 1.0
+    within_baseline = run_ratio <= ceiling
+    verdict = "OK" if beats_naive and within_baseline else "REGRESSION"
+    print(
+        f"cost-aware/naive simulated campaign time: run = {run_ratio:.4f}, "
+        f"baseline = {base_ratio:.4f}, ceiling = {ceiling:.4f} "
+        f"(x{max_ratio_x}) -> {verdict}"
+    )
+    if not beats_naive:
+        print(f"cost-aware scheduling no longer beats naive order ({run_ratio:.4f} >= 1.0)")
+    if not within_baseline:
+        print(f"ratio drifted past the baseline ceiling ({run_ratio:.4f} > {ceiling:.4f})")
+    if not (beats_naive and within_baseline):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -211,8 +211,29 @@ pub(crate) fn run_collection_trial(
     trial_base: u64,
     profile: &mut MiscorrectionProfile,
 ) {
-    let k = patterns[0].k();
     let trefw = plan.trefw_schedule[unit / plan.trials_per_step];
+    run_collection_trial_windowed(chip, knowledge, patterns, trefw, unit, trial_base, profile);
+}
+
+/// [`run_collection_trial`] with the refresh window supplied by the caller
+/// instead of looked up in a plan — the hook for timed backends, where the
+/// window that actually elapsed *emerges* from an executed command stream
+/// (cycle-quantized, see `beer_timing`) rather than being read off a
+/// schedule.
+///
+/// # Panics
+///
+/// The conditions of [`run_collection_trial`].
+pub(crate) fn run_collection_trial_windowed(
+    chip: &mut dyn DramInterface,
+    knowledge: &ChipKnowledge,
+    patterns: &[ChargedSet],
+    trefw: f64,
+    unit: usize,
+    trial_base: u64,
+    profile: &mut MiscorrectionProfile,
+) {
+    let k = patterns[0].k();
     let rotation = unit;
     let num_words = knowledge.num_words(chip);
     let total_bytes = chip.geometry().total_bytes();

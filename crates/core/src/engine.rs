@@ -173,6 +173,15 @@ pub trait ProfileSource {
     /// independent samples instead of replaying this one's stream.
     /// Default: no-op (stateless backends).
     fn finish_collection(&mut self, _units: usize) {}
+
+    /// Cumulative *simulated* DRAM nanoseconds this source has executed, if
+    /// it models time at all. This is a meter of work already performed —
+    /// never a side-effect-free cost query — so reading it cannot disagree
+    /// with execution. Timed backends (see `TimedChipBackend`) share one
+    /// meter across forks; untimed backends return `None` (the default).
+    fn sim_elapsed_ns(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Execution options for [`collect_with`].

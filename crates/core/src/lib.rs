@@ -62,6 +62,7 @@ pub mod profile;
 pub mod recovery;
 pub mod runtime;
 pub mod solve;
+pub mod timed;
 pub mod trace;
 
 pub use engine::{
@@ -71,12 +72,13 @@ pub use engine::{
 pub use pattern::{ChargedSet, PatternSet};
 pub use profile::{MiscorrectionProfile, Observation, ProfileConstraints, ThresholdFilter};
 pub use recovery::{
-    lock_unpoisoned, run_session_guarded, BudgetReason, CancelToken, Fanout, FanoutNotify,
-    FleetMember, FleetOutcome, PatternSchedule, RecoveryConfig, RecoveryError, RecoveryEvent,
-    RecoveryFleet, RecoveryOutcome, RecoveryReport, RecoverySession, RecoveryStats, RoundPhases,
-    SessionHooks, SessionStatus,
+    lock_unpoisoned, run_session_guarded, BudgetReason, CancelToken, FamilyCostEstimate, Fanout,
+    FanoutNotify, FleetMember, FleetOutcome, PatternSchedule, RecoveryConfig, RecoveryError,
+    RecoveryEvent, RecoveryFleet, RecoveryOutcome, RecoveryReport, RecoverySession, RecoveryStats,
+    RoundPhases, ScheduleCostModel, ScheduleCostReport, SessionHooks, SessionStatus,
 };
 pub use solve::{solve_profile, BeerSolverOptions, SolveReport};
+pub use timed::{TimedChipBackend, TimedCostModel};
 pub use trace::{
     ChunkError, Fingerprint, ProfileTrace, ReplayBackend, TraceAssembler, TraceParseError,
 };

@@ -228,6 +228,10 @@ pub enum RecoveryEvent {
         /// Per-phase wall-clock breakdown of the whole round (the
         /// paper's Fig. 6 stage split, live).
         phases: RoundPhases,
+        /// Simulated DRAM nanoseconds the round's collection executed
+        /// (`0` for sources that do not model time) — the campaign-cost
+        /// counterpart of `phases.collect`, which is host time.
+        sim_ns: u64,
         /// Solver statistics after the check (vars/clauses/learnts,
         /// conflicts, decisions, propagations).
         solver: SolverStats,
@@ -420,6 +424,117 @@ impl PatternSchedule {
         );
         batches
     }
+
+    /// Builds a schedule that orders `families` by **facts per simulated
+    /// second** — projected definite facts divided by the simulated DRAM
+    /// time one collection round costs under `model` — so a progressive
+    /// session reaches a decisive profile in the fewest simulated hours.
+    ///
+    /// A pattern's projected yield is its count of DISCHARGED data bits
+    /// (`k − order`): each is a position where the round can assert a
+    /// definite miscorrection/no-miscorrection fact (§4.2.2). The round's
+    /// denominator comes from the cost model *executing* the plan's
+    /// refresh-window sweep (see `TimedCostModel`), so the ordering and
+    /// the absolute per-round cost quoted in the report derive from the
+    /// same command streams the timed backend will run. Ties (and the
+    /// common case of one shared plan, where the denominator is uniform)
+    /// fall back to yield order, preserving the input order among equals.
+    ///
+    /// Returns the schedule (one batch per family, best throughput first)
+    /// and the per-family estimates in that chosen order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `families` is empty or `k` is too small for a family.
+    pub fn cost_aware(
+        families: &[PatternSet],
+        k: usize,
+        plan: &CollectionPlan,
+        model: &dyn ScheduleCostModel,
+    ) -> (PatternSchedule, ScheduleCostReport) {
+        assert!(!families.is_empty(), "no pattern families to schedule");
+        let round_sim_ns = model.round_sim_ns(plan);
+        let mut estimates: Vec<(Vec<ChargedSet>, FamilyCostEstimate)> = families
+            .iter()
+            .map(|&family| {
+                let patterns = family.patterns(k);
+                let projected_facts: u64 = patterns.iter().map(|p| (k - p.order()) as u64).sum();
+                let facts_per_sim_second = if round_sim_ns == 0 {
+                    f64::INFINITY
+                } else {
+                    projected_facts as f64 / (round_sim_ns as f64 / 1e9)
+                };
+                let estimate = FamilyCostEstimate {
+                    family,
+                    patterns: patterns.len(),
+                    projected_facts,
+                    round_sim_ns,
+                    facts_per_sim_second,
+                };
+                (patterns, estimate)
+            })
+            .collect();
+        // Stable sort: equal-throughput families keep their input order.
+        estimates.sort_by(|a, b| {
+            b.1.projected_facts
+                .cmp(&a.1.projected_facts)
+                .then_with(|| a.1.round_sim_ns.cmp(&b.1.round_sim_ns))
+        });
+        let (batches, families): (Vec<_>, Vec<_>) = estimates.into_iter().unzip();
+        (
+            PatternSchedule::Batches(batches),
+            ScheduleCostReport { families },
+        )
+    }
+}
+
+/// Prices one collection round in simulated DRAM time. The contract is
+/// execute-and-stall: implementations obtain the cost by *running* the
+/// plan's refresh-window sweep on a (scratch) cycle-accurate controller,
+/// never from a closed-form latency estimate — so the number quoted for
+/// scheduling is the number a timed backend will actually accrue.
+pub trait ScheduleCostModel {
+    /// Simulated nanoseconds one full collection round under `plan` costs
+    /// (every refresh window, `trials_per_step` trials each).
+    fn round_sim_ns(&self, plan: &CollectionPlan) -> u64;
+}
+
+/// One family's entry in a [`ScheduleCostReport`].
+#[derive(Clone, Copy, Debug)]
+pub struct FamilyCostEstimate {
+    /// The pattern family.
+    pub family: PatternSet,
+    /// Patterns the family materializes at the scheduled `k`.
+    pub patterns: usize,
+    /// Projected definite facts: Σ over patterns of their DISCHARGED
+    /// data-bit count (`k − order`).
+    pub projected_facts: u64,
+    /// Simulated nanoseconds one collection round costs under the plan.
+    pub round_sim_ns: u64,
+    /// The scheduling key: `projected_facts / (round_sim_ns / 1e9)`.
+    pub facts_per_sim_second: f64,
+}
+
+/// How [`PatternSchedule::cost_aware`] ordered the families, carried
+/// alongside the schedule so reports (e.g. `SolveReport::sim_ns` read
+/// next to a session's outcome) can show *why* the campaign ran in the
+/// order it did.
+#[derive(Clone, Debug)]
+pub struct ScheduleCostReport {
+    /// Per-family estimates, in the chosen (best-throughput-first) order.
+    pub families: Vec<FamilyCostEstimate>,
+}
+
+impl ScheduleCostReport {
+    /// Total projected facts across all scheduled families.
+    pub fn total_projected_facts(&self) -> u64 {
+        self.families.iter().map(|f| f.projected_facts).sum()
+    }
+
+    /// Total simulated nanoseconds if every family's round runs.
+    pub fn total_sim_ns(&self) -> u64 {
+        self.families.iter().map(|f| f.round_sim_ns).sum()
+    }
 }
 
 /// Every knob of the BEER pipeline in one typed builder (see the module
@@ -581,6 +696,7 @@ impl RecoveryConfig {
             rounds: 0,
             patterns_used: 0,
             patterns_available,
+            sim_ns_total: 0,
             last_check: None,
             outcome: None,
             error: None,
@@ -638,6 +754,9 @@ pub struct RecoveryStats {
     pub pinned_vars: usize,
     /// Wall-clock time since the session started.
     pub elapsed: Duration,
+    /// Simulated DRAM nanoseconds the session's collections executed so
+    /// far (`0` for sources that do not model time).
+    pub dram_sim_ns: u64,
 }
 
 /// The final product of a session: the typed outcome, progress statistics,
@@ -682,6 +801,9 @@ pub struct RecoverySession<'s> {
     rounds: usize,
     patterns_used: usize,
     patterns_available: usize,
+    /// Simulated DRAM nanoseconds accumulated across the session's
+    /// collections (deltas of [`ProfileSource::sim_elapsed_ns`]).
+    sim_ns_total: u64,
     last_check: Option<SolveReport>,
     outcome: Option<RecoveryOutcome>,
     error: Option<RecoveryError>,
@@ -739,6 +861,7 @@ impl<'s> RecoverySession<'s> {
             facts_encoded: self.solver.facts_encoded(),
             pinned_vars: self.solver.pinned_vars(),
             elapsed: self.started.elapsed(),
+            dram_sim_ns: self.sim_ns_total,
         }
     }
 
@@ -835,6 +958,7 @@ impl<'s> RecoverySession<'s> {
             move || cancel.is_cancelled() || deadline_at.is_some_and(|at| Instant::now() >= at);
         let record = self.trace.is_some();
         let collect_start = Instant::now();
+        let sim_before = self.source.sim_elapsed_ns().unwrap_or(0);
         let collected = collect_inner(
             self.source,
             &batch,
@@ -844,6 +968,12 @@ impl<'s> RecoverySession<'s> {
             Some(&interrupt),
         )?;
         let collect_time = collect_start.elapsed();
+        let round_sim_ns = self
+            .source
+            .sim_elapsed_ns()
+            .unwrap_or(0)
+            .saturating_sub(sim_before);
+        self.sim_ns_total += round_sim_ns;
         if collected.interrupted {
             // The partial batch is discarded: which units completed
             // depends on scheduling, and a partial profile would assert
@@ -894,7 +1024,8 @@ impl<'s> RecoverySession<'s> {
         });
 
         // Check uniqueness over everything pushed so far.
-        let report = self.solver.check();
+        let mut report = self.solver.check();
+        report.sim_ns = self.sim_ns_total;
         if report.distinctness_repairs > 0 {
             self.emit(RecoveryEvent::CounterexampleRepaired {
                 round,
@@ -912,6 +1043,7 @@ impl<'s> RecoverySession<'s> {
                 encode: encode_time,
                 solve: report.total_time,
             },
+            sim_ns: round_sim_ns,
             solver: report.solver_stats,
         });
 

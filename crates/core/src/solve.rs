@@ -196,6 +196,11 @@ pub struct SolveReport {
     /// Column pairs constrained by the lazy-distinctness repair loop
     /// during this solve (0 under the eager scheme).
     pub distinctness_repairs: usize,
+    /// Simulated DRAM nanoseconds the collections feeding this check
+    /// executed (`0` unless the profile came from a timed source through
+    /// a recovery session) — the campaign-cost context the paper prices
+    /// experiments in, next to the host-side `total_time`.
+    pub sim_ns: u64,
     /// Final solver statistics (includes the memory estimate).
     pub solver_stats: SolverStats,
 }
@@ -860,6 +865,7 @@ pub fn solve_profile(
         num_vars: problem.cnf.num_vars(),
         num_clauses: problem.cnf.num_clauses(),
         distinctness_repairs: repairs,
+        sim_ns: 0,
         solver_stats: solver.stats(),
     })
 }
@@ -1094,6 +1100,7 @@ impl ProgressiveSolver {
             num_vars,
             num_clauses,
             distinctness_repairs: repairs,
+            sim_ns: 0,
             solver_stats: self.session.stats(),
         }
     }

@@ -1,0 +1,301 @@
+//! The timed chip backend: §5.1 profiling with its DRAM cost executed,
+//! not estimated.
+//!
+//! [`TimedChipBackend`] wraps any [`beer_dram::DramInterface`] exactly
+//! like [`crate::engine::ChipBackend`] — same unit sharding, same trial
+//! discipline, bit-identical collected facts — but drives every retention
+//! trial through a cycle-accurate `beer_timing::MemController`: program
+//! sweep, refresh-paused decay, readback sweep. Two consequences:
+//!
+//! * The refresh window a trial's error profile sees is the **emergent**
+//!   one — the simulated time the command stream actually spent with
+//!   refresh paused (cycle-quantized) — so a round's facts and its
+//!   simulated nanoseconds come from the same execution.
+//! * The backend meters cumulative simulated time
+//!   ([`crate::engine::ProfileSource::sim_elapsed_ns`]), which recovery
+//!   sessions thread onto `RecoveryEvent::CheckCompleted`,
+//!   `RecoveryStats::dram_sim_ns`, and `SolveReport::sim_ns`.
+//!
+//! [`TimedCostModel`] prices a collection round for
+//! [`crate::recovery::PatternSchedule::cost_aware`] by executing the same
+//! streams on a scratch controller — the estimate and the meter cannot
+//! disagree (`estimator_matches_meter` below holds exactly).
+
+use crate::collect::{run_collection_trial_windowed, ChipKnowledge, CollectionPlan};
+use crate::engine::{EngineError, ProfileSource};
+use crate::pattern::ChargedSet;
+use crate::profile::MiscorrectionProfile;
+use crate::recovery::ScheduleCostModel;
+use beer_dram::DramInterface;
+use beer_timing::{execute_trial, plan_cost_ns, ArrayGeometry, MemController, TimingParams};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A [`ProfileSource`] running the §5.1 methodology through a
+/// cycle-accurate memory controller (see the module docs).
+///
+/// Forking shares one simulated-time meter across workers, and each unit
+/// executes on a *fresh* controller from power-up state, so a unit's
+/// simulated cost is independent of scheduling order — parallel collection
+/// accrues exactly the serial total.
+pub struct TimedChipBackend {
+    chip: Box<dyn DramInterface + Send>,
+    knowledge: ChipKnowledge,
+    /// Trial-counter offset of the *next* collection; mirrors
+    /// [`crate::engine::ChipBackend`]'s discipline exactly so the two
+    /// backends draw identical noise streams.
+    trial_base: u64,
+    params: TimingParams,
+    geom: ArrayGeometry,
+    /// Cumulative simulated nanoseconds, shared across forks.
+    sim_ns: Arc<AtomicU64>,
+}
+
+impl TimedChipBackend {
+    /// Wraps a chip under the default DDR4-3200 speed bin.
+    pub fn new(chip: Box<dyn DramInterface + Send>, knowledge: ChipKnowledge) -> Self {
+        TimedChipBackend::with_params(chip, knowledge, TimingParams::ddr4_3200())
+    }
+
+    /// Wraps a chip under an explicit speed bin.
+    pub fn with_params(
+        chip: Box<dyn DramInterface + Send>,
+        knowledge: ChipKnowledge,
+        params: TimingParams,
+    ) -> Self {
+        params.validate();
+        let trial_base = chip.trial_counter();
+        let geom = ArrayGeometry::of_chip(&chip.geometry());
+        TimedChipBackend {
+            chip,
+            knowledge,
+            trial_base,
+            params,
+            geom,
+            sim_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The wrapped chip (e.g. to continue driving it after collection).
+    pub fn chip_mut(&mut self) -> &mut dyn DramInterface {
+        self.chip.as_mut()
+    }
+
+    /// The experimenter's knowledge.
+    pub fn knowledge(&self) -> &ChipKnowledge {
+        &self.knowledge
+    }
+
+    /// The speed bin trials execute under.
+    pub fn params(&self) -> &TimingParams {
+        &self.params
+    }
+
+    /// The array shape trials sweep.
+    pub fn geometry(&self) -> &ArrayGeometry {
+        &self.geom
+    }
+
+    /// A cost model pricing rounds with this backend's speed bin and
+    /// geometry — pass to [`crate::recovery::PatternSchedule::cost_aware`].
+    pub fn cost_model(&self) -> TimedCostModel {
+        TimedCostModel::new(self.params, self.geom)
+    }
+}
+
+impl ProfileSource for TimedChipBackend {
+    fn k(&self) -> usize {
+        self.knowledge.word_layout.word_bytes() * 8
+    }
+
+    fn label(&self) -> String {
+        "timed-chip".to_string()
+    }
+
+    fn num_units(&self, _patterns: &[ChargedSet], plan: &CollectionPlan) -> usize {
+        plan.num_trials()
+    }
+
+    fn run_unit(
+        &mut self,
+        unit: usize,
+        patterns: &[ChargedSet],
+        plan: &CollectionPlan,
+        profile: &mut MiscorrectionProfile,
+    ) -> Result<(), EngineError> {
+        self.chip.set_temperature(plan.celsius);
+        let trefw = plan.trefw_schedule[unit / plan.trials_per_step];
+        // A fresh controller per unit: the unit's simulated cost depends
+        // only on (params, geometry, window), never on which worker ran
+        // the units before it.
+        let mut ctrl = MemController::new(self.params, self.geom.banks);
+        let cost =
+            execute_trial(&mut ctrl, &self.geom, trefw).map_err(|e| EngineError::Backend {
+                backend: self.label(),
+                message: e.to_string(),
+            })?;
+        run_collection_trial_windowed(
+            self.chip.as_mut(),
+            &self.knowledge,
+            patterns,
+            cost.window_seconds,
+            unit,
+            self.trial_base,
+            profile,
+        );
+        self.sim_ns.fetch_add(cost.total_ns(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn fork(&self) -> Option<Box<dyn ProfileSource + Send>> {
+        let chip = self.chip.fork()?;
+        Some(Box::new(TimedChipBackend {
+            chip,
+            knowledge: self.knowledge.clone(),
+            trial_base: self.trial_base,
+            params: self.params,
+            geom: self.geom,
+            sim_ns: Arc::clone(&self.sim_ns),
+        }))
+    }
+
+    fn begin_collection(
+        &mut self,
+        _patterns: &[ChargedSet],
+        _plan: &CollectionPlan,
+    ) -> Result<(), EngineError> {
+        // Mirrors ChipBackend: resume from wherever the chip's noise
+        // stream actually is.
+        self.trial_base = self.trial_base.max(self.chip.trial_counter());
+        Ok(())
+    }
+
+    fn finish_collection(&mut self, units: usize) {
+        self.trial_base += units as u64;
+        self.chip.seek_trial(self.trial_base);
+    }
+
+    fn sim_elapsed_ns(&self) -> Option<u64> {
+        Some(self.sim_ns.load(Ordering::Relaxed))
+    }
+}
+
+/// A [`ScheduleCostModel`] pricing collection rounds by executing the
+/// plan's trial streams on scratch `beer_timing` controllers.
+///
+/// Because [`TimedChipBackend`] runs every unit on a fresh controller with
+/// the same parameters, this model's per-round figure equals the meter's
+/// accrual for that round *exactly* — not approximately.
+#[derive(Clone, Copy, Debug)]
+pub struct TimedCostModel {
+    params: TimingParams,
+    geom: ArrayGeometry,
+}
+
+impl TimedCostModel {
+    /// A model over an explicit speed bin and array shape.
+    pub fn new(params: TimingParams, geom: ArrayGeometry) -> Self {
+        TimedCostModel { params, geom }
+    }
+
+    /// A model for a chip's geometry.
+    pub fn for_chip(params: TimingParams, geometry: &beer_dram::Geometry) -> Self {
+        TimedCostModel::new(params, ArrayGeometry::of_chip(geometry))
+    }
+}
+
+impl ScheduleCostModel for TimedCostModel {
+    fn round_sim_ns(&self, plan: &CollectionPlan) -> u64 {
+        plan_cost_ns(
+            &self.params,
+            &self.geom,
+            &plan.trefw_schedule,
+            plan.trials_per_step,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{collect_with, ChipBackend, EngineOptions};
+    use crate::pattern::PatternSet;
+    use beer_dram::{CellType, ChipConfig, Geometry, SimChip};
+
+    fn chip(seed: u64) -> SimChip {
+        SimChip::new(ChipConfig::small_test_chip(seed).with_geometry(Geometry::new(1, 128, 128)))
+    }
+
+    fn knowledge_for(chip: &SimChip) -> ChipKnowledge {
+        ChipKnowledge::uniform(
+            chip.config().word_layout,
+            CellType::True,
+            chip.geometry().total_rows(),
+        )
+    }
+
+    /// Raw per-(pattern, bit) counts plus per-pattern trials — the full
+    /// observable content of a profile, for bit-identity assertions.
+    fn raw_counts(profile: &MiscorrectionProfile, patterns: usize, k: usize) -> Vec<Vec<u64>> {
+        (0..patterns)
+            .map(|pi| {
+                let mut row: Vec<u64> = (0..k).map(|j| profile.count(pi, j)).collect();
+                row.push(profile.trials(pi));
+                row
+            })
+            .collect()
+    }
+
+    #[test]
+    fn timed_profile_matches_untimed_backend() {
+        let knowledge = knowledge_for(&chip(91));
+        let patterns = PatternSet::One.patterns(32);
+        let plan = CollectionPlan::quick();
+
+        let mut plain = ChipBackend::new(Box::new(chip(91)), knowledge.clone());
+        let mut timed = TimedChipBackend::new(Box::new(chip(91)), knowledge);
+        let a = collect_with(&mut plain, &patterns, &plan, &EngineOptions::serial());
+        let b = collect_with(&mut timed, &patterns, &plan, &EngineOptions::serial());
+        assert_eq!(
+            raw_counts(&a, patterns.len(), 32),
+            raw_counts(&b, patterns.len(), 32),
+            "timing must change cost, never facts"
+        );
+        assert!(timed.sim_elapsed_ns().unwrap() > 0);
+    }
+
+    #[test]
+    fn estimator_matches_meter_exactly() {
+        let c = chip(92);
+        let knowledge = knowledge_for(&c);
+        let patterns = PatternSet::Checkered.patterns(32);
+        let plan = CollectionPlan::quick();
+
+        let mut timed = TimedChipBackend::new(Box::new(c), knowledge);
+        let estimated = timed.cost_model().round_sim_ns(&plan);
+        collect_with(&mut timed, &patterns, &plan, &EngineOptions::serial());
+        assert_eq!(timed.sim_elapsed_ns().unwrap(), estimated);
+    }
+
+    #[test]
+    fn parallel_collection_accrues_serial_sim_time() {
+        let knowledge = knowledge_for(&chip(93));
+        let patterns = PatternSet::One.patterns(32);
+        let plan = CollectionPlan::quick();
+
+        let mut serial = TimedChipBackend::new(Box::new(chip(93)), knowledge.clone());
+        let mut parallel = TimedChipBackend::new(Box::new(chip(93)), knowledge);
+        let a = collect_with(&mut serial, &patterns, &plan, &EngineOptions::serial());
+        let b = collect_with(
+            &mut parallel,
+            &patterns,
+            &plan,
+            &EngineOptions::with_threads(4),
+        );
+        assert_eq!(
+            raw_counts(&a, patterns.len(), 32),
+            raw_counts(&b, patterns.len(), 32)
+        );
+        assert_eq!(serial.sim_elapsed_ns(), parallel.sim_elapsed_ns());
+    }
+}

@@ -393,6 +393,7 @@ pub struct ServiceObs {
     phase_preprocess: Arc<Histogram>,
     phase_encode: Arc<Histogram>,
     phase_solve: Arc<Histogram>,
+    dram_sim: Arc<Histogram>,
 }
 
 /// How many flight-recorder events a node retains.
@@ -410,6 +411,7 @@ impl ServiceObs {
             phase_preprocess: registry.histogram("pipeline_preprocess_ns"),
             phase_encode: registry.histogram("pipeline_encode_ns"),
             phase_solve: registry.histogram("pipeline_solve_ns"),
+            dram_sim: registry.histogram("dram_sim_ns"),
             recorder: FlightRecorder::new(FLIGHT_CAPACITY),
             registry,
         }
@@ -1383,12 +1385,18 @@ fn worker_loop(inner: &Inner) {
         let observer = move |event: &RecoveryEvent| {
             // The per-round phase breakdown feeds the node's pipeline
             // histograms — the paper's Fig. 6 stage split, live.
-            if let RecoveryEvent::CheckCompleted { phases, .. } = event {
+            if let RecoveryEvent::CheckCompleted { phases, sim_ns, .. } = event {
                 let o = &observer_obs;
                 o.record(&o.phase_collect, phases.collect);
                 o.record(&o.phase_preprocess, phases.preprocess);
                 o.record(&o.phase_encode, phases.encode);
                 o.record(&o.phase_solve, phases.solve);
+                // Simulated DRAM time is a separate axis from the host
+                // phases: only timed backends report it, so the series
+                // stays empty (not zero-polluted) for untimed jobs.
+                if *sim_ns > 0 {
+                    o.record(&o.dram_sim, std::time::Duration::from_nanos(*sim_ns));
+                }
             }
             let event = JobEvent::Progress {
                 job: id,

@@ -1,0 +1,129 @@
+//! Per-bank state machine: one DRAM bank's row state and its
+//! earliest-legal-cycle gates.
+//!
+//! ```text
+//!            ACT (>= earliest_act)
+//!   ┌──────┐ ─────────────────────▶ ┌──────────────┐
+//!   │ Idle │                        │ Active{row}  │──┐ RD/WR
+//!   └──────┘ ◀───────────────────── └──────────────┘◀─┘ (>= earliest_col)
+//!            PRE (>= earliest_pre)
+//! ```
+//!
+//! The gates are *absolute cycle numbers*, updated when a command is
+//! applied: an `ACT` at cycle `t` sets `earliest_col = t + tRCD`,
+//! `earliest_pre = t + tRAS`, `earliest_act = t + tRC`; a `WR` pushes
+//! `earliest_pre` out to cover write recovery; a `PRE` pushes
+//! `earliest_act` to `t + tRP`. The controller stalls every command to the
+//! maximum of its bank gates and the global pacing gates (`tCCD`/`tRRD`),
+//! so by construction no command is ever applied before its
+//! earliest-legal cycle — the property `timing_properties.rs` replays
+//! command logs to verify.
+
+use crate::params::TimingParams;
+
+/// Row state of one bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BankPhase {
+    /// No row open; only ACT (or REFab, across all banks) is legal.
+    Idle,
+    /// A row is open; RD/WR/PRE are legal.
+    Active {
+        /// The open row (within the bank).
+        row: usize,
+    },
+}
+
+/// One bank's state machine: its phase and earliest-legal-cycle gates.
+#[derive(Clone, Copy, Debug)]
+pub struct BankState {
+    /// Current row state.
+    pub phase: BankPhase,
+    /// Earliest cycle an ACT to this bank may issue (tRC / tRP / tRFC).
+    pub earliest_act: u64,
+    /// Earliest cycle a RD/WR to this bank may issue (tRCD).
+    pub earliest_col: u64,
+    /// Earliest cycle a PRE of this bank may issue (tRAS / tWR / tRTP).
+    pub earliest_pre: u64,
+}
+
+impl BankState {
+    /// A bank at power-up: idle, every command legal immediately.
+    pub fn new() -> Self {
+        BankState {
+            phase: BankPhase::Idle,
+            earliest_act: 0,
+            earliest_col: 0,
+            earliest_pre: 0,
+        }
+    }
+
+    /// The open row, if any.
+    pub fn open_row(&self) -> Option<usize> {
+        match self.phase {
+            BankPhase::Active { row } => Some(row),
+            BankPhase::Idle => None,
+        }
+    }
+
+    /// Applies an ACT issued at cycle `t`.
+    pub fn apply_act(&mut self, t: u64, row: usize, p: &TimingParams) {
+        self.phase = BankPhase::Active { row };
+        self.earliest_col = t + p.trcd;
+        self.earliest_pre = self.earliest_pre.max(t + p.tras);
+        self.earliest_act = self.earliest_act.max(t + p.trc);
+    }
+
+    /// Applies a RD issued at cycle `t`.
+    pub fn apply_rd(&mut self, t: u64, p: &TimingParams) {
+        self.earliest_pre = self.earliest_pre.max(t + p.trtp);
+    }
+
+    /// Applies a WR issued at cycle `t`: the row must stay open through
+    /// the write burst plus write recovery.
+    pub fn apply_wr(&mut self, t: u64, p: &TimingParams) {
+        self.earliest_pre = self.earliest_pre.max(t + p.cwl + p.burst_cycles + p.twr);
+    }
+
+    /// Applies a PRE issued at cycle `t`.
+    pub fn apply_pre(&mut self, t: u64, p: &TimingParams) {
+        self.phase = BankPhase::Idle;
+        self.earliest_act = self.earliest_act.max(t + p.trp);
+    }
+}
+
+impl Default for BankState {
+    fn default() -> Self {
+        BankState::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn act_opens_and_gates() {
+        let p = TimingParams::ddr4_3200();
+        let mut b = BankState::new();
+        b.apply_act(100, 7, &p);
+        assert_eq!(b.open_row(), Some(7));
+        assert_eq!(b.earliest_col, 100 + p.trcd);
+        assert_eq!(b.earliest_pre, 100 + p.tras);
+        assert_eq!(b.earliest_act, 100 + p.trc);
+    }
+
+    #[test]
+    fn write_recovery_extends_precharge_gate() {
+        let p = TimingParams::ddr4_3200();
+        let mut b = BankState::new();
+        b.apply_act(0, 0, &p);
+        let wr_at = p.trcd;
+        b.apply_wr(wr_at, &p);
+        assert_eq!(
+            b.earliest_pre,
+            (p.tras).max(wr_at + p.cwl + p.burst_cycles + p.twr)
+        );
+        b.apply_pre(b.earliest_pre, &p);
+        assert_eq!(b.open_row(), None);
+    }
+}

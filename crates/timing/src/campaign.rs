@@ -1,0 +1,251 @@
+//! BEER campaign command streams: what one §5.1 retention trial costs.
+//!
+//! One profiling trial on hardware is three phases of commands:
+//!
+//! 1. **Program** the full array — per row: `ACT`, one `WR` burst per
+//!    column, `PRE` (bank-interleaved so tRRD, not tRC, paces the sweep),
+//!    with refresh enabled (the controller pays tRFC every tREFI).
+//! 2. **Decay** — pause refresh and idle for the plan's refresh window.
+//!    The window that reaches the retention model is the *emergent* one:
+//!    however long the stream actually spent paused, quantized to whole
+//!    clock cycles ([`MemController::refresh_paused_wait`]).
+//! 3. **Read back** the full array — the same sweep with `RD` bursts.
+//!
+//! Everything here *executes* streams on a controller — estimation runs
+//! the same code on a scratch controller ([`trial_cost`], [`plan_cost_ns`])
+//! instead of evaluating a latency formula, keeping the execute-and-stall
+//! contract: there is exactly one cost model, the executed one.
+
+use crate::controller::{Command, MemController, TimingError};
+use crate::params::TimingParams;
+
+/// The array shape a campaign sweeps, in controller terms.
+///
+/// Mirrors [`beer_dram::Geometry`] (see [`ArrayGeometry::of_chip`]); kept
+/// structural so the crate can also model devices that exist only as a
+/// timing table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayGeometry {
+    /// Banks in the device.
+    pub banks: usize,
+    /// Rows per bank.
+    pub rows_per_bank: usize,
+    /// Data bytes per row.
+    pub bytes_per_row: usize,
+}
+
+impl ArrayGeometry {
+    /// The controller-facing shape of a [`beer_dram`] chip.
+    pub fn of_chip(geometry: &beer_dram::Geometry) -> Self {
+        ArrayGeometry {
+            banks: geometry.banks(),
+            rows_per_bank: geometry.rows_per_bank(),
+            bytes_per_row: geometry.bytes_per_row(),
+        }
+    }
+
+    /// Bursts needed to cover one row under `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row size is not a whole number of bursts.
+    pub fn bursts_per_row(&self, params: &TimingParams) -> usize {
+        assert!(
+            self.bytes_per_row.is_multiple_of(params.burst_bytes),
+            "row of {} bytes is not a whole number of {}-byte bursts",
+            self.bytes_per_row,
+            params.burst_bytes
+        );
+        self.bytes_per_row / params.burst_bytes
+    }
+}
+
+/// Which column command a sweep issues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SweepKind {
+    Write,
+    Read,
+}
+
+/// Sweeps the full array once, bank-interleaved: for each row index, every
+/// bank is activated (paced by tRRD), its row's bursts issued (paced by
+/// tCCD), and the row precharged.
+fn sweep(
+    ctrl: &mut MemController,
+    geom: &ArrayGeometry,
+    kind: SweepKind,
+) -> Result<(), TimingError> {
+    let bursts = geom.bursts_per_row(ctrl.params());
+    for row in 0..geom.rows_per_bank {
+        for bank in 0..geom.banks {
+            ctrl.issue(Command::Act { bank, row })?;
+        }
+        for bank in 0..geom.banks {
+            for _ in 0..bursts {
+                ctrl.issue(match kind {
+                    SweepKind::Write => Command::Wr { bank },
+                    SweepKind::Read => Command::Rd { bank },
+                })?;
+            }
+        }
+        for bank in 0..geom.banks {
+            ctrl.issue(Command::Pre { bank })?;
+        }
+    }
+    ctrl.drain_data();
+    Ok(())
+}
+
+/// Programs the full array (one WR burst per column of every row).
+///
+/// # Errors
+///
+/// Propagates controller protocol errors ([`TimingError`]); a sweep from
+/// an all-precharged state cannot produce one.
+pub fn sweep_write(ctrl: &mut MemController, geom: &ArrayGeometry) -> Result<(), TimingError> {
+    sweep(ctrl, geom, SweepKind::Write)
+}
+
+/// Reads the full array back (one RD burst per column of every row).
+///
+/// # Errors
+///
+/// The conditions of [`sweep_write`].
+pub fn sweep_read(ctrl: &mut MemController, geom: &ArrayGeometry) -> Result<(), TimingError> {
+    sweep(ctrl, geom, SweepKind::Read)
+}
+
+/// Where one trial's simulated time went.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrialCost {
+    /// Programming the array (phase 1), in simulated nanoseconds.
+    pub write_ns: u64,
+    /// The refresh-paused decay wait (phase 2), in simulated nanoseconds.
+    pub wait_ns: u64,
+    /// Reading the array back (phase 3), in simulated nanoseconds.
+    pub read_ns: u64,
+    /// The emergent refresh window the decay phase executed, in seconds —
+    /// what the retention model is fed (requested window quantized up to
+    /// whole cycles, plus any commands issued inside the pause).
+    pub window_seconds: f64,
+    /// Commands issued across the trial (including injected REFab).
+    pub commands: u64,
+}
+
+impl TrialCost {
+    /// The trial's total simulated nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.write_ns + self.wait_ns + self.read_ns
+    }
+}
+
+/// Executes one full retention trial (program → refresh-paused decay of
+/// `trefw_seconds` → read back) and reports where the simulated time went.
+///
+/// # Errors
+///
+/// The conditions of [`sweep_write`] and
+/// [`MemController::refresh_paused_wait`].
+pub fn execute_trial(
+    ctrl: &mut MemController,
+    geom: &ArrayGeometry,
+    trefw_seconds: f64,
+) -> Result<TrialCost, TimingError> {
+    let commands_before = ctrl.stats().commands();
+    let t0 = ctrl.elapsed_ns();
+    sweep_write(ctrl, geom)?;
+    let t1 = ctrl.elapsed_ns();
+    let window_seconds = ctrl.refresh_paused_wait(trefw_seconds)?;
+    let t2 = ctrl.elapsed_ns();
+    sweep_read(ctrl, geom)?;
+    let t3 = ctrl.elapsed_ns();
+    Ok(TrialCost {
+        write_ns: t1 - t0,
+        wait_ns: t2 - t1,
+        read_ns: t3 - t2,
+        window_seconds,
+        commands: ctrl.stats().commands() - commands_before,
+    })
+}
+
+/// What one trial at `trefw_seconds` costs, obtained by executing the
+/// stream on a scratch controller (never by a closed-form estimate).
+pub fn trial_cost(params: &TimingParams, geom: &ArrayGeometry, trefw_seconds: f64) -> TrialCost {
+    let mut ctrl = MemController::new(*params, geom.banks);
+    execute_trial(&mut ctrl, geom, trefw_seconds)
+        .expect("a trial stream from power-up state is protocol-correct")
+}
+
+/// Simulated nanoseconds one full collection round costs: every window of
+/// `trefw_schedule`, `trials_per_step` trials each, executed back to back.
+pub fn plan_cost_ns(
+    params: &TimingParams,
+    geom: &ArrayGeometry,
+    trefw_schedule: &[f64],
+    trials_per_step: usize,
+) -> u64 {
+    let mut total: u64 = 0;
+    for &trefw in trefw_schedule {
+        // Each trial re-programs from the same precharged state, so one
+        // executed trial prices all of the window's repetitions.
+        total += trial_cost(params, geom, trefw).total_ns() * trials_per_step as u64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> ArrayGeometry {
+        ArrayGeometry {
+            banks: 2,
+            rows_per_bank: 8,
+            bytes_per_row: 128,
+        }
+    }
+
+    #[test]
+    fn trial_phases_account_for_all_elapsed_time() {
+        let params = TimingParams::ddr4_3200();
+        let mut ctrl = MemController::new(params, 2);
+        let cost = execute_trial(&mut ctrl, &geom(), 0.001).unwrap();
+        assert_eq!(cost.total_ns(), ctrl.elapsed_ns());
+        assert!(cost.wait_ns > cost.write_ns, "the decay wait dominates");
+        assert!(cost.window_seconds >= 0.001);
+    }
+
+    #[test]
+    fn sweep_issues_expected_command_mix() {
+        let params = TimingParams::ddr4_3200();
+        let g = geom();
+        let mut ctrl = MemController::new(params, g.banks);
+        sweep_write(&mut ctrl, &g).unwrap();
+        let s = ctrl.stats();
+        let rows = (g.banks * g.rows_per_bank) as u64;
+        assert_eq!(s.acts, rows);
+        assert_eq!(s.precharges, rows);
+        assert_eq!(s.writes, rows * g.bursts_per_row(&params) as u64);
+    }
+
+    #[test]
+    fn longer_windows_cost_proportionally_more() {
+        let params = TimingParams::ddr4_3200();
+        let g = geom();
+        let short = trial_cost(&params, &g, 1.0).total_ns();
+        let long = trial_cost(&params, &g, 10.0).total_ns();
+        assert!(long > short);
+        // The wait dominates, so cost scales roughly with the window.
+        let ratio = long as f64 / short as f64;
+        assert!((9.0..11.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn plan_cost_sums_windows_and_trials() {
+        let params = TimingParams::ddr4_2400();
+        let g = geom();
+        let one = plan_cost_ns(&params, &g, &[0.5], 1);
+        let four = plan_cost_ns(&params, &g, &[0.5, 0.5], 2);
+        assert_eq!(four, 4 * one);
+    }
+}

@@ -1,0 +1,216 @@
+//! The DRAM timing-parameter table: clock period, bank/column/refresh
+//! constraints, and burst shape for one speed bin.
+//!
+//! All constraints are stored in whole controller clock cycles against an
+//! integer clock period in picoseconds, so every simulated duration the
+//! controller reports is exact integer arithmetic — two runs of the same
+//! command stream produce the same cycle count, bit for bit.
+
+/// Timing constraints of one DRAM speed bin, in controller clock cycles.
+///
+/// The table covers the constraints a BEER campaign actually exercises:
+/// the bank-state constraints (`tRCD`/`tRP`/`tRAS`/`tRC`), the column and
+/// activate pacing constraints (`tCCD`/`tRRD`), write recovery and
+/// read-to-precharge (`tWR`/`tRTP`), CAS latencies (`CL`/`CWL`), and the
+/// refresh constraints (`tRFC`/`tREFI`). Values are datasheet-shaped, not
+/// vendor-exact — the model's purpose is faithful *relative* cost, and the
+/// constants are labeled per speed bin so absolute numbers are auditable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingParams {
+    /// Clock period in picoseconds (integer, so cycle→time is exact).
+    pub tck_ps: u64,
+    /// ACT → column command (RAS-to-CAS delay).
+    pub trcd: u64,
+    /// PRE → ACT (row precharge).
+    pub trp: u64,
+    /// ACT → PRE (row active minimum).
+    pub tras: u64,
+    /// ACT → ACT, same bank (row cycle).
+    pub trc: u64,
+    /// Column command → column command (any bank).
+    pub tccd: u64,
+    /// ACT → ACT, different banks.
+    pub trrd: u64,
+    /// WR data end → PRE (write recovery).
+    pub twr: u64,
+    /// RD → PRE (read to precharge).
+    pub trtp: u64,
+    /// RD → first data beat (CAS latency).
+    pub cl: u64,
+    /// WR → first data beat (CAS write latency).
+    pub cwl: u64,
+    /// REFab busy time (refresh cycle).
+    pub trfc: u64,
+    /// Average periodic refresh interval.
+    pub trefi: u64,
+    /// Clock cycles one data burst occupies on the bus.
+    pub burst_cycles: u64,
+    /// Bytes transferred per burst (bus width × burst length).
+    pub burst_bytes: usize,
+}
+
+impl TimingParams {
+    /// DDR4-2400 (tCK = 833 ps), 8 Gb-class tRFC.
+    pub fn ddr4_2400() -> Self {
+        TimingParams {
+            tck_ps: 833,
+            trcd: 17, // 14.2 ns
+            trp: 17,
+            tras: 39, // 32.5 ns
+            trc: 56,
+            tccd: 6,
+            trrd: 6,
+            twr: 18, // 15 ns
+            trtp: 9, // 7.5 ns
+            cl: 17,
+            cwl: 12,
+            trfc: 420,   // 350 ns
+            trefi: 9363, // 7.8 µs
+            burst_cycles: 4,
+            burst_bytes: 32,
+        }
+    }
+
+    /// DDR4-3200 (tCK = 625 ps), 8 Gb-class tRFC. The default bin.
+    pub fn ddr4_3200() -> Self {
+        TimingParams {
+            tck_ps: 625,
+            trcd: 22, // 13.75 ns
+            trp: 22,
+            tras: 52, // 32.5 ns
+            trc: 74,
+            tccd: 8,
+            trrd: 8,
+            twr: 24,  // 15 ns
+            trtp: 12, // 7.5 ns
+            cl: 22,
+            cwl: 16,
+            trfc: 560,    // 350 ns
+            trefi: 12480, // 7.8 µs
+            burst_cycles: 4,
+            burst_bytes: 32,
+        }
+    }
+
+    /// LPDDR4-3200 (tCK = 625 ps), the mobile bin of the paper's §5.1
+    /// test infrastructure: slower core timings, shorter per-command
+    /// refresh (more frequent tREFI), BL16 bursts.
+    pub fn lpddr4_3200() -> Self {
+        TimingParams {
+            tck_ps: 625,
+            trcd: 29, // 18 ns
+            trp: 34,  // 21 ns
+            tras: 68, // 42.5 ns
+            trc: 102,
+            tccd: 8,
+            trrd: 16, // 10 ns
+            twr: 29,  // 18 ns
+            trtp: 12,
+            cl: 28,
+            cwl: 14,
+            trfc: 288,       // 180 ns
+            trefi: 6240,     // 3.9 µs
+            burst_cycles: 8, // BL16
+            burst_bytes: 32,
+        }
+    }
+
+    /// Validates the table's internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constraint is zero, `tRAS + tRP > tRC` (a row cycle
+    /// must cover activation plus precharge), or `tREFI <= tRFC` (refresh
+    /// would consume the whole schedule).
+    pub fn validate(&self) {
+        assert!(self.tck_ps > 0, "clock period must be positive");
+        for (name, v) in [
+            ("tRCD", self.trcd),
+            ("tRP", self.trp),
+            ("tRAS", self.tras),
+            ("tRC", self.trc),
+            ("tCCD", self.tccd),
+            ("tRRD", self.trrd),
+            ("tWR", self.twr),
+            ("tRTP", self.trtp),
+            ("CL", self.cl),
+            ("CWL", self.cwl),
+            ("tRFC", self.trfc),
+            ("tREFI", self.trefi),
+            ("burst", self.burst_cycles),
+        ] {
+            assert!(v > 0, "{name} must be positive");
+        }
+        assert!(self.burst_bytes > 0, "burst_bytes must be positive");
+        assert!(
+            self.tras + self.trp <= self.trc,
+            "tRC must cover tRAS + tRP"
+        );
+        assert!(self.trefi > self.trfc, "tREFI must exceed tRFC");
+    }
+
+    /// Exact picoseconds of `cycles` clock cycles.
+    pub fn cycles_to_ps(&self, cycles: u64) -> u128 {
+        cycles as u128 * self.tck_ps as u128
+    }
+
+    /// Nanoseconds of `cycles` clock cycles (rounded down; exact when the
+    /// product lands on a nanosecond boundary).
+    pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
+        (self.cycles_to_ps(cycles) / 1000) as u64
+    }
+
+    /// Seconds of `cycles` clock cycles.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        self.cycles_to_ps(cycles) as f64 / 1e12
+    }
+
+    /// Smallest whole cycle count covering `seconds` (the quantization a
+    /// real controller applies to any requested wait).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or not finite.
+    pub fn cycles_for_seconds(&self, seconds: f64) -> u64 {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "wait must be a finite non-negative duration"
+        );
+        let ps = seconds * 1e12;
+        let cycles = (ps / self.tck_ps as f64).ceil();
+        cycles as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_bins_validate() {
+        TimingParams::ddr4_2400().validate();
+        TimingParams::ddr4_3200().validate();
+        TimingParams::lpddr4_3200().validate();
+    }
+
+    #[test]
+    fn cycle_time_roundtrip_is_exact_enough() {
+        let p = TimingParams::ddr4_3200();
+        // A requested window is covered by the quantized cycle count and
+        // overshoots by less than one clock period.
+        for &secs in &[1e-6, 0.5, 120.0, 1320.0] {
+            let cycles = p.cycles_for_seconds(secs);
+            let covered = p.cycles_to_seconds(cycles);
+            assert!(covered >= secs - 1e-12 * secs, "{covered} < {secs}");
+            assert!(covered - secs < 2.0 * p.tck_ps as f64 / 1e12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tRC must cover")]
+    fn inconsistent_row_cycle_is_rejected() {
+        let mut p = TimingParams::ddr4_3200();
+        p.trc = p.tras; // no room for tRP
+        p.validate();
+    }
+}

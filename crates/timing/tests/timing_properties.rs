@@ -1,0 +1,238 @@
+//! Property tests for the timing subsystem: the three invariants the
+//! campaign-costing story rests on.
+//!
+//! 1. **Earliest-legal-cycle honoring** — replaying a controller's command
+//!    log through an independent gate checker (built directly on
+//!    [`BankState`]) shows no command ever issued before the constraints
+//!    implied by the logged history. Auto-injected refresh only pushes
+//!    gates *later*, so the logged-history gates are a sound lower bound.
+//! 2. **Window/retention monotonicity** — a longer refresh-paused wait
+//!    yields a longer emergent window, and the error set of the longer
+//!    window is a superset of the shorter one's under the retention model
+//!    (the §5.1 sweep's correctness condition).
+//! 3. **Cycle determinism** — the same command stream executed twice
+//!    produces bit-identical cycle counts and stats; cost estimation via
+//!    [`beer_timing::trial_cost`] is a pure function of its inputs.
+
+use beer_timing::{
+    trial_cost, ArrayGeometry, BankState, Command, IssuedCommand, MemController, TimingParams,
+};
+use proptest::prelude::*;
+
+/// xorshift64* — the workspace's deterministic generator idiom for
+/// property tests (the vendored proptest has no collection shrinking).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn params_for(seed: u64) -> TimingParams {
+    match seed % 3 {
+        0 => TimingParams::ddr4_2400(),
+        1 => TimingParams::ddr4_3200(),
+        _ => TimingParams::lpddr4_3200(),
+    }
+}
+
+/// Drives a protocol-legal random command stream (tracking open rows so
+/// every command is legal in the current state) and returns the log.
+fn random_stream(ctrl: &mut MemController, g: &mut Gen, commands: usize) -> Vec<IssuedCommand> {
+    ctrl.record_log(true);
+    let banks = ctrl.banks();
+    for _ in 0..commands {
+        let bank = g.below(banks as u64) as usize;
+        match g.below(8) {
+            // Idle time between bursts of activity, sometimes spanning a
+            // tREFI so auto-refresh interleaves with the stream.
+            0 => ctrl.wait_cycles(g.below(2 * ctrl.params().trefi)),
+            1 if !ctrl.is_open(bank) && ctrl.banks() > 0 => {
+                ctrl.issue(Command::RefAb).ok();
+            }
+            _ => {
+                if ctrl.is_open(bank) {
+                    match g.below(3) {
+                        0 => ctrl.issue(Command::Rd { bank }).map(|_| ()),
+                        1 => ctrl.issue(Command::Wr { bank }).map(|_| ()),
+                        _ => ctrl.issue(Command::Pre { bank }).map(|_| ()),
+                    }
+                    .expect("command legal for an open row");
+                } else {
+                    let row = g.below(64) as usize;
+                    ctrl.issue(Command::Act { bank, row })
+                        .expect("ACT legal for an idle bank");
+                }
+            }
+        }
+    }
+    ctrl.issue_log().to_vec()
+}
+
+/// Independent earliest-legal-cycle checker: replays a log through fresh
+/// [`BankState`] machines plus the global tCCD/tRRD gates and asserts
+/// every command issued at or after the gates the logged history implies.
+fn assert_log_honors_constraints(log: &[IssuedCommand], p: &TimingParams, banks: usize) {
+    let mut bank_state = vec![BankState::new(); banks];
+    let mut next_col_ok = 0u64;
+    let mut next_act_ok = 0u64;
+    let mut prev = None::<u64>;
+    for ic in log {
+        let t = ic.issued_at;
+        if let Some(prev) = prev {
+            assert!(t > prev, "command bus collision: {t} after {prev}");
+        }
+        prev = Some(t);
+        match ic.command {
+            Command::Act { bank, row } => {
+                assert!(
+                    t >= bank_state[bank].earliest_act,
+                    "ACT before tRC/tRP/tRFC"
+                );
+                assert!(t >= next_act_ok, "ACT before tRRD");
+                bank_state[bank].apply_act(t, row, p);
+                next_act_ok = t + p.trrd;
+            }
+            Command::Rd { bank } => {
+                assert!(t >= bank_state[bank].earliest_col, "RD before tRCD");
+                assert!(t >= next_col_ok, "RD before tCCD");
+                bank_state[bank].apply_rd(t, p);
+                next_col_ok = t + p.tccd;
+            }
+            Command::Wr { bank } => {
+                assert!(t >= bank_state[bank].earliest_col, "WR before tRCD");
+                assert!(t >= next_col_ok, "WR before tCCD");
+                bank_state[bank].apply_wr(t, p);
+                next_col_ok = t + p.tccd;
+            }
+            Command::Pre { bank } => {
+                assert!(
+                    t >= bank_state[bank].earliest_pre,
+                    "PRE before tRAS/tWR/tRTP"
+                );
+                bank_state[bank].apply_pre(t, p);
+            }
+            Command::PreAll => {
+                for b in &mut bank_state {
+                    if b.open_row().is_some() {
+                        assert!(t >= b.earliest_pre, "PREab before a bank's tRAS");
+                        b.apply_pre(t, p);
+                    }
+                }
+            }
+            Command::Ref { bank } => {
+                assert!(t >= bank_state[bank].earliest_act, "REF before bank idle");
+                bank_state[bank].earliest_act = t + p.trfc;
+            }
+            Command::RefAb => {
+                for b in &mut bank_state {
+                    assert!(t >= b.earliest_act, "REFab before all banks idle");
+                    b.earliest_act = t + p.trfc;
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 1: no command in a random protocol-legal stream issues
+    /// before the earliest legal cycle its logged history implies.
+    #[test]
+    fn random_streams_honor_earliest_legal_cycles(seed in any::<u64>()) {
+        let mut g = Gen(seed | 1);
+        let params = params_for(g.next());
+        let banks = 1 + g.below(4) as usize;
+        let mut ctrl = MemController::new(params, banks);
+        let log = random_stream(&mut ctrl, &mut g, 200);
+        prop_assert!(!log.is_empty());
+        assert_log_honors_constraints(&log, &params, banks);
+    }
+
+    /// Invariant 2a: the emergent refresh window is monotone in the
+    /// requested wait and always covers it.
+    #[test]
+    fn emergent_window_is_monotone_in_request(seed in any::<u64>()) {
+        let mut g = Gen(seed | 1);
+        let params = params_for(g.next());
+        // Windows from microseconds to minutes, as the §5.1 sweep uses.
+        let short = 1e-6 * (1.0 + g.below(1_000_000) as f64);
+        let long = short * (1.0 + g.below(100) as f64 / 10.0);
+        let mut a = MemController::new(params, 2);
+        let mut b = MemController::new(params, 2);
+        let wa = a.refresh_paused_wait(short).unwrap();
+        let wb = b.refresh_paused_wait(long).unwrap();
+        prop_assert!(wa >= short);
+        prop_assert!(wb >= long);
+        prop_assert!(wb >= wa, "longer request produced a shorter window");
+    }
+
+    /// Invariant 2b: under the retention model, the error set of a longer
+    /// executed window contains the error set of a shorter one — the
+    /// monotonicity the refresh-window sweep's interpretation needs.
+    #[test]
+    fn longer_executed_windows_grow_the_error_set(seed in any::<u64>()) {
+        let mut g = Gen(seed | 1);
+        let params = TimingParams::ddr4_3200();
+        let model = beer_dram::RetentionModel::paper_calibrated(g.next());
+        let celsius = 40.0 + g.below(55) as f64;
+        let short = model.window_for_ber(1e-3, celsius);
+        let long = model.window_for_ber(0.1, celsius);
+        let mut a = MemController::new(params, 2);
+        let mut b = MemController::new(params, 2);
+        let wa = a.refresh_paused_wait(short).unwrap();
+        let wb = b.refresh_paused_wait(long).unwrap();
+        prop_assert!(wb > wa);
+        let mut grew = 0u32;
+        for _ in 0..512 {
+            let cell = g.next();
+            let fails_short = model.fails(cell, wa, celsius);
+            let fails_long = model.fails(cell, wb, celsius);
+            prop_assert!(
+                !fails_short || fails_long,
+                "cell {cell} failed the short window but survived the long one"
+            );
+            if !fails_short && fails_long {
+                grew += 1;
+            }
+        }
+        prop_assert!(grew > 0, "the longer window added no errors at all");
+    }
+
+    /// Invariant 3: identical command streams produce bit-identical
+    /// simulated cycle counts and stats, and trial costing is pure.
+    #[test]
+    fn simulated_cycle_counts_are_deterministic(seed in any::<u64>()) {
+        let params = params_for(seed);
+        let banks = 1 + (seed % 4) as usize;
+        let mut first = MemController::new(params, banks);
+        let mut second = MemController::new(params, banks);
+        let log_a = random_stream(&mut first, &mut Gen(seed | 1), 150);
+        let log_b = random_stream(&mut second, &mut Gen(seed | 1), 150);
+        prop_assert_eq!(log_a, log_b);
+        prop_assert_eq!(first.now_cycles(), second.now_cycles());
+        prop_assert_eq!(first.stats(), second.stats());
+        prop_assert_eq!(first.elapsed_ns(), second.elapsed_ns());
+
+        let geom = ArrayGeometry {
+            banks,
+            rows_per_bank: 4 + (seed % 8) as usize,
+            bytes_per_row: 128,
+        };
+        let window = 1e-3 * (1 + seed % 500) as f64;
+        let c1 = trial_cost(&params, &geom, window);
+        let c2 = trial_cost(&params, &geom, window);
+        prop_assert_eq!(c1, c2);
+    }
+}

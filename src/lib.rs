@@ -62,6 +62,7 @@ pub use beer_net as net;
 pub use beer_obs as obs;
 pub use beer_sat as sat;
 pub use beer_service as service;
+pub use beer_timing as timing;
 
 /// The commonly used types and functions, one `use` away.
 pub mod prelude {
@@ -81,11 +82,13 @@ pub mod prelude {
     pub use beer_core::{
         collect_with, run_session_guarded, solve_profile, try_collect_traced, try_collect_with,
         AnalyticBackend, BeerSolverOptions, BudgetReason, CancelToken, ChargedSet, ChipBackend,
-        EinsimBackend, EngineError, EngineOptions, Fanout, Fingerprint, FleetMember, FleetOutcome,
-        MiscorrectionProfile, Observation, PatternSchedule, PatternSet, ProfileConstraints,
-        ProfileSource, ProfileTrace, RecoveryConfig, RecoveryError, RecoveryEvent, RecoveryFleet,
-        RecoveryOutcome, RecoveryReport, RecoverySession, RecoveryStats, ReplayBackend,
-        SessionHooks, SessionStatus, SolveReport, ThresholdFilter, TraceParseError,
+        EinsimBackend, EngineError, EngineOptions, FamilyCostEstimate, Fanout, Fingerprint,
+        FleetMember, FleetOutcome, MiscorrectionProfile, Observation, PatternSchedule, PatternSet,
+        ProfileConstraints, ProfileSource, ProfileTrace, RecoveryConfig, RecoveryError,
+        RecoveryEvent, RecoveryFleet, RecoveryOutcome, RecoveryReport, RecoverySession,
+        RecoveryStats, ReplayBackend, ScheduleCostModel, ScheduleCostReport, SessionHooks,
+        SessionStatus, SolveReport, ThresholdFilter, TimedChipBackend, TimedCostModel,
+        TraceParseError,
     };
     pub use beer_dram::{
         CellLayout, CellType, ChipConfig, ControllerReport, DramInterface, Geometry, RankLevelEcc,
@@ -107,5 +110,8 @@ pub mod prelude {
         CodeOutcome, ConfigError, JobError, JobEvent, JobId, JobInput, JobOutput, JobRequest,
         JobResult, JobState, Priority, RecoveryService, Rejected, RejectionStats, ServiceConfig,
         ServiceObs, ServiceStats, StartError,
+    };
+    pub use beer_timing::{
+        ArrayGeometry, Command, MemController, TimingError, TimingParams, TrialCost,
     };
 }

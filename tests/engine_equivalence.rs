@@ -96,6 +96,74 @@ fn every_backend_recovers_the_same_code() {
     }
 }
 
+fn timed_chip_and_secret(seed: u64) -> (TimedChipBackend, beer::ecc::LinearCode) {
+    let chip =
+        SimChip::new(ChipConfig::small_test_chip(seed).with_geometry(Geometry::new(1, 128, 128)));
+    let secret = chip.reveal_code().clone();
+    let knowledge = ChipKnowledge::uniform(
+        chip.config().word_layout,
+        CellType::True,
+        chip.geometry().total_rows(),
+    );
+    (TimedChipBackend::new(Box::new(chip), knowledge), secret)
+}
+
+#[test]
+fn timed_backend_is_bit_identical_to_chip_backend() {
+    // The timed backend executes every trial through a cycle-accurate
+    // controller and derives its refresh window from the command stream —
+    // timing must change the campaign's *cost*, never its *facts*.
+    let (mut plain, secret) = chip_and_secret(0xE0_05);
+    let (mut timed, _) = timed_chip_and_secret(0xE0_05);
+    let k = secret.k();
+    let patterns = PatternSet::One.patterns(k);
+    let plan = CollectionPlan::quick();
+    let filter = ThresholdFilter::default();
+    let engine = EngineOptions::default();
+
+    let from_plain = collect_with(&mut plain, &patterns, &plan, &engine).to_constraints(&filter);
+    let from_timed = collect_with(&mut timed, &patterns, &plan, &engine).to_constraints(&filter);
+    assert_eq!(
+        from_plain, from_timed,
+        "timed and untimed backends extracted different facts"
+    );
+
+    // The untimed backend models no time; the timed one metered the
+    // campaign — tens of simulated seconds for the quick plan's sweep.
+    assert_eq!(plain.sim_elapsed_ns(), None);
+    let sim_ns = timed.sim_elapsed_ns().expect("timed backends meter time");
+    assert!(sim_ns > 1_000_000_000, "campaign cost only {sim_ns} ns");
+}
+
+#[test]
+fn timed_backend_recovers_the_same_code_with_cost_accounted() {
+    let (mut plain, secret) = chip_and_secret(0xE0_06);
+    let (mut timed, _) = timed_chip_and_secret(0xE0_06);
+
+    let config = RecoveryConfig::new().with_parity_bits(secret.parity_bits());
+    let plain_report = config
+        .session(&mut plain)
+        .run_to_completion()
+        .expect("untimed session");
+    let timed_report = config
+        .session(&mut timed)
+        .run_to_completion()
+        .expect("timed session");
+
+    let a = plain_report.outcome.unique_code().expect("unique (plain)");
+    let b = timed_report.outcome.unique_code().expect("unique (timed)");
+    assert!(equivalent(a, b), "backends recovered different codes");
+    assert!(equivalent(a, &secret), "recovered the wrong code");
+
+    // Identical facts ⇒ identical round counts; only the timed session
+    // carries simulated DRAM cost, in both its stats and its last check.
+    assert_eq!(plain_report.stats.rounds, timed_report.stats.rounds);
+    assert_eq!(plain_report.stats.dram_sim_ns, 0);
+    assert!(timed_report.stats.dram_sim_ns > 0);
+    let last = timed_report.last_check.expect("at least one check ran");
+    assert_eq!(last.sim_ns, timed_report.stats.dram_sim_ns);
+}
+
 #[test]
 fn progressive_matches_one_shot_with_fewer_constraints() {
     let (_, secret) = chip_and_secret(0xE0_03);
